@@ -1,0 +1,50 @@
+//! Microbenchmarks of the hardware-model components on their hot paths
+//! (ablation-style: how cheap is the logic the paper adds to each L1?).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imp_common::{Addr, ImpConfig, Pc};
+use imp_prefetch::{Access, Imp, L1Prefetcher, MapValueSource, StreamPrefetcher};
+
+fn bench(c: &mut Criterion) {
+    let mut src = MapValueSource::new();
+    for i in 0..4096u64 {
+        src.insert(Addr::new(0x10000 + 4 * i), 4, (i * 2654435761) % 100_000);
+    }
+
+    c.bench_function("imp_on_access_steady_state", |b| {
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = i % 4096;
+            i += 1;
+            let b_addr = Addr::new(0x10000 + 4 * k);
+            let v = (k * 2654435761) % 100_000;
+            imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
+            imp.on_access(
+                Access::load_miss(Pc::new(2), Addr::new(0x1_000_000 + 8 * v), 8),
+                &mut src,
+            );
+        })
+    });
+
+    c.bench_function("stream_prefetcher_on_access", |b| {
+        let mut sp = StreamPrefetcher::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            sp.on_access(Access::load_hit(Pc::new(1), Addr::new(0x40000 + 8 * i), 8), &mut src)
+        })
+    });
+
+    c.bench_function("mesh_send_contended", |b| {
+        let mut mesh = imp_noc::Mesh::new(8, 2, 8);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            mesh.send(i, 63 - i, 64, u64::from(i))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: fig01_miss_breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::fig01_miss_breakdown(64));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "fig01_miss_breakdown", "pagerank", imp_experiments::Config::Base);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: fig02_motivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::fig02_motivation(64));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "fig02_motivation", "spmv", imp_experiments::Config::Ideal);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Figure 9 (a/b/c): normalized throughput of Baseline, IMP
+//! and Software Prefetching vs Perfect Prefetching at 16/64/256 cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for cores in imp_bench::bench_core_counts() {
+        println!("{}", imp_experiments::fig09_performance(cores));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    imp_bench::criterion_probe(c, "fig09_performance", "pagerank", imp_experiments::Config::Imp);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: fig10_sw_overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::fig10_sw_overhead(64));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "fig10_sw_overhead", "pagerank", imp_experiments::Config::SwPref);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Figure 11 (a/b/c): IMP with partial cacheline accessing
+//! (NoC only / NoC + DRAM) vs Perfect Prefetching at 16/64/256 cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_tables() {
+    for cores in imp_bench::bench_core_counts() {
+        println!("{}", imp_experiments::fig11_partial(cores));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    imp_bench::criterion_probe(c, "fig11_partial", "lsh", imp_experiments::Config::ImpPartialNocDram);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

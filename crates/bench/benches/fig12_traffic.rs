@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: fig12_traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::fig12_traffic(64));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "fig12_traffic", "lsh", imp_experiments::Config::ImpPartialNocDram);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

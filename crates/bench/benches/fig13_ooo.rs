@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: fig13_ooo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::fig13_ooo(64));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "fig13_ooo", "sgd", imp_experiments::Config::ImpOoo);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

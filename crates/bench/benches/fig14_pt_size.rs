@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: fig14_pt_size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::sensitivity(64, imp_experiments::SweepParam::PtSize));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "fig14_pt_size", "tri_count", imp_experiments::Config::Imp);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

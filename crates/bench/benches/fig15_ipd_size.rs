@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: fig15_ipd_size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::sensitivity(64, imp_experiments::SweepParam::IpdSize));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "fig15_ipd_size", "symgs", imp_experiments::Config::Imp);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: ghb_comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::ghb_comparison(64));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "ghb_comparison", "pagerank", imp_experiments::Config::Ghb);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

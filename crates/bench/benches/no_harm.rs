@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: no_harm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::no_harm(64));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "no_harm", "dense", imp_experiments::Config::Imp);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: storage_cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::storage_cost_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "storage_cost", "spmv", imp_experiments::Config::Base);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

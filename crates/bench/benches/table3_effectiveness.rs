@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact: table3_effectiveness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table() {
+    println!("{}", imp_experiments::table3_effectiveness(64));
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    imp_bench::criterion_probe(c, "table3_effectiveness", "spmv", imp_experiments::Config::Imp);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

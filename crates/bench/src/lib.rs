@@ -1,0 +1,41 @@
+//! Benchmark harness for the IMP reproduction.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper: it prints the paper-style rows once (the reproduction
+//! artifact), then runs a small Criterion measurement of a representative
+//! simulation so `cargo bench` reports a stable timing signal.
+//!
+//! Knobs:
+//! * `IMP_SCALE=tiny|small|large` — input sizing (default `small`).
+//! * `IMP_BENCH_CORES=16,64` — restrict the core counts swept by the
+//!   multi-panel figures (default: the paper's 16, 64, 256).
+
+use criterion::Criterion;
+use imp_experiments::{system_config, Config};
+use imp_sim::System;
+use imp_workloads::{by_name, Scale, WorkloadParams};
+
+/// Core counts for multi-panel figures, from `IMP_BENCH_CORES` or the
+/// paper's default sweep.
+pub fn bench_core_counts() -> Vec<u32> {
+    match std::env::var("IMP_BENCH_CORES") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![16, 64, 256],
+    }
+}
+
+/// Standard Criterion measurement attached to every figure bench: one
+/// fresh 16-core tiny-scale simulation of the given app/config.
+pub fn criterion_probe(c: &mut Criterion, name: &str, app: &'static str, config: Config) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.bench_function("tiny_16c_probe", |b| {
+        b.iter(|| {
+            let params = WorkloadParams::new(16, Scale::Tiny);
+            let built = by_name(app).unwrap().build(&params);
+            let stats = System::new(system_config(16, config), built.program, built.mem).run();
+            std::hint::black_box(stats.runtime)
+        })
+    });
+    group.finish();
+}

@@ -1,0 +1,419 @@
+//! Sectored, set-associative, write-back cache structures and MSHRs.
+//!
+//! Both the private L1D and the shared L2 slices of the modelled system
+//! (paper Table 1) are instances of [`SectoredCache`]. When partial
+//! cacheline accessing (Section 4) is enabled, lines carry per-sector
+//! valid bits exactly as in Figure 7 of the paper; with full-line mode the
+//! sector mask is simply always full.
+//!
+//! # Example
+//!
+//! ```
+//! use imp_cache::{AccessOutcome, LineState, SectoredCache};
+//! use imp_common::{Addr, LineAddr, SectorMask};
+//!
+//! let mut c = SectoredCache::new(1024, 4, 8); // 1 KB, 4-way, 8 sectors/line
+//! let line = LineAddr::containing(Addr::new(0x40));
+//! assert!(matches!(c.demand_access(line, SectorMask::FULL_L1, false), AccessOutcome::Miss));
+//! c.fill(line, SectorMask::FULL_L1, LineState::Shared, false);
+//! assert!(matches!(c.demand_access(line, SectorMask::FULL_L1, false), AccessOutcome::Hit { .. }));
+//! ```
+
+mod mshr;
+
+pub use mshr::{MshrAlloc, MshrFile};
+
+use imp_common::{LineAddr, SectorMask};
+
+/// Coherence-visible state of a cached line (MSI; Exclusive is folded
+/// into Modified as is common for simple directory protocols).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LineState {
+    /// Readable copy; other caches may also hold it.
+    Shared,
+    /// Writable, possibly dirty; this cache is the owner.
+    Modified,
+}
+
+/// One cache line's bookkeeping.
+#[derive(Clone, Debug)]
+pub struct CacheLine {
+    /// Line address (we store the full line number instead of a tag).
+    pub line: LineAddr,
+    /// Coherence state.
+    pub state: LineState,
+    /// Sectors present (always the full mask in non-sectored mode).
+    pub valid: SectorMask,
+    /// Sectors written locally and not yet written back.
+    pub dirty: SectorMask,
+    /// Line was brought in by a prefetch.
+    pub prefetched: bool,
+    /// Line has been touched by a demand access since fill.
+    pub touched: bool,
+    lru: u64,
+}
+
+/// Result of a demand access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Line present with all needed sectors.
+    Hit {
+        /// The line had been prefetched and this is its first demand
+        /// touch (counts toward prefetch *coverage*).
+        first_touch_of_prefetch: bool,
+    },
+    /// Line present but some needed sectors are missing (a *sector miss*,
+    /// Section 4.1).
+    SectorMiss {
+        /// Needed sectors not present.
+        missing: SectorMask,
+        /// As in [`AccessOutcome::Hit`].
+        first_touch_of_prefetch: bool,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// A line pushed out of the cache (by eviction or invalidation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Which line.
+    pub line: LineAddr,
+    /// Its state at eviction.
+    pub state: LineState,
+    /// Dirty sectors that must be written back.
+    pub dirty: SectorMask,
+    /// It was prefetched and never demanded (counts toward prefetch
+    /// *inaccuracy*).
+    pub prefetched_untouched: bool,
+    /// It was prefetched and demanded at least once.
+    pub prefetched_touched: bool,
+    /// Valid sectors at eviction time.
+    pub valid: SectorMask,
+    /// It had been touched by demand at least once (any origin).
+    pub touched: bool,
+}
+
+/// A sectored, set-associative, write-back cache with LRU replacement.
+#[derive(Debug)]
+pub struct SectoredCache {
+    sets: Vec<Vec<CacheLine>>,
+    ways: u32,
+    sectors: u32,
+    stamp: u64,
+}
+
+impl SectoredCache {
+    /// Creates a cache of `size_bytes` with `ways` associativity and
+    /// `sectors` sectors per 64-byte line (1 disables sectoring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield at least one set.
+    pub fn new(size_bytes: u64, ways: u32, sectors: u32) -> Self {
+        let lines = size_bytes / imp_common::LINE_BYTES;
+        let sets = (lines / u64::from(ways)).max(1);
+        SectoredCache {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways as usize)).collect(),
+            ways,
+            sectors,
+            stamp: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Sectors per line.
+    pub fn sectors(&self) -> u32 {
+        self.sectors
+    }
+
+    /// Full sector mask for this cache's sectoring.
+    pub fn full_mask(&self) -> SectorMask {
+        SectorMask::full(self.sectors)
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.number() % self.sets.len() as u64) as usize
+    }
+
+    /// Non-updating probe.
+    pub fn probe(&self, line: LineAddr) -> Option<&CacheLine> {
+        self.sets[self.set_index(line)].iter().find(|l| l.line == line)
+    }
+
+    fn find_mut(&mut self, line: LineAddr) -> Option<&mut CacheLine> {
+        let si = self.set_index(line);
+        self.sets[si].iter_mut().find(|l| l.line == line)
+    }
+
+    /// Performs a demand access needing `need` sectors; `write` marks the
+    /// touched sectors dirty on a hit. Updates LRU and touch state.
+    pub fn demand_access(&mut self, line: LineAddr, need: SectorMask, write: bool) -> AccessOutcome {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let full = self.full_mask();
+        let need = need.intersect(full);
+        match self.find_mut(line) {
+            None => AccessOutcome::Miss,
+            Some(l) => {
+                l.lru = stamp;
+                let first_touch = l.prefetched && !l.touched;
+                l.touched = true;
+                if l.valid.contains(need) {
+                    if write {
+                        l.dirty = l.dirty.union(need);
+                    }
+                    AccessOutcome::Hit { first_touch_of_prefetch: first_touch }
+                } else {
+                    AccessOutcome::SectorMiss {
+                        missing: need.minus(l.valid),
+                        first_touch_of_prefetch: first_touch,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs `sectors` of `line` in `state`; merges into an existing
+    /// line or allocates (possibly evicting). Returns the evicted line.
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        sectors: SectorMask,
+        state: LineState,
+        prefetched: bool,
+    ) -> Option<Evicted> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let full = self.full_mask();
+        let sectors = sectors.intersect(full);
+        if let Some(l) = self.find_mut(line) {
+            l.valid = l.valid.union(sectors);
+            if state == LineState::Modified {
+                l.state = LineState::Modified;
+            }
+            l.lru = stamp;
+            return None;
+        }
+        let si = self.set_index(line);
+        let ways = self.ways as usize;
+        let set = &mut self.sets[si];
+        let evicted = if set.len() < ways {
+            None
+        } else {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty set");
+            let v = set.swap_remove(vi);
+            Some(Evicted {
+                line: v.line,
+                state: v.state,
+                dirty: v.dirty,
+                prefetched_untouched: v.prefetched && !v.touched,
+                prefetched_touched: v.prefetched && v.touched,
+                valid: v.valid,
+                touched: v.touched,
+            })
+        };
+        set.push(CacheLine {
+            line,
+            state,
+            valid: sectors,
+            dirty: SectorMask::EMPTY,
+            prefetched,
+            touched: false,
+            lru: stamp,
+        });
+        evicted
+    }
+
+    /// Marks sectors of a present line dirty (after a write fill).
+    pub fn mark_dirty(&mut self, line: LineAddr, sectors: SectorMask) {
+        let full = self.full_mask();
+        if let Some(l) = self.find_mut(line) {
+            l.dirty = l.dirty.union(sectors.intersect(full));
+            l.state = LineState::Modified;
+        }
+    }
+
+    /// Removes `line`, returning its eviction record.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let si = self.set_index(line);
+        let set = &mut self.sets[si];
+        let idx = set.iter().position(|l| l.line == line)?;
+        let v = set.swap_remove(idx);
+        Some(Evicted {
+            line: v.line,
+            state: v.state,
+            dirty: v.dirty,
+            prefetched_untouched: v.prefetched && !v.touched,
+            prefetched_touched: v.prefetched && v.touched,
+            valid: v.valid,
+            touched: v.touched,
+        })
+    }
+
+    /// Downgrades a Modified line to Shared, returning the sectors that
+    /// were dirty (now considered written back).
+    pub fn downgrade(&mut self, line: LineAddr) -> SectorMask {
+        match self.find_mut(line) {
+            Some(l) => {
+                l.state = LineState::Shared;
+                std::mem::replace(&mut l.dirty, SectorMask::EMPTY)
+            }
+            None => SectorMask::EMPTY,
+        }
+    }
+
+    /// Number of resident lines (for tests and occupancy stats).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over all resident lines.
+    pub fn iter_lines(&self) -> impl Iterator<Item = &CacheLine> {
+        self.sets.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_common::Addr;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    fn small() -> SectoredCache {
+        // 4 sets x 2 ways.
+        SectoredCache::new(8 * 64, 2, 8)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.demand_access(line(1), SectorMask::FULL_L1, false), AccessOutcome::Miss);
+        assert!(c.fill(line(1), SectorMask::FULL_L1, LineState::Shared, false).is_none());
+        assert!(matches!(
+            c.demand_access(line(1), SectorMask::FULL_L1, false),
+            AccessOutcome::Hit { first_touch_of_prefetch: false }
+        ));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Lines 0, 4, 8 map to set 0 (4 sets).
+        c.fill(line(0), SectorMask::FULL_L1, LineState::Shared, false);
+        c.fill(line(4), SectorMask::FULL_L1, LineState::Shared, false);
+        // Touch line 0 so line 4 is LRU.
+        c.demand_access(line(0), SectorMask::FULL_L1, false);
+        let ev = c.fill(line(8), SectorMask::FULL_L1, LineState::Shared, false).unwrap();
+        assert_eq!(ev.line, line(4));
+        assert!(c.probe(line(0)).is_some());
+        assert!(c.probe(line(4)).is_none());
+    }
+
+    #[test]
+    fn sector_miss_reports_missing() {
+        let mut c = small();
+        c.fill(line(3), SectorMask::from_bits(0b0000_1111), LineState::Shared, true);
+        match c.demand_access(line(3), SectorMask::from_bits(0b0011_0000), false) {
+            AccessOutcome::SectorMiss { missing, first_touch_of_prefetch } => {
+                assert_eq!(missing.bits(), 0b0011_0000);
+                assert!(first_touch_of_prefetch);
+            }
+            o => panic!("expected sector miss, got {o:?}"),
+        }
+        // Partial fill of the missing sectors completes the line region.
+        c.fill(line(3), SectorMask::from_bits(0b0011_0000), LineState::Shared, false);
+        assert!(matches!(
+            c.demand_access(line(3), SectorMask::from_bits(0b0011_1111), false),
+            AccessOutcome::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_writeback_on_evict() {
+        let mut c = small();
+        c.fill(line(0), SectorMask::FULL_L1, LineState::Modified, false);
+        c.demand_access(line(0), SectorMask::from_bits(0b1), true);
+        c.fill(line(4), SectorMask::FULL_L1, LineState::Shared, false);
+        let ev = c.fill(line(8), SectorMask::FULL_L1, LineState::Shared, false).unwrap();
+        assert_eq!(ev.line, line(0));
+        assert_eq!(ev.state, LineState::Modified);
+        assert_eq!(ev.dirty.bits(), 0b1);
+    }
+
+    #[test]
+    fn prefetch_accuracy_tracking() {
+        let mut c = small();
+        c.fill(line(0), SectorMask::FULL_L1, LineState::Shared, true);
+        c.fill(line(4), SectorMask::FULL_L1, LineState::Shared, true);
+        // Touch line 0 only.
+        assert!(matches!(
+            c.demand_access(line(0), SectorMask::from_bits(1), false),
+            AccessOutcome::Hit { first_touch_of_prefetch: true }
+        ));
+        // Second touch is no longer a first touch.
+        assert!(matches!(
+            c.demand_access(line(0), SectorMask::from_bits(1), false),
+            AccessOutcome::Hit { first_touch_of_prefetch: false }
+        ));
+        let ev0 = c.invalidate(line(0)).unwrap();
+        assert!(ev0.prefetched_touched && !ev0.prefetched_untouched);
+        let ev4 = c.invalidate(line(4)).unwrap();
+        assert!(ev4.prefetched_untouched && !ev4.prefetched_touched);
+    }
+
+    #[test]
+    fn downgrade_returns_dirty_sectors() {
+        let mut c = small();
+        c.fill(line(2), SectorMask::FULL_L1, LineState::Modified, false);
+        c.demand_access(line(2), SectorMask::from_bits(0b11), true);
+        let dirty = c.downgrade(line(2));
+        assert_eq!(dirty.bits(), 0b11);
+        assert_eq!(c.probe(line(2)).unwrap().state, LineState::Shared);
+        assert_eq!(c.probe(line(2)).unwrap().dirty.bits(), 0);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = small();
+        for n in 0..100 {
+            c.fill(line(n), SectorMask::FULL_L1, LineState::Shared, false);
+            assert!(c.resident_lines() <= 8);
+            for set in 0..c.num_sets() {
+                let in_set = c.iter_lines().filter(|l| l.line.number() % 4 == set as u64).count();
+                assert!(in_set <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn l1_geometry_from_table1() {
+        // 32 KB, 4-way, 64 B lines => 128 sets.
+        let c = SectoredCache::new(32 * 1024, 4, 8);
+        assert_eq!(c.num_sets(), 128);
+    }
+
+    #[test]
+    fn access_to_addr_mask_integration() {
+        let mut c = SectoredCache::new(32 * 1024, 4, 8);
+        let a = Addr::new(0x1238);
+        let l = LineAddr::containing(a);
+        let m = SectorMask::l1_touch(a, 8);
+        c.fill(l, m, LineState::Shared, false);
+        assert!(matches!(c.demand_access(l, m, false), AccessOutcome::Hit { .. }));
+        // A different sector of the same line misses.
+        let m2 = SectorMask::l1_touch(a.offset(16), 8);
+        assert!(matches!(c.demand_access(l, m2, false), AccessOutcome::SectorMiss { .. }));
+    }
+}

@@ -1,0 +1,167 @@
+//! Miss Status Holding Registers: outstanding-miss tracking with merging.
+
+use imp_common::{LineAddr, SectorMask};
+use std::collections::HashMap;
+
+/// Outcome of an MSHR allocation attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// A new entry was created; a request must be sent downstream.
+    New,
+    /// Merged into an existing entry for the same line whose in-flight
+    /// request already covers the needed sectors.
+    Merged,
+    /// Merged into an existing entry, but the needed sectors extend past
+    /// what is in flight; the caller must send an additional request for
+    /// the returned mask.
+    MergedNeedsMore(SectorMask),
+    /// No free entry (structural stall).
+    Full,
+}
+
+/// One in-flight miss.
+#[derive(Debug)]
+pub struct MshrEntry<W> {
+    /// Sectors requested from downstream so far.
+    pub requested: SectorMask,
+    /// True while no demand access is waiting on this entry (pure
+    /// prefetch). Used to classify late prefetches.
+    pub prefetch_only: bool,
+    /// Parties to notify on fill.
+    pub waiters: Vec<W>,
+}
+
+/// A file of MSHRs keyed by line address, generic over the waiter type.
+#[derive(Debug)]
+pub struct MshrFile<W> {
+    entries: HashMap<LineAddr, MshrEntry<W>>,
+    capacity: usize,
+}
+
+impl<W> MshrFile<W> {
+    /// Creates a file with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        MshrFile { entries: HashMap::new(), capacity }
+    }
+
+    /// Current number of in-flight lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no new line can be tracked.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Looks up the in-flight entry for `line`.
+    pub fn get(&self, line: LineAddr) -> Option<&MshrEntry<W>> {
+        self.entries.get(&line)
+    }
+
+    /// Allocates or merges a miss on `line` needing `sectors`.
+    /// `is_prefetch` marks prefetch-originated requests; a demand merge
+    /// clears the entry's `prefetch_only` flag.
+    pub fn alloc(
+        &mut self,
+        line: LineAddr,
+        sectors: SectorMask,
+        is_prefetch: bool,
+        waiter: W,
+    ) -> MshrAlloc {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.waiters.push(waiter);
+            if !is_prefetch {
+                e.prefetch_only = false;
+            }
+            if e.requested.contains(sectors) {
+                MshrAlloc::Merged
+            } else {
+                let extra = sectors.minus(e.requested);
+                e.requested = e.requested.union(sectors);
+                MshrAlloc::MergedNeedsMore(extra)
+            }
+        } else if self.entries.len() >= self.capacity && is_prefetch {
+            // Only prefetches are refused; demand misses always proceed
+            // (hardware reserves MSHRs for demands — dropping a demand
+            // would deadlock the core).
+            MshrAlloc::Full
+        } else {
+            self.entries.insert(
+                line,
+                MshrEntry { requested: sectors, prefetch_only: is_prefetch, waiters: vec![waiter] },
+            );
+            MshrAlloc::New
+        }
+    }
+
+    /// Completes the miss on `line`, returning its entry (waiters and all).
+    pub fn complete(&mut self, line: LineAddr) -> Option<MshrEntry<W>> {
+        self.entries.remove(&line)
+    }
+
+    /// Whether a demand access for `sectors` of `line` can be considered
+    /// "in flight" (it would merge without a new downstream request).
+    pub fn covers(&self, line: LineAddr, sectors: SectorMask) -> bool {
+        self.entries.get(&line).is_some_and(|e| e.requested.contains(sectors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn new_then_merge() {
+        let mut f: MshrFile<u32> = MshrFile::new(2);
+        assert_eq!(f.alloc(line(1), SectorMask::FULL_L1, false, 10), MshrAlloc::New);
+        assert_eq!(f.alloc(line(1), SectorMask::from_bits(1), false, 11), MshrAlloc::Merged);
+        let e = f.complete(line(1)).unwrap();
+        assert_eq!(e.waiters, vec![10, 11]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn merge_extends_sectors() {
+        let mut f: MshrFile<()> = MshrFile::new(2);
+        f.alloc(line(1), SectorMask::from_bits(0b0011), true, ());
+        match f.alloc(line(1), SectorMask::from_bits(0b0110), false, ()) {
+            MshrAlloc::MergedNeedsMore(extra) => assert_eq!(extra.bits(), 0b0100),
+            o => panic!("unexpected {o:?}"),
+        }
+        assert!(f.covers(line(1), SectorMask::from_bits(0b0111)));
+        // A demand merge cleared prefetch_only.
+        assert!(!f.get(line(1)).unwrap().prefetch_only);
+    }
+
+    #[test]
+    fn capacity_limits_prefetches_only() {
+        let mut f: MshrFile<()> = MshrFile::new(1);
+        assert_eq!(f.alloc(line(1), SectorMask::FULL_L1, true, ()), MshrAlloc::New);
+        assert_eq!(f.alloc(line(2), SectorMask::FULL_L1, true, ()), MshrAlloc::Full);
+        assert!(f.is_full());
+        // Demand misses are never structurally refused.
+        assert_eq!(f.alloc(line(3), SectorMask::FULL_L1, false, ()), MshrAlloc::New);
+        f.complete(line(1));
+        f.complete(line(3));
+        assert_eq!(f.alloc(line(2), SectorMask::FULL_L1, true, ()), MshrAlloc::New);
+    }
+
+    #[test]
+    fn prefetch_only_tracking() {
+        let mut f: MshrFile<()> = MshrFile::new(4);
+        f.alloc(line(9), SectorMask::FULL_L1, true, ());
+        assert!(f.get(line(9)).unwrap().prefetch_only);
+        f.alloc(line(9), SectorMask::from_bits(1), true, ());
+        assert!(f.get(line(9)).unwrap().prefetch_only);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests: the sectored cache never violates its geometry and
+//! behaves like a cache (present after fill, absent after invalidate).
+
+use imp_cache::{AccessOutcome, LineState, SectoredCache};
+use imp_common::{LineAddr, SectorMask};
+use proptest::prelude::*;
+
+proptest! {
+    /// Capacity and associativity are never exceeded under arbitrary
+    /// fill/access/invalidate sequences.
+    #[test]
+    fn geometry_invariants(ops in proptest::collection::vec((0u8..3, 0u64..64, any::<u8>()), 1..200)) {
+        let mut c = SectoredCache::new(16 * 64, 4, 8); // 4 sets x 4 ways
+        for (op, line, mask) in ops {
+            let line = LineAddr::from_line_number(line);
+            let mask = SectorMask::from_bits(mask | 1);
+            match op {
+                0 => { c.fill(line, mask, LineState::Shared, false); }
+                1 => { c.demand_access(line, mask, false); }
+                _ => { c.invalidate(line); }
+            }
+            prop_assert!(c.resident_lines() <= 16);
+            for set in 0..4u64 {
+                let n = c.iter_lines().filter(|l| l.line.number() % 4 == set).count();
+                prop_assert!(n <= 4, "set {set} has {n} ways");
+            }
+        }
+    }
+
+    /// A fill makes exactly the filled sectors visible; valid masks only
+    /// grow under further fills.
+    #[test]
+    fn fills_are_monotone(masks in proptest::collection::vec(1u8..=255, 1..10)) {
+        let mut c = SectoredCache::new(16 * 64, 4, 8);
+        let line = LineAddr::from_line_number(5);
+        let mut acc = 0u8;
+        for m in masks {
+            c.fill(line, SectorMask::from_bits(m), LineState::Shared, false);
+            acc |= m;
+            let l = c.probe(line).unwrap();
+            prop_assert_eq!(l.valid.bits(), acc);
+            // Everything accumulated so far must hit.
+            match c.demand_access(line, SectorMask::from_bits(acc), false) {
+                AccessOutcome::Hit { .. } => {}
+                o => prop_assert!(false, "expected hit, got {o:?}"),
+            }
+        }
+    }
+}

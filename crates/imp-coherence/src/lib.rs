@@ -1,0 +1,309 @@
+//! ACKwise directory coherence (paper Table 1, citing Kurian et al.).
+//!
+//! ACKwise_k tracks up to `k` sharers precisely in limited directory
+//! pointers; when an (k+1)-th sharer arrives the entry degrades to a
+//! count, and invalidations must broadcast to every core (all of which
+//! acknowledge). The paper uses k = 4.
+//!
+//! This crate holds the pure directory state machine; the full-system
+//! simulator drives it and moves the actual messages.
+//!
+//! # Example
+//!
+//! ```
+//! use imp_coherence::{Directory, DirState, InvTargets};
+//! use imp_common::LineAddr;
+//!
+//! let mut d = Directory::new(4, 64);
+//! let line = LineAddr::from_line_number(7);
+//! for c in 0..3 {
+//!     d.add_sharer(line, c);
+//! }
+//! match d.invalidation_targets(line, Some(0)) {
+//!     InvTargets::Precise(v) => assert_eq!(v, vec![1, 2]),
+//!     t => panic!("expected precise targets, got {t:?}"),
+//! }
+//! ```
+
+use imp_common::LineAddr;
+use std::collections::HashMap;
+
+/// Sharer tracking for one line under ACKwise_k.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SharerSet {
+    /// At most `k` precisely known sharers.
+    Precise(Vec<u32>),
+    /// More than `k` sharers: only a count is kept; invalidation must
+    /// broadcast.
+    Overflow {
+        /// Number of sharers believed to exist (monotone over-estimate;
+        /// silent evictions are not reported).
+        count: u32,
+    },
+}
+
+/// Directory state of one line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the line.
+    Uncached,
+    /// One or more caches hold read-only copies.
+    Shared(SharerSet),
+    /// Exactly one cache holds a writable copy.
+    Modified(u32),
+}
+
+/// Who must receive invalidations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvTargets {
+    /// Nothing to invalidate.
+    None,
+    /// These cores, precisely.
+    Precise(Vec<u32>),
+    /// All cores (except the requester); ACKwise overflow.
+    Broadcast,
+}
+
+/// A directory slice: per-line ACKwise state for the lines homed here.
+#[derive(Debug)]
+pub struct Directory {
+    k: usize,
+    cores: u32,
+    entries: HashMap<LineAddr, DirState>,
+}
+
+impl Directory {
+    /// Creates a directory with `k` sharer pointers over `cores` cores.
+    pub fn new(k: usize, cores: u32) -> Self {
+        Directory { k, cores, entries: HashMap::new() }
+    }
+
+    /// Total cores in the system.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Current state of `line`.
+    pub fn state(&self, line: LineAddr) -> DirState {
+        self.entries.get(&line).cloned().unwrap_or(DirState::Uncached)
+    }
+
+    /// The owning core if the line is Modified somewhere.
+    pub fn owner(&self, line: LineAddr) -> Option<u32> {
+        match self.entries.get(&line) {
+            Some(DirState::Modified(o)) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// True if any cache may hold the line.
+    pub fn is_cached(&self, line: LineAddr) -> bool {
+        !matches!(self.state(line), DirState::Uncached)
+    }
+
+    /// Records `core` as a sharer (after serving a read).
+    pub fn add_sharer(&mut self, line: LineAddr, core: u32) {
+        let e = self.entries.entry(line).or_insert(DirState::Uncached);
+        match e {
+            DirState::Uncached => {
+                *e = DirState::Shared(SharerSet::Precise(vec![core]));
+            }
+            DirState::Shared(SharerSet::Precise(v)) => {
+                if !v.contains(&core) {
+                    v.push(core);
+                    if v.len() > self.k {
+                        let count = v.len() as u32;
+                        *e = DirState::Shared(SharerSet::Overflow { count });
+                    }
+                }
+            }
+            DirState::Shared(SharerSet::Overflow { count }) => {
+                *count = (*count + 1).min(self.cores);
+            }
+            DirState::Modified(owner) => {
+                // Downgrade path: owner plus the new reader share.
+                let mut v = vec![*owner];
+                if *owner != core {
+                    v.push(core);
+                }
+                *e = DirState::Shared(SharerSet::Precise(v));
+            }
+        }
+    }
+
+    /// Records `core` as the exclusive owner (after serving a write).
+    pub fn set_modified(&mut self, line: LineAddr, core: u32) {
+        self.entries.insert(line, DirState::Modified(core));
+    }
+
+    /// Removes a core from the sharer set / ownership (writeback or
+    /// invalidation ack). Overflow counts only decrement; they never
+    /// regain precision (matching limited-pointer hardware).
+    pub fn remove(&mut self, line: LineAddr, core: u32) {
+        let Some(e) = self.entries.get_mut(&line) else { return };
+        match e {
+            DirState::Uncached => {}
+            DirState::Shared(SharerSet::Precise(v)) => {
+                v.retain(|&c| c != core);
+                if v.is_empty() {
+                    self.entries.remove(&line);
+                }
+            }
+            DirState::Shared(SharerSet::Overflow { count }) => {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    self.entries.remove(&line);
+                }
+            }
+            DirState::Modified(o) => {
+                if *o == core {
+                    self.entries.remove(&line);
+                }
+            }
+        }
+    }
+
+    /// Drops all tracking for `line` (L2 eviction recall).
+    pub fn clear(&mut self, line: LineAddr) {
+        self.entries.remove(&line);
+    }
+
+    /// Who must be invalidated to grant `exclude` (the requester, if
+    /// any) exclusive access. Precise sets list the sharers; overflow
+    /// broadcasts (the ACKwise mechanism).
+    pub fn invalidation_targets(&self, line: LineAddr, exclude: Option<u32>) -> InvTargets {
+        match self.state(line) {
+            DirState::Uncached => InvTargets::None,
+            DirState::Modified(o) => {
+                if Some(o) == exclude {
+                    InvTargets::None
+                } else {
+                    InvTargets::Precise(vec![o])
+                }
+            }
+            DirState::Shared(SharerSet::Precise(v)) => {
+                let t: Vec<u32> = v.into_iter().filter(|&c| Some(c) != exclude).collect();
+                if t.is_empty() {
+                    InvTargets::None
+                } else {
+                    InvTargets::Precise(t)
+                }
+            }
+            DirState::Shared(SharerSet::Overflow { .. }) => InvTargets::Broadcast,
+        }
+    }
+
+    /// Number of lines with directory state (occupancy diagnostics).
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn read_then_write_transitions() {
+        let mut d = Directory::new(4, 16);
+        d.add_sharer(line(1), 3);
+        assert_eq!(d.state(line(1)), DirState::Shared(SharerSet::Precise(vec![3])));
+        d.set_modified(line(1), 5);
+        assert_eq!(d.owner(line(1)), Some(5));
+        d.remove(line(1), 5);
+        assert_eq!(d.state(line(1)), DirState::Uncached);
+    }
+
+    #[test]
+    fn ackwise_overflow_at_k_plus_one() {
+        let mut d = Directory::new(4, 16);
+        for c in 0..4 {
+            d.add_sharer(line(9), c);
+        }
+        assert!(matches!(d.state(line(9)), DirState::Shared(SharerSet::Precise(_))));
+        d.add_sharer(line(9), 4);
+        assert_eq!(d.state(line(9)), DirState::Shared(SharerSet::Overflow { count: 5 }));
+        assert_eq!(d.invalidation_targets(line(9), Some(0)), InvTargets::Broadcast);
+    }
+
+    #[test]
+    fn precise_invalidation_excludes_requester() {
+        let mut d = Directory::new(4, 16);
+        d.add_sharer(line(2), 1);
+        d.add_sharer(line(2), 2);
+        d.add_sharer(line(2), 7);
+        match d.invalidation_targets(line(2), Some(2)) {
+            InvTargets::Precise(mut v) => {
+                v.sort_unstable();
+                assert_eq!(v, vec![1, 7]);
+            }
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_sharer_not_double_counted() {
+        let mut d = Directory::new(4, 16);
+        d.add_sharer(line(3), 1);
+        d.add_sharer(line(3), 1);
+        assert_eq!(d.state(line(3)), DirState::Shared(SharerSet::Precise(vec![1])));
+    }
+
+    #[test]
+    fn modified_downgrades_to_shared_pair_on_read() {
+        let mut d = Directory::new(4, 16);
+        d.set_modified(line(4), 6);
+        d.add_sharer(line(4), 2);
+        match d.state(line(4)) {
+            DirState::Shared(SharerSet::Precise(v)) => {
+                assert!(v.contains(&6) && v.contains(&2));
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_count_saturates_at_core_count() {
+        let mut d = Directory::new(2, 4);
+        for c in 0..4 {
+            d.add_sharer(line(5), c);
+        }
+        d.add_sharer(line(5), 0); // duplicate adds in overflow still count
+        assert_eq!(d.state(line(5)), DirState::Shared(SharerSet::Overflow { count: 4 }));
+    }
+
+    #[test]
+    fn remove_from_overflow_decrements_and_clears() {
+        let mut d = Directory::new(1, 8);
+        d.add_sharer(line(6), 0);
+        d.add_sharer(line(6), 1);
+        assert!(matches!(d.state(line(6)), DirState::Shared(SharerSet::Overflow { count: 2 })));
+        d.remove(line(6), 0);
+        d.remove(line(6), 1);
+        assert_eq!(d.state(line(6)), DirState::Uncached);
+        // Still broadcast while any overflow count remains.
+        d.add_sharer(line(7), 0);
+        d.add_sharer(line(7), 1);
+        d.remove(line(7), 0);
+        assert_eq!(d.invalidation_targets(line(7), None), InvTargets::Broadcast);
+    }
+
+    #[test]
+    fn clear_drops_entry() {
+        let mut d = Directory::new(4, 16);
+        d.add_sharer(line(8), 0);
+        d.clear(line(8));
+        assert!(!d.is_cached(line(8)));
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn uncached_line_needs_no_invalidation() {
+        let d = Directory::new(4, 16);
+        assert_eq!(d.invalidation_targets(line(10), None), InvTargets::None);
+    }
+}

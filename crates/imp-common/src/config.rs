@@ -1,0 +1,339 @@
+//! System configuration (Table 1) and IMP configuration (Table 2).
+
+use crate::Cycle;
+
+/// Core microarchitecture model (Section 6.3.1 compares these).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CoreModel {
+    /// In-order, single-issue (the paper's default core, Table 1).
+    #[default]
+    InOrder,
+    /// Modest out-of-order core with a 32-entry reorder buffer, mimicking
+    /// a Silvermont-class many-core design (Section 6.3.1).
+    OutOfOrder,
+}
+
+/// Which hardware prefetcher is attached to each L1 data cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PrefetcherKind {
+    /// No prefetching at all.
+    None,
+    /// Stream prefetcher only (the paper's *Baseline*).
+    #[default]
+    Stream,
+    /// Stream prefetcher plus IMP (the paper's contribution).
+    Imp,
+    /// Stream prefetcher plus a Global History Buffer correlation
+    /// prefetcher (Section 5.4 comparison).
+    Ghb,
+}
+
+/// Execution mode of the memory subsystem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MemMode {
+    /// Full model: caches, coherence, NoC, DRAM (Baseline/IMP/etc.).
+    #[default]
+    Realistic,
+    /// *Perfect Prefetching*: every access hits in L1, but each would-be
+    /// miss still pushes a full line transfer through the NoC and DRAM;
+    /// a core may run at most `perfpref_lead` cycles ahead of its oldest
+    /// incomplete fetch. Finite-bandwidth upper bound for any prefetcher.
+    PerfectPrefetch,
+    /// *Ideal*: every access hits in L1 and generates no traffic.
+    Ideal,
+}
+
+/// Partial cacheline accessing mode (Section 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PartialMode {
+    /// Always move full cache lines.
+    #[default]
+    Off,
+    /// Partial lines between L1 and L2 (NoC) only; DRAM still moves
+    /// full lines.
+    NocOnly,
+    /// Partial lines in the NoC and 32-byte-granule accesses to DRAM.
+    NocAndDram,
+}
+
+/// DRAM timing model selection (Table 1 lists both).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DramModelKind {
+    /// Simple model: fixed 100 ns latency, 10 GB/s per memory controller.
+    /// The paper reports this is within 5% of DRAMSim and uses it for the
+    /// partial-accessing experiments.
+    #[default]
+    Simple,
+    /// Banked DDR3-like model (10-10-10-24, 8 banks per rank, 1 rank per
+    /// controller), standing in for DRAMSim.
+    Ddr3,
+}
+
+/// Cache geometry for one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Access latency in cycles (tag + data).
+    pub latency: Cycle,
+    /// Number of sectors per line when partial accessing is enabled
+    /// (1 means the cache is not sectored).
+    pub sectors: u32,
+    /// Number of MSHRs (outstanding misses, demand + prefetch).
+    pub mshrs: u32,
+}
+
+/// Memory-hierarchy configuration derived from Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemConfig {
+    /// Cache line size in bytes (64 in the paper).
+    pub line_bytes: u64,
+    /// Private L1 data cache (32 KB, 4-way).
+    pub l1d: CacheConfig,
+    /// Shared L2 slice per tile (2/sqrt(N) MB, 8-way).
+    pub l2_slice: CacheConfig,
+    /// ACKwise sharer-pointer count: broadcast when sharers exceed this.
+    pub ackwise_k: u32,
+    /// NoC hop latency in cycles (1 router + 1 link).
+    pub hop_latency: Cycle,
+    /// Flit width in bytes (64 bits).
+    pub flit_bytes: u64,
+    /// Number of memory controllers (sqrt(N), diamond placement).
+    pub mem_controllers: u32,
+    /// DRAM model.
+    pub dram: DramModelKind,
+    /// Simple-model DRAM latency in cycles (100 ns at 1 GHz).
+    pub dram_latency: Cycle,
+    /// Simple-model per-controller bandwidth in bytes per cycle
+    /// (10 GB/s at 1 GHz = 10 B/cycle).
+    pub dram_bytes_per_cycle: f64,
+    /// Minimum DRAM transfer granule in bytes (32 B, Section 4.1).
+    pub dram_granule: u64,
+}
+
+/// IMP hardware parameters (Table 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImpConfig {
+    /// Prefetch Table entries (16).
+    pub pt_entries: usize,
+    /// Maximum indirect ways per primary pattern (2).
+    pub max_ways: usize,
+    /// Maximum indirect levels per way (2).
+    pub max_levels: usize,
+    /// Maximum indirect prefetch distance (16).
+    pub max_prefetch_distance: u32,
+    /// Indirect Pattern Detector entries (4).
+    pub ipd_entries: usize,
+    /// Candidate shift values. `2, 3, 4` are left shifts (coefficients
+    /// 4, 8, 16); `-3` is a right shift (coefficient 1/8 for bit vectors).
+    pub shifts: Vec<i8>,
+    /// BaseAddr array length per IPD entry (4): how many cache misses
+    /// after an index access are paired with it.
+    pub baseaddr_array_len: usize,
+    /// Saturating-counter threshold before indirect prefetching starts.
+    pub confidence_threshold: u32,
+    /// Maximum value of the confidence counter.
+    pub confidence_max: u32,
+    /// Stream-table stride confirmations required before the stream is
+    /// considered established (and stream prefetching begins).
+    pub stream_threshold: u32,
+    /// How many lines ahead the stream prefetcher runs once established.
+    pub stream_distance: u32,
+    /// Initial back-off (in index accesses) after a failed IPD detection;
+    /// doubles after each failure (Section 3.2.2).
+    pub detect_backoff_initial: u32,
+    /// Granularity Predictor: sampled cachelines per pattern (4).
+    pub gp_samples: usize,
+}
+
+impl ImpConfig {
+    /// The paper's default IMP configuration (Table 2).
+    pub fn paper_default() -> Self {
+        ImpConfig {
+            pt_entries: 16,
+            max_ways: 2,
+            max_levels: 2,
+            max_prefetch_distance: 16,
+            ipd_entries: 4,
+            shifts: vec![2, 3, 4, -3],
+            baseaddr_array_len: 4,
+            confidence_threshold: 2,
+            confidence_max: 8,
+            stream_threshold: 2,
+            stream_distance: 4,
+            detect_backoff_initial: 4,
+            gp_samples: 4,
+        }
+    }
+}
+
+impl Default for ImpConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Full system configuration (Table 1 plus run modes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores / tiles (16, 64 or 256 in the paper).
+    pub cores: u32,
+    /// Core model.
+    pub core_model: CoreModel,
+    /// Reorder-buffer entries for the out-of-order core (32).
+    pub rob_entries: u32,
+    /// Memory subsystem mode.
+    pub mem_mode: MemMode,
+    /// Prefetcher attached to each L1.
+    pub prefetcher: PrefetcherKind,
+    /// Partial cacheline accessing mode.
+    pub partial: PartialMode,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// IMP parameters.
+    pub imp: ImpConfig,
+    /// Lead (in cycles) for the PerfectPrefetch mode.
+    pub perfpref_lead: Cycle,
+}
+
+impl SystemConfig {
+    /// The paper's baseline system scaled to `cores` (Table 1 and the
+    /// scalability assumptions of Section 5.1): total L2 and total DRAM
+    /// bandwidth scale with sqrt(N).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not a positive perfect square (the mesh is
+    /// sqrt(N) x sqrt(N)).
+    pub fn paper_default(cores: u32) -> Self {
+        let side = (cores as f64).sqrt() as u32;
+        assert!(side * side == cores && cores > 0, "cores must be a perfect square");
+        // L2 slice: 2/sqrt(N) MB per tile.
+        let l2_slice_bytes = 2 * 1024 * 1024 / u64::from(side);
+        SystemConfig {
+            cores,
+            core_model: CoreModel::InOrder,
+            rob_entries: 32,
+            mem_mode: MemMode::Realistic,
+            prefetcher: PrefetcherKind::Stream,
+            partial: PartialMode::Off,
+            mem: MemConfig {
+                line_bytes: crate::LINE_BYTES,
+                l1d: CacheConfig {
+                    size_bytes: 32 * 1024,
+                    associativity: 4,
+                    latency: 1,
+                    sectors: crate::L1_SECTORS,
+                    mshrs: 64,
+                },
+                l2_slice: CacheConfig {
+                    size_bytes: l2_slice_bytes,
+                    associativity: 8,
+                    latency: 8,
+                    sectors: crate::L2_SECTORS,
+                    mshrs: 32,
+                },
+                ackwise_k: 4,
+                hop_latency: 2,
+                flit_bytes: 8,
+                mem_controllers: side,
+                dram: DramModelKind::Simple,
+                dram_latency: 100,
+                dram_bytes_per_cycle: 10.0,
+                dram_granule: 32,
+            },
+            imp: ImpConfig::paper_default(),
+            perfpref_lead: 4096,
+        }
+    }
+
+    /// Mesh side length (sqrt of the core count).
+    pub fn mesh_side(&self) -> u32 {
+        (self.cores as f64).sqrt() as u32
+    }
+
+    /// Convenience: returns a copy with the prefetcher replaced.
+    #[must_use]
+    pub fn with_prefetcher(mut self, p: PrefetcherKind) -> Self {
+        self.prefetcher = p;
+        self
+    }
+
+    /// Convenience: returns a copy with the partial-accessing mode replaced.
+    #[must_use]
+    pub fn with_partial(mut self, p: PartialMode) -> Self {
+        self.partial = p;
+        self
+    }
+
+    /// Convenience: returns a copy with the memory mode replaced.
+    #[must_use]
+    pub fn with_mem_mode(mut self, m: MemMode) -> Self {
+        self.mem_mode = m;
+        self
+    }
+
+    /// Convenience: returns a copy with the core model replaced.
+    #[must_use]
+    pub fn with_core_model(mut self, m: CoreModel) -> Self {
+        self.core_model = m;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_scaling_assumptions() {
+        // Total L2 = 2 * sqrt(N) MB; MCs = sqrt(N).
+        for (n, total_l2_mb, mcs) in [(16u32, 8u64, 4u32), (64, 16, 8), (256, 32, 16)] {
+            let c = SystemConfig::paper_default(n);
+            let total = c.mem.l2_slice.size_bytes * u64::from(n);
+            assert_eq!(total, total_l2_mb * 1024 * 1024, "N={n}");
+            assert_eq!(c.mem.mem_controllers, mcs, "N={n}");
+        }
+    }
+
+    #[test]
+    fn table1_fixed_parameters() {
+        let c = SystemConfig::paper_default(64);
+        assert_eq!(c.mem.line_bytes, 64);
+        assert_eq!(c.mem.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.mem.l1d.associativity, 4);
+        assert_eq!(c.mem.l2_slice.associativity, 8);
+        assert_eq!(c.mem.hop_latency, 2);
+        assert_eq!(c.mem.flit_bytes, 8);
+        assert_eq!(c.mem.ackwise_k, 4);
+        assert_eq!(c.mem.dram_latency, 100);
+        assert!((c.mem.dram_bytes_per_cycle - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_imp_parameters() {
+        let i = ImpConfig::paper_default();
+        assert_eq!(i.pt_entries, 16);
+        assert_eq!(i.max_ways, 2);
+        assert_eq!(i.max_levels, 2);
+        assert_eq!(i.max_prefetch_distance, 16);
+        assert_eq!(i.ipd_entries, 4);
+        assert_eq!(i.shifts, vec![2, 3, 4, -3]);
+        assert_eq!(i.baseaddr_array_len, 4);
+        assert_eq!(i.gp_samples, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn non_square_core_count_rejected() {
+        let _ = SystemConfig::paper_default(48);
+    }
+}

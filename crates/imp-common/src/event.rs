@@ -1,0 +1,139 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events with equal timestamps are popped in insertion order, which makes
+//! whole-system simulations replay identically run to run.
+
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of events of type `E`.
+///
+/// # Example
+///
+/// ```
+/// use imp_common::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b"))); // FIFO among equal times
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    pub fn push(&mut self, time: Cycle, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(3, 30);
+        q.push(1, 10);
+        q.push(2, 20);
+        q.push(1, 11);
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![(1, 10), (1, 11), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn large_interleaving_is_stable() {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(i % 10, i);
+        }
+        let mut last: Option<(u64, u64)> = None;
+        while let Some((t, v)) = q.pop() {
+            if let Some((lt, lv)) = last {
+                // Within equal times, payloads must come out in insertion order.
+                if t == lt {
+                    assert!(v > lv);
+                }
+                assert!(t >= lt);
+            }
+            last = Some((t, v));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the foundation types.
+
+use imp_common::{Addr, LineAddr, SectorMask};
+use proptest::prelude::*;
+
+proptest! {
+    /// Touch masks always cover the accessed byte range (within the line).
+    #[test]
+    fn touch_mask_covers_access(addr in 0u64..1_000_000, size in 1u32..16) {
+        let a = Addr::new(addr);
+        let m = SectorMask::l1_touch(a, size);
+        prop_assert!(!m.is_empty());
+        // The first byte's sector must be set.
+        let first = (addr % 64) / 8;
+        prop_assert!(m.bits() & (1 << first) != 0);
+    }
+
+    /// Set algebra: (a - b) and (a & b) partition a.
+    #[test]
+    fn mask_set_algebra(a in 0u8..=255, b in 0u8..=255) {
+        let (a, b) = (SectorMask::from_bits(a), SectorMask::from_bits(b));
+        let minus = a.minus(b);
+        let inter = a.intersect(b);
+        prop_assert_eq!(minus.union(inter).bits(), a.bits());
+        prop_assert_eq!(minus.intersect(b).bits(), 0);
+        prop_assert!(a.union(b).contains(a));
+    }
+
+    /// min_consecutive_run is within [1, popcount] for non-empty masks.
+    #[test]
+    fn min_run_bounds(bits in 1u8..=255) {
+        let m = SectorMask::from_bits(bits);
+        let run = m.min_consecutive_run().unwrap();
+        prop_assert!(run >= 1);
+        prop_assert!(run <= m.count());
+    }
+
+    /// Line address round trip: every byte of a line maps back to it.
+    #[test]
+    fn line_roundtrip(addr in 0u64..1_000_000_000) {
+        let line = LineAddr::containing(Addr::new(addr));
+        prop_assert!(line.base().raw() <= addr);
+        prop_assert!(addr < line.base().raw() + 64);
+    }
+
+    /// Widening to L2 never loses coverage: any set L1 sector's half-line
+    /// is set in the L2 mask.
+    #[test]
+    fn widen_preserves_coverage(bits in 0u8..=255) {
+        let l1 = SectorMask::from_bits(bits);
+        let l2 = l1.widen_to_l2();
+        for s in 0..8u32 {
+            if bits & (1 << s) != 0 {
+                prop_assert!(l2.bits() & (1 << (s / 4)) != 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Core timing models: the paper's default in-order single-issue core and
+//! the modest out-of-order core (32-entry reorder buffer) of Section
+//! 6.3.1.
+//!
+//! Cores consume an [`imp_trace::Op`] stream and interact with the memory
+//! hierarchy through a [`MemPort`] implemented by the full-system
+//! simulator. A core runs in bounded episodes (to keep the global event
+//! order tight), returning a [`CoreBlock`] describing what it is waiting
+//! for.
+
+mod inorder;
+mod ooo;
+
+pub use inorder::InOrderCore;
+pub use ooo::OooCore;
+
+use imp_common::stats::CoreStats;
+use imp_common::{Addr, Cycle};
+use imp_trace::Op;
+
+/// Result of a demand access issued to the memory port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemResult {
+    /// The access completes at the returned cycle (an L1 hit — or any
+    /// access under the Ideal / PerfectPrefetch modes).
+    Hit(Cycle),
+    /// The access missed; the port will call
+    /// [`CoreEngine::mem_complete`] with this token when data arrives.
+    Miss(u64),
+    /// A store that missed but retires through the store buffer: the
+    /// core proceeds at the returned cycle while the line is fetched in
+    /// the background (counts as a miss for statistics).
+    StoreBuffered(Cycle),
+}
+
+/// The memory side presented to a core by the simulator.
+pub trait MemPort {
+    /// Issues a demand load/store. `op` must be a memory op.
+    fn access(&mut self, core: u32, op: &Op, now: Cycle) -> MemResult;
+
+    /// Issues a (non-binding, non-blocking) software prefetch.
+    fn sw_prefetch(&mut self, core: u32, addr: Addr, now: Cycle);
+}
+
+/// Why a core stopped running its episode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreBlock {
+    /// Nothing to wait for; resume at this cycle (compute progress or
+    /// episode budget exhausted).
+    UntilTime(Cycle),
+    /// Waiting for one or more outstanding memory accesses; the
+    /// simulator wakes the core after `mem_complete`.
+    OnMemory,
+    /// Reached a barrier; the simulator wakes the core when all cores
+    /// arrive.
+    AtBarrier,
+    /// The op stream is exhausted.
+    Done,
+}
+
+/// A core timing model.
+pub trait CoreEngine {
+    /// Runs from `now` until blocked; returns the blocking condition.
+    fn run(&mut self, now: Cycle, port: &mut dyn MemPort) -> CoreBlock;
+
+    /// Reports completion of the outstanding access `token` at `at`.
+    fn mem_complete(&mut self, token: u64, at: Cycle);
+
+    /// Execution statistics.
+    fn stats(&self) -> &CoreStats;
+
+    /// Finalizes statistics at program completion time.
+    fn finish(&mut self, at: Cycle);
+}
+
+/// Maximum cycles a core advances inside one episode before yielding to
+/// the event loop. Bounds the timing skew between cores (the reference
+/// Graphite simulator tolerates much larger lax-synchronization skew).
+pub const EPISODE_BUDGET: Cycle = 256;

@@ -1,0 +1,148 @@
+//! Shared simulation runner: builds a workload, configures the system
+//! for one of the paper's configurations, runs it, and caches results
+//! within a process (several figures reuse the same runs).
+
+use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
+use imp_common::{SystemConfig, SystemStats};
+use imp_sim::System;
+use imp_workloads::{by_name, Scale, WorkloadParams};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The paper's evaluated configurations (Section 5.4 plus Section 4/6.3
+/// variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Config {
+    /// All accesses hit in L1 (Section 5.4 *Ideal*).
+    Ideal,
+    /// Magic prefetcher under finite bandwidth (*Perfect Prefetching*).
+    PerfPref,
+    /// Stream prefetcher only (*Baseline*).
+    Base,
+    /// Stream + IMP.
+    Imp,
+    /// IMP + partial cacheline accessing in the NoC only.
+    ImpPartialNoc,
+    /// IMP + partial accessing in NoC and DRAM.
+    ImpPartialNocDram,
+    /// Baseline hardware + Mowry-style software prefetching.
+    SwPref,
+    /// Stream + GHB correlation prefetcher.
+    Ghb,
+    /// Baseline on the out-of-order core.
+    BaseOoo,
+    /// IMP on the out-of-order core.
+    ImpOoo,
+    /// IMP + partial accessing on the out-of-order core.
+    ImpPartialOoo,
+}
+
+/// Builds the [`SystemConfig`] for a paper configuration at `cores`.
+pub fn system_config(cores: u32, c: Config) -> SystemConfig {
+    let base = SystemConfig::paper_default(cores);
+    match c {
+        Config::Ideal => base.with_mem_mode(MemMode::Ideal),
+        Config::PerfPref => base.with_mem_mode(MemMode::PerfectPrefetch),
+        Config::Base | Config::SwPref => base,
+        Config::Imp => base.with_prefetcher(PrefetcherKind::Imp),
+        Config::ImpPartialNoc => base
+            .with_prefetcher(PrefetcherKind::Imp)
+            .with_partial(PartialMode::NocOnly),
+        Config::ImpPartialNocDram => base
+            .with_prefetcher(PrefetcherKind::Imp)
+            .with_partial(PartialMode::NocAndDram),
+        Config::Ghb => base.with_prefetcher(PrefetcherKind::Ghb),
+        Config::BaseOoo => base.with_core_model(CoreModel::OutOfOrder),
+        Config::ImpOoo => base
+            .with_prefetcher(PrefetcherKind::Imp)
+            .with_core_model(CoreModel::OutOfOrder),
+        Config::ImpPartialOoo => base
+            .with_prefetcher(PrefetcherKind::Imp)
+            .with_partial(PartialMode::NocAndDram)
+            .with_core_model(CoreModel::OutOfOrder),
+    }
+}
+
+/// Input scale from the `IMP_SCALE` environment variable.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("IMP_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("large") => Scale::Large,
+        _ => Scale::Small,
+    }
+}
+
+fn cache() -> &'static Mutex<HashMap<(String, u32, Config, u8), SystemStats>> {
+    static CACHE: std::sync::OnceLock<
+        Mutex<HashMap<(String, u32, Config, u8), SystemStats>>,
+    > = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn scale_tag(s: Scale) -> u8 {
+    match s {
+        Scale::Tiny => 0,
+        Scale::Small => 1,
+        Scale::Large => 2,
+    }
+}
+
+/// Runs `app` at `cores` under configuration `config` (cached per
+/// process, keyed by scale as well).
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown.
+pub fn run(app: &str, cores: u32, config: Config) -> SystemStats {
+    let scale = scale_from_env();
+    let key = (app.to_string(), cores, config, scale_tag(scale));
+    if let Some(hit) = cache().lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    let mut params = WorkloadParams::new(cores as usize, scale);
+    if config == Config::SwPref {
+        params = params.with_software_prefetch(16);
+    }
+    let w = by_name(app).unwrap_or_else(|| panic!("unknown workload {app}"));
+    let built = w.build(&params);
+    let stats = System::new(system_config(cores, config), built.program, built.mem).run();
+    cache().lock().unwrap().insert(key, stats.clone());
+    stats
+}
+
+/// Runs `app` under an explicit (possibly customized) system
+/// configuration; not cached.
+pub fn run_one(app: &str, cfg: SystemConfig) -> SystemStats {
+    let params = WorkloadParams::new(cfg.cores as usize, scale_from_env());
+    let w = by_name(app).unwrap_or_else(|| panic!("unknown workload {app}"));
+    let built = w.build(&params);
+    System::new(cfg, built.program, built.mem).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_map_to_expected_modes() {
+        assert_eq!(system_config(16, Config::Ideal).mem_mode, MemMode::Ideal);
+        assert_eq!(system_config(16, Config::Base).prefetcher, PrefetcherKind::Stream);
+        assert_eq!(system_config(16, Config::Imp).prefetcher, PrefetcherKind::Imp);
+        assert_eq!(
+            system_config(16, Config::ImpPartialNocDram).partial,
+            PartialMode::NocAndDram
+        );
+        assert_eq!(
+            system_config(16, Config::ImpOoo).core_model,
+            CoreModel::OutOfOrder
+        );
+    }
+
+    #[test]
+    fn run_caches_identical_requests() {
+        std::env::set_var("IMP_SCALE", "tiny");
+        let a = run("dense", 4, Config::Ideal);
+        let b = run("dense", 4, Config::Ideal);
+        assert_eq!(a.runtime, b.runtime);
+    }
+}

@@ -1,0 +1,102 @@
+//! Plain-text result tables mirroring the paper's figures.
+
+use std::fmt;
+
+/// A labelled table of f64 values with a title and column headers.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new<S: Into<String>>(title: String, headers: Vec<S>) -> Self {
+        Table {
+            title,
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the headers.
+    pub fn row(&mut self, label: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.headers.len(), "row width mismatch");
+        self.rows.push((label.to_string(), values));
+    }
+
+    /// Number of data rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Iterates `(label, values)` rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.rows.iter().map(|(l, v)| (l.as_str(), v.as_slice()))
+    }
+
+    /// Value at (row label, column header), if present.
+    pub fn get(&self, label: &str, header: &str) -> Option<f64> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        let (_, vals) = self.rows.iter().find(|(l, _)| l == label)?;
+        vals.get(col).copied()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        write!(f, "{:12}", "")?;
+        for h in &self.headers {
+            write!(f, " {h:>18}")?;
+        }
+        writeln!(f)?;
+        for (label, vals) in &self.rows {
+            write!(f, "{label:12}")?;
+            for v in vals {
+                if v.abs() >= 10_000.0 {
+                    write!(f, " {v:>18.0}")?;
+                } else {
+                    write!(f, " {v:>18.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_lookup() {
+        let mut t = Table::new("demo".into(), vec!["a", "b"]);
+        t.row("x", vec![1.0, 2.0]);
+        t.row("y", vec![3.0, 40000.0]);
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains('x'));
+        assert_eq!(t.get("y", "a"), Some(3.0));
+        assert_eq!(t.get("y", "nope"), None);
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = Table::new("bad".into(), vec!["a"]);
+        t.row("x", vec![1.0, 2.0]);
+    }
+}

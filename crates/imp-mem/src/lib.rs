@@ -1,0 +1,32 @@
+//! Functional memory for the IMP simulator.
+//!
+//! IMP prefetches `A[B[i + delta]]` by *reading the value* of `B[i + delta]`
+//! from memory (paper Section 3.1), so the simulator needs real data behind
+//! virtual addresses, not just an address trace. This crate provides:
+//!
+//! * [`FunctionalMemory`] — a sparse, page-backed byte store,
+//! * [`AddressSpace`] — a bump allocator handing out array placements in a
+//!   48-bit virtual address space,
+//! * [`ArrayRef`] — typed views that let workload generators write index
+//!   arrays (and read them back) at simulated addresses.
+//!
+//! # Example
+//!
+//! ```
+//! use imp_mem::{AddressSpace, FunctionalMemory};
+//!
+//! let mut space = AddressSpace::new();
+//! let mut mem = FunctionalMemory::new();
+//! let b = space.alloc_array::<u32>("B", 100);
+//! b.write(&mut mem, 5, 42);
+//! assert_eq!(b.read(&mem, 5), 42);
+//! assert_eq!(mem.read_u32(b.addr_of(5)), 42);
+//! ```
+
+mod memory;
+mod space;
+mod typed;
+
+pub use memory::FunctionalMemory;
+pub use space::{AddressSpace, Allocation};
+pub use typed::{ArrayRef, BitVecRef, MemScalar};

@@ -1,0 +1,170 @@
+//! Sparse page-backed functional memory.
+
+use imp_common::Addr;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// A sparse byte-addressable memory.
+///
+/// Reads from unmapped locations return zero: this mirrors a zero-filled
+/// fresh allocation and, importantly, makes speculative reads by the
+/// prefetcher (which may run past the end of an index array, Section 6.1.1
+/// of the paper) well-defined rather than a simulator fault.
+#[derive(Debug, Default)]
+pub struct FunctionalMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl FunctionalMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mapped 4 KB pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        let (page, off) = split(addr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes one byte, mapping the page on demand.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let (page, off) = split(addr);
+        self.page_mut(page)[off] = value;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` (little-endian layout).
+    pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.offset(i as i64));
+        }
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, buf: &[u8]) {
+        for (i, b) in buf.iter().enumerate() {
+            self.write_u8(addr.offset(i as i64), *b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: Addr) -> u16 {
+        let mut b = [0u8; 2];
+        self.read_bytes(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: Addr, v: u16) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Reads an unsigned little-endian integer of `size` bytes
+    /// (1, 2, 4 or 8), zero-extended to `u64`. This is the operation the
+    /// IMP hardware performs when it reads an index value at stream
+    /// granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn read_uint(&self, addr: Addr, size: u32) -> u64 {
+        match size {
+            1 => u64::from(self.read_u8(addr)),
+            2 => u64::from(self.read_u16(addr)),
+            4 => u64::from(self.read_u32(addr)),
+            8 => self.read_u64(addr),
+            _ => panic!("unsupported integer size {size}"),
+        }
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_BYTES] {
+        self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+    }
+}
+
+fn split(addr: Addr) -> (u64, usize) {
+    (addr.raw() >> PAGE_SHIFT, (addr.raw() & (PAGE_BYTES as u64 - 1)) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_are_zero() {
+        let m = FunctionalMemory::new();
+        assert_eq!(m.read_u64(Addr::new(0xdead_beef)), 0);
+        assert_eq!(m.read_u8(Addr::new(0)), 0);
+        assert_eq!(m.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_all_widths() {
+        let mut m = FunctionalMemory::new();
+        m.write_u8(Addr::new(10), 0xAB);
+        m.write_u16(Addr::new(20), 0xBEEF);
+        m.write_u32(Addr::new(30), 0xDEAD_BEEF);
+        m.write_u64(Addr::new(40), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u8(Addr::new(10)), 0xAB);
+        assert_eq!(m.read_u16(Addr::new(20)), 0xBEEF);
+        assert_eq!(m.read_u32(Addr::new(30)), 0xDEAD_BEEF);
+        assert_eq!(m.read_u64(Addr::new(40)), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn reads_span_page_boundaries() {
+        let mut m = FunctionalMemory::new();
+        let addr = Addr::new(PAGE_BYTES as u64 - 3);
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn read_uint_matches_width() {
+        let mut m = FunctionalMemory::new();
+        m.write_u64(Addr::new(0), u64::MAX);
+        assert_eq!(m.read_uint(Addr::new(0), 1), 0xFF);
+        assert_eq!(m.read_uint(Addr::new(0), 2), 0xFFFF);
+        assert_eq!(m.read_uint(Addr::new(0), 4), 0xFFFF_FFFF);
+        assert_eq!(m.read_uint(Addr::new(0), 8), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported integer size")]
+    fn read_uint_rejects_odd_sizes() {
+        let m = FunctionalMemory::new();
+        let _ = m.read_uint(Addr::new(0), 3);
+    }
+}

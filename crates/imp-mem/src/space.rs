@@ -1,0 +1,148 @@
+//! Virtual address-space layout for workload data structures.
+
+use crate::typed::{ArrayRef, BitVecRef, MemScalar};
+use imp_common::{Addr, LINE_BYTES};
+
+/// Description of one allocated region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    /// Human-readable name (for debugging and experiment dumps).
+    pub name: String,
+    /// First byte address.
+    pub base: Addr,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+impl Allocation {
+    /// One-past-the-end address.
+    pub fn end(&self) -> Addr {
+        self.base.offset(self.bytes as i64)
+    }
+
+    /// True if `a` falls inside this allocation.
+    pub fn contains(&self, a: Addr) -> bool {
+        a >= self.base && a < self.end()
+    }
+}
+
+/// A bump allocator for the simulated 48-bit virtual address space.
+///
+/// Allocations are cache-line aligned and separated by a guard gap of a few
+/// lines so that distinct arrays never share a cache line (which would
+/// muddy the ground-truth access classification) and so that a base address
+/// of one array cannot be mistaken for the tail of another by the Indirect
+/// Pattern Detector.
+#[derive(Debug)]
+pub struct AddressSpace {
+    next: u64,
+    allocations: Vec<Allocation>,
+}
+
+/// Arrays start above the zero page to keep `Addr(0)` trivially invalid.
+const BASE: u64 = 0x1_0000;
+/// Guard gap between allocations, in bytes.
+const GUARD: u64 = 4 * LINE_BYTES;
+const ADDR_LIMIT: u64 = 1 << 48;
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        AddressSpace { next: BASE, allocations: Vec::new() }
+    }
+
+    /// Allocates `bytes` bytes aligned to a cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the 48-bit address space is exhausted.
+    pub fn alloc(&mut self, name: &str, bytes: u64) -> Allocation {
+        let base = self.next;
+        let padded = (bytes.max(1) + LINE_BYTES - 1) / LINE_BYTES * LINE_BYTES;
+        assert!(base + padded + GUARD < ADDR_LIMIT, "48-bit address space exhausted");
+        self.next = base + padded + GUARD;
+        let a = Allocation { name: name.to_string(), base: Addr::new(base), bytes };
+        self.allocations.push(a.clone());
+        a
+    }
+
+    /// Allocates a typed array of `len` elements of `T`.
+    pub fn alloc_array<T: MemScalar>(&mut self, name: &str, len: u64) -> ArrayRef<T> {
+        let a = self.alloc(name, len * T::SIZE_BYTES as u64);
+        ArrayRef::new(a.base, len)
+    }
+
+    /// Allocates a bit vector of `bits` bits (rounded up to whole lines).
+    pub fn alloc_bitvec(&mut self, name: &str, bits: u64) -> BitVecRef {
+        let a = self.alloc(name, (bits + 7) / 8);
+        BitVecRef::new(a.base, bits)
+    }
+
+    /// All allocations made so far, in order.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+
+    /// Total bytes allocated (the working-set size, excluding guards).
+    pub fn total_bytes(&self) -> u64 {
+        self.allocations.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Finds the allocation containing `a`, if any.
+    pub fn find(&self, a: Addr) -> Option<&Allocation> {
+        self.allocations.iter().find(|al| al.contains(a))
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_line_aligned_and_disjoint() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 100);
+        let b = s.alloc("b", 1);
+        let c = s.alloc("c", 64);
+        for al in [&a, &b, &c] {
+            assert_eq!(al.base.raw() % LINE_BYTES, 0, "{}", al.name);
+        }
+        // Disjoint with at least the guard gap between them.
+        assert!(a.end().raw() + GUARD <= b.base.raw() + LINE_BYTES);
+        assert!(b.base.raw() >= a.base.raw() + 128 + GUARD);
+        assert!(c.base.raw() > b.end().raw());
+    }
+
+    #[test]
+    fn find_locates_containing_allocation() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("x", 256);
+        assert_eq!(s.find(a.base).map(|al| al.name.as_str()), Some("x"));
+        assert_eq!(s.find(a.base.offset(255)).map(|al| al.name.as_str()), Some("x"));
+        assert_eq!(s.find(a.base.offset(256)), None);
+        assert_eq!(s.find(Addr::new(0)), None);
+    }
+
+    #[test]
+    fn total_bytes_counts_payload_only() {
+        let mut s = AddressSpace::new();
+        s.alloc("a", 100);
+        s.alloc("b", 28);
+        assert_eq!(s.total_bytes(), 128);
+    }
+
+    #[test]
+    fn typed_array_layout() {
+        let mut s = AddressSpace::new();
+        let arr = s.alloc_array::<u32>("idx", 16);
+        assert_eq!(arr.addr_of(0), arr.base());
+        assert_eq!(arr.addr_of(1).raw(), arr.base().raw() + 4);
+        assert_eq!(arr.len(), 16);
+    }
+}

@@ -1,0 +1,46 @@
+//! Property tests: functional memory behaves like a giant byte array.
+
+use imp_mem::{AddressSpace, FunctionalMemory};
+use imp_common::Addr;
+use proptest::prelude::*;
+
+proptest! {
+    /// Independent writes read back independently (no aliasing).
+    #[test]
+    fn writes_do_not_alias(ops in proptest::collection::vec((0u64..1_000_000, any::<u64>()), 1..50)) {
+        let mut mem = FunctionalMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, v) in &ops {
+            let addr = addr * 8; // aligned, disjoint u64 cells
+            mem.write_u64(Addr::new(addr), *v);
+            model.insert(addr, *v);
+        }
+        for (addr, v) in model {
+            prop_assert_eq!(mem.read_u64(Addr::new(addr)), v);
+        }
+    }
+
+    /// Byte-level writes compose into the right integers.
+    #[test]
+    fn byte_writes_compose(base in 0u64..1_000_000, v in any::<u32>()) {
+        let mut mem = FunctionalMemory::new();
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            mem.write_u8(Addr::new(base + i as u64), *b);
+        }
+        prop_assert_eq!(mem.read_u32(Addr::new(base)), v);
+    }
+
+    /// Allocations never overlap, whatever the request sizes.
+    #[test]
+    fn allocations_disjoint(sizes in proptest::collection::vec(1u64..10_000, 1..30)) {
+        let mut space = AddressSpace::new();
+        let allocs: Vec<_> = sizes.iter().enumerate()
+            .map(|(i, &s)| space.alloc(&format!("a{i}"), s))
+            .collect();
+        for (i, a) in allocs.iter().enumerate() {
+            for b in allocs.iter().skip(i + 1) {
+                prop_assert!(a.end() <= b.base || b.end() <= a.base);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Property tests for the mesh NoC model.
+
+use imp_noc::{mc_tiles, Mesh};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arrival is never earlier than the zero-load bound, and traffic
+    /// accounting equals flits x hops.
+    #[test]
+    fn arrival_bounded_below(src in 0u32..64, dst in 0u32..64, bytes in 0u64..128, at in 0u64..10_000) {
+        let mut m = Mesh::new(8, 2, 8);
+        let hops = m.hops(src, dst);
+        let (arrival, fh) = m.send(src, dst, bytes, at);
+        if src == dst {
+            prop_assert_eq!(fh, 0);
+            prop_assert_eq!(arrival, at + 1);
+        } else {
+            let flits = m.flits_for(bytes);
+            prop_assert!(arrival >= at + u64::from(hops) * 2 + flits - 1);
+            prop_assert_eq!(fh, flits * u64::from(hops));
+        }
+    }
+
+    /// Under load, per-link FIFO order holds: a later send on the same
+    /// path never arrives before an earlier one.
+    #[test]
+    fn same_path_fifo(bytes in proptest::collection::vec(0u64..128, 2..20)) {
+        let mut m = Mesh::new(4, 2, 8);
+        let mut last = 0;
+        for b in bytes {
+            let (arrival, _) = m.send(0, 15, b, 0);
+            prop_assert!(arrival >= last);
+            last = arrival;
+        }
+    }
+
+    /// Memory-controller placement yields distinct tiles.
+    #[test]
+    fn mc_tiles_distinct(side in 2u32..17) {
+        let tiles = mc_tiles(side, side);
+        let mut sorted = tiles.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), tiles.len());
+        prop_assert!(tiles.iter().all(|&t| t < side * side));
+    }
+}

@@ -1,0 +1,245 @@
+//! Observation and request types shared by all prefetchers.
+
+use imp_common::{Addr, LineAddr, Pc, SectorMask};
+use std::collections::HashMap;
+
+/// One L1 access as observed by a prefetcher snooping the cache
+/// (Figure 3: IMP sees both the access stream and the miss stream).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Static instruction identifier of the access.
+    pub pc: Pc,
+    /// Demanded byte address.
+    pub addr: Addr,
+    /// Access size in bytes.
+    pub size: u32,
+    /// True for stores.
+    pub is_write: bool,
+    /// True if the access hit in the L1 (misses feed the IPD).
+    pub miss: bool,
+}
+
+impl Access {
+    /// A load that hit in the L1.
+    pub fn load_hit(pc: Pc, addr: Addr, size: u32) -> Self {
+        Access { pc, addr, size, is_write: false, miss: false }
+    }
+
+    /// A load that missed in the L1.
+    pub fn load_miss(pc: Pc, addr: Addr, size: u32) -> Self {
+        Access { pc, addr, size, is_write: false, miss: true }
+    }
+
+    /// A store (hit or miss per `miss`).
+    pub fn store(pc: Pc, addr: Addr, size: u32, miss: bool) -> Self {
+        Access { pc, addr, size, is_write: true, miss }
+    }
+}
+
+/// What kind of prefetch a request is (used for statistics and for
+/// multi-level chaining).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetchKind {
+    /// Stream (next-line) prefetch, possibly of an index array.
+    Stream,
+    /// Indirect prefetch generated from Eq. (2); `pt` is the Prefetch
+    /// Table entry that produced it.
+    Indirect {
+        /// Producing PT entry.
+        pt: usize,
+    },
+}
+
+/// A prefetch emitted toward the memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// The demanded byte address the prefetch anticipates.
+    pub addr: Addr,
+    /// Sectors of the line to fetch (full mask when partial cacheline
+    /// accessing is off).
+    pub sectors: SectorMask,
+    /// Fetch in Exclusive/Modified state (the pattern's accesses write).
+    pub exclusive: bool,
+    /// Origin of the request.
+    pub kind: PrefetchKind,
+}
+
+impl PrefetchRequest {
+    /// The target cache line.
+    pub fn line(&self) -> LineAddr {
+        LineAddr::containing(self.addr)
+    }
+}
+
+/// Where IMP reads index values from.
+///
+/// In hardware IMP reads `B[i + delta]` out of the cache once the stream
+/// prefetcher has brought the line in; `read_value` returns `None` when
+/// the value is not yet available, and the caller may retry after the
+/// corresponding line fill.
+pub trait IndexValueSource {
+    /// Reads a zero-extended little-endian unsigned value of `size`
+    /// bytes at `addr`, or `None` if the location's value is not
+    /// available to the prefetcher yet.
+    fn read_value(&mut self, addr: Addr, size: u32) -> Option<u64>;
+}
+
+/// A table-backed [`IndexValueSource`] for unit tests and examples.
+#[derive(Debug, Default)]
+pub struct MapValueSource {
+    values: HashMap<(u64, u32), u64>,
+}
+
+impl MapValueSource {
+    /// Creates an empty source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `value` as the `size`-byte integer at `addr`.
+    pub fn insert(&mut self, addr: Addr, size: u32, value: u64) {
+        self.values.insert((addr.raw(), size), value);
+    }
+}
+
+impl IndexValueSource for MapValueSource {
+    fn read_value(&mut self, addr: Addr, size: u32) -> Option<u64> {
+        self.values.get(&(addr.raw(), size)).copied()
+    }
+}
+
+/// Counters shared by all prefetcher implementations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrefetcherStats {
+    /// Stream prefetches emitted.
+    pub stream_prefetches: u64,
+    /// Indirect prefetches emitted.
+    pub indirect_prefetches: u64,
+    /// Indirect patterns detected by the IPD.
+    pub patterns_detected: u64,
+    /// IPD detections that failed (third index with no match).
+    pub detect_failures: u64,
+    /// Secondary (multi-way) patterns detected.
+    pub ways_detected: u64,
+    /// Secondary (multi-level) patterns detected.
+    pub levels_detected: u64,
+    /// Prefetches issued with a sub-line sector mask.
+    pub partial_prefetches: u64,
+    /// Index-value reads that failed because the index line was not yet
+    /// cache-resident (the prefetch was deferred).
+    pub value_unavailable: u64,
+    /// Deferred indirect prefetches dropped because the retry list was
+    /// full.
+    pub deferred_drops: u64,
+    /// Deferred indirect prefetches successfully retried after their
+    /// index line filled.
+    pub deferred_retries: u64,
+    /// Prefetches refused by a full MSHR file (set by the simulator).
+    pub mshr_drops: u64,
+    /// Diagnostic: index-stream accesses seen as continued+established.
+    pub dbg_continued: u64,
+    /// Diagnostic: of those, accesses whose own value was unreadable.
+    pub dbg_own_value_miss: u64,
+    /// Diagnostic: of those, accesses with an enabled indirect pattern.
+    pub dbg_enabled: u64,
+    /// Diagnostic: of those, accesses with prefetching active.
+    pub dbg_prefetching: u64,
+}
+
+/// The interface between an L1 cache and its attached prefetcher.
+pub trait L1Prefetcher {
+    /// Observes one demand access (hit or miss); returns prefetches to
+    /// issue.
+    fn on_access(
+        &mut self,
+        access: Access,
+        values: &mut dyn IndexValueSource,
+    ) -> Vec<PrefetchRequest>;
+
+    /// Notifies that a previously issued prefetch has filled the L1.
+    /// May return follow-on prefetches (multi-level indirection).
+    fn on_prefetch_fill(
+        &mut self,
+        request: PrefetchRequest,
+        values: &mut dyn IndexValueSource,
+    ) -> Vec<PrefetchRequest> {
+        let _ = (request, values);
+        Vec::new()
+    }
+
+    /// Notifies that the L1 evicted `line` (feeds the Granularity
+    /// Predictor's sampling).
+    fn on_eviction(&mut self, line: LineAddr) {
+        let _ = line;
+    }
+
+    /// Observes a demand access for granularity sampling (which sectors
+    /// of `line` the demand touched).
+    fn on_demand_touch(&mut self, line: LineAddr, sectors: SectorMask) {
+        let _ = (line, sectors);
+    }
+
+    /// Statistics snapshot.
+    fn stats(&self) -> &PrefetcherStats;
+}
+
+/// A prefetcher that never prefetches.
+#[derive(Debug, Default)]
+pub struct NullPrefetcher {
+    stats: PrefetcherStats,
+}
+
+impl NullPrefetcher {
+    /// Creates the null prefetcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl L1Prefetcher for NullPrefetcher {
+    fn on_access(
+        &mut self,
+        _access: Access,
+        _values: &mut dyn IndexValueSource,
+    ) -> Vec<PrefetchRequest> {
+        Vec::new()
+    }
+
+    fn stats(&self) -> &PrefetcherStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_source_roundtrip() {
+        let mut s = MapValueSource::new();
+        s.insert(Addr::new(0x10), 4, 99);
+        assert_eq!(s.read_value(Addr::new(0x10), 4), Some(99));
+        assert_eq!(s.read_value(Addr::new(0x10), 8), None);
+        assert_eq!(s.read_value(Addr::new(0x14), 4), None);
+    }
+
+    #[test]
+    fn null_prefetcher_is_silent() {
+        let mut p = NullPrefetcher::new();
+        let mut s = MapValueSource::new();
+        let reqs = p.on_access(Access::load_miss(Pc::new(1), Addr::new(64), 8), &mut s);
+        assert!(reqs.is_empty());
+        assert_eq!(p.stats().stream_prefetches, 0);
+    }
+
+    #[test]
+    fn request_line_is_derived_from_addr() {
+        let r = PrefetchRequest {
+            addr: Addr::new(0x1238),
+            sectors: SectorMask::FULL_L1,
+            exclusive: false,
+            kind: PrefetchKind::Stream,
+        };
+        assert_eq!(r.line(), LineAddr::containing(Addr::new(0x1200)));
+    }
+}

@@ -1,0 +1,252 @@
+//! The Granularity Predictor (GP) for partial cacheline accessing
+//! (Section 4.2, Figure 8, Algorithm 1).
+//!
+//! For each indirect pattern the GP samples a few prefetched lines,
+//! records which sectors demand accesses actually touch, and on eviction
+//! updates `min_granu` (smallest run of consecutive touched sectors) and
+//! `tot_sector` (total touched sectors). After `N` sampled evictions it
+//! runs Algorithm 1 to decide between full-line and `min_granu`-sector
+//! prefetches, accounting for per-request header overhead.
+
+use imp_common::{LineAddr, SectorMask, SplitMix64, L1_SECTORS};
+
+/// Decision produced by Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GpDecision {
+    /// Fetch entire cache lines.
+    FullLine,
+    /// Fetch `sectors` consecutive L1 sectors around the predicted word.
+    Partial {
+        /// Granule size in sectors (1..8).
+        sectors: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Sample {
+    line: LineAddr,
+    touched: SectorMask,
+}
+
+#[derive(Clone, Debug)]
+struct GpEntry {
+    /// Current predicted granularity in sectors (8 = full line).
+    granu: u32,
+    /// Smallest observed run of consecutive touched sectors.
+    min_granu: u32,
+    /// Total sectors touched over the current sampling window.
+    tot_sector: u32,
+    /// Sampled lines evicted so far in this window.
+    evict: u32,
+    samples: Vec<Sample>,
+}
+
+impl GpEntry {
+    fn new() -> Self {
+        GpEntry {
+            granu: L1_SECTORS,
+            min_granu: L1_SECTORS,
+            tot_sector: 0,
+            evict: 0,
+            samples: Vec::new(),
+        }
+    }
+}
+
+/// The Granularity Predictor: one entry per Prefetch Table entry.
+#[derive(Debug)]
+pub struct Gp {
+    entries: Vec<GpEntry>,
+    samples_per_entry: usize,
+    rng: SplitMix64,
+}
+
+impl Gp {
+    /// Creates a GP aligned with a PT of `pt_entries` entries, sampling
+    /// `samples_per_entry` prefetched lines per window (Table 2: 4).
+    pub fn new(pt_entries: usize, samples_per_entry: usize, seed: u64) -> Self {
+        Gp {
+            entries: (0..pt_entries).map(|_| GpEntry::new()).collect(),
+            samples_per_entry,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Resets the entry when a new pattern is installed in PT slot `pt`
+    /// (initial granularity is a full cache line, Section 4.2).
+    pub fn reset_entry(&mut self, pt: usize) {
+        self.entries[pt] = GpEntry::new();
+    }
+
+    /// Current decision for PT entry `pt`.
+    pub fn decision(&self, pt: usize) -> GpDecision {
+        let g = self.entries[pt].granu;
+        if g >= L1_SECTORS {
+            GpDecision::FullLine
+        } else {
+            GpDecision::Partial { sectors: g }
+        }
+    }
+
+    /// Called when IMP issues an indirect prefetch for `line` from PT
+    /// entry `pt`; randomly selects up to `N` lines to track.
+    pub fn on_indirect_prefetch(&mut self, pt: usize, line: LineAddr) {
+        let cap = self.samples_per_entry;
+        let e = &mut self.entries[pt];
+        if e.samples.len() >= cap || e.samples.iter().any(|s| s.line == line) {
+            return;
+        }
+        // Sample roughly one in four prefetches so tracked lines spread
+        // over the pattern instead of clustering at the start.
+        if self.rng.chance(0.25) {
+            e.samples.push(Sample { line, touched: SectorMask::EMPTY });
+        }
+    }
+
+    /// Called on every demand access: if any entry tracks `line`, its
+    /// touch bit vector accumulates the accessed sectors.
+    pub fn on_demand_touch(&mut self, line: LineAddr, sectors: SectorMask) {
+        for e in &mut self.entries {
+            for s in &mut e.samples {
+                if s.line == line {
+                    s.touched = s.touched.union(sectors);
+                }
+            }
+        }
+    }
+
+    /// Called when the L1 evicts `line`; runs Algorithm 1 once a window
+    /// of `N` sampled evictions completes.
+    pub fn on_eviction(&mut self, line: LineAddr) {
+        let n = self.samples_per_entry as u32;
+        for e in &mut self.entries {
+            let Some(pos) = e.samples.iter().position(|s| s.line == line) else {
+                continue;
+            };
+            let s = e.samples.swap_remove(pos);
+            e.evict += 1;
+            e.tot_sector += s.touched.count();
+            if let Some(run) = s.touched.min_consecutive_run() {
+                e.min_granu = e.min_granu.min(run);
+            }
+            if e.evict >= n {
+                e.granu = algorithm1(n, e.tot_sector, e.min_granu);
+                e.evict = 0;
+                e.tot_sector = 0;
+                e.min_granu = L1_SECTORS;
+            }
+        }
+    }
+}
+
+/// Algorithm 1 of the paper. Returns the new granularity in sectors.
+///
+/// `cost_full` counts one header plus all sectors for each of the `n`
+/// lines; `cost_partial` counts the touched sectors plus one header per
+/// `min_granu`-sized partial request.
+fn algorithm1(n: u32, tot_sector: u32, min_granu: u32) -> u32 {
+    let cost_full = n * (L1_SECTORS + 1);
+    let min_granu = min_granu.max(1);
+    let cost_partial = tot_sector + tot_sector / min_granu;
+    if cost_full <= cost_partial {
+        L1_SECTORS
+    } else {
+        min_granu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    /// Drives one full sampling window for entry 0 where every tracked
+    /// line gets `touched` demand sectors, and returns the decision.
+    fn run_window(gp: &mut Gp, touched: SectorMask) -> GpDecision {
+        let mut n = 0u64;
+        // Keep prefetching until 4 samples have been evicted.
+        while n < 10_000 {
+            n += 1;
+            gp.on_indirect_prefetch(0, line(n));
+            gp.on_demand_touch(line(n), touched);
+            gp.on_eviction(line(n));
+            if let GpDecision::Partial { .. } = gp.decision(0) {
+                break;
+            }
+            // A full-line decision may also be final; detect window end by
+            // continuing — tests below bound the loop.
+        }
+        gp.decision(0)
+    }
+
+    #[test]
+    fn sparse_touch_chooses_one_sector() {
+        let mut gp = Gp::new(16, 4, 1);
+        // Each line only ever sees one 8-byte sector touched: indirect
+        // accesses with no spatial locality. Algorithm 1: costFull =
+        // 4*9=36, costPartial = 4 + 4/1 = 8 -> partial with granu 1.
+        let d = run_window(&mut gp, SectorMask::from_bits(0b0000_1000));
+        assert_eq!(d, GpDecision::Partial { sectors: 1 });
+    }
+
+    #[test]
+    fn dense_touch_keeps_full_line() {
+        let mut gp = Gp::new(16, 4, 1);
+        // Every sector touched: costFull = 36 <= costPartial = 32 + 32/8
+        // = 36 -> full line.
+        let mut n = 0u64;
+        for _ in 0..10_000 {
+            n += 1;
+            gp.on_indirect_prefetch(0, line(n));
+            gp.on_demand_touch(line(n), SectorMask::FULL_L1);
+            gp.on_eviction(line(n));
+        }
+        assert_eq!(gp.decision(0), GpDecision::FullLine);
+    }
+
+    #[test]
+    fn algorithm1_boundary_cases() {
+        // Paper example numbers: n=4, 8 sectors/line.
+        assert_eq!(algorithm1(4, 4, 1), 1); // 4 singles: 8 < 36
+        assert_eq!(algorithm1(4, 32, 8), L1_SECTORS); // all touched: 36 <= 36
+        assert_eq!(algorithm1(4, 16, 2), 2); // half touched in pairs: 24 < 36
+        // Degenerate zero-touch window: partial wins with cost 0.
+        assert_eq!(algorithm1(4, 0, 8), 8);
+    }
+
+    #[test]
+    fn initial_decision_is_full_line() {
+        let gp = Gp::new(16, 4, 1);
+        assert_eq!(gp.decision(0), GpDecision::FullLine);
+        assert_eq!(gp.decision(15), GpDecision::FullLine);
+    }
+
+    #[test]
+    fn reset_entry_restores_full_line() {
+        let mut gp = Gp::new(16, 4, 1);
+        let d = run_window(&mut gp, SectorMask::from_bits(1));
+        assert_ne!(d, GpDecision::FullLine);
+        gp.reset_entry(0);
+        assert_eq!(gp.decision(0), GpDecision::FullLine);
+    }
+
+    #[test]
+    fn untracked_lines_are_ignored() {
+        let mut gp = Gp::new(16, 4, 1);
+        // Touch/evict lines that were never prefetched: no effect.
+        gp.on_demand_touch(line(5), SectorMask::FULL_L1);
+        gp.on_eviction(line(5));
+        assert_eq!(gp.decision(0), GpDecision::FullLine);
+    }
+
+    #[test]
+    fn entries_are_independent() {
+        let mut gp = Gp::new(2, 4, 7);
+        let d0 = run_window(&mut gp, SectorMask::from_bits(1));
+        assert_eq!(d0, GpDecision::Partial { sectors: 1 });
+        assert_eq!(gp.decision(1), GpDecision::FullLine);
+    }
+}

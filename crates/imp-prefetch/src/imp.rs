@@ -1,0 +1,905 @@
+//! The Indirect Memory Prefetcher (Section 3), assembled from the
+//! Prefetch Table (stream + indirect halves), the Indirect Pattern
+//! Detector, the shift-based address generator and the Granularity
+//! Predictor.
+
+use crate::access::{
+    Access, IndexValueSource, L1Prefetcher, PrefetchKind, PrefetchRequest, PrefetcherStats,
+};
+use crate::gp::{Gp, GpDecision};
+use crate::ipd::{Detection, Ipd, IpdOutcome};
+use crate::stream::{shift_apply, StreamEvent, StreamTable};
+use imp_common::{Addr, ImpConfig, LineAddr, SectorMask};
+
+/// Role of an indirect pattern in a pattern tree (Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IndType {
+    /// The default `A[B[i]]` pattern rooted at an index stream.
+    #[default]
+    Primary,
+    /// A second data array indexed by the same index values
+    /// (`load A[B[i]]; load C[B[i]]`, Listing 2).
+    SecondWay,
+    /// A pattern whose index values are produced by the parent's
+    /// indirect accesses (`load A[B[C[i]]]`, Listing 3).
+    SecondLevel,
+}
+
+/// Detection sub-slot per PT entry, encoded into the IPD owner id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DetectKind {
+    Primary,
+    Way,
+    Level,
+}
+
+fn owner_of(slot: usize, kind: DetectKind) -> u32 {
+    (slot as u32) * 3
+        + match kind {
+            DetectKind::Primary => 0,
+            DetectKind::Way => 1,
+            DetectKind::Level => 2,
+        }
+}
+
+fn decode_owner(owner: u32) -> (usize, DetectKind) {
+    let slot = (owner / 3) as usize;
+    let kind = match owner % 3 {
+        0 => DetectKind::Primary,
+        1 => DetectKind::Way,
+        _ => DetectKind::Level,
+    };
+    (slot, kind)
+}
+
+/// The indirect half of one Prefetch Table entry (Figures 5 and 6).
+#[derive(Clone, Debug, Default)]
+struct IndirectPattern {
+    enabled: bool,
+    shift: i8,
+    base: u64,
+    /// Saturating confidence counter (`hit cnt` in Figure 5).
+    hit_cnt: u32,
+    /// Confidence threshold reached; prefetching is active.
+    prefetching: bool,
+    /// Current prefetch distance (ramps linearly to the max).
+    distance: u32,
+    /// Line expected to be accessed for the most recent index value.
+    pending_expected: Option<LineAddr>,
+    /// The pattern's demand accesses include writes: prefetch Exclusive.
+    writes: bool,
+    /// Role in the pattern tree.
+    ind_type: IndType,
+    /// Child pattern indexed by the same values (multi-way).
+    next_way: Option<usize>,
+    /// Child pattern indexed by this pattern's loaded values
+    /// (multi-level).
+    next_level: Option<usize>,
+    /// Parent pattern for secondary entries.
+    prev: Option<usize>,
+    /// How many ways/levels already hang off this entry.
+    ways: usize,
+    levels: usize,
+    /// Consecutive index accesses whose expected indirect address never
+    /// appeared. A long streak retires the pattern (e.g. PageRank's
+    /// rank-buffer swap changes BaseAddr between iterations).
+    miss_streak: u32,
+}
+
+/// Exponential back-off state for failed IPD detections (Section 3.2.2).
+#[derive(Clone, Debug)]
+struct Backoff {
+    /// Index accesses to skip before the next attempt.
+    wait: u32,
+    /// Next back-off period on failure.
+    next: u32,
+}
+
+impl Backoff {
+    fn new(initial: u32) -> Self {
+        Backoff { wait: 0, next: initial }
+    }
+
+    fn ready(&self) -> bool {
+        self.wait == 0
+    }
+
+    fn tick(&mut self) {
+        self.wait = self.wait.saturating_sub(1);
+    }
+
+    fn fail(&mut self) {
+        self.wait = self.next;
+        // Exponential back-off, capped so stable-but-sparse patterns
+        // (e.g. a mostly-cache-resident target array) are still
+        // eventually detected.
+        self.next = self.next.saturating_mul(2).min(4096);
+    }
+}
+
+/// An indirect prefetch whose index value was not yet readable; retried
+/// when the index line fills.
+#[derive(Clone, Copy, Debug)]
+struct Deferred {
+    slot: usize,
+    index_addr: Addr,
+    size: u32,
+}
+
+const MAX_DEFERRED: usize = 512;
+
+/// The full IMP prefetcher attached to one L1 data cache.
+#[derive(Debug)]
+pub struct Imp {
+    cfg: ImpConfig,
+    partial: bool,
+    table: StreamTable,
+    ind: Vec<IndirectPattern>,
+    backoff: Vec<Backoff>,
+    ipd: Ipd,
+    gp: Gp,
+    deferred: Vec<Deferred>,
+    stats: PrefetcherStats,
+}
+
+impl Imp {
+    /// Creates an IMP with the given configuration; `partial` enables the
+    /// Granularity Predictor for sub-line prefetches (Section 4).
+    pub fn new(cfg: ImpConfig, partial: bool, seed: u64) -> Self {
+        let pt = cfg.pt_entries;
+        Imp {
+            partial,
+            table: StreamTable::new(pt, cfg.stream_threshold, cfg.stream_distance),
+            ind: vec![IndirectPattern::default(); pt],
+            backoff: vec![Backoff::new(cfg.detect_backoff_initial); pt],
+            ipd: Ipd::new(cfg.ipd_entries, cfg.shifts.clone(), cfg.baseaddr_array_len),
+            gp: Gp::new(pt, cfg.gp_samples, seed),
+            deferred: Vec::new(),
+            stats: PrefetcherStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configured maximum prefetch distance (for harness reporting).
+    pub fn max_distance(&self) -> u32 {
+        self.cfg.max_prefetch_distance
+    }
+
+    /// Number of currently enabled indirect patterns.
+    pub fn enabled_patterns(&self) -> usize {
+        self.ind.iter().filter(|p| p.enabled).count()
+    }
+
+    /// The pattern parameters of PT slot `i`, if enabled:
+    /// `(shift, base, type)`.
+    pub fn pattern(&self, i: usize) -> Option<(i8, u64, IndType)> {
+        let p = &self.ind[i];
+        p.enabled.then_some((p.shift, p.base, p.ind_type))
+    }
+
+    fn reset_slot(&mut self, slot: usize) {
+        // Unlink children and any parent pointing here.
+        let (next_way, next_level) = (self.ind[slot].next_way, self.ind[slot].next_level);
+        for child in [next_way, next_level].into_iter().flatten() {
+            self.ind[child] = IndirectPattern::default();
+        }
+        for p in &mut self.ind {
+            if p.next_way == Some(slot) {
+                p.next_way = None;
+                p.ways = p.ways.saturating_sub(1);
+            }
+            if p.next_level == Some(slot) {
+                p.next_level = None;
+                p.levels = p.levels.saturating_sub(1);
+            }
+        }
+        self.ind[slot] = IndirectPattern::default();
+        self.backoff[slot] = Backoff::new(self.cfg.detect_backoff_initial);
+        for k in [DetectKind::Primary, DetectKind::Way, DetectKind::Level] {
+            self.ipd.release(owner_of(slot, k));
+        }
+        self.gp.reset_entry(slot);
+        self.deferred.retain(|d| d.slot != slot);
+    }
+
+    fn install(&mut self, det: Detection) {
+        let (slot, kind) = decode_owner(det.owner);
+        match kind {
+            DetectKind::Primary => {
+                let p = &mut self.ind[slot];
+                p.enabled = true;
+                p.shift = det.shift;
+                p.base = det.base;
+                p.hit_cnt = 0;
+                p.prefetching = false;
+                p.distance = 1;
+                p.pending_expected = None;
+                p.ind_type = IndType::Primary;
+                self.gp.reset_entry(slot);
+                self.stats.patterns_detected += 1;
+            }
+            DetectKind::Way | DetectKind::Level => {
+                // A secondary pattern never links to itself or its parent.
+                let protected = |i: usize| i == slot || self.ind[i].prev == Some(slot);
+                let Some(child) = self.table.alloc_detached(protected) else {
+                    return;
+                };
+                if child == slot {
+                    return;
+                }
+                self.reset_slot(child);
+                let p = &mut self.ind[child];
+                p.enabled = true;
+                p.shift = det.shift;
+                p.base = det.base;
+                p.prefetching = true; // confidence rides on the parent
+                p.distance = 1;
+                p.prev = Some(slot);
+                p.ind_type =
+                    if kind == DetectKind::Way { IndType::SecondWay } else { IndType::SecondLevel };
+                if kind == DetectKind::Way {
+                    self.ind[slot].next_way = Some(child);
+                    self.ind[slot].ways += 1;
+                    self.stats.ways_detected += 1;
+                } else {
+                    self.ind[slot].next_level = Some(child);
+                    self.ind[slot].levels += 1;
+                    self.stats.levels_detected += 1;
+                }
+                self.gp.reset_entry(child);
+                self.stats.patterns_detected += 1;
+            }
+        }
+    }
+
+    /// Element size (bytes) loaded by a pattern, derived from its
+    /// coefficient; used when reading a value for multi-level chaining.
+    fn value_read_size(shift: i8) -> u32 {
+        match shift {
+            2 => 4,
+            3 => 8,
+            s if s >= 4 => 8,
+            _ => 1, // bit-vector patterns load bytes
+        }
+    }
+
+    /// Builds the prefetch request(s) for `slot` given index value `v`:
+    /// the pattern's own target plus all second-way children (which share
+    /// the index value, Section 3.3.2).
+    fn requests_for_value(&mut self, slot: usize, v: u64) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        let mut cur = Some(slot);
+        while let Some(s) = cur {
+            let p = &self.ind[s];
+            if !p.enabled {
+                break;
+            }
+            let target = Addr::new(shift_apply(v, p.shift).wrapping_add(p.base));
+            let sectors = if self.partial {
+                match self.gp.decision(s) {
+                    GpDecision::FullLine => SectorMask::FULL_L1,
+                    GpDecision::Partial { sectors } => {
+                        SectorMask::l1_granule_around(target, sectors)
+                    }
+                }
+            } else {
+                SectorMask::FULL_L1
+            };
+            if sectors != SectorMask::FULL_L1 {
+                self.stats.partial_prefetches += 1;
+            }
+            out.push(PrefetchRequest {
+                addr: target,
+                sectors,
+                exclusive: p.writes,
+                kind: PrefetchKind::Indirect { pt: s },
+            });
+            self.stats.indirect_prefetches += 1;
+            self.gp.on_indirect_prefetch(s, LineAddr::containing(target));
+            self.table.touch(s);
+            cur = p.next_way;
+        }
+        out
+    }
+
+    /// Confidence bookkeeping: does `access` hit the expected indirect
+    /// address of any enabled pattern? Returns the first matching slot.
+    fn match_expected(&mut self, access: &Access) -> Option<usize> {
+        let line = LineAddr::containing(access.addr);
+        let mut matched = None;
+        for (i, p) in self.ind.iter_mut().enumerate() {
+            if p.enabled && p.pending_expected == Some(line) {
+                p.hit_cnt = (p.hit_cnt + 1).min(self.cfg.confidence_max);
+                p.pending_expected = None;
+                p.miss_streak = 0;
+                if access.is_write {
+                    p.writes = true;
+                }
+                if matched.is_none() {
+                    matched = Some(i);
+                }
+            }
+        }
+        matched
+    }
+
+    /// Retires a pattern whose expectations stopped matching, freeing
+    /// the slot for the IPD to re-learn (the stream half is preserved).
+    fn retire_pattern(&mut self, slot: usize) {
+        let (next_way, next_level) = (self.ind[slot].next_way, self.ind[slot].next_level);
+        for child in [next_way, next_level].into_iter().flatten() {
+            self.ind[child] = IndirectPattern::default();
+        }
+        self.ind[slot] = IndirectPattern::default();
+        self.backoff[slot] = Backoff::new(self.cfg.detect_backoff_initial);
+        for k in [DetectKind::Primary, DetectKind::Way, DetectKind::Level] {
+            self.ipd.release(owner_of(slot, k));
+        }
+        self.deferred.retain(|d| d.slot != slot);
+    }
+}
+
+impl L1Prefetcher for Imp {
+    fn on_access(
+        &mut self,
+        access: Access,
+        values: &mut dyn IndexValueSource,
+    ) -> Vec<PrefetchRequest> {
+        let mut reqs = Vec::new();
+
+        // 1. Check enabled patterns' expected indirect addresses
+        //    (confidence counting, Section 3.2.3) and remember whether
+        //    this access is explained by a known pattern.
+        let matched = self.match_expected(&access);
+
+        // 2. Multi-level detection: an access matching pattern `s` loads
+        //    a value that may index a deeper array (Listing 3). Feed it
+        //    to the level-detection sub-slot of `s`.
+        if let Some(s) = matched {
+            let can_detect_level = {
+                let p = &self.ind[s];
+                p.prefetching
+                    && p.levels < self.cfg.max_levels.saturating_sub(1)
+                    && p.next_level.is_none()
+            };
+            if can_detect_level {
+                let owner = owner_of(s, DetectKind::Level);
+                let size = Self::value_read_size(self.ind[s].shift);
+                if let Some(v2) = values.read_value(access.addr, size) {
+                    if self.ipd.has_entry(owner) {
+                        if self.ipd.on_index_access(owner, v2) == IpdOutcome::Failed {
+                            self.stats.detect_failures += 1;
+                            self.backoff[s].fail();
+                        }
+                    } else if self.backoff[s].ready() {
+                        self.ipd.try_allocate(owner, v2);
+                    } else {
+                        self.backoff[s].tick();
+                    }
+                }
+            }
+        }
+
+        // 3. Stream table observation for this PC.
+        let (slot, event, stream_lines) = self.table.observe(access.pc, access.addr, access.size);
+        if event == StreamEvent::Allocated {
+            self.reset_slot(slot);
+        }
+        self.stats.stream_prefetches += stream_lines.len() as u64;
+        reqs.extend(stream_lines.into_iter().map(|l| PrefetchRequest {
+            addr: l.base(),
+            sectors: SectorMask::FULL_L1,
+            exclusive: false,
+            kind: PrefetchKind::Stream,
+        }));
+
+        // 4. Index-stream work: detection or prefetching.
+        let established = self.table.entry(slot).established(self.cfg.stream_threshold);
+        if established && event == StreamEvent::Continued {
+            self.stats.dbg_continued += 1;
+            if values.read_value(access.addr, access.size).is_none() {
+                self.stats.dbg_own_value_miss += 1;
+            }
+            if self.ind[slot].enabled {
+                self.stats.dbg_enabled += 1;
+                if self.ind[slot].prefetching {
+                    self.stats.dbg_prefetching += 1;
+                }
+            }
+            if let Some(value) = values.read_value(access.addr, access.size) {
+                if !self.ind[slot].enabled {
+                    // Primary pattern detection via the IPD.
+                    let owner = owner_of(slot, DetectKind::Primary);
+                    if self.ipd.has_entry(owner) {
+                        if self.ipd.on_index_access(owner, value) == IpdOutcome::Failed {
+                            self.stats.detect_failures += 1;
+                            self.backoff[slot].fail();
+                        }
+                    } else if self.backoff[slot].ready() {
+                        self.ipd.try_allocate(owner, value);
+                    } else {
+                        self.backoff[slot].tick();
+                    }
+                } else {
+                    // Confidence: a still-pending expectation means the
+                    // previous index value never saw its indirect access.
+                    let threshold = self.cfg.confidence_threshold;
+                    let retired = {
+                        let p = &mut self.ind[slot];
+                        if p.pending_expected.is_some() {
+                            p.hit_cnt = p.hit_cnt.saturating_sub(1);
+                            p.miss_streak += 1;
+                        }
+                        if p.miss_streak >= 8 {
+                            true
+                        } else {
+                            let expected =
+                                Addr::new(shift_apply(value, p.shift).wrapping_add(p.base));
+                            p.pending_expected = Some(LineAddr::containing(expected));
+                            if p.hit_cnt >= threshold {
+                                p.prefetching = true;
+                            }
+                            false
+                        }
+                    };
+                    if retired {
+                        // The pattern no longer describes reality (e.g.
+                        // the data array was swapped): retire it and let
+                        // the IPD find the new parameters.
+                        self.retire_pattern(slot);
+                        if access.miss {
+                            if let Some(det) = self.ipd.on_miss(access.addr) {
+                                self.install(det);
+                            }
+                        }
+                        return reqs;
+                    }
+
+                    // Multi-way detection: look for a second array driven
+                    // by this same index stream.
+                    let can_detect_way = {
+                        let p = &self.ind[slot];
+                        p.prefetching
+                            && p.ways < self.cfg.max_ways.saturating_sub(1)
+                            && p.next_way.is_none()
+                    };
+                    if can_detect_way {
+                        let owner = owner_of(slot, DetectKind::Way);
+                        if self.ipd.has_entry(owner) {
+                            if self.ipd.on_index_access(owner, value) == IpdOutcome::Failed {
+                                self.stats.detect_failures += 1;
+                                self.backoff[slot].fail();
+                            }
+                        } else if self.backoff[slot].ready() {
+                            self.ipd.try_allocate(owner, value);
+                        }
+                    }
+
+                    // Indirect prefetching at the current distance.
+                    if self.ind[slot].prefetching {
+                        let p = &mut self.ind[slot];
+                        p.distance = (p.distance + 1).min(self.cfg.max_prefetch_distance);
+                        let delta = p.distance;
+                        let idx_addr = self.table.lookahead_addr(slot, delta);
+                        match values.read_value(idx_addr, access.size) {
+                            Some(v) => reqs.extend(self.requests_for_value(slot, v)),
+                            None => {
+                                // Index line not in cache yet: prefetch it
+                                // and retry when it fills (Section 3.1's
+                                // two-step read of B[i + delta]).
+                                self.stats.value_unavailable += 1;
+                                reqs.push(PrefetchRequest {
+                                    addr: idx_addr,
+                                    sectors: SectorMask::FULL_L1,
+                                    exclusive: false,
+                                    kind: PrefetchKind::Stream,
+                                });
+                                self.stats.stream_prefetches += 1;
+                                if self.deferred.len() < MAX_DEFERRED {
+                                    self.deferred.push(Deferred {
+                                        slot,
+                                        index_addr: idx_addr,
+                                        size: access.size,
+                                    });
+                                } else {
+                                    self.stats.deferred_drops += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Misses not explained by an enabled pattern feed the IPD.
+        if access.miss && matched.is_none() {
+            if let Some(det) = self.ipd.on_miss(access.addr) {
+                self.install(det);
+            }
+        }
+
+        reqs
+    }
+
+    fn on_prefetch_fill(
+        &mut self,
+        request: PrefetchRequest,
+        values: &mut dyn IndexValueSource,
+    ) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        match request.kind {
+            PrefetchKind::Indirect { pt } => {
+                // Multi-level chaining: the filled value indexes the
+                // child array (issued only now that the parent returned,
+                // Section 3.3.2).
+                if pt < self.ind.len() {
+                    if let Some(l) = self.ind[pt].next_level {
+                        if self.ind[l].enabled {
+                            let size = Self::value_read_size(self.ind[pt].shift);
+                            if let Some(v2) = values.read_value(request.addr, size) {
+                                out.extend(self.requests_for_value(l, v2));
+                            }
+                        }
+                    }
+                }
+            }
+            PrefetchKind::Stream => {
+                // Retry deferred indirect prefetches whose index line
+                // just arrived.
+                let filled = request.line();
+                let ready: Vec<Deferred> = self
+                    .deferred
+                    .iter()
+                    .copied()
+                    .filter(|d| LineAddr::containing(d.index_addr) == filled)
+                    .collect();
+                self.deferred.retain(|d| LineAddr::containing(d.index_addr) != filled);
+                for d in ready {
+                    if self.ind[d.slot].enabled && self.ind[d.slot].prefetching {
+                        if let Some(v) = values.read_value(d.index_addr, d.size) {
+                            self.stats.deferred_retries += 1;
+                            out.extend(self.requests_for_value(d.slot, v));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn on_eviction(&mut self, line: LineAddr) {
+        self.gp.on_eviction(line);
+    }
+
+    fn on_demand_touch(&mut self, line: LineAddr, sectors: SectorMask) {
+        self.gp.on_demand_touch(line, sectors);
+    }
+
+    fn stats(&self) -> &PrefetcherStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::MapValueSource;
+    use imp_common::Pc;
+
+    /// Builds a value source for `B[i] = perm(i)` as u32 at `b_base`.
+    fn index_array(b_base: u64, values: &[u64]) -> MapValueSource {
+        let mut src = MapValueSource::new();
+        for (i, &v) in values.iter().enumerate() {
+            src.insert(Addr::new(b_base + 4 * i as u64), 4, v);
+        }
+        src
+    }
+
+    /// Drives `imp` through the canonical loop `load B[i]; load A[B[i]]`
+    /// with 8-byte elements of A, returning all emitted requests.
+    fn drive_a_of_b(
+        imp: &mut Imp,
+        src: &mut MapValueSource,
+        b_base: u64,
+        a_base: u64,
+        values: &[u64],
+        all_miss: bool,
+    ) -> Vec<PrefetchRequest> {
+        let mut reqs = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let b_addr = Addr::new(b_base + 4 * i as u64);
+            let a_addr = Addr::new(a_base + 8 * v);
+            reqs.extend(imp.on_access(
+                if all_miss {
+                    Access::load_miss(Pc::new(1), b_addr, 4)
+                } else {
+                    Access::load_hit(Pc::new(1), b_addr, 4)
+                },
+                src,
+            ));
+            reqs.extend(imp.on_access(Access::load_miss(Pc::new(2), a_addr, 8), src));
+        }
+        reqs
+    }
+
+    #[test]
+    fn detects_and_prefetches_primary_pattern() {
+        let values: Vec<u64> = (0..64).map(|i| (i * 37) % 1000).collect();
+        let b_base = 0x10000u64;
+        let a_base = 0x200000u64;
+        let mut src = index_array(b_base, &values);
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let reqs = drive_a_of_b(&mut imp, &mut src, b_base, a_base, &values, false);
+
+        assert_eq!(imp.stats().patterns_detected, 1);
+        let indirect: Vec<_> = reqs
+            .iter()
+            .filter(|r| matches!(r.kind, PrefetchKind::Indirect { .. }))
+            .collect();
+        assert!(!indirect.is_empty(), "indirect prefetches issued");
+        // Every indirect prefetch targets a legitimate future A[B[j]].
+        for r in &indirect {
+            let off = r.addr.raw() - a_base;
+            assert_eq!(off % 8, 0);
+            assert!(values.contains(&(off / 8)), "target {off:#x} is a real A[B[j]]");
+        }
+    }
+
+    #[test]
+    fn detected_parameters_match_planted_pattern() {
+        let values: Vec<u64> = (0..32).map(|i| (i * 13 + 5) % 500).collect();
+        let b_base = 0x40000u64;
+        let a_base = 0x900000u64;
+        let mut src = index_array(b_base, &values);
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        drive_a_of_b(&mut imp, &mut src, b_base, a_base, &values, false);
+        let found = (0..16).find_map(|i| imp.pattern(i)).expect("a pattern is enabled");
+        assert_eq!(found.0, 3, "shift 3 = 8-byte elements");
+        assert_eq!(found.1, a_base);
+        assert_eq!(found.2, IndType::Primary);
+    }
+
+    #[test]
+    fn prefetch_distance_ramps_to_max() {
+        let values: Vec<u64> = (0..200).map(|i| (i * 7) % 3000).collect();
+        let b_base = 0x10000u64;
+        let a_base = 0x500000u64;
+        let mut src = index_array(b_base, &values);
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let reqs = drive_a_of_b(&mut imp, &mut src, b_base, a_base, &values, false);
+        // Late in the run, prefetches must land max_distance ahead: the
+        // last indirect request corresponds to B[i + 16].
+        let last = reqs
+            .iter()
+            .rev()
+            .find(|r| matches!(r.kind, PrefetchKind::Indirect { .. }))
+            .expect("indirect prefetches");
+        let target_j = (last.addr.raw() - a_base) / 8;
+        let pos = values.iter().position(|&v| v == target_j).unwrap();
+        assert!(pos >= 199_usize.saturating_sub(1) || pos + 16 >= 199,
+            "last prefetch is far ahead (pos {pos})");
+    }
+
+    #[test]
+    fn no_pattern_no_indirect_prefetches() {
+        // Random unrelated loads: IMP must stay quiet (the SPLASH-2
+        // no-harm claim of Section 6.1).
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let mut src = MapValueSource::new();
+        let mut reqs = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = Addr::new(0x100000 + (x % 100_000) * 8);
+            src.insert(addr, 8, x);
+            reqs.extend(imp.on_access(Access::load_miss(Pc::new(9), addr, 8), &mut src));
+        }
+        assert_eq!(imp.stats().indirect_prefetches, 0);
+        assert_eq!(imp.stats().patterns_detected, 0);
+    }
+
+    #[test]
+    fn multiway_detection_links_second_array() {
+        // load A[B[i]]; load C[B[i]] — pagerank's pr/deg pair.
+        let values: Vec<u64> = (0..128).map(|i| (i * 29) % 2000).collect();
+        let b_base = 0x10000u64;
+        let a_base = 0x2_000_000u64;
+        let c_base = 0x4_000_000u64;
+        let mut src = index_array(b_base, &values);
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        for (i, &v) in values.iter().enumerate() {
+            let b_addr = Addr::new(b_base + 4 * i as u64);
+            imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
+            imp.on_access(
+                Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * v), 8),
+                &mut src,
+            );
+            imp.on_access(
+                Access::load_miss(Pc::new(3), Addr::new(c_base + 4 * v), 4),
+                &mut src,
+            );
+        }
+        assert!(imp.stats().ways_detected >= 1, "second way detected");
+        // Both bases appear among enabled patterns.
+        let bases: Vec<u64> = (0..16).filter_map(|i| imp.pattern(i)).map(|p| p.1).collect();
+        assert!(bases.contains(&a_base));
+        assert!(bases.contains(&c_base));
+    }
+
+    #[test]
+    fn multilevel_prefetch_chains_on_fill() {
+        // load A[B[C[i]]]: C stream, B = first-level array (u32),
+        // A = second-level data (f64). C's values must NOT be arithmetic,
+        // otherwise B[C[i]] is itself a stream and A would be captured as
+        // a primary pattern instead of a second level.
+        let c_base = 0x10000u64;
+        let b_base = 0x1_000_000u64;
+        let a_base = 0x8_000_000u64;
+        let c_vals: Vec<u64> =
+            (0..160u64).map(|i| (i.wrapping_mul(2654435761) >> 7) % 4000).collect();
+        let mut src = MapValueSource::new();
+        let b_of = |c: u64| (c.wrapping_mul(40503) >> 3) % 3000;
+        for (i, &c) in c_vals.iter().enumerate() {
+            src.insert(Addr::new(c_base + 4 * i as u64), 4, c);
+            src.insert(Addr::new(b_base + 4 * c), 4, b_of(c));
+        }
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let mut fills: Vec<PrefetchRequest> = Vec::new();
+        let mut chained = Vec::new();
+        for (i, &c) in c_vals.iter().enumerate() {
+            let mut reqs = Vec::new();
+            reqs.extend(imp.on_access(
+                Access::load_hit(Pc::new(1), Addr::new(c_base + 4 * i as u64), 4),
+                &mut src,
+            ));
+            reqs.extend(imp.on_access(
+                Access::load_miss(Pc::new(2), Addr::new(b_base + 4 * c), 4),
+                &mut src,
+            ));
+            reqs.extend(imp.on_access(
+                Access::load_miss(Pc::new(3), Addr::new(a_base + 8 * b_of(c)), 8),
+                &mut src,
+            ));
+            // Simulate fills completing promptly.
+            for r in reqs.drain(..) {
+                fills.push(r);
+            }
+            for f in fills.drain(..) {
+                chained.extend(imp.on_prefetch_fill(f, &mut src));
+            }
+        }
+        assert!(imp.stats().levels_detected >= 1, "second level detected");
+        assert!(
+            chained.iter().any(|r| r.addr.raw() >= a_base),
+            "chained prefetches into the level-2 array"
+        );
+    }
+
+    #[test]
+    fn deferred_prefetch_retries_after_index_line_fill() {
+        let values: Vec<u64> = (0..64).map(|i| (i * 23) % 900).collect();
+        let b_base = 0x10000u64;
+        let a_base = 0x300000u64;
+        // Only populate the first 32 index values: lookahead reads past
+        // them return None, forcing deferral.
+        let mut src = index_array(b_base, &values[..32]);
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let mut deferred_stream_req = None;
+        for (i, &v) in values[..32].iter().enumerate() {
+            let b_addr = Addr::new(b_base + 4 * i as u64);
+            let a_addr = Addr::new(a_base + 8 * v);
+            for r in imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src) {
+                if r.kind == PrefetchKind::Stream && r.addr.raw() >= b_base + 4 * 32 {
+                    deferred_stream_req = Some(r);
+                }
+            }
+            imp.on_access(Access::load_miss(Pc::new(2), a_addr, 8), &mut src);
+        }
+        let req = deferred_stream_req.expect("IMP prefetched the missing index line");
+        // Now the index values "arrive": populate and signal the fill.
+        for (i, &v) in values.iter().enumerate() {
+            src.insert(Addr::new(b_base + 4 * i as u64), 4, v);
+        }
+        let chained = imp.on_prefetch_fill(req, &mut src);
+        assert!(
+            chained.iter().any(|r| matches!(r.kind, PrefetchKind::Indirect { .. })),
+            "deferred indirect prefetch issued after the index line filled"
+        );
+    }
+
+    #[test]
+    fn write_pattern_prefetches_exclusive() {
+        // SymGS-style: the indirect accesses are stores.
+        let values: Vec<u64> = (0..64).map(|i| (i * 31) % 1200).collect();
+        let b_base = 0x20000u64;
+        let a_base = 0x600000u64;
+        let mut src = index_array(b_base, &values);
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let mut reqs = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let b_addr = Addr::new(b_base + 4 * i as u64);
+            let a_addr = Addr::new(a_base + 8 * v);
+            reqs.extend(imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src));
+            reqs.extend(imp.on_access(Access::store(Pc::new(2), a_addr, 8, true), &mut src));
+        }
+        let last_indirect = reqs
+            .iter()
+            .rev()
+            .find(|r| matches!(r.kind, PrefetchKind::Indirect { .. }))
+            .expect("indirect prefetches issued");
+        assert!(last_indirect.exclusive, "read/write predictor marks the pattern as writing");
+    }
+
+    #[test]
+    fn backoff_doubles_after_failures() {
+        // A stream whose "indirect" accesses never correlate: detection
+        // keeps failing, and attempts must become rarer.
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let mut src = MapValueSource::new();
+        let mut x = 99u64;
+        for i in 0..4096u64 {
+            let b_addr = Addr::new(0x10000 + 4 * i);
+            src.insert(b_addr, 4, i);
+            imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
+            // Random misses decorrelated from i.
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            imp.on_access(
+                Access::load_miss(Pc::new(2), Addr::new(0x40_000_000 + (x % (1 << 22))), 8),
+                &mut src,
+            );
+        }
+        let f = imp.stats().detect_failures;
+        assert!(f >= 2, "detection attempted and failed (failures = {f})");
+        // With exponential back-off, failures grow logarithmically, not
+        // linearly with the number of index accesses.
+        assert!(f <= 16, "back-off bounds detection attempts (failures = {f})");
+        assert_eq!(imp.stats().indirect_prefetches, 0);
+    }
+
+    #[test]
+    fn partial_mode_consults_granularity_predictor() {
+        let values: Vec<u64> = (0..512).map(|i| (i * 97) % 20_000).collect();
+        let b_base = 0x10000u64;
+        let a_base = 0x10_000_000u64;
+        let mut src = index_array(b_base, &values);
+        let mut imp = Imp::new(ImpConfig::paper_default(), true, 42);
+        for (i, &v) in values.iter().enumerate() {
+            let b_addr = Addr::new(b_base + 4 * i as u64);
+            let a_addr = Addr::new(a_base + 8 * v);
+            let reqs = imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
+            imp.on_access(Access::load_miss(Pc::new(2), a_addr, 8), &mut src);
+            // Feed the GP: every prefetched line gets exactly one sector
+            // touched, then evicted.
+            for r in reqs {
+                if let PrefetchKind::Indirect { .. } = r.kind {
+                    imp.on_demand_touch(r.line(), SectorMask::l1_touch(r.addr, 8));
+                    imp.on_eviction(r.line());
+                }
+            }
+        }
+        assert!(
+            imp.stats().partial_prefetches > 0,
+            "GP converged to sub-line prefetches: {:?}",
+            imp.stats()
+        );
+    }
+
+    #[test]
+    fn pt_replacement_clears_pattern_state() {
+        // Thrash the PT with more streams than entries; patterns must be
+        // reclaimed without leaving dangling links (Figure 14's PT-size
+        // sensitivity relies on this).
+        let mut cfg = ImpConfig::paper_default();
+        cfg.pt_entries = 4;
+        let mut imp = Imp::new(cfg, false, 1);
+        let mut src = MapValueSource::new();
+        for pc in 0..16u32 {
+            for i in 0..32u64 {
+                let addr = Addr::new(0x10000 + u64::from(pc) * 0x10000 + 4 * i);
+                src.insert(addr, 4, i);
+                imp.on_access(Access::load_hit(Pc::new(pc + 1), addr, 4), &mut src);
+            }
+        }
+        assert!(imp.enabled_patterns() <= 4);
+    }
+}

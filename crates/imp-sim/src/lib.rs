@@ -1,0 +1,284 @@
+//! Full-system simulator for the IMP reproduction.
+//!
+//! Models the paper's Table 1 system: N in-order (or modest OoO) cores on
+//! a sqrt(N) x sqrt(N) mesh, private L1D caches with attached prefetchers,
+//! a distributed shared L2 with an ACKwise-4 directory, sqrt(N) memory
+//! controllers in a diamond placement, and a fixed-latency or DDR3-like
+//! DRAM model. Supports the paper's execution modes: *Baseline* (stream
+//! prefetcher), *IMP* (with optional partial cacheline accessing), *GHB*,
+//! *Software Prefetching* (prefetch ops in the instruction stream),
+//! *Perfect Prefetching* and *Ideal*.
+//!
+//! # Example
+//!
+//! ```
+//! use imp_common::{SystemConfig, config::MemMode};
+//! use imp_mem::FunctionalMemory;
+//! use imp_sim::System;
+//! use imp_trace::{Op, Program};
+//!
+//! let mut cfg = SystemConfig::paper_default(16);
+//! cfg.mem_mode = MemMode::Ideal;
+//! let mut p = Program::new("noop", 16);
+//! for c in 0..16 {
+//!     p.core_mut(c).push(Op::compute(100));
+//! }
+//! let stats = System::new(cfg, p, FunctionalMemory::new()).run();
+//! assert!(stats.runtime >= 100);
+//! assert_eq!(stats.total_instructions(), 1600);
+//! ```
+
+mod msg;
+mod system;
+
+pub use system::System;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_common::config::{MemMode, PartialMode, PrefetcherKind};
+    use imp_common::stats::AccessClass;
+    use imp_common::{Pc, SystemConfig};
+    use imp_mem::{AddressSpace, FunctionalMemory};
+    use imp_trace::{Op, Program};
+
+    /// Builds a 16-core program where every core streams over a private
+    /// index array and performs `A[B[i]]` indirect loads.
+    fn indirect_program(
+        cores: usize,
+        n: u64,
+        sw_prefetch: bool,
+    ) -> (Program, FunctionalMemory, u64) {
+        let mut space = AddressSpace::new();
+        let mut mem = FunctionalMemory::new();
+        let mut p = Program::new("synthetic-indirect", cores);
+        // One shared data array, per-core index arrays.
+        let a = space.alloc_array::<f64>("A", 1 << 18);
+        for c in 0..cores {
+            let b = space.alloc_array::<u32>("B", n);
+            for i in 0..n {
+                let v = ((i * 2654435761 + c as u64 * 97) >> 6) % (1 << 18);
+                b.write(&mut mem, i, v as u32);
+            }
+            let ops = p.core_mut(c);
+            for i in 0..n {
+                if sw_prefetch && i + 16 < n {
+                    ops.push(Op::load(b.addr_of(i + 16), 4, Pc::new(3), AccessClass::Stream));
+                    ops.push(Op::compute(2));
+                    let v = {
+                        let idx = ((i + 16) * 2654435761 + c as u64 * 97) >> 6;
+                        idx % (1 << 18)
+                    };
+                    ops.push(Op::sw_prefetch(a.addr_of(v), Pc::new(4)));
+                }
+                ops.push(Op::load(b.addr_of(i), 4, Pc::new(1), AccessClass::Stream));
+                let v = ((i * 2654435761 + c as u64 * 97) >> 6) % (1 << 18);
+                ops.push(
+                    Op::load(a.addr_of(v), 8, Pc::new(2), AccessClass::Indirect).with_dep(1),
+                );
+                ops.push(Op::compute(2));
+            }
+        }
+        (p, mem, n)
+    }
+
+    fn run(cfg: SystemConfig, p: Program, mem: FunctionalMemory) -> imp_common::SystemStats {
+        System::new(cfg, p, mem).run()
+    }
+
+    #[test]
+    fn ideal_mode_is_pure_compute() {
+        let (p, mem, n) = indirect_program(16, 200, false);
+        let total = p.total_instructions();
+        let cfg = SystemConfig::paper_default(16).with_mem_mode(MemMode::Ideal);
+        let s = run(cfg, p, mem);
+        assert_eq!(s.total_instructions(), total);
+        // 4 instructions per iteration, all 1-cycle: runtime ~ 4n.
+        assert!(s.runtime >= 4 * n && s.runtime < 6 * n, "runtime {}", s.runtime);
+        assert_eq!(s.traffic.dram_bytes(), 0);
+        assert_eq!(s.traffic.noc_flit_hops, 0);
+    }
+
+    #[test]
+    fn baseline_stalls_on_indirect_misses() {
+        let (p, mem, _) = indirect_program(16, 400, false);
+        let cfg = SystemConfig::paper_default(16); // Baseline: stream pf
+        let s = run(cfg, p, mem);
+        let m = s.misses_by_class();
+        assert!(
+            m[AccessClass::Indirect.index()] > m[AccessClass::Stream.index()],
+            "indirect misses dominate: {m:?}"
+        );
+        // Indirect stalls dominate total stall time (Figure 2's shape).
+        let stalls: u64 = s.cores.iter().map(|c| c.stall_cycles[0]).sum();
+        let other: u64 = s.cores.iter().map(|c| c.stall_cycles[1] + c.stall_cycles[2]).sum();
+        assert!(stalls > other, "indirect {stalls} vs rest {other}");
+        assert!(s.traffic.dram_bytes() > 0);
+    }
+
+    #[test]
+    fn imp_beats_baseline_on_indirect_workload() {
+        let (p, mem, _) = indirect_program(16, 400, false);
+        let base = run(SystemConfig::paper_default(16), p, mem);
+
+        let (p2, mem2, _) = indirect_program(16, 400, false);
+        let cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
+        let imp = run(cfg, p2, mem2);
+
+        assert!(
+            imp.runtime < base.runtime,
+            "IMP {} vs Base {}",
+            imp.runtime,
+            base.runtime
+        );
+        let pf = imp.prefetch_total();
+        assert!(pf.issued_indirect > 0, "indirect prefetches issued: {pf:?}");
+        assert!(imp.coverage() > base.coverage());
+    }
+
+    #[test]
+    fn perfect_prefetch_bounds_imp() {
+        let (p, mem, _) = indirect_program(16, 400, false);
+        let cfg = SystemConfig::paper_default(16).with_mem_mode(MemMode::PerfectPrefetch);
+        let perf = run(cfg, p, mem);
+
+        let (p2, mem2, _) = indirect_program(16, 400, false);
+        let cfg2 = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
+        let imp = run(cfg2, p2, mem2);
+
+        let (p3, mem3, _) = indirect_program(16, 400, false);
+        let ideal = run(
+            SystemConfig::paper_default(16).with_mem_mode(MemMode::Ideal),
+            p3,
+            mem3,
+        );
+
+        assert!(ideal.runtime <= perf.runtime, "Ideal fastest");
+        assert!(
+            perf.runtime <= imp.runtime,
+            "PerfPref ({}) bounds IMP ({})",
+            perf.runtime,
+            imp.runtime
+        );
+        // PerfPref still moves data.
+        assert!(perf.traffic.dram_bytes() > 0);
+    }
+
+    #[test]
+    fn software_prefetch_helps_but_adds_instructions() {
+        let (p, mem, _) = indirect_program(16, 400, false);
+        let base = run(SystemConfig::paper_default(16), p, mem);
+
+        let (p2, mem2, _) = indirect_program(16, 400, true);
+        let extra = p2.total_instructions();
+        let sw = run(SystemConfig::paper_default(16), p2, mem2);
+
+        assert!(sw.runtime < base.runtime, "SW pref speeds up: {} vs {}", sw.runtime, base.runtime);
+        assert!(extra > base.total_instructions(), "instruction overhead");
+    }
+
+    #[test]
+    fn partial_mode_reduces_noc_traffic_with_imp() {
+        let (p, mem, _) = indirect_program(16, 400, false);
+        let cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
+        let full = run(cfg, p, mem);
+
+        let (p2, mem2, _) = indirect_program(16, 400, false);
+        let cfg2 = SystemConfig::paper_default(16)
+            .with_prefetcher(PrefetcherKind::Imp)
+            .with_partial(PartialMode::NocAndDram);
+        let part = run(cfg2, p2, mem2);
+
+        assert!(part.prefetch_total().partial_prefetches > 0, "partial prefetches issued");
+        assert!(
+            part.traffic.noc_flit_hops < full.traffic.noc_flit_hops,
+            "partial {} vs full {}",
+            part.traffic.noc_flit_hops,
+            full.traffic.noc_flit_hops
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (p, mem, _) = indirect_program(16, 200, false);
+        let cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
+        let a = run(cfg.clone(), p, mem);
+        let (p2, mem2, _) = indirect_program(16, 200, false);
+        let b = run(cfg, p2, mem2);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.misses_by_class(), b.misses_by_class());
+    }
+
+    #[test]
+    fn barriers_synchronize_cores() {
+        // Core 0 computes long, all others wait at the barrier; nobody
+        // passes until core 0 arrives.
+        let cores = 16;
+        let mut p = Program::new("barrier", cores);
+        p.core_mut(0).push(Op::compute(10_000));
+        for c in 0..cores {
+            p.core_mut(c).push(Op::barrier());
+            p.core_mut(c).push(Op::compute(10));
+        }
+        let cfg = SystemConfig::paper_default(16).with_mem_mode(MemMode::Ideal);
+        let s = run(cfg, p, FunctionalMemory::new());
+        for c in 0..cores {
+            assert!(
+                s.cores[c].done_cycle >= 10_000,
+                "core {c} finished at {} before the barrier released",
+                s.cores[c].done_cycle
+            );
+        }
+    }
+
+    #[test]
+    fn coherent_sharing_invalidates_readers() {
+        // All cores read one line, then core 0 writes it: ACKwise must
+        // broadcast (sharers > 4) and the write must complete.
+        let cores = 16;
+        let mut space = AddressSpace::new();
+        let mem = FunctionalMemory::new();
+        let x = space.alloc_array::<u64>("x", 8);
+        let mut p = Program::new("sharing", cores);
+        for c in 0..cores {
+            p.core_mut(c).push(Op::load(x.addr_of(0), 8, Pc::new(1), AccessClass::Other));
+        }
+        p.barrier();
+        p.core_mut(0).push(Op::store(x.addr_of(0), 8, Pc::new(2), AccessClass::Other));
+        let s = run(SystemConfig::paper_default(16), p, mem);
+        assert!(s.runtime > 0);
+        // The broadcast invalidation shows up as NoC messages well above
+        // the minimum for 17 accesses.
+        assert!(s.traffic.noc_messages > 40, "messages {}", s.traffic.noc_messages);
+    }
+
+    #[test]
+    fn ooo_core_model_runs_and_overlaps() {
+        let (p, mem, _) = indirect_program(16, 300, false);
+        let io = run(SystemConfig::paper_default(16), p, mem);
+
+        let (p2, mem2, _) = indirect_program(16, 300, false);
+        let cfg = SystemConfig::paper_default(16)
+            .with_core_model(imp_common::CoreModel::OutOfOrder);
+        let ooo = run(cfg, p2, mem2);
+        assert!(
+            ooo.runtime < io.runtime,
+            "OoO ({}) should beat in-order ({})",
+            ooo.runtime,
+            io.runtime
+        );
+    }
+
+    #[test]
+    fn ghb_does_not_help_fresh_indirect_streams() {
+        let (p, mem, _) = indirect_program(16, 300, false);
+        let base = run(SystemConfig::paper_default(16), p, mem);
+        let (p2, mem2, _) = indirect_program(16, 300, false);
+        let cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Ghb);
+        let ghb = run(cfg, p2, mem2);
+        // Within a few percent of baseline (the paper: "no benefits").
+        let ratio = ghb.runtime as f64 / base.runtime as f64;
+        assert!(ratio > 0.9, "GHB should not dramatically beat baseline: {ratio}");
+    }
+}

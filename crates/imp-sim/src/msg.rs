@@ -1,0 +1,55 @@
+//! Coherence / memory protocol messages carried by the NoC.
+
+use imp_common::{LineAddr, SectorMask};
+
+/// Message kinds of the simplified MSI + ACKwise protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Read request, L1 -> home L2 tile. Header-only.
+    GetS,
+    /// Write / upgrade request, L1 -> home. Header-only.
+    GetX,
+    /// Data (or upgrade grant) home -> requester. Payload = sectors.
+    Data,
+    /// Invalidate, home -> sharer. Header-only.
+    Inv,
+    /// Invalidation ack, sharer -> home. Header-only.
+    InvAck,
+    /// Home asks the Modified owner to downgrade (`invalidate = false`)
+    /// or relinquish (`invalidate = true`) the line. Header-only.
+    Fetch {
+        /// True for write requests (owner must invalidate).
+        invalidate: bool,
+    },
+    /// Owner's reply carrying the line back to home. Payload = line.
+    FetchResp,
+    /// Dirty L1 eviction writeback, L1 -> home. Payload = dirty sectors.
+    WbL1,
+    /// Home -> memory controller read. Header-only.
+    MemRead,
+    /// Memory controller -> home data. Payload = DRAM granule.
+    MemReadResp,
+    /// Home -> memory controller writeback. Payload = granule.
+    MemWrite,
+}
+
+/// One protocol message.
+#[derive(Clone, Copy, Debug)]
+pub struct Msg {
+    /// Message kind.
+    pub kind: MsgKind,
+    /// The cache line concerned.
+    pub line: LineAddr,
+    /// Source tile.
+    pub src: u32,
+    /// Destination tile.
+    pub dst: u32,
+    /// The core whose request started the transaction.
+    pub requester: u32,
+    /// Requested / carried sectors at L1 (8-byte) granularity.
+    pub sectors: SectorMask,
+    /// Write intent (GetX) / grants Modified (Data).
+    pub exclusive: bool,
+    /// Payload size in bytes (for NoC flit accounting and DRAM sizing).
+    pub payload_bytes: u64,
+}

@@ -1,0 +1,1158 @@
+//! The full-system simulator: tiles (core + L1D + prefetcher + L2 slice +
+//! directory slice), mesh NoC, memory controllers, and the event loop.
+//!
+//! The protocol is a simplified MSI directory protocol with ACKwise-4
+//! sharer tracking (Table 1). Each home tile serializes transactions per
+//! line; invalidations are collected with explicit acks; L2 evictions
+//! recall L1 copies fire-and-forget (timing-only simplification — data
+//! correctness is carried by the functional memory, not the caches).
+
+use crate::msg::{Msg, MsgKind};
+use imp_cache::{AccessOutcome, Evicted, LineState, MshrAlloc, MshrFile, SectoredCache};
+use imp_coherence::{Directory, InvTargets};
+use imp_common::stats::{CoreStats, PrefetchStats, SystemStats, TrafficStats};
+use imp_common::{
+    Addr, Cycle, EventQueue, LineAddr, SectorMask, SystemConfig, LINE_BYTES,
+};
+use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherKind};
+use imp_cpu::{CoreBlock, CoreEngine, InOrderCore, MemPort, MemResult, OooCore};
+use imp_dram::{Ddr3Dram, Ddr3Timing, DramModel, FixedLatencyDram};
+use imp_mem::FunctionalMemory;
+use imp_noc::{mc_for_line, mc_tiles, Mesh};
+use imp_prefetch::{
+    Access, Ghb, Imp, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind,
+    PrefetchRequest, StreamPrefetcher,
+};
+use imp_trace::{OpKind, Program};
+use std::collections::{HashMap, VecDeque};
+
+/// Discrete events of the simulation.
+#[derive(Debug)]
+enum Event {
+    CoreWake(u32),
+    Deliver(Msg),
+}
+
+/// Per-core run state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CoreRun {
+    Ready,
+    WaitMem,
+    WaitBarrier,
+    Done,
+}
+
+/// Who is waiting on an outstanding L1 miss.
+#[derive(Debug, Clone, Copy)]
+enum Waiter {
+    Demand { token: u64, write: bool, touch: SectorMask },
+    /// A store retired through the store buffer: no core to wake, but
+    /// the filled line must be dirtied.
+    Store { touch: SectorMask },
+    Prefetch { req: PrefetchRequest },
+    SwPrefetch,
+    PerfPref { id: u64 },
+}
+
+/// An in-flight transaction at a home tile.
+#[derive(Debug)]
+struct Txn {
+    requester: u32,
+    sectors: SectorMask,
+    exclusive: bool,
+    acks_pending: u32,
+    data_ready: bool,
+}
+
+/// Reads index values out of the L1 (IMP can only use values whose lines
+/// are cache-resident, as the hardware would).
+struct L1Values<'a> {
+    l1: &'a SectoredCache,
+    mem: &'a FunctionalMemory,
+}
+
+impl IndexValueSource for L1Values<'_> {
+    fn read_value(&mut self, addr: Addr, size: u32) -> Option<u64> {
+        let line = LineAddr::containing(addr);
+        let l = self.l1.probe(line)?;
+        // Clip the touch mask to the cache's sectoring (a non-sectored
+        // cache has a single sector covering the whole line).
+        let need = SectorMask::l1_touch(addr, size).intersect(self.l1.full_mask());
+        if l.valid.contains(need) {
+            Some(self.mem.read_uint(addr, size))
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything except the core engines (so cores and fabric can be
+/// borrowed simultaneously).
+struct Fabric {
+    cfg: SystemConfig,
+    queue: EventQueue<Event>,
+    l1: Vec<SectoredCache>,
+    mshr: Vec<MshrFile<Waiter>>,
+    pref: Vec<Box<dyn L1Prefetcher>>,
+    pstats: Vec<PrefetchStats>,
+    l2: Vec<SectoredCache>,
+    dir: Vec<Directory>,
+    txns: Vec<HashMap<LineAddr, Txn>>,
+    queued: Vec<HashMap<LineAddr, VecDeque<Msg>>>,
+    mesh: Mesh,
+    drams: Vec<Box<dyn DramModel>>,
+    mc_tiles: Vec<u32>,
+    mem: FunctionalMemory,
+    traffic: TrafficStats,
+    completions: Vec<(u32, u64, Cycle)>,
+    next_token: u64,
+    // PerfectPrefetch state.
+    shadow: Vec<SectoredCache>,
+    pp_outstanding: Vec<VecDeque<u64>>,
+    pp_issue: HashMap<u64, Cycle>,
+    pp_blocked: Vec<Option<(u64, u64)>>,
+    pp_next_id: u64,
+}
+
+impl Fabric {
+    fn home_of(&self, line: LineAddr) -> u32 {
+        (line.number() % u64::from(self.cfg.cores)) as u32
+    }
+
+    fn send(&mut self, msg: Msg, at: Cycle) {
+        let (arrival, _) = self.mesh.send(msg.src, msg.dst, msg.payload_bytes, at);
+        self.queue.push(arrival, Event::Deliver(msg));
+    }
+
+    /// Bytes represented by an L1 sector mask under the current
+    /// sectoring (a non-sectored line's single sector is the whole line).
+    fn l1_mask_bytes(&self, c: usize, mask: SectorMask) -> u64 {
+        let sectors = self.l1[c].sectors().max(1);
+        let clipped = mask.intersect(self.l1[c].full_mask());
+        u64::from(clipped.count()) * (LINE_BYTES / u64::from(sectors))
+    }
+
+    /// Bytes represented by an L2 sector mask under the current
+    /// sectoring.
+    fn l2_mask_bytes(&self, h: usize, mask: SectorMask) -> u64 {
+        let sectors = self.l2[h].sectors().max(1);
+        let clipped = mask.intersect(self.l2[h].full_mask());
+        u64::from(clipped.count()) * (LINE_BYTES / u64::from(sectors))
+    }
+
+    fn full_or(&self, partial_sectors: SectorMask) -> SectorMask {
+        if self.cfg.partial == PartialMode::Off {
+            SectorMask::FULL_L1
+        } else {
+            partial_sectors
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // L1 / core side
+    // ------------------------------------------------------------------
+
+    fn observe_and_prefetch(&mut self, c: usize, access: Access, now: Cycle) {
+        let reqs = {
+            let mut src = L1Values { l1: &self.l1[c], mem: &self.mem };
+            self.pref[c].on_access(access, &mut src)
+        };
+        for r in reqs {
+            self.issue_prefetch(c, r, now, 0);
+        }
+    }
+
+    fn issue_prefetch(&mut self, c: usize, req: PrefetchRequest, now: Cycle, depth: u32) {
+        if self.cfg.mem_mode != MemMode::Realistic || depth > 4 {
+            return;
+        }
+        let line = req.line();
+        let sectors = self.full_or(req.sectors).intersect(self.l1[c].full_mask());
+        if let Some(l) = self.l1[c].probe(line) {
+            if l.valid.contains(sectors) {
+                // Already resident: run the fill hook so multi-level
+                // chains continue.
+                let chained = {
+                    let mut src = L1Values { l1: &self.l1[c], mem: &self.mem };
+                    self.pref[c].on_prefetch_fill(req, &mut src)
+                };
+                for r in chained {
+                    self.issue_prefetch(c, r, now, depth + 1);
+                }
+                return;
+            }
+        }
+        match self.mshr[c].alloc(line, sectors, true, Waiter::Prefetch { req }) {
+            MshrAlloc::Full => self.pstats[c].mshr_drops += 1,
+            MshrAlloc::Merged => {}
+            MshrAlloc::MergedNeedsMore(extra) => {
+                let kind = if req.exclusive { MsgKind::GetX } else { MsgKind::GetS };
+                self.send(
+                    Msg {
+                        kind,
+                        line,
+                        src: c as u32,
+                        dst: self.home_of(line),
+                        requester: c as u32,
+                        sectors: extra,
+                        exclusive: req.exclusive,
+                        payload_bytes: 0,
+                    },
+                    now,
+                );
+            }
+            MshrAlloc::New => {
+                match req.kind {
+                    PrefetchKind::Stream => self.pstats[c].issued_stream += 1,
+                    PrefetchKind::Indirect { .. } => self.pstats[c].issued_indirect += 1,
+                }
+                if sectors != self.l1[c].full_mask() {
+                    self.pstats[c].partial_prefetches += 1;
+                }
+                let kind = if req.exclusive { MsgKind::GetX } else { MsgKind::GetS };
+                self.send(
+                    Msg {
+                        kind,
+                        line,
+                        src: c as u32,
+                        dst: self.home_of(line),
+                        requester: c as u32,
+                        sectors,
+                        exclusive: req.exclusive,
+                        payload_bytes: 0,
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
+    fn demand_miss(
+        &mut self,
+        c: usize,
+        line: LineAddr,
+        fetch: SectorMask,
+        is_write: bool,
+        touch: SectorMask,
+        now: Cycle,
+    ) -> MemResult {
+        let token = self.next_token;
+        self.next_token += 1;
+        // A merge into a pure-prefetch entry is a late prefetch.
+        if let Some(e) = self.mshr[c].get(line) {
+            if e.prefetch_only {
+                self.pstats[c].late += 1;
+            }
+        }
+        let waiter = if is_write {
+            Waiter::Store { touch }
+        } else {
+            Waiter::Demand { token, write: false, touch }
+        };
+        match self.mshr[c].alloc(line, fetch, false, waiter) {
+            MshrAlloc::Merged => {}
+            MshrAlloc::MergedNeedsMore(extra) => {
+                let kind = if is_write { MsgKind::GetX } else { MsgKind::GetS };
+                self.send(
+                    Msg {
+                        kind,
+                        line,
+                        src: c as u32,
+                        dst: self.home_of(line),
+                        requester: c as u32,
+                        sectors: extra,
+                        exclusive: is_write,
+                        payload_bytes: 0,
+                    },
+                    now,
+                );
+            }
+            MshrAlloc::New | MshrAlloc::Full => {
+                // Demand misses are never structurally refused: the MSHR
+                // file is sized for prefetches; a demand always proceeds.
+                let kind = if is_write { MsgKind::GetX } else { MsgKind::GetS };
+                self.send(
+                    Msg {
+                        kind,
+                        line,
+                        src: c as u32,
+                        dst: self.home_of(line),
+                        requester: c as u32,
+                        sectors: fetch,
+                        exclusive: is_write,
+                        payload_bytes: 0,
+                    },
+                    now,
+                );
+            }
+        }
+        if is_write {
+            // Stores retire through the store buffer (1-cycle occupancy);
+            // the line is fetched and dirtied in the background.
+            MemResult::StoreBuffered(now + self.cfg.mem.l1d.latency)
+        } else {
+            MemResult::Miss(token)
+        }
+    }
+
+    fn l1_data(&mut self, msg: Msg, now: Cycle) {
+        let c = msg.dst as usize;
+        let Some(entry) = self.mshr[c].complete(msg.line) else { return };
+        let state = if msg.exclusive { LineState::Modified } else { LineState::Shared };
+        let evicted =
+            self.l1[c].fill(msg.line, entry.requested, state, entry.prefetch_only);
+        if let Some(ev) = evicted {
+            self.l1_evicted(c, ev, now);
+        }
+        let at = now + self.cfg.mem.l1d.latency;
+        let mut chained: Vec<PrefetchRequest> = Vec::new();
+        for w in entry.waiters {
+            match w {
+                Waiter::Demand { token, write, touch } => {
+                    // Mark touch/dirty on the freshly filled line.
+                    let _ = self.l1[c].demand_access(msg.line, touch, write);
+                    self.pref[c].on_demand_touch(msg.line, touch);
+                    self.completions.push((c as u32, token, at));
+                }
+                Waiter::Store { touch } => {
+                    let _ = self.l1[c].demand_access(msg.line, touch, true);
+                    self.l1[c].mark_dirty(msg.line, touch);
+                    self.pref[c].on_demand_touch(msg.line, touch);
+                }
+                Waiter::Prefetch { req } => {
+                    let mut src = L1Values { l1: &self.l1[c], mem: &self.mem };
+                    chained.extend(self.pref[c].on_prefetch_fill(req, &mut src));
+                }
+                Waiter::SwPrefetch => {}
+                Waiter::PerfPref { id } => {
+                    self.pp_issue.remove(&id);
+                    if let Some(pos) = self.pp_outstanding[c].iter().position(|&x| x == id) {
+                        self.pp_outstanding[c].remove(pos);
+                    }
+                    if let Some((bid, token)) = self.pp_blocked[c] {
+                        if bid == id {
+                            self.pp_blocked[c] = None;
+                            self.completions.push((c as u32, token, at));
+                        }
+                    }
+                }
+            }
+        }
+        for r in chained {
+            self.issue_prefetch(c, r, now, 1);
+        }
+    }
+
+    fn l1_evicted(&mut self, c: usize, ev: Evicted, now: Cycle) {
+        if ev.prefetched_untouched {
+            self.pstats[c].unused += 1;
+        } else if ev.prefetched_touched {
+            self.pstats[c].useful += 1;
+        }
+        self.pref[c].on_eviction(ev.line);
+        if !ev.dirty.is_empty() {
+            let payload = self.l1_mask_bytes(c, ev.dirty);
+            self.send(
+                Msg {
+                    kind: MsgKind::WbL1,
+                    line: ev.line,
+                    src: c as u32,
+                    dst: self.home_of(ev.line),
+                    requester: c as u32,
+                    sectors: ev.dirty,
+                    exclusive: false,
+                    payload_bytes: payload,
+                },
+                now,
+            );
+        }
+    }
+
+    fn l1_inv(&mut self, msg: Msg, now: Cycle) {
+        let c = msg.dst as usize;
+        if let Some(ev) = self.l1[c].invalidate(msg.line) {
+            if ev.prefetched_untouched {
+                self.pstats[c].unused += 1;
+            } else if ev.prefetched_touched {
+                self.pstats[c].useful += 1;
+            }
+            self.pref[c].on_eviction(ev.line);
+            // Dirty data rides back with the ack conceptually; account
+            // its bytes on the ack message.
+            let payload = self.l1_mask_bytes(c, ev.dirty);
+            self.send(
+                Msg {
+                    kind: MsgKind::InvAck,
+                    line: msg.line,
+                    src: c as u32,
+                    dst: msg.src,
+                    requester: msg.requester,
+                    sectors: ev.dirty,
+                    exclusive: false,
+                    payload_bytes: payload,
+                },
+                now,
+            );
+        } else {
+            self.send(
+                Msg {
+                    kind: MsgKind::InvAck,
+                    line: msg.line,
+                    src: c as u32,
+                    dst: msg.src,
+                    requester: msg.requester,
+                    sectors: SectorMask::EMPTY,
+                    exclusive: false,
+                    payload_bytes: 0,
+                },
+                now,
+            );
+        }
+    }
+
+    fn l1_fetch(&mut self, msg: Msg, now: Cycle, invalidate: bool) {
+        let c = msg.dst as usize;
+        let present = if invalidate {
+            let ev = self.l1[c].invalidate(msg.line);
+            if let Some(ref e) = ev {
+                if e.prefetched_untouched {
+                    self.pstats[c].unused += 1;
+                } else if e.prefetched_touched {
+                    self.pstats[c].useful += 1;
+                }
+                self.pref[c].on_eviction(msg.line);
+            }
+            ev.is_some()
+        } else {
+            self.l1[c].downgrade(msg.line);
+            self.l1[c].probe(msg.line).is_some()
+        };
+        let payload = if present { LINE_BYTES } else { 0 };
+        self.send(
+            Msg {
+                kind: MsgKind::FetchResp,
+                line: msg.line,
+                src: c as u32,
+                dst: msg.src,
+                requester: msg.requester,
+                sectors: SectorMask::FULL_L1,
+                exclusive: invalidate,
+                payload_bytes: payload,
+            },
+            now,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Home tile (L2 slice + directory)
+    // ------------------------------------------------------------------
+
+    fn home_request(&mut self, msg: Msg, now: Cycle) {
+        let h = msg.dst as usize;
+        if self.txns[h].contains_key(&msg.line) {
+            self.queued[h].entry(msg.line).or_default().push_back(msg);
+            return;
+        }
+        self.start_txn(msg, now);
+    }
+
+    fn start_txn(&mut self, msg: Msg, now: Cycle) {
+        let h = msg.dst as usize;
+        let line = msg.line;
+        let t = now + self.cfg.mem.l2_slice.latency;
+        let mut txn = Txn {
+            requester: msg.requester,
+            sectors: msg.sectors,
+            exclusive: msg.kind == MsgKind::GetX,
+            acks_pending: 0,
+            data_ready: false,
+        };
+        let owner = self.dir[h].owner(line).filter(|&o| o != msg.requester);
+        if let Some(o) = owner {
+            // Data comes from the current owner.
+            txn.acks_pending = 1;
+            self.send(
+                Msg {
+                    kind: MsgKind::Fetch { invalidate: txn.exclusive },
+                    line,
+                    src: h as u32,
+                    dst: o,
+                    requester: msg.requester,
+                    sectors: SectorMask::FULL_L1,
+                    exclusive: txn.exclusive,
+                    payload_bytes: 0,
+                },
+                t,
+            );
+            self.txns[h].insert(line, txn);
+            return;
+        }
+        if txn.exclusive {
+            match self.dir[h].invalidation_targets(line, Some(msg.requester)) {
+                InvTargets::None => {}
+                InvTargets::Precise(targets) => {
+                    txn.acks_pending = targets.len() as u32;
+                    for c in targets {
+                        self.send(
+                            Msg {
+                                kind: MsgKind::Inv,
+                                line,
+                                src: h as u32,
+                                dst: c,
+                                requester: msg.requester,
+                                sectors: SectorMask::EMPTY,
+                                exclusive: false,
+                                payload_bytes: 0,
+                            },
+                            t,
+                        );
+                    }
+                }
+                InvTargets::Broadcast => {
+                    // ACKwise overflow: invalidate everyone (they all ack).
+                    let n = self.cfg.cores;
+                    txn.acks_pending = n - 1;
+                    for c in (0..n).filter(|&c| c != msg.requester) {
+                        self.send(
+                            Msg {
+                                kind: MsgKind::Inv,
+                                line,
+                                src: h as u32,
+                                dst: c,
+                                requester: msg.requester,
+                                sectors: SectorMask::EMPTY,
+                                exclusive: false,
+                                payload_bytes: 0,
+                            },
+                            t,
+                        );
+                    }
+                }
+            }
+        }
+        self.data_lookup(h, line, &mut txn, t);
+        self.txns[h].insert(line, txn);
+        self.try_complete(h as u32, line, t);
+    }
+
+    fn data_lookup(&mut self, h: usize, line: LineAddr, txn: &mut Txn, t: Cycle) {
+        let l2_need = txn.sectors.widen_to_l2();
+        match self.l2[h].demand_access(line, l2_need, false) {
+            AccessOutcome::Hit { .. } => {
+                txn.data_ready = true;
+            }
+            AccessOutcome::SectorMiss { missing, .. } => {
+                self.dram_fetch(h, line, missing, t);
+            }
+            AccessOutcome::Miss => {
+                let mask = if self.cfg.partial == PartialMode::NocAndDram {
+                    l2_need
+                } else {
+                    SectorMask::FULL_L2
+                };
+                self.dram_fetch(h, line, mask, t);
+            }
+        }
+    }
+
+    fn dram_fetch(&mut self, h: usize, line: LineAddr, l2_mask: SectorMask, t: Cycle) {
+        let l2_mask = if self.cfg.partial == PartialMode::NocAndDram {
+            l2_mask
+        } else {
+            SectorMask::FULL_L2
+        };
+        let mc = mc_for_line(line.number(), self.cfg.mem.mem_controllers);
+        self.send(
+            Msg {
+                kind: MsgKind::MemRead,
+                line,
+                src: h as u32,
+                dst: self.mc_tiles[mc as usize],
+                requester: h as u32,
+                sectors: l2_mask,
+                exclusive: false,
+                payload_bytes: 0,
+            },
+            t,
+        );
+    }
+
+    fn mc_read(&mut self, msg: Msg, now: Cycle) {
+        let mc = self
+            .mc_tiles
+            .iter()
+            .position(|&t| t == msg.dst)
+            .expect("MemRead delivered to a non-MC tile");
+        let bytes = u64::from(msg.sectors.count()) * 32;
+        let done = self.drams[mc].access(now, msg.line.base().raw(), bytes, false);
+        self.traffic.dram_read_bytes += bytes;
+        self.traffic.dram_accesses += 1;
+        self.send(
+            Msg {
+                kind: MsgKind::MemReadResp,
+                line: msg.line,
+                src: msg.dst,
+                dst: msg.requester, // the home tile
+                requester: msg.requester,
+                sectors: msg.sectors,
+                exclusive: false,
+                payload_bytes: bytes,
+            },
+            done,
+        );
+    }
+
+    fn mc_write(&mut self, msg: Msg, now: Cycle) {
+        let mc = self
+            .mc_tiles
+            .iter()
+            .position(|&t| t == msg.dst)
+            .expect("MemWrite delivered to a non-MC tile");
+        let bytes = msg.payload_bytes.max(32);
+        let _ = self.drams[mc].access(now, msg.line.base().raw(), bytes, true);
+        self.traffic.dram_write_bytes += bytes;
+        self.traffic.dram_accesses += 1;
+    }
+
+    fn home_memdata(&mut self, msg: Msg, now: Cycle) {
+        let h = msg.dst as usize;
+        let evicted = self.l2[h].fill(msg.line, msg.sectors, LineState::Shared, false);
+        if let Some(ev) = evicted {
+            self.l2_evicted(h, ev, now);
+        }
+        if let Some(txn) = self.txns[h].get_mut(&msg.line) {
+            txn.data_ready = true;
+        }
+        self.try_complete(h as u32, msg.line, now);
+    }
+
+    fn l2_evicted(&mut self, h: usize, ev: Evicted, now: Cycle) {
+        // Recall any L1 copies (fire-and-forget; acks are ignored for
+        // lines without transactions).
+        match self.dir[h].invalidation_targets(ev.line, None) {
+            InvTargets::None => {}
+            InvTargets::Precise(targets) => {
+                for c in targets {
+                    self.send(
+                        Msg {
+                            kind: MsgKind::Inv,
+                            line: ev.line,
+                            src: h as u32,
+                            dst: c,
+                            requester: h as u32,
+                            sectors: SectorMask::EMPTY,
+                            exclusive: false,
+                            payload_bytes: 0,
+                        },
+                        now,
+                    );
+                }
+            }
+            InvTargets::Broadcast => {
+                for c in 0..self.cfg.cores {
+                    self.send(
+                        Msg {
+                            kind: MsgKind::Inv,
+                            line: ev.line,
+                            src: h as u32,
+                            dst: c,
+                            requester: h as u32,
+                            sectors: SectorMask::EMPTY,
+                            exclusive: false,
+                            payload_bytes: 0,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+        self.dir[h].clear(ev.line);
+        if !ev.dirty.is_empty() || ev.state == LineState::Modified {
+            let bytes = if ev.dirty.is_empty() {
+                LINE_BYTES
+            } else {
+                self.l2_mask_bytes(h, ev.dirty)
+            };
+            let mc = mc_for_line(ev.line.number(), self.cfg.mem.mem_controllers);
+            self.send(
+                Msg {
+                    kind: MsgKind::MemWrite,
+                    line: ev.line,
+                    src: h as u32,
+                    dst: self.mc_tiles[mc as usize],
+                    requester: h as u32,
+                    sectors: ev.dirty,
+                    exclusive: false,
+                    payload_bytes: bytes,
+                },
+                now,
+            );
+        }
+    }
+
+    fn home_fetchresp(&mut self, msg: Msg, now: Cycle) {
+        let h = msg.dst as usize;
+        let owner = msg.src;
+        if msg.payload_bytes > 0 {
+            let evicted = self.l2[h].fill(msg.line, SectorMask::FULL_L2, LineState::Shared, false);
+            if let Some(ev) = evicted {
+                self.l2_evicted(h, ev, now);
+            }
+            self.l2[h].mark_dirty(msg.line, SectorMask::FULL_L2);
+        }
+        if msg.exclusive {
+            // Owner invalidated (write request).
+            self.dir[h].remove(msg.line, owner);
+        } else {
+            // Owner downgraded to Shared: Modified(o) -> Shared{o}.
+            self.dir[h].add_sharer(msg.line, owner);
+        }
+        if let Some(txn) = self.txns[h].get_mut(&msg.line) {
+            txn.acks_pending = txn.acks_pending.saturating_sub(1);
+            txn.data_ready = true;
+        }
+        self.try_complete(h as u32, msg.line, now);
+    }
+
+    fn home_invack(&mut self, msg: Msg, now: Cycle) {
+        let h = msg.dst as usize;
+        self.dir[h].remove(msg.line, msg.src);
+        if let Some(txn) = self.txns[h].get_mut(&msg.line) {
+            txn.acks_pending = txn.acks_pending.saturating_sub(1);
+        }
+        self.try_complete(h as u32, msg.line, now);
+    }
+
+    fn home_wb(&mut self, msg: Msg, now: Cycle) {
+        let h = msg.dst as usize;
+        let l2_mask = msg.sectors.widen_to_l2();
+        let evicted = self.l2[h].fill(msg.line, l2_mask, LineState::Shared, false);
+        if let Some(ev) = evicted {
+            self.l2_evicted(h, ev, now);
+        }
+        self.l2[h].mark_dirty(msg.line, l2_mask);
+        self.dir[h].remove(msg.line, msg.src);
+    }
+
+    fn try_complete(&mut self, home: u32, line: LineAddr, at: Cycle) {
+        let h = home as usize;
+        let ready = match self.txns[h].get(&line) {
+            Some(t) => t.acks_pending == 0 && t.data_ready,
+            None => false,
+        };
+        if !ready {
+            return;
+        }
+        let txn = self.txns[h].remove(&line).expect("txn present");
+        if txn.exclusive {
+            self.dir[h].set_modified(line, txn.requester);
+        } else {
+            self.dir[h].add_sharer(line, txn.requester);
+        }
+        let payload = self.l1_mask_bytes(txn.requester as usize, txn.sectors);
+        self.send(
+            Msg {
+                kind: MsgKind::Data,
+                line,
+                src: home,
+                dst: txn.requester,
+                requester: txn.requester,
+                sectors: txn.sectors,
+                exclusive: txn.exclusive,
+                payload_bytes: payload,
+            },
+            at,
+        );
+        // Serve the next queued request for this line.
+        let next = self.queued[h].get_mut(&line).and_then(VecDeque::pop_front);
+        if let Some(next) = next {
+            self.start_txn(next, at);
+        }
+    }
+
+    fn handle_msg(&mut self, msg: Msg, now: Cycle) {
+        self.traffic.noc_messages += 1;
+        match msg.kind {
+            MsgKind::GetS | MsgKind::GetX => self.home_request(msg, now),
+            MsgKind::Data => self.l1_data(msg, now),
+            MsgKind::Inv => self.l1_inv(msg, now),
+            MsgKind::InvAck => self.home_invack(msg, now),
+            MsgKind::Fetch { invalidate } => self.l1_fetch(msg, now, invalidate),
+            MsgKind::FetchResp => self.home_fetchresp(msg, now),
+            MsgKind::WbL1 => self.home_wb(msg, now),
+            MsgKind::MemRead => self.mc_read(msg, now),
+            MsgKind::MemReadResp => self.home_memdata(msg, now),
+            MsgKind::MemWrite => self.mc_write(msg, now),
+        }
+    }
+}
+
+impl MemPort for Fabric {
+    fn access(&mut self, core: u32, op: &imp_trace::Op, now: Cycle) -> MemResult {
+        let c = core as usize;
+        let addr = op.mem_addr();
+        let line = LineAddr::containing(addr);
+        let is_write = op.kind == OpKind::Store;
+        match self.cfg.mem_mode {
+            MemMode::Ideal => MemResult::Hit(now + self.cfg.mem.l1d.latency),
+            MemMode::PerfectPrefetch => {
+                let hit = matches!(
+                    self.shadow[c].demand_access(line, SectorMask::FULL_L1, is_write),
+                    AccessOutcome::Hit { .. }
+                );
+                if !hit {
+                    self.shadow[c].fill(line, SectorMask::FULL_L1, LineState::Shared, false);
+                    let id = self.pp_next_id;
+                    self.pp_next_id += 1;
+                    self.pp_outstanding[c].push_back(id);
+                    self.pp_issue.insert(id, now);
+                    match self.mshr[c].alloc(
+                        line,
+                        SectorMask::FULL_L1,
+                        true,
+                        Waiter::PerfPref { id },
+                    ) {
+                        MshrAlloc::New => {
+                            self.send(
+                                Msg {
+                                    kind: MsgKind::GetS,
+                                    line,
+                                    src: core,
+                                    dst: self.home_of(line),
+                                    requester: core,
+                                    sectors: SectorMask::FULL_L1,
+                                    exclusive: false,
+                                    payload_bytes: 0,
+                                },
+                                now,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                // Throttle: never run more than `lead` cycles past the
+                // oldest incomplete fetch.
+                if let Some(&front) = self.pp_outstanding[c].front() {
+                    let issued = self.pp_issue.get(&front).copied().unwrap_or(now);
+                    if now.saturating_sub(issued) > self.cfg.perfpref_lead {
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        self.pp_blocked[c] = Some((front, token));
+                        return MemResult::Miss(token);
+                    }
+                }
+                MemResult::Hit(now + self.cfg.mem.l1d.latency)
+            }
+            MemMode::Realistic => {
+                let touch = SectorMask::l1_touch(addr, u32::from(op.size));
+                let outcome = self.l1[c].demand_access(line, touch, is_write);
+                let miss = !matches!(outcome, AccessOutcome::Hit { .. });
+                self.observe_and_prefetch(
+                    c,
+                    Access {
+                        pc: op.pc,
+                        addr,
+                        size: u32::from(op.size),
+                        is_write,
+                        miss,
+                    },
+                    now,
+                );
+                match outcome {
+                    AccessOutcome::Hit { first_touch_of_prefetch } => {
+                        if first_touch_of_prefetch {
+                            self.pstats[c].covered += 1;
+                        }
+                        self.pref[c].on_demand_touch(line, touch);
+                        let needs_upgrade = is_write
+                            && self.l1[c]
+                                .probe(line)
+                                .is_some_and(|l| l.state == LineState::Shared);
+                        if needs_upgrade {
+                            // Upgrade in the background; the store itself
+                            // retires through the store buffer.
+                            let _ = self.demand_miss(c, line, touch, true, touch, now);
+                        }
+                        MemResult::Hit(now + self.cfg.mem.l1d.latency)
+                    }
+                    AccessOutcome::SectorMiss { missing, .. } => {
+                        self.demand_miss(c, line, missing, is_write, touch, now)
+                    }
+                    AccessOutcome::Miss => {
+                        // Demand misses fetch full lines; only IMP's
+                        // indirect prefetches use partial masks (§4.2).
+                        self.demand_miss(c, line, SectorMask::FULL_L1, is_write, touch, now)
+                    }
+                }
+            }
+        }
+    }
+
+    fn sw_prefetch(&mut self, core: u32, addr: Addr, now: Cycle) {
+        if self.cfg.mem_mode != MemMode::Realistic {
+            return;
+        }
+        let c = core as usize;
+        let line = LineAddr::containing(addr);
+        if self.l1[c].probe(line).is_some() {
+            return;
+        }
+        if let MshrAlloc::New =
+            self.mshr[c].alloc(line, SectorMask::FULL_L1, true, Waiter::SwPrefetch)
+        {
+            self.pstats[c].issued_stream += 1;
+            self.send(
+                Msg {
+                    kind: MsgKind::GetS,
+                    line,
+                    src: core,
+                    dst: self.home_of(line),
+                    requester: core,
+                    sectors: SectorMask::FULL_L1,
+                    exclusive: false,
+                    payload_bytes: 0,
+                },
+                now,
+            );
+        }
+    }
+}
+
+/// The assembled system: call [`System::new`] with a configuration, a
+/// program and the functional memory holding its arrays, then
+/// [`System::run`].
+pub struct System {
+    cores: Vec<Box<dyn CoreEngine>>,
+    state: Vec<CoreRun>,
+    barrier_waiting: Vec<u32>,
+    done_count: usize,
+    fab: Fabric,
+}
+
+impl System {
+    /// Builds a system for `program` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's core count does not match the
+    /// configuration, or if barrier counts are inconsistent.
+    pub fn new(cfg: SystemConfig, program: Program, mem: FunctionalMemory) -> Self {
+        assert_eq!(
+            program.cores(),
+            cfg.cores as usize,
+            "program core count must match the configuration"
+        );
+        program.validate_barriers();
+        let n = cfg.cores as usize;
+        let partial = cfg.partial != PartialMode::Off;
+        let l1_sectors = if partial { cfg.mem.l1d.sectors } else { 1 };
+        let l2_sectors = if partial { cfg.mem.l2_slice.sectors } else { 1 };
+
+        let cores: Vec<Box<dyn CoreEngine>> = (0..n)
+            .map(|c| -> Box<dyn CoreEngine> {
+                let ops = program.ops(c).to_vec();
+                match cfg.core_model {
+                    CoreModel::InOrder => Box::new(InOrderCore::new(c as u32, ops)),
+                    CoreModel::OutOfOrder => {
+                        Box::new(OooCore::new(c as u32, ops, cfg.rob_entries as usize))
+                    }
+                }
+            })
+            .collect();
+
+        let pref: Vec<Box<dyn L1Prefetcher>> = (0..n)
+            .map(|c| -> Box<dyn L1Prefetcher> {
+                if cfg.mem_mode != MemMode::Realistic {
+                    return Box::new(NullPrefetcher::new());
+                }
+                match cfg.prefetcher {
+                    PrefetcherKind::None => Box::new(NullPrefetcher::new()),
+                    PrefetcherKind::Stream => Box::new(StreamPrefetcher::new(
+                        cfg.imp.pt_entries,
+                        cfg.imp.stream_threshold,
+                        cfg.imp.stream_distance,
+                    )),
+                    PrefetcherKind::Imp => {
+                        Box::new(Imp::new(cfg.imp.clone(), partial, 0x1_000 + c as u64))
+                    }
+                    PrefetcherKind::Ghb => Box::new(Ghb::paper_default()),
+                }
+            })
+            .collect();
+
+        let mshr_cap = match cfg.mem_mode {
+            MemMode::PerfectPrefetch => 1 << 16,
+            _ => cfg.mem.l1d.mshrs as usize,
+        };
+
+        let drams: Vec<Box<dyn DramModel>> = (0..cfg.mem.mem_controllers)
+            .map(|_| -> Box<dyn DramModel> {
+                match cfg.mem.dram {
+                    DramModelKind::Simple => Box::new(FixedLatencyDram::new(
+                        cfg.mem.dram_latency,
+                        cfg.mem.dram_bytes_per_cycle,
+                    )),
+                    DramModelKind::Ddr3 => Box::new(Ddr3Dram::new(Ddr3Timing::default())),
+                }
+            })
+            .collect();
+
+        let side = cfg.mesh_side();
+        let fab = Fabric {
+            queue: EventQueue::new(),
+            l1: (0..n)
+                .map(|_| {
+                    SectoredCache::new(cfg.mem.l1d.size_bytes, cfg.mem.l1d.associativity, l1_sectors)
+                })
+                .collect(),
+            mshr: (0..n).map(|_| MshrFile::new(mshr_cap)).collect(),
+            pref,
+            pstats: vec![PrefetchStats::default(); n],
+            l2: (0..n)
+                .map(|_| {
+                    SectoredCache::new(
+                        cfg.mem.l2_slice.size_bytes,
+                        cfg.mem.l2_slice.associativity,
+                        l2_sectors,
+                    )
+                })
+                .collect(),
+            dir: (0..n)
+                .map(|_| Directory::new(cfg.mem.ackwise_k as usize, cfg.cores))
+                .collect(),
+            txns: (0..n).map(|_| HashMap::new()).collect(),
+            queued: (0..n).map(|_| HashMap::new()).collect(),
+            mesh: Mesh::new(side, cfg.mem.hop_latency, cfg.mem.flit_bytes),
+            drams,
+            mc_tiles: mc_tiles(side, cfg.mem.mem_controllers),
+            mem,
+            traffic: TrafficStats::default(),
+            completions: Vec::new(),
+            next_token: 0,
+            shadow: (0..n)
+                .map(|_| SectoredCache::new(cfg.mem.l1d.size_bytes, cfg.mem.l1d.associativity, 1))
+                .collect(),
+            pp_outstanding: (0..n).map(|_| VecDeque::new()).collect(),
+            pp_issue: HashMap::new(),
+            pp_blocked: vec![None; n],
+            pp_next_id: 0,
+            cfg,
+        };
+        System {
+            cores,
+            state: vec![CoreRun::Ready; n],
+            barrier_waiting: Vec::new(),
+            done_count: 0,
+            fab,
+        }
+    }
+
+    /// Runs the program to completion and returns the collected
+    /// statistics.
+    pub fn run(&mut self) -> SystemStats {
+        let n = self.cores.len();
+        for c in 0..n {
+            self.fab.queue.push(0, Event::CoreWake(c as u32));
+        }
+        let mut guard: u64 = 0;
+        let guard_limit = 20_000_000_000;
+        while self.done_count < n {
+            let Some((t, ev)) = self.fab.queue.pop() else {
+                panic!(
+                    "event queue drained with {} of {} cores unfinished (deadlock)",
+                    n - self.done_count,
+                    n
+                );
+            };
+            guard += 1;
+            assert!(guard < guard_limit, "simulation exceeded event budget");
+            match ev {
+                Event::CoreWake(c) => self.drive_core(c, t),
+                Event::Deliver(m) => {
+                    self.fab.handle_msg(m, t);
+                    self.drain_completions();
+                }
+            }
+        }
+        // Drain in-flight protocol traffic so traffic statistics include
+        // transactions that were still moving when the last core retired.
+        while let Some((t, ev)) = self.fab.queue.pop() {
+            if let Event::Deliver(m) = ev {
+                self.fab.handle_msg(m, t);
+                self.fab.completions.clear();
+            }
+        }
+        self.collect_stats()
+    }
+
+    fn drive_core(&mut self, c: u32, now: Cycle) {
+        let ci = c as usize;
+        if self.state[ci] != CoreRun::Ready {
+            return;
+        }
+        match self.cores[ci].run(now, &mut self.fab) {
+            CoreBlock::UntilTime(t) => {
+                self.fab.queue.push(t.max(now + 1), Event::CoreWake(c));
+            }
+            CoreBlock::OnMemory => {
+                self.state[ci] = CoreRun::WaitMem;
+            }
+            CoreBlock::AtBarrier => {
+                self.state[ci] = CoreRun::WaitBarrier;
+                self.barrier_waiting.push(c);
+                if self.barrier_waiting.len() == self.cores.len() {
+                    for w in std::mem::take(&mut self.barrier_waiting) {
+                        self.state[w as usize] = CoreRun::Ready;
+                        self.fab.queue.push(now + 1, Event::CoreWake(w));
+                    }
+                }
+            }
+            CoreBlock::Done => {
+                self.state[ci] = CoreRun::Done;
+                self.cores[ci].finish(now);
+                self.done_count += 1;
+            }
+        }
+        self.drain_completions();
+    }
+
+    fn drain_completions(&mut self) {
+        while let Some((c, token, at)) = self.fab.completions.pop() {
+            let ci = c as usize;
+            self.cores[ci].mem_complete(token, at);
+            if self.state[ci] == CoreRun::WaitMem {
+                self.state[ci] = CoreRun::Ready;
+            }
+            self.fab.queue.push(at, Event::CoreWake(c));
+        }
+    }
+
+    fn collect_stats(&mut self) -> SystemStats {
+        // Final sweep: resident prefetched lines count toward accuracy.
+        for (c, l1) in self.fab.l1.iter().enumerate() {
+            for line in l1.iter_lines() {
+                if line.prefetched && line.touched {
+                    self.fab.pstats[c].useful += 1;
+                } else if line.prefetched && !line.touched {
+                    self.fab.pstats[c].unused += 1;
+                }
+            }
+        }
+        // Merge detection counters from the prefetcher models.
+        for (c, p) in self.fab.pref.iter().enumerate() {
+            let s = p.stats();
+            let out = &mut self.fab.pstats[c];
+            out.patterns_detected = s.patterns_detected;
+            out.detect_failures = s.detect_failures;
+            out.value_unavailable = s.value_unavailable;
+            out.generated_indirect = s.indirect_prefetches;
+            out.deferred_drops = s.deferred_drops;
+            out.deferred_retries = s.deferred_retries;
+        }
+        let cores: Vec<CoreStats> = self.cores.iter().map(|c| c.stats().clone()).collect();
+        let runtime = cores.iter().map(|c| c.done_cycle).max().unwrap_or(0);
+        let mut traffic = self.fab.traffic.clone();
+        traffic.noc_flit_hops = self.fab.mesh.flit_hops();
+        SystemStats { runtime, cores, prefetch: self.fab.pstats.clone(), traffic }
+    }
+}

@@ -1,0 +1,274 @@
+//! Instrumented operation streams.
+//!
+//! The workloads of the paper (Section 5.3) are real algorithms; what the
+//! simulator consumes is, per core, a stream of *operations*: compute
+//! bursts, tagged loads/stores, software prefetches and barriers. The tag
+//! carries the ground-truth [`AccessClass`] (indirect / stream / other)
+//! used for Figures 1 and 2, the static [`Pc`] of the access site (IMP's
+//! Prefetch Table is PC-indexed), and a dependency distance used by the
+//! out-of-order core model of Section 6.3.1.
+//!
+//! Ops are kept to 16 bytes so multi-million-instruction programs stay
+//! cheap to store.
+//!
+//! # Example
+//!
+//! ```
+//! use imp_trace::{Op, Program};
+//! use imp_common::{Addr, Pc, stats::AccessClass};
+//!
+//! let mut p = Program::new("demo", 2);
+//! p.core_mut(0).push(Op::load(Addr::new(0x100), 4, Pc::new(1), AccessClass::Stream));
+//! p.barrier();
+//! assert_eq!(p.ops(0).len(), 2);
+//! assert_eq!(p.ops(1).len(), 1); // just the barrier
+//! ```
+
+use imp_common::stats::AccessClass;
+use imp_common::{Addr, Pc};
+
+/// The kind of one operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum OpKind {
+    /// `n` cycles (= `n` single-cycle instructions) of computation;
+    /// `n` is stored in the `addr` field.
+    Compute,
+    /// A demand load.
+    Load,
+    /// A demand store.
+    Store,
+    /// A software prefetch instruction (non-binding, non-blocking).
+    SwPrefetch,
+    /// Synchronization barrier across all cores.
+    Barrier,
+}
+
+/// One operation in a core's instruction stream. 16 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Op {
+    /// Byte address for memory ops; cycle count for `Compute`.
+    pub addr: u64,
+    /// Static instruction identifier of the access site.
+    pub pc: Pc,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Access size in bytes (memory ops only).
+    pub size: u8,
+    /// Ground-truth access class (memory ops only).
+    pub class: AccessClass,
+    /// Dependency distance for the OoO model: this load/store's address
+    /// depends on the value produced by the `dep`-th previous *load* in
+    /// the same stream (0 = independent). An indirect access `A[B[i]]`
+    /// has `dep = 1` right after its index load of `B[i]`.
+    pub dep: u8,
+}
+
+impl Op {
+    /// `cycles` cycles of computation (counted as `cycles` instructions).
+    pub fn compute(cycles: u32) -> Self {
+        Op {
+            addr: u64::from(cycles),
+            pc: Pc::new(0),
+            kind: OpKind::Compute,
+            size: 0,
+            class: AccessClass::Other,
+            dep: 0,
+        }
+    }
+
+    /// A demand load.
+    pub fn load(addr: Addr, size: u8, pc: Pc, class: AccessClass) -> Self {
+        Op { addr: addr.raw(), pc, kind: OpKind::Load, size, class, dep: 0 }
+    }
+
+    /// A demand store.
+    pub fn store(addr: Addr, size: u8, pc: Pc, class: AccessClass) -> Self {
+        Op { addr: addr.raw(), pc, kind: OpKind::Store, size, class, dep: 0 }
+    }
+
+    /// A software prefetch of the line containing `addr`.
+    pub fn sw_prefetch(addr: Addr, pc: Pc) -> Self {
+        Op {
+            addr: addr.raw(),
+            pc,
+            kind: OpKind::SwPrefetch,
+            size: 8,
+            class: AccessClass::Other,
+            dep: 0,
+        }
+    }
+
+    /// A barrier.
+    pub fn barrier() -> Self {
+        Op {
+            addr: 0,
+            pc: Pc::new(0),
+            kind: OpKind::Barrier,
+            size: 0,
+            class: AccessClass::Other,
+            dep: 0,
+        }
+    }
+
+    /// Marks this op as address-dependent on the `n`-th previous load.
+    #[must_use]
+    pub fn with_dep(mut self, n: u8) -> Self {
+        self.dep = n;
+        self
+    }
+
+    /// The memory address (memory ops).
+    pub fn mem_addr(&self) -> Addr {
+        Addr::new(self.addr)
+    }
+
+    /// Number of instructions this op represents.
+    pub fn instruction_count(&self) -> u64 {
+        match self.kind {
+            OpKind::Compute => self.addr,
+            OpKind::Barrier => 0,
+            _ => 1,
+        }
+    }
+
+    /// True for loads and stores (the ops that access the cache).
+    pub fn is_demand(&self) -> bool {
+        matches!(self.kind, OpKind::Load | OpKind::Store)
+    }
+}
+
+/// A complete multi-core program: one op stream per core.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    name: String,
+    streams: Vec<Vec<Op>>,
+}
+
+impl Program {
+    /// Creates an empty program for `cores` cores.
+    pub fn new(name: &str, cores: usize) -> Self {
+        Program { name: name.to_string(), streams: vec![Vec::new(); cores] }
+    }
+
+    /// Program name (the workload that generated it).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The op stream of one core.
+    pub fn ops(&self, core: usize) -> &[Op] {
+        &self.streams[core]
+    }
+
+    /// Mutable access to one core's stream, for appending ops.
+    pub fn core_mut(&mut self, core: usize) -> &mut Vec<Op> {
+        &mut self.streams[core]
+    }
+
+    /// Appends a barrier to every core's stream.
+    pub fn barrier(&mut self) {
+        for s in &mut self.streams {
+            s.push(Op::barrier());
+        }
+    }
+
+    /// Instructions per core.
+    pub fn instructions_per_core(&self) -> Vec<u64> {
+        self.streams
+            .iter()
+            .map(|s| s.iter().map(Op::instruction_count).sum())
+            .collect()
+    }
+
+    /// Total instructions over all cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions_per_core().iter().sum()
+    }
+
+    /// Total demand memory operations over all cores.
+    pub fn total_memory_ops(&self) -> u64 {
+        self.streams
+            .iter()
+            .map(|s| s.iter().filter(|o| o.is_demand()).count() as u64)
+            .sum()
+    }
+
+    /// Checks that every core has the same number of barriers and that
+    /// barrier positions partition the streams consistently; returns the
+    /// barrier count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cores disagree on the number of barriers — that program
+    /// would deadlock.
+    pub fn validate_barriers(&self) -> usize {
+        let counts: Vec<usize> = self
+            .streams
+            .iter()
+            .map(|s| s.iter().filter(|o| o.kind == OpKind::Barrier).count())
+            .collect();
+        if let Some((first, rest)) = counts.split_first() {
+            assert!(
+                rest.iter().all(|c| c == first),
+                "barrier count mismatch across cores: {counts:?}"
+            );
+            *first
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_is_compact() {
+        assert_eq!(std::mem::size_of::<Op>(), 16);
+    }
+
+    #[test]
+    fn instruction_counting() {
+        assert_eq!(Op::compute(7).instruction_count(), 7);
+        assert_eq!(Op::barrier().instruction_count(), 0);
+        let l = Op::load(Addr::new(8), 8, Pc::new(3), AccessClass::Indirect);
+        assert_eq!(l.instruction_count(), 1);
+        assert_eq!(Op::sw_prefetch(Addr::new(8), Pc::new(4)).instruction_count(), 1);
+    }
+
+    #[test]
+    fn program_totals() {
+        let mut p = Program::new("t", 2);
+        p.core_mut(0).push(Op::compute(10));
+        p.core_mut(0).push(Op::load(Addr::new(0), 4, Pc::new(1), AccessClass::Stream));
+        p.core_mut(1).push(Op::store(Addr::new(8), 4, Pc::new(2), AccessClass::Other));
+        p.barrier();
+        assert_eq!(p.total_instructions(), 12);
+        assert_eq!(p.total_memory_ops(), 2);
+        assert_eq!(p.validate_barriers(), 1);
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.cores(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier count mismatch")]
+    fn unbalanced_barriers_detected() {
+        let mut p = Program::new("bad", 2);
+        p.core_mut(0).push(Op::barrier());
+        p.validate_barriers();
+    }
+
+    #[test]
+    fn dependency_marking() {
+        let l = Op::load(Addr::new(0), 8, Pc::new(1), AccessClass::Indirect).with_dep(1);
+        assert_eq!(l.dep, 1);
+        assert_eq!(l.with_dep(2).dep, 2);
+    }
+}

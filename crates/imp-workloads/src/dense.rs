@@ -1,0 +1,101 @@
+//! A dense, regular control workload (standing in for the SPLASH-2 check
+//! of Section 6.1): a 5-point Jacobi relaxation over a 2-D grid. No
+//! indirection anywhere — IMP must neither trigger nor hurt.
+
+use crate::{partition, Built, Scale, Workload, WorkloadParams};
+use imp_common::stats::AccessClass;
+use imp_common::Pc;
+use imp_mem::{AddressSpace, FunctionalMemory};
+use imp_trace::{Op, Program};
+
+const PC_N: Pc = Pc::new(80);
+const PC_S: Pc = Pc::new(81);
+const PC_W: Pc = Pc::new(82);
+const PC_E: Pc = Pc::new(83);
+const PC_C: Pc = Pc::new(84);
+const PC_OUT: Pc = Pc::new(85);
+
+/// The dense regular control workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dense;
+
+fn side(scale: Scale) -> u64 {
+    match scale {
+        Scale::Tiny => 64,
+        Scale::Small => 384,
+        Scale::Large => 1024,
+    }
+}
+
+impl Workload for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn build(&self, params: &WorkloadParams) -> Built {
+        let n = side(params.scale);
+        let mut space = AddressSpace::new();
+        let mem = FunctionalMemory::new();
+        let a = space.alloc_array::<f64>("a", n * n);
+        let bb = space.alloc_array::<f64>("b", n * n);
+
+        // Host relaxation for the functional result.
+        let mut grid: Vec<f64> = (0..n * n).map(|i| ((i % 11) as f64) * 0.1).collect();
+        let mut out = vec![0.0f64; (n * n) as usize];
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let i = (y * n + x) as usize;
+                out[i] = 0.25
+                    * (grid[i - 1] + grid[i + 1] + grid[i - n as usize] + grid[i + n as usize]);
+            }
+        }
+        std::mem::swap(&mut grid, &mut out);
+
+        let mut program = Program::new("dense", params.cores);
+        let parts = partition(n - 2, params.cores);
+        for (c, range) in parts.iter().enumerate() {
+            let ops = program.core_mut(c);
+            for yy in range.clone() {
+                let y = yy + 1;
+                for x in 1..n - 1 {
+                    let i = y * n + x;
+                    ops.push(Op::load(a.addr_of(i - n), 8, PC_N, AccessClass::Stream));
+                    ops.push(Op::load(a.addr_of(i - 1), 8, PC_W, AccessClass::Stream));
+                    ops.push(Op::load(a.addr_of(i), 8, PC_C, AccessClass::Stream));
+                    ops.push(Op::load(a.addr_of(i + 1), 8, PC_E, AccessClass::Stream));
+                    ops.push(Op::load(a.addr_of(i + n), 8, PC_S, AccessClass::Stream));
+                    ops.push(Op::compute(4));
+                    ops.push(Op::store(bb.addr_of(i), 8, PC_OUT, AccessClass::Stream));
+                }
+            }
+        }
+        program.barrier();
+
+        let result = grid.iter().sum::<f64>();
+        Built { program, mem, result }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_indirect_accesses_at_all() {
+        let built = Dense.build(&WorkloadParams::new(4, Scale::Tiny));
+        for c in 0..4 {
+            assert!(built
+                .program
+                .ops(c)
+                .iter()
+                .all(|o| o.class != AccessClass::Indirect));
+        }
+    }
+
+    #[test]
+    fn relaxation_smooths_the_grid() {
+        let built = Dense.build(&WorkloadParams::new(2, Scale::Tiny));
+        assert!(built.result.is_finite());
+        assert!(built.result > 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Synthetic input generators: R-MAT power-law graphs (Graph500-style)
+//! and 27-point-stencil sparse matrices (HPCG-style), both in CSR form.
+
+use imp_common::SplitMix64;
+
+/// A directed graph in Compressed Sparse Row form.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// Row offsets, `vertices + 1` entries.
+    pub xadj: Vec<u32>,
+    /// Column indices (out-neighbors), sorted within each row.
+    pub adj: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    pub fn vertices(&self) -> u64 {
+        (self.xadj.len() - 1) as u64
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> u64 {
+        self.adj.len() as u64
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn row(&self, v: u64) -> &[u32] {
+        let lo = self.xadj[v as usize] as usize;
+        let hi = self.xadj[v as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u64) -> u32 {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Builds a graph from an edge list (self-loops and duplicates are
+    /// removed; `vertices` fixes the vertex-id space).
+    pub fn from_edges(vertices: u64, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.retain(|&(s, d)| s != d);
+        edges.sort_unstable();
+        edges.dedup();
+        let mut xadj = vec![0u32; vertices as usize + 1];
+        for &(s, _) in &edges {
+            xadj[s as usize + 1] += 1;
+        }
+        for i in 1..xadj.len() {
+            xadj[i] += xadj[i - 1];
+        }
+        let adj = edges.into_iter().map(|(_, d)| d).collect();
+        CsrGraph { xadj, adj }
+    }
+
+    /// Generates an R-MAT graph (the Graph500 generator family) with
+    /// `2^scale` vertices and roughly `edge_factor` edges per vertex.
+    /// Skew parameters (a, b, c) = (0.57, 0.19, 0.19) per the Graph500
+    /// specification; vertex ids are scrambled so high-degree vertices
+    /// are spread over the id space.
+    pub fn rmat(scale: u32, edge_factor: u64, seed: u64) -> Self {
+        let n = 1u64 << scale;
+        let m = n * edge_factor;
+        let mut rng = SplitMix64::new(seed);
+        let (a, b, c) = (0.57, 0.19, 0.19);
+        let mut edges = Vec::with_capacity(m as usize);
+        for _ in 0..m {
+            let (mut x, mut y) = (0u64, 0u64);
+            for level in (0..scale).rev() {
+                let r = rng.next_f64();
+                let (dx, dy) = if r < a {
+                    (0, 0)
+                } else if r < a + b {
+                    (0, 1)
+                } else if r < a + b + c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                x |= dx << level;
+                y |= dy << level;
+            }
+            // Scramble ids (multiplicative hash) to avoid locality by id.
+            let sx = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n;
+            let sy = y.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) % n;
+            edges.push((sx as u32, sy as u32));
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// Restricts edges to `u -> v` with `u < v` (an acyclic orientation,
+    /// as Triangle Counting requires).
+    #[must_use]
+    pub fn oriented(&self) -> CsrGraph {
+        let mut edges = Vec::new();
+        for v in 0..self.vertices() {
+            for &w in self.row(v) {
+                if (v as u32) < w {
+                    edges.push((v as u32, w));
+                }
+            }
+        }
+        CsrGraph::from_edges(self.vertices(), edges)
+    }
+}
+
+/// A square sparse matrix in CSR form with explicit values.
+#[derive(Clone, Debug)]
+pub struct CsrMatrix {
+    /// Row offsets.
+    pub xadj: Vec<u32>,
+    /// Column indices, sorted within each row.
+    pub col: Vec<u32>,
+    /// Nonzero values.
+    pub val: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        (self.xadj.len() - 1) as u64
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> u64 {
+        self.col.len() as u64
+    }
+
+    /// Nonzeros of row `r` as (column, value) pairs.
+    pub fn row(&self, r: u64) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.xadj[r as usize] as usize;
+        let hi = self.xadj[r as usize + 1] as usize;
+        self.col[lo..hi].iter().copied().zip(self.val[lo..hi].iter().copied())
+    }
+
+    /// The HPCG problem: a 27-point stencil on an `n x n x n` grid
+    /// (diagonal 26, off-diagonals -1), symmetric positive definite.
+    pub fn stencil27(n: u64) -> Self {
+        let rows = n * n * n;
+        let mut xadj = Vec::with_capacity(rows as usize + 1);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        xadj.push(0u32);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let r = (z * n + y) * n + x;
+                    for dz in -1i64..=1 {
+                        for dy in -1i64..=1 {
+                            for dx in -1i64..=1 {
+                                let (nx, ny, nz) =
+                                    (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                if nx < 0
+                                    || ny < 0
+                                    || nz < 0
+                                    || nx >= n as i64
+                                    || ny >= n as i64
+                                    || nz >= n as i64
+                                {
+                                    continue;
+                                }
+                                let c = ((nz as u64 * n + ny as u64) * n + nx as u64) as u32;
+                                col.push(c);
+                                val.push(if c as u64 == r { 26.0 } else { -1.0 });
+                            }
+                        }
+                    }
+                    xadj.push(col.len() as u32);
+                }
+            }
+        }
+        CsrMatrix { xadj, col, val }
+    }
+
+    /// Symmetrically permutes the matrix: `A' = P A P^T` (rows and
+    /// columns relabelled by the same random permutation). Models the
+    /// row-reordered matrices of optimized HPCG implementations: SPD-ness
+    /// and the stencil's value structure are preserved, but indirect
+    /// accesses to the vector scatter instead of forming near-streams.
+    #[must_use]
+    pub fn symmetric_permutation(&self, seed: u64) -> CsrMatrix {
+        let n = self.rows();
+        // perm[old] = new label.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut rng = SplitMix64::new(seed);
+        for i in (1..perm.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        let mut inv = vec![0u32; n as usize];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        let mut xadj = Vec::with_capacity(n as usize + 1);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        xadj.push(0u32);
+        for new_r in 0..n {
+            let old_r = inv[new_r as usize];
+            let mut entries: Vec<(u32, f64)> = self
+                .row(u64::from(old_r))
+                .map(|(c, v)| (perm[c as usize], v))
+                .collect();
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            for (c, v) in entries {
+                col.push(c);
+                val.push(v);
+            }
+            xadj.push(col.len() as u32);
+        }
+        CsrMatrix { xadj, col, val }
+    }
+
+    /// Dense matrix-vector product reference: `y = A * x`.
+    pub fn spmv_reference(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.rows())
+            .map(|r| self.row(r).map(|(c, v)| v * x[c as usize]).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_edges_is_sorted_and_deduped() {
+        let g = CsrGraph::from_edges(
+            4,
+            vec![(1, 2), (0, 3), (0, 1), (0, 1), (2, 2), (3, 0)],
+        );
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.edges(), 4); // (0,1) deduped, (2,2) self-loop dropped
+        assert_eq!(g.row(0), &[1, 3]);
+        assert_eq!(g.row(1), &[2]);
+        assert_eq!(g.row(2), &[] as &[u32]);
+        assert_eq!(g.row(3), &[0]);
+    }
+
+    #[test]
+    fn rmat_has_power_law_skew() {
+        let g = CsrGraph::rmat(10, 8, 7);
+        assert_eq!(g.vertices(), 1024);
+        assert!(g.edges() > 4000, "{} edges", g.edges());
+        // Skew: the top 10% of vertices own well over 10% of edges.
+        let mut degs: Vec<u32> = (0..g.vertices()).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = degs[..102].iter().map(|&d| u64::from(d)).sum();
+        assert!(
+            top * 100 / g.edges() > 25,
+            "top-10% share {}%",
+            top * 100 / g.edges()
+        );
+    }
+
+    #[test]
+    fn rmat_is_deterministic_per_seed() {
+        let a = CsrGraph::rmat(8, 4, 1);
+        let b = CsrGraph::rmat(8, 4, 1);
+        let c = CsrGraph::rmat(8, 4, 2);
+        assert_eq!(a.adj, b.adj);
+        assert_ne!(a.adj, c.adj);
+    }
+
+    #[test]
+    fn oriented_graph_is_acyclic_by_construction() {
+        let g = CsrGraph::rmat(8, 4, 3).oriented();
+        for v in 0..g.vertices() {
+            for &w in g.row(v) {
+                assert!((v as u32) < w);
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_interior_row_has_27_points() {
+        let m = CsrMatrix::stencil27(4);
+        assert_eq!(m.rows(), 64);
+        // Interior point (1,1,1) has the full 27-point stencil.
+        let interior = (4 + 1) * 4 + 1;
+        assert_eq!(m.row(interior).count(), 27);
+        // Corner (0,0,0) sees only 8 neighbors.
+        assert_eq!(m.row(0).count(), 8);
+    }
+
+    #[test]
+    fn stencil_row_sums_are_diagonally_dominant() {
+        let m = CsrMatrix::stencil27(3);
+        for r in 0..m.rows() {
+            let diag: f64 = m.row(r).filter(|&(c, _)| u64::from(c) == r).map(|(_, v)| v).sum();
+            let off: f64 =
+                m.row(r).filter(|&(c, _)| u64::from(c) != r).map(|(_, v)| v.abs()).sum();
+            assert!(diag >= off, "row {r}: diag {diag} vs off {off}");
+        }
+    }
+
+    #[test]
+    fn spmv_reference_on_identity_like_vector() {
+        let m = CsrMatrix::stencil27(3);
+        let x = vec![1.0; m.rows() as usize];
+        let y = m.spmv_reference(&x);
+        // Interior row: 26 - 26 = 0.
+        let interior = ((3 + 1) * 3 + 1) as usize;
+        assert!((y[interior] - 0.0).abs() < 1e-12);
+    }
+}

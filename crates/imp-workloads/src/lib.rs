@@ -1,0 +1,218 @@
+//! The paper's evaluation workloads (Section 5.3), re-implemented over
+//! synthetic inputs.
+//!
+//! Each workload runs its *real algorithm* on host data structures while
+//! emitting, per core, the instrumented op stream the simulator executes.
+//! Index arrays (and any array whose values act as indices) are also
+//! written into the simulated [`FunctionalMemory`] so IMP reads genuine
+//! index values when it prefetches `B[i + delta]`.
+//!
+//! | Workload  | Indirect pattern | Coefficient (shift) |
+//! |-----------|------------------|---------------------|
+//! | PageRank  | `pr[adj[e]]`, `deg[adj[e]]` (multi-way) | 8 (3), 4 (2) |
+//! | TriCount  | `bitvec[adj[e] >> 3]` | 1/8 (-3) |
+//! | Graph500  | `xadj[frontier[i]]` then `adj[...]`, `parent[adj[e]]` (multi-level) | 4 (2) |
+//! | SGD       | `U[ru[k] * 2]`, `V[ri[k] * 2]` (16-byte rows) | 16 (4) |
+//! | LSH       | `data[cand[i] * 2]` (16-byte rows) | 16 (4) |
+//! | SpMV      | `x[col[k]]` | 8 (3) |
+//! | SymGS     | `x[col[k]]` with in-place writes, fwd + bwd sweeps | 8 (3) |
+//! | Dense     | none (SPLASH-2-like no-harm control) | — |
+//!
+//! # Example
+//!
+//! ```
+//! use imp_workloads::{by_name, Scale, WorkloadParams};
+//!
+//! let params = WorkloadParams::new(16, Scale::Tiny);
+//! let built = by_name("spmv").unwrap().build(&params);
+//! assert_eq!(built.program.cores(), 16);
+//! assert!(built.program.total_memory_ops() > 0);
+//! ```
+
+mod dense;
+mod gen;
+mod graph500;
+mod lsh;
+mod pagerank;
+mod sgd;
+mod spmv;
+mod symgs;
+mod tricount;
+
+pub use dense::Dense;
+pub use gen::{CsrGraph, CsrMatrix};
+pub use graph500::Graph500;
+pub use lsh::Lsh;
+pub use pagerank::Pagerank;
+pub use sgd::Sgd;
+pub use spmv::Spmv;
+pub use symgs::Symgs;
+pub use tricount::TriCount;
+
+use imp_mem::FunctionalMemory;
+use imp_trace::Program;
+
+/// Input sizing presets. `Tiny` keeps unit tests fast; `Small` is the
+/// default for benchmark harnesses (working sets exceed the aggregate L1
+/// but simulate in seconds); `Large` approaches the paper's pressure on
+/// the L2/DRAM at the cost of longer runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Smallest inputs (unit tests).
+    Tiny,
+    /// Bench default.
+    Small,
+    /// Higher-fidelity runs.
+    Large,
+}
+
+/// Parameters shared by all workload builders.
+#[derive(Clone, Debug)]
+pub struct WorkloadParams {
+    /// Number of cores to partition work across.
+    pub cores: usize,
+    /// Input sizing.
+    pub scale: Scale,
+    /// Insert Mowry-style software prefetches (Section 5.4's *Software
+    /// Prefetching* configuration).
+    pub software_prefetch: bool,
+    /// Software prefetch distance (elements ahead).
+    pub sw_distance: u64,
+    /// RNG seed for input generation.
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// Default parameters for `cores` at `scale`.
+    pub fn new(cores: usize, scale: Scale) -> Self {
+        WorkloadParams { cores, scale, software_prefetch: false, sw_distance: 16, seed: 42 }
+    }
+
+    /// Returns a copy with software prefetching enabled at `distance`.
+    #[must_use]
+    pub fn with_software_prefetch(mut self, distance: u64) -> Self {
+        self.software_prefetch = true;
+        self.sw_distance = distance;
+        self
+    }
+}
+
+/// A generated workload: the multicore program, the functional memory
+/// holding its arrays, and the algorithm's result for verification.
+#[derive(Debug)]
+pub struct Built {
+    /// Per-core op streams.
+    pub program: Program,
+    /// Simulated memory contents (index arrays etc.).
+    pub mem: FunctionalMemory,
+    /// Functional result of the algorithm (workload-specific meaning;
+    /// e.g. triangle count, PageRank mass, BFS vertices reached). Used
+    /// by tests to check the generator really ran the algorithm.
+    pub result: f64,
+}
+
+/// A workload generator.
+pub trait Workload {
+    /// Short name (matches the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Builds the program for the given parameters.
+    fn build(&self, params: &WorkloadParams) -> Built;
+}
+
+/// All seven paper workloads, in the paper's figure order.
+pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Pagerank),
+        Box::new(TriCount),
+        Box::new(Graph500),
+        Box::new(Sgd),
+        Box::new(Lsh),
+        Box::new(Spmv),
+        Box::new(Symgs),
+    ]
+}
+
+/// Looks a workload up by name (including the `dense` control).
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    match name {
+        "pagerank" => Some(Box::new(Pagerank)),
+        "tri_count" => Some(Box::new(TriCount)),
+        "graph500" => Some(Box::new(Graph500)),
+        "sgd" => Some(Box::new(Sgd)),
+        "lsh" => Some(Box::new(Lsh)),
+        "spmv" => Some(Box::new(Spmv)),
+        "symgs" => Some(Box::new(Symgs)),
+        "dense" => Some(Box::new(Dense)),
+        _ => None,
+    }
+}
+
+/// Splits `0..n` into `parts` contiguous ranges of near-equal size.
+pub(crate) fn partition(n: u64, parts: usize) -> Vec<std::ops::Range<u64>> {
+    let parts = parts.max(1) as u64;
+    (0..parts)
+        .map(|p| {
+            let lo = n * p / parts;
+            let hi = n * (p + 1) / parts;
+            lo..hi
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_exactly_once() {
+        for n in [0u64, 1, 7, 64, 1000] {
+            for parts in [1usize, 3, 16, 64] {
+                let ranges = partition(n, parts);
+                assert_eq!(ranges.len(), parts);
+                let total: u64 = ranges.iter().map(|r| r.end - r.start).sum();
+                assert_eq!(total, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registry_has_all_paper_workloads() {
+        let names: Vec<&str> = paper_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec!["pagerank", "tri_count", "graph500", "sgd", "lsh", "spmv", "symgs"]
+        );
+        for n in names {
+            assert!(by_name(n).is_some());
+        }
+        assert!(by_name("dense").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds_and_balances_barriers() {
+        let p = WorkloadParams::new(4, Scale::Tiny);
+        for w in paper_workloads() {
+            let b = w.build(&p);
+            assert_eq!(b.program.cores(), 4, "{}", w.name());
+            b.program.validate_barriers();
+            assert!(b.program.total_memory_ops() > 0, "{}", w.name());
+            assert!(b.result.is_finite(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let p = WorkloadParams::new(4, Scale::Tiny);
+        for w in paper_workloads() {
+            let a = w.build(&p);
+            let b = w.build(&p);
+            assert_eq!(a.result, b.result, "{}", w.name());
+            assert_eq!(a.program.total_instructions(), b.program.total_instructions());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run one workload on the simulated 16-core system with and
+//! without IMP and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use imp::prelude::*;
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "spmv".to_string());
+    let cores = 16;
+    let params = WorkloadParams::new(cores as usize, Scale::Small);
+    let workload = by_name(&app).unwrap_or_else(|| {
+        eprintln!("unknown workload {app}; try pagerank/tri_count/graph500/sgd/lsh/spmv/symgs");
+        std::process::exit(1);
+    });
+
+    println!("workload: {app}, {cores} cores, paper-default system (Table 1)");
+
+    let mut results = Vec::new();
+    for (label, cfg) in [
+        ("Baseline (stream prefetcher)", SystemConfig::paper_default(cores)),
+        (
+            "IMP (stream + indirect)",
+            SystemConfig::paper_default(cores).with_prefetcher(PrefetcherKind::Imp),
+        ),
+        (
+            "IMP + partial cachelines",
+            SystemConfig::paper_default(cores)
+                .with_prefetcher(PrefetcherKind::Imp)
+                .with_partial(PartialMode::NocAndDram),
+        ),
+    ] {
+        let built = workload.build(&params);
+        let stats = System::new(cfg, built.program, built.mem).run();
+        results.push((label, stats));
+    }
+
+    let base_runtime = results[0].1.runtime as f64;
+    for (label, s) in &results {
+        println!(
+            "{label:32} runtime {:>10} cycles  speedup {:>5.2}x  coverage {:>5.2}  accuracy {:>5.2}",
+            s.runtime,
+            base_runtime / s.runtime as f64,
+            s.coverage(),
+            s.accuracy(),
+        );
+    }
+    let p = results[1].1.prefetch_total();
+    println!(
+        "IMP detected {} indirect patterns and issued {} indirect prefetches",
+        p.patterns_detected, p.issued_indirect
+    );
+}

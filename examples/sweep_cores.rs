@@ -1,0 +1,33 @@
+//! Core-count scaling sweep (the paper's 16 / 64 / 256-core panels):
+//! how the IMP speedup over Baseline evolves as bandwidth per core
+//! shrinks (total L2 and DRAM bandwidth scale with sqrt(N), Section 5.1).
+//!
+//! ```sh
+//! cargo run --release --example sweep_cores [workload]
+//! ```
+
+use imp::experiments::{run, Config};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "pagerank".to_string());
+    println!("{app}: scaling from 16 to 256 cores (IMP_SCALE inputs)\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "cores", "Base rt", "IMP rt", "PerfPref rt", "IMP/Base", "IMP/Perf"
+    );
+    for cores in [16u32, 64, 256] {
+        let base = run(&app, cores, Config::Base);
+        let imp = run(&app, cores, Config::Imp);
+        let perf = run(&app, cores, Config::PerfPref);
+        println!(
+            "{cores:>6} {:>12} {:>12} {:>12} {:>9.2} {:>9.2}",
+            base.runtime,
+            imp.runtime,
+            perf.runtime,
+            base.runtime as f64 / imp.runtime as f64,
+            imp.runtime as f64 / perf.runtime as f64,
+        );
+    }
+    println!("\n(expect the IMP/Base speedup to shrink as core count grows:");
+    println!(" bandwidth per core drops with sqrt(N), leaving less latency to hide — Fig 9a-c)");
+}

@@ -1,0 +1,66 @@
+//! # imp — a reproduction of *IMP: Indirect Memory Prefetcher* (MICRO-48, 2015)
+//!
+//! This crate is the facade over the workspace that re-implements the
+//! paper end to end:
+//!
+//! * [`prefetch`] — the contribution itself: the Indirect Memory
+//!   Prefetcher (stream table + Indirect Pattern Detector + Prefetch
+//!   Table with multi-way/multi-level indirection) and its Granularity
+//!   Predictor for partial cacheline accessing, plus the baseline stream
+//!   and GHB prefetchers.
+//! * [`sim`] — a Graphite-style many-core simulator: in-order/OoO cores,
+//!   sectored caches, ACKwise-4 directory coherence, 2-D mesh NoC,
+//!   fixed-latency and DDR3-like DRAM.
+//! * [`workloads`] — the seven evaluation kernels (PageRank, Triangle
+//!   Counting, Graph500 BFS, SGD, LSH, SpMV, SymGS) over synthetic
+//!   inputs, emitting instrumented op streams and real index-array
+//!   contents.
+//! * [`experiments`] — drivers that regenerate every table and figure of
+//!   the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use imp::prelude::*;
+//!
+//! // Build SpMV for a 16-core system and compare Baseline vs IMP.
+//! let params = WorkloadParams::new(16, Scale::Tiny);
+//! let base = {
+//!     let b = by_name("spmv").unwrap().build(&params);
+//!     System::new(SystemConfig::paper_default(16), b.program, b.mem).run()
+//! };
+//! let imp = {
+//!     let b = by_name("spmv").unwrap().build(&params);
+//!     let cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
+//!     System::new(cfg, b.program, b.mem).run()
+//! };
+//! assert!(imp.runtime <= base.runtime);
+//! ```
+
+pub use imp_cache as cache;
+pub use imp_coherence as coherence;
+pub use imp_common as common;
+pub use imp_cpu as cpu;
+pub use imp_dram as dram;
+pub use imp_experiments as experiments;
+pub use imp_mem as mem;
+pub use imp_noc as noc;
+pub use imp_prefetch as prefetch;
+pub use imp_sim as sim;
+pub use imp_trace as trace;
+pub use imp_workloads as workloads;
+
+/// The most commonly used types, one `use` away.
+pub mod prelude {
+    pub use imp_common::config::{
+        CoreModel, MemMode, PartialMode, PrefetcherKind,
+    };
+    pub use imp_common::stats::{AccessClass, SystemStats};
+    pub use imp_common::{Addr, ImpConfig, LineAddr, Pc, SystemConfig};
+    pub use imp_experiments::{run as run_experiment, Config as ExperimentConfig};
+    pub use imp_mem::{AddressSpace, FunctionalMemory};
+    pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
+    pub use imp_sim::System;
+    pub use imp_trace::{Op, Program};
+    pub use imp_workloads::{by_name, paper_workloads, Scale, Workload, WorkloadParams};
+}
