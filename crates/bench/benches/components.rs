@@ -32,7 +32,10 @@ fn bench(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            sp.on_access(Access::load_hit(Pc::new(1), Addr::new(0x40000 + 8 * i), 8), &mut src)
+            sp.on_access(
+                Access::load_hit(Pc::new(1), Addr::new(0x40000 + 8 * i), 8),
+                &mut src,
+            )
         })
     });
 

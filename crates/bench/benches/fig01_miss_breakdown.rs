@@ -8,7 +8,12 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     print_table();
-    imp_bench::criterion_probe(c, "fig01_miss_breakdown", "pagerank", imp_experiments::Config::Base);
+    imp_bench::criterion_probe(
+        c,
+        "fig01_miss_breakdown",
+        "pagerank",
+        imp_experiments::Config::Base,
+    );
 }
 
 criterion_group!(benches, bench);

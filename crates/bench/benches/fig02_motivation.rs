@@ -8,7 +8,12 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     print_table();
-    imp_bench::criterion_probe(c, "fig02_motivation", "spmv", imp_experiments::Config::Ideal);
+    imp_bench::criterion_probe(
+        c,
+        "fig02_motivation",
+        "spmv",
+        imp_experiments::Config::Ideal,
+    );
 }
 
 criterion_group!(benches, bench);

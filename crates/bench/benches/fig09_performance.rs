@@ -11,7 +11,12 @@ fn print_tables() {
 
 fn bench(c: &mut Criterion) {
     print_tables();
-    imp_bench::criterion_probe(c, "fig09_performance", "pagerank", imp_experiments::Config::Imp);
+    imp_bench::criterion_probe(
+        c,
+        "fig09_performance",
+        "pagerank",
+        imp_experiments::Config::Imp,
+    );
 }
 
 criterion_group!(benches, bench);

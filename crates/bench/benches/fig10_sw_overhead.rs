@@ -8,7 +8,12 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     print_table();
-    imp_bench::criterion_probe(c, "fig10_sw_overhead", "pagerank", imp_experiments::Config::SwPref);
+    imp_bench::criterion_probe(
+        c,
+        "fig10_sw_overhead",
+        "pagerank",
+        imp_experiments::Config::SwPref,
+    );
 }
 
 criterion_group!(benches, bench);

@@ -11,7 +11,12 @@ fn print_tables() {
 
 fn bench(c: &mut Criterion) {
     print_tables();
-    imp_bench::criterion_probe(c, "fig11_partial", "lsh", imp_experiments::Config::ImpPartialNocDram);
+    imp_bench::criterion_probe(
+        c,
+        "fig11_partial",
+        "lsh",
+        imp_experiments::Config::ImpPartialNocDram,
+    );
 }
 
 criterion_group!(benches, bench);

@@ -8,7 +8,12 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     print_table();
-    imp_bench::criterion_probe(c, "fig12_traffic", "lsh", imp_experiments::Config::ImpPartialNocDram);
+    imp_bench::criterion_probe(
+        c,
+        "fig12_traffic",
+        "lsh",
+        imp_experiments::Config::ImpPartialNocDram,
+    );
 }
 
 criterion_group!(benches, bench);

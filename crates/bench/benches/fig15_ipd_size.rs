@@ -3,7 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn print_table() {
-    println!("{}", imp_experiments::sensitivity(64, imp_experiments::SweepParam::IpdSize));
+    println!(
+        "{}",
+        imp_experiments::sensitivity(64, imp_experiments::SweepParam::IpdSize)
+    );
 }
 
 fn bench(c: &mut Criterion) {

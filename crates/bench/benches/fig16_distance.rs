@@ -3,12 +3,20 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn print_table() {
-    println!("{}", imp_experiments::sensitivity(64, imp_experiments::SweepParam::Distance));
+    println!(
+        "{}",
+        imp_experiments::sensitivity(64, imp_experiments::SweepParam::Distance)
+    );
 }
 
 fn bench(c: &mut Criterion) {
     print_table();
-    imp_bench::criterion_probe(c, "fig16_distance", "graph500", imp_experiments::Config::Imp);
+    imp_bench::criterion_probe(
+        c,
+        "fig16_distance",
+        "graph500",
+        imp_experiments::Config::Imp,
+    );
 }
 
 criterion_group!(benches, bench);

@@ -8,7 +8,12 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     print_table();
-    imp_bench::criterion_probe(c, "ghb_comparison", "pagerank", imp_experiments::Config::Ghb);
+    imp_bench::criterion_probe(
+        c,
+        "ghb_comparison",
+        "pagerank",
+        imp_experiments::Config::Ghb,
+    );
 }
 
 criterion_group!(benches, bench);

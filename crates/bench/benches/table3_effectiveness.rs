@@ -8,7 +8,12 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     print_table();
-    imp_bench::criterion_probe(c, "table3_effectiveness", "spmv", imp_experiments::Config::Imp);
+    imp_bench::criterion_probe(
+        c,
+        "table3_effectiveness",
+        "spmv",
+        imp_experiments::Config::Imp,
+    );
 }
 
 criterion_group!(benches, bench);

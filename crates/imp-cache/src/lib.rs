@@ -114,7 +114,9 @@ impl SectoredCache {
         let lines = size_bytes / imp_common::LINE_BYTES;
         let sets = (lines / u64::from(ways)).max(1);
         SectoredCache {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways as usize)).collect(),
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(ways as usize))
+                .collect(),
             ways,
             sectors,
             stamp: 0,
@@ -142,7 +144,9 @@ impl SectoredCache {
 
     /// Non-updating probe.
     pub fn probe(&self, line: LineAddr) -> Option<&CacheLine> {
-        self.sets[self.set_index(line)].iter().find(|l| l.line == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|l| l.line == line)
     }
 
     fn find_mut(&mut self, line: LineAddr) -> Option<&mut CacheLine> {
@@ -152,7 +156,12 @@ impl SectoredCache {
 
     /// Performs a demand access needing `need` sectors; `write` marks the
     /// touched sectors dirty on a hit. Updates LRU and touch state.
-    pub fn demand_access(&mut self, line: LineAddr, need: SectorMask, write: bool) -> AccessOutcome {
+    pub fn demand_access(
+        &mut self,
+        line: LineAddr,
+        need: SectorMask,
+        write: bool,
+    ) -> AccessOutcome {
         self.stamp += 1;
         let stamp = self.stamp;
         let full = self.full_mask();
@@ -167,7 +176,9 @@ impl SectoredCache {
                     if write {
                         l.dirty = l.dirty.union(need);
                     }
-                    AccessOutcome::Hit { first_touch_of_prefetch: first_touch }
+                    AccessOutcome::Hit {
+                        first_touch_of_prefetch: first_touch,
+                    }
                 } else {
                     AccessOutcome::SectorMiss {
                         missing: need.minus(l.valid),
@@ -299,11 +310,18 @@ mod tests {
     #[test]
     fn miss_then_fill_then_hit() {
         let mut c = small();
-        assert_eq!(c.demand_access(line(1), SectorMask::FULL_L1, false), AccessOutcome::Miss);
-        assert!(c.fill(line(1), SectorMask::FULL_L1, LineState::Shared, false).is_none());
+        assert_eq!(
+            c.demand_access(line(1), SectorMask::FULL_L1, false),
+            AccessOutcome::Miss
+        );
+        assert!(c
+            .fill(line(1), SectorMask::FULL_L1, LineState::Shared, false)
+            .is_none());
         assert!(matches!(
             c.demand_access(line(1), SectorMask::FULL_L1, false),
-            AccessOutcome::Hit { first_touch_of_prefetch: false }
+            AccessOutcome::Hit {
+                first_touch_of_prefetch: false
+            }
         ));
     }
 
@@ -315,7 +333,9 @@ mod tests {
         c.fill(line(4), SectorMask::FULL_L1, LineState::Shared, false);
         // Touch line 0 so line 4 is LRU.
         c.demand_access(line(0), SectorMask::FULL_L1, false);
-        let ev = c.fill(line(8), SectorMask::FULL_L1, LineState::Shared, false).unwrap();
+        let ev = c
+            .fill(line(8), SectorMask::FULL_L1, LineState::Shared, false)
+            .unwrap();
         assert_eq!(ev.line, line(4));
         assert!(c.probe(line(0)).is_some());
         assert!(c.probe(line(4)).is_none());
@@ -324,16 +344,29 @@ mod tests {
     #[test]
     fn sector_miss_reports_missing() {
         let mut c = small();
-        c.fill(line(3), SectorMask::from_bits(0b0000_1111), LineState::Shared, true);
+        c.fill(
+            line(3),
+            SectorMask::from_bits(0b0000_1111),
+            LineState::Shared,
+            true,
+        );
         match c.demand_access(line(3), SectorMask::from_bits(0b0011_0000), false) {
-            AccessOutcome::SectorMiss { missing, first_touch_of_prefetch } => {
+            AccessOutcome::SectorMiss {
+                missing,
+                first_touch_of_prefetch,
+            } => {
                 assert_eq!(missing.bits(), 0b0011_0000);
                 assert!(first_touch_of_prefetch);
             }
             o => panic!("expected sector miss, got {o:?}"),
         }
         // Partial fill of the missing sectors completes the line region.
-        c.fill(line(3), SectorMask::from_bits(0b0011_0000), LineState::Shared, false);
+        c.fill(
+            line(3),
+            SectorMask::from_bits(0b0011_0000),
+            LineState::Shared,
+            false,
+        );
         assert!(matches!(
             c.demand_access(line(3), SectorMask::from_bits(0b0011_1111), false),
             AccessOutcome::Hit { .. }
@@ -346,7 +379,9 @@ mod tests {
         c.fill(line(0), SectorMask::FULL_L1, LineState::Modified, false);
         c.demand_access(line(0), SectorMask::from_bits(0b1), true);
         c.fill(line(4), SectorMask::FULL_L1, LineState::Shared, false);
-        let ev = c.fill(line(8), SectorMask::FULL_L1, LineState::Shared, false).unwrap();
+        let ev = c
+            .fill(line(8), SectorMask::FULL_L1, LineState::Shared, false)
+            .unwrap();
         assert_eq!(ev.line, line(0));
         assert_eq!(ev.state, LineState::Modified);
         assert_eq!(ev.dirty.bits(), 0b1);
@@ -360,12 +395,16 @@ mod tests {
         // Touch line 0 only.
         assert!(matches!(
             c.demand_access(line(0), SectorMask::from_bits(1), false),
-            AccessOutcome::Hit { first_touch_of_prefetch: true }
+            AccessOutcome::Hit {
+                first_touch_of_prefetch: true
+            }
         ));
         // Second touch is no longer a first touch.
         assert!(matches!(
             c.demand_access(line(0), SectorMask::from_bits(1), false),
-            AccessOutcome::Hit { first_touch_of_prefetch: false }
+            AccessOutcome::Hit {
+                first_touch_of_prefetch: false
+            }
         ));
         let ev0 = c.invalidate(line(0)).unwrap();
         assert!(ev0.prefetched_touched && !ev0.prefetched_untouched);
@@ -391,7 +430,10 @@ mod tests {
             c.fill(line(n), SectorMask::FULL_L1, LineState::Shared, false);
             assert!(c.resident_lines() <= 8);
             for set in 0..c.num_sets() {
-                let in_set = c.iter_lines().filter(|l| l.line.number() % 4 == set as u64).count();
+                let in_set = c
+                    .iter_lines()
+                    .filter(|l| l.line.number() % 4 == set as u64)
+                    .count();
                 assert!(in_set <= 2);
             }
         }
@@ -411,9 +453,15 @@ mod tests {
         let l = LineAddr::containing(a);
         let m = SectorMask::l1_touch(a, 8);
         c.fill(l, m, LineState::Shared, false);
-        assert!(matches!(c.demand_access(l, m, false), AccessOutcome::Hit { .. }));
+        assert!(matches!(
+            c.demand_access(l, m, false),
+            AccessOutcome::Hit { .. }
+        ));
         // A different sector of the same line misses.
         let m2 = SectorMask::l1_touch(a.offset(16), 8);
-        assert!(matches!(c.demand_access(l, m2, false), AccessOutcome::SectorMiss { .. }));
+        assert!(matches!(
+            c.demand_access(l, m2, false),
+            AccessOutcome::SectorMiss { .. }
+        ));
     }
 }

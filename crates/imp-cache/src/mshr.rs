@@ -41,7 +41,10 @@ pub struct MshrFile<W> {
 impl<W> MshrFile<W> {
     /// Creates a file with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        MshrFile { entries: HashMap::new(), capacity }
+        MshrFile {
+            entries: HashMap::new(),
+            capacity,
+        }
     }
 
     /// Current number of in-flight lines.
@@ -94,7 +97,11 @@ impl<W> MshrFile<W> {
         } else {
             self.entries.insert(
                 line,
-                MshrEntry { requested: sectors, prefetch_only: is_prefetch, waiters: vec![waiter] },
+                MshrEntry {
+                    requested: sectors,
+                    prefetch_only: is_prefetch,
+                    waiters: vec![waiter],
+                },
             );
             MshrAlloc::New
         }
@@ -108,7 +115,9 @@ impl<W> MshrFile<W> {
     /// Whether a demand access for `sectors` of `line` can be considered
     /// "in flight" (it would merge without a new downstream request).
     pub fn covers(&self, line: LineAddr, sectors: SectorMask) -> bool {
-        self.entries.get(&line).is_some_and(|e| e.requested.contains(sectors))
+        self.entries
+            .get(&line)
+            .is_some_and(|e| e.requested.contains(sectors))
     }
 }
 
@@ -123,8 +132,14 @@ mod tests {
     #[test]
     fn new_then_merge() {
         let mut f: MshrFile<u32> = MshrFile::new(2);
-        assert_eq!(f.alloc(line(1), SectorMask::FULL_L1, false, 10), MshrAlloc::New);
-        assert_eq!(f.alloc(line(1), SectorMask::from_bits(1), false, 11), MshrAlloc::Merged);
+        assert_eq!(
+            f.alloc(line(1), SectorMask::FULL_L1, false, 10),
+            MshrAlloc::New
+        );
+        assert_eq!(
+            f.alloc(line(1), SectorMask::from_bits(1), false, 11),
+            MshrAlloc::Merged
+        );
         let e = f.complete(line(1)).unwrap();
         assert_eq!(e.waiters, vec![10, 11]);
         assert!(f.is_empty());
@@ -146,14 +161,26 @@ mod tests {
     #[test]
     fn capacity_limits_prefetches_only() {
         let mut f: MshrFile<()> = MshrFile::new(1);
-        assert_eq!(f.alloc(line(1), SectorMask::FULL_L1, true, ()), MshrAlloc::New);
-        assert_eq!(f.alloc(line(2), SectorMask::FULL_L1, true, ()), MshrAlloc::Full);
+        assert_eq!(
+            f.alloc(line(1), SectorMask::FULL_L1, true, ()),
+            MshrAlloc::New
+        );
+        assert_eq!(
+            f.alloc(line(2), SectorMask::FULL_L1, true, ()),
+            MshrAlloc::Full
+        );
         assert!(f.is_full());
         // Demand misses are never structurally refused.
-        assert_eq!(f.alloc(line(3), SectorMask::FULL_L1, false, ()), MshrAlloc::New);
+        assert_eq!(
+            f.alloc(line(3), SectorMask::FULL_L1, false, ()),
+            MshrAlloc::New
+        );
         f.complete(line(1));
         f.complete(line(3));
-        assert_eq!(f.alloc(line(2), SectorMask::FULL_L1, true, ()), MshrAlloc::New);
+        assert_eq!(
+            f.alloc(line(2), SectorMask::FULL_L1, true, ()),
+            MshrAlloc::New
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ pub struct Directory {
 impl Directory {
     /// Creates a directory with `k` sharer pointers over `cores` cores.
     pub fn new(k: usize, cores: u32) -> Self {
-        Directory { k, cores, entries: HashMap::new() }
+        Directory {
+            k,
+            cores,
+            entries: HashMap::new(),
+        }
     }
 
     /// Total cores in the system.
@@ -85,7 +89,10 @@ impl Directory {
 
     /// Current state of `line`.
     pub fn state(&self, line: LineAddr) -> DirState {
-        self.entries.get(&line).cloned().unwrap_or(DirState::Uncached)
+        self.entries
+            .get(&line)
+            .cloned()
+            .unwrap_or(DirState::Uncached)
     }
 
     /// The owning core if the line is Modified somewhere.
@@ -140,7 +147,9 @@ impl Directory {
     /// invalidation ack). Overflow counts only decrement; they never
     /// regain precision (matching limited-pointer hardware).
     pub fn remove(&mut self, line: LineAddr, core: u32) {
-        let Some(e) = self.entries.get_mut(&line) else { return };
+        let Some(e) = self.entries.get_mut(&line) else {
+            return;
+        };
         match e {
             DirState::Uncached => {}
             DirState::Shared(SharerSet::Precise(v)) => {
@@ -211,7 +220,10 @@ mod tests {
     fn read_then_write_transitions() {
         let mut d = Directory::new(4, 16);
         d.add_sharer(line(1), 3);
-        assert_eq!(d.state(line(1)), DirState::Shared(SharerSet::Precise(vec![3])));
+        assert_eq!(
+            d.state(line(1)),
+            DirState::Shared(SharerSet::Precise(vec![3]))
+        );
         d.set_modified(line(1), 5);
         assert_eq!(d.owner(line(1)), Some(5));
         d.remove(line(1), 5);
@@ -224,10 +236,19 @@ mod tests {
         for c in 0..4 {
             d.add_sharer(line(9), c);
         }
-        assert!(matches!(d.state(line(9)), DirState::Shared(SharerSet::Precise(_))));
+        assert!(matches!(
+            d.state(line(9)),
+            DirState::Shared(SharerSet::Precise(_))
+        ));
         d.add_sharer(line(9), 4);
-        assert_eq!(d.state(line(9)), DirState::Shared(SharerSet::Overflow { count: 5 }));
-        assert_eq!(d.invalidation_targets(line(9), Some(0)), InvTargets::Broadcast);
+        assert_eq!(
+            d.state(line(9)),
+            DirState::Shared(SharerSet::Overflow { count: 5 })
+        );
+        assert_eq!(
+            d.invalidation_targets(line(9), Some(0)),
+            InvTargets::Broadcast
+        );
     }
 
     #[test]
@@ -250,7 +271,10 @@ mod tests {
         let mut d = Directory::new(4, 16);
         d.add_sharer(line(3), 1);
         d.add_sharer(line(3), 1);
-        assert_eq!(d.state(line(3)), DirState::Shared(SharerSet::Precise(vec![1])));
+        assert_eq!(
+            d.state(line(3)),
+            DirState::Shared(SharerSet::Precise(vec![1]))
+        );
     }
 
     #[test]
@@ -273,7 +297,10 @@ mod tests {
             d.add_sharer(line(5), c);
         }
         d.add_sharer(line(5), 0); // duplicate adds in overflow still count
-        assert_eq!(d.state(line(5)), DirState::Shared(SharerSet::Overflow { count: 4 }));
+        assert_eq!(
+            d.state(line(5)),
+            DirState::Shared(SharerSet::Overflow { count: 4 })
+        );
     }
 
     #[test]
@@ -281,7 +308,10 @@ mod tests {
         let mut d = Directory::new(1, 8);
         d.add_sharer(line(6), 0);
         d.add_sharer(line(6), 1);
-        assert!(matches!(d.state(line(6)), DirState::Shared(SharerSet::Overflow { count: 2 })));
+        assert!(matches!(
+            d.state(line(6)),
+            DirState::Shared(SharerSet::Overflow { count: 2 })
+        ));
         d.remove(line(6), 0);
         d.remove(line(6), 1);
         assert_eq!(d.state(line(6)), DirState::Uncached);

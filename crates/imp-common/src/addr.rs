@@ -1,7 +1,7 @@
 //! Address newtypes: virtual byte addresses, cache-line addresses, program
 //! counters, and sector masks for partial cacheline accessing.
 
-use crate::{L1_SECTOR_BYTES, L1_SECTORS, LINE_BYTES};
+use crate::{L1_SECTORS, L1_SECTOR_BYTES, LINE_BYTES};
 use std::fmt;
 
 /// A 48-bit virtual byte address.
@@ -275,7 +275,10 @@ mod tests {
         assert_eq!(LineAddr::containing(Addr::new(0)).base().raw(), 0);
         assert_eq!(LineAddr::containing(Addr::new(63)).base().raw(), 0);
         assert_eq!(LineAddr::containing(Addr::new(64)).base().raw(), 64);
-        assert_eq!(LineAddr::containing(Addr::new(0x12345)).base().raw(), 0x12340);
+        assert_eq!(
+            LineAddr::containing(Addr::new(0x12345)).base().raw(),
+            0x12340
+        );
     }
 
     #[test]
@@ -297,18 +300,39 @@ mod tests {
 
     #[test]
     fn widen_to_l2_masks() {
-        assert_eq!(SectorMask::from_bits(0b0000_0001).widen_to_l2().bits(), 0b01);
-        assert_eq!(SectorMask::from_bits(0b0001_0000).widen_to_l2().bits(), 0b10);
-        assert_eq!(SectorMask::from_bits(0b1000_0001).widen_to_l2().bits(), 0b11);
+        assert_eq!(
+            SectorMask::from_bits(0b0000_0001).widen_to_l2().bits(),
+            0b01
+        );
+        assert_eq!(
+            SectorMask::from_bits(0b0001_0000).widen_to_l2().bits(),
+            0b10
+        );
+        assert_eq!(
+            SectorMask::from_bits(0b1000_0001).widen_to_l2().bits(),
+            0b11
+        );
         assert_eq!(SectorMask::EMPTY.widen_to_l2().bits(), 0);
     }
 
     #[test]
     fn min_consecutive_run_counts_smallest() {
-        assert_eq!(SectorMask::from_bits(0b0000_0000).min_consecutive_run(), None);
-        assert_eq!(SectorMask::from_bits(0b0000_0001).min_consecutive_run(), Some(1));
-        assert_eq!(SectorMask::from_bits(0b0110_0001).min_consecutive_run(), Some(1));
-        assert_eq!(SectorMask::from_bits(0b0110_0011).min_consecutive_run(), Some(2));
+        assert_eq!(
+            SectorMask::from_bits(0b0000_0000).min_consecutive_run(),
+            None
+        );
+        assert_eq!(
+            SectorMask::from_bits(0b0000_0001).min_consecutive_run(),
+            Some(1)
+        );
+        assert_eq!(
+            SectorMask::from_bits(0b0110_0001).min_consecutive_run(),
+            Some(1)
+        );
+        assert_eq!(
+            SectorMask::from_bits(0b0110_0011).min_consecutive_run(),
+            Some(2)
+        );
         assert_eq!(SectorMask::FULL_L1.min_consecutive_run(), Some(8));
     }
 

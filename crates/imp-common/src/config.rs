@@ -1,6 +1,9 @@
 //! System configuration (Table 1) and IMP configuration (Table 2).
 
 use crate::Cycle;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
 
 /// Core microarchitecture model (Section 6.3.1 compares these).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -14,6 +17,12 @@ pub enum CoreModel {
 }
 
 /// Which hardware prefetcher is attached to each L1 data cache.
+///
+/// This closed enum survives as shorthand for the paper's four stock
+/// configurations; it converts into the open [`PrefetcherSpec`] that
+/// [`SystemConfig`] actually carries. Custom and composite prefetchers
+/// (registered through `imp-prefetch`'s plugin registry) are addressed by
+/// spec, not by this enum.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PrefetcherKind {
     /// No prefetching at all.
@@ -26,6 +35,266 @@ pub enum PrefetcherKind {
     /// Stream prefetcher plus a Global History Buffer correlation
     /// prefetcher (Section 5.4 comparison).
     Ghb,
+}
+
+impl PrefetcherKind {
+    /// The registry name this stock configuration maps to.
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::Stream => "stream",
+            PrefetcherKind::Imp => "imp",
+            PrefetcherKind::Ghb => "ghb",
+        }
+    }
+}
+
+/// One prefetcher parameter value.
+///
+/// Parameters are interpreted by the factory that builds the prefetcher;
+/// unknown keys are rejected at build time so typos surface early.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Integer knob (table sizes, distances, seeds).
+    Int(i64),
+    /// Floating-point knob.
+    Float(f64),
+    /// Free-form string (e.g. a component list for combinators).
+    Str(String),
+}
+
+impl ParamValue {
+    /// The value as an unsigned integer, if it is a non-negative `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            ParamValue::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u32`, if it is a non-negative `Int` in range.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|v| u32::try_from(v).ok())
+    }
+
+    /// The value as a `usize`, if it is a non-negative `Int` in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The value as a float (`Float` or lossless `Int`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            ParamValue::Float(v) => Some(v),
+            ParamValue::Int(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            ParamValue::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for ParamValue {
+    fn from(v: bool) -> Self {
+        ParamValue::Bool(v)
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+
+impl From<u32> for ParamValue {
+    fn from(v: u32) -> Self {
+        ParamValue::Int(i64::from(v))
+    }
+}
+
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Str(v)
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Bool(v) => write!(f, "{v}"),
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Float(v) => write!(f, "{v:?}"),
+            ParamValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An open, serialization-friendly prefetcher selection: a registry name
+/// plus factory-specific parameters.
+///
+/// Replaces direct [`PrefetcherKind`] dispatch in [`SystemConfig`]: the
+/// simulator resolves the name against `imp-prefetch`'s plugin registry,
+/// so downstream users can attach prefetchers the core crates have never
+/// heard of.
+///
+/// The textual form is `name` or `name:key=value,key=value`, and
+/// round-trips through [`fmt::Display`] / [`FromStr`]:
+///
+/// ```
+/// use imp_common::config::PrefetcherSpec;
+///
+/// let spec: PrefetcherSpec = "stream:distance=8,verbose=true".parse().unwrap();
+/// assert_eq!(spec.name, "stream");
+/// assert_eq!(spec.get("distance").and_then(|v| v.as_u32()), Some(8));
+/// assert_eq!(spec.to_string().parse::<PrefetcherSpec>().unwrap(), spec);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrefetcherSpec {
+    /// Registry key of the factory that builds this prefetcher.
+    pub name: String,
+    /// Factory-specific parameters (sorted for stable rendering).
+    pub params: BTreeMap<String, ParamValue>,
+}
+
+impl PrefetcherSpec {
+    /// A spec with no parameters.
+    pub fn new(name: impl Into<String>) -> Self {
+        PrefetcherSpec {
+            name: name.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Returns a copy with `key` set to `value`.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Looks a parameter up.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.params.get(key)
+    }
+}
+
+impl Default for PrefetcherSpec {
+    /// The paper's Baseline (stream prefetcher).
+    fn default() -> Self {
+        PrefetcherSpec::new("stream")
+    }
+}
+
+impl From<PrefetcherKind> for PrefetcherSpec {
+    fn from(kind: PrefetcherKind) -> Self {
+        PrefetcherSpec::new(kind.registry_name())
+    }
+}
+
+impl TryFrom<&str> for PrefetcherSpec {
+    type Error = SpecParseError;
+
+    fn try_from(text: &str) -> Result<Self, SpecParseError> {
+        text.parse()
+    }
+}
+
+/// Error from parsing a [`PrefetcherSpec`] string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecParseError {
+    /// What was wrong with the input.
+    pub reason: String,
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefetcher spec: {}", self.reason)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+impl FromStr for PrefetcherSpec {
+    type Err = SpecParseError;
+
+    fn from_str(text: &str) -> Result<Self, SpecParseError> {
+        let (name, rest) = match text.split_once(':') {
+            Some((n, r)) => (n, Some(r)),
+            None => (text, None),
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(SpecParseError {
+                reason: format!("empty name in {text:?}"),
+            });
+        }
+        let mut spec = PrefetcherSpec::new(name);
+        if let Some(rest) = rest {
+            for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
+                let Some((k, v)) = pair.split_once('=') else {
+                    return Err(SpecParseError {
+                        reason: format!("expected key=value, got {pair:?}"),
+                    });
+                };
+                let v = v.trim();
+                let value = if let Ok(b) = v.parse::<bool>() {
+                    ParamValue::Bool(b)
+                } else if let Ok(i) = v.parse::<i64>() {
+                    ParamValue::Int(i)
+                } else if let Ok(x) = v.parse::<f64>() {
+                    ParamValue::Float(x)
+                } else {
+                    ParamValue::Str(v.to_string())
+                };
+                spec.params.insert(k.trim().to_string(), value);
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for PrefetcherSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            write!(f, "{}{k}={v}", if i == 0 { ':' } else { ',' })?;
+        }
+        Ok(())
+    }
 }
 
 /// Execution mode of the memory subsystem.
@@ -186,8 +455,9 @@ pub struct SystemConfig {
     pub rob_entries: u32,
     /// Memory subsystem mode.
     pub mem_mode: MemMode,
-    /// Prefetcher attached to each L1.
-    pub prefetcher: PrefetcherKind,
+    /// Prefetcher attached to each L1, resolved against the prefetcher
+    /// plugin registry at system-build time.
+    pub prefetcher: PrefetcherSpec,
     /// Partial cacheline accessing mode.
     pub partial: PartialMode,
     /// Memory hierarchy parameters.
@@ -209,7 +479,10 @@ impl SystemConfig {
     /// sqrt(N) x sqrt(N)).
     pub fn paper_default(cores: u32) -> Self {
         let side = (cores as f64).sqrt() as u32;
-        assert!(side * side == cores && cores > 0, "cores must be a perfect square");
+        assert!(
+            side * side == cores && cores > 0,
+            "cores must be a perfect square"
+        );
         // L2 slice: 2/sqrt(N) MB per tile.
         let l2_slice_bytes = 2 * 1024 * 1024 / u64::from(side);
         SystemConfig {
@@ -217,7 +490,7 @@ impl SystemConfig {
             core_model: CoreModel::InOrder,
             rob_entries: 32,
             mem_mode: MemMode::Realistic,
-            prefetcher: PrefetcherKind::Stream,
+            prefetcher: PrefetcherSpec::default(),
             partial: PartialMode::Off,
             mem: MemConfig {
                 line_bytes: crate::LINE_BYTES,
@@ -254,10 +527,22 @@ impl SystemConfig {
         (self.cores as f64).sqrt() as u32
     }
 
-    /// Convenience: returns a copy with the prefetcher replaced.
+    /// Convenience: returns a copy with the prefetcher replaced. Accepts
+    /// a [`PrefetcherKind`], a [`PrefetcherSpec`], or a spec string such
+    /// as `"imp"` or `"stream:distance=8"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec string; use `Sim::prefetcher` (which
+    /// surfaces a `SimError`) or [`PrefetcherSpec`'s `FromStr`] when the
+    /// string comes from untrusted input.
     #[must_use]
-    pub fn with_prefetcher(mut self, p: PrefetcherKind) -> Self {
-        self.prefetcher = p;
+    pub fn with_prefetcher<S>(mut self, p: S) -> Self
+    where
+        S: TryInto<PrefetcherSpec>,
+        S::Error: fmt::Display,
+    {
+        self.prefetcher = p.try_into().unwrap_or_else(|e| panic!("{e}"));
         self
     }
 
@@ -335,5 +620,46 @@ mod tests {
     #[should_panic(expected = "perfect square")]
     fn non_square_core_count_rejected() {
         let _ = SystemConfig::paper_default(48);
+    }
+
+    #[test]
+    fn spec_parses_and_round_trips() {
+        let spec: PrefetcherSpec = "imp:distance=8,partial=true,scale=0.5,tag=x"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.name, "imp");
+        assert_eq!(spec.get("distance"), Some(&ParamValue::Int(8)));
+        assert_eq!(spec.get("partial"), Some(&ParamValue::Bool(true)));
+        assert_eq!(spec.get("scale"), Some(&ParamValue::Float(0.5)));
+        assert_eq!(spec.get("tag"), Some(&ParamValue::Str("x".to_string())));
+        let rendered = spec.to_string();
+        assert_eq!(rendered.parse::<PrefetcherSpec>().unwrap(), spec);
+        assert_eq!(
+            "ghb".parse::<PrefetcherSpec>().unwrap(),
+            PrefetcherSpec::new("ghb")
+        );
+    }
+
+    #[test]
+    fn spec_rejects_malformed_text() {
+        assert!("".parse::<PrefetcherSpec>().is_err());
+        assert!(":a=1".parse::<PrefetcherSpec>().is_err());
+        assert!("imp:distance".parse::<PrefetcherSpec>().is_err());
+    }
+
+    #[test]
+    fn kind_converts_to_spec() {
+        for (kind, name) in [
+            (PrefetcherKind::None, "none"),
+            (PrefetcherKind::Stream, "stream"),
+            (PrefetcherKind::Imp, "imp"),
+            (PrefetcherKind::Ghb, "ghb"),
+        ] {
+            assert_eq!(PrefetcherSpec::from(kind), PrefetcherSpec::new(name));
+        }
+        let cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
+        assert_eq!(cfg.prefetcher.name, "imp");
+        let cfg = cfg.with_prefetcher("hybrid:components=stream+imp");
+        assert_eq!(cfg.prefetcher.name, "hybrid");
     }
 }

@@ -24,7 +24,9 @@ pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, Pc, SectorMask};
-pub use config::{CoreModel, ImpConfig, MemConfig, PrefetcherKind, SystemConfig};
+pub use config::{
+    CoreModel, ImpConfig, MemConfig, ParamValue, PrefetcherKind, PrefetcherSpec, SystemConfig,
+};
 pub use event::EventQueue;
 pub use rng::SplitMix64;
 pub use stats::{CoreStats, PrefetchStats, SystemStats, TrafficStats};

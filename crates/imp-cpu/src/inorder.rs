@@ -26,7 +26,13 @@ pub struct InOrderCore {
 impl InOrderCore {
     /// Creates a core with id `id` running `ops`.
     pub fn new(id: u32, ops: Vec<Op>) -> Self {
-        InOrderCore { id, ops, idx: 0, pending: None, stats: CoreStats::default() }
+        InOrderCore {
+            id,
+            ops,
+            idx: 0,
+            pending: None,
+            stats: CoreStats::default(),
+        }
     }
 
     /// Fraction of the op stream already executed (diagnostics).
@@ -41,7 +47,10 @@ impl InOrderCore {
 
 impl CoreEngine for InOrderCore {
     fn run(&mut self, now: Cycle, port: &mut dyn MemPort) -> CoreBlock {
-        assert!(self.pending.is_none(), "core resumed while blocked on memory");
+        assert!(
+            self.pending.is_none(),
+            "core resumed while blocked on memory"
+        );
         let deadline = now + EPISODE_BUDGET;
         let mut t = now;
         while t < deadline {
@@ -82,7 +91,10 @@ impl CoreEngine for InOrderCore {
                         }
                         MemResult::Miss(_) => {
                             self.stats.l1_misses[op.class.index()] += 1;
-                            self.pending = Some(PendingMem { class: op.class, issued: t });
+                            self.pending = Some(PendingMem {
+                                class: op.class,
+                                issued: t,
+                            });
                             self.idx += 1;
                             return CoreBlock::OnMemory;
                         }
@@ -144,9 +156,17 @@ mod tests {
 
     #[test]
     fn hits_take_one_cycle_each() {
-        let ops = vec![Op::compute(5), load(0x10, AccessClass::Stream), load(0x20, AccessClass::Stream)];
+        let ops = vec![
+            Op::compute(5),
+            load(0x10, AccessClass::Stream),
+            load(0x20, AccessClass::Stream),
+        ];
         let mut core = InOrderCore::new(0, ops);
-        let mut port = FakePort { hit_below: u64::MAX, tokens: 0, prefetches: vec![] };
+        let mut port = FakePort {
+            hit_below: u64::MAX,
+            tokens: 0,
+            prefetches: vec![],
+        };
         assert_eq!(core.run(0, &mut port), CoreBlock::Done);
         assert_eq!(core.stats().instructions, 7);
         assert_eq!(core.stats().l1_hits, 2);
@@ -157,12 +177,19 @@ mod tests {
     fn miss_blocks_and_attributes_stall() {
         let ops = vec![load(0x1000, AccessClass::Indirect), Op::compute(1)];
         let mut core = InOrderCore::new(0, ops);
-        let mut port = FakePort { hit_below: 0, tokens: 0, prefetches: vec![] };
+        let mut port = FakePort {
+            hit_below: 0,
+            tokens: 0,
+            prefetches: vec![],
+        };
         assert_eq!(core.run(0, &mut port), CoreBlock::OnMemory);
         assert_eq!(core.stats().l1_misses[AccessClass::Indirect.index()], 1);
         core.mem_complete(1, 101);
         // 101 cycles total latency, 100 beyond the hit cost.
-        assert_eq!(core.stats().stall_cycles[AccessClass::Indirect.index()], 100);
+        assert_eq!(
+            core.stats().stall_cycles[AccessClass::Indirect.index()],
+            100
+        );
         assert_eq!(core.stats().mem_latency_sum, 101);
         assert_eq!(core.run(101, &mut port), CoreBlock::Done);
     }
@@ -171,7 +198,11 @@ mod tests {
     fn long_compute_yields_in_episodes() {
         let ops = vec![Op::compute(10_000)];
         let mut core = InOrderCore::new(0, ops);
-        let mut port = FakePort { hit_below: u64::MAX, tokens: 0, prefetches: vec![] };
+        let mut port = FakePort {
+            hit_below: u64::MAX,
+            tokens: 0,
+            prefetches: vec![],
+        };
         match core.run(0, &mut port) {
             CoreBlock::UntilTime(t) => assert!(t >= 10_000),
             b => panic!("unexpected {b:?}"),
@@ -183,7 +214,11 @@ mod tests {
     fn barrier_reported_and_resumes_past_it() {
         let ops = vec![Op::barrier(), Op::compute(1)];
         let mut core = InOrderCore::new(0, ops);
-        let mut port = FakePort { hit_below: u64::MAX, tokens: 0, prefetches: vec![] };
+        let mut port = FakePort {
+            hit_below: u64::MAX,
+            tokens: 0,
+            prefetches: vec![],
+        };
         assert_eq!(core.run(0, &mut port), CoreBlock::AtBarrier);
         assert_eq!(core.run(50, &mut port), CoreBlock::Done);
         assert_eq!(core.stats().instructions, 1);
@@ -191,9 +226,16 @@ mod tests {
 
     #[test]
     fn sw_prefetch_does_not_block() {
-        let ops = vec![Op::sw_prefetch(Addr::new(0x5000), Pc::new(2)), Op::compute(1)];
+        let ops = vec![
+            Op::sw_prefetch(Addr::new(0x5000), Pc::new(2)),
+            Op::compute(1),
+        ];
         let mut core = InOrderCore::new(0, ops);
-        let mut port = FakePort { hit_below: 0, tokens: 0, prefetches: vec![] };
+        let mut port = FakePort {
+            hit_below: 0,
+            tokens: 0,
+            prefetches: vec![],
+        };
         assert_eq!(core.run(0, &mut port), CoreBlock::Done);
         assert_eq!(port.prefetches, vec![Addr::new(0x5000)]);
         assert_eq!(core.stats().instructions, 2);
@@ -204,7 +246,11 @@ mod tests {
     fn resume_while_pending_is_a_bug() {
         let ops = vec![load(0x1000, AccessClass::Other)];
         let mut core = InOrderCore::new(0, ops);
-        let mut port = FakePort { hit_below: 0, tokens: 0, prefetches: vec![] };
+        let mut port = FakePort {
+            hit_below: 0,
+            tokens: 0,
+            prefetches: vec![],
+        };
         core.run(0, &mut port);
         core.run(1, &mut port);
     }

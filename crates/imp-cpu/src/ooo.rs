@@ -224,7 +224,9 @@ impl CoreEngine for OooCore {
     }
 
     fn mem_complete(&mut self, token: u64, at: Cycle) {
-        let Some(seq) = self.tokens.remove(&token) else { return };
+        let Some(seq) = self.tokens.remove(&token) else {
+            return;
+        };
         for slot in &mut self.rob {
             if slot.load_seq == Some(seq) && slot.complete.is_none() {
                 slot.complete = Some(at);
@@ -262,7 +264,12 @@ mod tests {
 
     impl FakePort {
         fn new(hit: bool, miss_latency: Cycle) -> Self {
-            FakePort { miss_latency, outstanding: vec![], next_token: 0, hit }
+            FakePort {
+                miss_latency,
+                outstanding: vec![],
+                next_token: 0,
+                hit,
+            }
         }
     }
 
@@ -272,7 +279,8 @@ mod tests {
                 MemResult::Hit(now + 1)
             } else {
                 self.next_token += 1;
-                self.outstanding.push((self.next_token, now + self.miss_latency));
+                self.outstanding
+                    .push((self.next_token, now + self.miss_latency));
                 MemResult::Miss(self.next_token)
             }
         }
@@ -311,7 +319,10 @@ mod tests {
         let mut core = OooCore::new(0, ops, 32);
         let mut port = FakePort::new(false, 100);
         let t = run_to_done(&mut core, &mut port);
-        assert!(t < 200, "overlapped loads should take ~100 cycles, took {t}");
+        assert!(
+            t < 200,
+            "overlapped loads should take ~100 cycles, took {t}"
+        );
         assert_eq!(core.stats().l1_accesses, 8);
     }
 
@@ -366,6 +377,9 @@ mod tests {
         now = c;
         // Now the barrier is reached.
         let b = core.run(now, &mut port);
-        assert!(matches!(b, CoreBlock::AtBarrier | CoreBlock::UntilTime(_)), "{b:?}");
+        assert!(
+            matches!(b, CoreBlock::AtBarrier | CoreBlock::UntilTime(_)),
+            "{b:?}"
+        );
     }
 }

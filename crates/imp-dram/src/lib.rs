@@ -52,7 +52,11 @@ impl FixedLatencyDram {
     /// Panics if `bytes_per_cycle` is not positive.
     pub fn new(latency: Cycle, bytes_per_cycle: f64) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
-        FixedLatencyDram { latency, bytes_per_cycle, busy_until: 0.0 }
+        FixedLatencyDram {
+            latency,
+            bytes_per_cycle,
+            busy_until: 0.0,
+        }
     }
 }
 
@@ -123,7 +127,11 @@ impl Ddr3Dram {
     /// Creates a model with the given timing.
     pub fn new(t: Ddr3Timing) -> Self {
         let banks = vec![Bank::default(); t.banks];
-        Ddr3Dram { t, banks, bus_free: 0 }
+        Ddr3Dram {
+            t,
+            banks,
+            bus_free: 0,
+        }
     }
 
     fn to_dram(&self, c: Cycle) -> u64 {
@@ -148,7 +156,10 @@ impl DramModel for Ddr3Dram {
             Some(r) if r == row_id => (start + self.t.t_cl, self.t.t_cl),
             Some(_) => {
                 // Precharge, activate, then CAS.
-                (start + self.t.t_rp + self.t.t_rcd + self.t.t_cl, self.t.t_ras)
+                (
+                    start + self.t.t_rp + self.t.t_rcd + self.t.t_cl,
+                    self.t.t_ras,
+                )
             }
             None => (start + self.t.t_rcd + self.t.t_cl, self.t.t_ras),
         };
@@ -186,7 +197,10 @@ mod tests {
             last = d.access(0, 0, 64, false);
         }
         assert!(last >= 640, "last={last}");
-        assert!(last <= 640 + 101, "latency added once per access, last={last}");
+        assert!(
+            last <= 640 + 101,
+            "latency added once per access, last={last}"
+        );
     }
 
     #[test]
@@ -225,7 +239,10 @@ mod tests {
         let mut d2 = Ddr3Dram::new(t.clone());
         d2.access(0, 0, 64, false);
         let other_bank = d2.access(0, t.row_bytes, 64, false);
-        assert!(other_bank < same_bank, "other={other_bank} same={same_bank}");
+        assert!(
+            other_bank < same_bank,
+            "other={other_bank} same={same_bank}"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! match the authors' testbed (our substrate is a from-scratch simulator
 //! and inputs are scaled), but the *shape* — who wins, by what factor,
 //! where crossovers appear — is the reproduction target; see
-//! EXPERIMENTS.md for the side-by-side record.
+//! `EXPERIMENTS.md` at the repository root for the full figure-to-driver
+//! map and reproduction caveats.
 //!
 //! Scale selection: set `IMP_SCALE=tiny|small|large` (default `small`).
 //!
@@ -18,18 +19,29 @@
 //! ```
 
 mod runner;
+pub mod sim;
+pub mod sweep;
 mod table;
 
-pub use runner::{run, run_one, scale_from_env, system_config, Config};
+pub use runner::{prewarm, run, run_one, scale_from_env, sim_for, system_config, Config};
+pub use sim::{Sim, SimError};
+pub use sweep::{Sweep, SweepCell, SweepResult};
 pub use table::Table;
 
 use imp_common::stats::AccessClass;
-use imp_prefetch::cost;
 use imp_common::SystemConfig;
+use imp_prefetch::cost;
 
 /// The paper's application order in every figure.
-pub const APPS: [&str; 7] =
-    ["pagerank", "tri_count", "graph500", "sgd", "lsh", "spmv", "symgs"];
+pub const APPS: [&str; 7] = [
+    "pagerank",
+    "tri_count",
+    "graph500",
+    "sgd",
+    "lsh",
+    "spmv",
+    "symgs",
+];
 
 /// Core counts evaluated in the paper.
 pub const CORE_COUNTS: [u32; 3] = [16, 64, 256];
@@ -37,6 +49,7 @@ pub const CORE_COUNTS: [u32; 3] = [16, 64, 256];
 /// Figure 1: L1 cache-miss breakdown (indirect / stream / other) on the
 /// Baseline at 64 cores.
 pub fn fig01_miss_breakdown(cores: u32) -> Table {
+    prewarm(&APPS, cores, &[Config::Base]);
     let mut t = Table::new(
         format!("Fig 1: L1 miss breakdown, Baseline, {cores} cores"),
         vec!["indirect", "stream", "other"],
@@ -59,6 +72,11 @@ pub fn fig01_miss_breakdown(cores: u32) -> Table {
 /// Figure 2: runtime normalized to Ideal, split into indirect-stall and
 /// everything-else, plus the Perfect Prefetching bar.
 pub fn fig02_motivation(cores: u32) -> Table {
+    prewarm(
+        &APPS,
+        cores,
+        &[Config::Ideal, Config::Base, Config::PerfPref],
+    );
     let mut t = Table::new(
         format!("Fig 2: runtime normalized to Ideal, {cores} cores"),
         vec!["indirect-stall", "other", "total", "PerfPref"],
@@ -73,8 +91,7 @@ pub fn fig02_motivation(cores: u32) -> Table {
             .iter()
             .map(|c| c.stall_cycles[AccessClass::Indirect.index()])
             .sum();
-        let all_cycles: u64 =
-            base.cores.iter().map(|c| c.done_cycle).sum::<u64>().max(1);
+        let all_cycles: u64 = base.cores.iter().map(|c| c.done_cycle).sum::<u64>().max(1);
         let ind_frac = ind_stall as f64 / all_cycles as f64;
         t.row(
             app,
@@ -92,6 +109,11 @@ pub fn fig02_motivation(cores: u32) -> Table {
 /// Figure 9: throughput of Baseline, IMP and Software Prefetching
 /// normalized to Perfect Prefetching, at the given core count.
 pub fn fig09_performance(cores: u32) -> Table {
+    prewarm(
+        &APPS,
+        cores,
+        &[Config::PerfPref, Config::Base, Config::Imp, Config::SwPref],
+    );
     let mut t = Table::new(
         format!("Fig 9: normalized throughput vs PerfPref, {cores} cores"),
         vec!["PerfPref", "Base", "IMP", "SW Pref"],
@@ -115,9 +137,12 @@ pub fn fig09_performance(cores: u32) -> Table {
 /// Table 3: prefetch coverage, accuracy and relative memory latency for
 /// the stream prefetcher alone vs stream + IMP.
 pub fn table3_effectiveness(cores: u32) -> Table {
+    prewarm(&APPS, cores, &[Config::PerfPref, Config::Base, Config::Imp]);
     let mut t = Table::new(
         format!("Table 3: prefetch effectiveness, {cores} cores"),
-        vec!["strm Cov", "strm Acc", "strm Lat", "IMP Cov", "IMP Acc", "IMP Lat"],
+        vec![
+            "strm Cov", "strm Acc", "strm Lat", "IMP Cov", "IMP Acc", "IMP Lat",
+        ],
     );
     let mut sums = [0.0f64; 6];
     for app in APPS {
@@ -145,6 +170,7 @@ pub fn table3_effectiveness(cores: u32) -> Table {
 /// Figure 10: instruction overhead of software prefetching (instruction
 /// counts normalized to Baseline).
 pub fn fig10_sw_overhead(cores: u32) -> Table {
+    prewarm(&APPS, cores, &[Config::Base, Config::Imp, Config::SwPref]);
     let mut t = Table::new(
         format!("Fig 10: instructions normalized to Baseline, {cores} cores"),
         vec!["Base", "IMP", "SW Pref"],
@@ -161,6 +187,17 @@ pub fn fig10_sw_overhead(cores: u32) -> Table {
 /// Figure 11: IMP with partial cacheline accessing (NoC only, then NoC +
 /// DRAM) normalized to Perfect Prefetching, with Ideal for reference.
 pub fn fig11_partial(cores: u32) -> Table {
+    prewarm(
+        &APPS,
+        cores,
+        &[
+            Config::PerfPref,
+            Config::Imp,
+            Config::ImpPartialNoc,
+            Config::ImpPartialNocDram,
+            Config::Ideal,
+        ],
+    );
     let mut t = Table::new(
         format!("Fig 11: partial cacheline accessing, {cores} cores"),
         vec!["IMP", "Partial NoC", "Partial NoC+DRAM", "Ideal"],
@@ -179,6 +216,7 @@ pub fn fig11_partial(cores: u32) -> Table {
 /// Figure 12: NoC and DRAM traffic of partial cacheline accessing
 /// normalized to full-line IMP.
 pub fn fig12_traffic(cores: u32) -> Table {
+    prewarm(&APPS, cores, &[Config::Imp, Config::ImpPartialNocDram]);
     let mut t = Table::new(
         format!("Fig 12: traffic of partial accessing vs full lines, {cores} cores"),
         vec!["NoC traffic", "DRAM traffic"],
@@ -204,9 +242,28 @@ pub fn fig12_traffic(cores: u32) -> Table {
 /// memory-bound and one compute-bound application, normalized to the
 /// out-of-order Baseline.
 pub fn fig13_ooo(cores: u32) -> Table {
+    prewarm(
+        &["pagerank", "sgd"],
+        cores,
+        &[
+            Config::BaseOoo,
+            Config::Base,
+            Config::Imp,
+            Config::ImpOoo,
+            Config::ImpPartialNocDram,
+            Config::ImpPartialOoo,
+        ],
+    );
     let mut t = Table::new(
         format!("Fig 13: in-order vs OoO cores, {cores} cores"),
-        vec!["Base io", "Base ooo", "IMP io", "IMP ooo", "Partial io", "Partial ooo"],
+        vec![
+            "Base io",
+            "Base ooo",
+            "IMP io",
+            "IMP ooo",
+            "Partial io",
+            "Partial ooo",
+        ],
     );
     for app in ["pagerank", "sgd"] {
         let base_ooo = run(app, cores, Config::BaseOoo).runtime as f64;
@@ -236,19 +293,31 @@ pub fn sensitivity(cores: u32, param: SweepParam) -> Table {
         format!("Sensitivity to {name}, {cores} cores (normalized to default)"),
         headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    for app in APPS {
-        let reference = run(app, cores, Config::Imp).runtime as f64;
-        let mut row = Vec::new();
-        for &v in &values {
-            let mut cfg = runner::system_config(cores, Config::Imp);
-            match param {
-                SweepParam::PtSize => cfg.imp.pt_entries = v as usize,
-                SweepParam::IpdSize => cfg.imp.ipd_entries = v as usize,
-                SweepParam::Distance => cfg.imp.max_prefetch_distance = v,
-            }
-            let s = run_one(app, cfg);
-            row.push(reference / s.runtime as f64);
+    prewarm(&APPS, cores, &[Config::Imp]);
+    // The swept knob lives inside ImpConfig, so the cells run as explicit
+    // configurations fanned across threads rather than as a Sweep axis.
+    let grid: Vec<(&str, u32)> = APPS
+        .iter()
+        .flat_map(|&app| values.iter().map(move |&v| (app, v)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let runtimes = sweep::fanout(grid.len(), threads, |i| {
+        let (app, v) = grid[i];
+        let mut cfg = runner::system_config(cores, Config::Imp);
+        match param {
+            SweepParam::PtSize => cfg.imp.pt_entries = v as usize,
+            SweepParam::IpdSize => cfg.imp.ipd_entries = v as usize,
+            SweepParam::Distance => cfg.imp.max_prefetch_distance = v,
         }
+        run_one(app, cfg).runtime as f64
+    });
+    for (a, app) in APPS.iter().enumerate() {
+        let reference = run(app, cores, Config::Imp).runtime as f64;
+        let row: Vec<f64> = (0..values.len())
+            .map(|j| reference / runtimes[a * values.len() + j])
+            .collect();
         t.row(app, row);
     }
     t
@@ -268,6 +337,7 @@ pub enum SweepParam {
 /// Section 6.1's GHB comparison: a correlation prefetcher on top of the
 /// stream prefetcher provides no benefit on these workloads.
 pub fn ghb_comparison(cores: u32) -> Table {
+    prewarm(&APPS, cores, &[Config::Base, Config::Ghb, Config::Imp]);
     let mut t = Table::new(
         format!("GHB vs Baseline vs IMP, {cores} cores (throughput vs Base)"),
         vec!["Base", "GHB", "IMP"],
@@ -308,17 +378,45 @@ pub fn storage_cost_table() -> Table {
         "Section 6.4: storage cost".to_string(),
         vec!["bits", "Kbits", "bytes"],
     );
-    t.row("PT indirect half", vec![c.pt_bits as f64, c.pt_bits as f64 / 1024.0, c.pt_bits as f64 / 8.0]);
-    t.row("IPD", vec![c.ipd_bits as f64, c.ipd_bits as f64 / 1024.0, c.ipd_bits as f64 / 8.0]);
-    t.row("IMP total", vec![c.imp_bits() as f64, c.imp_kbits(), c.imp_bytes() as f64]);
-    t.row("GP", vec![c.gp_bits as f64, c.gp_kbits(), c.gp_bits as f64 / 8.0]);
+    t.row(
+        "PT indirect half",
+        vec![
+            c.pt_bits as f64,
+            c.pt_bits as f64 / 1024.0,
+            c.pt_bits as f64 / 8.0,
+        ],
+    );
+    t.row(
+        "IPD",
+        vec![
+            c.ipd_bits as f64,
+            c.ipd_bits as f64 / 1024.0,
+            c.ipd_bits as f64 / 8.0,
+        ],
+    );
+    t.row(
+        "IMP total",
+        vec![c.imp_bits() as f64, c.imp_kbits(), c.imp_bytes() as f64],
+    );
+    t.row(
+        "GP",
+        vec![c.gp_bits as f64, c.gp_kbits(), c.gp_bits as f64 / 8.0],
+    );
     t.row(
         "L1 sector masks (%)",
-        vec![c.l1_mask_bits as f64, c.l1_mask_bits as f64 / 1024.0, 100.0 * cost::mask_overhead_fraction(8, 64)],
+        vec![
+            c.l1_mask_bits as f64,
+            c.l1_mask_bits as f64 / 1024.0,
+            100.0 * cost::mask_overhead_fraction(8, 64),
+        ],
     );
     t.row(
         "L2 sector masks (%)",
-        vec![c.l2_mask_bits as f64, c.l2_mask_bits as f64 / 1024.0, 100.0 * cost::mask_overhead_fraction(2, 64)],
+        vec![
+            c.l2_mask_bits as f64,
+            c.l2_mask_bits as f64 / 1024.0,
+            100.0 * cost::mask_overhead_fraction(2, 64),
+        ],
     );
     t
 }

@@ -1,11 +1,14 @@
-//! Shared simulation runner: builds a workload, configures the system
-//! for one of the paper's configurations, runs it, and caches results
-//! within a process (several figures reuse the same runs).
+//! Shared simulation runner: maps the paper's named configurations onto
+//! the fluent [`Sim`] builder, runs them, and caches results within a
+//! process (several figures reuse the same runs). [`prewarm`] fans a
+//! figure's whole config grid across threads before the driver reads
+//! the cache.
 
+use crate::sim::Sim;
+use crate::sweep::fanout;
 use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
 use imp_common::{SystemConfig, SystemStats};
-use imp_sim::System;
-use imp_workloads::{by_name, Scale, WorkloadParams};
+use imp_workloads::Scale;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -72,10 +75,11 @@ pub fn scale_from_env() -> Scale {
     }
 }
 
-fn cache() -> &'static Mutex<HashMap<(String, u32, Config, u8), SystemStats>> {
-    static CACHE: std::sync::OnceLock<
-        Mutex<HashMap<(String, u32, Config, u8), SystemStats>>,
-    > = std::sync::OnceLock::new();
+/// Per-process result cache, keyed by (app, cores, config, scale tag).
+type RunCache = Mutex<HashMap<(String, u32, Config, u8), SystemStats>>;
+
+fn cache() -> &'static RunCache {
+    static CACHE: std::sync::OnceLock<RunCache> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -85,6 +89,16 @@ fn scale_tag(s: Scale) -> u8 {
         Scale::Small => 1,
         Scale::Large => 2,
     }
+}
+
+/// The [`Sim`] builder for `app` at `cores` under the paper
+/// configuration `config`, at the `IMP_SCALE` input scale.
+pub fn sim_for(app: &str, cores: u32, config: Config) -> Sim {
+    let mut sim = Sim::from_config(app, system_config(cores, config)).scale(scale_from_env());
+    if config == Config::SwPref {
+        sim = sim.software_prefetch(16);
+    }
+    sim
 }
 
 /// Runs `app` at `cores` under configuration `config` (cached per
@@ -99,24 +113,37 @@ pub fn run(app: &str, cores: u32, config: Config) -> SystemStats {
     if let Some(hit) = cache().lock().unwrap().get(&key) {
         return hit.clone();
     }
-    let mut params = WorkloadParams::new(cores as usize, scale);
-    if config == Config::SwPref {
-        params = params.with_software_prefetch(16);
-    }
-    let w = by_name(app).unwrap_or_else(|| panic!("unknown workload {app}"));
-    let built = w.build(&params);
-    let stats = System::new(system_config(cores, config), built.program, built.mem).run();
+    let stats = sim_for(app, cores, config)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
     cache().lock().unwrap().insert(key, stats.clone());
     stats
+}
+
+/// Runs every (app, config) pair of a figure's grid in parallel, filling
+/// the cache the drivers then read sequentially. Already-cached cells
+/// cost nothing; the speedup is bounded by the slowest cell.
+pub fn prewarm(apps: &[&str], cores: u32, configs: &[Config]) {
+    let grid: Vec<(&str, Config)> = apps
+        .iter()
+        .flat_map(|&app| configs.iter().map(move |&c| (app, c)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    fanout(grid.len(), threads, |i| {
+        let (app, config) = grid[i];
+        run(app, cores, config);
+    });
 }
 
 /// Runs `app` under an explicit (possibly customized) system
 /// configuration; not cached.
 pub fn run_one(app: &str, cfg: SystemConfig) -> SystemStats {
-    let params = WorkloadParams::new(cfg.cores as usize, scale_from_env());
-    let w = by_name(app).unwrap_or_else(|| panic!("unknown workload {app}"));
-    let built = w.build(&params);
-    System::new(cfg, built.program, built.mem).run()
+    Sim::from_config(app, cfg)
+        .scale(scale_from_env())
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -126,8 +153,8 @@ mod tests {
     #[test]
     fn configs_map_to_expected_modes() {
         assert_eq!(system_config(16, Config::Ideal).mem_mode, MemMode::Ideal);
-        assert_eq!(system_config(16, Config::Base).prefetcher, PrefetcherKind::Stream);
-        assert_eq!(system_config(16, Config::Imp).prefetcher, PrefetcherKind::Imp);
+        assert_eq!(system_config(16, Config::Base).prefetcher.name, "stream");
+        assert_eq!(system_config(16, Config::Imp).prefetcher.name, "imp");
         assert_eq!(
             system_config(16, Config::ImpPartialNocDram).partial,
             PartialMode::NocAndDram

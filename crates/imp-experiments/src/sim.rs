@@ -1,0 +1,380 @@
+//! The fluent simulation facade: one chained expression from a workload
+//! name to a finished [`SystemStats`].
+//!
+//! [`Sim`] replaces the hand-assembled `by_name → build → SystemConfig →
+//! System::new → run` pipeline every experiment used to repeat:
+//!
+//! ```
+//! use imp_experiments::Sim;
+//! use imp_common::config::PartialMode;
+//! use imp_workloads::Scale;
+//!
+//! let stats = Sim::workload("spmv")
+//!     .scale(Scale::Tiny)
+//!     .cores(16)
+//!     .prefetcher("imp")
+//!     .partial(PartialMode::NocAndDram)
+//!     .run()
+//!     .unwrap();
+//! assert!(stats.runtime > 0);
+//! ```
+//!
+//! Prefetchers are named registry specs (see `imp_prefetch::registry`),
+//! so a custom prefetcher registered from *outside* the simulator crates
+//! runs through `Sim` exactly like the stock ones.
+
+use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherSpec};
+use imp_common::{ImpConfig, SystemConfig, SystemStats};
+use imp_sim::{RegistryError, System};
+use imp_workloads::{by_name, Scale, WorkloadParams};
+use std::fmt;
+
+/// Why a [`Sim`] (or a `Sweep` cell) could not run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// No workload generator has this name.
+    UnknownWorkload(String),
+    /// The mesh requires a positive perfect-square core count.
+    InvalidCores(u32),
+    /// A prefetcher spec string passed to the builder did not parse.
+    InvalidSpec(String),
+    /// The prefetcher spec did not resolve or rejected a parameter.
+    Prefetcher(RegistryError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownWorkload(name) => write!(
+                f,
+                "unknown workload {name:?}; try pagerank, tri_count, graph500, sgd, \
+                 lsh, spmv, symgs or dense"
+            ),
+            SimError::InvalidCores(n) => {
+                write!(f, "core count {n} is not a positive perfect square")
+            }
+            SimError::InvalidSpec(e) => write!(f, "{e}"),
+            SimError::Prefetcher(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<RegistryError> for SimError {
+    fn from(e: RegistryError) -> Self {
+        SimError::Prefetcher(e)
+    }
+}
+
+/// A fluent builder for one simulation run.
+///
+/// Defaults mirror the paper's 16-core Baseline at `Scale::Small`; every
+/// knob is a chainable setter. `run()` validates, builds the workload,
+/// resolves the prefetcher against the plugin registry, and executes.
+#[derive(Clone, Debug)]
+pub struct Sim {
+    workload: String,
+    cores: u32,
+    scale: Scale,
+    seed: u64,
+    sw_prefetch: Option<u64>,
+    prefetcher: PrefetcherSpec,
+    partial: PartialMode,
+    mem_mode: MemMode,
+    core_model: CoreModel,
+    dram: DramModelKind,
+    imp: ImpConfig,
+    base_config: Option<SystemConfig>,
+    spec_error: Option<String>,
+}
+
+impl Sim {
+    /// Starts a builder for the named workload (the paper's seven
+    /// kernels plus the `dense` control).
+    pub fn workload(name: impl Into<String>) -> Self {
+        Sim {
+            workload: name.into(),
+            cores: 16,
+            scale: Scale::Small,
+            seed: 42,
+            sw_prefetch: None,
+            prefetcher: PrefetcherSpec::default(),
+            partial: PartialMode::Off,
+            mem_mode: MemMode::Realistic,
+            core_model: CoreModel::InOrder,
+            dram: DramModelKind::Simple,
+            imp: ImpConfig::paper_default(),
+            base_config: None,
+            spec_error: None,
+        }
+    }
+
+    /// Starts a builder from a fully explicit [`SystemConfig`] — the
+    /// escape hatch for experiments that tweak fields the fluent surface
+    /// does not cover (cache geometry, ROB size, DRAM timings, ...).
+    ///
+    /// The config seeds the builder's state; fluent setters still apply
+    /// on top of it, so a `Sweep` can vary axes of a `from_config` base.
+    /// Changing [`Sim::cores`] afterwards rebuilds the mesh-dependent
+    /// geometry (L2 slices, memory controllers) at paper defaults for
+    /// the new count, preserving every non-geometry field.
+    pub fn from_config(workload: impl Into<String>, cfg: SystemConfig) -> Self {
+        let mut s = Sim::workload(workload);
+        s.cores = cfg.cores;
+        s.prefetcher = cfg.prefetcher.clone();
+        s.partial = cfg.partial;
+        s.mem_mode = cfg.mem_mode;
+        s.core_model = cfg.core_model;
+        s.dram = cfg.mem.dram;
+        s.imp = cfg.imp.clone();
+        s.base_config = Some(cfg);
+        s
+    }
+
+    /// Core/tile count (a positive perfect square: 16, 64, 256, ...).
+    #[must_use]
+    pub fn cores(mut self, n: u32) -> Self {
+        self.cores = n;
+        self
+    }
+
+    /// Input scale preset.
+    #[must_use]
+    pub fn scale(mut self, s: Scale) -> Self {
+        self.scale = s;
+        self
+    }
+
+    /// Workload-generation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Prefetcher registry spec: a [`PrefetcherSpec`], a
+    /// `PrefetcherKind`, or a string such as `"imp"`,
+    /// `"stream:distance=8"` or `"hybrid:components=stream+imp"`.
+    ///
+    /// A malformed spec string does not panic; it surfaces as
+    /// [`SimError::InvalidSpec`] when the builder runs.
+    #[must_use]
+    pub fn prefetcher<S>(mut self, spec: S) -> Self
+    where
+        S: TryInto<PrefetcherSpec>,
+        S::Error: fmt::Display,
+    {
+        match spec.try_into() {
+            Ok(s) => self.prefetcher = s,
+            Err(e) => self.spec_error = Some(e.to_string()),
+        }
+        self
+    }
+
+    /// Partial cacheline accessing mode (Section 4).
+    #[must_use]
+    pub fn partial(mut self, mode: PartialMode) -> Self {
+        self.partial = mode;
+        self
+    }
+
+    /// Memory-subsystem mode (Realistic / PerfectPrefetch / Ideal).
+    #[must_use]
+    pub fn mem_mode(mut self, mode: MemMode) -> Self {
+        self.mem_mode = mode;
+        self
+    }
+
+    /// Core microarchitecture model.
+    #[must_use]
+    pub fn core_model(mut self, model: CoreModel) -> Self {
+        self.core_model = model;
+        self
+    }
+
+    /// DRAM timing model.
+    #[must_use]
+    pub fn dram(mut self, model: DramModelKind) -> Self {
+        self.dram = model;
+        self
+    }
+
+    /// Inserts Mowry-style software prefetches `distance` elements ahead
+    /// (the paper's *Software Prefetching* configuration).
+    #[must_use]
+    pub fn software_prefetch(mut self, distance: u64) -> Self {
+        self.sw_prefetch = Some(distance);
+        self
+    }
+
+    /// Adjusts the IMP hardware parameter block (Table 2) in place.
+    #[must_use]
+    pub fn tune_imp(mut self, f: impl FnOnce(&mut ImpConfig)) -> Self {
+        f(&mut self.imp);
+        self
+    }
+
+    /// The workload name this builder targets.
+    pub fn workload_name(&self) -> &str {
+        &self.workload
+    }
+
+    /// Returns a copy targeting a different workload.
+    #[must_use]
+    pub fn with_workload(mut self, name: impl Into<String>) -> Self {
+        self.workload = name.into();
+        self
+    }
+
+    /// The configured workload-generation seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Resolves the builder into the [`SystemConfig`] it will run.
+    pub fn config(&self) -> Result<SystemConfig, SimError> {
+        if let Some(e) = &self.spec_error {
+            return Err(SimError::InvalidSpec(e.clone()));
+        }
+        let side = (self.cores as f64).sqrt() as u32;
+        if self.cores == 0 || side * side != self.cores {
+            return Err(SimError::InvalidCores(self.cores));
+        }
+        let mut cfg = match &self.base_config {
+            // An explicit base keeps its full geometry as long as the
+            // core count still matches; a changed count rebuilds the
+            // mesh-dependent fields at paper defaults.
+            Some(base) if base.cores == self.cores => base.clone(),
+            Some(base) => {
+                let mut fresh = SystemConfig::paper_default(self.cores);
+                fresh.rob_entries = base.rob_entries;
+                fresh.perfpref_lead = base.perfpref_lead;
+                fresh
+            }
+            None => SystemConfig::paper_default(self.cores),
+        };
+        cfg.prefetcher = self.prefetcher.clone();
+        cfg.partial = self.partial;
+        cfg.mem_mode = self.mem_mode;
+        cfg.core_model = self.core_model;
+        cfg.mem.dram = self.dram;
+        cfg.imp = self.imp.clone();
+        Ok(cfg)
+    }
+
+    /// Builds the workload and runs the simulation.
+    pub fn run(&self) -> Result<SystemStats, SimError> {
+        let cfg = self.config()?;
+        let workload = by_name(&self.workload)
+            .ok_or_else(|| SimError::UnknownWorkload(self.workload.clone()))?;
+        let mut params = WorkloadParams::new(cfg.cores as usize, self.scale);
+        params.seed = self.seed;
+        if let Some(d) = self.sw_prefetch {
+            params = params.with_software_prefetch(d);
+        }
+        let built = workload.build(&params);
+        let mut system = System::try_new(cfg, built.program, built.mem)?;
+        Ok(system.run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_config() {
+        let cfg = Sim::workload("spmv")
+            .cores(64)
+            .prefetcher("imp")
+            .partial(PartialMode::NocOnly)
+            .core_model(CoreModel::OutOfOrder)
+            .tune_imp(|i| i.max_prefetch_distance = 8)
+            .config()
+            .unwrap();
+        assert_eq!(cfg.cores, 64);
+        assert_eq!(cfg.prefetcher.name, "imp");
+        assert_eq!(cfg.partial, PartialMode::NocOnly);
+        assert_eq!(cfg.core_model, CoreModel::OutOfOrder);
+        assert_eq!(cfg.imp.max_prefetch_distance, 8);
+    }
+
+    #[test]
+    fn invalid_inputs_surface_as_errors() {
+        assert_eq!(
+            Sim::workload("spmv").cores(48).run().unwrap_err(),
+            SimError::InvalidCores(48)
+        );
+        assert_eq!(
+            Sim::workload("not-a-kernel").cores(16).run().unwrap_err(),
+            SimError::UnknownWorkload("not-a-kernel".to_string())
+        );
+        match Sim::workload("spmv")
+            .scale(Scale::Tiny)
+            .prefetcher("definitely-unregistered")
+            .run()
+        {
+            Err(SimError::Prefetcher(RegistryError::UnknownPrefetcher { name, .. })) => {
+                assert_eq!(name, "definitely-unregistered");
+            }
+            other => panic!("expected unknown-prefetcher error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runs_match_the_manual_pipeline() {
+        let fluent = Sim::workload("spmv")
+            .scale(Scale::Tiny)
+            .prefetcher("imp")
+            .run()
+            .unwrap();
+        let manual = {
+            let params = WorkloadParams::new(16, Scale::Tiny);
+            let built = by_name("spmv").unwrap().build(&params);
+            let cfg = SystemConfig::paper_default(16).with_prefetcher("imp");
+            System::new(cfg, built.program, built.mem).run()
+        };
+        assert_eq!(fluent.runtime, manual.runtime);
+        assert_eq!(fluent.traffic, manual.traffic);
+    }
+
+    #[test]
+    fn malformed_spec_string_surfaces_as_error_not_panic() {
+        match Sim::workload("spmv").prefetcher("stream:distance").run() {
+            Err(SimError::InvalidSpec(msg)) => assert!(msg.contains("key=value"), "{msg}"),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_config_seeds_state_and_fluent_setters_still_apply() {
+        let mut cfg = SystemConfig::paper_default(16).with_prefetcher("ghb");
+        cfg.mem.hop_latency = 5; // a field the fluent surface can't reach
+        cfg.rob_entries = 64;
+
+        // Untouched: the explicit config round-trips exactly.
+        assert_eq!(Sim::from_config("spmv", cfg.clone()).config().unwrap(), cfg);
+
+        // Fluent setters apply on top (so Sweep axes are never ignored).
+        let got = Sim::from_config("spmv", cfg.clone())
+            .prefetcher("imp")
+            .partial(PartialMode::NocOnly)
+            .config()
+            .unwrap();
+        assert_eq!(got.prefetcher.name, "imp");
+        assert_eq!(got.partial, PartialMode::NocOnly);
+        assert_eq!(got.mem.hop_latency, 5, "non-fluent fields preserved");
+
+        // Changing cores rebuilds geometry at paper defaults but keeps
+        // non-geometry fields.
+        let scaled = Sim::from_config("spmv", cfg).cores(64).config().unwrap();
+        assert_eq!(scaled.cores, 64);
+        assert_eq!(
+            scaled.mem.mem_controllers, 8,
+            "geometry rebuilt for 64 cores"
+        );
+        assert_eq!(scaled.rob_entries, 64, "non-geometry field preserved");
+        assert_eq!(scaled.prefetcher.name, "ghb");
+    }
+}

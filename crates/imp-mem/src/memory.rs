@@ -109,12 +109,17 @@ impl FunctionalMemory {
     }
 
     fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_BYTES] {
-        self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
     }
 }
 
 fn split(addr: Addr) -> (u64, usize) {
-    (addr.raw() >> PAGE_SHIFT, (addr.raw() & (PAGE_BYTES as u64 - 1)) as usize)
+    (
+        addr.raw() >> PAGE_SHIFT,
+        (addr.raw() & (PAGE_BYTES as u64 - 1)) as usize,
+    )
 }
 
 #[cfg(test)]

@@ -48,7 +48,10 @@ const ADDR_LIMIT: u64 = 1 << 48;
 impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
-        AddressSpace { next: BASE, allocations: Vec::new() }
+        AddressSpace {
+            next: BASE,
+            allocations: Vec::new(),
+        }
     }
 
     /// Allocates `bytes` bytes aligned to a cache line.
@@ -58,10 +61,17 @@ impl AddressSpace {
     /// Panics if the 48-bit address space is exhausted.
     pub fn alloc(&mut self, name: &str, bytes: u64) -> Allocation {
         let base = self.next;
-        let padded = (bytes.max(1) + LINE_BYTES - 1) / LINE_BYTES * LINE_BYTES;
-        assert!(base + padded + GUARD < ADDR_LIMIT, "48-bit address space exhausted");
+        let padded = bytes.max(1).div_ceil(LINE_BYTES) * LINE_BYTES;
+        assert!(
+            base + padded + GUARD < ADDR_LIMIT,
+            "48-bit address space exhausted"
+        );
         self.next = base + padded + GUARD;
-        let a = Allocation { name: name.to_string(), base: Addr::new(base), bytes };
+        let a = Allocation {
+            name: name.to_string(),
+            base: Addr::new(base),
+            bytes,
+        };
         self.allocations.push(a.clone());
         a
     }
@@ -74,7 +84,7 @@ impl AddressSpace {
 
     /// Allocates a bit vector of `bits` bits (rounded up to whole lines).
     pub fn alloc_bitvec(&mut self, name: &str, bits: u64) -> BitVecRef {
-        let a = self.alloc(name, (bits + 7) / 8);
+        let a = self.alloc(name, bits.div_ceil(8));
         BitVecRef::new(a.base, bits)
     }
 
@@ -124,7 +134,10 @@ mod tests {
         let mut s = AddressSpace::new();
         let a = s.alloc("x", 256);
         assert_eq!(s.find(a.base).map(|al| al.name.as_str()), Some("x"));
-        assert_eq!(s.find(a.base.offset(255)).map(|al| al.name.as_str()), Some("x"));
+        assert_eq!(
+            s.find(a.base.offset(255)).map(|al| al.name.as_str()),
+            Some("x")
+        );
         assert_eq!(s.find(a.base.offset(256)), None);
         assert_eq!(s.find(Addr::new(0)), None);
     }

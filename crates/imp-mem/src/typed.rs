@@ -50,8 +50,10 @@ impl_mem_scalar!(u8, 1, write_u8, read_u8, |v| v, |v| v);
 impl_mem_scalar!(u16, 2, write_u16, read_u16, |v| v, |v| v);
 impl_mem_scalar!(u32, 4, write_u32, read_u32, |v| v, |v| v);
 impl_mem_scalar!(u64, 8, write_u64, read_u64, |v| v, |v| v);
-impl_mem_scalar!(i32, 4, write_u32, read_u32, |v: i32| v as u32, |v: u32| v as i32);
-impl_mem_scalar!(i64, 8, write_u64, read_u64, |v: i64| v as u64, |v: u64| v as i64);
+impl_mem_scalar!(i32, 4, write_u32, read_u32, |v: i32| v as u32, |v: u32| v
+    as i32);
+impl_mem_scalar!(i64, 8, write_u64, read_u64, |v: i64| v as u64, |v: u64| v
+    as i64);
 impl_mem_scalar!(f32, 4, write_u32, read_u32, f32::to_bits, f32::from_bits);
 impl_mem_scalar!(f64, 8, write_u64, read_u64, f64::to_bits, f64::from_bits);
 
@@ -77,7 +79,11 @@ impl<T> Copy for ArrayRef<T> {}
 impl<T: MemScalar> ArrayRef<T> {
     /// Creates a view of `len` elements starting at `base`.
     pub fn new(base: Addr, len: u64) -> Self {
-        ArrayRef { base, len, _t: PhantomData }
+        ArrayRef {
+            base,
+            len,
+            _t: PhantomData,
+        }
     }
 
     /// Base address of element 0.

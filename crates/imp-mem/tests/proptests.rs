@@ -1,7 +1,7 @@
 //! Property tests: functional memory behaves like a giant byte array.
 
-use imp_mem::{AddressSpace, FunctionalMemory};
 use imp_common::Addr;
+use imp_mem::{AddressSpace, FunctionalMemory};
 use proptest::prelude::*;
 
 proptest! {

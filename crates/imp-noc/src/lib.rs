@@ -184,7 +184,10 @@ impl Mesh {
 ///
 /// Panics if `count` is zero or exceeds the tile count.
 pub fn mc_tiles(side: u32, count: u32) -> Vec<u32> {
-    assert!(count > 0 && count <= side * side, "invalid controller count");
+    assert!(
+        count > 0 && count <= side * side,
+        "invalid controller count"
+    );
     (0..count)
         .map(|i| {
             let x = (i * side + side / 2) / count % side;
@@ -276,7 +279,7 @@ mod tests {
 
     #[test]
     fn mc_interleaving_covers_all_controllers() {
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for line in 0..64u64 {
             seen[mc_for_line(line, 8) as usize] = true;
         }

@@ -22,17 +22,35 @@ pub struct Access {
 impl Access {
     /// A load that hit in the L1.
     pub fn load_hit(pc: Pc, addr: Addr, size: u32) -> Self {
-        Access { pc, addr, size, is_write: false, miss: false }
+        Access {
+            pc,
+            addr,
+            size,
+            is_write: false,
+            miss: false,
+        }
     }
 
     /// A load that missed in the L1.
     pub fn load_miss(pc: Pc, addr: Addr, size: u32) -> Self {
-        Access { pc, addr, size, is_write: false, miss: true }
+        Access {
+            pc,
+            addr,
+            size,
+            is_write: false,
+            miss: true,
+        }
     }
 
     /// A store (hit or miss per `miss`).
     pub fn store(pc: Pc, addr: Addr, size: u32, miss: bool) -> Self {
-        Access { pc, addr, size, is_write: true, miss }
+        Access {
+            pc,
+            addr,
+            size,
+            is_write: true,
+            miss,
+        }
     }
 }
 

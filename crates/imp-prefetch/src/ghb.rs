@@ -158,7 +158,10 @@ mod tests {
                 }
             }
         }
-        assert!(correlated > 0, "second pass triggers correlation prefetches");
+        assert!(
+            correlated > 0,
+            "second pass triggers correlation prefetches"
+        );
     }
 
     #[test]
@@ -176,7 +179,11 @@ mod tests {
                 .filter(|r| r.addr.raw() != a)
                 .count();
         }
-        assert_eq!(g.stats().indirect_prefetches, 0, "no correlation on fresh misses");
+        assert_eq!(
+            g.stats().indirect_prefetches,
+            0,
+            "no correlation on fresh misses"
+        );
         let _ = total;
     }
 

@@ -99,7 +99,10 @@ impl Gp {
         // Sample roughly one in four prefetches so tracked lines spread
         // over the pattern instead of clustering at the start.
         if self.rng.chance(0.25) {
-            e.samples.push(Sample { line, touched: SectorMask::EMPTY });
+            e.samples.push(Sample {
+                line,
+                touched: SectorMask::EMPTY,
+            });
         }
     }
 
@@ -213,7 +216,7 @@ mod tests {
         assert_eq!(algorithm1(4, 4, 1), 1); // 4 singles: 8 < 36
         assert_eq!(algorithm1(4, 32, 8), L1_SECTORS); // all touched: 36 <= 36
         assert_eq!(algorithm1(4, 16, 2), 2); // half touched in pairs: 24 < 36
-        // Degenerate zero-touch window: partial wins with cost 0.
+                                             // Degenerate zero-touch window: partial wins with cost 0.
         assert_eq!(algorithm1(4, 0, 8), 8);
     }
 

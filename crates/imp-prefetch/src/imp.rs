@@ -97,7 +97,10 @@ struct Backoff {
 
 impl Backoff {
     fn new(initial: u32) -> Self {
-        Backoff { wait: 0, next: initial }
+        Backoff {
+            wait: 0,
+            next: initial,
+        }
     }
 
     fn ready(&self) -> bool {
@@ -235,8 +238,11 @@ impl Imp {
                 p.prefetching = true; // confidence rides on the parent
                 p.distance = 1;
                 p.prev = Some(slot);
-                p.ind_type =
-                    if kind == DetectKind::Way { IndType::SecondWay } else { IndType::SecondLevel };
+                p.ind_type = if kind == DetectKind::Way {
+                    IndType::SecondWay
+                } else {
+                    IndType::SecondLevel
+                };
                 if kind == DetectKind::Way {
                     self.ind[slot].next_way = Some(child);
                     self.ind[slot].ways += 1;
@@ -295,7 +301,8 @@ impl Imp {
                 kind: PrefetchKind::Indirect { pt: s },
             });
             self.stats.indirect_prefetches += 1;
-            self.gp.on_indirect_prefetch(s, LineAddr::containing(target));
+            self.gp
+                .on_indirect_prefetch(s, LineAddr::containing(target));
             self.table.touch(s);
             cur = p.next_way;
         }
@@ -394,7 +401,10 @@ impl L1Prefetcher for Imp {
         }));
 
         // 4. Index-stream work: detection or prefetching.
-        let established = self.table.entry(slot).established(self.cfg.stream_threshold);
+        let established = self
+            .table
+            .entry(slot)
+            .established(self.cfg.stream_threshold);
         if established && event == StreamEvent::Continued {
             self.stats.dbg_continued += 1;
             if values.read_value(access.addr, access.size).is_none() {
@@ -553,7 +563,8 @@ impl L1Prefetcher for Imp {
                     .copied()
                     .filter(|d| LineAddr::containing(d.index_addr) == filled)
                     .collect();
-                self.deferred.retain(|d| LineAddr::containing(d.index_addr) != filled);
+                self.deferred
+                    .retain(|d| LineAddr::containing(d.index_addr) != filled);
                 for d in ready {
                     if self.ind[d.slot].enabled && self.ind[d.slot].prefetching {
                         if let Some(v) = values.read_value(d.index_addr, d.size) {
@@ -641,7 +652,10 @@ mod tests {
         for r in &indirect {
             let off = r.addr.raw() - a_base;
             assert_eq!(off % 8, 0);
-            assert!(values.contains(&(off / 8)), "target {off:#x} is a real A[B[j]]");
+            assert!(
+                values.contains(&(off / 8)),
+                "target {off:#x} is a real A[B[j]]"
+            );
         }
     }
 
@@ -653,7 +667,9 @@ mod tests {
         let mut src = index_array(b_base, &values);
         let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
         drive_a_of_b(&mut imp, &mut src, b_base, a_base, &values, false);
-        let found = (0..16).find_map(|i| imp.pattern(i)).expect("a pattern is enabled");
+        let found = (0..16)
+            .find_map(|i| imp.pattern(i))
+            .expect("a pattern is enabled");
         assert_eq!(found.0, 3, "shift 3 = 8-byte elements");
         assert_eq!(found.1, a_base);
         assert_eq!(found.2, IndType::Primary);
@@ -676,8 +692,10 @@ mod tests {
             .expect("indirect prefetches");
         let target_j = (last.addr.raw() - a_base) / 8;
         let pos = values.iter().position(|&v| v == target_j).unwrap();
-        assert!(pos >= 199_usize.saturating_sub(1) || pos + 16 >= 199,
-            "last prefetch is far ahead (pos {pos})");
+        assert!(
+            pos >= 199_usize.saturating_sub(1) || pos + 16 >= 199,
+            "last prefetch is far ahead (pos {pos})"
+        );
     }
 
     #[test]
@@ -689,7 +707,9 @@ mod tests {
         let mut reqs = Vec::new();
         let mut x = 12345u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = Addr::new(0x100000 + (x % 100_000) * 8);
             src.insert(addr, 8, x);
             reqs.extend(imp.on_access(Access::load_miss(Pc::new(9), addr, 8), &mut src));
@@ -721,7 +741,10 @@ mod tests {
         }
         assert!(imp.stats().ways_detected >= 1, "second way detected");
         // Both bases appear among enabled patterns.
-        let bases: Vec<u64> = (0..16).filter_map(|i| imp.pattern(i)).map(|p| p.1).collect();
+        let bases: Vec<u64> = (0..16)
+            .filter_map(|i| imp.pattern(i))
+            .map(|p| p.1)
+            .collect();
         assert!(bases.contains(&a_base));
         assert!(bases.contains(&c_base));
     }
@@ -735,8 +758,9 @@ mod tests {
         let c_base = 0x10000u64;
         let b_base = 0x1_000_000u64;
         let a_base = 0x8_000_000u64;
-        let c_vals: Vec<u64> =
-            (0..160u64).map(|i| (i.wrapping_mul(2654435761) >> 7) % 4000).collect();
+        let c_vals: Vec<u64> = (0..160u64)
+            .map(|i| (i.wrapping_mul(2654435761) >> 7) % 4000)
+            .collect();
         let mut src = MapValueSource::new();
         let b_of = |c: u64| (c.wrapping_mul(40503) >> 3) % 3000;
         for (i, &c) in c_vals.iter().enumerate() {
@@ -802,7 +826,9 @@ mod tests {
         }
         let chained = imp.on_prefetch_fill(req, &mut src);
         assert!(
-            chained.iter().any(|r| matches!(r.kind, PrefetchKind::Indirect { .. })),
+            chained
+                .iter()
+                .any(|r| matches!(r.kind, PrefetchKind::Indirect { .. })),
             "deferred indirect prefetch issued after the index line filled"
         );
     }
@@ -827,7 +853,10 @@ mod tests {
             .rev()
             .find(|r| matches!(r.kind, PrefetchKind::Indirect { .. }))
             .expect("indirect prefetches issued");
-        assert!(last_indirect.exclusive, "read/write predictor marks the pattern as writing");
+        assert!(
+            last_indirect.exclusive,
+            "read/write predictor marks the pattern as writing"
+        );
     }
 
     #[test]
@@ -852,7 +881,10 @@ mod tests {
         assert!(f >= 2, "detection attempted and failed (failures = {f})");
         // With exponential back-off, failures grow logarithmically, not
         // linearly with the number of index accesses.
-        assert!(f <= 16, "back-off bounds detection attempts (failures = {f})");
+        assert!(
+            f <= 16,
+            "back-off bounds detection attempts (failures = {f})"
+        );
         assert_eq!(imp.stats().indirect_prefetches, 0);
     }
 

@@ -71,7 +71,11 @@ impl Ipd {
     /// per-shift base array of `ba_len` (Table 2: 4 entries, shifts
     /// {2, 3, 4, -3}, length 4).
     pub fn new(entries: usize, shifts: Vec<i8>, ba_len: usize) -> Self {
-        Ipd { entries: vec![None; entries], shifts, ba_len }
+        Ipd {
+            entries: vec![None; entries],
+            shifts,
+            ba_len,
+        }
     }
 
     /// Number of free entries.
@@ -158,7 +162,11 @@ impl Ipd {
                     for (s, &shift) in self.shifts.iter().enumerate() {
                         let base = addr.raw().wrapping_sub(shift_apply(idx2, shift));
                         if e.bases[s].contains(&base) {
-                            detected = Some(Detection { owner: e.owner, shift, base });
+                            detected = Some(Detection {
+                                owner: e.owner,
+                                shift,
+                                base,
+                            });
                             break;
                         }
                     }
@@ -284,9 +292,13 @@ mod tests {
         ipd.on_miss(Addr::new(0x40000 + 200 * 4));
         ipd.on_index_access(0, 150);
         ipd.on_index_access(1, 250);
-        let d0 = ipd.on_miss(Addr::new(0x10000 + 150 * 8)).expect("owner 0 detects");
+        let d0 = ipd
+            .on_miss(Addr::new(0x10000 + 150 * 8))
+            .expect("owner 0 detects");
         assert_eq!((d0.owner, d0.shift, d0.base), (0, 3, 0x10000));
-        let d1 = ipd.on_miss(Addr::new(0x40000 + 250 * 4)).expect("owner 1 detects");
+        let d1 = ipd
+            .on_miss(Addr::new(0x40000 + 250 * 4))
+            .expect("owner 1 detects");
         assert_eq!((d1.owner, d1.shift, d1.base), (1, 2, 0x40000));
     }
 

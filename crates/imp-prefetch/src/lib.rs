@@ -16,6 +16,11 @@
 //!   Granularity Predictor (Section 4.2).
 //! * [`Ghb`] — a Global History Buffer address-correlation prefetcher
 //!   (the Section 5.4 comparison point).
+//! * [`Hybrid`] — a combinator that runs several prefetchers side by
+//!   side and arbitrates their requests per PC.
+//! * [`registry`] — the prefetcher plugin registry: a string-keyed
+//!   factory table the simulator resolves `PrefetcherSpec`s against, so
+//!   custom prefetchers plug in without touching `imp-sim`.
 //! * [`cost`] — the storage-cost arithmetic of Section 6.4.
 //!
 //! Prefetchers observe the L1 access/miss stream as [`Access`] records and
@@ -53,8 +58,10 @@ mod access;
 pub mod cost;
 mod ghb;
 mod gp;
+mod hybrid;
 mod imp;
 mod ipd;
+pub mod registry;
 mod stream;
 
 pub use access::{
@@ -63,6 +70,8 @@ pub use access::{
 };
 pub use ghb::Ghb;
 pub use gp::{Gp, GpDecision};
+pub use hybrid::Hybrid;
 pub use imp::{Imp, IndType};
 pub use ipd::{Ipd, IpdOutcome};
+pub use registry::{BuildCtx, PrefetcherFactory, Registry, RegistryError};
 pub use stream::{shift_apply, StreamEntry, StreamEvent, StreamPrefetcher, StreamTable};

@@ -135,7 +135,8 @@ impl StreamTable {
         self.stamp += 1;
         let stamp = self.stamp;
         if self.entries.len() < self.capacity {
-            self.entries.push(StreamEntry::new(Self::DETACHED_PC, Addr::new(0), 0, stamp));
+            self.entries
+                .push(StreamEntry::new(Self::DETACHED_PC, Addr::new(0), 0, stamp));
             return Some(self.entries.len() - 1);
         }
         let victim = self
@@ -158,7 +159,12 @@ impl StreamTable {
     /// any stream prefetches to issue. On replacement the evicted entry
     /// index is reused (callers keep per-index side state and must reset
     /// it when `StreamEvent::Allocated` is reported).
-    pub fn observe(&mut self, pc: Pc, addr: Addr, size: u32) -> (usize, StreamEvent, Vec<LineAddr>) {
+    pub fn observe(
+        &mut self,
+        pc: Pc,
+        addr: Addr,
+        size: u32,
+    ) -> (usize, StreamEvent, Vec<LineAddr>) {
         self.stamp += 1;
         let stamp = self.stamp;
         if let Some(i) = self.find(pc) {

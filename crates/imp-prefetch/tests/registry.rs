@@ -1,0 +1,145 @@
+//! Plugin-registry behavior: name resolution, duplicate protection,
+//! parameter validation, and the hybrid combinator's component checks.
+
+use imp_common::config::PrefetcherSpec;
+use imp_common::ImpConfig;
+use imp_prefetch::registry::{self, BuildCtx, RegistryError};
+use imp_prefetch::{NullPrefetcher, Registry};
+use std::sync::Arc;
+
+fn ctx(imp: &ImpConfig) -> BuildCtx<'_> {
+    BuildCtx {
+        core: 0,
+        imp,
+        partial: false,
+    }
+}
+
+/// `unwrap_err` needs `T: Debug`, which trait objects lack.
+fn build_err(r: &Registry, spec: &str, imp: &ImpConfig) -> RegistryError {
+    let spec: PrefetcherSpec = spec.parse().expect("parsable spec");
+    match r.build(&spec, &ctx(imp)) {
+        Err(e) => e,
+        Ok(_) => panic!("{spec} unexpectedly built"),
+    }
+}
+
+#[test]
+fn builtins_are_registered() {
+    let r = Registry::with_builtins();
+    for name in ["none", "stream", "imp", "ghb", "hybrid"] {
+        assert!(r.contains(name), "{name} missing");
+        assert!(registry::is_registered(name), "{name} missing from global");
+    }
+    assert_eq!(r.names(), vec!["ghb", "hybrid", "imp", "none", "stream"]);
+}
+
+#[test]
+fn unknown_name_reports_known_factories() {
+    let imp = ImpConfig::paper_default();
+    let r = Registry::with_builtins();
+    match build_err(&r, "markov", &imp) {
+        RegistryError::UnknownPrefetcher { name, known } => {
+            assert_eq!(name, "markov");
+            assert!(known.contains(&"imp".to_string()));
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    // The message names the candidates so typos are self-diagnosing.
+    let msg = build_err(&r, "markov", &imp).to_string();
+    assert!(msg.contains("markov") && msg.contains("stream"), "{msg}");
+}
+
+#[test]
+fn duplicate_registration_is_rejected() {
+    let mut r = Registry::with_builtins();
+    let err = r
+        .register(
+            "stream",
+            Arc::new(|_: &PrefetcherSpec, _: &BuildCtx<'_>| {
+                Ok(Box::new(NullPrefetcher::new()) as Box<_>)
+            }),
+        )
+        .unwrap_err();
+    assert_eq!(err, RegistryError::DuplicateName("stream".to_string()));
+
+    // Same protection on the process-wide registry.
+    registry::register_fn("registry-test-dup", |_, _| {
+        Ok(Box::new(NullPrefetcher::new()))
+    })
+    .expect("first registration succeeds");
+    let err = registry::register_fn("registry-test-dup", |_, _| {
+        Ok(Box::new(NullPrefetcher::new()))
+    })
+    .unwrap_err();
+    assert_eq!(
+        err,
+        RegistryError::DuplicateName("registry-test-dup".to_string())
+    );
+}
+
+#[test]
+fn stock_factories_validate_parameters() {
+    let imp = ImpConfig::paper_default();
+    let r = Registry::with_builtins();
+    // Unknown key.
+    match build_err(&r, "stream:degre=4", &imp) {
+        RegistryError::InvalidParam {
+            prefetcher, param, ..
+        } => {
+            assert_eq!((prefetcher.as_str(), param.as_str()), ("stream", "degre"));
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    // Wrong type.
+    assert!(matches!(
+        build_err(&r, "imp:distance=lots", &imp),
+        RegistryError::InvalidParam { .. }
+    ));
+    // Valid overrides build.
+    let spec: PrefetcherSpec = "imp:distance=8,pt_entries=32".parse().unwrap();
+    assert!(r.build(&spec, &ctx(&imp)).is_ok());
+    let spec: PrefetcherSpec = "ghb:entries=128,degree=2".parse().unwrap();
+    assert!(r.build(&spec, &ctx(&imp)).is_ok());
+}
+
+#[test]
+fn hybrid_checks_its_components() {
+    let imp = ImpConfig::paper_default();
+    let r = Registry::with_builtins();
+    assert!(r.build(&PrefetcherSpec::new("hybrid"), &ctx(&imp)).is_ok());
+    let spec: PrefetcherSpec = "hybrid:components=stream+ghb+imp".parse().unwrap();
+    assert!(r.build(&spec, &ctx(&imp)).is_ok());
+    for bad in [
+        "hybrid:components=stream+markov",
+        "hybrid:components=",
+        "hybrid:components=3",
+    ] {
+        let spec: PrefetcherSpec = bad.parse().unwrap();
+        assert!(
+            matches!(
+                r.build(&spec, &ctx(&imp)),
+                Err(RegistryError::InvalidParam { .. })
+            ),
+            "{bad} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn custom_factory_round_trips_through_a_local_registry() {
+    let imp = ImpConfig::paper_default();
+    let mut r = Registry::empty();
+    assert!(!r.contains("stream"), "empty registry resolves nothing");
+    r.register(
+        "custom",
+        Arc::new(|spec: &PrefetcherSpec, c: &BuildCtx<'_>| {
+            assert_eq!(spec.get("knob").and_then(|v| v.as_u32()), Some(3));
+            assert_eq!(c.core, 0);
+            Ok(Box::new(NullPrefetcher::new()) as Box<_>)
+        }),
+    )
+    .unwrap();
+    let spec: PrefetcherSpec = "custom:knob=3".parse().unwrap();
+    assert!(r.build(&spec, &ctx(&imp)).is_ok());
+}

@@ -31,6 +31,7 @@
 mod msg;
 mod system;
 
+pub use imp_prefetch::registry::RegistryError;
 pub use system::System;
 
 #[cfg(test)]
@@ -63,7 +64,12 @@ mod tests {
             let ops = p.core_mut(c);
             for i in 0..n {
                 if sw_prefetch && i + 16 < n {
-                    ops.push(Op::load(b.addr_of(i + 16), 4, Pc::new(3), AccessClass::Stream));
+                    ops.push(Op::load(
+                        b.addr_of(i + 16),
+                        4,
+                        Pc::new(3),
+                        AccessClass::Stream,
+                    ));
                     ops.push(Op::compute(2));
                     let v = {
                         let idx = ((i + 16) * 2654435761 + c as u64 * 97) >> 6;
@@ -73,9 +79,7 @@ mod tests {
                 }
                 ops.push(Op::load(b.addr_of(i), 4, Pc::new(1), AccessClass::Stream));
                 let v = ((i * 2654435761 + c as u64 * 97) >> 6) % (1 << 18);
-                ops.push(
-                    Op::load(a.addr_of(v), 8, Pc::new(2), AccessClass::Indirect).with_dep(1),
-                );
+                ops.push(Op::load(a.addr_of(v), 8, Pc::new(2), AccessClass::Indirect).with_dep(1));
                 ops.push(Op::compute(2));
             }
         }
@@ -94,7 +98,11 @@ mod tests {
         let s = run(cfg, p, mem);
         assert_eq!(s.total_instructions(), total);
         // 4 instructions per iteration, all 1-cycle: runtime ~ 4n.
-        assert!(s.runtime >= 4 * n && s.runtime < 6 * n, "runtime {}", s.runtime);
+        assert!(
+            s.runtime >= 4 * n && s.runtime < 6 * n,
+            "runtime {}",
+            s.runtime
+        );
         assert_eq!(s.traffic.dram_bytes(), 0);
         assert_eq!(s.traffic.noc_flit_hops, 0);
     }
@@ -111,7 +119,11 @@ mod tests {
         );
         // Indirect stalls dominate total stall time (Figure 2's shape).
         let stalls: u64 = s.cores.iter().map(|c| c.stall_cycles[0]).sum();
-        let other: u64 = s.cores.iter().map(|c| c.stall_cycles[1] + c.stall_cycles[2]).sum();
+        let other: u64 = s
+            .cores
+            .iter()
+            .map(|c| c.stall_cycles[1] + c.stall_cycles[2])
+            .sum();
         assert!(stalls > other, "indirect {stalls} vs rest {other}");
         assert!(s.traffic.dram_bytes() > 0);
     }
@@ -173,7 +185,12 @@ mod tests {
         let extra = p2.total_instructions();
         let sw = run(SystemConfig::paper_default(16), p2, mem2);
 
-        assert!(sw.runtime < base.runtime, "SW pref speeds up: {} vs {}", sw.runtime, base.runtime);
+        assert!(
+            sw.runtime < base.runtime,
+            "SW pref speeds up: {} vs {}",
+            sw.runtime,
+            base.runtime
+        );
         assert!(extra > base.total_instructions(), "instruction overhead");
     }
 
@@ -189,7 +206,10 @@ mod tests {
             .with_partial(PartialMode::NocAndDram);
         let part = run(cfg2, p2, mem2);
 
-        assert!(part.prefetch_total().partial_prefetches > 0, "partial prefetches issued");
+        assert!(
+            part.prefetch_total().partial_prefetches > 0,
+            "partial prefetches issued"
+        );
         assert!(
             part.traffic.noc_flit_hops < full.traffic.noc_flit_hops,
             "partial {} vs full {}",
@@ -242,15 +262,21 @@ mod tests {
         let x = space.alloc_array::<u64>("x", 8);
         let mut p = Program::new("sharing", cores);
         for c in 0..cores {
-            p.core_mut(c).push(Op::load(x.addr_of(0), 8, Pc::new(1), AccessClass::Other));
+            p.core_mut(c)
+                .push(Op::load(x.addr_of(0), 8, Pc::new(1), AccessClass::Other));
         }
         p.barrier();
-        p.core_mut(0).push(Op::store(x.addr_of(0), 8, Pc::new(2), AccessClass::Other));
+        p.core_mut(0)
+            .push(Op::store(x.addr_of(0), 8, Pc::new(2), AccessClass::Other));
         let s = run(SystemConfig::paper_default(16), p, mem);
         assert!(s.runtime > 0);
         // The broadcast invalidation shows up as NoC messages well above
         // the minimum for 17 accesses.
-        assert!(s.traffic.noc_messages > 40, "messages {}", s.traffic.noc_messages);
+        assert!(
+            s.traffic.noc_messages > 40,
+            "messages {}",
+            s.traffic.noc_messages
+        );
     }
 
     #[test]
@@ -259,8 +285,8 @@ mod tests {
         let io = run(SystemConfig::paper_default(16), p, mem);
 
         let (p2, mem2, _) = indirect_program(16, 300, false);
-        let cfg = SystemConfig::paper_default(16)
-            .with_core_model(imp_common::CoreModel::OutOfOrder);
+        let cfg =
+            SystemConfig::paper_default(16).with_core_model(imp_common::CoreModel::OutOfOrder);
         let ooo = run(cfg, p2, mem2);
         assert!(
             ooo.runtime < io.runtime,
@@ -279,6 +305,9 @@ mod tests {
         let ghb = run(cfg, p2, mem2);
         // Within a few percent of baseline (the paper: "no benefits").
         let ratio = ghb.runtime as f64 / base.runtime as f64;
-        assert!(ratio > 0.9, "GHB should not dramatically beat baseline: {ratio}");
+        assert!(
+            ratio > 0.9,
+            "GHB should not dramatically beat baseline: {ratio}"
+        );
     }
 }

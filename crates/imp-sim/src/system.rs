@@ -10,18 +10,16 @@
 use crate::msg::{Msg, MsgKind};
 use imp_cache::{AccessOutcome, Evicted, LineState, MshrAlloc, MshrFile, SectoredCache};
 use imp_coherence::{Directory, InvTargets};
+use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode};
 use imp_common::stats::{CoreStats, PrefetchStats, SystemStats, TrafficStats};
-use imp_common::{
-    Addr, Cycle, EventQueue, LineAddr, SectorMask, SystemConfig, LINE_BYTES,
-};
-use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherKind};
+use imp_common::{Addr, Cycle, EventQueue, LineAddr, SectorMask, SystemConfig, LINE_BYTES};
 use imp_cpu::{CoreBlock, CoreEngine, InOrderCore, MemPort, MemResult, OooCore};
 use imp_dram::{Ddr3Dram, Ddr3Timing, DramModel, FixedLatencyDram};
 use imp_mem::FunctionalMemory;
 use imp_noc::{mc_for_line, mc_tiles, Mesh};
+use imp_prefetch::registry::{self, BuildCtx, RegistryError};
 use imp_prefetch::{
-    Access, Ghb, Imp, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind,
-    PrefetchRequest, StreamPrefetcher,
+    Access, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind, PrefetchRequest,
 };
 use imp_trace::{OpKind, Program};
 use std::collections::{HashMap, VecDeque};
@@ -45,13 +43,23 @@ enum CoreRun {
 /// Who is waiting on an outstanding L1 miss.
 #[derive(Debug, Clone, Copy)]
 enum Waiter {
-    Demand { token: u64, write: bool, touch: SectorMask },
+    Demand {
+        token: u64,
+        write: bool,
+        touch: SectorMask,
+    },
     /// A store retired through the store buffer: no core to wake, but
     /// the filled line must be dirtied.
-    Store { touch: SectorMask },
-    Prefetch { req: PrefetchRequest },
+    Store {
+        touch: SectorMask,
+    },
+    Prefetch {
+        req: PrefetchRequest,
+    },
     SwPrefetch,
-    PerfPref { id: u64 },
+    PerfPref {
+        id: u64,
+    },
 }
 
 /// An in-flight transaction at a home tile.
@@ -154,7 +162,10 @@ impl Fabric {
 
     fn observe_and_prefetch(&mut self, c: usize, access: Access, now: Cycle) {
         let reqs = {
-            let mut src = L1Values { l1: &self.l1[c], mem: &self.mem };
+            let mut src = L1Values {
+                l1: &self.l1[c],
+                mem: &self.mem,
+            };
             self.pref[c].on_access(access, &mut src)
         };
         for r in reqs {
@@ -173,7 +184,10 @@ impl Fabric {
                 // Already resident: run the fill hook so multi-level
                 // chains continue.
                 let chained = {
-                    let mut src = L1Values { l1: &self.l1[c], mem: &self.mem };
+                    let mut src = L1Values {
+                        l1: &self.l1[c],
+                        mem: &self.mem,
+                    };
                     self.pref[c].on_prefetch_fill(req, &mut src)
                 };
                 for r in chained {
@@ -186,7 +200,11 @@ impl Fabric {
             MshrAlloc::Full => self.pstats[c].mshr_drops += 1,
             MshrAlloc::Merged => {}
             MshrAlloc::MergedNeedsMore(extra) => {
-                let kind = if req.exclusive { MsgKind::GetX } else { MsgKind::GetS };
+                let kind = if req.exclusive {
+                    MsgKind::GetX
+                } else {
+                    MsgKind::GetS
+                };
                 self.send(
                     Msg {
                         kind,
@@ -209,7 +227,11 @@ impl Fabric {
                 if sectors != self.l1[c].full_mask() {
                     self.pstats[c].partial_prefetches += 1;
                 }
-                let kind = if req.exclusive { MsgKind::GetX } else { MsgKind::GetS };
+                let kind = if req.exclusive {
+                    MsgKind::GetX
+                } else {
+                    MsgKind::GetS
+                };
                 self.send(
                     Msg {
                         kind,
@@ -247,12 +269,20 @@ impl Fabric {
         let waiter = if is_write {
             Waiter::Store { touch }
         } else {
-            Waiter::Demand { token, write: false, touch }
+            Waiter::Demand {
+                token,
+                write: false,
+                touch,
+            }
         };
         match self.mshr[c].alloc(line, fetch, false, waiter) {
             MshrAlloc::Merged => {}
             MshrAlloc::MergedNeedsMore(extra) => {
-                let kind = if is_write { MsgKind::GetX } else { MsgKind::GetS };
+                let kind = if is_write {
+                    MsgKind::GetX
+                } else {
+                    MsgKind::GetS
+                };
                 self.send(
                     Msg {
                         kind,
@@ -270,7 +300,11 @@ impl Fabric {
             MshrAlloc::New | MshrAlloc::Full => {
                 // Demand misses are never structurally refused: the MSHR
                 // file is sized for prefetches; a demand always proceeds.
-                let kind = if is_write { MsgKind::GetX } else { MsgKind::GetS };
+                let kind = if is_write {
+                    MsgKind::GetX
+                } else {
+                    MsgKind::GetS
+                };
                 self.send(
                     Msg {
                         kind,
@@ -297,10 +331,15 @@ impl Fabric {
 
     fn l1_data(&mut self, msg: Msg, now: Cycle) {
         let c = msg.dst as usize;
-        let Some(entry) = self.mshr[c].complete(msg.line) else { return };
-        let state = if msg.exclusive { LineState::Modified } else { LineState::Shared };
-        let evicted =
-            self.l1[c].fill(msg.line, entry.requested, state, entry.prefetch_only);
+        let Some(entry) = self.mshr[c].complete(msg.line) else {
+            return;
+        };
+        let state = if msg.exclusive {
+            LineState::Modified
+        } else {
+            LineState::Shared
+        };
+        let evicted = self.l1[c].fill(msg.line, entry.requested, state, entry.prefetch_only);
         if let Some(ev) = evicted {
             self.l1_evicted(c, ev, now);
         }
@@ -308,7 +347,11 @@ impl Fabric {
         let mut chained: Vec<PrefetchRequest> = Vec::new();
         for w in entry.waiters {
             match w {
-                Waiter::Demand { token, write, touch } => {
+                Waiter::Demand {
+                    token,
+                    write,
+                    touch,
+                } => {
                     // Mark touch/dirty on the freshly filled line.
                     let _ = self.l1[c].demand_access(msg.line, touch, write);
                     self.pref[c].on_demand_touch(msg.line, touch);
@@ -320,7 +363,10 @@ impl Fabric {
                     self.pref[c].on_demand_touch(msg.line, touch);
                 }
                 Waiter::Prefetch { req } => {
-                    let mut src = L1Values { l1: &self.l1[c], mem: &self.mem };
+                    let mut src = L1Values {
+                        l1: &self.l1[c],
+                        mem: &self.mem,
+                    };
                     chained.extend(self.pref[c].on_prefetch_fill(req, &mut src));
                 }
                 Waiter::SwPrefetch => {}
@@ -473,7 +519,9 @@ impl Fabric {
             txn.acks_pending = 1;
             self.send(
                 Msg {
-                    kind: MsgKind::Fetch { invalidate: txn.exclusive },
+                    kind: MsgKind::Fetch {
+                        invalidate: txn.exclusive,
+                    },
                     line,
                     src: h as u32,
                     dst: o,
@@ -806,28 +854,22 @@ impl MemPort for Fabric {
                     self.pp_next_id += 1;
                     self.pp_outstanding[c].push_back(id);
                     self.pp_issue.insert(id, now);
-                    match self.mshr[c].alloc(
-                        line,
-                        SectorMask::FULL_L1,
-                        true,
-                        Waiter::PerfPref { id },
-                    ) {
-                        MshrAlloc::New => {
-                            self.send(
-                                Msg {
-                                    kind: MsgKind::GetS,
-                                    line,
-                                    src: core,
-                                    dst: self.home_of(line),
-                                    requester: core,
-                                    sectors: SectorMask::FULL_L1,
-                                    exclusive: false,
-                                    payload_bytes: 0,
-                                },
-                                now,
-                            );
-                        }
-                        _ => {}
+                    if let MshrAlloc::New =
+                        self.mshr[c].alloc(line, SectorMask::FULL_L1, true, Waiter::PerfPref { id })
+                    {
+                        self.send(
+                            Msg {
+                                kind: MsgKind::GetS,
+                                line,
+                                src: core,
+                                dst: self.home_of(line),
+                                requester: core,
+                                sectors: SectorMask::FULL_L1,
+                                exclusive: false,
+                                payload_bytes: 0,
+                            },
+                            now,
+                        );
                     }
                 }
                 // Throttle: never run more than `lead` cycles past the
@@ -859,7 +901,9 @@ impl MemPort for Fabric {
                     now,
                 );
                 match outcome {
-                    AccessOutcome::Hit { first_touch_of_prefetch } => {
+                    AccessOutcome::Hit {
+                        first_touch_of_prefetch,
+                    } => {
                         if first_touch_of_prefetch {
                             self.pstats[c].covered += 1;
                         }
@@ -930,13 +974,32 @@ pub struct System {
 }
 
 impl System {
-    /// Builds a system for `program` under `cfg`.
+    /// Builds a system for `program` under `cfg`, resolving the
+    /// configured prefetcher against the process-wide plugin registry
+    /// (see `imp_prefetch::registry`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefetcher spec does not resolve (see
+    /// [`System::try_new`] for the fallible form), if the program's core
+    /// count does not match the configuration, or if barrier counts are
+    /// inconsistent.
+    pub fn new(cfg: SystemConfig, program: Program, mem: FunctionalMemory) -> Self {
+        Self::try_new(cfg, program, mem).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a system for `program` under `cfg`, surfacing prefetcher
+    /// registry failures (unknown name, bad parameters) as an error.
     ///
     /// # Panics
     ///
     /// Panics if the program's core count does not match the
     /// configuration, or if barrier counts are inconsistent.
-    pub fn new(cfg: SystemConfig, program: Program, mem: FunctionalMemory) -> Self {
+    pub fn try_new(
+        cfg: SystemConfig,
+        program: Program,
+        mem: FunctionalMemory,
+    ) -> Result<Self, RegistryError> {
         assert_eq!(
             program.cores(),
             cfg.cores as usize,
@@ -961,24 +1024,18 @@ impl System {
             .collect();
 
         let pref: Vec<Box<dyn L1Prefetcher>> = (0..n)
-            .map(|c| -> Box<dyn L1Prefetcher> {
+            .map(|c| -> Result<Box<dyn L1Prefetcher>, RegistryError> {
                 if cfg.mem_mode != MemMode::Realistic {
-                    return Box::new(NullPrefetcher::new());
+                    return Ok(Box::new(NullPrefetcher::new()));
                 }
-                match cfg.prefetcher {
-                    PrefetcherKind::None => Box::new(NullPrefetcher::new()),
-                    PrefetcherKind::Stream => Box::new(StreamPrefetcher::new(
-                        cfg.imp.pt_entries,
-                        cfg.imp.stream_threshold,
-                        cfg.imp.stream_distance,
-                    )),
-                    PrefetcherKind::Imp => {
-                        Box::new(Imp::new(cfg.imp.clone(), partial, 0x1_000 + c as u64))
-                    }
-                    PrefetcherKind::Ghb => Box::new(Ghb::paper_default()),
-                }
+                let ctx = BuildCtx {
+                    core: c as u32,
+                    imp: &cfg.imp,
+                    partial,
+                };
+                registry::build(&cfg.prefetcher, &ctx)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         let mshr_cap = match cfg.mem_mode {
             MemMode::PerfectPrefetch => 1 << 16,
@@ -1002,7 +1059,11 @@ impl System {
             queue: EventQueue::new(),
             l1: (0..n)
                 .map(|_| {
-                    SectoredCache::new(cfg.mem.l1d.size_bytes, cfg.mem.l1d.associativity, l1_sectors)
+                    SectoredCache::new(
+                        cfg.mem.l1d.size_bytes,
+                        cfg.mem.l1d.associativity,
+                        l1_sectors,
+                    )
                 })
                 .collect(),
             mshr: (0..n).map(|_| MshrFile::new(mshr_cap)).collect(),
@@ -1038,13 +1099,13 @@ impl System {
             pp_next_id: 0,
             cfg,
         };
-        System {
+        Ok(System {
             cores,
             state: vec![CoreRun::Ready; n],
             barrier_waiting: Vec::new(),
             done_count: 0,
             fab,
-        }
+        })
     }
 
     /// Runs the program to completion and returns the collected
@@ -1153,6 +1214,11 @@ impl System {
         let runtime = cores.iter().map(|c| c.done_cycle).max().unwrap_or(0);
         let mut traffic = self.fab.traffic.clone();
         traffic.noc_flit_hops = self.fab.mesh.flit_hops();
-        SystemStats { runtime, cores, prefetch: self.fab.pstats.clone(), traffic }
+        SystemStats {
+            runtime,
+            cores,
+            prefetch: self.fab.pstats.clone(),
+            traffic,
+        }
     }
 }

@@ -79,12 +79,26 @@ impl Op {
 
     /// A demand load.
     pub fn load(addr: Addr, size: u8, pc: Pc, class: AccessClass) -> Self {
-        Op { addr: addr.raw(), pc, kind: OpKind::Load, size, class, dep: 0 }
+        Op {
+            addr: addr.raw(),
+            pc,
+            kind: OpKind::Load,
+            size,
+            class,
+            dep: 0,
+        }
     }
 
     /// A demand store.
     pub fn store(addr: Addr, size: u8, pc: Pc, class: AccessClass) -> Self {
-        Op { addr: addr.raw(), pc, kind: OpKind::Store, size, class, dep: 0 }
+        Op {
+            addr: addr.raw(),
+            pc,
+            kind: OpKind::Store,
+            size,
+            class,
+            dep: 0,
+        }
     }
 
     /// A software prefetch of the line containing `addr`.
@@ -148,7 +162,10 @@ pub struct Program {
 impl Program {
     /// Creates an empty program for `cores` cores.
     pub fn new(name: &str, cores: usize) -> Self {
-        Program { name: name.to_string(), streams: vec![Vec::new(); cores] }
+        Program {
+            name: name.to_string(),
+            streams: vec![Vec::new(); cores],
+        }
     }
 
     /// Program name (the workload that generated it).
@@ -240,15 +257,20 @@ mod tests {
         assert_eq!(Op::barrier().instruction_count(), 0);
         let l = Op::load(Addr::new(8), 8, Pc::new(3), AccessClass::Indirect);
         assert_eq!(l.instruction_count(), 1);
-        assert_eq!(Op::sw_prefetch(Addr::new(8), Pc::new(4)).instruction_count(), 1);
+        assert_eq!(
+            Op::sw_prefetch(Addr::new(8), Pc::new(4)).instruction_count(),
+            1
+        );
     }
 
     #[test]
     fn program_totals() {
         let mut p = Program::new("t", 2);
         p.core_mut(0).push(Op::compute(10));
-        p.core_mut(0).push(Op::load(Addr::new(0), 4, Pc::new(1), AccessClass::Stream));
-        p.core_mut(1).push(Op::store(Addr::new(8), 4, Pc::new(2), AccessClass::Other));
+        p.core_mut(0)
+            .push(Op::load(Addr::new(0), 4, Pc::new(1), AccessClass::Stream));
+        p.core_mut(1)
+            .push(Op::store(Addr::new(8), 4, Pc::new(2), AccessClass::Other));
         p.barrier();
         assert_eq!(p.total_instructions(), 12);
         assert_eq!(p.total_memory_ops(), 2);

@@ -72,7 +72,11 @@ impl Workload for Dense {
         program.barrier();
 
         let result = grid.iter().sum::<f64>();
-        Built { program, mem, result }
+        Built {
+            program,
+            mem,
+            result,
+        }
     }
 }
 

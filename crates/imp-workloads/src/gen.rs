@@ -129,7 +129,10 @@ impl CsrMatrix {
     pub fn row(&self, r: u64) -> impl Iterator<Item = (u32, f64)> + '_ {
         let lo = self.xadj[r as usize] as usize;
         let hi = self.xadj[r as usize + 1] as usize;
-        self.col[lo..hi].iter().copied().zip(self.val[lo..hi].iter().copied())
+        self.col[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.val[lo..hi].iter().copied())
     }
 
     /// The HPCG problem: a 27-point stencil on an `n x n x n` grid
@@ -147,8 +150,7 @@ impl CsrMatrix {
                     for dz in -1i64..=1 {
                         for dy in -1i64..=1 {
                             for dx in -1i64..=1 {
-                                let (nx, ny, nz) =
-                                    (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                let (nx, ny, nz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                                 if nx < 0
                                     || ny < 0
                                     || nz < 0
@@ -224,10 +226,7 @@ mod tests {
 
     #[test]
     fn csr_from_edges_is_sorted_and_deduped() {
-        let g = CsrGraph::from_edges(
-            4,
-            vec![(1, 2), (0, 3), (0, 1), (0, 1), (2, 2), (3, 0)],
-        );
+        let g = CsrGraph::from_edges(4, vec![(1, 2), (0, 3), (0, 1), (0, 1), (2, 2), (3, 0)]);
         assert_eq!(g.vertices(), 4);
         assert_eq!(g.edges(), 4); // (0,1) deduped, (2,2) self-loop dropped
         assert_eq!(g.row(0), &[1, 3]);
@@ -286,9 +285,16 @@ mod tests {
     fn stencil_row_sums_are_diagonally_dominant() {
         let m = CsrMatrix::stencil27(3);
         for r in 0..m.rows() {
-            let diag: f64 = m.row(r).filter(|&(c, _)| u64::from(c) == r).map(|(_, v)| v).sum();
-            let off: f64 =
-                m.row(r).filter(|&(c, _)| u64::from(c) != r).map(|(_, v)| v.abs()).sum();
+            let diag: f64 = m
+                .row(r)
+                .filter(|&(c, _)| u64::from(c) == r)
+                .map(|(_, v)| v)
+                .sum();
+            let off: f64 = m
+                .row(r)
+                .filter(|&(c, _)| u64::from(c) != r)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(diag >= off, "row {r}: diag {diag} vs off {off}");
         }
     }

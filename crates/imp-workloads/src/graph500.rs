@@ -113,14 +113,16 @@ impl Workload for Graph500 {
                                 AccessClass::Stream,
                             ));
                             ops.push(Op::compute(1));
-                            ops.push(Op::sw_prefetch(
-                                a_xadj.addr_of(u64::from(fu)),
-                                PC_SW_PF,
-                            ));
+                            ops.push(Op::sw_prefetch(a_xadj.addr_of(u64::from(fu)), PC_SW_PF));
                         }
                     }
                     let u = frontier[i as usize];
-                    ops.push(Op::load(a_front.addr_of(i), 4, PC_FRONT, AccessClass::Stream));
+                    ops.push(Op::load(
+                        a_front.addr_of(i),
+                        4,
+                        PC_FRONT,
+                        AccessClass::Stream,
+                    ));
                     // xadj[u] and xadj[u+1]: level-1 indirection off the
                     // frontier stream.
                     ops.push(
@@ -141,8 +143,7 @@ impl Workload for Graph500 {
                         )
                         .with_dep(2),
                     );
-                    let (lo, hi) =
-                        (g.xadj[u as usize] as u64, g.xadj[u as usize + 1] as u64);
+                    let (lo, hi) = (g.xadj[u as usize] as u64, g.xadj[u as usize + 1] as u64);
                     for e in lo..hi {
                         if params.software_prefetch && e + params.sw_distance < hi {
                             let fw = g.adj[(e + params.sw_distance) as usize];
@@ -153,19 +154,18 @@ impl Workload for Graph500 {
                                 AccessClass::Stream,
                             ));
                             ops.push(Op::compute(1));
-                            ops.push(Op::sw_prefetch(
-                                a_parent.addr_of(u64::from(fw)),
-                                PC_SW_PF,
-                            ));
+                            ops.push(Op::sw_prefetch(a_parent.addr_of(u64::from(fw)), PC_SW_PF));
                         }
                         let w = g.adj[e as usize];
                         // First edge of the row is reached through the
                         // xadj value: the second level of indirection.
-                        let class = if e == lo { AccessClass::Indirect } else { AccessClass::Stream };
+                        let class = if e == lo {
+                            AccessClass::Indirect
+                        } else {
+                            AccessClass::Stream
+                        };
                         let dep = if e == lo { 2 } else { 0 };
-                        ops.push(
-                            Op::load(a_adj.addr_of(e), 4, PC_ADJ, class).with_dep(dep),
-                        );
+                        ops.push(Op::load(a_adj.addr_of(e), 4, PC_ADJ, class).with_dep(dep));
                         ops.push(
                             Op::load(
                                 a_parent.addr_of(u64::from(w)),
@@ -204,7 +204,11 @@ impl Workload for Graph500 {
         }
 
         let reached = parent.iter().filter(|&&p| p != -1).count();
-        Built { program, mem, result: reached as f64 }
+        Built {
+            program,
+            mem,
+            result: reached as f64,
+        }
     }
 }
 
@@ -244,7 +248,10 @@ mod tests {
     fn one_barrier_per_bfs_level() {
         let built = Graph500.build(&WorkloadParams::new(4, Scale::Tiny));
         let levels = built.program.validate_barriers();
-        assert!(levels >= 2, "expected a multi-level BFS, got {levels} levels");
+        assert!(
+            levels >= 2,
+            "expected a multi-level BFS, got {levels} levels"
+        );
     }
 
     #[test]
@@ -256,7 +263,13 @@ mod tests {
         // simulated memory (the values IMP uses for indirect prefetching).
         let mut checked = 0;
         for c in 0..2 {
-            for op in built.program.ops(c).iter().filter(|o| o.pc == PC_FRONT).take(50) {
+            for op in built
+                .program
+                .ops(c)
+                .iter()
+                .filter(|o| o.pc == PC_FRONT)
+                .take(50)
+            {
                 let v = built.mem.read_u32(op.mem_addr());
                 assert!(u64::from(v) < g.vertices(), "frontier value {v}");
                 checked += 1;

@@ -85,7 +85,13 @@ pub struct WorkloadParams {
 impl WorkloadParams {
     /// Default parameters for `cores` at `scale`.
     pub fn new(cores: usize, scale: Scale) -> Self {
-        WorkloadParams { cores, scale, software_prefetch: false, sw_distance: 16, seed: 42 }
+        WorkloadParams {
+            cores,
+            scale,
+            software_prefetch: false,
+            sw_distance: 16,
+            seed: 42,
+        }
     }
 
     /// Returns a copy with software prefetching enabled at `distance`.
@@ -184,7 +190,15 @@ mod tests {
         let names: Vec<&str> = paper_workloads().iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
-            vec!["pagerank", "tri_count", "graph500", "sgd", "lsh", "spmv", "symgs"]
+            vec![
+                "pagerank",
+                "tri_count",
+                "graph500",
+                "sgd",
+                "lsh",
+                "spmv",
+                "symgs"
+            ]
         );
         for n in names {
             assert!(by_name(n).is_some());
@@ -212,7 +226,10 @@ mod tests {
             let a = w.build(&p);
             let b = w.build(&p);
             assert_eq!(a.result, b.result, "{}", w.name());
-            assert_eq!(a.program.total_instructions(), b.program.total_instructions());
+            assert_eq!(
+                a.program.total_instructions(),
+                b.program.total_instructions()
+            );
         }
     }
 }

@@ -45,10 +45,12 @@ pub(crate) struct LshInput {
 pub(crate) fn build_input(scale: Scale, seed: u64) -> LshInput {
     let (n, q, bucket) = sizes(scale);
     let mut rng = SplitMix64::new(seed);
-    let points: Vec<[f64; DIM]> =
-        (0..n).map(|_| [rng.next_f64() * 100.0, rng.next_f64() * 100.0]).collect();
-    let queries: Vec<[f64; DIM]> =
-        (0..q).map(|_| [rng.next_f64() * 100.0, rng.next_f64() * 100.0]).collect();
+    let points: Vec<[f64; DIM]> = (0..n)
+        .map(|_| [rng.next_f64() * 100.0, rng.next_f64() * 100.0])
+        .collect();
+    let queries: Vec<[f64; DIM]> = (0..q)
+        .map(|_| [rng.next_f64() * 100.0, rng.next_f64() * 100.0])
+        .collect();
     // A simple grid LSH: each table hashes a random projection of the
     // space into buckets; a query's candidates are the points sharing a
     // bucket in any table. We emulate bucket membership by seeded
@@ -76,7 +78,11 @@ pub(crate) fn build_input(scale: Scale, seed: u64) -> LshInput {
             shuffled
         })
         .collect();
-    LshInput { points, queries, candidates }
+    LshInput {
+        points,
+        queries,
+        candidates,
+    }
 }
 
 fn dist2(a: &[f64; DIM], b: &[f64; DIM]) -> f64 {
@@ -134,20 +140,22 @@ impl Workload for Lsh {
                             ));
                         }
                     }
-                    ops.push(Op::load(arr.addr_of(i as u64), 4, PC_CAND, AccessClass::Stream));
+                    ops.push(Op::load(
+                        arr.addr_of(i as u64),
+                        4,
+                        PC_CAND,
+                        AccessClass::Stream,
+                    ));
                     let row = u64::from(p) * DIM as u64;
                     ops.push(
-                        Op::load(a_data.addr_of(row), 8, PC_D0, AccessClass::Indirect)
-                            .with_dep(1),
+                        Op::load(a_data.addr_of(row), 8, PC_D0, AccessClass::Indirect).with_dep(1),
                     );
                     ops.push(
                         Op::load(a_data.addr_of(row + 1), 8, PC_D1, AccessClass::Indirect)
                             .with_dep(2),
                     );
                     ops.push(Op::compute(4)); // distance + compare
-                    if dist2(&input.points[p as usize], &input.queries[qi as usize])
-                        < threshold
-                    {
+                    if dist2(&input.points[p as usize], &input.queries[qi as usize]) < threshold {
                         matches += 1;
                         ops.push(Op::compute(1));
                     }
@@ -156,7 +164,11 @@ impl Workload for Lsh {
         }
         program.barrier();
 
-        Built { program, mem, result: matches as f64 }
+        Built {
+            program,
+            mem,
+            result: matches as f64,
+        }
     }
 }
 

@@ -93,9 +93,13 @@ impl Workload for Pagerank {
                 for v in range.clone() {
                     // Row bounds: xadj[v] is the previous bound; load
                     // xadj[v + 1] (a unit-stride stream).
-                    ops.push(Op::load(a_xadj.addr_of(v + 1), 4, PC_XADJ, AccessClass::Stream));
-                    let (lo, hi) =
-                        (g.xadj[v as usize] as u64, g.xadj[v as usize + 1] as u64);
+                    ops.push(Op::load(
+                        a_xadj.addr_of(v + 1),
+                        4,
+                        PC_XADJ,
+                        AccessClass::Stream,
+                    ));
+                    let (lo, hi) = (g.xadj[v as usize] as u64, g.xadj[v as usize + 1] as u64);
                     for e in lo..hi {
                         if params.software_prefetch && e + d < hi {
                             // Mowry-style indirect prefetch: load the
@@ -114,8 +118,7 @@ impl Workload for Pagerank {
                         let u = g.adj[e as usize] as u64;
                         ops.push(Op::load(a_adj.addr_of(e), 4, PC_ADJ, AccessClass::Stream));
                         ops.push(
-                            Op::load(src.addr_of(u), 8, PC_PR, AccessClass::Indirect)
-                                .with_dep(1),
+                            Op::load(src.addr_of(u), 8, PC_PR, AccessClass::Indirect).with_dep(1),
                         );
                         ops.push(
                             Op::load(a_deg.addr_of(u), 4, PC_DEG, AccessClass::Indirect)
@@ -137,7 +140,11 @@ impl Workload for Pagerank {
         }
 
         let result = pr.iter().sum::<f64>();
-        Built { program, mem, result }
+        Built {
+            program,
+            mem,
+            result,
+        }
     }
 }
 
@@ -200,8 +207,7 @@ mod tests {
     #[test]
     fn software_prefetch_adds_instructions() {
         let base = Pagerank.build(&WorkloadParams::new(2, Scale::Tiny));
-        let sw = Pagerank
-            .build(&WorkloadParams::new(2, Scale::Tiny).with_software_prefetch(8));
+        let sw = Pagerank.build(&WorkloadParams::new(2, Scale::Tiny).with_software_prefetch(8));
         assert!(sw.program.total_instructions() > base.program.total_instructions());
         let prefetches = sw
             .program
@@ -210,6 +216,9 @@ mod tests {
             .filter(|o| o.kind == OpKind::SwPrefetch)
             .count();
         assert!(prefetches > 0);
-        assert_eq!(sw.result, base.result, "prefetching must not change the math");
+        assert_eq!(
+            sw.result, base.result,
+            "prefetching must not change the math"
+        );
     }
 }

@@ -83,8 +83,11 @@ pub(crate) fn host_epoch(
 ) -> f64 {
     let mut sse = 0.0;
     for k in chunk {
-        let (uu, ii, r) =
-            (ru[k as usize] as usize, ri[k as usize] as usize, f64::from(rv[k as usize]));
+        let (uu, ii, r) = (
+            ru[k as usize] as usize,
+            ri[k as usize] as usize,
+            f64::from(rv[k as usize]),
+        );
         let urow = uu * FEATURES;
         let vrow = ii * FEATURES;
         let pred: f64 = (0..FEATURES).map(|f| u[urow + f] * v[vrow + f]).sum();
@@ -115,10 +118,12 @@ impl Workload for Sgd {
 
         // Deterministic initialization of the factor matrices.
         let mut init = SplitMix64::new(params.seed ^ 0xF00D);
-        let mut u: Vec<f64> =
-            (0..users * FEATURES as u64).map(|_| init.next_f64() * 0.5).collect();
-        let mut v: Vec<f64> =
-            (0..items * FEATURES as u64).map(|_| init.next_f64() * 0.5).collect();
+        let mut u: Vec<f64> = (0..users * FEATURES as u64)
+            .map(|_| init.next_f64() * 0.5)
+            .collect();
+        let mut v: Vec<f64> = (0..items * FEATURES as u64)
+            .map(|_| init.next_f64() * 0.5)
+            .collect();
 
         let mut program = Program::new("sgd", params.cores);
         // Shard ratings by user (as distributed matrix-factorization
@@ -193,9 +198,19 @@ impl Workload for Sgd {
                 );
                 ops.push(Op::compute(24)); // dot product, error, update math
                 ops.push(Op::store(a_u.addr_of(uu), 8, PC_UW, AccessClass::Indirect));
-                ops.push(Op::store(a_u.addr_of(uu + 1), 8, PC_UW, AccessClass::Indirect));
+                ops.push(Op::store(
+                    a_u.addr_of(uu + 1),
+                    8,
+                    PC_UW,
+                    AccessClass::Indirect,
+                ));
                 ops.push(Op::store(a_v.addr_of(ii), 8, PC_VW, AccessClass::Indirect));
-                ops.push(Op::store(a_v.addr_of(ii + 1), 8, PC_VW, AccessClass::Indirect));
+                ops.push(Op::store(
+                    a_v.addr_of(ii + 1),
+                    8,
+                    PC_VW,
+                    AccessClass::Indirect,
+                ));
             }
         }
         for shard in &shards {
@@ -203,7 +218,11 @@ impl Workload for Sgd {
         }
         program.barrier();
 
-        Built { program, mem, result: sse }
+        Built {
+            program,
+            mem,
+            result: sse,
+        }
     }
 }
 
@@ -216,10 +235,12 @@ mod tests {
         let (ru, ri, rv) = ratings(Scale::Tiny, 1);
         let (users, items, nnz) = sizes(Scale::Tiny);
         let mut init = SplitMix64::new(1 ^ 0xF00D);
-        let mut u: Vec<f64> =
-            (0..users * FEATURES as u64).map(|_| init.next_f64() * 0.5).collect();
-        let mut v: Vec<f64> =
-            (0..items * FEATURES as u64).map(|_| init.next_f64() * 0.5).collect();
+        let mut u: Vec<f64> = (0..users * FEATURES as u64)
+            .map(|_| init.next_f64() * 0.5)
+            .collect();
+        let mut v: Vec<f64> = (0..items * FEATURES as u64)
+            .map(|_| init.next_f64() * 0.5)
+            .collect();
         let e1 = host_epoch(&ru, &ri, &rv, &mut u, &mut v, 0..nnz);
         let e2 = host_epoch(&ru, &ri, &rv, &mut u, &mut v, 0..nnz);
         let e3 = host_epoch(&ru, &ri, &rv, &mut u, &mut v, 0..nnz);

@@ -36,8 +36,7 @@ impl Workload for Spmv {
     }
 
     fn build(&self, params: &WorkloadParams) -> Built {
-        let m = CsrMatrix::stencil27(grid(params.scale))
-            .symmetric_permutation(params.seed ^ 0x51D);
+        let m = CsrMatrix::stencil27(grid(params.scale)).symmetric_permutation(params.seed ^ 0x51D);
         let rows = m.rows();
         let x: Vec<f64> = (0..rows).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
 
@@ -61,7 +60,12 @@ impl Workload for Spmv {
         for (c, range) in parts.iter().enumerate() {
             let ops = program.core_mut(c);
             for r in range.clone() {
-                ops.push(Op::load(a_xadj.addr_of(r + 1), 4, PC_XADJ, AccessClass::Stream));
+                ops.push(Op::load(
+                    a_xadj.addr_of(r + 1),
+                    4,
+                    PC_XADJ,
+                    AccessClass::Stream,
+                ));
                 let (lo, hi) = (m.xadj[r as usize] as u64, m.xadj[r as usize + 1] as u64);
                 for k in lo..hi {
                     if params.software_prefetch && k + d < hi {
@@ -90,7 +94,11 @@ impl Workload for Spmv {
 
         let y = m.spmv_reference(&x);
         let result = y.iter().sum::<f64>();
-        Built { program, mem, result }
+        Built {
+            program,
+            mem,
+            result,
+        }
     }
 }
 

@@ -65,12 +65,7 @@ pub(crate) fn row_order(range: &std::ops::Range<u64>, forward: bool) -> Vec<u64>
 /// core's block uses in-place updates internally and the pre-sweep values
 /// of other blocks (so the emitted trace matches the math exactly
 /// regardless of simulated timing).
-pub(crate) fn host_symgs(
-    m: &CsrMatrix,
-    x: &mut [f64],
-    b: &[f64],
-    blocks: &[std::ops::Range<u64>],
-) {
+pub(crate) fn host_symgs(m: &CsrMatrix, x: &mut [f64], b: &[f64], blocks: &[std::ops::Range<u64>]) {
     for forward in [true, false] {
         let snapshot = x.to_vec();
         for range in blocks {
@@ -98,8 +93,7 @@ impl Workload for Symgs {
     }
 
     fn build(&self, params: &WorkloadParams) -> Built {
-        let m = CsrMatrix::stencil27(grid(params.scale))
-            .symmetric_permutation(params.seed ^ 0x51D);
+        let m = CsrMatrix::stencil27(grid(params.scale)).symmetric_permutation(params.seed ^ 0x51D);
         let rows = m.rows();
         let b: Vec<f64> = (0..rows).map(|i| 1.0 + (i % 5) as f64 * 0.5).collect();
         let mut x = vec![0.0f64; rows as usize];
@@ -130,10 +124,14 @@ impl Workload for Symgs {
             for (c, range) in parts.iter().enumerate() {
                 let ops = program.core_mut(c);
                 for r in row_order(range, forward) {
-                    ops.push(Op::load(a_xadj.addr_of(r + 1), 4, pc_xadj, AccessClass::Stream));
+                    ops.push(Op::load(
+                        a_xadj.addr_of(r + 1),
+                        4,
+                        pc_xadj,
+                        AccessClass::Stream,
+                    ));
                     ops.push(Op::load(a_b.addr_of(r), 8, PC_B, AccessClass::Stream));
-                    let (lo, hi) =
-                        (m.xadj[r as usize] as u64, m.xadj[r as usize + 1] as u64);
+                    let (lo, hi) = (m.xadj[r as usize] as u64, m.xadj[r as usize + 1] as u64);
                     // The column scan direction follows the sweep.
                     let ks: Vec<u64> = if forward {
                         (lo..hi).collect()
@@ -159,8 +157,7 @@ impl Workload for Symgs {
                         ops.push(Op::load(a_col.addr_of(k), 4, pc_col, AccessClass::Stream));
                         ops.push(Op::load(a_val.addr_of(k), 8, pc_val, AccessClass::Stream));
                         ops.push(
-                            Op::load(a_x.addr_of(cidx), 8, pc_x, AccessClass::Indirect)
-                                .with_dep(2),
+                            Op::load(a_x.addr_of(cidx), 8, pc_x, AccessClass::Indirect).with_dep(2),
                         );
                         ops.push(Op::compute(2));
                     }
@@ -175,7 +172,11 @@ impl Workload for Symgs {
 
         host_symgs(&m, &mut x, &b, &parts);
         let result = x.iter().sum::<f64>();
-        Built { program, mem, result }
+        Built {
+            program,
+            mem,
+            result,
+        }
     }
 }
 
@@ -218,16 +219,25 @@ mod tests {
     fn backward_sweep_reverses_forward_order() {
         let built = Symgs.build(&WorkloadParams::new(2, Scale::Tiny));
         let ops = built.program.ops(0);
-        let fwd: Vec<u64> =
-            ops.iter().filter(|o| o.pc == PC_XADJ_F).map(|o| o.addr).collect();
-        let mut bwd: Vec<u64> =
-            ops.iter().filter(|o| o.pc == PC_XADJ_B).map(|o| o.addr).collect();
+        let fwd: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.pc == PC_XADJ_F)
+            .map(|o| o.addr)
+            .collect();
+        let mut bwd: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.pc == PC_XADJ_B)
+            .map(|o| o.addr)
+            .collect();
         bwd.reverse();
         assert!(fwd.len() > 2);
         assert_eq!(fwd, bwd, "backward sweep visits rows in exact reverse");
         // Within a phase the backward stream descends (negative stride).
-        let raw: Vec<u64> =
-            ops.iter().filter(|o| o.pc == PC_XADJ_B).map(|o| o.addr).collect();
+        let raw: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.pc == PC_XADJ_B)
+            .map(|o| o.addr)
+            .collect();
         assert!(raw.windows(2).filter(|w| w[0] > w[1]).count() > raw.len() / 2);
     }
 

@@ -108,17 +108,32 @@ impl Workload for TriCount {
                 // Phase 1: mark N(u) in the bit vector.
                 for e in lo..hi {
                     let w = g.adj[e as usize];
-                    ops.push(Op::load(a_adj.addr_of(e), 4, PC_ADJ_SET, AccessClass::Stream));
+                    ops.push(Op::load(
+                        a_adj.addr_of(e),
+                        4,
+                        PC_ADJ_SET,
+                        AccessClass::Stream,
+                    ));
                     ops.push(
-                        Op::store(bv.addr_of_bit(u64::from(w)), 1, PC_BIT_SET, AccessClass::Indirect)
-                            .with_dep(1),
+                        Op::store(
+                            bv.addr_of_bit(u64::from(w)),
+                            1,
+                            PC_BIT_SET,
+                            AccessClass::Indirect,
+                        )
+                        .with_dep(1),
                     );
                     ops.push(Op::compute(1));
                 }
                 // Phase 2: for each neighbor w, probe N(w) against the bits.
                 for e in lo..hi {
                     let w = g.adj[e as usize];
-                    ops.push(Op::load(a_adj.addr_of(e), 4, PC_ADJ_MID, AccessClass::Stream));
+                    ops.push(Op::load(
+                        a_adj.addr_of(e),
+                        4,
+                        PC_ADJ_MID,
+                        AccessClass::Stream,
+                    ));
                     ops.push(
                         Op::load(
                             a_xadj.addr_of(u64::from(w)),
@@ -128,8 +143,7 @@ impl Workload for TriCount {
                         )
                         .with_dep(1),
                     );
-                    let (wlo, whi) =
-                        (g.xadj[w as usize] as u64, g.xadj[w as usize + 1] as u64);
+                    let (wlo, whi) = (g.xadj[w as usize] as u64, g.xadj[w as usize + 1] as u64);
                     for k in wlo..whi {
                         if params.software_prefetch && k + params.sw_distance < whi {
                             let fx = g.adj[(k + params.sw_distance) as usize];
@@ -140,13 +154,15 @@ impl Workload for TriCount {
                                 AccessClass::Stream,
                             ));
                             ops.push(Op::compute(1));
-                            ops.push(Op::sw_prefetch(
-                                bv.addr_of_bit(u64::from(fx)),
-                                PC_SW_PF,
-                            ));
+                            ops.push(Op::sw_prefetch(bv.addr_of_bit(u64::from(fx)), PC_SW_PF));
                         }
                         let x = g.adj[k as usize];
-                        ops.push(Op::load(a_adj.addr_of(k), 4, PC_ADJ_IN, AccessClass::Stream));
+                        ops.push(Op::load(
+                            a_adj.addr_of(k),
+                            4,
+                            PC_ADJ_IN,
+                            AccessClass::Stream,
+                        ));
                         ops.push(
                             Op::load(
                                 bv.addr_of_bit(u64::from(x)),
@@ -166,17 +182,31 @@ impl Workload for TriCount {
                 // Phase 3: clear the marks.
                 for e in lo..hi {
                     let w = g.adj[e as usize];
-                    ops.push(Op::load(a_adj.addr_of(e), 4, PC_ADJ_SET, AccessClass::Stream));
+                    ops.push(Op::load(
+                        a_adj.addr_of(e),
+                        4,
+                        PC_ADJ_SET,
+                        AccessClass::Stream,
+                    ));
                     ops.push(
-                        Op::store(bv.addr_of_bit(u64::from(w)), 1, PC_BIT_CLR, AccessClass::Indirect)
-                            .with_dep(1),
+                        Op::store(
+                            bv.addr_of_bit(u64::from(w)),
+                            1,
+                            PC_BIT_CLR,
+                            AccessClass::Indirect,
+                        )
+                        .with_dep(1),
                     );
                 }
             }
         }
         program.barrier();
 
-        Built { program, mem, result: total as f64 }
+        Built {
+            program,
+            mem,
+            result: total as f64,
+        }
     }
 }
 
@@ -209,16 +239,29 @@ mod tests {
         assert!(!probes.is_empty());
         let lo = probes.iter().min().unwrap();
         let hi = probes.iter().max().unwrap();
-        assert!(hi - lo <= g.vertices() / 8, "probe span {} fits the bitvec", hi - lo);
+        assert!(
+            hi - lo <= g.vertices() / 8,
+            "probe span {} fits the bitvec",
+            hi - lo
+        );
     }
 
     #[test]
     fn marks_are_set_and_cleared_symmetrically() {
         let built = TriCount.build(&WorkloadParams::new(2, Scale::Tiny));
         for c in 0..2 {
-            let sets = built.program.ops(c).iter().filter(|o| o.pc == PC_BIT_SET).count();
-            let clears =
-                built.program.ops(c).iter().filter(|o| o.pc == PC_BIT_CLR).count();
+            let sets = built
+                .program
+                .ops(c)
+                .iter()
+                .filter(|o| o.pc == PC_BIT_SET)
+                .count();
+            let clears = built
+                .program
+                .ops(c)
+                .iter()
+                .filter(|o| o.pc == PC_BIT_CLR)
+                .count();
             assert_eq!(sets, clears, "core {c}");
         }
     }

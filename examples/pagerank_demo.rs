@@ -6,20 +6,35 @@
 //! cargo run --release --example pagerank_demo
 //! ```
 
-use imp::experiments::{run, Config};
+use imp::prelude::*;
+use imp_experiments::scale_from_env;
 
 fn main() {
     let cores = 64;
     println!("pagerank, {cores} cores, Small inputs (set IMP_SCALE to change)\n");
-    let ideal = run("pagerank", cores, Config::Ideal);
-    let rows = [
-        ("Ideal", ideal.clone()),
-        ("Perfect Prefetching", run("pagerank", cores, Config::PerfPref)),
-        ("Baseline (stream)", run("pagerank", cores, Config::Base)),
-        ("Software Prefetching", run("pagerank", cores, Config::SwPref)),
-        ("IMP", run("pagerank", cores, Config::Imp)),
-        ("IMP + partial NoC+DRAM", run("pagerank", cores, Config::ImpPartialNocDram)),
-    ];
+    let base = Sim::workload("pagerank")
+        .cores(cores)
+        .scale(scale_from_env());
+    let rows: Vec<(&str, SystemStats)> = [
+        ("Ideal", base.clone().mem_mode(MemMode::Ideal)),
+        (
+            "Perfect Prefetching",
+            base.clone().mem_mode(MemMode::PerfectPrefetch),
+        ),
+        ("Baseline (stream)", base.clone()),
+        ("Software Prefetching", base.clone().software_prefetch(16)),
+        ("IMP", base.clone().prefetcher("imp")),
+        (
+            "IMP + partial NoC+DRAM",
+            base.clone()
+                .prefetcher("imp")
+                .partial(PartialMode::NocAndDram),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, sim)| (label, sim.run().expect("paper config runs")))
+    .collect();
+    let ideal = rows[0].1.clone();
     println!(
         "{:24} {:>12} {:>10} {:>8} {:>8} {:>14} {:>14}",
         "config", "runtime", "vs Ideal", "cov", "acc", "NoC flit-hops", "DRAM bytes"

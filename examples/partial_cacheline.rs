@@ -8,7 +8,8 @@
 
 use imp::common::{LineAddr, SectorMask};
 use imp::prefetch::{Gp, GpDecision};
-use imp::experiments::{run, Config};
+use imp::prelude::*;
+use imp_experiments::scale_from_env;
 
 fn main() {
     // Part 1: the GP in isolation — single-sector touches converge to
@@ -29,27 +30,42 @@ fn main() {
         }
     }
 
-    // Part 2: system level — traffic with full lines vs partial access.
+    // Part 2: system level — traffic with full lines vs partial access,
+    // swept across the partial-mode axis in one call.
     let cores = 64;
     println!("\nlsh, {cores} cores:");
-    let full = run("lsh", cores, Config::Imp);
-    let noc = run("lsh", cores, Config::ImpPartialNoc);
-    let both = run("lsh", cores, Config::ImpPartialNocDram);
+    let results = Sweep::from(
+        Sim::workload("lsh")
+            .cores(cores)
+            .scale(scale_from_env())
+            .prefetcher("imp"),
+    )
+    .partials([
+        PartialMode::Off,
+        PartialMode::NocOnly,
+        PartialMode::NocAndDram,
+    ])
+    .run()
+    .expect("paper configs run");
+    let (full, both) = (&results[0].stats, &results[2].stats);
     println!(
         "{:28} {:>10} {:>14} {:>12} {:>10}",
         "config", "runtime", "NoC flit-hops", "DRAM bytes", "partial pf"
     );
-    for (label, s) in [
-        ("IMP full lines", &full),
-        ("IMP + partial NoC", &noc),
-        ("IMP + partial NoC+DRAM", &both),
-    ] {
+    for (label, r) in [
+        "IMP full lines",
+        "IMP + partial NoC",
+        "IMP + partial NoC+DRAM",
+    ]
+    .iter()
+    .zip(&results)
+    {
         println!(
             "{label:28} {:>10} {:>14} {:>12} {:>10}",
-            s.runtime,
-            s.traffic.noc_flit_hops,
-            s.traffic.dram_bytes(),
-            s.prefetch_total().partial_prefetches,
+            r.stats.runtime,
+            r.stats.traffic.noc_flit_hops,
+            r.stats.traffic.dram_bytes(),
+            r.stats.prefetch_total().partial_prefetches,
         );
     }
     println!(

@@ -2,11 +2,16 @@
 //! learn an `A[B[i]]` pattern from a raw access stream, exactly as the
 //! paper's Figure 4 walkthrough describes.
 //!
+//! The prefetcher is built through the plugin registry, the same path
+//! the simulator uses; the concrete `Imp` model is then driven for the
+//! PT-introspection tail.
+//!
 //! ```sh
 //! cargo run --release --example prefetcher_playground
 //! ```
 
 use imp::common::{Addr, ImpConfig, Pc};
+use imp::prefetch::registry::{self, BuildCtx};
 use imp::prefetch::{Access, Imp, L1Prefetcher, MapValueSource, PrefetchKind};
 
 fn main() {
@@ -21,16 +26,29 @@ fn main() {
         values.insert(Addr::new(b_base + 4 * i), 4, b_of(i));
     }
 
-    let mut imp = Imp::new(ImpConfig::paper_default(), false, 7);
+    // Build through the registry, exactly as `imp-sim` would for core 7.
+    let imp_cfg = ImpConfig::paper_default();
+    let ctx = BuildCtx {
+        core: 7,
+        imp: &imp_cfg,
+        partial: false,
+    };
+    let spec = "imp:seed=7".parse().expect("valid spec");
+    let mut pf = registry::build(&spec, &ctx).expect("imp is a stock factory");
+    println!(
+        "registry knows: {}",
+        registry::registered_names().join(", ")
+    );
+
     println!("i | B[i]   | emitted prefetches");
     for i in 0..40u64 {
         let mut emitted = Vec::new();
         // The loop body: load B[i] (stream), then load A[B[i]] (indirect miss).
-        emitted.extend(imp.on_access(
+        emitted.extend(pf.on_access(
             Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
             &mut values,
         ));
-        emitted.extend(imp.on_access(
+        emitted.extend(pf.on_access(
             Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
             &mut values,
         ));
@@ -45,11 +63,25 @@ fn main() {
             .collect();
         println!("{i:2} | {:6} | {}", b_of(i), rendered.join(", "));
     }
-    let s = imp.stats();
+    let s = pf.stats();
     println!(
         "\npatterns detected: {}   indirect prefetches: {}   stream prefetches: {}",
         s.patterns_detected, s.indirect_prefetches, s.stream_prefetches
     );
+
+    // PT introspection needs the concrete model, so replay the stream on
+    // a directly constructed `Imp` (same config, same seed).
+    let mut imp = Imp::new(imp_cfg.clone(), false, 7);
+    for i in 0..40u64 {
+        imp.on_access(
+            Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
+            &mut values,
+        );
+        imp.on_access(
+            Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
+            &mut values,
+        );
+    }
     for slot in 0..16 {
         if let Some((shift, base, ty)) = imp.pattern(slot) {
             println!(

@@ -8,32 +8,30 @@
 use imp::prelude::*;
 
 fn main() {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "spmv".to_string());
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "spmv".to_string());
     let cores = 16;
-    let params = WorkloadParams::new(cores as usize, Scale::Small);
-    let workload = by_name(&app).unwrap_or_else(|| {
-        eprintln!("unknown workload {app}; try pagerank/tri_count/graph500/sgd/lsh/spmv/symgs");
-        std::process::exit(1);
-    });
-
     println!("workload: {app}, {cores} cores, paper-default system (Table 1)");
 
-    let mut results = Vec::new();
-    for (label, cfg) in [
-        ("Baseline (stream prefetcher)", SystemConfig::paper_default(cores)),
-        (
-            "IMP (stream + indirect)",
-            SystemConfig::paper_default(cores).with_prefetcher(PrefetcherKind::Imp),
-        ),
+    let base = Sim::workload(&app).cores(cores).scale(Scale::Small);
+    let configs = [
+        ("Baseline (stream prefetcher)", base.clone()),
+        ("IMP (stream + indirect)", base.clone().prefetcher("imp")),
         (
             "IMP + partial cachelines",
-            SystemConfig::paper_default(cores)
-                .with_prefetcher(PrefetcherKind::Imp)
-                .with_partial(PartialMode::NocAndDram),
+            base.clone()
+                .prefetcher("imp")
+                .partial(PartialMode::NocAndDram),
         ),
-    ] {
-        let built = workload.build(&params);
-        let stats = System::new(cfg, built.program, built.mem).run();
+    ];
+
+    let mut results = Vec::new();
+    for (label, sim) in configs {
+        let stats = sim.run().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
         results.push((label, stats));
     }
 

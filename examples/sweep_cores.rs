@@ -2,30 +2,56 @@
 //! how the IMP speedup over Baseline evolves as bandwidth per core
 //! shrinks (total L2 and DRAM bandwidth scale with sqrt(N), Section 5.1).
 //!
+//! The whole grid — 3 prefetcher configs x 3 core counts — fans across
+//! threads through the `Sweep` API and comes back in deterministic order.
+//!
 //! ```sh
 //! cargo run --release --example sweep_cores [workload]
 //! ```
 
-use imp::experiments::{run, Config};
+use imp::prelude::*;
+use imp::sim::{Sim, Sweep};
+use imp_experiments::scale_from_env;
 
 fn main() {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "pagerank".to_string());
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pagerank".to_string());
     println!("{app}: scaling from 16 to 256 cores (IMP_SCALE inputs)\n");
+
+    let results = Sweep::from(Sim::workload(&app).scale(scale_from_env()))
+        .cores([16, 64, 256])
+        .prefetchers(["stream", "imp"])
+        .run()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+    // Perfect Prefetching is a mem-mode, not a prefetcher, so it sweeps
+    // as its own single-axis grid.
+    let perf = Sweep::from(
+        Sim::workload(&app)
+            .scale(scale_from_env())
+            .mem_mode(MemMode::PerfectPrefetch),
+    )
+    .cores([16, 64, 256])
+    .run()
+    .expect("perfect-prefetch sweep");
+
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
         "cores", "Base rt", "IMP rt", "PerfPref rt", "IMP/Base", "IMP/Perf"
     );
-    for cores in [16u32, 64, 256] {
-        let base = run(&app, cores, Config::Base);
-        let imp = run(&app, cores, Config::Imp);
-        let perf = run(&app, cores, Config::PerfPref);
+    for (pair, pp) in results.chunks(2).zip(&perf) {
+        let (base, imp) = (&pair[0].stats, &pair[1].stats);
         println!(
-            "{cores:>6} {:>12} {:>12} {:>12} {:>9.2} {:>9.2}",
+            "{:>6} {:>12} {:>12} {:>12} {:>9.2} {:>9.2}",
+            pair[0].cell.cores,
             base.runtime,
             imp.runtime,
-            perf.runtime,
+            pp.stats.runtime,
             base.runtime as f64 / imp.runtime as f64,
-            imp.runtime as f64 / perf.runtime as f64,
+            imp.runtime as f64 / pp.stats.runtime as f64,
         );
     }
     println!("\n(expect the IMP/Base speedup to shrink as core count grows:");

@@ -17,25 +17,29 @@
 //!   contents.
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation.
+//! * [`sim`] (module) — the fluent [`Sim`] builder and the parallel
+//!   [`Sweep`] grid runner, the recommended front door.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use imp::prelude::*;
 //!
-//! // Build SpMV for a 16-core system and compare Baseline vs IMP.
-//! let params = WorkloadParams::new(16, Scale::Tiny);
-//! let base = {
-//!     let b = by_name("spmv").unwrap().build(&params);
-//!     System::new(SystemConfig::paper_default(16), b.program, b.mem).run()
-//! };
-//! let imp = {
-//!     let b = by_name("spmv").unwrap().build(&params);
-//!     let cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
-//!     System::new(cfg, b.program, b.mem).run()
-//! };
+//! // Run SpMV on the simulated 16-core system and compare Baseline vs IMP.
+//! let base = Sim::workload("spmv").scale(Scale::Tiny).cores(16).run().unwrap();
+//! let imp = Sim::workload("spmv")
+//!     .scale(Scale::Tiny)
+//!     .cores(16)
+//!     .prefetcher("imp")
+//!     .run()
+//!     .unwrap();
 //! assert!(imp.runtime <= base.runtime);
 //! ```
+//!
+//! Prefetchers are open plugins: register a custom one by name through
+//! [`prefetch::registry`] and pass that name to `Sim::prefetcher` — no
+//! simulator changes needed. Sweep whole config grids in parallel with
+//! [`Sweep`]; see the [`sim`] module docs.
 
 pub use imp_cache as cache;
 pub use imp_coherence as coherence;
@@ -46,18 +50,21 @@ pub use imp_experiments as experiments;
 pub use imp_mem as mem;
 pub use imp_noc as noc;
 pub use imp_prefetch as prefetch;
-pub use imp_sim as sim;
 pub use imp_trace as trace;
 pub use imp_workloads as workloads;
 
+pub mod sim;
+
+pub use sim::{Sim, SimError, Sweep, SweepCell, SweepResult};
+
 /// The most commonly used types, one `use` away.
 pub mod prelude {
-    pub use imp_common::config::{
-        CoreModel, MemMode, PartialMode, PrefetcherKind,
-    };
+    pub use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
+    pub use imp_common::config::{ParamValue, PrefetcherSpec};
     pub use imp_common::stats::{AccessClass, SystemStats};
     pub use imp_common::{Addr, ImpConfig, LineAddr, Pc, SystemConfig};
     pub use imp_experiments::{run as run_experiment, Config as ExperimentConfig};
+    pub use imp_experiments::{Sim, SimError, Sweep, SweepCell, SweepResult};
     pub use imp_mem::{AddressSpace, FunctionalMemory};
     pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
     pub use imp_sim::System;

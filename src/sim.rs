@@ -1,0 +1,50 @@
+//! The fluent simulation facade: build and run simulations (and whole
+//! parameter sweeps) in one chained expression.
+//!
+//! [`Sim`] is the front door to the simulator. It names a workload,
+//! takes the paper's knobs as chainable setters, resolves the prefetcher
+//! through the plugin registry ([`crate::prefetch::registry`]), and runs:
+//!
+//! ```
+//! use imp::sim::Sim;
+//! use imp::prelude::*;
+//!
+//! let base = Sim::workload("spmv").scale(Scale::Tiny).cores(16).run().unwrap();
+//! let imp = Sim::workload("spmv")
+//!     .scale(Scale::Tiny)
+//!     .cores(16)
+//!     .prefetcher("imp")
+//!     .partial(PartialMode::NocAndDram)
+//!     .run()
+//!     .unwrap();
+//! assert!(imp.runtime <= base.runtime);
+//! ```
+//!
+//! [`Sweep`] fans a config grid (workloads × cores × prefetchers ×
+//! partial modes) across threads, with per-cell seeds derived
+//! deterministically from the cell order — results are identical
+//! whatever the thread count:
+//!
+//! ```
+//! use imp::sim::{Sim, Sweep};
+//! use imp::prelude::*;
+//!
+//! let results = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+//!     .prefetchers(["none", "stream", "imp"])
+//!     .cores([16])
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(results.len(), 3);
+//! for r in &results {
+//!     println!("{} @ {} cores: {} cycles", r.cell.prefetcher, r.cell.cores, r.stats.runtime);
+//! }
+//! ```
+//!
+//! Custom prefetchers registered from *outside* the simulator crates run
+//! through the same front door — see `imp_prefetch::registry` and the
+//! `custom_prefetcher` example.
+
+pub use imp_experiments::sim::{Sim, SimError};
+pub use imp_experiments::sweep::{Sweep, SweepCell, SweepResult};
+// The underlying simulator, for code that assembles `System`s by hand.
+pub use imp_sim::{RegistryError, System};

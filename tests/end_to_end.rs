@@ -43,13 +43,21 @@ fn imp_is_harmless_on_dense_code() {
         (0.95..1.05).contains(&ratio),
         "IMP must not disturb regular code: ratio {ratio}"
     );
-    assert_eq!(imp.prefetch_total().issued_indirect, 0, "no indirection to find");
+    assert_eq!(
+        imp.prefetch_total().issued_indirect,
+        0,
+        "no indirection to find"
+    );
 }
 
 #[test]
 fn ordering_ideal_fastest_then_perfpref() {
     for app in ["spmv", "pagerank"] {
-        let ideal = run_cfg(app, 16, SystemConfig::paper_default(16).with_mem_mode(MemMode::Ideal));
+        let ideal = run_cfg(
+            app,
+            16,
+            SystemConfig::paper_default(16).with_mem_mode(MemMode::Ideal),
+        );
         let perf = run_cfg(
             app,
             16,
@@ -62,7 +70,10 @@ fn ordering_ideal_fastest_then_perfpref() {
         );
         let base = run_cfg(app, 16, SystemConfig::paper_default(16));
         assert!(ideal.runtime <= perf.runtime, "{app}: ideal <= perfpref");
-        assert!(perf.runtime <= imp.runtime + imp.runtime / 10, "{app}: perfpref bounds imp");
+        assert!(
+            perf.runtime <= imp.runtime + imp.runtime / 10,
+            "{app}: perfpref bounds imp"
+        );
         assert!(imp.runtime <= base.runtime, "{app}: imp <= base");
     }
 }
@@ -78,8 +89,7 @@ fn partial_accessing_reduces_noc_traffic() {
         let built = by_name("lsh").unwrap().build(&params);
         System::new(cfg, built.program, built.mem).run()
     };
-    let full =
-        run_small(SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp));
+    let full = run_small(SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp));
     let partial = run_small(
         SystemConfig::paper_default(16)
             .with_prefetcher(PrefetcherKind::Imp)

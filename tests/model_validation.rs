@@ -52,8 +52,7 @@ fn distance_ramp_increases_timeliness() {
     let run_dist = |d: u32| {
         let params = WorkloadParams::new(16, Scale::Tiny);
         let built = by_name("spmv").unwrap().build(&params);
-        let mut cfg =
-            SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
+        let mut cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
         cfg.imp.max_prefetch_distance = d;
         System::new(cfg, built.program, built.mem).run()
     };
