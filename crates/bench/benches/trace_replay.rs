@@ -1,0 +1,38 @@
+//! The sweep-speedup tracker: workload build+run vs replaying a shared
+//! [`BuiltArtifact`] (and vs reloading it from an `.imptrace` file).
+//!
+//! The gap between `build_and_run` and `replay_shared_artifact` is the
+//! per-cell saving `Sweep::run` banks for every cell after the first of
+//! a (workload, cores, seed) group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imp_experiments::{scale_from_env, Sim};
+use imp_workloads::BuiltArtifact;
+
+fn bench(c: &mut Criterion) {
+    let sim = Sim::workload("pagerank")
+        .scale(scale_from_env())
+        .cores(16)
+        .prefetcher("imp");
+    let artifact = sim.build_artifact().expect("stock workload builds");
+    let path = std::env::temp_dir().join(format!("imp-bench-{}.imptrace", std::process::id()));
+    artifact.save(&path).expect("writable temp dir");
+
+    let mut g = c.benchmark_group("trace_replay");
+    g.sample_size(5);
+    g.bench_function("build_and_run", |b| b.iter(|| sim.run().expect("sim runs")));
+    g.bench_function("replay_shared_artifact", |b| {
+        b.iter(|| sim.run_on(&artifact).expect("replay runs"))
+    });
+    g.bench_function("load_imptrace_and_run", |b| {
+        b.iter(|| {
+            let loaded = BuiltArtifact::load(&path).expect("file loads");
+            sim.run_on(&loaded).expect("replay runs")
+        })
+    });
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

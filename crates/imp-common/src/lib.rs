@@ -28,7 +28,7 @@ pub use config::{
     CoreModel, ImpConfig, MemConfig, ParamValue, PrefetcherKind, PrefetcherSpec, SystemConfig,
 };
 pub use event::EventQueue;
-pub use rng::SplitMix64;
+pub use rng::{fnv1a, SplitMix64};
 pub use stats::{CoreStats, PrefetchStats, SystemStats, TrafficStats};
 
 /// Simulated time, in core clock cycles (1 GHz in the paper's Table 1).

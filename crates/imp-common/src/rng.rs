@@ -53,6 +53,26 @@ impl SplitMix64 {
     }
 }
 
+/// 64-bit FNV-1a over `bytes`: a cheap, dependency-free hash used for
+/// seed mixing and as the `.imptrace` integrity checksum. Not
+/// cryptographic — it detects corruption, not tampering.
+///
+/// # Example
+///
+/// ```
+/// use imp_common::fnv1a;
+///
+/// assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a(b"spmv"), fnv1a(b"symgs"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,18 +17,20 @@ struct PendingMem {
 #[derive(Debug)]
 pub struct InOrderCore {
     id: u32,
-    ops: Vec<Op>,
+    ops: std::sync::Arc<[Op]>,
     idx: usize,
     pending: Option<PendingMem>,
     stats: CoreStats,
 }
 
 impl InOrderCore {
-    /// Creates a core with id `id` running `ops`.
-    pub fn new(id: u32, ops: Vec<Op>) -> Self {
+    /// Creates a core with id `id` running `ops`. The stream is shared,
+    /// not copied: passing the same `Arc<[Op]>` to many cores (or many
+    /// systems) costs a reference count per core.
+    pub fn new(id: u32, ops: impl Into<std::sync::Arc<[Op]>>) -> Self {
         InOrderCore {
             id,
-            ops,
+            ops: ops.into(),
             idx: 0,
             pending: None,
             stats: CoreStats::default(),

@@ -23,7 +23,7 @@ struct RobSlot {
 #[derive(Debug)]
 pub struct OooCore {
     id: u32,
-    ops: Vec<Op>,
+    ops: std::sync::Arc<[Op]>,
     idx: usize,
     rob: VecDeque<RobSlot>,
     rob_cap: usize,
@@ -41,11 +41,12 @@ pub struct OooCore {
 const RECENT_LOAD_WINDOW: usize = 8;
 
 impl OooCore {
-    /// Creates an OoO core with a `rob_cap`-entry reorder buffer.
-    pub fn new(id: u32, ops: Vec<Op>, rob_cap: usize) -> Self {
+    /// Creates an OoO core with a `rob_cap`-entry reorder buffer. The
+    /// op stream is shared, not copied (see [`crate::InOrderCore::new`]).
+    pub fn new(id: u32, ops: impl Into<std::sync::Arc<[Op]>>, rob_cap: usize) -> Self {
         OooCore {
             id,
-            ops,
+            ops: ops.into(),
             idx: 0,
             rob: VecDeque::with_capacity(rob_cap),
             rob_cap,

@@ -25,7 +25,7 @@ mod table;
 
 pub use runner::{prewarm, run, run_one, scale_from_env, sim_for, system_config, Config};
 pub use sim::{Sim, SimError};
-pub use sweep::{Sweep, SweepCell, SweepResult};
+pub use sweep::{Sweep, SweepCell, SweepCellError, SweepResult};
 pub use table::Table;
 
 use imp_common::stats::AccessClass;

@@ -25,8 +25,9 @@
 
 use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherSpec};
 use imp_common::{ImpConfig, SystemConfig, SystemStats};
-use imp_sim::{RegistryError, System};
-use imp_workloads::{by_name, Scale, WorkloadParams};
+use imp_sim::{BuildError, RegistryError, System};
+use imp_trace::BarrierMismatch;
+use imp_workloads::{by_name, BuiltArtifact, Scale, WorkloadError, WorkloadParams};
 use std::fmt;
 
 /// Why a [`Sim`] (or a `Sweep` cell) could not run.
@@ -40,6 +41,19 @@ pub enum SimError {
     InvalidSpec(String),
     /// The prefetcher spec did not resolve or rejected a parameter.
     Prefetcher(RegistryError),
+    /// The workload could not build (a `trace:<path>` replay failed;
+    /// the message is the underlying `WorkloadError`).
+    Build(String),
+    /// The program's cores disagree on barrier counts.
+    Barrier(BarrierMismatch),
+    /// The program (or artifact) was generated for a different core
+    /// count than the configuration describes.
+    CoreMismatch {
+        /// Cores the program was generated for.
+        program: usize,
+        /// Cores the configuration describes.
+        config: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,13 +62,19 @@ impl fmt::Display for SimError {
             SimError::UnknownWorkload(name) => write!(
                 f,
                 "unknown workload {name:?}; try pagerank, tri_count, graph500, sgd, \
-                 lsh, spmv, symgs or dense"
+                 lsh, spmv, symgs, dense, or trace:<path>"
             ),
             SimError::InvalidCores(n) => {
                 write!(f, "core count {n} is not a positive perfect square")
             }
             SimError::InvalidSpec(e) => write!(f, "{e}"),
             SimError::Prefetcher(e) => write!(f, "{e}"),
+            SimError::Build(e) => write!(f, "{e}"),
+            SimError::Barrier(e) => write!(f, "{e}"),
+            SimError::CoreMismatch { program, config } => write!(
+                f,
+                "program was generated for {program} cores but the configuration has {config}"
+            ),
         }
     }
 }
@@ -64,6 +84,18 @@ impl std::error::Error for SimError {}
 impl From<RegistryError> for SimError {
     fn from(e: RegistryError) -> Self {
         SimError::Prefetcher(e)
+    }
+}
+
+impl From<BuildError> for SimError {
+    fn from(e: BuildError) -> Self {
+        match e {
+            BuildError::Registry(e) => SimError::Prefetcher(e),
+            BuildError::Barrier(e) => SimError::Barrier(e),
+            BuildError::CoreCountMismatch { program, config } => {
+                SimError::CoreMismatch { program, config }
+            }
+        }
     }
 }
 
@@ -263,8 +295,19 @@ impl Sim {
         Ok(cfg)
     }
 
-    /// Builds the workload and runs the simulation.
-    pub fn run(&self) -> Result<SystemStats, SimError> {
+    /// Builds the workload into a shareable [`BuiltArtifact`] without
+    /// running it.
+    ///
+    /// The artifact is what [`Sim::run_on`] consumes; building once and
+    /// fanning many configurations over it (`Sweep` does this
+    /// automatically) skips the generator on every run but the first,
+    /// with bit-identical statistics.
+    ///
+    /// # Errors
+    ///
+    /// Unknown workload names, invalid core counts, and failed
+    /// `trace:<path>` replays surface as the matching [`SimError`].
+    pub fn build_artifact(&self) -> Result<BuiltArtifact, SimError> {
         let cfg = self.config()?;
         let workload = by_name(&self.workload)
             .ok_or_else(|| SimError::UnknownWorkload(self.workload.clone()))?;
@@ -273,9 +316,41 @@ impl Sim {
         if let Some(d) = self.sw_prefetch {
             params = params.with_software_prefetch(d);
         }
-        let built = workload.build(&params);
-        let mut system = System::try_new(cfg, built.program, built.mem)?;
+        let built = workload.try_build(&params).map_err(|e| match e {
+            // Keep the typed twin of the run_on-path error; the
+            // remaining replay failures (I/O, corruption) wrap
+            // non-cloneable sources and stay stringly.
+            WorkloadError::CoreCountMismatch { trace, requested } => SimError::CoreMismatch {
+                program: trace,
+                config: requested as u32,
+            },
+            other => SimError::Build(other.to_string()),
+        })?;
+        Ok(BuiltArtifact::from(built))
+    }
+
+    /// Runs this builder's configuration over an already-built artifact.
+    ///
+    /// The artifact's streams and memory image are shared into the
+    /// system (`Arc` clones), so this is the cheap path for running many
+    /// prefetcher/partial-mode configurations against one generated
+    /// input. Statistics are bit-identical to [`Sim::run`] with the same
+    /// knobs — the simulator only ever reads the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CoreMismatch`] when the artifact was
+    /// generated for a different core count than this builder targets,
+    /// plus the usual configuration errors.
+    pub fn run_on(&self, artifact: &BuiltArtifact) -> Result<SystemStats, SimError> {
+        let cfg = self.config()?;
+        let mut system = System::try_new(cfg, artifact.program().clone(), artifact.mem().clone())?;
         Ok(system.run())
+    }
+
+    /// Builds the workload and runs the simulation.
+    pub fn run(&self) -> Result<SystemStats, SimError> {
+        self.run_on(&self.build_artifact()?)
     }
 }
 

@@ -11,6 +11,15 @@
 //! prefetcher or partial mode run the *same* generated input (the
 //! comparison the paper's figures make).
 //!
+//! Cells sharing an input do not rebuild it: the grid is grouped by its
+//! distinct (workload, cores, seed) coordinates — scale and
+//! software-prefetch settings come from the template and are constant
+//! across the grid — each group's [`imp_workloads::BuiltArtifact`] is
+//! built exactly once, and the prefetcher × partial cells fan out over
+//! the shared artifact ([`Sim::run_on`]). Because artifacts are
+//! immutable to the simulator, the statistics are bit-identical to
+//! rebuilding per cell; only the wall-clock changes.
+//!
 //! ```
 //! use imp_experiments::{Sim, Sweep};
 //! use imp_workloads::Scale;
@@ -26,7 +35,7 @@
 
 use crate::sim::{Sim, SimError};
 use imp_common::config::{PartialMode, PrefetcherSpec};
-use imp_common::{SplitMix64, SystemStats};
+use imp_common::{fnv1a, SplitMix64, SystemStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -53,6 +62,31 @@ pub struct SweepResult {
     /// The simulation statistics.
     pub stats: SystemStats,
 }
+
+/// A failed cell: where it was and why it failed.
+#[derive(Clone, Debug)]
+pub struct SweepCellError {
+    /// The grid point.
+    pub cell: SweepCell,
+    /// What went wrong.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for SweepCellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}@{} [{} / {:?}]: {}",
+            self.cell.workload,
+            self.cell.cores,
+            self.cell.prefetcher,
+            self.cell.partial,
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for SweepCellError {}
 
 /// A config-grid runner over a template [`Sim`]. See the module docs.
 #[derive(Clone, Debug)]
@@ -188,8 +222,34 @@ impl Sweep {
 
     /// Runs every cell and returns results in [`Sweep::cells`] order.
     /// The first failing cell's error is returned; completed work for
-    /// other cells is discarded.
+    /// other cells is discarded — use [`Sweep::run_partial`] to keep
+    /// the grid when individual cells fail.
     pub fn run(&self) -> Result<Vec<SweepResult>, SimError> {
+        self.run_partial()?
+            .into_iter()
+            .map(|r| r.map_err(|e| e.error))
+            .collect()
+    }
+
+    /// Runs every cell, returning a per-cell `Result` in
+    /// [`Sweep::cells`] order: one bad cell (an unresolvable prefetcher,
+    /// a failed `trace:` replay, an invalid core count) no longer throws
+    /// away the completed rest of the grid.
+    ///
+    /// Each distinct (workload, cores, seed) input is built exactly once
+    /// and shared read-only across the cells that use it; a failed build
+    /// is reported by every cell of its group.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is reserved for a malformed grid — an axis spec
+    /// string that did not parse — where no cells can be enumerated at
+    /// all. Everything that goes wrong *inside* a cell comes back in
+    /// that cell's slot.
+    // A cell's error carries its (string-heavy) grid coordinates by
+    // design; boxing would just push the size into every caller match.
+    #[allow(clippy::type_complexity, clippy::result_large_err)]
+    pub fn run_partial(&self) -> Result<Vec<Result<SweepResult, SweepCellError>>, SimError> {
         if let Some(e) = &self.spec_error {
             return Err(SimError::InvalidSpec(e.clone()));
         }
@@ -202,8 +262,37 @@ impl Sweep {
                     .unwrap_or(1)
             })
             .min(cells.len().max(1));
+
+        // Group cells by distinct generated input. Scale and
+        // software-prefetch settings come from the template, so within
+        // one sweep the input is determined by (workload, cores, seed).
+        let mut groups: Vec<(String, u32, u64)> = Vec::new();
+        let group_of: Vec<usize> = cells
+            .iter()
+            .map(|cell| {
+                let key = (cell.workload.clone(), cell.cores, cell.seed);
+                groups.iter().position(|g| *g == key).unwrap_or_else(|| {
+                    groups.push(key);
+                    groups.len() - 1
+                })
+            })
+            .collect();
+
+        // Build each distinct artifact exactly once, in parallel.
+        let artifacts = fanout(groups.len(), threads.min(groups.len()), |g| {
+            let (workload, cores, seed) = &groups[g];
+            self.base
+                .clone()
+                .with_workload(workload)
+                .cores(*cores)
+                .seed(*seed)
+                .build_artifact()
+        });
+
+        // Fan the configuration cells out over the shared artifacts.
         let outcomes = fanout(cells.len(), threads, |i| {
             let cell = &cells[i];
+            let artifact = artifacts[group_of[i]].as_ref().map_err(Clone::clone)?;
             self.base
                 .clone()
                 .with_workload(&cell.workload)
@@ -211,18 +300,16 @@ impl Sweep {
                 .prefetcher(cell.prefetcher.clone())
                 .partial(cell.partial)
                 .seed(cell.seed)
-                .run()
+                .run_on(artifact)
         });
-        cells
+        Ok(cells
             .into_iter()
             .zip(outcomes)
-            .map(|(cell, stats)| {
-                Ok(SweepResult {
-                    cell,
-                    stats: stats?,
-                })
+            .map(|(cell, outcome)| match outcome {
+                Ok(stats) => Ok(SweepResult { cell, stats }),
+                Err(error) => Err(SweepCellError { cell, error }),
             })
-            .collect()
+            .collect())
     }
 
     fn base_cores(&self) -> u32 {
@@ -247,10 +334,7 @@ impl Sweep {
 /// share a seed — and therefore the generated input — while different
 /// inputs decorrelate; nothing depends on scheduling.
 fn cell_seed(base: u64, workload: &str, cores: u32) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in workload.bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-    }
+    let h = fnv1a(workload.as_bytes());
     SplitMix64::new(base ^ h ^ u64::from(cores)).next_u64()
 }
 
@@ -337,5 +421,33 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, SimError::Prefetcher(_)), "{err:?}");
+    }
+
+    #[test]
+    fn run_partial_keeps_the_rest_of_the_grid() {
+        // One bad axis value (an unregistered prefetcher) fails only its
+        // own cells; `run()` on the same grid discards everything.
+        let sweep = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny)).prefetchers([
+            "stream",
+            "no-such-prefetcher",
+            "imp",
+        ]);
+        let outcomes = sweep.run_partial().unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_ok(), "stream cell survives");
+        assert!(outcomes[2].is_ok(), "imp cell survives");
+        let err = outcomes[1].as_ref().unwrap_err();
+        assert!(matches!(err.error, SimError::Prefetcher(_)), "{err}");
+        assert_eq!(err.cell.prefetcher.name, "no-such-prefetcher");
+        assert!(sweep.run().is_err(), "run() still fails the whole grid");
+    }
+
+    #[test]
+    fn malformed_axis_specs_fail_the_whole_grid_even_partially() {
+        let err = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+            .prefetchers(["stream:distance"])
+            .run_partial()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidSpec(_)), "{err:?}");
     }
 }

@@ -27,6 +27,6 @@ mod memory;
 mod space;
 mod typed;
 
-pub use memory::FunctionalMemory;
+pub use memory::{FunctionalMemory, SnapshotError};
 pub use space::{AddressSpace, Allocation};
 pub use typed::{ArrayRef, BitVecRef, MemScalar};

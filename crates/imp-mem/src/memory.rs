@@ -2,6 +2,8 @@
 
 use imp_common::Addr;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
@@ -12,9 +14,15 @@ const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 /// fresh allocation and, importantly, makes speculative reads by the
 /// prefetcher (which may run past the end of an index array, Section 6.1.1
 /// of the paper) well-defined rather than a simulator fault.
-#[derive(Debug, Default)]
+///
+/// Pages are reference-counted and copy-on-write: `clone()` costs one
+/// `Arc` bump per mapped page, and a write to a shared page copies just
+/// that page. One populated memory image can therefore back many
+/// concurrent simulator instances (the build-once sweep path) for free —
+/// the simulator only ever reads it.
+#[derive(Clone, Debug, Default)]
 pub struct FunctionalMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: HashMap<u64, Arc<[u8; PAGE_BYTES]>>,
 }
 
 impl FunctionalMemory {
@@ -108,12 +116,106 @@ impl FunctionalMemory {
         }
     }
 
+    /// Serializes the populated pages into a deterministic byte image:
+    /// page count, then each page as `page_number (u64 le)` + its 4096
+    /// bytes, sorted by page number. Restoring with
+    /// [`FunctionalMemory::restore`] reproduces the memory exactly
+    /// (including which pages are mapped).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut numbers: Vec<u64> = self.pages.keys().copied().collect();
+        numbers.sort_unstable();
+        let mut out = Vec::with_capacity(8 + numbers.len() * (8 + PAGE_BYTES));
+        out.extend_from_slice(&(numbers.len() as u64).to_le_bytes());
+        for n in numbers {
+            out.extend_from_slice(&n.to_le_bytes());
+            out.extend_from_slice(&self.pages[&n][..]);
+        }
+        out
+    }
+
+    /// Rebuilds a memory from a [`FunctionalMemory::snapshot`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the image is truncated, has
+    /// bytes left over, or repeats a page number.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], SnapshotError> {
+            let available = bytes.len() - *pos;
+            if n > available {
+                return Err(SnapshotError::Truncated {
+                    needed: n,
+                    available,
+                });
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let mut pos = 0;
+        let count = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        // The count is untrusted until checked against the bytes that
+        // follow — cap the pre-allocation by what the image could
+        // actually hold so a corrupt header errors instead of aborting.
+        let possible = (bytes.len() - pos) / (8 + PAGE_BYTES);
+        let mut pages = HashMap::with_capacity((count as usize).min(possible));
+        for _ in 0..count {
+            let n = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+            let data: [u8; PAGE_BYTES] =
+                take(&mut pos, PAGE_BYTES)?.try_into().expect("page-sized");
+            if pages.insert(n, Arc::new(data)).is_some() {
+                return Err(SnapshotError::DuplicatePage(n));
+            }
+        }
+        if pos != bytes.len() {
+            return Err(SnapshotError::TrailingBytes(bytes.len() - pos));
+        }
+        Ok(FunctionalMemory { pages })
+    }
+
     fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_BYTES] {
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+        Arc::make_mut(
+            self.pages
+                .entry(page)
+                .or_insert_with(|| Arc::new([0u8; PAGE_BYTES])),
+        )
     }
 }
+
+/// Why a [`FunctionalMemory::snapshot`] image could not be restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The image ended before a page record was complete.
+    Truncated {
+        /// Bytes the next record needed.
+        needed: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// The image has bytes after the declared page records.
+    TrailingBytes(usize),
+    /// The same page number appears twice.
+    DuplicatePage(u64),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { needed, available } => write!(
+                f,
+                "truncated memory snapshot: record needs {needed} bytes, {available} left"
+            ),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "{n} unexpected bytes after the memory snapshot")
+            }
+            SnapshotError::DuplicatePage(p) => {
+                write!(f, "page {p:#x} appears twice in the memory snapshot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 fn split(addr: Addr) -> (u64, usize) {
     (
@@ -171,5 +273,68 @@ mod tests {
     fn read_uint_rejects_odd_sizes() {
         let m = FunctionalMemory::new();
         let _ = m.read_uint(Addr::new(0), 3);
+    }
+
+    #[test]
+    fn clones_are_copy_on_write() {
+        let mut a = FunctionalMemory::new();
+        a.write_u64(Addr::new(100), 7);
+        let mut b = a.clone();
+        b.write_u64(Addr::new(100), 9);
+        assert_eq!(a.read_u64(Addr::new(100)), 7, "original unchanged");
+        assert_eq!(b.read_u64(Addr::new(100)), 9);
+        // Writing elsewhere in the clone maps a page only in the clone.
+        b.write_u8(Addr::new(1 << 30), 1);
+        assert_eq!(a.mapped_pages(), 1);
+        assert_eq!(b.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut m = FunctionalMemory::new();
+        m.write_u64(Addr::new(40), 0x0123_4567_89AB_CDEF);
+        m.write_u32(Addr::new(PAGE_BYTES as u64 * 5 + 8), 0xDEAD_BEEF);
+        let image = m.snapshot();
+        let back = FunctionalMemory::restore(&image).unwrap();
+        assert_eq!(back.mapped_pages(), m.mapped_pages());
+        assert_eq!(back.read_u64(Addr::new(40)), 0x0123_4567_89AB_CDEF);
+        assert_eq!(
+            back.read_u32(Addr::new(PAGE_BYTES as u64 * 5 + 8)),
+            0xDEAD_BEEF
+        );
+        // Snapshots are deterministic byte-for-byte.
+        assert_eq!(back.snapshot(), image);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_malformed_images() {
+        let mut m = FunctionalMemory::new();
+        m.write_u8(Addr::new(0), 1);
+        let image = m.snapshot();
+        assert!(matches!(
+            FunctionalMemory::restore(&image[..image.len() - 1]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        let mut padded = image.clone();
+        padded.push(0);
+        assert!(matches!(
+            FunctionalMemory::restore(&padded),
+            Err(SnapshotError::TrailingBytes(1))
+        ));
+        // Duplicate the single page record and fix up the count.
+        let mut dup = image.clone();
+        dup.extend_from_slice(&image[8..]);
+        dup[0..8].copy_from_slice(&2u64.to_le_bytes());
+        assert!(matches!(
+            FunctionalMemory::restore(&dup),
+            Err(SnapshotError::DuplicatePage(0))
+        ));
+        // An absurd page count errors instead of allocating for it.
+        let mut huge = image;
+        huge[0..8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            FunctionalMemory::restore(&huge),
+            Err(SnapshotError::Truncated { .. })
+        ));
     }
 }

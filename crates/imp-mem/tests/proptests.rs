@@ -30,6 +30,40 @@ proptest! {
         prop_assert_eq!(mem.read_u32(Addr::new(base)), v);
     }
 
+    /// Snapshots round-trip arbitrary populated memories exactly —
+    /// contents, page mapping, and the snapshot bytes themselves.
+    #[test]
+    fn snapshot_restore_roundtrip(
+        writes in proptest::collection::vec((0u64..50_000_000, any::<u64>()), 0..60),
+    ) {
+        let mut mem = FunctionalMemory::new();
+        for (addr, v) in &writes {
+            mem.write_u64(Addr::new(*addr), *v);
+        }
+        let image = mem.snapshot();
+        let back = FunctionalMemory::restore(&image).unwrap();
+        prop_assert_eq!(back.mapped_pages(), mem.mapped_pages());
+        for (addr, _) in &writes {
+            prop_assert_eq!(back.read_u64(Addr::new(*addr)), mem.read_u64(Addr::new(*addr)));
+        }
+        prop_assert_eq!(back.snapshot(), image);
+    }
+
+    /// A truncated snapshot never restores to a silently wrong memory.
+    #[test]
+    fn snapshot_truncation_detected(
+        writes in proptest::collection::vec((0u64..1_000_000, any::<u64>()), 1..10),
+        cut in 1usize..100,
+    ) {
+        let mut mem = FunctionalMemory::new();
+        for (addr, v) in &writes {
+            mem.write_u64(Addr::new(*addr), *v);
+        }
+        let image = mem.snapshot();
+        prop_assume!(cut < image.len());
+        prop_assert!(FunctionalMemory::restore(&image[..image.len() - cut]).is_err());
+    }
+
     /// Allocations never overlap, whatever the request sizes.
     #[test]
     fn allocations_disjoint(sizes in proptest::collection::vec(1u64..10_000, 1..30)) {

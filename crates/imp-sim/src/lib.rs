@@ -32,7 +32,7 @@ mod msg;
 mod system;
 
 pub use imp_prefetch::registry::RegistryError;
-pub use system::System;
+pub use system::{BuildError, System};
 
 #[cfg(test)]
 mod tests {

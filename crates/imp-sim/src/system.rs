@@ -21,8 +21,54 @@ use imp_prefetch::registry::{self, BuildCtx, RegistryError};
 use imp_prefetch::{
     Access, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind, PrefetchRequest,
 };
-use imp_trace::{OpKind, Program};
+use imp_trace::{BarrierMismatch, OpKind, Program};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Why [`System::try_new`] rejected its inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// The prefetcher spec did not resolve against the plugin registry.
+    Registry(RegistryError),
+    /// The program's cores disagree on barrier counts (it would
+    /// deadlock).
+    Barrier(BarrierMismatch),
+    /// The program was generated for a different core count than the
+    /// configuration describes.
+    CoreCountMismatch {
+        /// Cores the program was generated for.
+        program: usize,
+        /// Cores the configuration describes.
+        config: u32,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Registry(e) => write!(f, "{e}"),
+            BuildError::Barrier(e) => write!(f, "{e}"),
+            BuildError::CoreCountMismatch { program, config } => write!(
+                f,
+                "program was generated for {program} cores but the configuration has {config}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<RegistryError> for BuildError {
+    fn from(e: RegistryError) -> Self {
+        BuildError::Registry(e)
+    }
+}
+
+impl From<BarrierMismatch> for BuildError {
+    fn from(e: BarrierMismatch) -> Self {
+        BuildError::Barrier(e)
+    }
+}
 
 /// Discrete events of the simulation.
 #[derive(Debug)]
@@ -980,32 +1026,40 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if the prefetcher spec does not resolve (see
-    /// [`System::try_new`] for the fallible form), if the program's core
-    /// count does not match the configuration, or if barrier counts are
-    /// inconsistent.
+    /// Panics on any condition [`System::try_new`] reports as a
+    /// [`BuildError`]: an unresolvable prefetcher spec, a program whose
+    /// core count does not match the configuration, or inconsistent
+    /// barrier counts.
     pub fn new(cfg: SystemConfig, program: Program, mem: FunctionalMemory) -> Self {
         Self::try_new(cfg, program, mem).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Builds a system for `program` under `cfg`, surfacing prefetcher
-    /// registry failures (unknown name, bad parameters) as an error.
+    /// Builds a system for `program` under `cfg`, surfacing every
+    /// invalid-input condition — prefetcher registry failures (unknown
+    /// name, bad parameters), a core-count mismatch between program and
+    /// configuration, and unbalanced barriers — as a typed
+    /// [`BuildError`].
     ///
-    /// # Panics
+    /// The program's streams are frozen and shared into the per-core
+    /// engines (`Arc` clones, no per-core copies), so constructing many
+    /// systems over one generated program is cheap.
     ///
-    /// Panics if the program's core count does not match the
-    /// configuration, or if barrier counts are inconsistent.
+    /// # Errors
+    ///
+    /// See [`BuildError`].
     pub fn try_new(
         cfg: SystemConfig,
-        program: Program,
+        mut program: Program,
         mem: FunctionalMemory,
-    ) -> Result<Self, RegistryError> {
-        assert_eq!(
-            program.cores(),
-            cfg.cores as usize,
-            "program core count must match the configuration"
-        );
-        program.validate_barriers();
+    ) -> Result<Self, BuildError> {
+        if program.cores() != cfg.cores as usize {
+            return Err(BuildError::CoreCountMismatch {
+                program: program.cores(),
+                config: cfg.cores,
+            });
+        }
+        program.validate_barriers()?;
+        program.freeze();
         let n = cfg.cores as usize;
         let partial = cfg.partial != PartialMode::Off;
         let l1_sectors = if partial { cfg.mem.l1d.sectors } else { 1 };
@@ -1013,7 +1067,7 @@ impl System {
 
         let cores: Vec<Box<dyn CoreEngine>> = (0..n)
             .map(|c| -> Box<dyn CoreEngine> {
-                let ops = program.ops(c).to_vec();
+                let ops = program.stream(c); // shared, not copied
                 match cfg.core_model {
                     CoreModel::InOrder => Box::new(InOrderCore::new(c as u32, ops)),
                     CoreModel::OutOfOrder => {

@@ -1,0 +1,526 @@
+//! The versioned binary `.imptrace` container.
+//!
+//! A trace file persists a [`Program`] — and an opaque payload section a
+//! higher layer may attach (the workload crate stores the functional
+//! memory image and the algorithm result there) — so a generated or
+//! externally recorded op stream can be replayed without re-running the
+//! generator.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! | section | encoding |
+//! |---|---|
+//! | magic | 8 bytes, `b"IMPTRACE"` |
+//! | version | `u32`, currently 1 |
+//! | name | `u32` length + UTF-8 bytes |
+//! | cores | `u32` |
+//! | stream lengths | `u64` per core |
+//! | ops | 16 bytes per op, streams concatenated in core order |
+//! | payload | `u64` length + bytes |
+//! | checksum | `u64` FNV-1a over everything before it |
+//!
+//! Each op encodes as `addr:u64, pc:u32, kind:u8, size:u8, class:u8,
+//! dep:u8` — the same 16 bytes the in-memory [`Op`] occupies.
+//!
+//! ```
+//! use imp_trace::{file::TraceFile, Op, Program};
+//! use imp_common::{Addr, Pc, stats::AccessClass};
+//!
+//! let mut p = Program::new("demo", 1);
+//! p.core_mut(0).push(Op::load(Addr::new(64), 8, Pc::new(1), AccessClass::Indirect));
+//! let bytes = TraceFile::new(p).to_bytes();
+//! let back = TraceFile::from_bytes(&bytes).unwrap();
+//! assert_eq!(back.program.name(), "demo");
+//! assert_eq!(back.program.ops(0).len(), 1);
+//! ```
+
+use crate::{Op, OpKind, Program};
+use imp_common::stats::AccessClass;
+use imp_common::{fnv1a, Pc};
+use std::fmt;
+use std::path::Path;
+
+/// File magic: the first eight bytes of every `.imptrace` file.
+pub const MAGIC: [u8; 8] = *b"IMPTRACE";
+
+/// Current format version written by [`TraceFile::save`].
+pub const VERSION: u32 = 1;
+
+/// Bytes one op occupies on disk (same as in memory).
+pub const OP_BYTES: usize = 16;
+
+/// Why a trace could not be read or written.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file ended before a section was complete.
+    Truncated {
+        /// Which section was being read.
+        section: &'static str,
+        /// Bytes the section needed.
+        needed: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// The program name is not valid UTF-8.
+    BadName,
+    /// An op's kind byte is not a known [`OpKind`].
+    BadOpKind(u8),
+    /// An op's class byte is not a known [`AccessClass`].
+    BadAccessClass(u8),
+    /// The stored checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum of the bytes actually read.
+        computed: u64,
+    },
+    /// The file has bytes after the checksum trailer.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not an .imptrace file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported .imptrace version {v} (reader supports {VERSION})"
+                )
+            }
+            TraceError::Truncated {
+                section,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated .imptrace: {section} needs {needed} bytes, {available} left"
+            ),
+            TraceError::BadName => write!(f, "program name is not valid UTF-8"),
+            TraceError::BadOpKind(b) => write!(f, "unknown op kind byte {b:#x}"),
+            TraceError::BadAccessClass(b) => write!(f, "unknown access class byte {b:#x}"),
+            TraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: file says {stored:#018x}, contents hash to {computed:#018x}"
+            ),
+            TraceError::TrailingBytes(n) => {
+                write!(f, "{n} unexpected bytes after the checksum trailer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A deserialized (or to-be-serialized) trace: the program plus an
+/// opaque payload owned by whatever layer recorded it.
+#[derive(Clone, Debug)]
+pub struct TraceFile {
+    /// The multi-core op streams.
+    pub program: Program,
+    /// Opaque higher-layer section (e.g. a functional-memory image);
+    /// empty when the trace carries only the program.
+    pub payload: Vec<u8>,
+}
+
+impl TraceFile {
+    /// A trace carrying only `program`.
+    pub fn new(program: Program) -> Self {
+        TraceFile {
+            program,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A trace carrying `program` plus a higher-layer `payload`.
+    pub fn with_payload(program: Program, payload: Vec<u8>) -> Self {
+        TraceFile { program, payload }
+    }
+
+    /// Serializes to the `.imptrace` byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let cores = self.program.cores();
+        let total_ops: usize = (0..cores).map(|c| self.program.ops(c).len()).sum();
+        let name = self.program.name().as_bytes();
+        let mut out = Vec::with_capacity(
+            MAGIC.len()
+                + 4
+                + 4
+                + name.len()
+                + 4
+                + 8 * cores
+                + OP_BYTES * total_ops
+                + 8
+                + self.payload.len()
+                + 8,
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&(cores as u32).to_le_bytes());
+        for c in 0..cores {
+            out.extend_from_slice(&(self.program.ops(c).len() as u64).to_le_bytes());
+        }
+        for c in 0..cores {
+            for op in self.program.ops(c) {
+                encode_op(op, &mut out);
+            }
+        }
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses the `.imptrace` byte layout.
+    ///
+    /// # Errors
+    ///
+    /// Any structural defect — wrong magic, newer version, truncation,
+    /// invalid op bytes, checksum mismatch — comes back as the matching
+    /// [`TraceError`] variant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.len() < 8 {
+            return Err(TraceError::Truncated {
+                section: "checksum trailer",
+                needed: 8,
+                available: bytes.len(),
+            });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(TraceError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = Reader { buf: body, pos: 0 };
+        if r.take("magic", MAGIC.len())? != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = r.u32("version")?;
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let name_len = r.u32("name length")? as usize;
+        let name = std::str::from_utf8(r.take("name", name_len)?)
+            .map_err(|_| TraceError::BadName)?
+            .to_string();
+        let cores = r.u32("core count")? as usize;
+        // Lengths are untrusted until checked against the bytes that
+        // remain — never size an allocation from them alone, or a
+        // malformed (checksum-valid) file aborts instead of erroring.
+        let mut lens = Vec::with_capacity(cores.min(r.remaining() / 8));
+        for _ in 0..cores {
+            lens.push(r.u64("stream length")? as usize);
+        }
+        let mut program = Program::new(&name, cores);
+        for (c, &len) in lens.iter().enumerate() {
+            let needed = len.saturating_mul(OP_BYTES);
+            if needed > r.remaining() {
+                return Err(TraceError::Truncated {
+                    section: "op stream",
+                    needed,
+                    available: r.remaining(),
+                });
+            }
+            let stream = program.core_mut(c);
+            stream.reserve(len);
+            for _ in 0..len {
+                stream.push(decode_op(r.take("op", OP_BYTES)?)?);
+            }
+        }
+        program.freeze();
+        let payload_len = r.u64("payload length")? as usize;
+        let payload = r.take("payload", payload_len)?.to_vec();
+        if r.pos != body.len() {
+            return Err(TraceError::TrailingBytes(body.len() - r.pos));
+        }
+        Ok(TraceFile { program, payload })
+    }
+
+    /// Writes the trace to `path` (conventionally `*.imptrace`).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`TraceError::Io`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        Ok(std::fs::write(path, self.to_bytes())?)
+    }
+
+    /// Reads a trace back from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`TraceError::Io`]; malformed
+    /// contents as the other [`TraceError`] variants.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+impl Program {
+    /// Saves this program (without payload) as an `.imptrace` file.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceFile::save`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        TraceFile::new(self.clone()).save(path)
+    }
+
+    /// Loads a program from an `.imptrace` file, ignoring any payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceFile::load`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Ok(TraceFile::load(path)?.program)
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, section: &'static str, n: usize) -> Result<&'a [u8], TraceError> {
+        let available = self.remaining();
+        if n > available {
+            return Err(TraceError::Truncated {
+                section,
+                needed: n,
+                available,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, section: &'static str) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(
+            self.take(section, 4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, section: &'static str) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(
+            self.take(section, 8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+fn encode_op(op: &Op, out: &mut Vec<u8>) {
+    out.extend_from_slice(&op.addr.to_le_bytes());
+    out.extend_from_slice(&op.pc.raw().to_le_bytes());
+    out.push(kind_byte(op.kind));
+    out.push(op.size);
+    out.push(op.class.index() as u8);
+    out.push(op.dep);
+}
+
+fn decode_op(bytes: &[u8]) -> Result<Op, TraceError> {
+    debug_assert_eq!(bytes.len(), OP_BYTES);
+    Ok(Op {
+        addr: u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")),
+        pc: Pc::new(u32::from_le_bytes(
+            bytes[8..12].try_into().expect("4 bytes"),
+        )),
+        kind: kind_from_byte(bytes[12])?,
+        size: bytes[13],
+        class: class_from_byte(bytes[14])?,
+        dep: bytes[15],
+    })
+}
+
+fn kind_byte(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::Compute => 0,
+        OpKind::Load => 1,
+        OpKind::Store => 2,
+        OpKind::SwPrefetch => 3,
+        OpKind::Barrier => 4,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<OpKind, TraceError> {
+    Ok(match b {
+        0 => OpKind::Compute,
+        1 => OpKind::Load,
+        2 => OpKind::Store,
+        3 => OpKind::SwPrefetch,
+        4 => OpKind::Barrier,
+        other => return Err(TraceError::BadOpKind(other)),
+    })
+}
+
+fn class_from_byte(b: u8) -> Result<AccessClass, TraceError> {
+    AccessClass::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or(TraceError::BadAccessClass(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_common::Addr;
+
+    fn sample() -> Program {
+        let mut p = Program::new("sample", 2);
+        p.core_mut(0).push(Op::load(
+            Addr::new(0x40),
+            4,
+            Pc::new(1),
+            AccessClass::Stream,
+        ));
+        p.core_mut(0)
+            .push(Op::load(Addr::new(0x4000), 8, Pc::new(2), AccessClass::Indirect).with_dep(1));
+        p.core_mut(1).push(Op::compute(17));
+        p.core_mut(1).push(Op::store(
+            Addr::new(0x80),
+            8,
+            Pc::new(3),
+            AccessClass::Other,
+        ));
+        p.core_mut(1)
+            .push(Op::sw_prefetch(Addr::new(0xc0), Pc::new(4)));
+        p.barrier();
+        p
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_everything() {
+        let tf = TraceFile::with_payload(sample(), vec![1, 2, 3, 255]);
+        let back = TraceFile::from_bytes(&tf.to_bytes()).unwrap();
+        assert_eq!(back.program.name(), "sample");
+        assert_eq!(back.program.cores(), 2);
+        for c in 0..2 {
+            assert_eq!(back.program.ops(c), tf.program.ops(c), "core {c}");
+        }
+        assert_eq!(back.payload, vec![1, 2, 3, 255]);
+    }
+
+    #[test]
+    fn file_roundtrip_via_program_convenience() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("imptrace-test-{}.imptrace", std::process::id()));
+        let p = sample();
+        p.save(&path).unwrap();
+        let back = Program::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.ops(0), p.ops(0));
+        assert_eq!(back.validate_barriers(), p.validate_barriers());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = TraceFile::new(sample()).to_bytes();
+
+        // Flip a byte in the middle: checksum catches it.
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0xff;
+        assert!(matches!(
+            TraceFile::from_bytes(&bad),
+            Err(TraceError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation before the trailer.
+        assert!(matches!(
+            TraceFile::from_bytes(&bytes[..4]),
+            Err(TraceError::Truncated { .. })
+        ));
+
+        // Wrong magic with a fixed-up checksum.
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        let body_len = wrong.len() - 8;
+        let sum = fnv1a(&wrong[..body_len]);
+        wrong[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            TraceFile::from_bytes(&wrong),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn absurd_stream_lengths_error_instead_of_allocating() {
+        let mut p = Program::new("k", 1);
+        p.core_mut(0).push(Op::compute(1));
+        let mut bytes = TraceFile::new(p).to_bytes();
+        // The single stream-length field sits after
+        // magic(8)+version(4)+name(4+1)+cores(4); forge it huge and
+        // re-stamp the checksum so only the length check can reject it.
+        let len_at = 8 + 4 + 4 + 1 + 4;
+        bytes[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            TraceFile::from_bytes(&bytes),
+            Err(TraceError::Truncated {
+                section: "op stream",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn newer_versions_are_rejected() {
+        let mut bytes = TraceFile::new(sample()).to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            TraceFile::from_bytes(&bytes),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn bad_op_bytes_are_typed_errors() {
+        let mut p = Program::new("k", 1);
+        p.core_mut(0).push(Op::compute(1));
+        let mut bytes = TraceFile::new(p).to_bytes();
+        // The op's kind byte sits 12 bytes into the op record; the op
+        // record starts after magic(8)+version(4)+name(4+1)+cores(4)+len(8).
+        let op_start = 8 + 4 + 4 + 1 + 4 + 8;
+        bytes[op_start + 12] = 200;
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            TraceFile::from_bytes(&bytes),
+            Err(TraceError::BadOpKind(200))
+        ));
+    }
+}

@@ -9,7 +9,11 @@
 //! out-of-order core model of Section 6.3.1.
 //!
 //! Ops are kept to 16 bytes so multi-million-instruction programs stay
-//! cheap to store.
+//! cheap to store. Finished streams are frozen into shared `Arc<[Op]>`
+//! buffers, so cloning a [`Program`] (to fan one generated workload out
+//! over many simulator configurations) costs a reference count, not a
+//! copy. Programs also serialize to the versioned binary `.imptrace`
+//! format in [`mod@file`] for record/replay across processes.
 //!
 //! # Example
 //!
@@ -22,10 +26,20 @@
 //! p.barrier();
 //! assert_eq!(p.ops(0).len(), 2);
 //! assert_eq!(p.ops(1).len(), 1); // just the barrier
+//!
+//! p.freeze();
+//! let cheap = p.clone(); // shares the frozen streams
+//! assert_eq!(cheap.ops(0), p.ops(0));
 //! ```
+
+pub mod file;
+
+pub use file::{TraceError, TraceFile};
 
 use imp_common::stats::AccessClass;
 use imp_common::{Addr, Pc};
+use std::fmt;
+use std::sync::Arc;
 
 /// The kind of one operation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -152,11 +166,33 @@ impl Op {
     }
 }
 
+/// One core's op stream: a growable buffer while the workload generator
+/// is appending, an immutable shared `Arc<[Op]>` once frozen.
+#[derive(Clone, Debug)]
+enum Stream {
+    Building(Vec<Op>),
+    Frozen(Arc<[Op]>),
+}
+
+impl Stream {
+    fn ops(&self) -> &[Op] {
+        match self {
+            Stream::Building(v) => v,
+            Stream::Frozen(a) => a,
+        }
+    }
+}
+
 /// A complete multi-core program: one op stream per core.
+///
+/// Streams are append-only buffers during generation; [`Program::freeze`]
+/// turns them into shared `Arc<[Op]>` allocations, after which `clone()`
+/// is O(cores) reference-count bumps — the representation that lets one
+/// generated workload back many concurrent simulator instances.
 #[derive(Clone, Debug, Default)]
 pub struct Program {
     name: String,
-    streams: Vec<Vec<Op>>,
+    streams: Vec<Stream>,
 }
 
 impl Program {
@@ -164,7 +200,7 @@ impl Program {
     pub fn new(name: &str, cores: usize) -> Self {
         Program {
             name: name.to_string(),
-            streams: vec![Vec::new(); cores],
+            streams: (0..cores).map(|_| Stream::Building(Vec::new())).collect(),
         }
     }
 
@@ -180,18 +216,53 @@ impl Program {
 
     /// The op stream of one core.
     pub fn ops(&self, core: usize) -> &[Op] {
-        &self.streams[core]
+        self.streams[core].ops()
     }
 
     /// Mutable access to one core's stream, for appending ops.
+    ///
+    /// Calling this on a frozen program thaws that core's stream back
+    /// into a private buffer (one copy); generators that build and then
+    /// freeze never pay it.
     pub fn core_mut(&mut self, core: usize) -> &mut Vec<Op> {
-        &mut self.streams[core]
+        let slot = &mut self.streams[core];
+        if let Stream::Frozen(a) = slot {
+            *slot = Stream::Building(a.to_vec());
+        }
+        match slot {
+            Stream::Building(v) => v,
+            Stream::Frozen(_) => unreachable!("stream thawed above"),
+        }
+    }
+
+    /// Freezes every stream into its shared immutable form. Idempotent;
+    /// already-frozen streams are untouched.
+    pub fn freeze(&mut self) {
+        for slot in &mut self.streams {
+            if let Stream::Building(v) = slot {
+                *slot = Stream::Frozen(Arc::from(std::mem::take(v).into_boxed_slice()));
+            }
+        }
+    }
+
+    /// The shared handle to one core's stream, freezing it first if
+    /// needed. Cloning the returned `Arc` is how consumers (the per-core
+    /// engines of `imp-sim`) share the stream without copying it.
+    pub fn stream(&mut self, core: usize) -> Arc<[Op]> {
+        let slot = &mut self.streams[core];
+        if let Stream::Building(v) = slot {
+            *slot = Stream::Frozen(Arc::from(std::mem::take(v).into_boxed_slice()));
+        }
+        match slot {
+            Stream::Frozen(a) => Arc::clone(a),
+            Stream::Building(_) => unreachable!("stream frozen above"),
+        }
     }
 
     /// Appends a barrier to every core's stream.
     pub fn barrier(&mut self) {
-        for s in &mut self.streams {
-            s.push(Op::barrier());
+        for core in 0..self.streams.len() {
+            self.core_mut(core).push(Op::barrier());
         }
     }
 
@@ -199,7 +270,7 @@ impl Program {
     pub fn instructions_per_core(&self) -> Vec<u64> {
         self.streams
             .iter()
-            .map(|s| s.iter().map(Op::instruction_count).sum())
+            .map(|s| s.ops().iter().map(Op::instruction_count).sum())
             .collect()
     }
 
@@ -212,35 +283,49 @@ impl Program {
     pub fn total_memory_ops(&self) -> u64 {
         self.streams
             .iter()
-            .map(|s| s.iter().filter(|o| o.is_demand()).count() as u64)
+            .map(|s| s.ops().iter().filter(|o| o.is_demand()).count() as u64)
             .sum()
     }
 
-    /// Checks that every core has the same number of barriers and that
-    /// barrier positions partition the streams consistently; returns the
-    /// barrier count.
+    /// Checks that every core has the same number of barriers (a program
+    /// whose cores disagree would deadlock at the first unmatched
+    /// barrier); returns the barrier count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if cores disagree on the number of barriers — that program
-    /// would deadlock.
-    pub fn validate_barriers(&self) -> usize {
+    /// Returns [`BarrierMismatch`] carrying the per-core counts when the
+    /// cores disagree.
+    pub fn validate_barriers(&self) -> Result<usize, BarrierMismatch> {
         let counts: Vec<usize> = self
             .streams
             .iter()
-            .map(|s| s.iter().filter(|o| o.kind == OpKind::Barrier).count())
+            .map(|s| s.ops().iter().filter(|o| o.kind == OpKind::Barrier).count())
             .collect();
-        if let Some((first, rest)) = counts.split_first() {
-            assert!(
-                rest.iter().all(|c| c == first),
-                "barrier count mismatch across cores: {counts:?}"
-            );
-            *first
-        } else {
-            0
+        match counts.split_first() {
+            Some((first, rest)) if rest.iter().any(|c| c != first) => {
+                Err(BarrierMismatch { counts })
+            }
+            Some((first, _)) => Ok(*first),
+            None => Ok(0),
         }
     }
 }
+
+/// Cores disagree on how many barriers their streams contain; running
+/// this program would deadlock at the first unmatched barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BarrierMismatch {
+    /// Barrier count per core, in core order.
+    pub counts: Vec<usize>,
+}
+
+impl fmt::Display for BarrierMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "barrier count mismatch across cores: {:?}", self.counts)
+    }
+}
+
+impl std::error::Error for BarrierMismatch {}
 
 #[cfg(test)]
 mod tests {
@@ -274,17 +359,43 @@ mod tests {
         p.barrier();
         assert_eq!(p.total_instructions(), 12);
         assert_eq!(p.total_memory_ops(), 2);
-        assert_eq!(p.validate_barriers(), 1);
+        assert_eq!(p.validate_barriers(), Ok(1));
         assert_eq!(p.name(), "t");
         assert_eq!(p.cores(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "barrier count mismatch")]
     fn unbalanced_barriers_detected() {
         let mut p = Program::new("bad", 2);
         p.core_mut(0).push(Op::barrier());
-        p.validate_barriers();
+        let err = p.validate_barriers().unwrap_err();
+        assert_eq!(err.counts, vec![1, 0]);
+        assert!(err.to_string().contains("barrier count mismatch"));
+    }
+
+    #[test]
+    fn freezing_shares_streams_and_preserves_contents() {
+        let mut p = Program::new("f", 2);
+        p.core_mut(0)
+            .push(Op::load(Addr::new(0), 4, Pc::new(1), AccessClass::Stream));
+        p.core_mut(1).push(Op::compute(3));
+        let before: Vec<Vec<Op>> = (0..2).map(|c| p.ops(c).to_vec()).collect();
+
+        let a = p.stream(0); // freezes core 0 on demand
+        p.freeze(); // idempotent, covers core 1
+        let b = p.stream(0);
+        assert!(Arc::ptr_eq(&a, &b), "frozen stream is shared, not copied");
+
+        let clone = p.clone();
+        for (c, ops) in before.iter().enumerate() {
+            assert_eq!(clone.ops(c), &ops[..]);
+        }
+
+        // Mutation after freeze thaws into a private buffer.
+        let mut thawed = p.clone();
+        thawed.core_mut(0).push(Op::compute(1));
+        assert_eq!(thawed.ops(0).len(), 2);
+        assert_eq!(p.ops(0).len(), 1, "original untouched");
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Shareable, serializable workload artifacts: record a generated
+//! workload once, replay it everywhere.
+//!
+//! A [`BuiltArtifact`] wraps a [`Built`] in an `Arc` so one generated
+//! workload (op streams + functional-memory image + algorithm result)
+//! can back any number of simulator configurations without re-running
+//! the generator — the build-once path `Sweep` uses, and the unit a
+//! `.imptrace` file persists.
+//!
+//! On disk the artifact is a standard `imp_trace::file` container whose
+//! payload section carries the algorithm result (8 bytes, `f64` LE)
+//! followed by the [`FunctionalMemory::snapshot`] image, so a saved
+//! trace replays with the genuine index-array contents IMP reads.
+//!
+//! ```no_run
+//! use imp_workloads::{by_name, BuiltArtifact, Scale, WorkloadParams};
+//!
+//! let params = WorkloadParams::new(16, Scale::Tiny);
+//! let built = by_name("spmv").unwrap().build(&params);
+//! let artifact = BuiltArtifact::from(built);
+//! artifact.save("spmv.imptrace").unwrap();
+//!
+//! // Later (any process): replay through the registry.
+//! let replayed = by_name("trace:spmv.imptrace").unwrap();
+//! let again = replayed.try_build(&params).unwrap();
+//! assert_eq!(again.result, artifact.result());
+//! ```
+
+use crate::{Built, Workload, WorkloadParams};
+use imp_mem::{FunctionalMemory, SnapshotError};
+use imp_trace::{Program, TraceError, TraceFile};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable handle to one generated workload.
+///
+/// Cloning bumps one reference count; the program streams and memory
+/// pages inside are themselves `Arc`-backed, so feeding the artifact to
+/// a simulator (`program().clone()` + `mem().clone()`) copies nothing.
+#[derive(Clone, Debug)]
+pub struct BuiltArtifact {
+    inner: Arc<Built>,
+}
+
+impl From<Built> for BuiltArtifact {
+    fn from(mut built: Built) -> Self {
+        built.program.freeze();
+        BuiltArtifact {
+            inner: Arc::new(built),
+        }
+    }
+}
+
+impl BuiltArtifact {
+    /// The multicore op streams (frozen; clones share them).
+    pub fn program(&self) -> &Program {
+        &self.inner.program
+    }
+
+    /// The functional-memory image (copy-on-write; clones share pages).
+    pub fn mem(&self) -> &FunctionalMemory {
+        &self.inner.mem
+    }
+
+    /// The algorithm's functional result (see [`Built::result`]).
+    pub fn result(&self) -> f64 {
+        self.inner.result
+    }
+
+    /// Materializes an owned [`Built`] sharing this artifact's storage.
+    pub fn to_built(&self) -> Built {
+        Built {
+            program: self.inner.program.clone(),
+            mem: self.inner.mem.clone(),
+            result: self.inner.result,
+        }
+    }
+
+    /// Writes the artifact as an `.imptrace` file: program streams plus
+    /// a payload carrying the result and the memory image.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as
+    /// [`ArtifactError::Trace`]`(`[`TraceError::Io`]`)`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let mut payload = self.inner.result.to_le_bytes().to_vec();
+        payload.extend_from_slice(&self.inner.mem.snapshot());
+        TraceFile::with_payload(self.inner.program.clone(), payload).save(path)?;
+        Ok(())
+    }
+
+    /// Reads an artifact back from an `.imptrace` file.
+    ///
+    /// A program-only trace (empty payload — what `Program::save` and
+    /// external recorders produce) loads with an empty memory image and
+    /// a `NaN` result: the op streams replay, IMP's speculative index
+    /// reads see zeroes, and no algorithm result is claimed.
+    ///
+    /// # Errors
+    ///
+    /// Malformed containers surface as [`ArtifactError::Trace`]; a
+    /// well-formed container whose non-empty payload is not an artifact
+    /// payload (too short, or a corrupt memory image) as the other
+    /// variants.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let tf = TraceFile::load(path)?;
+        let (result, mem) = if tf.payload.is_empty() {
+            (f64::NAN, FunctionalMemory::new())
+        } else {
+            if tf.payload.len() < 8 {
+                return Err(ArtifactError::ShortPayload(tf.payload.len()));
+            }
+            let (result_bytes, image) = tf.payload.split_at(8);
+            let result = f64::from_le_bytes(result_bytes.try_into().expect("8 bytes"));
+            (result, FunctionalMemory::restore(image)?)
+        };
+        Ok(BuiltArtifact::from(Built {
+            program: tf.program,
+            mem,
+            result,
+        }))
+    }
+}
+
+/// Why an artifact could not be saved or loaded.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The `.imptrace` container itself failed (I/O, corruption, ...).
+    Trace(TraceError),
+    /// The container's payload ends before the 8-byte result field.
+    ShortPayload(usize),
+    /// The memory image inside the payload is malformed.
+    Memory(SnapshotError),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Trace(e) => write!(f, "{e}"),
+            ArtifactError::ShortPayload(n) => write!(
+                f,
+                "artifact payload is {n} bytes; needs at least the 8-byte result"
+            ),
+            ArtifactError::Memory(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Trace(e) => Some(e),
+            ArtifactError::Memory(e) => Some(e),
+            ArtifactError::ShortPayload(_) => None,
+        }
+    }
+}
+
+impl From<TraceError> for ArtifactError {
+    fn from(e: TraceError) -> Self {
+        ArtifactError::Trace(e)
+    }
+}
+
+impl From<SnapshotError> for ArtifactError {
+    fn from(e: SnapshotError) -> Self {
+        ArtifactError::Memory(e)
+    }
+}
+
+/// Why a workload generator could not produce a [`Built`].
+///
+/// The stock generators are infallible; replaying a recorded trace is
+/// not (the file may be missing, corrupt, or recorded for a different
+/// core count).
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The `.imptrace` artifact could not be loaded.
+    Artifact(ArtifactError),
+    /// The trace was recorded for a different core count than requested.
+    CoreCountMismatch {
+        /// Cores the trace was recorded with.
+        trace: usize,
+        /// Cores the caller asked for.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Artifact(e) => write!(f, "{e}"),
+            WorkloadError::CoreCountMismatch { trace, requested } => write!(
+                f,
+                "trace was recorded for {trace} cores but {requested} were requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Artifact(e) => Some(e),
+            WorkloadError::CoreCountMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for WorkloadError {
+    fn from(e: ArtifactError) -> Self {
+        WorkloadError::Artifact(e)
+    }
+}
+
+/// The `trace:<path>` pseudo-workload: replays a recorded `.imptrace`
+/// artifact instead of running a generator.
+///
+/// Scale, seed and software-prefetch parameters are properties of the
+/// recording and are ignored at replay; the requested core count must
+/// match the recording.
+#[derive(Clone, Debug)]
+pub struct TraceWorkload {
+    path: PathBuf,
+}
+
+impl TraceWorkload {
+    /// A replayer for the artifact at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        TraceWorkload { path: path.into() }
+    }
+
+    /// The file this workload replays.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the artifact cannot be loaded or does not match the
+    /// requested core count; use [`Workload::try_build`] for the
+    /// fallible form.
+    fn build(&self, params: &WorkloadParams) -> Built {
+        self.try_build(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_build(&self, params: &WorkloadParams) -> Result<Built, WorkloadError> {
+        let artifact = BuiltArtifact::load(&self.path)?;
+        if artifact.program().cores() != params.cores {
+            return Err(WorkloadError::CoreCountMismatch {
+                trace: artifact.program().cores(),
+                requested: params.cores,
+            });
+        }
+        Ok(artifact.to_built())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{by_name, Scale};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "imp-artifact-{tag}-{}.imptrace",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn artifact_roundtrips_program_memory_and_result() {
+        let params = WorkloadParams::new(4, Scale::Tiny);
+        let built = by_name("spmv").unwrap().build(&params);
+        let reference = by_name("spmv").unwrap().build(&params);
+        let artifact = BuiltArtifact::from(built);
+
+        let path = temp_path("roundtrip");
+        artifact.save(&path).unwrap();
+        let loaded = BuiltArtifact::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.result(), reference.result);
+        assert_eq!(loaded.program().cores(), 4);
+        assert_eq!(loaded.mem().mapped_pages(), reference.mem.mapped_pages());
+        for c in 0..4 {
+            assert_eq!(
+                loaded.program().ops(c),
+                reference.program.ops(c),
+                "core {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_workload_replays_through_the_registry() {
+        let params = WorkloadParams::new(4, Scale::Tiny);
+        let artifact = BuiltArtifact::from(by_name("sgd").unwrap().build(&params));
+        let path = temp_path("registry");
+        artifact.save(&path).unwrap();
+
+        let name = format!("trace:{}", path.display());
+        let replayed = by_name(&name).expect("trace: names resolve");
+        let built = replayed.try_build(&params).unwrap();
+        assert_eq!(built.result, artifact.result());
+        assert_eq!(
+            built.program.total_instructions(),
+            artifact.program().total_instructions()
+        );
+
+        // Wrong core count is a typed error, not a deadlocked sim.
+        let wrong = WorkloadParams::new(16, Scale::Tiny);
+        assert!(matches!(
+            replayed.try_build(&wrong),
+            Err(WorkloadError::CoreCountMismatch {
+                trace: 4,
+                requested: 16
+            })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn program_only_traces_replay_with_empty_memory() {
+        // External recorders (and `Program::save`) write the container
+        // with no payload; that must still replay.
+        let params = WorkloadParams::new(2, Scale::Tiny);
+        let built = by_name("spmv").unwrap().build(&params);
+        let path = temp_path("program-only");
+        built.program.save(&path).unwrap();
+
+        let loaded = BuiltArtifact::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.result().is_nan(), "no result was recorded");
+        assert_eq!(loaded.mem().mapped_pages(), 0, "no memory was recorded");
+        assert_eq!(loaded.program().ops(0), built.program.ops(0));
+
+        // And through the registry name, with matching cores.
+        let path2 = temp_path("program-only-2");
+        built.program.save(&path2).unwrap();
+        let replayed = by_name(&format!("trace:{}", path2.display())).unwrap();
+        let again = replayed.try_build(&params).unwrap();
+        std::fs::remove_file(&path2).ok();
+        assert_eq!(
+            again.program.total_instructions(),
+            built.program.total_instructions()
+        );
+    }
+
+    #[test]
+    fn missing_trace_file_is_a_typed_error() {
+        let replayed = by_name("trace:/no/such/file.imptrace").unwrap();
+        let params = WorkloadParams::new(4, Scale::Tiny);
+        assert!(matches!(
+            replayed.try_build(&params),
+            Err(WorkloadError::Artifact(ArtifactError::Trace(
+                TraceError::Io(_)
+            )))
+        ));
+    }
+}

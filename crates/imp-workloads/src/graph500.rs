@@ -247,7 +247,7 @@ mod tests {
     #[test]
     fn one_barrier_per_bfs_level() {
         let built = Graph500.build(&WorkloadParams::new(4, Scale::Tiny));
-        let levels = built.program.validate_barriers();
+        let levels = built.program.validate_barriers().unwrap();
         assert!(
             levels >= 2,
             "expected a multi-level BFS, got {levels} levels"

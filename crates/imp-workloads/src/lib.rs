@@ -29,6 +29,7 @@
 //! assert!(built.program.total_memory_ops() > 0);
 //! ```
 
+mod artifact;
 mod dense;
 mod gen;
 mod graph500;
@@ -39,6 +40,7 @@ mod spmv;
 mod symgs;
 mod tricount;
 
+pub use artifact::{ArtifactError, BuiltArtifact, TraceWorkload, WorkloadError};
 pub use dense::Dense;
 pub use gen::{CsrGraph, CsrMatrix};
 pub use graph500::Graph500;
@@ -105,7 +107,11 @@ impl WorkloadParams {
 
 /// A generated workload: the multicore program, the functional memory
 /// holding its arrays, and the algorithm's result for verification.
-#[derive(Debug)]
+///
+/// Cloning is cheap once the program is frozen (the streams and memory
+/// pages are `Arc`-backed); [`BuiltArtifact`] is the explicitly shared
+/// form most callers want.
+#[derive(Clone, Debug)]
 pub struct Built {
     /// Per-core op streams.
     pub program: Program,
@@ -124,6 +130,17 @@ pub trait Workload {
 
     /// Builds the program for the given parameters.
     fn build(&self, params: &WorkloadParams) -> Built;
+
+    /// Fallible form of [`Workload::build`]. The stock generators never
+    /// fail; the `trace:<path>` replayer overrides this to surface
+    /// missing or mismatched recordings as a [`WorkloadError`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkloadError`].
+    fn try_build(&self, params: &WorkloadParams) -> Result<Built, WorkloadError> {
+        Ok(self.build(params))
+    }
 }
 
 /// All seven paper workloads, in the paper's figure order.
@@ -140,17 +157,86 @@ pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
 }
 
 /// Looks a workload up by name (including the `dense` control).
+///
+/// Two name forms resolve:
+///
+/// * the stock generators — `pagerank`, `tri_count`, `graph500`, `sgd`,
+///   `lsh`, `spmv`, `symgs`, `dense`;
+/// * `trace:<path>` — replays a recorded `.imptrace` artifact (see
+///   [`BuiltArtifact`]); the path is validated when the workload builds,
+///   not here.
+///
+/// Workloads resolved through this registry count their builds (see
+/// [`build_count`]), which is how tests assert that artifact-sharing
+/// paths really run a generator only once.
 pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    if let Some(path) = name.strip_prefix("trace:") {
+        return Some(Box::new(Counted(TraceWorkload::new(path))));
+    }
     match name {
-        "pagerank" => Some(Box::new(Pagerank)),
-        "tri_count" => Some(Box::new(TriCount)),
-        "graph500" => Some(Box::new(Graph500)),
-        "sgd" => Some(Box::new(Sgd)),
-        "lsh" => Some(Box::new(Lsh)),
-        "spmv" => Some(Box::new(Spmv)),
-        "symgs" => Some(Box::new(Symgs)),
-        "dense" => Some(Box::new(Dense)),
+        "pagerank" => Some(Box::new(Counted(Pagerank))),
+        "tri_count" => Some(Box::new(Counted(TriCount))),
+        "graph500" => Some(Box::new(Counted(Graph500))),
+        "sgd" => Some(Box::new(Counted(Sgd))),
+        "lsh" => Some(Box::new(Counted(Lsh))),
+        "spmv" => Some(Box::new(Counted(Spmv))),
+        "symgs" => Some(Box::new(Counted(Symgs))),
+        "dense" => Some(Box::new(Counted(Dense))),
         _ => None,
+    }
+}
+
+/// How many times a registry-resolved workload named `name` has run its
+/// generator in this process. Replays of `trace:` workloads count under
+/// `"trace"`. Diagnostics: tests use the delta across an experiment to
+/// assert build-once artifact sharing.
+pub fn build_count(name: &str) -> u64 {
+    build_counts()
+        .lock()
+        .expect("build counter")
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+fn build_counts() -> &'static std::sync::Mutex<std::collections::HashMap<String, u64>> {
+    static COUNTS: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<String, u64>>> =
+        std::sync::OnceLock::new();
+    COUNTS.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()))
+}
+
+/// Registry wrapper that bumps the per-name build counter around the
+/// wrapped generator.
+struct Counted<W>(W);
+
+impl<W: Workload> Counted<W> {
+    fn record(&self) {
+        *build_counts()
+            .lock()
+            .expect("build counter")
+            .entry(self.0.name().to_string())
+            .or_insert(0) += 1;
+    }
+}
+
+impl<W: Workload> Workload for Counted<W> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    // Record only after a successful build: a failed trace replay is
+    // not a generator run, and delta-based build-once assertions must
+    // not see it.
+    fn build(&self, params: &WorkloadParams) -> Built {
+        let built = self.0.build(params);
+        self.record();
+        built
+    }
+
+    fn try_build(&self, params: &WorkloadParams) -> Result<Built, WorkloadError> {
+        let built = self.0.try_build(params)?;
+        self.record();
+        Ok(built)
     }
 }
 
@@ -213,7 +299,7 @@ mod tests {
         for w in paper_workloads() {
             let b = w.build(&p);
             assert_eq!(b.program.cores(), 4, "{}", w.name());
-            b.program.validate_barriers();
+            b.program.validate_barriers().unwrap();
             assert!(b.program.total_memory_ops() > 0, "{}", w.name());
             assert!(b.result.is_finite(), "{}", w.name());
         }

@@ -94,6 +94,8 @@ pub mod strategy {
     tuple_strategy!(A.0, B.1);
     tuple_strategy!(A.0, B.1, C.2);
     tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
 }
 
 pub mod arbitrary {
@@ -127,7 +129,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: ::core::ops::Range<usize>,

@@ -1,0 +1,68 @@
+//! Record a workload to an `.imptrace` file, replay it, and share one
+//! artifact across a prefetcher comparison.
+//!
+//! ```sh
+//! cargo run --release --example trace_record
+//! ```
+
+use imp::prelude::*;
+use imp::workloads::BuiltArtifact;
+
+fn main() {
+    let sim = Sim::workload("pagerank").scale(Scale::Tiny).cores(16);
+
+    // Build the workload once: real PageRank over a synthetic graph,
+    // emitting op streams and the index arrays IMP will read.
+    let artifact = sim.build_artifact().expect("stock workloads build");
+    println!(
+        "built pagerank: {} cores, {} instructions, {} mapped pages, result {:.4}",
+        artifact.program().cores(),
+        artifact.program().total_instructions(),
+        artifact.mem().mapped_pages(),
+        artifact.result(),
+    );
+
+    // Record it. The file carries the op streams, the functional-memory
+    // image, and the algorithm result — everything a replay needs.
+    let path = std::env::temp_dir().join("pagerank-demo.imptrace");
+    artifact.save(&path).expect("writable temp dir");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("recorded {} ({bytes} bytes)", path.display());
+
+    // Replay through the registry: `trace:<path>` is a workload name.
+    let replayed = Sim::workload(format!("trace:{}", path.display()))
+        .cores(16)
+        .prefetcher("imp")
+        .run()
+        .expect("replay runs");
+    let live = sim.clone().prefetcher("imp").run().expect("live run");
+    println!(
+        "replayed runtime {} vs live runtime {} — identical: {}",
+        replayed.runtime,
+        live.runtime,
+        replayed == live,
+    );
+
+    // Share one artifact across a comparison grid: no rebuilds, same
+    // input for every prefetcher (the comparison the paper's figures
+    // make).
+    println!("\nprefetcher comparison over the shared artifact:");
+    for spec in ["none", "stream", "imp"] {
+        let stats = sim
+            .clone()
+            .prefetcher(spec)
+            .run_on(&artifact)
+            .expect("shared-artifact run");
+        println!(
+            "  {spec:>6}: runtime {:>8} cycles, throughput {:.3} IPC",
+            stats.runtime,
+            stats.throughput(),
+        );
+    }
+
+    // Loading gets the same artifact back, bit for bit.
+    let loaded = BuiltArtifact::load(&path).expect("file round-trips");
+    assert_eq!(loaded.result(), artifact.result());
+    std::fs::remove_file(&path).ok();
+    println!("\nround-trip verified; removed {}", path.display());
+}

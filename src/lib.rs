@@ -40,6 +40,33 @@
 //! [`prefetch::registry`] and pass that name to `Sim::prefetcher` — no
 //! simulator changes needed. Sweep whole config grids in parallel with
 //! [`Sweep`]; see the [`sim`] module docs.
+//!
+//! ## Record & replay
+//!
+//! Workloads build into shareable artifacts that serialize to the
+//! binary `.imptrace` format — record once, replay anywhere (including
+//! externally recorded op streams) via the `trace:<path>` workload name:
+//!
+//! ```
+//! use imp::prelude::*;
+//!
+//! let sim = Sim::workload("spmv").scale(Scale::Tiny).cores(16);
+//! let artifact = sim.build_artifact().unwrap();
+//!
+//! // Fan configurations over the shared artifact without rebuilding.
+//! let imp = sim.clone().prefetcher("imp").run_on(&artifact).unwrap();
+//!
+//! // Persist it and replay by name, bit-identically.
+//! let path = std::env::temp_dir().join(format!("quickstart-{}.imptrace", std::process::id()));
+//! artifact.save(&path).unwrap();
+//! let replayed = Sim::workload(format!("trace:{}", path.display()))
+//!     .cores(16)
+//!     .prefetcher("imp")
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(imp, replayed);
+//! # std::fs::remove_file(&path).ok();
+//! ```
 
 pub use imp_cache as cache;
 pub use imp_coherence as coherence;
@@ -68,6 +95,8 @@ pub mod prelude {
     pub use imp_mem::{AddressSpace, FunctionalMemory};
     pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
     pub use imp_sim::System;
-    pub use imp_trace::{Op, Program};
-    pub use imp_workloads::{by_name, paper_workloads, Scale, Workload, WorkloadParams};
+    pub use imp_trace::{Op, Program, TraceFile};
+    pub use imp_workloads::{
+        by_name, paper_workloads, BuiltArtifact, Scale, Workload, WorkloadParams,
+    };
 }

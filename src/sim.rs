@@ -40,11 +40,19 @@
 //! }
 //! ```
 //!
+//! `Sweep::run` builds each distinct (workload, cores, seed) input
+//! exactly once and fans its prefetcher × partial cells out over the
+//! shared, immutable artifact — bit-identical to rebuilding per cell,
+//! just faster. `Sweep::run_partial` returns per-cell `Result`s so one
+//! bad cell doesn't discard a finished grid. For explicit sharing and
+//! `.imptrace` record/replay, see [`Sim::build_artifact`],
+//! [`Sim::run_on`] and the `trace_record` example.
+//!
 //! Custom prefetchers registered from *outside* the simulator crates run
 //! through the same front door — see `imp_prefetch::registry` and the
 //! `custom_prefetcher` example.
 
 pub use imp_experiments::sim::{Sim, SimError};
-pub use imp_experiments::sweep::{Sweep, SweepCell, SweepResult};
+pub use imp_experiments::sweep::{Sweep, SweepCell, SweepCellError, SweepResult};
 // The underlying simulator, for code that assembles `System`s by hand.
-pub use imp_sim::{RegistryError, System};
+pub use imp_sim::{BuildError, RegistryError, System};

@@ -102,7 +102,7 @@ fn unknown_prefetcher_fails_cleanly_not_by_panic() {
     let built = by_name("spmv").unwrap().build(&params);
     let cfg = SystemConfig::paper_default(16).with_prefetcher("nobody-registered-this");
     match System::try_new(cfg, built.program, built.mem) {
-        Err(RegistryError::UnknownPrefetcher { name, .. }) => {
+        Err(imp::sim::BuildError::Registry(RegistryError::UnknownPrefetcher { name, .. })) => {
             assert_eq!(name, "nobody-registered-this");
         }
         Ok(_) => panic!("unknown prefetcher must not build"),

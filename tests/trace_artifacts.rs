@@ -1,0 +1,133 @@
+//! The shared-trace-artifact acceptance criteria, end to end:
+//!
+//! * a `Sweep` over several prefetchers builds its workload exactly once
+//!   (asserted by the registry build counter) and the shared-artifact
+//!   results are bit-identical to rebuilding per cell;
+//! * an `.imptrace` saved from a stock workload replays — through the
+//!   `trace:<path>` pseudo-workload and through `Sim::run_on` — to the
+//!   same `SystemStats` as the live build.
+//!
+//! Each test uses a different workload name so the per-name build
+//! counters don't interfere across this binary's parallel test threads.
+
+use imp::prelude::*;
+use imp::workloads::{build_count, BuiltArtifact};
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("imp-it-{tag}-{}.imptrace", std::process::id()))
+}
+
+/// The headline acceptance test: ≥3 prefetchers on one workload, one
+/// generator run, results identical to the rebuild-per-cell path.
+#[test]
+fn sweep_builds_each_input_once_with_bit_identical_stats() {
+    let base = Sim::workload("tri_count").scale(Scale::Tiny).cores(16);
+    let sweep = Sweep::from(base.clone()).prefetchers(["none", "stream", "imp"]);
+
+    let before = build_count("tri_count");
+    let shared = sweep.run().unwrap();
+    let after = build_count("tri_count");
+    assert_eq!(
+        after - before,
+        1,
+        "3 prefetcher cells must share one generator run"
+    );
+    assert_eq!(shared.len(), 3);
+
+    // Rebuild-per-cell reference: one standalone Sim per cell, each
+    // paying its own workload build.
+    for r in &shared {
+        let rebuilt = base
+            .clone()
+            .prefetcher(r.cell.prefetcher.clone())
+            .partial(r.cell.partial)
+            .seed(r.cell.seed)
+            .run()
+            .unwrap();
+        assert_eq!(
+            r.stats, rebuilt,
+            "shared-artifact stats must be bit-identical for {}",
+            r.cell.prefetcher
+        );
+    }
+    assert_eq!(
+        build_count("tri_count") - after,
+        3,
+        "the reference path really did rebuild per cell"
+    );
+}
+
+/// Saved artifacts replay to the same statistics as the live build,
+/// via both `Sim::run_on` and the `trace:<path>` registry name.
+#[test]
+fn saved_trace_replays_to_identical_stats() {
+    let sim = Sim::workload("sgd")
+        .scale(Scale::Tiny)
+        .cores(16)
+        .prefetcher("imp");
+    let artifact = sim.build_artifact().unwrap();
+    let live = sim.run_on(&artifact).unwrap();
+
+    let path = temp_path("replay");
+    artifact.save(&path).unwrap();
+    let loaded = BuiltArtifact::load(&path).unwrap();
+    assert_eq!(loaded.result(), artifact.result());
+
+    let from_file = sim.run_on(&loaded).unwrap();
+    assert_eq!(live, from_file, "run_on(loaded artifact)");
+
+    let via_registry = Sim::workload(format!("trace:{}", path.display()))
+        .cores(16)
+        .prefetcher("imp")
+        .run()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(live, via_registry, "trace:<path> pseudo-workload");
+}
+
+/// Replay failures surface as typed `SimError`s, not panics, and a
+/// `run_partial` grid keeps its healthy cells alongside them.
+#[test]
+fn replay_failures_are_per_cell_errors() {
+    let missing = format!("trace:{}", temp_path("never-written").display());
+    match Sim::workload(&missing).cores(16).run() {
+        Err(SimError::Build(msg)) => assert!(msg.contains("i/o error"), "{msg}"),
+        other => panic!("expected Build error, got {other:?}"),
+    }
+
+    // A core-count mismatch keeps its typed form through the Sim layer.
+    let artifact = Sim::workload("dense")
+        .scale(Scale::Tiny)
+        .cores(16)
+        .build_artifact()
+        .unwrap();
+    let path = temp_path("wrong-cores");
+    artifact.save(&path).unwrap();
+    let mismatched = Sim::workload(format!("trace:{}", path.display()))
+        .cores(64)
+        .run();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        mismatched.unwrap_err(),
+        SimError::CoreMismatch {
+            program: 16,
+            config: 64
+        }
+    );
+
+    let outcomes = Sweep::from(Sim::workload("lsh").scale(Scale::Tiny).cores(16))
+        .workloads(["lsh", missing.as_str()])
+        .prefetchers(["stream", "imp"])
+        .run_partial()
+        .unwrap();
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes[0].is_ok() && outcomes[1].is_ok(), "lsh cells run");
+    for bad in &outcomes[2..] {
+        let err = bad.as_ref().unwrap_err();
+        assert!(
+            matches!(err.error, SimError::Build(_)),
+            "missing trace fails its own cells only: {err}"
+        );
+    }
+}
