@@ -1,0 +1,44 @@
+//! Translation-path throughput: dTLB hit path vs page-walk path.
+//!
+//! The hit path sits on every demand access of every core when a finite
+//! TLB is configured, so its cost must stay negligible next to the
+//! cache model; the walk path bounds how expensive a TLB-thrashing
+//! workload can get.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imp_common::{Addr, TlbConfig};
+use imp_vm::Vm;
+
+fn bench(c: &mut Criterion) {
+    let cfg = TlbConfig::finite();
+    let mut g = c.benchmark_group("tlb_translate");
+
+    // Hit path: one hot page, translated over and over.
+    g.bench_function("hit_path", |b| {
+        let mut vm = Vm::new(&cfg, 1).expect("finite defaults are valid");
+        vm.demand_translate(0, Addr::new(0x1000)); // prime
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset = (offset + 8) & 0xFFF;
+            vm.demand_translate(0, Addr::new(0x1000 + offset))
+        });
+    });
+
+    // Walk path: cycle a page pool far larger than the 64-entry TLB so
+    // every translation misses, walks the radix table, and evicts. The
+    // pool is bounded so the page table reaches a steady state instead
+    // of growing with the iteration count.
+    g.bench_function("walk_path", |b| {
+        let mut vm = Vm::new(&cfg, 1).expect("finite defaults are valid");
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 1) % 4096;
+            vm.demand_translate(0, Addr::new(page * 4096))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

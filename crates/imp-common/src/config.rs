@@ -338,6 +338,156 @@ pub enum DramModelKind {
     Ddr3,
 }
 
+/// How prefetch addresses are translated when the dTLB misses.
+///
+/// IMP's indirect prefetches are computed from *data values*, so they
+/// land on arbitrary virtual pages; unlike demand accesses (which always
+/// stall for a page-table walk), hardware has a choice for prefetches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TranslationPolicy {
+    /// Drop any prefetch whose page is not TLB-resident (the
+    /// conservative hardware default: prefetchers never trigger walks).
+    #[default]
+    DropOnMiss,
+    /// Trigger a non-blocking page-table walk for the prefetch's page
+    /// and issue the prefetch once the walk completes. The core never
+    /// stalls, but walk cycles are charged and the TLB is filled
+    /// (possibly evicting entries demand accesses wanted).
+    NonBlockingWalk,
+    /// Prefetches translate for free and never touch the TLB; demand
+    /// accesses still pay full translation costs.
+    Ideal,
+}
+
+impl TranslationPolicy {
+    /// Short stable name (sweep axes, table headers).
+    pub const fn name(self) -> &'static str {
+        match self {
+            TranslationPolicy::DropOnMiss => "drop",
+            TranslationPolicy::NonBlockingWalk => "walk",
+            TranslationPolicy::Ideal => "ideal",
+        }
+    }
+}
+
+/// Per-core dTLB and page-walk configuration.
+///
+/// The default, [`TlbConfig::ideal`], models the seed simulator exactly:
+/// every address translates instantly and no translation state exists,
+/// so results are bit-identical to a build without the virtual-memory
+/// subsystem. [`TlbConfig::finite`] enables a set-associative LRU dTLB
+/// per core, backed by a shared radix page table whose walker charges
+/// `walk_latency` cycles per radix level.
+///
+/// The page size here is the *translation* granule and is decoupled from
+/// `imp-mem`'s fixed 4 KB functional-memory backing pages — sweeping
+/// `page_bytes` changes TLB reach and walk depth, never data contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Ideal translation: infinite, zero-cost (the seed behavior).
+    /// When set, every other field is ignored.
+    pub ideal: bool,
+    /// TLB sets.
+    pub sets: u32,
+    /// TLB ways per set.
+    pub ways: u32,
+    /// Translation page size in bytes (a power of two, at least one
+    /// cache line).
+    pub page_bytes: u64,
+    /// Page-walk latency in cycles *per radix level* (a 4 KB page in a
+    /// 48-bit space walks 4 levels).
+    pub walk_latency: Cycle,
+    /// How prefetch addresses are translated.
+    pub policy: TranslationPolicy,
+    /// Account each walk level as an 8-byte DRAM read in the traffic
+    /// statistics (first-order walk traffic; walks still do not occupy
+    /// the NoC or shared cache).
+    pub walk_dram_traffic: bool,
+}
+
+impl TlbConfig {
+    /// Ideal (infinite, zero-cost) translation — the default, and
+    /// bit-identical to the simulator before the `imp-vm` subsystem
+    /// existed.
+    pub const fn ideal() -> Self {
+        TlbConfig {
+            ideal: true,
+            ..Self::finite()
+        }
+    }
+
+    /// A finite dTLB at typical first-level sizing: 64 entries (16 sets
+    /// x 4 ways), 4 KB pages, 25 cycles per walk level, prefetches
+    /// dropped on TLB miss.
+    pub const fn finite() -> Self {
+        TlbConfig {
+            ideal: false,
+            sets: 16,
+            ways: 4,
+            page_bytes: 4096,
+            walk_latency: 25,
+            policy: TranslationPolicy::DropOnMiss,
+            walk_dram_traffic: false,
+        }
+    }
+
+    /// Total TLB entries.
+    pub const fn entries(&self) -> u32 {
+        self.sets * self.ways
+    }
+
+    /// Address bytes covered by a full TLB (its *reach*).
+    pub const fn reach_bytes(&self) -> u64 {
+        self.entries() as u64 * self.page_bytes
+    }
+
+    /// Returns a copy with the way count replaced.
+    #[must_use]
+    pub const fn with_ways(mut self, ways: u32) -> Self {
+        self.ways = ways;
+        self
+    }
+
+    /// Returns a copy with the page size replaced.
+    #[must_use]
+    pub const fn with_page_bytes(mut self, bytes: u64) -> Self {
+        self.page_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with the prefetch-translation policy replaced.
+    #[must_use]
+    pub const fn with_policy(mut self, policy: TranslationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with the per-level walk latency replaced.
+    #[must_use]
+    pub const fn with_walk_latency(mut self, cycles: Cycle) -> Self {
+        self.walk_latency = cycles;
+        self
+    }
+
+    /// This config if it is already finite, otherwise [`TlbConfig::finite`]
+    /// defaults — how sweep axes upgrade an ideal base when a TLB knob
+    /// is varied.
+    #[must_use]
+    pub const fn finite_or_self(self) -> Self {
+        if self.ideal {
+            Self::finite()
+        } else {
+            self
+        }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
 /// Cache geometry for one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -460,6 +610,9 @@ pub struct SystemConfig {
     pub prefetcher: PrefetcherSpec,
     /// Partial cacheline accessing mode.
     pub partial: PartialMode,
+    /// Per-core dTLB and page-walk model (ideal — zero-cost — by
+    /// default, which reproduces the pre-`imp-vm` simulator exactly).
+    pub tlb: TlbConfig,
     /// Memory hierarchy parameters.
     pub mem: MemConfig,
     /// IMP parameters.
@@ -492,6 +645,7 @@ impl SystemConfig {
             mem_mode: MemMode::Realistic,
             prefetcher: PrefetcherSpec::default(),
             partial: PartialMode::Off,
+            tlb: TlbConfig::ideal(),
             mem: MemConfig {
                 line_bytes: crate::LINE_BYTES,
                 l1d: CacheConfig {
@@ -564,6 +718,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_core_model(mut self, m: CoreModel) -> Self {
         self.core_model = m;
+        self
+    }
+
+    /// Convenience: returns a copy with the TLB configuration replaced.
+    #[must_use]
+    pub fn with_tlb(mut self, t: TlbConfig) -> Self {
+        self.tlb = t;
         self
     }
 }
@@ -645,6 +806,30 @@ mod tests {
         assert!("".parse::<PrefetcherSpec>().is_err());
         assert!(":a=1".parse::<PrefetcherSpec>().is_err());
         assert!("imp:distance".parse::<PrefetcherSpec>().is_err());
+    }
+
+    #[test]
+    fn tlb_defaults_are_ideal_and_finite_builders_compose() {
+        let cfg = SystemConfig::paper_default(64);
+        assert!(cfg.tlb.ideal, "default must reproduce the seed simulator");
+        assert_eq!(cfg.tlb, TlbConfig::ideal());
+
+        let t = TlbConfig::finite()
+            .with_ways(8)
+            .with_page_bytes(64 * 1024)
+            .with_policy(TranslationPolicy::NonBlockingWalk)
+            .with_walk_latency(10);
+        assert!(!t.ideal);
+        assert_eq!(t.entries(), 16 * 8);
+        assert_eq!(t.reach_bytes(), 128 * 64 * 1024);
+        assert_eq!(t.policy, TranslationPolicy::NonBlockingWalk);
+
+        assert_eq!(TlbConfig::ideal().finite_or_self(), TlbConfig::finite());
+        assert_eq!(t.finite_or_self(), t);
+        assert_eq!(
+            SystemConfig::paper_default(16).with_tlb(t).tlb.page_bytes,
+            64 * 1024
+        );
     }
 
     #[test]

@@ -26,10 +26,11 @@ pub mod stats;
 pub use addr::{Addr, LineAddr, Pc, SectorMask};
 pub use config::{
     CoreModel, ImpConfig, MemConfig, ParamValue, PrefetcherKind, PrefetcherSpec, SystemConfig,
+    TlbConfig, TranslationPolicy,
 };
 pub use event::EventQueue;
 pub use rng::{fnv1a, SplitMix64};
-pub use stats::{CoreStats, PrefetchStats, SystemStats, TrafficStats};
+pub use stats::{CoreStats, PrefetchStats, SystemStats, TlbStats, TrafficStats};
 
 /// Simulated time, in core clock cycles (1 GHz in the paper's Table 1).
 pub type Cycle = u64;

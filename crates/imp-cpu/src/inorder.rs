@@ -80,7 +80,10 @@ impl CoreEngine for InOrderCore {
                 OpKind::Load | OpKind::Store => {
                     self.stats.instructions += 1;
                     self.stats.l1_accesses += 1;
-                    match port.access(self.id, &op, t) {
+                    let (result, walk) = port.access(self.id, &op, t).split_walk();
+                    self.stats.walk_stall_cycles += walk;
+                    match result {
+                        MemResult::TlbWalk { .. } => unreachable!("split_walk flattened this"),
                         MemResult::Hit(done) => {
                             self.stats.l1_hits += 1;
                             self.idx += 1;
@@ -241,6 +244,34 @@ mod tests {
         assert_eq!(core.run(0, &mut port), CoreBlock::Done);
         assert_eq!(port.prefetches, vec![Addr::new(0x5000)]);
         assert_eq!(core.stats().instructions, 2);
+    }
+
+    #[test]
+    fn tlb_walk_blocks_and_is_accounted() {
+        /// Every access pays a 100-cycle walk; loads then hit, stores
+        /// miss into the store buffer.
+        struct WalkPort;
+        impl MemPort for WalkPort {
+            fn access(&mut self, _core: u32, op: &Op, now: Cycle) -> MemResult {
+                let then = if op.kind == OpKind::Store {
+                    crate::WalkOutcome::StoreBuffered(now + 101)
+                } else {
+                    crate::WalkOutcome::Hit(now + 101)
+                };
+                MemResult::TlbWalk { walk: 100, then }
+            }
+            fn sw_prefetch(&mut self, _core: u32, _addr: Addr, _now: Cycle) {}
+        }
+        let ops = vec![
+            load(0x1000, AccessClass::Indirect),
+            Op::store(Addr::new(0x2000), 8, Pc::new(2), AccessClass::Other),
+        ];
+        let mut core = InOrderCore::new(0, ops);
+        assert_eq!(core.run(0, &mut WalkPort), CoreBlock::Done);
+        assert_eq!(core.stats().walk_stall_cycles, 200);
+        assert_eq!(core.stats().l1_hits, 1);
+        assert_eq!(core.stats().l1_misses[AccessClass::Other.index()], 1);
+        assert!(core.stats().done_cycle >= 202, "walks serialize the core");
     }
 
     #[test]

@@ -31,6 +31,73 @@ pub enum MemResult {
     /// core proceeds at the returned cycle while the line is fetched in
     /// the background (counts as a miss for statistics).
     StoreBuffered(Cycle),
+    /// The dTLB missed: the access first stalls `walk` cycles for a
+    /// page-table walk, then behaves like `then` (whose embedded cycle
+    /// values already include the walk delay). Cores account the walk
+    /// share in `CoreStats::walk_stall_cycles`.
+    TlbWalk {
+        /// Cycles of the blocking page-table walk.
+        walk: Cycle,
+        /// What the access resolved to once translated.
+        then: WalkOutcome,
+    },
+}
+
+/// How a dTLB-missing access completes after its page-table walk; each
+/// variant mirrors the corresponding [`MemResult`] variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkOutcome {
+    /// An L1 hit once translated; completes at the cycle (walk
+    /// included).
+    Hit(Cycle),
+    /// An L1 miss once translated; completion arrives via
+    /// [`CoreEngine::mem_complete`] with this token.
+    Miss(u64),
+    /// A store retiring through the store buffer once translated.
+    StoreBuffered(Cycle),
+}
+
+impl MemResult {
+    /// Splits a [`MemResult::TlbWalk`] into its walk-free equivalent
+    /// plus the walk cycles (zero for the other variants). Core models
+    /// use this to account the walk once and then handle the underlying
+    /// outcome with their ordinary hit/miss logic.
+    pub fn split_walk(self) -> (MemResult, Cycle) {
+        match self {
+            MemResult::TlbWalk { walk, then } => (
+                match then {
+                    WalkOutcome::Hit(d) => MemResult::Hit(d),
+                    WalkOutcome::Miss(t) => MemResult::Miss(t),
+                    WalkOutcome::StoreBuffered(d) => MemResult::StoreBuffered(d),
+                },
+                walk,
+            ),
+            other => (other, 0),
+        }
+    }
+
+    /// Wraps a result behind `walk` page-walk cycles — the inverse of
+    /// [`MemResult::split_walk`], kept next to it so the variant
+    /// pairing lives in one place. Returns `self` unchanged when `walk`
+    /// is zero; walks accumulate if `self` is already walk-wrapped.
+    #[must_use]
+    pub fn with_walk(self, walk: Cycle) -> MemResult {
+        if walk == 0 {
+            return self;
+        }
+        let then = match self {
+            MemResult::Hit(d) => WalkOutcome::Hit(d),
+            MemResult::Miss(t) => WalkOutcome::Miss(t),
+            MemResult::StoreBuffered(d) => WalkOutcome::StoreBuffered(d),
+            MemResult::TlbWalk { walk: inner, then } => {
+                return MemResult::TlbWalk {
+                    walk: inner + walk,
+                    then,
+                }
+            }
+        };
+        MemResult::TlbWalk { walk, then }
+    }
 }
 
 /// The memory side presented to a core by the simulator.

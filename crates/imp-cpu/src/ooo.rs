@@ -180,7 +180,10 @@ impl CoreEngine for OooCore {
                     self.stats.l1_accesses += 1;
                     let seq = self.next_load_seq;
                     self.next_load_seq += 1;
-                    match port.access(self.id, &op, dispatch) {
+                    let (result, walk) = port.access(self.id, &op, dispatch).split_walk();
+                    self.stats.walk_stall_cycles += walk;
+                    match result {
+                        MemResult::TlbWalk { .. } => unreachable!("split_walk flattened this"),
                         MemResult::StoreBuffered(done) => {
                             self.stats.l1_misses[op.class.index()] += 1;
                             self.rob.push_back(RobSlot {

@@ -26,7 +26,7 @@ mod table;
 pub use runner::{prewarm, run, run_one, scale_from_env, sim_for, system_config, Config};
 pub use sim::{Sim, SimError};
 pub use sweep::{Sweep, SweepCell, SweepCellError, SweepResult};
-pub use table::Table;
+pub use table::{RowWidthError, Table};
 
 use imp_common::stats::AccessClass;
 use imp_common::SystemConfig;

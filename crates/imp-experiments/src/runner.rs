@@ -10,7 +10,7 @@ use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
 use imp_common::{SystemConfig, SystemStats};
 use imp_workloads::Scale;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The paper's evaluated configurations (Section 5.4 plus Section 4/6.3
 /// variants).
@@ -110,13 +110,24 @@ pub fn sim_for(app: &str, cores: u32, config: Config) -> Sim {
 pub fn run(app: &str, cores: u32, config: Config) -> SystemStats {
     let scale = scale_from_env();
     let key = (app.to_string(), cores, config, scale_tag(scale));
-    if let Some(hit) = cache().lock().unwrap().get(&key) {
+    // A sweep thread that panicked mid-`run` (a bad workload, an
+    // assertion in a driver) poisons the cache mutex; the map itself is
+    // never left half-written (insert/get are the only operations), so
+    // recover the guard instead of wedging every later cached run.
+    if let Some(hit) = cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&key)
+    {
         return hit.clone();
     }
     let stats = sim_for(app, cores, config)
         .run()
         .unwrap_or_else(|e| panic!("{e}"));
-    cache().lock().unwrap().insert(key, stats.clone());
+    cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(key, stats.clone());
     stats
 }
 
@@ -163,6 +174,23 @@ mod tests {
             system_config(16, Config::ImpOoo).core_model,
             CoreModel::OutOfOrder
         );
+    }
+
+    #[test]
+    fn poisoned_cache_lock_recovers() {
+        std::env::set_var("IMP_SCALE", "tiny");
+        // Panic while holding the cache lock, as a crashed sweep thread
+        // would.
+        let _ = std::thread::spawn(|| {
+            let _guard = cache().lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("poisoning the result cache on purpose");
+        })
+        .join();
+        // Cached runs must still work afterwards.
+        let a = run("dense", 4, Config::Ideal);
+        let b = run("dense", 4, Config::Ideal);
+        assert_eq!(a.runtime, b.runtime);
+        assert!(a.runtime > 0);
     }
 
     #[test]

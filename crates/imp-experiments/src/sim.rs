@@ -23,9 +23,11 @@
 //! so a custom prefetcher registered from *outside* the simulator crates
 //! runs through `Sim` exactly like the stock ones.
 
-use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherSpec};
+use imp_common::config::{
+    CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy,
+};
 use imp_common::{ImpConfig, SystemConfig, SystemStats};
-use imp_sim::{BuildError, RegistryError, System};
+use imp_sim::{BuildError, RegistryError, System, VmConfigError};
 use imp_trace::BarrierMismatch;
 use imp_workloads::{by_name, BuiltArtifact, Scale, WorkloadError, WorkloadParams};
 use std::fmt;
@@ -46,6 +48,9 @@ pub enum SimError {
     Build(String),
     /// The program's cores disagree on barrier counts.
     Barrier(BarrierMismatch),
+    /// The TLB configuration is invalid (zero sets/ways, bad page
+    /// size).
+    Tlb(VmConfigError),
     /// The program (or artifact) was generated for a different core
     /// count than the configuration describes.
     CoreMismatch {
@@ -71,6 +76,7 @@ impl fmt::Display for SimError {
             SimError::Prefetcher(e) => write!(f, "{e}"),
             SimError::Build(e) => write!(f, "{e}"),
             SimError::Barrier(e) => write!(f, "{e}"),
+            SimError::Tlb(e) => write!(f, "{e}"),
             SimError::CoreMismatch { program, config } => write!(
                 f,
                 "program was generated for {program} cores but the configuration has {config}"
@@ -95,6 +101,7 @@ impl From<BuildError> for SimError {
             BuildError::CoreCountMismatch { program, config } => {
                 SimError::CoreMismatch { program, config }
             }
+            BuildError::Vm(e) => SimError::Tlb(e),
         }
     }
 }
@@ -117,6 +124,7 @@ pub struct Sim {
     core_model: CoreModel,
     dram: DramModelKind,
     imp: ImpConfig,
+    tlb: TlbConfig,
     base_config: Option<SystemConfig>,
     spec_error: Option<String>,
 }
@@ -137,6 +145,7 @@ impl Sim {
             core_model: CoreModel::InOrder,
             dram: DramModelKind::Simple,
             imp: ImpConfig::paper_default(),
+            tlb: TlbConfig::ideal(),
             base_config: None,
             spec_error: None,
         }
@@ -160,6 +169,7 @@ impl Sim {
         s.core_model = cfg.core_model;
         s.dram = cfg.mem.dram;
         s.imp = cfg.imp.clone();
+        s.tlb = cfg.tlb;
         s.base_config = Some(cfg);
         s
     }
@@ -232,6 +242,40 @@ impl Sim {
         self
     }
 
+    /// Replaces the whole dTLB / page-walk configuration (see
+    /// [`TlbConfig`]); the default is ideal, zero-cost translation.
+    #[must_use]
+    pub fn tlb(mut self, cfg: TlbConfig) -> Self {
+        self.tlb = cfg;
+        self
+    }
+
+    /// Translation page size in bytes. Upgrades an ideal TLB to the
+    /// finite [`TlbConfig::finite`] defaults first, so
+    /// `.page_size(65536)` alone enables a realistic dTLB at 64 KB
+    /// pages.
+    #[must_use]
+    pub fn page_size(mut self, bytes: u64) -> Self {
+        self.tlb = self.tlb.finite_or_self().with_page_bytes(bytes);
+        self
+    }
+
+    /// dTLB associativity (ways per set). Upgrades an ideal TLB to
+    /// finite defaults first.
+    #[must_use]
+    pub fn tlb_ways(mut self, ways: u32) -> Self {
+        self.tlb = self.tlb.finite_or_self().with_ways(ways);
+        self
+    }
+
+    /// How prefetch addresses are translated on a dTLB miss. Upgrades
+    /// an ideal TLB to finite defaults first.
+    #[must_use]
+    pub fn translation_policy(mut self, policy: TranslationPolicy) -> Self {
+        self.tlb = self.tlb.finite_or_self().with_policy(policy);
+        self
+    }
+
     /// Inserts Mowry-style software prefetches `distance` elements ahead
     /// (the paper's *Software Prefetching* configuration).
     #[must_use]
@@ -292,6 +336,7 @@ impl Sim {
         cfg.core_model = self.core_model;
         cfg.mem.dram = self.dram;
         cfg.imp = self.imp.clone();
+        cfg.tlb = self.tlb;
         Ok(cfg)
     }
 
@@ -395,6 +440,29 @@ mod tests {
             }
             other => panic!("expected unknown-prefetcher error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tlb_knobs_upgrade_an_ideal_base_and_apply() {
+        let cfg = Sim::workload("spmv")
+            .page_size(1 << 16)
+            .tlb_ways(8)
+            .translation_policy(TranslationPolicy::NonBlockingWalk)
+            .config()
+            .unwrap();
+        assert!(!cfg.tlb.ideal, "setting a TLB knob enables the dTLB");
+        assert_eq!(cfg.tlb.page_bytes, 1 << 16);
+        assert_eq!(cfg.tlb.ways, 8);
+        assert_eq!(cfg.tlb.policy, TranslationPolicy::NonBlockingWalk);
+        // Untouched builders stay ideal (bit-identical to the seed).
+        assert!(Sim::workload("spmv").config().unwrap().tlb.ideal);
+        // Invalid page sizes surface as a typed error, not a panic.
+        let err = Sim::workload("spmv")
+            .scale(Scale::Tiny)
+            .page_size(3000)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Tlb(_)), "{err:?}");
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! ```
 
 use crate::sim::{Sim, SimError};
-use imp_common::config::{PartialMode, PrefetcherSpec};
+use imp_common::config::{PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy};
 use imp_common::{fnv1a, SplitMix64, SystemStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -50,6 +50,9 @@ pub struct SweepCell {
     pub prefetcher: PrefetcherSpec,
     /// Partial cacheline accessing mode.
     pub partial: PartialMode,
+    /// dTLB / page-walk configuration (ideal unless a TLB axis is
+    /// swept or the template enables one).
+    pub tlb: TlbConfig,
     /// Workload-generation seed this cell ran with.
     pub seed: u64,
 }
@@ -96,6 +99,9 @@ pub struct Sweep {
     cores: Vec<u32>,
     prefetchers: Vec<PrefetcherSpec>,
     partials: Vec<PartialMode>,
+    page_sizes: Vec<u64>,
+    tlb_ways: Vec<u32>,
+    policies: Vec<TranslationPolicy>,
     threads: Option<usize>,
     spec_error: Option<String>,
 }
@@ -107,6 +113,9 @@ impl From<Sim> for Sweep {
             cores: Vec::new(),
             prefetchers: Vec::new(),
             partials: Vec::new(),
+            page_sizes: Vec::new(),
+            tlb_ways: Vec::new(),
+            policies: Vec::new(),
             threads: None,
             spec_error: None,
             base,
@@ -165,6 +174,34 @@ impl Sweep {
         self
     }
 
+    /// Varies the translation page size (bytes per page). Setting any
+    /// TLB axis upgrades an ideal template TLB to the
+    /// [`TlbConfig::finite`] defaults, then applies the swept knob.
+    #[must_use]
+    pub fn page_sizes<I: IntoIterator<Item = u64>>(mut self, sizes: I) -> Self {
+        self.page_sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Varies the dTLB associativity (ways per set); see
+    /// [`Sweep::page_sizes`] for how an ideal template upgrades.
+    #[must_use]
+    pub fn tlb_ways<I: IntoIterator<Item = u32>>(mut self, ways: I) -> Self {
+        self.tlb_ways = ways.into_iter().collect();
+        self
+    }
+
+    /// Varies the prefetch-translation policy; see
+    /// [`Sweep::page_sizes`] for how an ideal template upgrades.
+    #[must_use]
+    pub fn translation_policies<I: IntoIterator<Item = TranslationPolicy>>(
+        mut self,
+        policies: I,
+    ) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
     /// Caps the worker-thread count (default: available parallelism).
     /// `threads(1)` runs the grid inline on the calling thread.
     #[must_use]
@@ -201,18 +238,57 @@ impl Sweep {
                 },
             )
         };
+        // Any swept TLB knob upgrades an ideal template to the finite
+        // defaults; otherwise the template's TLB rides along unchanged.
+        let tlb_swept =
+            !(self.page_sizes.is_empty() && self.tlb_ways.is_empty() && self.policies.is_empty());
+        let tlb_base = if tlb_swept {
+            self.base_tlb().finite_or_self()
+        } else {
+            self.base_tlb()
+        };
+        let one_tlb = (
+            vec![tlb_base.page_bytes],
+            vec![tlb_base.ways],
+            vec![tlb_base.policy],
+        );
+        let page_sizes = if self.page_sizes.is_empty() {
+            &one_tlb.0
+        } else {
+            &self.page_sizes
+        };
+        let tlb_ways = if self.tlb_ways.is_empty() {
+            &one_tlb.1
+        } else {
+            &self.tlb_ways
+        };
+        let policies = if self.policies.is_empty() {
+            &one_tlb.2
+        } else {
+            &self.policies
+        };
         let mut cells = Vec::new();
         for w in &self.workloads {
             for &n in cores {
                 for p in prefetchers {
                     for &m in partials {
-                        cells.push(SweepCell {
-                            workload: w.clone(),
-                            cores: n,
-                            prefetcher: p.clone(),
-                            partial: m,
-                            seed: cell_seed(self.base_seed(), w, n),
-                        });
+                        for &ps in page_sizes {
+                            for &ways in tlb_ways {
+                                for &policy in policies {
+                                    cells.push(SweepCell {
+                                        workload: w.clone(),
+                                        cores: n,
+                                        prefetcher: p.clone(),
+                                        partial: m,
+                                        tlb: tlb_base
+                                            .with_page_bytes(ps)
+                                            .with_ways(ways)
+                                            .with_policy(policy),
+                                        seed: cell_seed(self.base_seed(), w, n),
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -299,6 +375,7 @@ impl Sweep {
                 .cores(cell.cores)
                 .prefetcher(cell.prefetcher.clone())
                 .partial(cell.partial)
+                .tlb(cell.tlb)
                 .seed(cell.seed)
                 .run_on(artifact)
         });
@@ -322,6 +399,10 @@ impl Sweep {
 
     fn base_partial(&self) -> PartialMode {
         self.base.config().map(|c| c.partial).unwrap_or_default()
+    }
+
+    fn base_tlb(&self) -> TlbConfig {
+        self.base.config().map(|c| c.tlb).unwrap_or_default()
     }
 
     fn base_seed(&self) -> u64 {
@@ -404,6 +485,36 @@ mod tests {
         assert_eq!(cells[0].seed, cells[1].seed, "stream vs imp: same input");
         assert_ne!(cells[0].seed, cells[2].seed, "16 vs 64 cores: new input");
         assert_ne!(cells[0].seed, cells[4].seed, "spmv vs pagerank: new input");
+    }
+
+    #[test]
+    fn tlb_axes_extend_the_grid_and_share_inputs() {
+        let sweep = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+            .prefetchers(["imp"])
+            .page_sizes([4096, 1 << 16])
+            .tlb_ways([2, 4])
+            .translation_policies([
+                TranslationPolicy::DropOnMiss,
+                TranslationPolicy::NonBlockingWalk,
+            ]);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 8);
+        assert!(
+            cells.iter().all(|c| !c.tlb.ideal),
+            "sweeping a TLB knob enables the dTLB"
+        );
+        assert_eq!(cells[0].tlb.page_bytes, 4096);
+        assert_eq!(cells[0].tlb.ways, 2);
+        assert_eq!(cells[0].tlb.policy, TranslationPolicy::DropOnMiss);
+        assert_eq!(cells[7].tlb.page_bytes, 1 << 16);
+        assert_eq!(cells[7].tlb.ways, 4);
+        assert_eq!(cells[7].tlb.policy, TranslationPolicy::NonBlockingWalk);
+        assert_eq!(
+            cells[0].seed, cells[7].seed,
+            "TLB axes never change the generated input"
+        );
+        // Without TLB axes, cells keep the template's (ideal) TLB.
+        assert!(Sweep::from(Sim::workload("spmv")).cells()[0].tlb.ideal);
     }
 
     #[test]

@@ -1,6 +1,30 @@
-//! Plain-text result tables mirroring the paper's figures.
+//! Plain-text result tables mirroring the paper's figures, with CSV and
+//! JSON export for downstream tooling.
 
 use std::fmt;
+
+/// A row whose value count does not match the table's headers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowWidthError {
+    /// Label of the offending row.
+    pub label: String,
+    /// Values the row carried.
+    pub got: usize,
+    /// Values the headers demand.
+    pub expected: usize,
+}
+
+impl fmt::Display for RowWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "row width mismatch: row {:?} has {} values but the table has {} headers",
+            self.label, self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for RowWidthError {}
 
 /// A labelled table of f64 values with a title and column headers.
 #[derive(Clone, Debug)]
@@ -20,14 +44,34 @@ impl Table {
         }
     }
 
-    /// Appends a row.
+    /// Appends a row, rejecting one whose width does not match the
+    /// headers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RowWidthError`] (and leaves the table unchanged) on a
+    /// width mismatch.
+    pub fn try_row(&mut self, label: &str, values: Vec<f64>) -> Result<(), RowWidthError> {
+        if values.len() != self.headers.len() {
+            return Err(RowWidthError {
+                label: label.to_string(),
+                got: values.len(),
+                expected: self.headers.len(),
+            });
+        }
+        self.rows.push((label.to_string(), values));
+        Ok(())
+    }
+
+    /// Appends a row (the infallible shim over [`Table::try_row`] the
+    /// figure drivers use — their widths are static).
     ///
     /// # Panics
     ///
     /// Panics if the value count does not match the headers.
     pub fn row(&mut self, label: &str, values: Vec<f64>) {
-        assert_eq!(values.len(), self.headers.len(), "row width mismatch");
-        self.rows.push((label.to_string(), values));
+        self.try_row(label, values)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Number of data rows.
@@ -50,6 +94,89 @@ impl Table {
         let col = self.headers.iter().position(|h| h == header)?;
         let (_, vals) = self.rows.iter().find(|(l, _)| l == label)?;
         vals.get(col).copied()
+    }
+
+    /// Renders the table as RFC-4180-style CSV: a `label,<headers...>`
+    /// header line, then one line per row. Fields containing commas,
+    /// quotes or newlines are quoted; values print with Rust's shortest
+    /// round-trip float formatting, and non-finite values (NaN, ±inf)
+    /// export as empty fields — CSV's conventional null, matching
+    /// [`Table::to_json`]'s `null`.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::from("label");
+        for h in &self.headers {
+            out.push(',');
+            out.push_str(&field(h));
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&field(label));
+            for v in vals {
+                out.push(',');
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a JSON object:
+    /// `{"title": ..., "headers": [...], "rows": [{"label": ...,
+    /// "values": [...]}]}`. Non-finite values (NaN, ±inf) become
+    /// `null`, matching JSON's number grammar.
+    pub fn to_json(&self) -> String {
+        fn string(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn number(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let headers: Vec<String> = self.headers.iter().map(|h| string(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(label, vals)| {
+                let values: Vec<String> = vals.iter().map(|&v| number(v)).collect();
+                format!(
+                    "{{\"label\":{},\"values\":[{}]}}",
+                    string(label),
+                    values.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"title\":{},\"headers\":[{}],\"rows\":[{}]}}",
+            string(&self.title),
+            headers.join(","),
+            rows.join(",")
+        )
     }
 }
 
@@ -98,5 +225,48 @@ mod tests {
     fn wrong_width_rejected() {
         let mut t = Table::new("bad".into(), vec!["a"]);
         t.row("x", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_row_reports_instead_of_panicking() {
+        let mut t = Table::new("bad".into(), vec!["a"]);
+        let err = t.try_row("x", vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            RowWidthError {
+                label: "x".to_string(),
+                got: 2,
+                expected: 1,
+            }
+        );
+        assert!(err.to_string().contains("2 values"), "{err}");
+        assert_eq!(t.rows(), 0, "failed rows are not half-appended");
+        t.try_row("y", vec![3.0]).unwrap();
+        assert_eq!(t.rows(), 1);
+    }
+
+    #[test]
+    fn csv_quotes_and_round_trips_values() {
+        let mut t = Table::new("demo".into(), vec!["plain", "needs,quote"]);
+        t.row("a \"b\"", vec![1.5, 40000.0]);
+        t.row("gaps", vec![f64::NAN, f64::INFINITY]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,plain,\"needs,quote\""));
+        assert_eq!(lines.next(), Some("\"a \"\"b\"\"\",1.5,40000"));
+        assert_eq!(lines.next(), Some("gaps,,"), "non-finite exports empty");
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn json_escapes_and_nulls_non_finite() {
+        let mut t = Table::new("q\"t".into(), vec!["a", "b"]);
+        t.row("x\n", vec![0.5, f64::NAN]);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"q\\\"t\",\"headers\":[\"a\",\"b\"],\
+             \"rows\":[{\"label\":\"x\\n\",\"values\":[0.5,null]}]}"
+        );
     }
 }

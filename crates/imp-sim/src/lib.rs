@@ -32,6 +32,7 @@ mod msg;
 mod system;
 
 pub use imp_prefetch::registry::RegistryError;
+pub use imp_vm::VmConfigError;
 pub use system::{BuildError, System};
 
 #[cfg(test)]
@@ -228,6 +229,118 @@ mod tests {
         assert_eq!(a.runtime, b.runtime);
         assert_eq!(a.traffic, b.traffic);
         assert_eq!(a.misses_by_class(), b.misses_by_class());
+    }
+
+    #[test]
+    fn zero_cost_tlb_matches_ideal_translation_bit_for_bit() {
+        // A finite TLB with zero walk latency and an Ideal prefetch
+        // policy charges nothing anywhere: every counter the seed
+        // simulator produced must be identical to the default ideal
+        // translation (only the new TlbStats may differ).
+        use imp_common::{TlbConfig, TranslationPolicy};
+        let (p, mem, _) = indirect_program(16, 300, false);
+        let ideal = run(
+            SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp),
+            p,
+            mem,
+        );
+        let (p2, mem2, _) = indirect_program(16, 300, false);
+        let zero_cost = TlbConfig::finite()
+            .with_walk_latency(0)
+            .with_policy(TranslationPolicy::Ideal);
+        let finite = run(
+            SystemConfig::paper_default(16)
+                .with_prefetcher(PrefetcherKind::Imp)
+                .with_tlb(zero_cost),
+            p2,
+            mem2,
+        );
+        assert_eq!(ideal.runtime, finite.runtime);
+        assert_eq!(ideal.cores, finite.cores);
+        assert_eq!(ideal.prefetch, finite.prefetch);
+        assert_eq!(ideal.traffic, finite.traffic);
+        assert!(finite.tlb_total().lookups() > 0, "the TLB did run");
+        assert_eq!(ideal.tlb_total(), Default::default());
+    }
+
+    #[test]
+    fn drop_on_miss_drops_indirect_prefetches_and_walks_stall() {
+        use imp_common::{TlbConfig, TranslationPolicy};
+        let (p, mem, _) = indirect_program(16, 400, false);
+        let base_cfg = SystemConfig::paper_default(16).with_prefetcher(PrefetcherKind::Imp);
+        let ideal = run(base_cfg.clone(), p, mem);
+
+        let (p2, mem2, _) = indirect_program(16, 400, false);
+        let dropper = run(
+            base_cfg
+                .clone()
+                .with_tlb(TlbConfig::finite().with_policy(TranslationPolicy::DropOnMiss)),
+            p2,
+            mem2,
+        );
+        let t = dropper.tlb_total();
+        assert!(t.misses > 0, "cold pages must miss the dTLB");
+        assert!(t.walk_cycles > 0, "demand walks are charged");
+        assert!(
+            t.prefetch_drops > 0,
+            "IMP's value-derived prefetches land on unseen pages: {t:?}"
+        );
+        assert!(
+            dropper.runtime > ideal.runtime,
+            "translation costs must show: {} vs {}",
+            dropper.runtime,
+            ideal.runtime
+        );
+        let walk_stalls: u64 = dropper.cores.iter().map(|c| c.walk_stall_cycles).sum();
+        assert!(walk_stalls > 0, "cores account their walk stalls");
+
+        let (p3, mem3, _) = indirect_program(16, 400, false);
+        let walker = run(
+            base_cfg.with_tlb(TlbConfig::finite().with_policy(TranslationPolicy::NonBlockingWalk)),
+            p3,
+            mem3,
+        );
+        let t = walker.tlb_total();
+        assert!(t.prefetch_walks > 0, "prefetches walk instead of dying");
+        assert_eq!(t.prefetch_drops, 0);
+        assert!(
+            walker.prefetch_total().issued_indirect > dropper.prefetch_total().issued_indirect,
+            "walking keeps prefetches DropOnMiss killed"
+        );
+    }
+
+    #[test]
+    fn walk_dram_traffic_is_accounted_when_enabled() {
+        use imp_common::TlbConfig;
+        let (p, mem, _) = indirect_program(16, 200, false);
+        let quiet_cfg = SystemConfig::paper_default(16).with_tlb(TlbConfig::finite());
+        let quiet = run(quiet_cfg.clone(), p, mem);
+
+        let (p2, mem2, _) = indirect_program(16, 200, false);
+        let mut noisy_cfg = quiet_cfg;
+        noisy_cfg.tlb.walk_dram_traffic = true;
+        let noisy = run(noisy_cfg, p2, mem2);
+        assert_eq!(
+            quiet.runtime, noisy.runtime,
+            "first-order walk traffic is accounting-only"
+        );
+        assert!(noisy.traffic.dram_read_bytes > quiet.traffic.dram_read_bytes);
+        assert!(noisy.traffic.dram_accesses > quiet.traffic.dram_accesses);
+    }
+
+    #[test]
+    fn invalid_tlb_config_is_a_build_error() {
+        use imp_common::TlbConfig;
+        let mut cfg = SystemConfig::paper_default(16);
+        cfg.tlb = TlbConfig::finite().with_page_bytes(3000);
+        let mut p = Program::new("noop", 16);
+        for c in 0..16 {
+            p.core_mut(c).push(Op::compute(1));
+        }
+        match System::try_new(cfg, p, FunctionalMemory::new()) {
+            Err(BuildError::Vm(e)) => assert!(e.to_string().contains("power of two"), "{e}"),
+            other => panic!("expected a Vm build error, got {:?}", other.err()),
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::msg::{Msg, MsgKind};
 use imp_cache::{AccessOutcome, Evicted, LineState, MshrAlloc, MshrFile, SectoredCache};
 use imp_coherence::{Directory, InvTargets};
 use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode};
-use imp_common::stats::{CoreStats, PrefetchStats, SystemStats, TrafficStats};
+use imp_common::stats::{CoreStats, PrefetchStats, SystemStats, TlbStats, TrafficStats};
 use imp_common::{Addr, Cycle, EventQueue, LineAddr, SectorMask, SystemConfig, LINE_BYTES};
 use imp_cpu::{CoreBlock, CoreEngine, InOrderCore, MemPort, MemResult, OooCore};
 use imp_dram::{Ddr3Dram, Ddr3Timing, DramModel, FixedLatencyDram};
@@ -22,6 +22,7 @@ use imp_prefetch::{
     Access, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind, PrefetchRequest,
 };
 use imp_trace::{BarrierMismatch, OpKind, Program};
+use imp_vm::{PrefetchTranslation, Vm, VmConfigError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -41,6 +42,8 @@ pub enum BuildError {
         /// Cores the configuration describes.
         config: u32,
     },
+    /// The TLB configuration is invalid (zero sets/ways, bad page size).
+    Vm(VmConfigError),
 }
 
 impl fmt::Display for BuildError {
@@ -52,6 +55,7 @@ impl fmt::Display for BuildError {
                 f,
                 "program was generated for {program} cores but the configuration has {config}"
             ),
+            BuildError::Vm(e) => write!(f, "{e}"),
         }
     }
 }
@@ -67,6 +71,12 @@ impl From<RegistryError> for BuildError {
 impl From<BarrierMismatch> for BuildError {
     fn from(e: BarrierMismatch) -> Self {
         BuildError::Barrier(e)
+    }
+}
+
+impl From<VmConfigError> for BuildError {
+    fn from(e: VmConfigError) -> Self {
+        BuildError::Vm(e)
     }
 }
 
@@ -160,6 +170,13 @@ struct Fabric {
     traffic: TrafficStats,
     completions: Vec<(u32, u64, Cycle)>,
     next_token: u64,
+    /// Per-core dTLBs over a shared page table/walker; `None` under the
+    /// default ideal translation (and in the Ideal/PerfectPrefetch
+    /// memory modes), where every path below is bit-identical to the
+    /// pre-`imp-vm` simulator. The page table identity-maps on first
+    /// touch, so translation changes timing only — never which lines
+    /// move.
+    vm: Option<Vm>,
     // PerfectPrefetch state.
     shadow: Vec<SectoredCache>,
     pp_outstanding: Vec<VecDeque<u64>>,
@@ -203,6 +220,53 @@ impl Fabric {
     }
 
     // ------------------------------------------------------------------
+    // Address translation (imp-vm)
+    // ------------------------------------------------------------------
+
+    /// First-order walk traffic: each radix level reads one 8-byte page
+    /// table entry from DRAM (no NoC or shared-cache occupancy; see
+    /// ROADMAP open items for the full-path model).
+    fn walk_traffic(&mut self, levels: u32) {
+        if self.cfg.tlb.walk_dram_traffic {
+            self.traffic.dram_read_bytes += 8 * u64::from(levels);
+            self.traffic.dram_accesses += u64::from(levels);
+        }
+    }
+
+    /// Translates a demand access, returning the walk cycles it must
+    /// stall for (0 on a TLB hit or under ideal translation).
+    fn demand_translate(&mut self, c: usize, addr: Addr) -> Cycle {
+        let Some(vm) = self.vm.as_mut() else {
+            return 0;
+        };
+        let t = vm.demand_translate(c, addr);
+        // walk_levels is 0 exactly on a TLB hit; a zero-latency walk
+        // still reads its page-table entries.
+        if t.walk_levels > 0 {
+            self.walk_traffic(t.walk_levels);
+        }
+        t.walk_cycles
+    }
+
+    /// Translates a prefetch address under the configured policy.
+    /// Returns the cycle at which the prefetch may issue (delayed past
+    /// `now` by a non-blocking walk), or `None` when the policy dropped
+    /// it.
+    fn prefetch_translate(&mut self, c: usize, addr: Addr, now: Cycle) -> Option<Cycle> {
+        let Some(vm) = self.vm.as_mut() else {
+            return Some(now);
+        };
+        match vm.prefetch_translate(c, addr) {
+            PrefetchTranslation::Ready(_) => Some(now),
+            PrefetchTranslation::Walked { cycles, levels, .. } => {
+                self.walk_traffic(levels);
+                Some(now + cycles)
+            }
+            PrefetchTranslation::Dropped => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // L1 / core side
     // ------------------------------------------------------------------
 
@@ -223,6 +287,12 @@ impl Fabric {
         if self.cfg.mem_mode != MemMode::Realistic || depth > 4 {
             return;
         }
+        // IMP's value-derived addresses land on arbitrary virtual pages:
+        // the prefetch only proceeds once translated (the configured
+        // TranslationPolicy may drop or delay it here).
+        let Some(now) = self.prefetch_translate(c, req.addr, now) else {
+            return;
+        };
         let line = req.line();
         let sectors = self.full_or(req.sectors).intersect(self.l1[c].full_mask());
         if let Some(l) = self.l1[c].probe(line) {
@@ -372,6 +442,56 @@ impl Fabric {
             MemResult::StoreBuffered(now + self.cfg.mem.l1d.latency)
         } else {
             MemResult::Miss(token)
+        }
+    }
+
+    /// A demand access against the real L1/coherence path, issued at
+    /// `now` (already past any translation stall).
+    fn realistic_access(&mut self, c: usize, op: &imp_trace::Op, now: Cycle) -> MemResult {
+        let addr = op.mem_addr();
+        let line = LineAddr::containing(addr);
+        let is_write = op.kind == OpKind::Store;
+        let touch = SectorMask::l1_touch(addr, u32::from(op.size));
+        let outcome = self.l1[c].demand_access(line, touch, is_write);
+        let miss = !matches!(outcome, AccessOutcome::Hit { .. });
+        self.observe_and_prefetch(
+            c,
+            Access {
+                pc: op.pc,
+                addr,
+                size: u32::from(op.size),
+                is_write,
+                miss,
+            },
+            now,
+        );
+        match outcome {
+            AccessOutcome::Hit {
+                first_touch_of_prefetch,
+            } => {
+                if first_touch_of_prefetch {
+                    self.pstats[c].covered += 1;
+                }
+                self.pref[c].on_demand_touch(line, touch);
+                let needs_upgrade = is_write
+                    && self.l1[c]
+                        .probe(line)
+                        .is_some_and(|l| l.state == LineState::Shared);
+                if needs_upgrade {
+                    // Upgrade in the background; the store itself
+                    // retires through the store buffer.
+                    let _ = self.demand_miss(c, line, touch, true, touch, now);
+                }
+                MemResult::Hit(now + self.cfg.mem.l1d.latency)
+            }
+            AccessOutcome::SectorMiss { missing, .. } => {
+                self.demand_miss(c, line, missing, is_write, touch, now)
+            }
+            AccessOutcome::Miss => {
+                // Demand misses fetch full lines; only IMP's
+                // indirect prefetches use partial masks (§4.2).
+                self.demand_miss(c, line, SectorMask::FULL_L1, is_write, touch, now)
+            }
         }
     }
 
@@ -932,48 +1052,14 @@ impl MemPort for Fabric {
                 MemResult::Hit(now + self.cfg.mem.l1d.latency)
             }
             MemMode::Realistic => {
-                let touch = SectorMask::l1_touch(addr, u32::from(op.size));
-                let outcome = self.l1[c].demand_access(line, touch, is_write);
-                let miss = !matches!(outcome, AccessOutcome::Hit { .. });
-                self.observe_and_prefetch(
-                    c,
-                    Access {
-                        pc: op.pc,
-                        addr,
-                        size: u32::from(op.size),
-                        is_write,
-                        miss,
-                    },
-                    now,
-                );
-                match outcome {
-                    AccessOutcome::Hit {
-                        first_touch_of_prefetch,
-                    } => {
-                        if first_touch_of_prefetch {
-                            self.pstats[c].covered += 1;
-                        }
-                        self.pref[c].on_demand_touch(line, touch);
-                        let needs_upgrade = is_write
-                            && self.l1[c]
-                                .probe(line)
-                                .is_some_and(|l| l.state == LineState::Shared);
-                        if needs_upgrade {
-                            // Upgrade in the background; the store itself
-                            // retires through the store buffer.
-                            let _ = self.demand_miss(c, line, touch, true, touch, now);
-                        }
-                        MemResult::Hit(now + self.cfg.mem.l1d.latency)
-                    }
-                    AccessOutcome::SectorMiss { missing, .. } => {
-                        self.demand_miss(c, line, missing, is_write, touch, now)
-                    }
-                    AccessOutcome::Miss => {
-                        // Demand misses fetch full lines; only IMP's
-                        // indirect prefetches use partial masks (§4.2).
-                        self.demand_miss(c, line, SectorMask::FULL_L1, is_write, touch, now)
-                    }
-                }
+                // Demand accesses stall for the page-table walk before
+                // touching the cache; everything downstream runs at the
+                // post-walk cycle, so the walk delays fills and
+                // prefetcher observations alike. With the default ideal
+                // TLB the walk is 0 and this path is byte-for-byte the
+                // pre-imp-vm behavior.
+                let walk = self.demand_translate(c, addr);
+                self.realistic_access(c, op, now + walk).with_walk(walk)
             }
         }
     }
@@ -983,6 +1069,11 @@ impl MemPort for Fabric {
             return;
         }
         let c = core as usize;
+        // Software prefetches are non-binding: like hardware prefetches
+        // they observe the translation policy instead of stalling.
+        let Some(now) = self.prefetch_translate(c, addr, now) else {
+            return;
+        };
         let line = LineAddr::containing(addr);
         if self.l1[c].probe(line).is_some() {
             return;
@@ -1096,6 +1187,15 @@ impl System {
             _ => cfg.mem.l1d.mshrs as usize,
         };
 
+        // The VM subsystem only exists for finite TLBs in Realistic
+        // mode; `None` keeps every path bit-identical to the seed.
+        let vm = if cfg.mem_mode == MemMode::Realistic && !cfg.tlb.ideal {
+            Some(Vm::new(&cfg.tlb, n)?)
+        } else {
+            imp_vm::validate_config(&cfg.tlb)?;
+            None
+        };
+
         let drams: Vec<Box<dyn DramModel>> = (0..cfg.mem.mem_controllers)
             .map(|_| -> Box<dyn DramModel> {
                 match cfg.mem.dram {
@@ -1151,6 +1251,7 @@ impl System {
             pp_issue: HashMap::new(),
             pp_blocked: vec![None; n],
             pp_next_id: 0,
+            vm,
             cfg,
         };
         Ok(System {
@@ -1268,10 +1369,16 @@ impl System {
         let runtime = cores.iter().map(|c| c.done_cycle).max().unwrap_or(0);
         let mut traffic = self.fab.traffic.clone();
         traffic.noc_flit_hops = self.fab.mesh.flit_hops();
+        let n = cores.len();
+        let tlb = match &self.fab.vm {
+            Some(vm) => (0..n).map(|c| vm.stats(c).clone()).collect(),
+            None => vec![TlbStats::default(); n],
+        };
         SystemStats {
             runtime,
             cores,
             prefetch: self.fab.pstats.clone(),
+            tlb,
             traffic,
         }
     }

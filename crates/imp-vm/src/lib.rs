@@ -1,0 +1,341 @@
+//! Virtual-memory subsystem for the IMP reproduction: per-core dTLBs, a
+//! shared radix page table with a page walker, and translation policies
+//! for prefetches.
+//!
+//! The seed simulator treated every 48-bit virtual address as directly
+//! usable — no TLB, no page-table walks. That flatters value-derived
+//! prefetchers like IMP most of all: `A[B[i]]` prefetches land on
+//! arbitrary virtual pages and, in hardware, are only issuable after
+//! address translation. This crate supplies the missing machinery:
+//!
+//! * [`Tlb`] — a set-associative, true-LRU TLB with hit/miss/eviction
+//!   statistics and a configurable page size.
+//! * [`PageTable`] / [`PageWalker`] — a sparse radix tree (9 index bits
+//!   per level over a 48-bit space) and a walker charging a configurable
+//!   per-level latency; unmapped pages are identity-mapped on first
+//!   touch, so translation changes *timing*, never data.
+//! * [`Vm`] — the engine `imp-sim` embeds: per-core TLBs over one shared
+//!   table/walker, applying [`imp_common::TranslationPolicy`] to
+//!   prefetch translations (`DropOnMiss` | `NonBlockingWalk` | `Ideal`)
+//!   while demand translations always walk (and stall).
+//!
+//! Configuration lives in [`imp_common::TlbConfig`]; the default
+//! [`imp_common::TlbConfig::ideal`] disables the subsystem entirely and
+//! is bit-identical to the pre-`imp-vm` simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use imp_common::{Addr, TlbConfig, TranslationPolicy};
+//! use imp_vm::{PrefetchTranslation, Vm};
+//!
+//! let cfg = TlbConfig::finite().with_policy(TranslationPolicy::DropOnMiss);
+//! let mut vm = Vm::new(&cfg, 1).unwrap();
+//!
+//! // A demand access to a cold page pays a 4-level walk...
+//! let d = vm.demand_translate(0, Addr::new(0x1_2345));
+//! assert_eq!(d.walk_cycles, 4 * cfg.walk_latency);
+//!
+//! // ...after which the page is TLB-resident and prefetches to it fly.
+//! let p = vm.prefetch_translate(0, Addr::new(0x1_2600));
+//! assert!(matches!(p, PrefetchTranslation::Ready(_)));
+//!
+//! // A prefetch to an unseen page is dropped under DropOnMiss.
+//! let p = vm.prefetch_translate(0, Addr::new(0x9_9999));
+//! assert!(matches!(p, PrefetchTranslation::Dropped));
+//! ```
+
+mod page_table;
+mod tlb;
+
+pub use page_table::{PageTable, PageWalker, Walk, ADDRESS_BITS, LEVEL_BITS};
+pub use tlb::Tlb;
+
+use imp_common::{Addr, Cycle, TlbConfig, TlbStats, TranslationPolicy};
+use std::fmt;
+
+/// Why a [`TlbConfig`] cannot build a [`Vm`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmConfigError {
+    /// `sets` or `ways` is zero.
+    EmptyTlb,
+    /// The page size is not a power of two.
+    PageNotPowerOfTwo(u64),
+    /// The page size is smaller than a cache line (the line-granular
+    /// memory system cannot split a line across pages).
+    PageSmallerThanLine(u64),
+    /// The page size leaves no VPN bits in a 48-bit space.
+    PageTooLarge(u64),
+}
+
+impl fmt::Display for VmConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmConfigError::EmptyTlb => write!(f, "TLB sets and ways must be non-zero"),
+            VmConfigError::PageNotPowerOfTwo(b) => {
+                write!(f, "page size {b} is not a power of two")
+            }
+            VmConfigError::PageSmallerThanLine(b) => {
+                write!(f, "page size {b} is smaller than a 64-byte cache line")
+            }
+            VmConfigError::PageTooLarge(b) => {
+                write!(f, "page size {b} leaves no page-number bits below 2^48")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmConfigError {}
+
+/// Validates a finite [`TlbConfig`] (an ideal config is always valid).
+pub fn validate_config(cfg: &TlbConfig) -> Result<(), VmConfigError> {
+    if cfg.ideal {
+        return Ok(());
+    }
+    if cfg.sets == 0 || cfg.ways == 0 {
+        return Err(VmConfigError::EmptyTlb);
+    }
+    if !cfg.page_bytes.is_power_of_two() {
+        return Err(VmConfigError::PageNotPowerOfTwo(cfg.page_bytes));
+    }
+    if cfg.page_bytes < imp_common::LINE_BYTES {
+        return Err(VmConfigError::PageSmallerThanLine(cfg.page_bytes));
+    }
+    if cfg.page_bytes.trailing_zeros() >= ADDRESS_BITS {
+        return Err(VmConfigError::PageTooLarge(cfg.page_bytes));
+    }
+    Ok(())
+}
+
+/// A demand translation: the physical address plus what it cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DemandTranslation {
+    /// Translated physical address.
+    pub paddr: Addr,
+    /// Page-walk cycles the access must stall for (0 on a TLB hit).
+    pub walk_cycles: Cycle,
+    /// Radix levels the walk traversed (0 on a TLB hit).
+    pub walk_levels: u32,
+}
+
+/// A prefetch translation under the configured
+/// [`TranslationPolicy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetchTranslation {
+    /// The page was TLB-resident (or the policy is `Ideal`): issue now.
+    Ready(Addr),
+    /// `NonBlockingWalk`: issue after `cycles` of page walking; the
+    /// walk traversed `levels` radix levels.
+    Walked {
+        /// Translated physical address.
+        paddr: Addr,
+        /// Cycles until the prefetch may issue.
+        cycles: Cycle,
+        /// Radix levels traversed.
+        levels: u32,
+    },
+    /// `DropOnMiss`: the prefetch dies here.
+    Dropped,
+}
+
+/// The virtual-memory engine: one dTLB per core, one shared page table
+/// and walker (the page table is the process's; the walker models each
+/// core's page-miss handler but shares the table structure).
+#[derive(Clone, Debug)]
+pub struct Vm {
+    tlbs: Vec<Tlb>,
+    table: PageTable,
+    walker: PageWalker,
+    policy: TranslationPolicy,
+}
+
+impl Vm {
+    /// Builds the engine for `cores` cores from a finite `cfg`.
+    ///
+    /// Callers model an *ideal* `cfg` by not building a `Vm` at all
+    /// (translation is skipped entirely), so `cfg.ideal` is ignored
+    /// here and the finite fields are used as given.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VmConfigError`] describing the first invalid field.
+    pub fn new(cfg: &TlbConfig, cores: usize) -> Result<Self, VmConfigError> {
+        let mut cfg = *cfg;
+        cfg.ideal = false;
+        validate_config(&cfg)?;
+        Ok(Vm {
+            tlbs: (0..cores)
+                .map(|_| Tlb::new(cfg.sets, cfg.ways, cfg.page_bytes))
+                .collect(),
+            table: PageTable::new(cfg.page_bytes),
+            walker: PageWalker::new(cfg.walk_latency),
+            policy: cfg.policy,
+        })
+    }
+
+    /// The prefetch-translation policy in force.
+    pub fn policy(&self) -> TranslationPolicy {
+        self.policy
+    }
+
+    /// Translates a demand access for `core`, walking (and stalling)
+    /// on a TLB miss. The TLB is filled by the walk.
+    pub fn demand_translate(&mut self, core: usize, vaddr: Addr) -> DemandTranslation {
+        if let Some(paddr) = self.tlbs[core].lookup(vaddr) {
+            return DemandTranslation {
+                paddr,
+                walk_cycles: 0,
+                walk_levels: 0,
+            };
+        }
+        let walk = self.walker.walk(&mut self.table, vaddr);
+        let tlb = &mut self.tlbs[core];
+        tlb.fill(vaddr, walk.ppn);
+        tlb.stats_mut().walk_cycles += walk.cycles;
+        DemandTranslation {
+            paddr: page_translate(vaddr, walk.ppn, self.table.page_bytes()),
+            walk_cycles: walk.cycles,
+            walk_levels: walk.levels,
+        }
+    }
+
+    /// Translates a prefetch address for `core` under the configured
+    /// policy. `NonBlockingWalk` fills the TLB (possibly evicting pages
+    /// demand accesses wanted — the cost of aggressive prefetch
+    /// translation); `Ideal` never touches it.
+    pub fn prefetch_translate(&mut self, core: usize, vaddr: Addr) -> PrefetchTranslation {
+        if self.policy == TranslationPolicy::Ideal {
+            return PrefetchTranslation::Ready(vaddr);
+        }
+        if let Some(paddr) = self.tlbs[core].prefetch_lookup(vaddr) {
+            return PrefetchTranslation::Ready(paddr);
+        }
+        match self.policy {
+            TranslationPolicy::DropOnMiss => {
+                self.tlbs[core].stats_mut().prefetch_drops += 1;
+                PrefetchTranslation::Dropped
+            }
+            TranslationPolicy::NonBlockingWalk => {
+                let walk = self.walker.walk(&mut self.table, vaddr);
+                let tlb = &mut self.tlbs[core];
+                tlb.fill(vaddr, walk.ppn);
+                let stats = tlb.stats_mut();
+                stats.prefetch_walks += 1;
+                stats.walk_cycles += walk.cycles;
+                PrefetchTranslation::Walked {
+                    paddr: page_translate(vaddr, walk.ppn, self.table.page_bytes()),
+                    cycles: walk.cycles,
+                    levels: walk.levels,
+                }
+            }
+            TranslationPolicy::Ideal => unreachable!("handled above"),
+        }
+    }
+
+    /// Per-core TLB statistics.
+    pub fn stats(&self, core: usize) -> &TlbStats {
+        self.tlbs[core].stats()
+    }
+
+    /// The shared page table (diagnostics: mapped-page counts).
+    pub fn page_table(&self) -> &PageTable {
+        &self.table
+    }
+}
+
+/// Splices `ppn` onto `vaddr`'s page offset (the one place the
+/// physical-address composition lives; [`Tlb`] uses it too).
+pub(crate) fn splice_ppn(vaddr: Addr, ppn: u64, page_shift: u32) -> Addr {
+    let offset_mask = (1u64 << page_shift) - 1;
+    Addr::new((ppn << page_shift) | (vaddr.raw() & offset_mask))
+}
+
+fn page_translate(vaddr: Addr, ppn: u64, page_bytes: u64) -> Addr {
+    splice_ppn(vaddr, ppn, page_bytes.trailing_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = TlbConfig::finite();
+        c.sets = 0;
+        assert_eq!(Vm::new(&c, 1).unwrap_err(), VmConfigError::EmptyTlb);
+        let mut c = TlbConfig::finite();
+        c.page_bytes = 3000;
+        assert_eq!(
+            Vm::new(&c, 1).unwrap_err(),
+            VmConfigError::PageNotPowerOfTwo(3000)
+        );
+        let mut c = TlbConfig::finite();
+        c.page_bytes = 32;
+        assert_eq!(
+            Vm::new(&c, 1).unwrap_err(),
+            VmConfigError::PageSmallerThanLine(32)
+        );
+        let mut c = TlbConfig::finite();
+        c.page_bytes = 1 << 48;
+        assert_eq!(
+            Vm::new(&c, 1).unwrap_err(),
+            VmConfigError::PageTooLarge(1 << 48)
+        );
+        assert!(validate_config(&TlbConfig::ideal()).is_ok());
+    }
+
+    #[test]
+    fn demand_walks_once_then_hits() {
+        let cfg = TlbConfig::finite();
+        let mut vm = Vm::new(&cfg, 2).unwrap();
+        let a = Addr::new(0x12_3456);
+        let first = vm.demand_translate(0, a);
+        assert_eq!(first.walk_cycles, 4 * cfg.walk_latency);
+        assert_eq!(first.paddr, a, "identity mapping preserves addresses");
+        let second = vm.demand_translate(0, a);
+        assert_eq!(second.walk_cycles, 0);
+        // Core 1 has its own TLB but shares the page table.
+        assert_eq!(vm.demand_translate(1, a).walk_cycles, 4 * cfg.walk_latency);
+        assert_eq!(vm.page_table().mapped_pages(), 1);
+        assert_eq!(vm.stats(0).misses, 1);
+        assert_eq!(vm.stats(0).hits, 1);
+        assert_eq!(vm.stats(0).walk_cycles, 4 * cfg.walk_latency);
+    }
+
+    #[test]
+    fn prefetch_policies_differ() {
+        let cold = Addr::new(0x77_0000);
+        // DropOnMiss: cold prefetch dies.
+        let mut vm = Vm::new(&TlbConfig::finite(), 1).unwrap();
+        assert_eq!(vm.prefetch_translate(0, cold), PrefetchTranslation::Dropped);
+        assert_eq!(vm.stats(0).prefetch_drops, 1);
+
+        // NonBlockingWalk: cold prefetch walks and fills the TLB.
+        let cfg = TlbConfig::finite().with_policy(TranslationPolicy::NonBlockingWalk);
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        match vm.prefetch_translate(0, cold) {
+            PrefetchTranslation::Walked { cycles, paddr, .. } => {
+                assert_eq!(cycles, 4 * cfg.walk_latency);
+                assert_eq!(paddr, cold);
+            }
+            other => panic!("expected a walk, got {other:?}"),
+        }
+        assert!(matches!(
+            vm.prefetch_translate(0, cold),
+            PrefetchTranslation::Ready(_)
+        ));
+        assert_eq!(vm.stats(0).prefetch_walks, 1);
+        // The non-blocking walk primed the TLB for the demand stream.
+        assert_eq!(vm.demand_translate(0, cold).walk_cycles, 0);
+
+        // Ideal: prefetches neither walk nor fill.
+        let cfg = TlbConfig::finite().with_policy(TranslationPolicy::Ideal);
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        assert_eq!(
+            vm.prefetch_translate(0, cold),
+            PrefetchTranslation::Ready(cold)
+        );
+        assert_eq!(vm.stats(0).prefetch_hits, 0);
+        assert!(vm.demand_translate(0, cold).walk_cycles > 0);
+    }
+}

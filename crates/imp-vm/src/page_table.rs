@@ -1,0 +1,224 @@
+//! A sparse radix page table and the walker that charges its traversal
+//! cost.
+
+use imp_common::{Addr, Cycle};
+use std::collections::HashMap;
+
+/// Bits of a virtual address (matches `imp_prefetch::cost::ADDRESS_BITS`:
+/// the paper sizes its tables for a 48-bit space).
+pub const ADDRESS_BITS: u32 = 48;
+
+/// Index bits consumed per radix level (512-entry nodes, as in x86-64).
+pub const LEVEL_BITS: u32 = 9;
+
+/// One interior node of the radix tree. Nodes are sparse: only slots a
+/// mapping ever touched exist, which keeps identity-mapping a scattered
+/// footprint cheap.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    tables: HashMap<u32, Node>,
+    leaves: HashMap<u32, u64>,
+}
+
+/// A radix page table mapping virtual page numbers to physical page
+/// numbers.
+///
+/// The tree has `levels()` levels — `ceil((48 - page_bits) / 9)` — so
+/// larger pages walk fewer levels, exactly the lever huge pages pull in
+/// real hardware.
+///
+/// ```
+/// use imp_vm::PageTable;
+///
+/// let mut pt = PageTable::new(4096);
+/// assert_eq!(pt.levels(), 4); // (48 - 12) / 9, rounded up
+/// pt.map(5, 9);
+/// assert_eq!(pt.lookup(5), Some(9));
+/// assert_eq!(pt.lookup(6), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    root: Node,
+    page_shift: u32,
+    levels: u32,
+    mapped_pages: u64,
+}
+
+impl PageTable {
+    /// Creates an empty table for `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two or does not leave at
+    /// least one VPN bit below 48.
+    pub fn new(page_bytes: u64) -> Self {
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        let page_shift = page_bytes.trailing_zeros();
+        assert!(
+            page_shift < ADDRESS_BITS,
+            "page size must leave VPN bits in a 48-bit space"
+        );
+        let vpn_bits = ADDRESS_BITS - page_shift;
+        PageTable {
+            root: Node::default(),
+            page_shift,
+            levels: vpn_bits.div_ceil(LEVEL_BITS),
+            mapped_pages: 0,
+        }
+    }
+
+    /// Radix depth of a walk through this table.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The page size the table maps at.
+    pub fn page_bytes(&self) -> u64 {
+        1u64 << self.page_shift
+    }
+
+    /// Virtual page number of a byte address.
+    pub fn vpn(&self, vaddr: Addr) -> u64 {
+        vaddr.raw() >> self.page_shift
+    }
+
+    /// Number of leaf mappings installed.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// Radix slot index of `vpn` at `level` (0 = root). Levels are
+    /// walked without materializing the index list: this sits on the
+    /// TLB-miss path of every core.
+    fn slot_at(&self, vpn: u64, level: u32) -> u32 {
+        let shift = (self.levels - 1 - level) * LEVEL_BITS;
+        ((vpn >> shift) & ((1 << LEVEL_BITS) - 1)) as u32
+    }
+
+    /// Installs `vpn` → `ppn`, creating interior nodes as needed.
+    /// Returns `true` if the page was not mapped before.
+    pub fn map(&mut self, vpn: u64, ppn: u64) -> bool {
+        let levels = self.levels;
+        let slot =
+            |l: u32| ((vpn >> ((levels - 1 - l) * LEVEL_BITS)) & ((1 << LEVEL_BITS) - 1)) as u32;
+        let mut node = &mut self.root;
+        for l in 0..levels - 1 {
+            node = node.tables.entry(slot(l)).or_default();
+        }
+        let fresh = node.leaves.insert(slot(levels - 1), ppn).is_none();
+        if fresh {
+            self.mapped_pages += 1;
+        }
+        fresh
+    }
+
+    /// Looks `vpn` up without side effects.
+    pub fn lookup(&self, vpn: u64) -> Option<u64> {
+        let mut node = &self.root;
+        for l in 0..self.levels - 1 {
+            node = node.tables.get(&self.slot_at(vpn, l))?;
+        }
+        node.leaves
+            .get(&self.slot_at(vpn, self.levels - 1))
+            .copied()
+    }
+}
+
+/// Charges the traversal cost of a [`PageTable`].
+///
+/// The walker models a hardware page-miss handler: each radix level
+/// costs `latency_per_level` cycles (a pointer chase through the memory
+/// hierarchy). Unmapped pages are identity-mapped on first touch —
+/// the simulated OS demand-allocates, so a walk never faults.
+#[derive(Clone, Copy, Debug)]
+pub struct PageWalker {
+    latency_per_level: Cycle,
+}
+
+/// Outcome of one page-table walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Walk {
+    /// The physical page number the walk resolved to.
+    pub ppn: u64,
+    /// Cycles the walk took (levels × per-level latency).
+    pub cycles: Cycle,
+    /// Radix levels traversed.
+    pub levels: u32,
+}
+
+impl PageWalker {
+    /// A walker charging `latency_per_level` cycles per radix level.
+    pub fn new(latency_per_level: Cycle) -> Self {
+        PageWalker { latency_per_level }
+    }
+
+    /// Resolves `vaddr`'s page through `table`, identity-mapping it on
+    /// first touch, and returns the charged cost.
+    pub fn walk(&self, table: &mut PageTable, vaddr: Addr) -> Walk {
+        let vpn = table.vpn(vaddr);
+        let ppn = match table.lookup(vpn) {
+            Some(p) => p,
+            None => {
+                table.map(vpn, vpn);
+                vpn
+            }
+        };
+        Walk {
+            ppn,
+            cycles: Cycle::from(table.levels()) * self.latency_per_level,
+            levels: table.levels(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_shrink_with_page_size() {
+        assert_eq!(PageTable::new(4096).levels(), 4); // 36 VPN bits
+        assert_eq!(PageTable::new(64 * 1024).levels(), 4); // 32 bits
+        assert_eq!(PageTable::new(2 * 1024 * 1024).levels(), 3); // 27 bits
+        assert_eq!(PageTable::new(1 << 30).levels(), 2); // 18 bits
+    }
+
+    #[test]
+    fn map_lookup_roundtrip_and_remap() {
+        let mut pt = PageTable::new(4096);
+        assert!(pt.map(0x1234, 7));
+        assert!(!pt.map(0x1234, 8), "remap is not a fresh mapping");
+        assert_eq!(pt.lookup(0x1234), Some(8));
+        assert_eq!(pt.lookup(0x1235), None);
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn distant_vpns_do_not_collide() {
+        let mut pt = PageTable::new(4096);
+        // Same low slot bits, different upper levels.
+        let a = 0x0000_0000_0042u64;
+        let b = 0x0000_0800_0042u64; // differs only above level-3 bits
+        pt.map(a, 1);
+        pt.map(b, 2);
+        assert_eq!(pt.lookup(a), Some(1));
+        assert_eq!(pt.lookup(b), Some(2));
+    }
+
+    #[test]
+    fn walker_charges_per_level_and_identity_maps() {
+        let mut pt = PageTable::new(4096);
+        let w = PageWalker::new(25);
+        let walk = w.walk(&mut pt, Addr::new(0x5000));
+        assert_eq!(walk.cycles, 100);
+        assert_eq!(walk.levels, 4);
+        assert_eq!(walk.ppn, 5, "first touch identity-maps");
+        assert_eq!(pt.lookup(5), Some(5));
+        // A pre-existing (non-identity) mapping is respected.
+        pt.map(9, 42);
+        assert_eq!(w.walk(&mut pt, Addr::new(9 * 4096)).ppn, 42);
+    }
+}

@@ -1,0 +1,276 @@
+//! A set-associative, true-LRU translation lookaside buffer.
+
+use imp_common::{Addr, TlbStats};
+
+/// One TLB entry: a cached VPN → PPN mapping.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    vpn: u64,
+    ppn: u64,
+    /// Monotonic last-use stamp; the smallest stamp in a set is the LRU
+    /// victim.
+    stamp: u64,
+    valid: bool,
+}
+
+const INVALID: Entry = Entry {
+    vpn: 0,
+    ppn: 0,
+    stamp: 0,
+    valid: false,
+};
+
+/// A set-associative LRU TLB caching page translations.
+///
+/// Addresses are split at the configured page size: the virtual page
+/// number indexes a set (modulo), and a full-VPN tag match within the
+/// set is a hit. Replacement is true LRU per set, tracked with a
+/// monotonic use stamp. Hit/miss/eviction/cold-fill counters accumulate
+/// into an [`imp_common::TlbStats`] owned by the TLB.
+///
+/// ```
+/// use imp_vm::Tlb;
+/// use imp_common::Addr;
+///
+/// let mut tlb = Tlb::new(2, 2, 4096);
+/// assert_eq!(tlb.lookup(Addr::new(0x1234)), None); // cold miss
+/// tlb.fill(Addr::new(0x1234), 0x7); // VPN 1 -> PPN 7
+/// assert_eq!(tlb.lookup(Addr::new(0x1FFF)), Some(Addr::new(0x7FFF)));
+/// assert_eq!(tlb.stats().hits, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<Entry>>,
+    page_shift: u32,
+    next_stamp: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `sets` sets of `ways` ways for `page_bytes`
+    /// pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero, or if `page_bytes` is not a
+    /// power of two (validate with [`crate::validate_config`] first when
+    /// the values come from user configuration).
+    pub fn new(sets: u32, ways: u32, page_bytes: u64) -> Self {
+        assert!(sets > 0 && ways > 0, "TLB needs at least one entry");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Tlb {
+            sets: (0..sets).map(|_| vec![INVALID; ways as usize]).collect(),
+            page_shift: page_bytes.trailing_zeros(),
+            next_stamp: 1,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The page size this TLB translates at.
+    pub fn page_bytes(&self) -> u64 {
+        1u64 << self.page_shift
+    }
+
+    /// Virtual page number of `vaddr`.
+    pub fn vpn(&self, vaddr: Addr) -> u64 {
+        vaddr.raw() >> self.page_shift
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn % self.sets.len() as u64) as usize
+    }
+
+    fn paddr(&self, ppn: u64, vaddr: Addr) -> Addr {
+        crate::splice_ppn(vaddr, ppn, self.page_shift)
+    }
+
+    /// Looks `vaddr` up, updating LRU order and hit/miss counters.
+    /// Returns the translated physical address on a hit.
+    pub fn lookup(&mut self, vaddr: Addr) -> Option<Addr> {
+        match self.probe_update(vaddr) {
+            Some(p) => {
+                self.stats.hits += 1;
+                Some(p)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks `vaddr` up for a prefetch, updating LRU order and the
+    /// prefetch-hit counter on a hit (misses are counted by the caller
+    /// according to its translation policy).
+    pub fn prefetch_lookup(&mut self, vaddr: Addr) -> Option<Addr> {
+        let hit = self.probe_update(vaddr);
+        if hit.is_some() {
+            self.stats.prefetch_hits += 1;
+        }
+        hit
+    }
+
+    /// Tag-matches and refreshes LRU without touching any counter.
+    fn probe_update(&mut self, vaddr: Addr) -> Option<Addr> {
+        let vpn = self.vpn(vaddr);
+        let set = self.set_of(vpn);
+        let stamp = self.next_stamp;
+        let mut ppn = None;
+        for e in &mut self.sets[set] {
+            if e.valid && e.vpn == vpn {
+                e.stamp = stamp;
+                ppn = Some(e.ppn);
+                break;
+            }
+        }
+        if ppn.is_some() {
+            self.next_stamp += 1;
+        }
+        ppn.map(|p| self.paddr(p, vaddr))
+    }
+
+    /// True if `vaddr`'s page is resident (no LRU update, no counters).
+    pub fn contains(&self, vaddr: Addr) -> bool {
+        let vpn = self.vpn(vaddr);
+        let set = self.set_of(vpn);
+        self.sets[set].iter().any(|e| e.valid && e.vpn == vpn)
+    }
+
+    /// Installs the mapping `vaddr`'s page → `ppn`, evicting the LRU
+    /// way when the set is full. Returns the evicted VPN, if any.
+    pub fn fill(&mut self, vaddr: Addr, ppn: u64) -> Option<u64> {
+        let vpn = self.vpn(vaddr);
+        let set = self.set_of(vpn);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        // Refill of a resident page just refreshes it.
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.valid && e.vpn == vpn) {
+            e.ppn = ppn;
+            e.stamp = stamp;
+            return None;
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+            .expect("ways > 0");
+        let evicted = victim.valid.then_some(victim.vpn);
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        } else {
+            self.stats.cold_fills += 1;
+        }
+        *victim = Entry {
+            vpn,
+            ppn,
+            stamp,
+            valid: true,
+        };
+        evicted
+    }
+
+    /// Resident VPNs of one set, most recently used first (diagnostics
+    /// and LRU-order tests).
+    pub fn set_contents(&self, set: usize) -> Vec<u64> {
+        let mut entries: Vec<&Entry> = self.sets[set].iter().filter(|e| e.valid).collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.stamp));
+        entries.iter().map(|e| e.vpn).collect()
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Mutable counter access (the owner charges walk cycles and
+    /// policy-specific prefetch counters here).
+    pub fn stats_mut(&mut self) -> &mut TlbStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> Addr {
+        Addr::new(n * 4096)
+    }
+
+    #[test]
+    fn hit_after_fill_and_offset_preserved() {
+        let mut t = Tlb::new(4, 2, 4096);
+        assert_eq!(t.lookup(page(5)), None);
+        t.fill(page(5), 9);
+        assert_eq!(
+            t.lookup(Addr::new(5 * 4096 + 0x123)),
+            Some(Addr::new(9 * 4096 + 0x123))
+        );
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().cold_fills, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_way() {
+        // One set, two ways: fill A, B; touch A; filling C must evict B.
+        let mut t = Tlb::new(1, 2, 4096);
+        t.fill(page(1), 1);
+        t.fill(page(2), 2);
+        assert!(t.lookup(page(1)).is_some());
+        let evicted = t.fill(page(3), 3);
+        assert_eq!(evicted, Some(2));
+        assert!(t.contains(page(1)));
+        assert!(!t.contains(page(2)));
+        assert_eq!(t.set_contents(0), vec![3, 1]);
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sets_are_indexed_modulo_vpn() {
+        let mut t = Tlb::new(4, 1, 4096);
+        t.fill(page(0), 0);
+        t.fill(page(4), 4); // same set as VPN 0: evicts it
+        t.fill(page(1), 1); // different set: untouched
+        assert!(!t.contains(page(0)));
+        assert!(t.contains(page(4)));
+        assert!(t.contains(page(1)));
+    }
+
+    #[test]
+    fn refill_of_resident_page_does_not_evict() {
+        let mut t = Tlb::new(1, 1, 4096);
+        t.fill(page(7), 7);
+        assert_eq!(t.fill(page(7), 8), None);
+        assert_eq!(t.lookup(page(7)), Some(Addr::new(8 * 4096)));
+        assert_eq!(t.stats().evictions, 0);
+        assert_eq!(t.stats().cold_fills, 1);
+    }
+
+    #[test]
+    fn page_size_controls_vpn_split() {
+        let mut t = Tlb::new(2, 2, 64 * 1024);
+        t.fill(Addr::new(0), 0);
+        // Any address in the same 64 KB page hits.
+        assert!(t.lookup(Addr::new(60_000)).is_some());
+        assert!(t.lookup(Addr::new(70_000)).is_none());
+    }
+
+    #[test]
+    fn prefetch_lookup_counts_separately() {
+        let mut t = Tlb::new(1, 1, 4096);
+        t.fill(page(1), 1);
+        assert!(t.prefetch_lookup(page(1)).is_some());
+        assert!(t.prefetch_lookup(page(2)).is_none());
+        assert_eq!(t.stats().prefetch_hits, 1);
+        assert_eq!(t.stats().hits, 0, "prefetch probes are not demand hits");
+        assert_eq!(t.stats().misses, 0, "policy decides how misses count");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the virtual-memory subsystem: TLB LRU order,
+//! translate∘map round-trips, and the eviction/miss/cold-fill ledger.
+
+use imp_common::Addr;
+use imp_vm::{PageTable, PageWalker, Tlb};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference LRU model: a recency list per set, most recent first.
+#[derive(Default)]
+struct ModelSet {
+    vpns: VecDeque<u64>,
+}
+
+impl ModelSet {
+    fn touch(&mut self, vpn: u64, ways: usize) {
+        if let Some(pos) = self.vpns.iter().position(|&v| v == vpn) {
+            self.vpns.remove(pos);
+        }
+        self.vpns.push_front(vpn);
+        self.vpns.truncate(ways);
+    }
+}
+
+proptest! {
+    /// Under an arbitrary access string, every set's residents match a
+    /// reference recency-list model exactly — LRU order is preserved by
+    /// hits, fills and evictions alike.
+    #[test]
+    fn lru_order_matches_reference_model(
+        accesses in vec((0u64..48, 0u64..2), 1..200),
+        ways in 1u32..5,
+    ) {
+        let sets = 4u32;
+        let page = 4096u64;
+        let mut tlb = Tlb::new(sets, ways, page);
+        let mut model: Vec<ModelSet> = (0..sets).map(|_| ModelSet::default()).collect();
+        for (vpn, reuse_offset) in accesses {
+            // Mix page-base and mid-page addresses: both must behave
+            // identically at the VPN level.
+            let offset = if reuse_offset == 1 { page / 2 } else { 0 };
+            let vaddr = Addr::new(vpn * page + offset);
+            if tlb.lookup(vaddr).is_none() {
+                tlb.fill(vaddr, vpn);
+            }
+            model[(vpn % u64::from(sets)) as usize].touch(vpn, ways as usize);
+        }
+        for (s, set_model) in model.iter().enumerate() {
+            let expect: Vec<u64> = set_model.vpns.iter().copied().collect();
+            prop_assert_eq!(tlb.set_contents(s), expect);
+        }
+    }
+
+    /// translate∘map round-trip: after `map(vpn, ppn)`, walking any
+    /// address in the page resolves to `ppn` with the page offset
+    /// preserved, for every page size.
+    #[test]
+    fn translate_after_map_round_trips(
+        mappings in vec((0u64..(1 << 20), 0u64..(1 << 20)), 1..40),
+        page_shift in 12u32..22,
+        offset in 0u64..4096,
+    ) {
+        let page = 1u64 << page_shift;
+        let mut table = PageTable::new(page);
+        let walker = PageWalker::new(25);
+        for &(vpn, ppn) in &mappings {
+            table.map(vpn, ppn);
+        }
+        // Later mappings win on duplicate VPNs, exactly like a map.
+        let mut last: Vec<(u64, u64)> = Vec::new();
+        for &(vpn, ppn) in &mappings {
+            last.retain(|&(v, _)| v != vpn);
+            last.push((vpn, ppn));
+        }
+        for (vpn, ppn) in last {
+            prop_assert_eq!(table.lookup(vpn), Some(ppn));
+            let vaddr = Addr::new(vpn * page + offset % page);
+            let walk = walker.walk(&mut table, vaddr);
+            prop_assert_eq!(walk.ppn, ppn);
+            prop_assert_eq!(walk.cycles, 25 * u64::from(table.levels()));
+        }
+    }
+
+    /// Counter ledger: every miss is filled, so evictions equal fills
+    /// minus cold fills — `evictions == misses - cold_fills` — and the
+    /// resident count equals the cold fills capped by capacity.
+    #[test]
+    fn evictions_equal_misses_minus_cold_fills(
+        vpns in vec(0u64..64, 1..300),
+        sets in 1u32..5,
+        ways in 1u32..5,
+    ) {
+        let mut tlb = Tlb::new(sets, ways, 4096);
+        for vpn in vpns {
+            let vaddr = Addr::new(vpn * 4096);
+            if tlb.lookup(vaddr).is_none() {
+                tlb.fill(vaddr, vpn);
+            }
+        }
+        let s = tlb.stats().clone();
+        prop_assert_eq!(s.evictions, s.misses - s.cold_fills);
+        prop_assert!(s.cold_fills <= u64::from(sets * ways));
+        let resident: u64 = (0..sets as usize)
+            .map(|i| tlb.set_contents(i).len() as u64)
+            .sum();
+        // Cold fills claim empty ways, which never empty again.
+        prop_assert_eq!(resident, s.cold_fills);
+    }
+}

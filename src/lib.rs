@@ -15,6 +15,10 @@
 //!   Counting, Graph500 BFS, SGD, LSH, SpMV, SymGS) over synthetic
 //!   inputs, emitting instrumented op streams and real index-array
 //!   contents.
+//! * [`vm`] — the virtual-memory subsystem: per-core dTLBs, a radix
+//!   page table and walker, and translation policies for prefetches
+//!   (`Sim::page_size` / `tlb_ways` / `translation_policy`; ideal and
+//!   zero-cost by default).
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation.
 //! * [`sim`] (module) — the fluent [`Sim`] builder and the parallel
@@ -78,6 +82,7 @@ pub use imp_mem as mem;
 pub use imp_noc as noc;
 pub use imp_prefetch as prefetch;
 pub use imp_trace as trace;
+pub use imp_vm as vm;
 pub use imp_workloads as workloads;
 
 pub mod sim;
@@ -87,8 +92,8 @@ pub use sim::{Sim, SimError, Sweep, SweepCell, SweepResult};
 /// The most commonly used types, one `use` away.
 pub mod prelude {
     pub use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
-    pub use imp_common::config::{ParamValue, PrefetcherSpec};
-    pub use imp_common::stats::{AccessClass, SystemStats};
+    pub use imp_common::config::{ParamValue, PrefetcherSpec, TlbConfig, TranslationPolicy};
+    pub use imp_common::stats::{AccessClass, SystemStats, TlbStats};
     pub use imp_common::{Addr, ImpConfig, LineAddr, Pc, SystemConfig};
     pub use imp_experiments::{run as run_experiment, Config as ExperimentConfig};
     pub use imp_experiments::{Sim, SimError, Sweep, SweepCell, SweepResult};
@@ -96,6 +101,7 @@ pub mod prelude {
     pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
     pub use imp_sim::System;
     pub use imp_trace::{Op, Program, TraceFile};
+    pub use imp_vm::{PageTable, PageWalker, Tlb, Vm};
     pub use imp_workloads::{
         by_name, paper_workloads, BuiltArtifact, Scale, Workload, WorkloadParams,
     };

@@ -1,0 +1,108 @@
+//! Virtual-memory regression tests: the default (ideal) TLB must be a
+//! pure no-op on existing results, and a finite dTLB must actually tax
+//! IMP's value-derived prefetches on the paper workloads.
+
+use imp::prelude::*;
+
+fn pagerank_imp() -> Sim {
+    Sim::workload("pagerank")
+        .scale(Scale::Tiny)
+        .cores(16)
+        .prefetcher("imp")
+}
+
+/// The default configuration carries an ideal TLB and produces the same
+/// statistics as any explicit zero-cost translation setup: the `imp-vm`
+/// subsystem is purely additive for existing figures.
+#[test]
+fn default_ideal_tlb_is_bit_identical_to_zero_cost_translation() {
+    let default = pagerank_imp().run().unwrap();
+    assert!(
+        default.tlb_total() == TlbStats::default(),
+        "ideal translation must not count anything"
+    );
+
+    // A finite TLB with zero walk latency and ideal prefetch translation
+    // charges nothing: every pre-existing counter must be bit-identical.
+    let zero_cost = pagerank_imp()
+        .tlb(
+            TlbConfig::finite()
+                .with_walk_latency(0)
+                .with_policy(TranslationPolicy::Ideal),
+        )
+        .run()
+        .unwrap();
+    assert_eq!(default.runtime, zero_cost.runtime);
+    assert_eq!(default.cores, zero_cost.cores);
+    assert_eq!(default.prefetch, zero_cost.prefetch);
+    assert_eq!(default.traffic, zero_cost.traffic);
+    assert!(zero_cost.tlb_total().lookups() > 0, "the dTLB did run");
+}
+
+/// Determinism extends to the new subsystem: identical finite-TLB runs
+/// produce identical statistics, TLB counters included.
+#[test]
+fn finite_tlb_runs_are_deterministic() {
+    let sim = pagerank_imp().tlb_ways(2).page_size(4096);
+    let a = sim.run().unwrap();
+    let b = sim.run().unwrap();
+    assert_eq!(a, b);
+}
+
+/// Under `DropOnMiss`, pagerank's IMP prefetches — whose targets are
+/// data values scattered across the address space — must lose some
+/// requests to translation.
+#[test]
+fn pagerank_imp_drops_prefetches_under_drop_on_miss() {
+    let stats = pagerank_imp()
+        .translation_policy(TranslationPolicy::DropOnMiss)
+        .run()
+        .unwrap();
+    let t = stats.tlb_total();
+    assert!(t.misses > 0, "{t:?}");
+    assert!(t.prefetch_drops > 0, "{t:?}");
+    assert!(t.walk_cycles > 0, "demand walks are charged: {t:?}");
+    assert_eq!(t.prefetch_walks, 0, "DropOnMiss never walks for prefetches");
+}
+
+/// Under `NonBlockingWalk`, prefetch translations walk instead of
+/// dying: walk cycles accrue and more indirect prefetches reach memory
+/// than under `DropOnMiss`.
+#[test]
+fn pagerank_imp_walks_for_prefetches_under_non_blocking_walk() {
+    let dropper = pagerank_imp()
+        .translation_policy(TranslationPolicy::DropOnMiss)
+        .run()
+        .unwrap();
+    let walker = pagerank_imp()
+        .translation_policy(TranslationPolicy::NonBlockingWalk)
+        .run()
+        .unwrap();
+    let t = walker.tlb_total();
+    assert!(t.prefetch_walks > 0, "{t:?}");
+    assert!(t.walk_cycles > 0, "{t:?}");
+    assert_eq!(t.prefetch_drops, 0, "NonBlockingWalk never drops");
+    assert!(
+        walker.prefetch_total().issued() >= dropper.prefetch_total().issued(),
+        "walking must not lose prefetches dropping kept: {} vs {}",
+        walker.prefetch_total().issued(),
+        dropper.prefetch_total().issued()
+    );
+    // Cores see the translation stalls.
+    let walk_stalls: u64 = walker.cores.iter().map(|c| c.walk_stall_cycles).sum();
+    assert!(walk_stalls > 0);
+}
+
+/// Sweeping a TLB axis slots into the existing grid machinery: same
+/// inputs per cell, per-cell TLB stats, deterministic order.
+#[test]
+fn sweep_tlb_axis_runs_the_grid() {
+    let results = Sweep::from(pagerank_imp()).tlb_ways([2, 8]).run().unwrap();
+    assert_eq!(results.len(), 2);
+    for r in &results {
+        assert!(!r.cell.tlb.ideal);
+        assert!(r.stats.tlb_total().lookups() > 0);
+    }
+    // More ways => fewer conflict misses (never more).
+    assert!(results[0].stats.tlb_total().misses >= results[1].stats.tlb_total().misses);
+}
