@@ -1,9 +1,11 @@
-//! Translation-path throughput: dTLB hit path vs page-walk path.
+//! Translation-path throughput: dTLB hit path vs L2-TLB hit path vs
+//! page-walk path.
 //!
 //! The hit path sits on every demand access of every core when a finite
 //! TLB is configured, so its cost must stay negligible next to the
-//! cache model; the walk path bounds how expensive a TLB-thrashing
-//! workload can get.
+//! cache model; the L2 hit path is what a dTLB-thrashing workload pays
+//! when a shared second level catches it; the walk path bounds how
+//! expensive a fully TLB-missing workload can get.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use imp_common::{Addr, TlbConfig};
@@ -21,6 +23,23 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             offset = (offset + 8) & 0xFFF;
             vm.demand_translate(0, Addr::new(0x1000 + offset))
+        });
+    });
+
+    // L2 hit path: cycle a page pool larger than the 64-entry dTLB but
+    // comfortably inside a 2048-entry shared L2 TLB. After the first
+    // lap every translation misses the dTLB and hits the L2 — the
+    // steady state of a dTLB-thrashing, L2-friendly workload.
+    g.bench_function("l2_hit_path", |b| {
+        let l2_cfg = cfg.with_l2(256, 8);
+        let mut vm = Vm::new(&l2_cfg, 1).expect("L2 geometry is valid");
+        for page in 0..256u64 {
+            vm.demand_translate(0, Addr::new(page * 4096)); // prime the L2
+        }
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 1) % 256;
+            vm.demand_translate(0, Addr::new(page * 4096))
         });
     });
 

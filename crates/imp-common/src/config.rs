@@ -370,6 +370,37 @@ impl TranslationPolicy {
     }
 }
 
+/// How page-table walks are timed.
+///
+/// A walk is a pointer chase through the radix table: one page-table
+/// entry read per level, each dependent on the previous. The model
+/// decides what each of those PTE reads costs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WalkModel {
+    /// Every level costs a flat `TlbConfig::walk_latency` cycles and
+    /// generates no memory traffic (beyond the optional first-order
+    /// `walk_dram_traffic` accounting). Bit-identical to the simulator
+    /// before walks became first-class memory traffic.
+    #[default]
+    Flat,
+    /// Each PTE read is routed through the memory hierarchy: it crosses
+    /// the NoC to the line's home L2 slice, hits there if the
+    /// page-table working set is warm, and otherwise fetches the PTE
+    /// line from DRAM (filling the L2, contending with demand traffic,
+    /// and showing up in cache/NoC/DRAM statistics).
+    Cached,
+}
+
+impl WalkModel {
+    /// Short stable name (sweep axes, table headers).
+    pub const fn name(self) -> &'static str {
+        match self {
+            WalkModel::Flat => "flat",
+            WalkModel::Cached => "cached",
+        }
+    }
+}
+
 /// Per-core dTLB and page-walk configuration.
 ///
 /// The default, [`TlbConfig::ideal`], models the seed simulator exactly:
@@ -400,9 +431,24 @@ pub struct TlbConfig {
     /// How prefetch addresses are translated.
     pub policy: TranslationPolicy,
     /// Account each walk level as an 8-byte DRAM read in the traffic
-    /// statistics (first-order walk traffic; walks still do not occupy
-    /// the NoC or shared cache).
+    /// statistics (first-order walk traffic; only meaningful under
+    /// [`WalkModel::Flat`] — the `Cached` model accounts real traffic).
     pub walk_dram_traffic: bool,
+    /// Sets of the shared second-level TLB (0 disables the L2 TLB; when
+    /// enabled, `l2_sets` and `l2_ways` must both be non-zero).
+    pub l2_sets: u32,
+    /// Ways per set of the shared second-level TLB.
+    pub l2_ways: u32,
+    /// Cycles a translation stalls when it misses the per-core dTLB but
+    /// hits the shared L2 TLB.
+    pub l2_latency: Cycle,
+    /// Translation prefetching: let the prefetcher prefill L2-TLB
+    /// entries for the pages its value-derived (indirect) predictions
+    /// target, so later prefetches to those pages survive `DropOnMiss`.
+    pub tlb_prefetch: bool,
+    /// How page-table walks are timed (flat per-level latency, or PTE
+    /// reads routed through the shared cache hierarchy).
+    pub walk_model: WalkModel,
 }
 
 impl TlbConfig {
@@ -418,7 +464,8 @@ impl TlbConfig {
 
     /// A finite dTLB at typical first-level sizing: 64 entries (16 sets
     /// x 4 ways), 4 KB pages, 25 cycles per walk level, prefetches
-    /// dropped on TLB miss.
+    /// dropped on TLB miss, no L2 TLB, flat walk timing — bit-identical
+    /// to the configuration before the shared L2 TLB existed.
     pub const fn finite() -> Self {
         TlbConfig {
             ideal: false,
@@ -428,6 +475,11 @@ impl TlbConfig {
             walk_latency: 25,
             policy: TranslationPolicy::DropOnMiss,
             walk_dram_traffic: false,
+            l2_sets: 0,
+            l2_ways: 0,
+            l2_latency: 8,
+            tlb_prefetch: false,
+            walk_model: WalkModel::Flat,
         }
     }
 
@@ -467,6 +519,51 @@ impl TlbConfig {
     pub const fn with_walk_latency(mut self, cycles: Cycle) -> Self {
         self.walk_latency = cycles;
         self
+    }
+
+    /// Returns a copy with a shared L2 TLB of `sets` x `ways` entries
+    /// behind the per-core dTLBs (`with_l2(0, 0)` disables it again).
+    #[must_use]
+    pub const fn with_l2(mut self, sets: u32, ways: u32) -> Self {
+        self.l2_sets = sets;
+        self.l2_ways = ways;
+        self
+    }
+
+    /// Returns a copy with the L2-TLB hit latency replaced.
+    #[must_use]
+    pub const fn with_l2_latency(mut self, cycles: Cycle) -> Self {
+        self.l2_latency = cycles;
+        self
+    }
+
+    /// Returns a copy with translation prefetching switched on or off.
+    #[must_use]
+    pub const fn with_tlb_prefetch(mut self, on: bool) -> Self {
+        self.tlb_prefetch = on;
+        self
+    }
+
+    /// Returns a copy with the walk-timing model replaced.
+    #[must_use]
+    pub const fn with_walk_model(mut self, model: WalkModel) -> Self {
+        self.walk_model = model;
+        self
+    }
+
+    /// Whether a shared L2 TLB is configured.
+    pub const fn has_l2(&self) -> bool {
+        self.l2_sets > 0 || self.l2_ways > 0
+    }
+
+    /// Total L2-TLB entries.
+    pub const fn l2_entries(&self) -> u32 {
+        self.l2_sets * self.l2_ways
+    }
+
+    /// Address bytes covered by a full L2 TLB (its *reach*).
+    pub const fn l2_reach_bytes(&self) -> u64 {
+        self.l2_entries() as u64 * self.page_bytes
     }
 
     /// This config if it is already finite, otherwise [`TlbConfig::finite`]
@@ -830,6 +927,29 @@ mod tests {
             SystemConfig::paper_default(16).with_tlb(t).tlb.page_bytes,
             64 * 1024
         );
+    }
+
+    #[test]
+    fn l2_tlb_and_walk_model_knobs_compose_and_default_off() {
+        let f = TlbConfig::finite();
+        assert!(!f.has_l2(), "no L2 TLB unless asked for");
+        assert!(!f.tlb_prefetch);
+        assert_eq!(f.walk_model, WalkModel::Flat);
+
+        let t = TlbConfig::finite()
+            .with_l2(128, 8)
+            .with_l2_latency(12)
+            .with_tlb_prefetch(true)
+            .with_walk_model(WalkModel::Cached);
+        assert!(t.has_l2());
+        assert_eq!(t.l2_entries(), 1024);
+        assert_eq!(t.l2_reach_bytes(), 1024 * 4096);
+        assert_eq!(t.l2_latency, 12);
+        assert!(t.tlb_prefetch);
+        assert_eq!(t.walk_model, WalkModel::Cached);
+        assert!(!t.with_l2(0, 0).has_l2());
+        assert_eq!(WalkModel::Flat.name(), "flat");
+        assert_eq!(WalkModel::Cached.name(), "cached");
     }
 
     #[test]

@@ -31,12 +31,15 @@ pub enum MemResult {
     /// core proceeds at the returned cycle while the line is fetched in
     /// the background (counts as a miss for statistics).
     StoreBuffered(Cycle),
-    /// The dTLB missed: the access first stalls `walk` cycles for a
-    /// page-table walk, then behaves like `then` (whose embedded cycle
-    /// values already include the walk delay). Cores account the walk
-    /// share in `CoreStats::walk_stall_cycles`.
+    /// The dTLB missed: the access first stalls `walk` cycles for
+    /// translation — an L2-TLB hit's latency, or a full page-table
+    /// walk (flat-charged or routed through the memory hierarchy,
+    /// depending on the `WalkModel`) — then behaves like `then` (whose
+    /// embedded cycle values already include the translation delay).
+    /// Cores account the translation share in
+    /// `CoreStats::walk_stall_cycles`.
     TlbWalk {
-        /// Cycles of the blocking page-table walk.
+        /// Cycles of the blocking translation (L2-TLB hit or walk).
         walk: Cycle,
         /// What the access resolved to once translated.
         then: WalkOutcome,

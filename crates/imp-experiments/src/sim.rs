@@ -25,6 +25,7 @@
 
 use imp_common::config::{
     CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy,
+    WalkModel,
 };
 use imp_common::{ImpConfig, SystemConfig, SystemStats};
 use imp_sim::{BuildError, RegistryError, System, VmConfigError};
@@ -276,6 +277,34 @@ impl Sim {
         self
     }
 
+    /// Puts a shared L2 TLB of `sets` x `ways` entries behind the
+    /// per-core dTLBs (`l2_tlb(0, 0)` removes it). Upgrades an ideal
+    /// TLB to finite defaults first.
+    #[must_use]
+    pub fn l2_tlb(mut self, sets: u32, ways: u32) -> Self {
+        self.tlb = self.tlb.finite_or_self().with_l2(sets, ways);
+        self
+    }
+
+    /// Translation prefetching: let IMP's value-derived predictions
+    /// prefill L2-TLB entries for their target pages, so indirect
+    /// prefetches survive `DropOnMiss`. Upgrades an ideal TLB to finite
+    /// defaults first.
+    #[must_use]
+    pub fn tlb_prefetch(mut self, on: bool) -> Self {
+        self.tlb = self.tlb.finite_or_self().with_tlb_prefetch(on);
+        self
+    }
+
+    /// How page walks are timed: a flat per-level latency, or PTE reads
+    /// routed through the shared cache hierarchy (`WalkModel::Cached`).
+    /// Upgrades an ideal TLB to finite defaults first.
+    #[must_use]
+    pub fn walk_model(mut self, model: WalkModel) -> Self {
+        self.tlb = self.tlb.finite_or_self().with_walk_model(model);
+        self
+    }
+
     /// Inserts Mowry-style software prefetches `distance` elements ahead
     /// (the paper's *Software Prefetching* configuration).
     #[must_use]
@@ -460,6 +489,28 @@ mod tests {
         let err = Sim::workload("spmv")
             .scale(Scale::Tiny)
             .page_size(3000)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Tlb(_)), "{err:?}");
+    }
+
+    #[test]
+    fn l2_tlb_knobs_upgrade_and_surface_typed_errors() {
+        let cfg = Sim::workload("spmv")
+            .l2_tlb(128, 8)
+            .tlb_prefetch(true)
+            .walk_model(WalkModel::Cached)
+            .config()
+            .unwrap();
+        assert!(!cfg.tlb.ideal, "setting an L2 knob enables the dTLB");
+        assert_eq!((cfg.tlb.l2_sets, cfg.tlb.l2_ways), (128, 8));
+        assert!(cfg.tlb.tlb_prefetch);
+        assert_eq!(cfg.tlb.walk_model, WalkModel::Cached);
+        // A half-configured L2 TLB surfaces as a typed error, not a
+        // panic.
+        let err = Sim::workload("spmv")
+            .scale(Scale::Tiny)
+            .l2_tlb(128, 0)
             .run()
             .unwrap_err();
         assert!(matches!(err, SimError::Tlb(_)), "{err:?}");

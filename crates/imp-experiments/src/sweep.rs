@@ -1,9 +1,11 @@
 //! Parameter sweeps: fan a grid of simulation cells across threads and
 //! collect structured results.
 //!
-//! A [`Sweep`] starts from a template [`Sim`] and varies any of four
-//! axes — workloads, core counts, prefetcher specs, partial-accessing
-//! modes. Cells are enumerated in a deterministic cross-product order and
+//! A [`Sweep`] starts from a template [`Sim`] and varies any axis —
+//! workloads, core counts, prefetcher specs, partial-accessing modes,
+//! and the translation sub-grid (page sizes, dTLB ways, translation
+//! policies, L2-TLB geometries, translation prefetching, walk models).
+//! Cells are enumerated in a deterministic cross-product order and
 //! executed by a scoped worker pool; each cell derives its
 //! workload-generation seed from the template seed and the cell's
 //! (workload, cores) coordinates — never from scheduling — so results are
@@ -34,7 +36,7 @@
 //! ```
 
 use crate::sim::{Sim, SimError};
-use imp_common::config::{PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy};
+use imp_common::config::{PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel};
 use imp_common::{fnv1a, SplitMix64, SystemStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -102,6 +104,9 @@ pub struct Sweep {
     page_sizes: Vec<u64>,
     tlb_ways: Vec<u32>,
     policies: Vec<TranslationPolicy>,
+    l2_tlbs: Vec<(u32, u32)>,
+    tlb_prefetches: Vec<bool>,
+    walk_models: Vec<WalkModel>,
     threads: Option<usize>,
     spec_error: Option<String>,
 }
@@ -116,6 +121,9 @@ impl From<Sim> for Sweep {
             page_sizes: Vec::new(),
             tlb_ways: Vec::new(),
             policies: Vec::new(),
+            l2_tlbs: Vec::new(),
+            tlb_prefetches: Vec::new(),
+            walk_models: Vec::new(),
             threads: None,
             spec_error: None,
             base,
@@ -202,6 +210,31 @@ impl Sweep {
         self
     }
 
+    /// Varies the shared L2-TLB geometry as `(sets, ways)` pairs
+    /// (`(0, 0)` is the no-L2 point); see [`Sweep::page_sizes`] for how
+    /// an ideal template upgrades.
+    #[must_use]
+    pub fn l2_tlbs<I: IntoIterator<Item = (u32, u32)>>(mut self, geometries: I) -> Self {
+        self.l2_tlbs = geometries.into_iter().collect();
+        self
+    }
+
+    /// Varies the translation-prefetching knob; see
+    /// [`Sweep::page_sizes`] for how an ideal template upgrades.
+    #[must_use]
+    pub fn tlb_prefetches<I: IntoIterator<Item = bool>>(mut self, settings: I) -> Self {
+        self.tlb_prefetches = settings.into_iter().collect();
+        self
+    }
+
+    /// Varies the walk-timing model; see [`Sweep::page_sizes`] for how
+    /// an ideal template upgrades.
+    #[must_use]
+    pub fn walk_models<I: IntoIterator<Item = WalkModel>>(mut self, models: I) -> Self {
+        self.walk_models = models.into_iter().collect();
+        self
+    }
+
     /// Caps the worker-thread count (default: available parallelism).
     /// `threads(1)` runs the grid inline on the calling thread.
     #[must_use]
@@ -238,62 +271,107 @@ impl Sweep {
                 },
             )
         };
-        // Any swept TLB knob upgrades an ideal template to the finite
-        // defaults; otherwise the template's TLB rides along unchanged.
-        let tlb_swept =
-            !(self.page_sizes.is_empty() && self.tlb_ways.is_empty() && self.policies.is_empty());
-        let tlb_base = if tlb_swept {
-            self.base_tlb().finite_or_self()
-        } else {
-            self.base_tlb()
-        };
-        let one_tlb = (
-            vec![tlb_base.page_bytes],
-            vec![tlb_base.ways],
-            vec![tlb_base.policy],
-        );
-        let page_sizes = if self.page_sizes.is_empty() {
-            &one_tlb.0
-        } else {
-            &self.page_sizes
-        };
-        let tlb_ways = if self.tlb_ways.is_empty() {
-            &one_tlb.1
-        } else {
-            &self.tlb_ways
-        };
-        let policies = if self.policies.is_empty() {
-            &one_tlb.2
-        } else {
-            &self.policies
-        };
+        let tlbs = self.tlb_variants();
         let mut cells = Vec::new();
         for w in &self.workloads {
             for &n in cores {
                 for p in prefetchers {
                     for &m in partials {
-                        for &ps in page_sizes {
-                            for &ways in tlb_ways {
-                                for &policy in policies {
-                                    cells.push(SweepCell {
-                                        workload: w.clone(),
-                                        cores: n,
-                                        prefetcher: p.clone(),
-                                        partial: m,
-                                        tlb: tlb_base
-                                            .with_page_bytes(ps)
-                                            .with_ways(ways)
-                                            .with_policy(policy),
-                                        seed: cell_seed(self.base_seed(), w, n),
-                                    });
-                                }
-                            }
+                        for &tlb in &tlbs {
+                            cells.push(SweepCell {
+                                workload: w.clone(),
+                                cores: n,
+                                prefetcher: p.clone(),
+                                partial: m,
+                                tlb,
+                                seed: cell_seed(self.base_seed(), w, n),
+                            });
                         }
                     }
                 }
             }
         }
         cells
+    }
+
+    /// The translation sub-grid: the cross product of every swept TLB
+    /// axis (page sizes, dTLB ways, translation policies, L2-TLB
+    /// geometries, translation prefetching, walk models), in that
+    /// nesting order with the walk model varying fastest. Any swept
+    /// TLB knob upgrades an ideal template to the finite defaults;
+    /// with no TLB axis swept this is exactly the template's TLB.
+    fn tlb_variants(&self) -> Vec<TlbConfig> {
+        let tlb_swept = !(self.page_sizes.is_empty()
+            && self.tlb_ways.is_empty()
+            && self.policies.is_empty()
+            && self.l2_tlbs.is_empty()
+            && self.tlb_prefetches.is_empty()
+            && self.walk_models.is_empty());
+        let base = if tlb_swept {
+            self.base_tlb().finite_or_self()
+        } else {
+            self.base_tlb()
+        };
+        let one = (
+            vec![base.page_bytes],
+            vec![base.ways],
+            vec![base.policy],
+            vec![(base.l2_sets, base.l2_ways)],
+            vec![base.tlb_prefetch],
+            vec![base.walk_model],
+        );
+        let page_sizes = if self.page_sizes.is_empty() {
+            &one.0
+        } else {
+            &self.page_sizes
+        };
+        let tlb_ways = if self.tlb_ways.is_empty() {
+            &one.1
+        } else {
+            &self.tlb_ways
+        };
+        let policies = if self.policies.is_empty() {
+            &one.2
+        } else {
+            &self.policies
+        };
+        let l2s = if self.l2_tlbs.is_empty() {
+            &one.3
+        } else {
+            &self.l2_tlbs
+        };
+        let tps = if self.tlb_prefetches.is_empty() {
+            &one.4
+        } else {
+            &self.tlb_prefetches
+        };
+        let wms = if self.walk_models.is_empty() {
+            &one.5
+        } else {
+            &self.walk_models
+        };
+        let mut out = Vec::new();
+        for &ps in page_sizes {
+            for &ways in tlb_ways {
+                for &policy in policies {
+                    for &(l2s_n, l2w) in l2s {
+                        for &tp in tps {
+                            for &wm in wms {
+                                out.push(
+                                    base.with_page_bytes(ps)
+                                        .with_ways(ways)
+                                        .with_policy(policy)
+                                        .with_l2(l2s_n, l2w)
+                                        .with_tlb_prefetch(tp)
+                                        .with_walk_model(wm),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Runs every cell and returns results in [`Sweep::cells`] order.
@@ -515,6 +593,32 @@ mod tests {
         );
         // Without TLB axes, cells keep the template's (ideal) TLB.
         assert!(Sweep::from(Sim::workload("spmv")).cells()[0].tlb.ideal);
+    }
+
+    #[test]
+    fn l2_and_prefetch_axes_extend_the_translation_subgrid() {
+        let sweep = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+            .l2_tlbs([(0, 0), (128, 8)])
+            .tlb_prefetches([false, true])
+            .walk_models([WalkModel::Flat, WalkModel::Cached]);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 8);
+        assert!(
+            cells.iter().all(|c| !c.tlb.ideal),
+            "sweeping any translation knob enables the dTLB"
+        );
+        // Walk model varies fastest, then tlb_prefetch, then L2.
+        assert_eq!(cells[0].tlb.walk_model, WalkModel::Flat);
+        assert_eq!(cells[1].tlb.walk_model, WalkModel::Cached);
+        assert!(!cells[0].tlb.tlb_prefetch);
+        assert!(cells[2].tlb.tlb_prefetch);
+        assert!(!cells[0].tlb.has_l2());
+        assert!(cells[4].tlb.has_l2());
+        assert_eq!((cells[7].tlb.l2_sets, cells[7].tlb.l2_ways), (128, 8));
+        assert!(cells[7].tlb.tlb_prefetch);
+        assert_eq!(cells[7].tlb.walk_model, WalkModel::Cached);
+        // One generated input across the whole translation sub-grid.
+        assert!(cells.iter().all(|c| c.seed == cells[0].seed));
     }
 
     #[test]

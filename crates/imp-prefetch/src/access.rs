@@ -87,6 +87,16 @@ impl PrefetchRequest {
     pub fn line(&self) -> LineAddr {
         LineAddr::containing(self.addr)
     }
+
+    /// True when the target address was computed from a *data value*
+    /// (an indirect prediction). Stream prefetches trail the demand
+    /// stream and find their pages TLB-resident; indirect ones land on
+    /// arbitrary pages, so they are the requests worth prefilling
+    /// translations for (`TlbConfig::tlb_prefetch` routes them through
+    /// the simulator's translation-prefetch port).
+    pub fn wants_translation_prefetch(&self) -> bool {
+        matches!(self.kind, PrefetchKind::Indirect { .. })
+    }
 }
 
 /// Where IMP reads index values from.
@@ -259,5 +269,18 @@ mod tests {
             kind: PrefetchKind::Stream,
         };
         assert_eq!(r.line(), LineAddr::containing(Addr::new(0x1200)));
+    }
+
+    #[test]
+    fn only_indirect_requests_want_translation_prefetch() {
+        let mut r = PrefetchRequest {
+            addr: Addr::new(0x1238),
+            sectors: SectorMask::FULL_L1,
+            exclusive: false,
+            kind: PrefetchKind::Stream,
+        };
+        assert!(!r.wants_translation_prefetch());
+        r.kind = PrefetchKind::Indirect { pt: 3 };
+        assert!(r.wants_translation_prefetch());
     }
 }

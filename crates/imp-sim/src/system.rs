@@ -10,7 +10,7 @@
 use crate::msg::{Msg, MsgKind};
 use imp_cache::{AccessOutcome, Evicted, LineState, MshrAlloc, MshrFile, SectoredCache};
 use imp_coherence::{Directory, InvTargets};
-use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode};
+use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode, WalkModel};
 use imp_common::stats::{CoreStats, PrefetchStats, SystemStats, TlbStats, TrafficStats};
 use imp_common::{Addr, Cycle, EventQueue, LineAddr, SectorMask, SystemConfig, LINE_BYTES};
 use imp_cpu::{CoreBlock, CoreEngine, InOrderCore, MemPort, MemResult, OooCore};
@@ -22,7 +22,7 @@ use imp_prefetch::{
     Access, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind, PrefetchRequest,
 };
 use imp_trace::{BarrierMismatch, OpKind, Program};
-use imp_vm::{PrefetchTranslation, Vm, VmConfigError};
+use imp_vm::{PrefetchTranslation, Vm, VmConfigError, WalkMemory, PTE_BYTES};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -223,25 +223,30 @@ impl Fabric {
     // Address translation (imp-vm)
     // ------------------------------------------------------------------
 
-    /// First-order walk traffic: each radix level reads one 8-byte page
-    /// table entry from DRAM (no NoC or shared-cache occupancy; see
-    /// ROADMAP open items for the full-path model).
+    /// First-order walk traffic under `WalkModel::Flat`: each radix
+    /// level reads one 8-byte page-table entry from DRAM (no NoC or
+    /// shared-cache occupancy). Under `WalkModel::Cached` the real PTE
+    /// reads are accounted in [`Fabric::pte_read`] instead.
     fn walk_traffic(&mut self, levels: u32) {
-        if self.cfg.tlb.walk_dram_traffic {
+        if self.cfg.tlb.walk_dram_traffic && self.cfg.tlb.walk_model == WalkModel::Flat {
             self.traffic.dram_read_bytes += 8 * u64::from(levels);
             self.traffic.dram_accesses += u64::from(levels);
         }
     }
 
-    /// Translates a demand access, returning the walk cycles it must
-    /// stall for (0 on a TLB hit or under ideal translation).
-    fn demand_translate(&mut self, c: usize, addr: Addr) -> Cycle {
-        let Some(vm) = self.vm.as_mut() else {
+    /// Translates a demand access issued at `now`, returning the
+    /// translation cycles it must stall for (0 on a TLB hit or under
+    /// ideal translation). The `Vm` is taken out of `self` for the
+    /// call so a cached walk can route its PTE reads back through this
+    /// fabric.
+    fn demand_translate(&mut self, c: usize, addr: Addr, now: Cycle) -> Cycle {
+        let Some(mut vm) = self.vm.take() else {
             return 0;
         };
-        let t = vm.demand_translate(c, addr);
-        // walk_levels is 0 exactly on a TLB hit; a zero-latency walk
-        // still reads its page-table entries.
+        let t = vm.demand_translate_via(c, addr, now, self);
+        self.vm = Some(vm);
+        // walk_levels is 0 exactly on a TLB hit (either level); a
+        // zero-latency flat walk still reads its page-table entries.
         if t.walk_levels > 0 {
             self.walk_traffic(t.walk_levels);
         }
@@ -250,13 +255,15 @@ impl Fabric {
 
     /// Translates a prefetch address under the configured policy.
     /// Returns the cycle at which the prefetch may issue (delayed past
-    /// `now` by a non-blocking walk), or `None` when the policy dropped
-    /// it.
+    /// `now` by a non-blocking walk or an L2-TLB hit), or `None` when
+    /// the policy dropped it.
     fn prefetch_translate(&mut self, c: usize, addr: Addr, now: Cycle) -> Option<Cycle> {
-        let Some(vm) = self.vm.as_mut() else {
+        let Some(mut vm) = self.vm.take() else {
             return Some(now);
         };
-        match vm.prefetch_translate(c, addr) {
+        let outcome = vm.prefetch_translate_via(c, addr, now, self);
+        self.vm = Some(vm);
+        match outcome {
             PrefetchTranslation::Ready(_) => Some(now),
             PrefetchTranslation::Walked { cycles, levels, .. } => {
                 self.walk_traffic(levels);
@@ -264,6 +271,23 @@ impl Fabric {
             }
             PrefetchTranslation::Dropped => None,
         }
+    }
+
+    /// Drives the `Vm`'s translation-prefetch port for a value-derived
+    /// prefetch target: prefill the shared L2 TLB with the page's
+    /// translation so this prefetch (and later ones to the page)
+    /// survive `DropOnMiss`. Returns the cycle the translation is
+    /// ready, which is when the data prefetch may continue.
+    fn translation_prefetch(&mut self, c: usize, addr: Addr, now: Cycle) -> Cycle {
+        let Some(mut vm) = self.vm.take() else {
+            return now;
+        };
+        let tp = vm.prefetch_translation(c, addr, now, self);
+        self.vm = Some(vm);
+        if tp.walk_levels > 0 {
+            self.walk_traffic(tp.walk_levels);
+        }
+        tp.ready
     }
 
     // ------------------------------------------------------------------
@@ -289,7 +313,16 @@ impl Fabric {
         }
         // IMP's value-derived addresses land on arbitrary virtual pages:
         // the prefetch only proceeds once translated (the configured
-        // TranslationPolicy may drop or delay it here).
+        // TranslationPolicy may drop or delay it here). With translation
+        // prefetching on, an indirect prediction first prefills the
+        // shared L2 TLB for its target page — the data prefetch then
+        // survives DropOnMiss via an L2-TLB hit, as do later prefetches
+        // to the same page.
+        let now = if self.cfg.tlb.tlb_prefetch && req.wants_translation_prefetch() {
+            self.translation_prefetch(c, req.addr, now)
+        } else {
+            now
+        };
         let Some(now) = self.prefetch_translate(c, req.addr, now) else {
             return;
         };
@@ -1001,6 +1034,54 @@ impl Fabric {
     }
 }
 
+/// Page walks as first-class memory traffic (`WalkModel::Cached`): each
+/// page-table-entry read crosses the NoC to the PTE line's home L2
+/// slice, hits there when the page-table working set is warm, and
+/// otherwise fetches the line from DRAM — filling the L2 (evicting
+/// whatever loses the set), occupying NoC links and DRAM bandwidth, and
+/// showing up in the traffic statistics. Walks therefore contend with
+/// demand traffic instead of charging a flat latency.
+///
+/// The reads use the timing substrate (mesh links, L2 arrays, DRAM
+/// models) directly rather than the directory protocol: PTE lines live
+/// in their own address region, are never written, and are never cached
+/// in L1s, so there is no coherence state to track — but an L2 fill's
+/// *evictions* go through the ordinary [`Fabric::l2_evicted`] path and
+/// can recall demand lines from L1s.
+impl WalkMemory for Fabric {
+    fn pte_read(&mut self, core: usize, pte: Addr, now: Cycle) -> Cycle {
+        let line = LineAddr::containing(pte);
+        let home = self.home_of(line);
+        let h = home as usize;
+        self.traffic.noc_messages += 1;
+        let (at_home, _) = self.mesh.send(core as u32, home, 0, now);
+        let probed = at_home + self.cfg.mem.l2_slice.latency;
+        let ready = match self.l2[h].demand_access(line, SectorMask::FULL_L2, false) {
+            AccessOutcome::Hit { .. } => probed,
+            AccessOutcome::SectorMiss { .. } | AccessOutcome::Miss => {
+                let mc = mc_for_line(line.number(), self.cfg.mem.mem_controllers) as usize;
+                let mc_tile = self.mc_tiles[mc];
+                self.traffic.noc_messages += 1;
+                let (at_mc, _) = self.mesh.send(home, mc_tile, 0, probed);
+                let fetched = self.drams[mc].access(at_mc, line.base().raw(), LINE_BYTES, false);
+                self.traffic.dram_read_bytes += LINE_BYTES;
+                self.traffic.dram_accesses += 1;
+                self.traffic.noc_messages += 1;
+                let (back, _) = self.mesh.send(mc_tile, home, LINE_BYTES, fetched);
+                if let Some(ev) =
+                    self.l2[h].fill(line, SectorMask::FULL_L2, LineState::Shared, false)
+                {
+                    self.l2_evicted(h, ev, back);
+                }
+                back
+            }
+        };
+        self.traffic.noc_messages += 1;
+        let (done, _) = self.mesh.send(home, core as u32, PTE_BYTES, ready);
+        done
+    }
+}
+
 impl MemPort for Fabric {
     fn access(&mut self, core: u32, op: &imp_trace::Op, now: Cycle) -> MemResult {
         let c = core as usize;
@@ -1058,7 +1139,7 @@ impl MemPort for Fabric {
                 // prefetcher observations alike. With the default ideal
                 // TLB the walk is 0 and this path is byte-for-byte the
                 // pre-imp-vm behavior.
-                let walk = self.demand_translate(c, addr);
+                let walk = self.demand_translate(c, addr, now);
                 self.realistic_access(c, op, now + walk).with_walk(walk)
             }
         }
@@ -1370,15 +1451,19 @@ impl System {
         let mut traffic = self.fab.traffic.clone();
         traffic.noc_flit_hops = self.fab.mesh.flit_hops();
         let n = cores.len();
-        let tlb = match &self.fab.vm {
-            Some(vm) => (0..n).map(|c| vm.stats(c).clone()).collect(),
-            None => vec![TlbStats::default(); n],
+        let (tlb, tlb_l2) = match &self.fab.vm {
+            Some(vm) => (
+                (0..n).map(|c| vm.stats(c).clone()).collect(),
+                vm.l2_stats().cloned().unwrap_or_default(),
+            ),
+            None => (vec![TlbStats::default(); n], TlbStats::default()),
         };
         SystemStats {
             runtime,
             cores,
             prefetch: self.fab.pstats.clone(),
             tlb,
+            tlb_l2,
             traffic,
         }
     }

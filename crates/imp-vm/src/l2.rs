@@ -1,0 +1,139 @@
+//! The shared second-level TLB behind the per-core dTLBs.
+
+use crate::Tlb;
+use imp_common::{Addr, TlbStats};
+
+/// A shared, set-associative second-level TLB.
+///
+/// One `L2Tlb` sits behind *all* per-core dTLBs: a translation that
+/// misses a core's dTLB is looked up here before falling through to a
+/// page-table walk, and walks fill both levels. Its capacity is what a
+/// core's indirect prefetches lean on — IMP's translation prefetching
+/// (`TlbConfig::tlb_prefetch`) installs predicted pages here rather
+/// than polluting the small per-core dTLBs demand accesses depend on.
+///
+/// The ledger is the level's own [`TlbStats`]:
+///
+/// * `hits` / `misses` — demand lookups (by construction, per-core
+///   dTLB misses == L2 lookups);
+/// * `prefetch_hits` — prefetch translations rescued by the L2 after
+///   missing a dTLB;
+/// * `prefetch_walks` — prefetch-initiated installs through
+///   [`L2Tlb::prefetch_install`] (the translation-prefetch port and
+///   `NonBlockingWalk` prefetch fills alike);
+/// * `evictions` / `cold_fills` — fills displace valid entries or
+///   claim never-used ways, so `evictions == misses + prefetch
+///   installs - cold_fills`.
+///
+/// ```
+/// use imp_common::Addr;
+/// use imp_vm::L2Tlb;
+///
+/// let mut l2 = L2Tlb::new(4, 2, 4096);
+/// assert_eq!(l2.demand_lookup(Addr::new(0x1234)), None);
+/// l2.install(Addr::new(0x1234), 0x7);
+/// assert_eq!(l2.demand_lookup(Addr::new(0x1FFF)), Some(Addr::new(0x7FFF)));
+/// assert_eq!(l2.stats().hits, 1);
+/// assert_eq!(l2.stats().misses, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct L2Tlb {
+    inner: Tlb,
+}
+
+impl L2Tlb {
+    /// Creates a shared L2 TLB with `sets` sets of `ways` ways for
+    /// `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tlb::new`]; validate a
+    /// user-supplied configuration with [`crate::validate_config`]
+    /// first.
+    pub fn new(sets: u32, ways: u32, page_bytes: u64) -> Self {
+        L2Tlb {
+            inner: Tlb::new(sets, ways, page_bytes),
+        }
+    }
+
+    /// Looks a demand translation up (after it missed a per-core dTLB),
+    /// counting a hit or miss and refreshing LRU order.
+    pub fn demand_lookup(&mut self, vaddr: Addr) -> Option<Addr> {
+        self.inner.lookup(vaddr)
+    }
+
+    /// Looks a prefetch translation up, counting only `prefetch_hits`
+    /// on a hit (the caller's translation policy decides what a miss
+    /// means).
+    pub fn prefetch_probe(&mut self, vaddr: Addr) -> Option<Addr> {
+        self.inner.prefetch_lookup(vaddr)
+    }
+
+    /// Installs the mapping `vaddr`'s page → `ppn` after a page walk.
+    pub fn install(&mut self, vaddr: Addr, ppn: u64) {
+        self.inner.fill(vaddr, ppn);
+    }
+
+    /// Installs a mapping on behalf of the translation-prefetch port,
+    /// counting it in `prefetch_walks`.
+    pub fn prefetch_install(&mut self, vaddr: Addr, ppn: u64) {
+        self.inner.fill(vaddr, ppn);
+        self.inner.stats_mut().prefetch_walks += 1;
+    }
+
+    /// True if `vaddr`'s page is resident (no LRU update, no counters).
+    pub fn contains(&self, vaddr: Addr) -> bool {
+        self.inner.contains(vaddr)
+    }
+
+    /// The level's accumulated counters.
+    pub fn stats(&self) -> &TlbStats {
+        self.inner.stats()
+    }
+
+    /// Mutable counter access (the owner charges walk cycles of
+    /// L2-initiated translation prefetches here).
+    pub fn stats_mut(&mut self) -> &mut TlbStats {
+        self.inner.stats_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> Addr {
+        Addr::new(n * 4096)
+    }
+
+    #[test]
+    fn demand_and_prefetch_paths_count_separately() {
+        let mut l2 = L2Tlb::new(2, 2, 4096);
+        assert_eq!(l2.demand_lookup(page(1)), None);
+        l2.install(page(1), 1);
+        assert!(l2.demand_lookup(page(1)).is_some());
+        assert!(l2.prefetch_probe(page(1)).is_some());
+        assert_eq!(l2.prefetch_probe(page(9)), None);
+        let s = l2.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.prefetch_hits, 1, "prefetch probes have their own counter");
+        assert_eq!(s.cold_fills, 1);
+    }
+
+    #[test]
+    fn prefetch_installs_are_ledgered() {
+        let mut l2 = L2Tlb::new(1, 1, 4096);
+        l2.prefetch_install(page(3), 3);
+        assert!(l2.contains(page(3)));
+        assert_eq!(l2.stats().prefetch_walks, 1);
+        assert_eq!(l2.stats().cold_fills, 1);
+        // A second install displaces the first: the eviction ledger
+        // includes prefetch installs.
+        l2.prefetch_install(page(4), 4);
+        assert_eq!(l2.stats().evictions, 1);
+        assert_eq!(
+            l2.stats().evictions,
+            l2.stats().misses + l2.stats().prefetch_walks - l2.stats().cold_fills
+        );
+    }
+}

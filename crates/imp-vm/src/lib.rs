@@ -10,18 +10,29 @@
 //!
 //! * [`Tlb`] — a set-associative, true-LRU TLB with hit/miss/eviction
 //!   statistics and a configurable page size.
+//! * [`L2Tlb`] — a *shared* second-level TLB behind the per-core
+//!   dTLBs, with its own ledger; the level IMP's translation
+//!   prefetching prefills for its value-derived predictions.
 //! * [`PageTable`] / [`PageWalker`] — a sparse radix tree (9 index bits
-//!   per level over a 48-bit space) and a walker charging a configurable
-//!   per-level latency; unmapped pages are identity-mapped on first
-//!   touch, so translation changes *timing*, never data.
-//! * [`Vm`] — the engine `imp-sim` embeds: per-core TLBs over one shared
-//!   table/walker, applying [`imp_common::TranslationPolicy`] to
-//!   prefetch translations (`DropOnMiss` | `NonBlockingWalk` | `Ideal`)
-//!   while demand translations always walk (and stall).
+//!   per level over a 48-bit space) and a walker charging either a flat
+//!   per-level latency or — through a [`WalkMemory`] hook — whatever
+//!   the memory hierarchy says each page-table-entry read costs;
+//!   unmapped pages are identity-mapped on first touch, so translation
+//!   changes *timing*, never data.
+//! * [`Vm`] — the engine `imp-sim` embeds: per-core TLBs over one
+//!   shared L2 TLB, table and walker, applying
+//!   [`imp_common::TranslationPolicy`] to prefetch translations
+//!   (`DropOnMiss` | `NonBlockingWalk` | `Ideal`) while demand
+//!   translations always walk (and stall), plus the
+//!   translation-prefetch port ([`Vm::prefetch_translation`]) the IMP
+//!   prefetcher drives when `TlbConfig::tlb_prefetch` is on.
 //!
 //! Configuration lives in [`imp_common::TlbConfig`]; the default
 //! [`imp_common::TlbConfig::ideal`] disables the subsystem entirely and
-//! is bit-identical to the pre-`imp-vm` simulator.
+//! is bit-identical to the pre-`imp-vm` simulator. The defaults of the
+//! newer knobs are equally conservative: no L2 TLB, no translation
+//! prefetching, and [`imp_common::WalkModel::Flat`] walk timing
+//! reproduce the single-level subsystem exactly.
 //!
 //! # Example
 //!
@@ -45,13 +56,18 @@
 //! assert!(matches!(p, PrefetchTranslation::Dropped));
 //! ```
 
+mod l2;
 mod page_table;
 mod tlb;
 
-pub use page_table::{PageTable, PageWalker, Walk, ADDRESS_BITS, LEVEL_BITS};
+pub use l2::L2Tlb;
+pub use page_table::{
+    FlatWalkMemory, PageTable, PageWalker, Walk, WalkMemory, ADDRESS_BITS, LEVEL_BITS, MAX_LEVELS,
+    NODE_BYTES, PTE_BYTES, PT_BASE,
+};
 pub use tlb::Tlb;
 
-use imp_common::{Addr, Cycle, TlbConfig, TlbStats, TranslationPolicy};
+use imp_common::{Addr, Cycle, TlbConfig, TlbStats, TranslationPolicy, WalkModel};
 use std::fmt;
 
 /// Why a [`TlbConfig`] cannot build a [`Vm`].
@@ -59,6 +75,14 @@ use std::fmt;
 pub enum VmConfigError {
     /// `sets` or `ways` is zero.
     EmptyTlb,
+    /// Exactly one of `l2_sets` / `l2_ways` is zero (both zero disables
+    /// the L2 TLB; both non-zero enables it).
+    PartialL2Tlb {
+        /// Configured L2 sets.
+        sets: u32,
+        /// Configured L2 ways.
+        ways: u32,
+    },
     /// The page size is not a power of two.
     PageNotPowerOfTwo(u64),
     /// The page size is smaller than a cache line (the line-granular
@@ -72,6 +96,11 @@ impl fmt::Display for VmConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmConfigError::EmptyTlb => write!(f, "TLB sets and ways must be non-zero"),
+            VmConfigError::PartialL2Tlb { sets, ways } => write!(
+                f,
+                "L2 TLB sets and ways must both be zero (disabled) or both \
+                 non-zero, got {sets} sets x {ways} ways"
+            ),
             VmConfigError::PageNotPowerOfTwo(b) => {
                 write!(f, "page size {b} is not a power of two")
             }
@@ -95,6 +124,12 @@ pub fn validate_config(cfg: &TlbConfig) -> Result<(), VmConfigError> {
     if cfg.sets == 0 || cfg.ways == 0 {
         return Err(VmConfigError::EmptyTlb);
     }
+    if cfg.has_l2() && (cfg.l2_sets == 0 || cfg.l2_ways == 0) {
+        return Err(VmConfigError::PartialL2Tlb {
+            sets: cfg.l2_sets,
+            ways: cfg.l2_ways,
+        });
+    }
     if !cfg.page_bytes.is_power_of_two() {
         return Err(VmConfigError::PageNotPowerOfTwo(cfg.page_bytes));
     }
@@ -112,9 +147,12 @@ pub fn validate_config(cfg: &TlbConfig) -> Result<(), VmConfigError> {
 pub struct DemandTranslation {
     /// Translated physical address.
     pub paddr: Addr,
-    /// Page-walk cycles the access must stall for (0 on a TLB hit).
+    /// Translation cycles the access must stall for: 0 on a dTLB hit,
+    /// the L2-TLB latency on an L2 hit, and L2 latency plus the full
+    /// page walk on a miss of both levels.
     pub walk_cycles: Cycle,
-    /// Radix levels the walk traversed (0 on a TLB hit).
+    /// Radix levels the walk traversed (0 on a hit at either TLB
+    /// level).
     pub walk_levels: u32,
 }
 
@@ -124,29 +162,45 @@ pub struct DemandTranslation {
 pub enum PrefetchTranslation {
     /// The page was TLB-resident (or the policy is `Ideal`): issue now.
     Ready(Addr),
-    /// `NonBlockingWalk`: issue after `cycles` of page walking; the
-    /// walk traversed `levels` radix levels.
+    /// The translation cost cycles before the prefetch may issue: the
+    /// L2-TLB hit latency (`levels == 0` — the page missed the dTLB but
+    /// the shared L2 TLB held it), or a full `NonBlockingWalk` page
+    /// walk (`levels` radix levels traversed).
     Walked {
         /// Translated physical address.
         paddr: Addr,
         /// Cycles until the prefetch may issue.
         cycles: Cycle,
-        /// Radix levels traversed.
+        /// Radix levels traversed (0 for an L2-TLB hit).
         levels: u32,
     },
     /// `DropOnMiss`: the prefetch dies here.
     Dropped,
 }
 
-/// The virtual-memory engine: one dTLB per core, one shared page table
-/// and walker (the page table is the process's; the walker models each
-/// core's page-miss handler but shares the table structure).
+/// Outcome of one translation-prefetch port request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslationPrefetch {
+    /// Cycle at which the translation is resident (equal to the request
+    /// cycle when the page was already TLB-resident at either level).
+    pub ready: Cycle,
+    /// Radix levels walked to install it (0 when already resident).
+    pub walk_levels: u32,
+}
+
+/// The virtual-memory engine: one dTLB per core over one shared L2 TLB
+/// (when configured), one shared page table and walker (the page table
+/// is the process's; the walker models each core's page-miss handler
+/// but shares the table structure).
 #[derive(Clone, Debug)]
 pub struct Vm {
     tlbs: Vec<Tlb>,
+    l2: Option<L2Tlb>,
     table: PageTable,
     walker: PageWalker,
     policy: TranslationPolicy,
+    l2_latency: Cycle,
+    walk_model: WalkModel,
 }
 
 impl Vm {
@@ -167,9 +221,14 @@ impl Vm {
             tlbs: (0..cores)
                 .map(|_| Tlb::new(cfg.sets, cfg.ways, cfg.page_bytes))
                 .collect(),
+            l2: cfg
+                .has_l2()
+                .then(|| L2Tlb::new(cfg.l2_sets, cfg.l2_ways, cfg.page_bytes)),
             table: PageTable::new(cfg.page_bytes),
             walker: PageWalker::new(cfg.walk_latency),
             policy: cfg.policy,
+            l2_latency: cfg.l2_latency,
+            walk_model: cfg.walk_model,
         })
     }
 
@@ -178,9 +237,46 @@ impl Vm {
         self.policy
     }
 
+    /// The walk-timing model in force.
+    pub fn walk_model(&self) -> WalkModel {
+        self.walk_model
+    }
+
+    /// Whether a shared L2 TLB is configured.
+    pub fn has_l2(&self) -> bool {
+        self.l2.is_some()
+    }
+
+    /// Walks `vaddr`'s page under the configured [`WalkModel`]: flat
+    /// per-level latency, or PTE reads chained through `mem` from
+    /// `now`.
+    fn walk(&mut self, core: usize, vaddr: Addr, now: Cycle, mem: &mut dyn WalkMemory) -> Walk {
+        match self.walk_model {
+            WalkModel::Flat => self.walker.walk(&mut self.table, vaddr),
+            WalkModel::Cached => self.walker.walk_via(&mut self.table, vaddr, core, now, mem),
+        }
+    }
+
     /// Translates a demand access for `core`, walking (and stalling)
-    /// on a TLB miss. The TLB is filled by the walk.
+    /// on a TLB miss; flat walk timing. Equivalent to
+    /// [`Vm::demand_translate_via`] with a [`FlatWalkMemory`], which
+    /// simulators with a real memory hierarchy use instead.
     pub fn demand_translate(&mut self, core: usize, vaddr: Addr) -> DemandTranslation {
+        let mut flat = FlatWalkMemory(self.walker.latency_per_level());
+        self.demand_translate_via(core, vaddr, 0, &mut flat)
+    }
+
+    /// Translates a demand access for `core` at cycle `now`: dTLB, then
+    /// the shared L2 TLB, then a page walk whose per-level PTE reads go
+    /// through `mem` (under [`WalkModel::Cached`]). Both TLB levels are
+    /// filled by the walk; an L2 hit refills only the dTLB.
+    pub fn demand_translate_via(
+        &mut self,
+        core: usize,
+        vaddr: Addr,
+        now: Cycle,
+        mem: &mut dyn WalkMemory,
+    ) -> DemandTranslation {
         if let Some(paddr) = self.tlbs[core].lookup(vaddr) {
             return DemandTranslation {
                 paddr,
@@ -188,27 +284,76 @@ impl Vm {
                 walk_levels: 0,
             };
         }
-        let walk = self.walker.walk(&mut self.table, vaddr);
+        let page_bytes = self.table.page_bytes();
+        // The dTLB missed: the L2 TLB (when present) is probed next,
+        // costing its hit latency on the way to a hit *or* a walk.
+        let mut l2_probe = 0;
+        if let Some(l2) = self.l2.as_mut() {
+            l2_probe = self.l2_latency;
+            if let Some(paddr) = l2.demand_lookup(vaddr) {
+                let ppn = paddr.raw() >> page_bytes.trailing_zeros();
+                self.tlbs[core].fill(vaddr, ppn);
+                return DemandTranslation {
+                    paddr,
+                    walk_cycles: l2_probe,
+                    walk_levels: 0,
+                };
+            }
+        }
+        let walk = self.walk(core, vaddr, now + l2_probe, mem);
+        if let Some(l2) = self.l2.as_mut() {
+            l2.install(vaddr, walk.ppn);
+        }
         let tlb = &mut self.tlbs[core];
         tlb.fill(vaddr, walk.ppn);
         tlb.stats_mut().walk_cycles += walk.cycles;
         DemandTranslation {
-            paddr: page_translate(vaddr, walk.ppn, self.table.page_bytes()),
-            walk_cycles: walk.cycles,
+            paddr: page_translate(vaddr, walk.ppn, page_bytes),
+            walk_cycles: l2_probe + walk.cycles,
             walk_levels: walk.levels,
         }
     }
 
     /// Translates a prefetch address for `core` under the configured
-    /// policy. `NonBlockingWalk` fills the TLB (possibly evicting pages
-    /// demand accesses wanted — the cost of aggressive prefetch
-    /// translation); `Ideal` never touches it.
+    /// policy; flat walk timing (see [`Vm::prefetch_translate_via`]).
     pub fn prefetch_translate(&mut self, core: usize, vaddr: Addr) -> PrefetchTranslation {
+        let mut flat = FlatWalkMemory(self.walker.latency_per_level());
+        self.prefetch_translate_via(core, vaddr, 0, &mut flat)
+    }
+
+    /// Translates a prefetch address for `core` at cycle `now` under
+    /// the configured policy. A page that misses the dTLB but sits in
+    /// the shared L2 TLB survives *every* policy (the translation is
+    /// one level away, not a walk), delayed by the L2 hit latency; the
+    /// dTLB is not refilled, so prefetch translations never displace
+    /// entries the demand stream relies on. On a full miss,
+    /// `NonBlockingWalk` walks through `mem` and fills both levels
+    /// (possibly evicting pages demand accesses wanted — the cost of
+    /// aggressive prefetch translation); `Ideal` never touches any
+    /// state.
+    pub fn prefetch_translate_via(
+        &mut self,
+        core: usize,
+        vaddr: Addr,
+        now: Cycle,
+        mem: &mut dyn WalkMemory,
+    ) -> PrefetchTranslation {
         if self.policy == TranslationPolicy::Ideal {
             return PrefetchTranslation::Ready(vaddr);
         }
         if let Some(paddr) = self.tlbs[core].prefetch_lookup(vaddr) {
             return PrefetchTranslation::Ready(paddr);
+        }
+        let mut l2_probe = 0;
+        if let Some(l2) = self.l2.as_mut() {
+            l2_probe = self.l2_latency;
+            if let Some(paddr) = l2.prefetch_probe(vaddr) {
+                return PrefetchTranslation::Walked {
+                    paddr,
+                    cycles: l2_probe,
+                    levels: 0,
+                };
+            }
         }
         match self.policy {
             TranslationPolicy::DropOnMiss => {
@@ -216,7 +361,14 @@ impl Vm {
                 PrefetchTranslation::Dropped
             }
             TranslationPolicy::NonBlockingWalk => {
-                let walk = self.walker.walk(&mut self.table, vaddr);
+                let walk = self.walk(core, vaddr, now + l2_probe, mem);
+                if let Some(l2) = self.l2.as_mut() {
+                    // A prefetch-initiated install: ledgered in the
+                    // L2's `prefetch_walks` (not `misses` — the probe
+                    // above was a prefetch probe), keeping `evictions
+                    // == misses + prefetch installs - cold_fills`.
+                    l2.prefetch_install(vaddr, walk.ppn);
+                }
                 let tlb = &mut self.tlbs[core];
                 tlb.fill(vaddr, walk.ppn);
                 let stats = tlb.stats_mut();
@@ -224,7 +376,7 @@ impl Vm {
                 stats.walk_cycles += walk.cycles;
                 PrefetchTranslation::Walked {
                     paddr: page_translate(vaddr, walk.ppn, self.table.page_bytes()),
-                    cycles: walk.cycles,
+                    cycles: l2_probe + walk.cycles,
                     levels: walk.levels,
                 }
             }
@@ -232,9 +384,66 @@ impl Vm {
         }
     }
 
+    /// The translation-prefetch port: prefills the shared L2 TLB with
+    /// the translation for `vaddr`'s page on behalf of `core`, so a
+    /// later (data) prefetch to that page survives `DropOnMiss` via an
+    /// L2 hit instead of dying. The walk goes through `mem` under
+    /// [`WalkModel::Cached`]; its cycles and the install are ledgered
+    /// on the L2 TLB (`prefetch_walks`, `walk_cycles`), never on the
+    /// per-core dTLBs — the port deliberately bypasses them so
+    /// speculative translations cannot displace demand entries.
+    ///
+    /// Without an L2 TLB configured, the port falls back to filling
+    /// `core`'s dTLB (ledgered there), trading that protection for
+    /// still-working translation prefetching.
+    ///
+    /// Under [`TranslationPolicy::Ideal`] the port is a no-op: prefetch
+    /// translations are already free, so there is nothing to prefill
+    /// and no walk to pay.
+    pub fn prefetch_translation(
+        &mut self,
+        core: usize,
+        vaddr: Addr,
+        now: Cycle,
+        mem: &mut dyn WalkMemory,
+    ) -> TranslationPrefetch {
+        let resident = self.policy == TranslationPolicy::Ideal
+            || self.tlbs[core].contains(vaddr)
+            || self.l2.as_ref().is_some_and(|l2| l2.contains(vaddr));
+        if resident {
+            return TranslationPrefetch {
+                ready: now,
+                walk_levels: 0,
+            };
+        }
+        let walk = self.walk(core, vaddr, now, mem);
+        match self.l2.as_mut() {
+            Some(l2) => {
+                l2.prefetch_install(vaddr, walk.ppn);
+                l2.stats_mut().walk_cycles += walk.cycles;
+            }
+            None => {
+                let tlb = &mut self.tlbs[core];
+                tlb.fill(vaddr, walk.ppn);
+                let stats = tlb.stats_mut();
+                stats.prefetch_walks += 1;
+                stats.walk_cycles += walk.cycles;
+            }
+        }
+        TranslationPrefetch {
+            ready: now + walk.cycles,
+            walk_levels: walk.levels,
+        }
+    }
+
     /// Per-core TLB statistics.
     pub fn stats(&self, core: usize) -> &TlbStats {
         self.tlbs[core].stats()
+    }
+
+    /// The shared L2 TLB's statistics, when one is configured.
+    pub fn l2_stats(&self) -> Option<&TlbStats> {
+        self.l2.as_ref().map(L2Tlb::stats)
     }
 
     /// The shared page table (diagnostics: mapped-page counts).
@@ -259,10 +468,147 @@ mod tests {
     use super::*;
 
     #[test]
+    fn l2_tlb_catches_dtlb_misses_and_walks_fill_both_levels() {
+        // A 1-entry dTLB over a roomy L2: alternating pages thrash the
+        // dTLB but, after their first walk, always hit the L2.
+        let mut cfg = TlbConfig::finite().with_l2(8, 4);
+        cfg.sets = 1;
+        cfg.ways = 1;
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        let a = Addr::new(0x1_0000);
+        let b = Addr::new(0x2_0000);
+        assert_eq!(
+            vm.demand_translate(0, a).walk_cycles,
+            cfg.l2_latency + 4 * cfg.walk_latency,
+            "full miss pays the L2 probe plus the walk"
+        );
+        assert!(vm.demand_translate(0, b).walk_cycles > 0);
+        for _ in 0..3 {
+            // Each re-touch misses the 1-entry dTLB, hits the L2, and
+            // stalls only the L2 latency.
+            assert_eq!(vm.demand_translate(0, a).walk_cycles, cfg.l2_latency);
+            assert_eq!(vm.demand_translate(0, b).walk_cycles, cfg.l2_latency);
+        }
+        let l1 = vm.stats(0).clone();
+        let l2 = vm.l2_stats().unwrap();
+        assert_eq!(l1.misses, l2.hits + l2.misses, "L1 misses == L2 lookups");
+        assert_eq!(l2.misses, 2, "only the two cold pages walked");
+        assert_eq!(l1.walk_cycles, 2 * 4 * cfg.walk_latency);
+    }
+
+    #[test]
+    fn l2_hit_rescues_prefetches_from_drop_on_miss() {
+        let mut cfg = TlbConfig::finite().with_l2(8, 4);
+        cfg.sets = 1;
+        cfg.ways = 1;
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        let a = Addr::new(0x1_0000);
+        let b = Addr::new(0x2_0000);
+        vm.demand_translate(0, a); // a in dTLB + L2
+        vm.demand_translate(0, b); // b evicts a from the dTLB; both in L2
+        match vm.prefetch_translate(0, a) {
+            PrefetchTranslation::Walked { cycles, levels, .. } => {
+                assert_eq!(cycles, cfg.l2_latency);
+                assert_eq!(levels, 0, "an L2 hit is not a walk");
+            }
+            other => panic!("expected an L2-hit rescue, got {other:?}"),
+        }
+        assert_eq!(vm.l2_stats().unwrap().prefetch_hits, 1);
+        assert_eq!(vm.stats(0).prefetch_drops, 0);
+        // A page in neither level still drops.
+        assert_eq!(
+            vm.prefetch_translate(0, Addr::new(0x9_0000)),
+            PrefetchTranslation::Dropped
+        );
+    }
+
+    #[test]
+    fn translation_prefetch_port_installs_into_l2_only() {
+        let cfg = TlbConfig::finite().with_l2(8, 4);
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        let target = Addr::new(0x7_0000);
+        let mut flat = FlatWalkMemory(cfg.walk_latency);
+        let tp = vm.prefetch_translation(0, target, 100, &mut flat);
+        assert_eq!(tp.ready, 100 + 4 * cfg.walk_latency);
+        assert_eq!(tp.walk_levels, 4);
+        let l2 = vm.l2_stats().unwrap();
+        assert_eq!(l2.prefetch_walks, 1);
+        assert_eq!(l2.walk_cycles, 4 * cfg.walk_latency);
+        assert_eq!(
+            vm.stats(0).lookups(),
+            0,
+            "the port bypasses the per-core dTLB"
+        );
+        // The prefill makes the page survive DropOnMiss via the L2.
+        assert!(matches!(
+            vm.prefetch_translate(0, target),
+            PrefetchTranslation::Walked { levels: 0, .. }
+        ));
+        // Re-prefetching a resident page is free and walk-less.
+        let again = vm.prefetch_translation(0, target, 200, &mut flat);
+        assert_eq!(
+            again,
+            TranslationPrefetch {
+                ready: 200,
+                walk_levels: 0
+            }
+        );
+        // Without an L2, the port falls back to the dTLB.
+        let mut vm = Vm::new(&TlbConfig::finite(), 1).unwrap();
+        vm.prefetch_translation(0, target, 0, &mut flat);
+        assert_eq!(vm.stats(0).prefetch_walks, 1);
+        assert_eq!(vm.demand_translate(0, target).walk_cycles, 0);
+        // Under Ideal translation the port is a free no-op: prefetches
+        // already translate for free, so nothing walks or installs.
+        let cfg = TlbConfig::finite()
+            .with_l2(8, 4)
+            .with_policy(TranslationPolicy::Ideal);
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        let tp = vm.prefetch_translation(0, target, 50, &mut flat);
+        assert_eq!(
+            tp,
+            TranslationPrefetch {
+                ready: 50,
+                walk_levels: 0
+            }
+        );
+        assert_eq!(vm.l2_stats().unwrap(), &TlbStats::default());
+    }
+
+    #[test]
+    fn non_blocking_prefetch_walks_keep_the_l2_ledger_consistent() {
+        // 1x1 L2: the second cold prefetch walk's install evicts the
+        // first. Those installs are prefetch-initiated, so the ledger
+        // `evictions == misses + prefetch_walks - cold_fills` must hold
+        // with misses == 0.
+        let cfg = TlbConfig::finite()
+            .with_l2(1, 1)
+            .with_policy(TranslationPolicy::NonBlockingWalk);
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        vm.prefetch_translate(0, Addr::new(0x1_0000));
+        vm.prefetch_translate(0, Addr::new(0x2_0000));
+        let l2 = vm.l2_stats().unwrap();
+        assert_eq!(l2.misses, 0, "prefetch probes are not demand misses");
+        assert_eq!(l2.prefetch_walks, 2);
+        assert_eq!(l2.cold_fills, 1);
+        assert_eq!(
+            l2.evictions,
+            l2.misses + l2.prefetch_walks - l2.cold_fills,
+            "ledger holds under NonBlockingWalk"
+        );
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         let mut c = TlbConfig::finite();
         c.sets = 0;
         assert_eq!(Vm::new(&c, 1).unwrap_err(), VmConfigError::EmptyTlb);
+        let mut c = TlbConfig::finite();
+        c.l2_sets = 4; // ways left at 0
+        assert_eq!(
+            Vm::new(&c, 1).unwrap_err(),
+            VmConfigError::PartialL2Tlb { sets: 4, ways: 0 }
+        );
         let mut c = TlbConfig::finite();
         c.page_bytes = 3000;
         assert_eq!(

@@ -11,11 +11,32 @@ pub const ADDRESS_BITS: u32 = 48;
 /// Index bits consumed per radix level (512-entry nodes, as in x86-64).
 pub const LEVEL_BITS: u32 = 9;
 
+/// Base of the synthetic address region holding page-table nodes.
+///
+/// Walks under `WalkModel::Cached` read page-table entries at these
+/// addresses through the cache hierarchy. The region sits at bit 46 of
+/// the 48-bit space, far above anything the workload generators map, so
+/// PTE lines never alias demand lines.
+pub const PT_BASE: u64 = 0x4000_0000_0000;
+
+/// Bytes occupied by one radix node (512 slots x 8-byte entries).
+pub const NODE_BYTES: u64 = (1 << LEVEL_BITS) as u64 * PTE_BYTES;
+
+/// Bytes of one page-table entry.
+pub const PTE_BYTES: u64 = 8;
+
+/// Deepest radix tree the 48-bit space can produce (the smallest legal
+/// page is one 64-byte cache line: ceil((48 - 6) / 9) = 5 levels).
+pub const MAX_LEVELS: usize = 5;
+
 /// One interior node of the radix tree. Nodes are sparse: only slots a
 /// mapping ever touched exist, which keeps identity-mapping a scattered
-/// footprint cheap.
+/// footprint cheap. Each node carries a stable id assigned at creation,
+/// which anchors it at a deterministic address in the [`PT_BASE`]
+/// region for cached walks.
 #[derive(Clone, Debug, Default)]
 struct Node {
+    id: u64,
     tables: HashMap<u32, Node>,
     leaves: HashMap<u32, u64>,
 }
@@ -42,6 +63,7 @@ pub struct PageTable {
     page_shift: u32,
     levels: u32,
     mapped_pages: u64,
+    next_node_id: u64,
 }
 
 impl PageTable {
@@ -63,10 +85,11 @@ impl PageTable {
         );
         let vpn_bits = ADDRESS_BITS - page_shift;
         PageTable {
-            root: Node::default(),
+            root: Node::default(), // the root is node 0
             page_shift,
             levels: vpn_bits.div_ceil(LEVEL_BITS),
             mapped_pages: 0,
+            next_node_id: 1,
         }
     }
 
@@ -104,9 +127,17 @@ impl PageTable {
         let levels = self.levels;
         let slot =
             |l: u32| ((vpn >> ((levels - 1 - l) * LEVEL_BITS)) & ((1 << LEVEL_BITS) - 1)) as u32;
+        let next_id = &mut self.next_node_id;
         let mut node = &mut self.root;
         for l in 0..levels - 1 {
-            node = node.tables.entry(slot(l)).or_default();
+            node = node.tables.entry(slot(l)).or_insert_with(|| {
+                let fresh = Node {
+                    id: *next_id,
+                    ..Node::default()
+                };
+                *next_id += 1;
+                fresh
+            });
         }
         let fresh = node.leaves.insert(slot(levels - 1), ppn).is_none();
         if fresh {
@@ -125,14 +156,71 @@ impl PageTable {
             .get(&self.slot_at(vpn, self.levels - 1))
             .copied()
     }
+
+    /// The page-table-entry addresses a walk for `vpn` reads, one per
+    /// radix level, in pointer-chase order (each read depends on the
+    /// previous one's value).
+    ///
+    /// Every node sits at a stable, deterministic address in the
+    /// [`PT_BASE`] region — `PT_BASE + id * NODE_BYTES + slot *
+    /// PTE_BYTES` — so walks of neighbouring VPNs share PTE cache lines
+    /// exactly the way a real page table's spatial locality works. The
+    /// path is only complete after the page has been mapped (walkers
+    /// map on first touch before asking); unmapped tails are simply
+    /// absent from the returned path.
+    pub fn pte_path(&self, vpn: u64) -> ([Addr; MAX_LEVELS], usize) {
+        let mut out = [Addr::new(0); MAX_LEVELS];
+        let mut len = 0;
+        let mut node = &self.root;
+        for l in 0..self.levels {
+            let slot = self.slot_at(vpn, l);
+            out[len] = Addr::new(PT_BASE + node.id * NODE_BYTES + u64::from(slot) * PTE_BYTES);
+            len += 1;
+            if l + 1 < self.levels {
+                match node.tables.get(&slot) {
+                    Some(next) => node = next,
+                    None => break,
+                }
+            }
+        }
+        (out, len)
+    }
+}
+
+/// Where a cached page walk reads its page-table entries from.
+///
+/// Under `WalkModel::Cached` the simulator implements this over the
+/// real memory hierarchy: each PTE read crosses the NoC to its home L2
+/// slice and falls through to DRAM on a miss, contending with demand
+/// traffic. [`FlatWalkMemory`] is the trivial fixed-latency
+/// implementation.
+pub trait WalkMemory {
+    /// Performs the page-table-entry read at `pte` on behalf of `core`,
+    /// issued at `now`; returns the cycle the entry's value is
+    /// available (the next level's read may start then).
+    fn pte_read(&mut self, core: usize, pte: Addr, now: Cycle) -> Cycle;
+}
+
+/// A [`WalkMemory`] charging a flat latency per PTE read — the
+/// `WalkModel::Flat` timing expressed through the hook interface
+/// (standalone `Vm` users and tests walk through this).
+#[derive(Clone, Copy, Debug)]
+pub struct FlatWalkMemory(pub Cycle);
+
+impl WalkMemory for FlatWalkMemory {
+    fn pte_read(&mut self, _core: usize, _pte: Addr, now: Cycle) -> Cycle {
+        now + self.0
+    }
 }
 
 /// Charges the traversal cost of a [`PageTable`].
 ///
 /// The walker models a hardware page-miss handler: each radix level
 /// costs `latency_per_level` cycles (a pointer chase through the memory
-/// hierarchy). Unmapped pages are identity-mapped on first touch —
-/// the simulated OS demand-allocates, so a walk never faults.
+/// hierarchy), or — via [`PageWalker::walk_via`] — whatever a
+/// [`WalkMemory`] says each level's PTE read costs. Unmapped pages are
+/// identity-mapped on first touch — the simulated OS demand-allocates,
+/// so a walk never faults.
 #[derive(Clone, Copy, Debug)]
 pub struct PageWalker {
     latency_per_level: Cycle,
@@ -155,21 +243,58 @@ impl PageWalker {
         PageWalker { latency_per_level }
     }
 
+    /// The flat per-level latency this walker charges.
+    pub fn latency_per_level(&self) -> Cycle {
+        self.latency_per_level
+    }
+
     /// Resolves `vaddr`'s page through `table`, identity-mapping it on
-    /// first touch, and returns the charged cost.
+    /// first touch, and returns the flat charged cost (levels x the
+    /// per-level latency).
     pub fn walk(&self, table: &mut PageTable, vaddr: Addr) -> Walk {
+        let ppn = Self::resolve(table, vaddr);
+        Walk {
+            ppn,
+            cycles: Cycle::from(table.levels()) * self.latency_per_level,
+            levels: table.levels(),
+        }
+    }
+
+    /// Resolves `vaddr`'s page through `table`, reading each level's
+    /// page-table entry through `mem` starting at `now` — the reads
+    /// chain (a pointer chase), so the walk costs whatever the memory
+    /// hierarchy says. `core` identifies the walking core to `mem`.
+    pub fn walk_via(
+        &self,
+        table: &mut PageTable,
+        vaddr: Addr,
+        core: usize,
+        now: Cycle,
+        mem: &mut dyn WalkMemory,
+    ) -> Walk {
+        let ppn = Self::resolve(table, vaddr);
+        let (ptes, len) = table.pte_path(table.vpn(vaddr));
+        let mut t = now;
+        for pte in &ptes[..len] {
+            t = mem.pte_read(core, *pte, t);
+        }
+        Walk {
+            ppn,
+            cycles: t - now,
+            levels: table.levels(),
+        }
+    }
+
+    /// Functional half of a walk: the resolved PPN, identity-mapping
+    /// the page on first touch.
+    fn resolve(table: &mut PageTable, vaddr: Addr) -> u64 {
         let vpn = table.vpn(vaddr);
-        let ppn = match table.lookup(vpn) {
+        match table.lookup(vpn) {
             Some(p) => p,
             None => {
                 table.map(vpn, vpn);
                 vpn
             }
-        };
-        Walk {
-            ppn,
-            cycles: Cycle::from(table.levels()) * self.latency_per_level,
-            levels: table.levels(),
         }
     }
 }
@@ -206,6 +331,57 @@ mod tests {
         pt.map(b, 2);
         assert_eq!(pt.lookup(a), Some(1));
         assert_eq!(pt.lookup(b), Some(2));
+    }
+
+    #[test]
+    fn pte_path_is_deterministic_and_shares_interior_lines() {
+        let mut pt = PageTable::new(4096);
+        pt.map(0x42, 0x42);
+        let (path, len) = pt.pte_path(0x42);
+        assert_eq!(len, 4, "complete path after mapping");
+        // The root read always sits in node 0's slab.
+        assert!(path[0].raw() >= PT_BASE && path[0].raw() < PT_BASE + NODE_BYTES);
+        // Re-walking yields the identical path.
+        assert_eq!(pt.pte_path(0x42), (path, len));
+        // A neighbouring VPN shares every interior node; only the leaf
+        // slot differs (and by exactly one PTE).
+        pt.map(0x43, 0x43);
+        let (next, next_len) = pt.pte_path(0x43);
+        assert_eq!(next_len, 4);
+        assert_eq!(&next[..3], &path[..3], "interior levels shared");
+        assert_eq!(next[3].raw(), path[3].raw() + PTE_BYTES);
+        // A distant VPN allocates fresh interior nodes at fresh ids; its
+        // root read stays inside node 0's slab (different slot), and its
+        // deeper reads land in other slabs.
+        pt.map(0x42 + (1 << 27), 1);
+        let (far, _) = pt.pte_path(0x42 + (1 << 27));
+        assert!(far[0].raw() >= PT_BASE && far[0].raw() < PT_BASE + NODE_BYTES);
+        assert_ne!(far[0], path[0], "different root slot");
+        assert!(far[1].raw() >= PT_BASE + NODE_BYTES, "fresh interior node");
+    }
+
+    #[test]
+    fn walk_via_chases_pte_reads_and_matches_flat_timing() {
+        let mut pt = PageTable::new(4096);
+        let w = PageWalker::new(25);
+        // A recording memory: counts reads, charges 7 cycles each.
+        struct Recorder(Vec<(usize, Addr)>);
+        impl WalkMemory for Recorder {
+            fn pte_read(&mut self, core: usize, pte: Addr, now: Cycle) -> Cycle {
+                self.0.push((core, pte));
+                now + 7
+            }
+        }
+        let mut rec = Recorder(Vec::new());
+        let walk = w.walk_via(&mut pt, Addr::new(0x5000), 3, 100, &mut rec);
+        assert_eq!(walk.ppn, 5, "first touch identity-maps");
+        assert_eq!(walk.levels, 4);
+        assert_eq!(walk.cycles, 4 * 7, "cost comes from the hook");
+        assert_eq!(rec.0.len(), 4);
+        assert!(rec.0.iter().all(|(c, _)| *c == 3));
+        // FlatWalkMemory reproduces the flat model exactly.
+        let flat = w.walk_via(&mut pt, Addr::new(0x9000), 0, 0, &mut FlatWalkMemory(25));
+        assert_eq!(flat.cycles, w.walk(&mut pt, Addr::new(0xA000)).cycles);
     }
 
     #[test]

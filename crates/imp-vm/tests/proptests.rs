@@ -1,8 +1,8 @@
 //! Property tests for the virtual-memory subsystem: TLB LRU order,
 //! translate∘map round-trips, and the eviction/miss/cold-fill ledger.
 
-use imp_common::Addr;
-use imp_vm::{PageTable, PageWalker, Tlb};
+use imp_common::{Addr, TlbConfig};
+use imp_vm::{FlatWalkMemory, PageTable, PageWalker, Tlb, Vm};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -106,5 +106,57 @@ proptest! {
             .sum();
         // Cold fills claim empty ways, which never empty again.
         prop_assert_eq!(resident, s.cold_fills);
+    }
+
+    /// Two-level ledger: under an arbitrary demand-translation string,
+    /// every dTLB miss is exactly one L2 lookup, the
+    /// `evictions == misses - cold_fills` ledger holds at *both*
+    /// levels, and walks happen only on misses of both.
+    #[test]
+    fn l2_ledger_holds_under_arbitrary_demand_streams(
+        vpns in vec(0u64..96, 1..400),
+        l1_sets in 1u32..4,
+        l1_ways in 1u32..3,
+        l2_sets in 1u32..8,
+        l2_ways in 1u32..5,
+    ) {
+        let mut cfg = TlbConfig::finite().with_l2(l2_sets, l2_ways);
+        cfg.sets = l1_sets;
+        cfg.ways = l1_ways;
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        for &vpn in &vpns {
+            vm.demand_translate(0, Addr::new(vpn * 4096));
+        }
+        let l1 = vm.stats(0).clone();
+        let l2 = vm.l2_stats().unwrap().clone();
+        prop_assert_eq!(l1.hits + l1.misses, vpns.len() as u64);
+        prop_assert_eq!(l1.misses, l2.hits + l2.misses);
+        prop_assert_eq!(l1.evictions, l1.misses - l1.cold_fills);
+        prop_assert_eq!(l2.evictions, l2.misses - l2.cold_fills);
+        // Only full misses walk, and every walk is 4 levels here.
+        prop_assert_eq!(l1.walk_cycles, l2.misses * 4 * cfg.walk_latency);
+        prop_assert_eq!(l2.walk_cycles, 0);
+    }
+
+    /// The translation-prefetch port keeps the L2 ledger consistent
+    /// with prefetch installs folded in, and never touches the dTLBs.
+    #[test]
+    fn translation_prefetch_extends_the_l2_ledger(
+        vpns in vec(0u64..64, 1..200),
+        l2_sets in 1u32..4,
+        l2_ways in 1u32..4,
+    ) {
+        let cfg = TlbConfig::finite().with_l2(l2_sets, l2_ways);
+        let mut vm = Vm::new(&cfg, 1).unwrap();
+        let mut flat = FlatWalkMemory(cfg.walk_latency);
+        for &vpn in &vpns {
+            vm.prefetch_translation(0, Addr::new(vpn * 4096), 0, &mut flat);
+        }
+        let l2 = vm.l2_stats().unwrap().clone();
+        prop_assert_eq!(vm.stats(0).lookups(), 0);
+        prop_assert_eq!(vm.stats(0).prefetch_walks, 0);
+        prop_assert_eq!(l2.evictions, l2.prefetch_walks - l2.cold_fills);
+        prop_assert_eq!(l2.walk_cycles, l2.prefetch_walks * 4 * cfg.walk_latency);
+        prop_assert!(l2.prefetch_walks <= vpns.len() as u64);
     }
 }

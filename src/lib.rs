@@ -15,10 +15,14 @@
 //!   Counting, Graph500 BFS, SGD, LSH, SpMV, SymGS) over synthetic
 //!   inputs, emitting instrumented op streams and real index-array
 //!   contents.
-//! * [`vm`] — the virtual-memory subsystem: per-core dTLBs, a radix
-//!   page table and walker, and translation policies for prefetches
-//!   (`Sim::page_size` / `tlb_ways` / `translation_policy`; ideal and
-//!   zero-cost by default).
+//! * [`vm`] — the virtual-memory subsystem: per-core dTLBs over a
+//!   shared L2 TLB, a radix page table whose walks can be routed
+//!   through the cache hierarchy as real PTE traffic
+//!   (`WalkModel::Cached`), translation policies for prefetches, and a
+//!   translation-prefetch port IMP uses to prefill L2-TLB entries for
+//!   its predicted pages (`Sim::page_size` / `tlb_ways` /
+//!   `translation_policy` / `l2_tlb` / `tlb_prefetch` / `walk_model`;
+//!   ideal and zero-cost by default).
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation.
 //! * [`sim`] (module) — the fluent [`Sim`] builder and the parallel
@@ -92,7 +96,9 @@ pub use sim::{Sim, SimError, Sweep, SweepCell, SweepResult};
 /// The most commonly used types, one `use` away.
 pub mod prelude {
     pub use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
-    pub use imp_common::config::{ParamValue, PrefetcherSpec, TlbConfig, TranslationPolicy};
+    pub use imp_common::config::{
+        ParamValue, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
+    };
     pub use imp_common::stats::{AccessClass, SystemStats, TlbStats};
     pub use imp_common::{Addr, ImpConfig, LineAddr, Pc, SystemConfig};
     pub use imp_experiments::{run as run_experiment, Config as ExperimentConfig};
@@ -101,7 +107,7 @@ pub mod prelude {
     pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
     pub use imp_sim::System;
     pub use imp_trace::{Op, Program, TraceFile};
-    pub use imp_vm::{PageTable, PageWalker, Tlb, Vm};
+    pub use imp_vm::{L2Tlb, PageTable, PageWalker, Tlb, Vm, WalkMemory};
     pub use imp_workloads::{
         by_name, paper_workloads, BuiltArtifact, Scale, Workload, WorkloadParams,
     };

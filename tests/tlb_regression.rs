@@ -106,3 +106,145 @@ fn sweep_tlb_axis_runs_the_grid() {
     // More ways => fewer conflict misses (never more).
     assert!(results[0].stats.tlb_total().misses >= results[1].stats.tlb_total().misses);
 }
+
+/// Golden pin: the pre-L2-TLB translation subsystem — finite dTLB, no
+/// L2, `WalkModel::Flat`, no translation prefetching (all defaults of
+/// `TlbConfig::finite()`) — must keep producing byte-for-byte the
+/// numbers it produced before walks became routable memory traffic.
+/// If an intentional timing change breaks this, re-pin the constants
+/// in the same change.
+#[test]
+fn flat_defaults_pin_pre_l2_outputs() {
+    let cfg = TlbConfig::finite();
+    assert!(!cfg.has_l2(), "finite() must stay L2-free");
+    assert!(!cfg.tlb_prefetch);
+    assert_eq!(cfg.walk_model, WalkModel::Flat);
+
+    let drop = pagerank_imp()
+        .translation_policy(TranslationPolicy::DropOnMiss)
+        .run()
+        .unwrap();
+    let t = drop.tlb_total();
+    assert_eq!(
+        (drop.runtime, t.hits, t.misses, t.walk_cycles),
+        (14510, 21318, 92, 9200)
+    );
+    assert_eq!(
+        (t.prefetch_hits, t.prefetch_drops, t.prefetch_walks),
+        (10416, 215, 0)
+    );
+    assert_eq!(drop.traffic.dram_read_bytes, 26560);
+    assert_eq!(drop.traffic.noc_flit_hops, 95714);
+    assert_eq!(drop.tlb_l2, TlbStats::default(), "no L2 TLB ran");
+
+    let walk = pagerank_imp()
+        .translation_policy(TranslationPolicy::NonBlockingWalk)
+        .run()
+        .unwrap();
+    let t = walk.tlb_total();
+    assert_eq!(
+        (walk.runtime, t.hits, t.misses, t.walk_cycles),
+        (15580, 21338, 72, 9300)
+    );
+    assert_eq!(
+        (t.prefetch_hits, t.prefetch_drops, t.prefetch_walks),
+        (10177, 0, 21)
+    );
+    assert_eq!(walk.traffic.noc_flit_hops, 96136);
+}
+
+/// A tiny dTLB over a roomy shared L2 TLB: dTLB misses become L2
+/// lookups (the two-level ledger stays consistent through a full
+/// multicore simulation), repeat pages hit the L2 instead of
+/// re-walking, and the walk-stall picture improves over the same dTLB
+/// without an L2 behind it.
+#[test]
+fn l2_tlb_intercepts_dtlb_misses() {
+    let mut thrash = TlbConfig::finite();
+    thrash.sets = 1;
+    thrash.ways = 1;
+
+    let without = pagerank_imp().tlb(thrash).run().unwrap();
+    let with = pagerank_imp().tlb(thrash.with_l2(64, 8)).run().unwrap();
+
+    let l1 = with.tlb_total();
+    let l2 = &with.tlb_l2;
+    assert!(l2.lookups() > 0, "the L2 TLB ran");
+    assert!(l2.hits > 0, "repeat pages hit the L2");
+    assert_eq!(l1.misses, l2.lookups(), "L1 misses == L2 lookups");
+    assert_eq!(l2.evictions, l2.misses - l2.cold_fills, "L2 ledger");
+    assert!(
+        l1.walk_cycles < without.tlb_total().walk_cycles,
+        "L2 hits replace re-walks: {} vs {}",
+        l1.walk_cycles,
+        without.tlb_total().walk_cycles
+    );
+    // Determinism extends to the second level.
+    let again = pagerank_imp().tlb(thrash.with_l2(64, 8)).run().unwrap();
+    assert_eq!(with, again);
+}
+
+/// The acceptance headline: under `DropOnMiss`, translation
+/// prefetching — IMP prefilling L2-TLB entries for the pages its
+/// indirect predictions target — buys back the prefetches (and
+/// coverage) that translation was killing.
+#[test]
+fn translation_prefetch_recovers_coverage_under_drop_on_miss() {
+    let base = pagerank_imp()
+        .translation_policy(TranslationPolicy::DropOnMiss)
+        .l2_tlb(64, 8);
+    let without = base.clone().run().unwrap();
+    let with = base.tlb_prefetch(true).run().unwrap();
+
+    assert!(
+        with.tlb_l2.prefetch_walks > 0,
+        "translations were prefilled"
+    );
+    assert!(
+        with.tlb_total().prefetch_drops < without.tlb_total().prefetch_drops,
+        "prefilled pages stop dropping: {} vs {}",
+        with.tlb_total().prefetch_drops,
+        without.tlb_total().prefetch_drops
+    );
+    assert!(
+        with.prefetch_total().issued_indirect > without.prefetch_total().issued_indirect,
+        "recovered prefetches reach the memory system"
+    );
+    assert!(
+        with.coverage() > without.coverage(),
+        "and coverage recovers: {:.3} vs {:.3}",
+        with.coverage(),
+        without.coverage()
+    );
+}
+
+/// `WalkModel::Cached` turns walks into first-class memory traffic:
+/// PTE reads contend in the NoC and DRAM and show up in the traffic
+/// statistics, where the flat model charges latency out of thin air.
+#[test]
+fn cached_walks_show_up_in_memory_traffic() {
+    // Same finite TLB; only the walk-timing model differs.
+    let flat = pagerank_imp().tlb(TlbConfig::finite()).run().unwrap();
+    let cached = pagerank_imp().walk_model(WalkModel::Cached).run().unwrap();
+
+    assert!(
+        cached.traffic.dram_read_bytes > flat.traffic.dram_read_bytes,
+        "PTE lines are fetched from DRAM: {} vs {}",
+        cached.traffic.dram_read_bytes,
+        flat.traffic.dram_read_bytes
+    );
+    assert!(
+        cached.traffic.noc_messages > flat.traffic.noc_messages,
+        "PTE reads cross the NoC"
+    );
+    assert!(
+        cached.tlb_total().walk_cycles > 0,
+        "walks still cost something"
+    );
+    // The warmed page-table working set makes repeat walks cheaper
+    // than cold ones: total walk cycles differ from the flat charge.
+    assert_ne!(cached.tlb_total().walk_cycles, flat.tlb_total().walk_cycles);
+    // Determinism holds for the cached path too.
+    let again = pagerank_imp().walk_model(WalkModel::Cached).run().unwrap();
+    assert_eq!(cached, again);
+}

@@ -131,3 +131,34 @@ fn replay_failures_are_per_cell_errors() {
         );
     }
 }
+
+/// Translation knobs are pure configuration: a sweep over
+/// `tlb_ways x translation_policies` (or any other TLB axis) never
+/// changes the generated input, so every cell of a (workload, cores,
+/// seed) group reuses one `BuiltArtifact`.
+#[test]
+fn translation_axis_cells_share_one_built_artifact() {
+    let sweep = Sweep::from(Sim::workload("symgs").scale(Scale::Tiny).cores(16))
+        .tlb_ways([2, 4, 8])
+        .translation_policies([
+            TranslationPolicy::DropOnMiss,
+            TranslationPolicy::NonBlockingWalk,
+        ]);
+    let cells = sweep.cells();
+    assert_eq!(cells.len(), 6);
+    let seed = cells[0].seed;
+    assert!(
+        cells.iter().all(|c| c.seed == seed),
+        "translation axes never change the generated input"
+    );
+
+    let before = build_count("symgs");
+    let results = sweep.run().unwrap();
+    assert_eq!(
+        build_count("symgs") - before,
+        1,
+        "6 translation cells must share one generator run"
+    );
+    assert_eq!(results.len(), 6);
+    assert!(results.iter().all(|r| r.stats.tlb_total().lookups() > 0));
+}
