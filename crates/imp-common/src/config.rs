@@ -370,6 +370,79 @@ impl TranslationPolicy {
     }
 }
 
+/// Per-region page-size policy: how a workload memory region is backed
+/// by translation pages.
+///
+/// Real deployments mix page sizes per region (`madvise(MADV_HUGEPAGE)`
+/// on the hot arrays); this is the per-allocation knob workload
+/// generators record in their [`MemRegion`] list and `Sim::page_policy`
+/// overrides at run time. The default, [`PagePolicy::Base4K`], backs
+/// the region with base pages (`TlbConfig::page_bytes`, 4 KB by
+/// default) and is bit-identical to the simulator before per-region
+/// placement existed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PagePolicy {
+    /// Base translation pages (`TlbConfig::page_bytes`; 4 KB default).
+    #[default]
+    Base4K,
+    /// Huge pages one radix level up
+    /// ([`TlbConfig::huge_page_bytes`]; 2 MB for a 4 KB base).
+    Huge2M,
+    /// Huge pages when the region is at least `threshold_bytes` long,
+    /// base pages otherwise — the transparent-huge-page heuristic.
+    Auto {
+        /// Minimum region size (bytes) that promotes to huge pages.
+        threshold_bytes: u64,
+    },
+}
+
+impl PagePolicy {
+    /// Short stable name (sweep axes, table headers).
+    pub const fn name(self) -> &'static str {
+        match self {
+            PagePolicy::Base4K => "4k",
+            PagePolicy::Huge2M => "2m",
+            PagePolicy::Auto { .. } => "auto",
+        }
+    }
+
+    /// Whether a region of `region_bytes` resolves to huge pages under
+    /// this policy.
+    pub const fn is_huge_for(self, region_bytes: u64) -> bool {
+        match self {
+            PagePolicy::Base4K => false,
+            PagePolicy::Huge2M => true,
+            PagePolicy::Auto { threshold_bytes } => region_bytes >= threshold_bytes,
+        }
+    }
+}
+
+/// One named workload memory region and the page-size policy it
+/// declared: the unit of per-region placement.
+///
+/// Generators record one `MemRegion` per allocated array; the list
+/// travels inside the `Built` artifact (and its `.imptrace`
+/// serialization) so replays preserve placement, and `Sim::page_policy`
+/// overrides resolve against the names here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Allocation name (e.g. `"pr0"`, `"adj"`).
+    pub name: String,
+    /// First byte address.
+    pub base: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Page-size policy the generator declared for this region.
+    pub policy: PagePolicy,
+}
+
+impl MemRegion {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes
+    }
+}
+
 /// How page-table walks are timed.
 ///
 /// A walk is a pointer chase through the radix table: one page-table
@@ -449,6 +522,13 @@ pub struct TlbConfig {
     /// How page-table walks are timed (flat per-level latency, or PTE
     /// reads routed through the shared cache hierarchy).
     pub walk_model: WalkModel,
+    /// Sets of the per-core huge-page sub-TLB (the x86-style split
+    /// dTLB's second structure, caching [`TlbConfig::huge_page_bytes`]
+    /// translations). Only consulted when a run places regions on huge
+    /// pages; must be non-zero together with `huge_ways` then.
+    pub huge_sets: u32,
+    /// Ways per set of the per-core huge-page sub-TLB.
+    pub huge_ways: u32,
 }
 
 impl TlbConfig {
@@ -480,6 +560,9 @@ impl TlbConfig {
             l2_latency: 8,
             tlb_prefetch: false,
             walk_model: WalkModel::Flat,
+            // Skylake-style 2 MB dTLB sizing: 32 entries, 4-way.
+            huge_sets: 8,
+            huge_ways: 4,
         }
     }
 
@@ -549,6 +632,33 @@ impl TlbConfig {
     pub const fn with_walk_model(mut self, model: WalkModel) -> Self {
         self.walk_model = model;
         self
+    }
+
+    /// Returns a copy with the huge-page sub-TLB geometry replaced.
+    #[must_use]
+    pub const fn with_huge_tlb(mut self, sets: u32, ways: u32) -> Self {
+        self.huge_sets = sets;
+        self.huge_ways = ways;
+        self
+    }
+
+    /// The huge-page size paired with `page_bytes`: one radix level up
+    /// (x86-style — 512 base pages, so 2 MB for the default 4 KB base).
+    /// A huge leaf therefore sits one level shallower in the page
+    /// table, and walks for huge-mapped regions read one fewer
+    /// page-table entry.
+    pub const fn huge_page_bytes(&self) -> u64 {
+        self.page_bytes << 9
+    }
+
+    /// Total huge-page sub-TLB entries per core.
+    pub const fn huge_entries(&self) -> u32 {
+        self.huge_sets * self.huge_ways
+    }
+
+    /// Address bytes covered by a full huge-page sub-TLB (its *reach*).
+    pub const fn huge_reach_bytes(&self) -> u64 {
+        self.huge_entries() as u64 * self.huge_page_bytes()
     }
 
     /// Whether a shared L2 TLB is configured.
@@ -950,6 +1060,42 @@ mod tests {
         assert!(!t.with_l2(0, 0).has_l2());
         assert_eq!(WalkModel::Flat.name(), "flat");
         assert_eq!(WalkModel::Cached.name(), "cached");
+    }
+
+    #[test]
+    fn huge_page_knobs_and_policies_compose() {
+        let f = TlbConfig::finite();
+        assert_eq!(f.huge_page_bytes(), 2 * 1024 * 1024, "4 KB base -> 2 MB");
+        assert_eq!(f.huge_entries(), 32, "Skylake-style 2M dTLB sizing");
+        assert_eq!(f.huge_reach_bytes(), 32 * 2 * 1024 * 1024);
+        let t = f.with_huge_tlb(4, 2).with_page_bytes(64 * 1024);
+        assert_eq!((t.huge_sets, t.huge_ways), (4, 2));
+        assert_eq!(t.huge_page_bytes(), (64 * 1024) << 9, "one level up");
+
+        assert!(!PagePolicy::Base4K.is_huge_for(u64::MAX));
+        assert!(PagePolicy::Huge2M.is_huge_for(0));
+        let auto = PagePolicy::Auto {
+            threshold_bytes: 1 << 20,
+        };
+        assert!(!auto.is_huge_for((1 << 20) - 1));
+        assert!(auto.is_huge_for(1 << 20));
+        assert_eq!(PagePolicy::default(), PagePolicy::Base4K);
+        assert_eq!(
+            [
+                PagePolicy::Base4K.name(),
+                PagePolicy::Huge2M.name(),
+                auto.name()
+            ],
+            ["4k", "2m", "auto"]
+        );
+
+        let r = MemRegion {
+            name: "pr0".into(),
+            base: 0x1_0000,
+            bytes: 4096,
+            policy: PagePolicy::Huge2M,
+        };
+        assert_eq!(r.end(), 0x1_1000);
     }
 
     #[test]

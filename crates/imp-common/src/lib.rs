@@ -25,8 +25,8 @@ pub mod stats;
 
 pub use addr::{Addr, LineAddr, Pc, SectorMask};
 pub use config::{
-    CoreModel, ImpConfig, MemConfig, ParamValue, PrefetcherKind, PrefetcherSpec, SystemConfig,
-    TlbConfig, TranslationPolicy, WalkModel,
+    CoreModel, ImpConfig, MemConfig, MemRegion, PagePolicy, ParamValue, PrefetcherKind,
+    PrefetcherSpec, SystemConfig, TlbConfig, TranslationPolicy, WalkModel,
 };
 pub use event::EventQueue;
 pub use rng::{fnv1a, SplitMix64};

@@ -24,10 +24,10 @@
 //! runs through `Sim` exactly like the stock ones.
 
 use imp_common::config::{
-    CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy,
-    WalkModel,
+    CoreModel, DramModelKind, MemMode, PagePolicy, PartialMode, PrefetcherSpec, TlbConfig,
+    TranslationPolicy, WalkModel,
 };
-use imp_common::{ImpConfig, SystemConfig, SystemStats};
+use imp_common::{ImpConfig, MemRegion, SystemConfig, SystemStats};
 use imp_sim::{BuildError, RegistryError, System, VmConfigError};
 use imp_trace::BarrierMismatch;
 use imp_workloads::{by_name, BuiltArtifact, Scale, WorkloadError, WorkloadParams};
@@ -52,6 +52,9 @@ pub enum SimError {
     /// The TLB configuration is invalid (zero sets/ways, bad page
     /// size).
     Tlb(VmConfigError),
+    /// A `page_policy` override names a region (or glob) no workload
+    /// region matches.
+    UnknownRegion(String),
     /// The program (or artifact) was generated for a different core
     /// count than the configuration describes.
     CoreMismatch {
@@ -78,6 +81,12 @@ impl fmt::Display for SimError {
             SimError::Build(e) => write!(f, "{e}"),
             SimError::Barrier(e) => write!(f, "{e}"),
             SimError::Tlb(e) => write!(f, "{e}"),
+            SimError::UnknownRegion(name) => write!(
+                f,
+                "page-policy override {name:?} matches no workload region \
+                 (region names are recorded in the built artifact; a \
+                 trailing '*' globs a family)"
+            ),
             SimError::CoreMismatch { program, config } => write!(
                 f,
                 "program was generated for {program} cores but the configuration has {config}"
@@ -126,6 +135,7 @@ pub struct Sim {
     dram: DramModelKind,
     imp: ImpConfig,
     tlb: TlbConfig,
+    page_policies: Vec<(String, PagePolicy)>,
     base_config: Option<SystemConfig>,
     spec_error: Option<String>,
 }
@@ -147,6 +157,7 @@ impl Sim {
             dram: DramModelKind::Simple,
             imp: ImpConfig::paper_default(),
             tlb: TlbConfig::ideal(),
+            page_policies: Vec::new(),
             base_config: None,
             spec_error: None,
         }
@@ -305,6 +316,54 @@ impl Sim {
         self
     }
 
+    /// Geometry of the per-core huge-page sub-TLB (the split dTLB's
+    /// 2 MB structure). Upgrades an ideal TLB to finite defaults first.
+    #[must_use]
+    pub fn huge_tlb(mut self, sets: u32, ways: u32) -> Self {
+        self.tlb = self.tlb.finite_or_self().with_huge_tlb(sets, ways);
+        self
+    }
+
+    /// Overrides the page-size policy of the workload region named
+    /// `region` — the simulated `madvise(MADV_HUGEPAGE)`. The name must
+    /// match a region the workload's generator recorded (`"adj"`,
+    /// `"pr0"`, ...); a trailing `*` globs a family (`"bits*"`), and
+    /// `"*"` alone re-policies every region. Later overrides win over
+    /// earlier ones; regions without an override keep the policy they
+    /// declared. Upgrades an ideal TLB to finite defaults first (an
+    /// ideal TLB never translates, so placement would be meaningless).
+    #[must_use]
+    pub fn page_policy(mut self, region: impl Into<String>, policy: PagePolicy) -> Self {
+        self.tlb = self.tlb.finite_or_self();
+        self.page_policies.push((region.into(), policy));
+        self
+    }
+
+    /// Replaces the whole page-policy override list (what a `Sweep`'s
+    /// `page_policies` axis applies per cell). A non-empty list
+    /// upgrades an ideal TLB to finite defaults, like
+    /// [`Sim::page_policy`].
+    #[must_use]
+    pub fn page_policies<I, S>(mut self, overrides: I) -> Self
+    where
+        I: IntoIterator<Item = (S, PagePolicy)>,
+        S: Into<String>,
+    {
+        self.page_policies = overrides
+            .into_iter()
+            .map(|(name, policy)| (name.into(), policy))
+            .collect();
+        if !self.page_policies.is_empty() {
+            self.tlb = self.tlb.finite_or_self();
+        }
+        self
+    }
+
+    /// The page-policy override list in effect.
+    pub fn page_policy_overrides(&self) -> &[(String, PagePolicy)] {
+        &self.page_policies
+    }
+
     /// Inserts Mowry-style software prefetches `distance` elements ahead
     /// (the paper's *Software Prefetching* configuration).
     #[must_use]
@@ -366,7 +425,37 @@ impl Sim {
         cfg.mem.dram = self.dram;
         cfg.imp = self.imp.clone();
         cfg.tlb = self.tlb;
+        // Surface invalid TLB geometry (zero sets, bad page sizes) at
+        // config-resolve time instead of deep inside the system build.
+        imp_sim::validate_tlb_config(&cfg.tlb).map_err(SimError::Tlb)?;
         Ok(cfg)
+    }
+
+    /// Resolves this builder's page-policy overrides against the
+    /// workload's recorded regions into the huge `(base, bytes)`
+    /// extents the simulator places on huge pages.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownRegion`] when an override matches no region.
+    fn resolve_huge_regions(&self, regions: &[MemRegion]) -> Result<Vec<(u64, u64)>, SimError> {
+        for (pattern, _) in &self.page_policies {
+            if !regions.iter().any(|r| glob_match(pattern, &r.name)) {
+                return Err(SimError::UnknownRegion(pattern.clone()));
+            }
+        }
+        Ok(regions
+            .iter()
+            .filter_map(|r| {
+                let policy = self
+                    .page_policies
+                    .iter()
+                    .rev()
+                    .find(|(pattern, _)| glob_match(pattern, &r.name))
+                    .map_or(r.policy, |&(_, policy)| policy);
+                policy.is_huge_for(r.bytes).then_some((r.base, r.bytes))
+            })
+            .collect())
     }
 
     /// Builds the workload into a shareable [`BuiltArtifact`] without
@@ -418,13 +507,29 @@ impl Sim {
     /// plus the usual configuration errors.
     pub fn run_on(&self, artifact: &BuiltArtifact) -> Result<SystemStats, SimError> {
         let cfg = self.config()?;
-        let mut system = System::try_new(cfg, artifact.program().clone(), artifact.mem().clone())?;
+        let huge = self.resolve_huge_regions(artifact.regions())?;
+        let mut system = System::try_new_placed(
+            cfg,
+            artifact.program().clone(),
+            artifact.mem().clone(),
+            &huge,
+        )?;
         Ok(system.run())
     }
 
     /// Builds the workload and runs the simulation.
     pub fn run(&self) -> Result<SystemStats, SimError> {
         self.run_on(&self.build_artifact()?)
+    }
+}
+
+/// Matches a page-policy override pattern against a region name: exact
+/// match, or prefix match when the pattern ends in `*` (so `"*"` alone
+/// matches everything).
+fn glob_match(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => pattern == name,
     }
 }
 
@@ -514,6 +619,87 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, SimError::Tlb(_)), "{err:?}");
+    }
+
+    #[test]
+    fn page_policy_overrides_resolve_and_validate() {
+        let base = Sim::workload("pagerank")
+            .scale(Scale::Tiny)
+            .prefetcher("imp")
+            .tlb(TlbConfig::finite());
+        let all4k = base.clone().run().unwrap();
+        assert_eq!(all4k.tlb_huge_total(), Default::default());
+
+        // Moving the indirect-target arrays to 2 MB pages routes their
+        // translations through the huge sub-TLB (own ledger, shallower
+        // walks) without touching data results.
+        let huge = base
+            .clone()
+            .page_policy("pr0", PagePolicy::Huge2M)
+            .page_policy("pr1", PagePolicy::Huge2M)
+            .page_policy("deg", PagePolicy::Huge2M)
+            .run()
+            .unwrap();
+        let h = huge.tlb_huge_total();
+        assert!(h.lookups() > 0, "huge sub-TLB ran: {h:?}");
+        assert_eq!(h.walk_levels, 3 * h.misses, "2 MB walks are 3 levels");
+        assert!(
+            huge.tlb_total().misses < all4k.tlb_total().misses,
+            "huge pages shrink the miss stream: {} vs {}",
+            huge.tlb_total().misses,
+            all4k.tlb_total().misses
+        );
+
+        // Globs re-policy families; later overrides win.
+        let all_huge = base
+            .clone()
+            .page_policy("*", PagePolicy::Huge2M)
+            .run()
+            .unwrap();
+        assert_eq!(
+            all_huge.tlb_base_total().lookups(),
+            0,
+            "every demand access translates huge"
+        );
+        let back_to_base = base
+            .clone()
+            .page_policy("*", PagePolicy::Huge2M)
+            .page_policy("*", PagePolicy::Base4K)
+            .run()
+            .unwrap();
+        assert_eq!(back_to_base, all4k, "later override wins, bit-identically");
+
+        // Auto thresholds resolve per region size.
+        let auto = base
+            .clone()
+            .page_policy(
+                "*",
+                PagePolicy::Auto {
+                    threshold_bytes: u64::MAX,
+                },
+            )
+            .run()
+            .unwrap();
+        assert_eq!(auto, all4k, "an unsatisfied Auto threshold is all-4K");
+
+        // Unknown names are typed errors, not silent no-ops.
+        assert_eq!(
+            base.clone()
+                .page_policy("no-such-array", PagePolicy::Huge2M)
+                .run()
+                .unwrap_err(),
+            SimError::UnknownRegion("no-such-array".to_string())
+        );
+
+        // A policy override on an ideal TLB upgrades it to finite.
+        assert!(
+            !Sim::workload("pagerank")
+                .page_policy("pr0", PagePolicy::Huge2M)
+                .config()
+                .unwrap()
+                .tlb
+                .ideal
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! A [`Sweep`] starts from a template [`Sim`] and varies any axis —
 //! workloads, core counts, prefetcher specs, partial-accessing modes,
 //! and the translation sub-grid (page sizes, dTLB ways, translation
-//! policies, L2-TLB geometries, translation prefetching, walk models).
+//! policies, L2-TLB geometries, translation prefetching, walk models,
+//! per-region page placements).
 //! Cells are enumerated in a deterministic cross-product order and
 //! executed by a scoped worker pool; each cell derives its
 //! workload-generation seed from the template seed and the cell's
@@ -36,7 +37,9 @@
 //! ```
 
 use crate::sim::{Sim, SimError};
-use imp_common::config::{PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel};
+use imp_common::config::{
+    PagePolicy, PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
+};
 use imp_common::{fnv1a, SplitMix64, SystemStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -55,6 +58,11 @@ pub struct SweepCell {
     /// dTLB / page-walk configuration (ideal unless a TLB axis is
     /// swept or the template enables one).
     pub tlb: TlbConfig,
+    /// Page-policy overrides this cell applies to the workload's
+    /// regions (empty = every region keeps its declared policy).
+    /// Placement is translation-only, so cells differing only here
+    /// share one generated input.
+    pub page_policy: Vec<(String, PagePolicy)>,
     /// Workload-generation seed this cell ran with.
     pub seed: u64,
 }
@@ -107,6 +115,7 @@ pub struct Sweep {
     l2_tlbs: Vec<(u32, u32)>,
     tlb_prefetches: Vec<bool>,
     walk_models: Vec<WalkModel>,
+    page_policies: Vec<Vec<(String, PagePolicy)>>,
     threads: Option<usize>,
     spec_error: Option<String>,
 }
@@ -124,6 +133,7 @@ impl From<Sim> for Sweep {
             l2_tlbs: Vec::new(),
             tlb_prefetches: Vec::new(),
             walk_models: Vec::new(),
+            page_policies: Vec::new(),
             threads: None,
             spec_error: None,
             base,
@@ -235,6 +245,30 @@ impl Sweep {
         self
     }
 
+    /// Varies the per-region page placement: each axis value is one
+    /// `Sim::page_policy`-style override set applied to the workload's
+    /// regions (an empty set keeps every declared policy — the all-4K
+    /// baseline). Placement is translation-only, so the whole axis
+    /// shares one built artifact per (workload, cores, seed) input;
+    /// see [`Sweep::page_sizes`] for how an ideal template upgrades.
+    #[must_use]
+    pub fn page_policies<I, O, S>(mut self, sets: I) -> Self
+    where
+        I: IntoIterator<Item = O>,
+        O: IntoIterator<Item = (S, PagePolicy)>,
+        S: Into<String>,
+    {
+        self.page_policies = sets
+            .into_iter()
+            .map(|set| {
+                set.into_iter()
+                    .map(|(name, policy)| (name.into(), policy))
+                    .collect()
+            })
+            .collect();
+        self
+    }
+
     /// Caps the worker-thread count (default: available parallelism).
     /// `threads(1)` runs the grid inline on the calling thread.
     #[must_use]
@@ -272,20 +306,29 @@ impl Sweep {
             )
         };
         let tlbs = self.tlb_variants();
+        let base_policies = vec![self.base.page_policy_overrides().to_vec()];
+        let policy_sets = if self.page_policies.is_empty() {
+            &base_policies
+        } else {
+            &self.page_policies
+        };
         let mut cells = Vec::new();
         for w in &self.workloads {
             for &n in cores {
                 for p in prefetchers {
                     for &m in partials {
                         for &tlb in &tlbs {
-                            cells.push(SweepCell {
-                                workload: w.clone(),
-                                cores: n,
-                                prefetcher: p.clone(),
-                                partial: m,
-                                tlb,
-                                seed: cell_seed(self.base_seed(), w, n),
-                            });
+                            for pp in policy_sets {
+                                cells.push(SweepCell {
+                                    workload: w.clone(),
+                                    cores: n,
+                                    prefetcher: p.clone(),
+                                    partial: m,
+                                    tlb,
+                                    page_policy: pp.clone(),
+                                    seed: cell_seed(self.base_seed(), w, n),
+                                });
+                            }
                         }
                     }
                 }
@@ -306,7 +349,8 @@ impl Sweep {
             && self.policies.is_empty()
             && self.l2_tlbs.is_empty()
             && self.tlb_prefetches.is_empty()
-            && self.walk_models.is_empty());
+            && self.walk_models.is_empty()
+            && self.page_policies.is_empty());
         let base = if tlb_swept {
             self.base_tlb().finite_or_self()
         } else {
@@ -454,6 +498,7 @@ impl Sweep {
                 .prefetcher(cell.prefetcher.clone())
                 .partial(cell.partial)
                 .tlb(cell.tlb)
+                .page_policies(cell.page_policy.clone())
                 .seed(cell.seed)
                 .run_on(artifact)
         });
@@ -619,6 +664,35 @@ mod tests {
         assert_eq!(cells[7].tlb.walk_model, WalkModel::Cached);
         // One generated input across the whole translation sub-grid.
         assert!(cells.iter().all(|c| c.seed == cells[0].seed));
+    }
+
+    #[test]
+    fn page_policy_axis_extends_the_grid_and_shares_inputs() {
+        let sweep = Sweep::from(
+            Sim::workload("pagerank")
+                .scale(Scale::Tiny)
+                .prefetcher("imp"),
+        )
+        .page_policies([vec![], vec![("pr0".to_string(), PagePolicy::Huge2M)]]);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 2);
+        assert!(
+            cells.iter().all(|c| !c.tlb.ideal),
+            "sweeping placement enables the dTLB"
+        );
+        assert!(cells[0].page_policy.is_empty());
+        assert_eq!(cells[1].page_policy[0].0, "pr0");
+        assert_eq!(
+            cells[0].seed, cells[1].seed,
+            "placement never changes the generated input"
+        );
+        let results = sweep.run().unwrap();
+        assert_eq!(results[0].stats.tlb_huge_total(), Default::default());
+        assert!(results[1].stats.tlb_huge_total().lookups() > 0);
+        // Without the axis, cells inherit the template's overrides.
+        let inherited =
+            Sweep::from(Sim::workload("pagerank").page_policy("pr0", PagePolicy::Huge2M)).cells();
+        assert_eq!(inherited[0].page_policy.len(), 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Virtual address-space layout for workload data structures.
 
 use crate::typed::{ArrayRef, BitVecRef, MemScalar};
-use imp_common::{Addr, LINE_BYTES};
+use imp_common::{Addr, MemRegion, PagePolicy, LINE_BYTES};
 
 /// Description of one allocated region.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -12,6 +12,10 @@ pub struct Allocation {
     pub base: Addr,
     /// Size in bytes.
     pub bytes: u64,
+    /// Page-size policy the workload declared for this region (the
+    /// `madvise(MADV_HUGEPAGE)` axis). [`PagePolicy::Base4K`] by
+    /// default; set with [`AddressSpace::set_policy`].
+    pub policy: PagePolicy,
 }
 
 impl Allocation {
@@ -71,6 +75,7 @@ impl AddressSpace {
             name: name.to_string(),
             base: Addr::new(base),
             bytes,
+            policy: PagePolicy::Base4K,
         };
         self.allocations.push(a.clone());
         a
@@ -91,6 +96,32 @@ impl AddressSpace {
     /// All allocations made so far, in order.
     pub fn allocations(&self) -> &[Allocation] {
         &self.allocations
+    }
+
+    /// Declares the page-size policy of the allocation named `name`
+    /// (the simulated `madvise`). Returns `false` when no allocation
+    /// has that name.
+    pub fn set_policy(&mut self, name: &str, policy: PagePolicy) -> bool {
+        let mut found = false;
+        for a in self.allocations.iter_mut().filter(|a| a.name == name) {
+            a.policy = policy;
+            found = true;
+        }
+        found
+    }
+
+    /// The allocations as serializable [`MemRegion`] records — the
+    /// per-region placement list workload artifacts carry.
+    pub fn regions(&self) -> Vec<MemRegion> {
+        self.allocations
+            .iter()
+            .map(|a| MemRegion {
+                name: a.name.clone(),
+                base: a.base.raw(),
+                bytes: a.bytes,
+                policy: a.policy,
+            })
+            .collect()
     }
 
     /// Total bytes allocated (the working-set size, excluding guards).
@@ -148,6 +179,26 @@ mod tests {
         s.alloc("a", 100);
         s.alloc("b", 28);
         assert_eq!(s.total_bytes(), 128);
+    }
+
+    #[test]
+    fn policies_default_base_and_are_settable_per_region() {
+        let mut s = AddressSpace::new();
+        s.alloc("idx", 256);
+        s.alloc("target", 1024);
+        assert!(s
+            .allocations()
+            .iter()
+            .all(|a| a.policy == PagePolicy::Base4K));
+        assert!(s.set_policy("target", PagePolicy::Huge2M));
+        assert!(!s.set_policy("nope", PagePolicy::Huge2M));
+        let regions = s.regions();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].policy, PagePolicy::Base4K);
+        assert_eq!(regions[1].policy, PagePolicy::Huge2M);
+        assert_eq!(regions[1].name, "target");
+        assert_eq!(regions[1].bytes, 1024);
+        assert_eq!(regions[1].base, s.allocations()[1].base.raw());
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod msg;
 mod system;
 
 pub use imp_prefetch::registry::RegistryError;
-pub use imp_vm::VmConfigError;
+pub use imp_vm::{validate_config as validate_tlb_config, PagePlacement, VmConfigError};
 pub use system::{BuildError, System};
 
 #[cfg(test)]

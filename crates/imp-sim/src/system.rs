@@ -22,7 +22,7 @@ use imp_prefetch::{
     Access, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind, PrefetchRequest,
 };
 use imp_trace::{BarrierMismatch, OpKind, Program};
-use imp_vm::{PrefetchTranslation, Vm, VmConfigError, WalkMemory, PTE_BYTES};
+use imp_vm::{PagePlacement, PrefetchTranslation, Vm, VmConfigError, WalkMemory, PTE_BYTES};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -1221,8 +1221,36 @@ impl System {
     /// See [`BuildError`].
     pub fn try_new(
         cfg: SystemConfig,
+        program: Program,
+        mem: FunctionalMemory,
+    ) -> Result<Self, BuildError> {
+        Self::try_new_placed(cfg, program, mem, &[])
+    }
+
+    /// [`System::try_new`] with a huge-page placement: addresses inside
+    /// the given `(base, bytes)` extents translate at
+    /// [`imp_common::TlbConfig::huge_page_bytes`] (through the per-core
+    /// huge-page sub-TLBs and shallower page-table walks); everything
+    /// else stays on base pages. Extents are aligned outward to whole
+    /// huge pages and merged, exactly like transparent huge pages
+    /// promote the pages a region overlaps. An empty slice — or an
+    /// ideal/absent TLB — reproduces [`System::try_new`] bit for bit.
+    ///
+    /// The extents normally come from a workload's recorded
+    /// region/placement layer with `Sim::page_policy` overrides
+    /// applied; this is the lower-level entry point taking resolved
+    /// address ranges.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildError`]; a placement with no huge-page sub-TLB or a
+    /// base page size too large to promote surfaces as
+    /// [`BuildError::Vm`].
+    pub fn try_new_placed(
+        cfg: SystemConfig,
         mut program: Program,
         mem: FunctionalMemory,
+        huge_regions: &[(u64, u64)],
     ) -> Result<Self, BuildError> {
         if program.cores() != cfg.cores as usize {
             return Err(BuildError::CoreCountMismatch {
@@ -1271,7 +1299,16 @@ impl System {
         // The VM subsystem only exists for finite TLBs in Realistic
         // mode; `None` keeps every path bit-identical to the seed.
         let vm = if cfg.mem_mode == MemMode::Realistic && !cfg.tlb.ideal {
-            Some(Vm::new(&cfg.tlb, n)?)
+            // Validate the base geometry before deriving the huge page
+            // size from it (a bad `page_bytes` must surface as a typed
+            // error, not a panic inside the placement build).
+            imp_vm::validate_config(&cfg.tlb)?;
+            let placement = if huge_regions.is_empty() {
+                PagePlacement::empty()
+            } else {
+                PagePlacement::for_regions(huge_regions.iter().copied(), cfg.tlb.huge_page_bytes())
+            };
+            Some(Vm::with_placement(&cfg.tlb, n, placement)?)
         } else {
             imp_vm::validate_config(&cfg.tlb)?;
             None
@@ -1451,18 +1488,26 @@ impl System {
         let mut traffic = self.fab.traffic.clone();
         traffic.noc_flit_hops = self.fab.mesh.flit_hops();
         let n = cores.len();
-        let (tlb, tlb_l2) = match &self.fab.vm {
+        let (tlb, tlb_huge, tlb_l2) = match &self.fab.vm {
             Some(vm) => (
                 (0..n).map(|c| vm.stats(c).clone()).collect(),
+                (0..n)
+                    .map(|c| vm.huge_stats(c).cloned().unwrap_or_default())
+                    .collect(),
                 vm.l2_stats().cloned().unwrap_or_default(),
             ),
-            None => (vec![TlbStats::default(); n], TlbStats::default()),
+            None => (
+                vec![TlbStats::default(); n],
+                vec![TlbStats::default(); n],
+                TlbStats::default(),
+            ),
         };
         SystemStats {
             runtime,
             cores,
             prefetch: self.fab.pstats.clone(),
             tlb,
+            tlb_huge,
             tlb_l2,
             traffic,
         }

@@ -62,6 +62,13 @@ impl L2Tlb {
         self.inner.lookup(vaddr)
     }
 
+    /// [`L2Tlb::demand_lookup`] at an explicit page shift (the L2 TLB
+    /// is *unified*: 4 KB and 2 MB translations share its sets,
+    /// tag-matched by size, x86 STLB-style).
+    pub fn demand_lookup_sized(&mut self, vaddr: Addr, shift: u32) -> Option<Addr> {
+        self.inner.lookup_sized(vaddr, shift)
+    }
+
     /// Looks a prefetch translation up, counting only `prefetch_hits`
     /// on a hit (the caller's translation policy decides what a miss
     /// means).
@@ -69,9 +76,19 @@ impl L2Tlb {
         self.inner.prefetch_lookup(vaddr)
     }
 
+    /// [`L2Tlb::prefetch_probe`] at an explicit page shift.
+    pub fn prefetch_probe_sized(&mut self, vaddr: Addr, shift: u32) -> Option<Addr> {
+        self.inner.prefetch_lookup_sized(vaddr, shift)
+    }
+
     /// Installs the mapping `vaddr`'s page → `ppn` after a page walk.
     pub fn install(&mut self, vaddr: Addr, ppn: u64) {
         self.inner.fill(vaddr, ppn);
+    }
+
+    /// [`L2Tlb::install`] at an explicit page shift.
+    pub fn install_sized(&mut self, vaddr: Addr, ppn: u64, shift: u32) {
+        self.inner.fill_sized(vaddr, ppn, shift);
     }
 
     /// Installs a mapping on behalf of the translation-prefetch port,
@@ -81,9 +98,20 @@ impl L2Tlb {
         self.inner.stats_mut().prefetch_walks += 1;
     }
 
+    /// [`L2Tlb::prefetch_install`] at an explicit page shift.
+    pub fn prefetch_install_sized(&mut self, vaddr: Addr, ppn: u64, shift: u32) {
+        self.inner.fill_sized(vaddr, ppn, shift);
+        self.inner.stats_mut().prefetch_walks += 1;
+    }
+
     /// True if `vaddr`'s page is resident (no LRU update, no counters).
     pub fn contains(&self, vaddr: Addr) -> bool {
         self.inner.contains(vaddr)
+    }
+
+    /// [`L2Tlb::contains`] at an explicit page shift.
+    pub fn contains_sized(&self, vaddr: Addr, shift: u32) -> bool {
+        self.inner.contains_sized(vaddr, shift)
     }
 
     /// The level's accumulated counters.

@@ -26,6 +26,13 @@
 //!   translations always walk (and stall), plus the
 //!   translation-prefetch port ([`Vm::prefetch_translation`]) the IMP
 //!   prefetcher drives when `TlbConfig::tlb_prefetch` is on.
+//! * [`PagePlacement`] — mixed 4 KB / 2 MB translation: regions a
+//!   workload (or a `Sim::page_policy` override) placed on huge pages
+//!   translate through per-core huge-page sub-TLBs (x86-style split
+//!   dTLB, own [`TlbStats`] ledger per size), huge leaves sit one
+//!   radix level up in the [`PageTable`] (one fewer PTE read per walk,
+//!   also under `WalkModel::Cached`), and the shared [`L2Tlb`] caches
+//!   both sizes side by side with size-tagged entries.
 //!
 //! Configuration lives in [`imp_common::TlbConfig`]; the default
 //! [`imp_common::TlbConfig::ideal`] disables the subsystem entirely and
@@ -90,6 +97,24 @@ pub enum VmConfigError {
     PageSmallerThanLine(u64),
     /// The page size leaves no VPN bits in a 48-bit space.
     PageTooLarge(u64),
+    /// Regions were placed on huge pages, but `huge_sets` or
+    /// `huge_ways` is zero — there is no huge-page sub-TLB to hold
+    /// their translations.
+    EmptyHugeTlb {
+        /// Configured huge-page sub-TLB sets.
+        sets: u32,
+        /// Configured huge-page sub-TLB ways.
+        ways: u32,
+    },
+    /// Regions were placed on huge pages, but the huge page size (one
+    /// radix level above `page_bytes`) leaves no VPN bits in the
+    /// 48-bit space — the page table has no level to hold huge leaves.
+    HugePageTooLarge {
+        /// The configured base page size.
+        page_bytes: u64,
+        /// The huge page size it implies.
+        huge_bytes: u64,
+    },
 }
 
 impl fmt::Display for VmConfigError {
@@ -110,6 +135,19 @@ impl fmt::Display for VmConfigError {
             VmConfigError::PageTooLarge(b) => {
                 write!(f, "page size {b} leaves no page-number bits below 2^48")
             }
+            VmConfigError::EmptyHugeTlb { sets, ways } => write!(
+                f,
+                "regions are placed on huge pages but the huge-page sub-TLB \
+                 is {sets} sets x {ways} ways; both must be non-zero"
+            ),
+            VmConfigError::HugePageTooLarge {
+                page_bytes,
+                huge_bytes,
+            } => write!(
+                f,
+                "base page size {page_bytes} implies huge pages of \
+                 {huge_bytes} bytes, which leave no page-number bits below 2^48"
+            ),
         }
     }
 }
@@ -140,6 +178,112 @@ pub fn validate_config(cfg: &TlbConfig) -> Result<(), VmConfigError> {
         return Err(VmConfigError::PageTooLarge(cfg.page_bytes));
     }
     Ok(())
+}
+
+/// Validates a [`TlbConfig`] together with a huge-page placement: the
+/// plain [`validate_config`] checks plus — when any region is actually
+/// placed on huge pages — that the page-table geometry can hold huge
+/// leaves and the huge-page sub-TLB exists. An empty placement adds no
+/// constraints (huge-page machinery is never consulted then).
+pub fn validate_placement(cfg: &TlbConfig, placement: &PagePlacement) -> Result<(), VmConfigError> {
+    validate_config(cfg)?;
+    if cfg.ideal || placement.is_empty() {
+        return Ok(());
+    }
+    if cfg.page_bytes.trailing_zeros() + LEVEL_BITS >= ADDRESS_BITS {
+        return Err(VmConfigError::HugePageTooLarge {
+            page_bytes: cfg.page_bytes,
+            huge_bytes: cfg.huge_page_bytes(),
+        });
+    }
+    if cfg.huge_sets == 0 || cfg.huge_ways == 0 {
+        return Err(VmConfigError::EmptyHugeTlb {
+            sets: cfg.huge_sets,
+            ways: cfg.huge_ways,
+        });
+    }
+    Ok(())
+}
+
+/// Which virtual-address ranges are backed by huge pages: the resolved,
+/// page-aligned form of the per-region [`imp_common::PagePolicy`]
+/// declarations a run placed on huge pages.
+///
+/// Ranges are aligned outward to whole huge pages and merged, so
+/// classification (`is_huge`) is a consistent total function of the
+/// address — exactly how transparent huge pages behave: promoting a
+/// region promotes every huge page it overlaps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PagePlacement {
+    /// Sorted, disjoint half-open `[start, end)` ranges.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl PagePlacement {
+    /// The all-base-pages placement (no address classifies huge).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a placement from raw `(base, bytes)` region extents to be
+    /// backed by `huge_page_bytes` pages. Each extent is aligned
+    /// outward to whole huge pages; overlapping and adjacent extents
+    /// merge. Zero-length extents are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `huge_page_bytes` is not a power of two (it comes from
+    /// [`TlbConfig::huge_page_bytes`], which always is).
+    pub fn for_regions(
+        regions: impl IntoIterator<Item = (u64, u64)>,
+        huge_page_bytes: u64,
+    ) -> Self {
+        assert!(
+            huge_page_bytes.is_power_of_two(),
+            "huge page size must be a power of two"
+        );
+        let mask = huge_page_bytes - 1;
+        let mut aligned: Vec<(u64, u64)> = regions
+            .into_iter()
+            .filter(|&(_, bytes)| bytes > 0)
+            .map(|(base, bytes)| {
+                let start = base & !mask;
+                // Extents may come from an untrusted .imptrace file:
+                // saturate instead of overflowing, so a region at the
+                // top of the u64 space clamps to it rather than
+                // wrapping into an inverted (or empty) range.
+                let end = base.saturating_add(bytes).saturating_add(mask) & !mask;
+                let end = if end <= start { u64::MAX } else { end };
+                (start, end)
+            })
+            .collect();
+        aligned.sort_unstable();
+        let mut ranges: Vec<(u64, u64)> = Vec::with_capacity(aligned.len());
+        for (start, end) in aligned {
+            match ranges.last_mut() {
+                Some((_, last_end)) if start <= *last_end => *last_end = (*last_end).max(end),
+                _ => ranges.push((start, end)),
+            }
+        }
+        PagePlacement { ranges }
+    }
+
+    /// True when no range is placed on huge pages.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The resolved huge ranges, sorted and disjoint.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Whether `addr` falls in a huge-backed range.
+    pub fn is_huge(&self, addr: Addr) -> bool {
+        let a = addr.raw();
+        let i = self.ranges.partition_point(|&(start, _)| start <= a);
+        i > 0 && a < self.ranges[i - 1].1
+    }
 }
 
 /// A demand translation: the physical address plus what it cost.
@@ -188,23 +332,35 @@ pub struct TranslationPrefetch {
     pub walk_levels: u32,
 }
 
-/// The virtual-memory engine: one dTLB per core over one shared L2 TLB
-/// (when configured), one shared page table and walker (the page table
-/// is the process's; the walker models each core's page-miss handler
-/// but shares the table structure).
+/// The virtual-memory engine: one *split* dTLB per core (a base-page
+/// structure plus, when any region is placed on huge pages, an
+/// x86-style huge-page sub-TLB with its own ledger) over one shared
+/// unified L2 TLB (when configured), one shared page table and walker
+/// (the page table is the process's; the walker models each core's
+/// page-miss handler but shares the table structure).
+///
+/// The [`PagePlacement`] fixed at construction classifies every address
+/// to exactly one page size; translations, walks, statistics and the
+/// translation-prefetch port all honor it.
 #[derive(Clone, Debug)]
 pub struct Vm {
     tlbs: Vec<Tlb>,
+    /// Huge-page sub-TLBs, one per core; empty when the placement is
+    /// empty (no address ever classifies huge then).
+    huge_tlbs: Vec<Tlb>,
     l2: Option<L2Tlb>,
     table: PageTable,
     walker: PageWalker,
     policy: TranslationPolicy,
     l2_latency: Cycle,
     walk_model: WalkModel,
+    placement: PagePlacement,
+    page_shift: u32,
 }
 
 impl Vm {
-    /// Builds the engine for `cores` cores from a finite `cfg`.
+    /// Builds the engine for `cores` cores from a finite `cfg`, with
+    /// every region on base pages (the pre-huge-page behavior).
     ///
     /// Callers model an *ideal* `cfg` by not building a `Vm` at all
     /// (translation is skipped entirely), so `cfg.ideal` is ignored
@@ -214,12 +370,34 @@ impl Vm {
     ///
     /// Returns the [`VmConfigError`] describing the first invalid field.
     pub fn new(cfg: &TlbConfig, cores: usize) -> Result<Self, VmConfigError> {
+        Self::with_placement(cfg, cores, PagePlacement::empty())
+    }
+
+    /// Builds the engine for `cores` cores from a finite `cfg` with the
+    /// given huge-page `placement`. Addresses inside the placement's
+    /// ranges translate at [`TlbConfig::huge_page_bytes`] through the
+    /// per-core huge-page sub-TLBs; everything else translates at
+    /// `cfg.page_bytes` exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VmConfigError`] describing the first invalid field
+    /// (see [`validate_placement`]).
+    pub fn with_placement(
+        cfg: &TlbConfig,
+        cores: usize,
+        placement: PagePlacement,
+    ) -> Result<Self, VmConfigError> {
         let mut cfg = *cfg;
         cfg.ideal = false;
-        validate_config(&cfg)?;
+        validate_placement(&cfg, &placement)?;
+        let huge_cores = if placement.is_empty() { 0 } else { cores };
         Ok(Vm {
             tlbs: (0..cores)
                 .map(|_| Tlb::new(cfg.sets, cfg.ways, cfg.page_bytes))
+                .collect(),
+            huge_tlbs: (0..huge_cores)
+                .map(|_| Tlb::new(cfg.huge_sets, cfg.huge_ways, cfg.huge_page_bytes()))
                 .collect(),
             l2: cfg
                 .has_l2()
@@ -229,6 +407,8 @@ impl Vm {
             policy: cfg.policy,
             l2_latency: cfg.l2_latency,
             walk_model: cfg.walk_model,
+            placement,
+            page_shift: cfg.page_bytes.trailing_zeros(),
         })
     }
 
@@ -247,13 +427,56 @@ impl Vm {
         self.l2.is_some()
     }
 
-    /// Walks `vaddr`'s page under the configured [`WalkModel`]: flat
-    /// per-level latency, or PTE reads chained through `mem` from
-    /// `now`.
-    fn walk(&mut self, core: usize, vaddr: Addr, now: Cycle, mem: &mut dyn WalkMemory) -> Walk {
-        match self.walk_model {
-            WalkModel::Flat => self.walker.walk(&mut self.table, vaddr),
-            WalkModel::Cached => self.walker.walk_via(&mut self.table, vaddr, core, now, mem),
+    /// The huge-page placement this engine translates under.
+    pub fn placement(&self) -> &PagePlacement {
+        &self.placement
+    }
+
+    /// Whether `vaddr` translates at the huge page size.
+    fn is_huge(&self, vaddr: Addr) -> bool {
+        !self.huge_tlbs.is_empty() && self.placement.is_huge(vaddr)
+    }
+
+    /// The page shift `vaddr` translates at.
+    fn shift_for(&self, huge: bool) -> u32 {
+        if huge {
+            self.page_shift + LEVEL_BITS
+        } else {
+            self.page_shift
+        }
+    }
+
+    /// `core`'s dTLB structure for the given page size.
+    fn dtlb_mut(&mut self, core: usize, huge: bool) -> &mut Tlb {
+        if huge {
+            &mut self.huge_tlbs[core]
+        } else {
+            &mut self.tlbs[core]
+        }
+    }
+
+    /// Walks `vaddr`'s page (at its classified size) under the
+    /// configured [`WalkModel`]: flat per-level latency, or PTE reads
+    /// chained through `mem` from `now`. Huge pages walk one level
+    /// fewer.
+    fn walk(
+        &mut self,
+        core: usize,
+        vaddr: Addr,
+        now: Cycle,
+        mem: &mut dyn WalkMemory,
+        huge: bool,
+    ) -> Walk {
+        match (self.walk_model, huge) {
+            (WalkModel::Flat, false) => self.walker.walk(&mut self.table, vaddr),
+            (WalkModel::Flat, true) => self.walker.walk_huge(&mut self.table, vaddr),
+            (WalkModel::Cached, false) => {
+                self.walker.walk_via(&mut self.table, vaddr, core, now, mem)
+            }
+            (WalkModel::Cached, true) => {
+                self.walker
+                    .walk_via_huge(&mut self.table, vaddr, core, now, mem)
+            }
         }
     }
 
@@ -277,22 +500,23 @@ impl Vm {
         now: Cycle,
         mem: &mut dyn WalkMemory,
     ) -> DemandTranslation {
-        if let Some(paddr) = self.tlbs[core].lookup(vaddr) {
+        let huge = self.is_huge(vaddr);
+        let shift = self.shift_for(huge);
+        if let Some(paddr) = self.dtlb_mut(core, huge).lookup_sized(vaddr, shift) {
             return DemandTranslation {
                 paddr,
                 walk_cycles: 0,
                 walk_levels: 0,
             };
         }
-        let page_bytes = self.table.page_bytes();
         // The dTLB missed: the L2 TLB (when present) is probed next,
         // costing its hit latency on the way to a hit *or* a walk.
         let mut l2_probe = 0;
         if let Some(l2) = self.l2.as_mut() {
             l2_probe = self.l2_latency;
-            if let Some(paddr) = l2.demand_lookup(vaddr) {
-                let ppn = paddr.raw() >> page_bytes.trailing_zeros();
-                self.tlbs[core].fill(vaddr, ppn);
+            if let Some(paddr) = l2.demand_lookup_sized(vaddr, shift) {
+                let ppn = paddr.raw() >> shift;
+                self.dtlb_mut(core, huge).fill_sized(vaddr, ppn, shift);
                 return DemandTranslation {
                     paddr,
                     walk_cycles: l2_probe,
@@ -300,15 +524,17 @@ impl Vm {
                 };
             }
         }
-        let walk = self.walk(core, vaddr, now + l2_probe, mem);
+        let walk = self.walk(core, vaddr, now + l2_probe, mem, huge);
         if let Some(l2) = self.l2.as_mut() {
-            l2.install(vaddr, walk.ppn);
+            l2.install_sized(vaddr, walk.ppn, shift);
         }
-        let tlb = &mut self.tlbs[core];
-        tlb.fill(vaddr, walk.ppn);
-        tlb.stats_mut().walk_cycles += walk.cycles;
+        let tlb = self.dtlb_mut(core, huge);
+        tlb.fill_sized(vaddr, walk.ppn, shift);
+        let stats = tlb.stats_mut();
+        stats.walk_cycles += walk.cycles;
+        stats.walk_levels += u64::from(walk.levels);
         DemandTranslation {
-            paddr: page_translate(vaddr, walk.ppn, page_bytes),
+            paddr: splice_ppn(vaddr, walk.ppn, shift),
             walk_cycles: l2_probe + walk.cycles,
             walk_levels: walk.levels,
         }
@@ -341,13 +567,18 @@ impl Vm {
         if self.policy == TranslationPolicy::Ideal {
             return PrefetchTranslation::Ready(vaddr);
         }
-        if let Some(paddr) = self.tlbs[core].prefetch_lookup(vaddr) {
+        let huge = self.is_huge(vaddr);
+        let shift = self.shift_for(huge);
+        if let Some(paddr) = self
+            .dtlb_mut(core, huge)
+            .prefetch_lookup_sized(vaddr, shift)
+        {
             return PrefetchTranslation::Ready(paddr);
         }
         let mut l2_probe = 0;
         if let Some(l2) = self.l2.as_mut() {
             l2_probe = self.l2_latency;
-            if let Some(paddr) = l2.prefetch_probe(vaddr) {
+            if let Some(paddr) = l2.prefetch_probe_sized(vaddr, shift) {
                 return PrefetchTranslation::Walked {
                     paddr,
                     cycles: l2_probe,
@@ -357,25 +588,26 @@ impl Vm {
         }
         match self.policy {
             TranslationPolicy::DropOnMiss => {
-                self.tlbs[core].stats_mut().prefetch_drops += 1;
+                self.dtlb_mut(core, huge).stats_mut().prefetch_drops += 1;
                 PrefetchTranslation::Dropped
             }
             TranslationPolicy::NonBlockingWalk => {
-                let walk = self.walk(core, vaddr, now + l2_probe, mem);
+                let walk = self.walk(core, vaddr, now + l2_probe, mem, huge);
                 if let Some(l2) = self.l2.as_mut() {
                     // A prefetch-initiated install: ledgered in the
                     // L2's `prefetch_walks` (not `misses` — the probe
                     // above was a prefetch probe), keeping `evictions
                     // == misses + prefetch installs - cold_fills`.
-                    l2.prefetch_install(vaddr, walk.ppn);
+                    l2.prefetch_install_sized(vaddr, walk.ppn, shift);
                 }
-                let tlb = &mut self.tlbs[core];
-                tlb.fill(vaddr, walk.ppn);
+                let tlb = self.dtlb_mut(core, huge);
+                tlb.fill_sized(vaddr, walk.ppn, shift);
                 let stats = tlb.stats_mut();
                 stats.prefetch_walks += 1;
                 stats.walk_cycles += walk.cycles;
+                stats.walk_levels += u64::from(walk.levels);
                 PrefetchTranslation::Walked {
-                    paddr: page_translate(vaddr, walk.ppn, self.table.page_bytes()),
+                    paddr: splice_ppn(vaddr, walk.ppn, shift),
                     cycles: l2_probe + walk.cycles,
                     levels: walk.levels,
                 }
@@ -407,27 +639,35 @@ impl Vm {
         now: Cycle,
         mem: &mut dyn WalkMemory,
     ) -> TranslationPrefetch {
+        let huge = self.is_huge(vaddr);
+        let shift = self.shift_for(huge);
         let resident = self.policy == TranslationPolicy::Ideal
-            || self.tlbs[core].contains(vaddr)
-            || self.l2.as_ref().is_some_and(|l2| l2.contains(vaddr));
+            || self.dtlb(core, huge).contains_sized(vaddr, shift)
+            || self
+                .l2
+                .as_ref()
+                .is_some_and(|l2| l2.contains_sized(vaddr, shift));
         if resident {
             return TranslationPrefetch {
                 ready: now,
                 walk_levels: 0,
             };
         }
-        let walk = self.walk(core, vaddr, now, mem);
+        let walk = self.walk(core, vaddr, now, mem, huge);
         match self.l2.as_mut() {
             Some(l2) => {
-                l2.prefetch_install(vaddr, walk.ppn);
-                l2.stats_mut().walk_cycles += walk.cycles;
+                l2.prefetch_install_sized(vaddr, walk.ppn, shift);
+                let stats = l2.stats_mut();
+                stats.walk_cycles += walk.cycles;
+                stats.walk_levels += u64::from(walk.levels);
             }
             None => {
-                let tlb = &mut self.tlbs[core];
-                tlb.fill(vaddr, walk.ppn);
+                let tlb = self.dtlb_mut(core, huge);
+                tlb.fill_sized(vaddr, walk.ppn, shift);
                 let stats = tlb.stats_mut();
                 stats.prefetch_walks += 1;
                 stats.walk_cycles += walk.cycles;
+                stats.walk_levels += u64::from(walk.levels);
             }
         }
         TranslationPrefetch {
@@ -436,9 +676,24 @@ impl Vm {
         }
     }
 
-    /// Per-core TLB statistics.
+    /// `core`'s dTLB structure for the given page size (shared ref).
+    fn dtlb(&self, core: usize, huge: bool) -> &Tlb {
+        if huge {
+            &self.huge_tlbs[core]
+        } else {
+            &self.tlbs[core]
+        }
+    }
+
+    /// Per-core base-page TLB statistics.
     pub fn stats(&self, core: usize) -> &TlbStats {
         self.tlbs[core].stats()
+    }
+
+    /// Per-core huge-page sub-TLB statistics, when the placement put
+    /// any region on huge pages.
+    pub fn huge_stats(&self, core: usize) -> Option<&TlbStats> {
+        self.huge_tlbs.get(core).map(Tlb::stats)
     }
 
     /// The shared L2 TLB's statistics, when one is configured.
@@ -457,10 +712,6 @@ impl Vm {
 pub(crate) fn splice_ppn(vaddr: Addr, ppn: u64, page_shift: u32) -> Addr {
     let offset_mask = (1u64 << page_shift) - 1;
     Addr::new((ppn << page_shift) | (vaddr.raw() & offset_mask))
-}
-
-fn page_translate(vaddr: Addr, ppn: u64, page_bytes: u64) -> Addr {
-    splice_ppn(vaddr, ppn, page_bytes.trailing_zeros())
 }
 
 #[cfg(test)]
@@ -628,6 +879,144 @@ mod tests {
             VmConfigError::PageTooLarge(1 << 48)
         );
         assert!(validate_config(&TlbConfig::ideal()).is_ok());
+    }
+
+    #[test]
+    fn placement_routes_translation_through_the_huge_sub_tlb() {
+        let cfg = TlbConfig::finite();
+        let huge = cfg.huge_page_bytes();
+        // One huge region starting at 2 MB; everything else is base.
+        let placement = PagePlacement::for_regions([(huge, 3 * huge)], huge);
+        let mut vm = Vm::with_placement(&cfg, 1, placement).unwrap();
+
+        // A huge-region demand access walks one level fewer and lands
+        // in the huge ledger only.
+        let ha = Addr::new(huge + 0x1234);
+        let d = vm.demand_translate(0, ha);
+        assert_eq!(d.paddr, ha, "identity mapping preserves addresses");
+        assert_eq!(d.walk_levels, 3, "2 MB leaves sit one level up");
+        assert_eq!(d.walk_cycles, 3 * cfg.walk_latency);
+        let h = vm.huge_stats(0).unwrap();
+        assert_eq!((h.hits, h.misses, h.walk_levels), (0, 1, 3));
+        assert_eq!(vm.stats(0), &TlbStats::default(), "base ledger untouched");
+
+        // Any address in the same 2 MB page now hits.
+        assert_eq!(
+            vm.demand_translate(0, Addr::new(huge + 0x1f_0000))
+                .walk_cycles,
+            0
+        );
+        assert_eq!(vm.huge_stats(0).unwrap().hits, 1);
+
+        // A base-region access walks the full depth into the base
+        // ledger; the two sub-TLBs never cross-talk.
+        let d = vm.demand_translate(0, Addr::new(0x5000));
+        assert_eq!(d.walk_levels, 4);
+        assert_eq!(vm.stats(0).misses, 1);
+        assert_eq!(vm.stats(0).walk_levels, 4);
+        assert_eq!(vm.huge_stats(0).unwrap().misses, 1);
+        assert_eq!(vm.page_table().mapped_huge_pages(), 1);
+        assert_eq!(vm.page_table().mapped_pages(), 1);
+    }
+
+    #[test]
+    fn huge_prefetches_honor_policy_and_the_port_honors_size() {
+        let cfg = TlbConfig::finite().with_l2(8, 4);
+        let huge = cfg.huge_page_bytes();
+        let placement = PagePlacement::for_regions([(0, 4 * huge)], huge);
+        let mut vm = Vm::with_placement(&cfg, 1, placement.clone()).unwrap();
+
+        // Cold huge page under DropOnMiss: dropped, ledgered huge.
+        assert_eq!(
+            vm.prefetch_translate(0, Addr::new(2 * huge)),
+            PrefetchTranslation::Dropped
+        );
+        assert_eq!(vm.huge_stats(0).unwrap().prefetch_drops, 1);
+
+        // The translation-prefetch port walks the *huge* page (3
+        // levels) and installs a size-tagged L2 entry that rescues a
+        // later prefetch to anywhere in the 2 MB page.
+        let mut flat = FlatWalkMemory(cfg.walk_latency);
+        let tp = vm.prefetch_translation(0, Addr::new(2 * huge + 64), 100, &mut flat);
+        assert_eq!(tp.walk_levels, 3);
+        assert_eq!(tp.ready, 100 + 3 * cfg.walk_latency);
+        let l2 = vm.l2_stats().unwrap();
+        assert_eq!((l2.prefetch_walks, l2.walk_levels), (1, 3));
+        assert!(matches!(
+            vm.prefetch_translate(0, Addr::new(2 * huge + 0x10_0000)),
+            PrefetchTranslation::Walked { levels: 0, .. }
+        ));
+
+        // NonBlockingWalk on a huge page fills the huge sub-TLB.
+        let cfg = cfg.with_policy(TranslationPolicy::NonBlockingWalk);
+        let mut vm = Vm::with_placement(&cfg, 1, placement).unwrap();
+        match vm.prefetch_translate(0, Addr::new(3 * huge)) {
+            PrefetchTranslation::Walked { cycles, levels, .. } => {
+                assert_eq!(levels, 3);
+                assert_eq!(cycles, cfg.l2_latency + 3 * cfg.walk_latency);
+            }
+            other => panic!("expected a huge walk, got {other:?}"),
+        }
+        assert_eq!(vm.huge_stats(0).unwrap().prefetch_walks, 1);
+        assert_eq!(vm.demand_translate(0, Addr::new(3 * huge)).walk_cycles, 0);
+    }
+
+    #[test]
+    fn placement_alignment_merging_and_validation() {
+        let h = 1u64 << 21;
+        // Unaligned, overlapping and adjacent extents merge into
+        // aligned disjoint ranges; zero-length extents vanish.
+        let p = PagePlacement::for_regions(
+            [
+                (h + 100, 50),
+                (h / 2, h),
+                (4 * h, h),
+                (5 * h, 10),
+                (9 * h, 0),
+            ],
+            h,
+        );
+        assert_eq!(p.ranges(), &[(0, 2 * h), (4 * h, 6 * h)]);
+        assert!(p.is_huge(Addr::new(0)));
+        assert!(p.is_huge(Addr::new(2 * h - 1)));
+        assert!(!p.is_huge(Addr::new(2 * h)));
+        assert!(p.is_huge(Addr::new(5 * h)));
+        assert!(!p.is_huge(Addr::new(6 * h)));
+        assert!(PagePlacement::empty().is_empty());
+
+        // Extents near the top of the u64 space (possible in an
+        // untrusted .imptrace) saturate instead of wrapping.
+        let top = PagePlacement::for_regions([(u64::MAX - 100, 200), (0, h)], h);
+        assert!(top.is_huge(Addr::new(u64::MAX - 1)));
+        assert!(top.is_huge(Addr::new(0)));
+        assert!(!top.is_huge(Addr::new(5 * h)));
+
+        // A placement demands a huge-capable config: missing huge
+        // sub-TLB and huge-incapable page sizes are typed errors...
+        let placed = PagePlacement::for_regions([(0, h)], h);
+        let bad = TlbConfig::finite().with_huge_tlb(0, 0);
+        assert_eq!(
+            Vm::with_placement(&bad, 1, placed.clone()).unwrap_err(),
+            VmConfigError::EmptyHugeTlb { sets: 0, ways: 0 }
+        );
+        let mut too_big = TlbConfig::finite();
+        too_big.page_bytes = 1 << 40;
+        assert_eq!(
+            Vm::with_placement(
+                &too_big,
+                1,
+                PagePlacement::for_regions([(0, 1 << 50)], 1 << 49)
+            )
+            .unwrap_err(),
+            VmConfigError::HugePageTooLarge {
+                page_bytes: 1 << 40,
+                huge_bytes: 1 << 49,
+            }
+        );
+        // ...but the same configs are fine with an empty placement
+        // (huge machinery never consulted).
+        assert!(Vm::with_placement(&bad, 1, PagePlacement::empty()).is_ok());
+        assert!(Vm::new(&too_big, 1).is_ok());
     }
 
     #[test]

@@ -39,6 +39,11 @@ struct Node {
     id: u64,
     tables: HashMap<u32, Node>,
     leaves: HashMap<u32, u64>,
+    /// Huge-page leaves: a slot one level above the base leaves maps a
+    /// whole 512-base-page range at once (the x86 PDE-as-2MB-leaf
+    /// shape). Kept separate from `tables` so a huge mapping can never
+    /// be confused with an interior pointer.
+    huge_leaves: HashMap<u32, u64>,
 }
 
 /// A radix page table mapping virtual page numbers to physical page
@@ -63,6 +68,7 @@ pub struct PageTable {
     page_shift: u32,
     levels: u32,
     mapped_pages: u64,
+    mapped_huge_pages: u64,
     next_node_id: u64,
 }
 
@@ -89,6 +95,7 @@ impl PageTable {
             page_shift,
             levels: vpn_bits.div_ceil(LEVEL_BITS),
             mapped_pages: 0,
+            mapped_huge_pages: 0,
             next_node_id: 1,
         }
     }
@@ -108,9 +115,45 @@ impl PageTable {
         vaddr.raw() >> self.page_shift
     }
 
-    /// Number of leaf mappings installed.
+    /// Number of base-page leaf mappings installed.
     pub fn mapped_pages(&self) -> u64 {
         self.mapped_pages
+    }
+
+    /// Number of huge-page leaf mappings installed.
+    pub fn mapped_huge_pages(&self) -> u64 {
+        self.mapped_huge_pages
+    }
+
+    /// The huge-page size one radix level above the base pages
+    /// (512 base pages: 2 MB for a 4 KB base).
+    pub fn huge_page_bytes(&self) -> u64 {
+        1u64 << self.huge_shift()
+    }
+
+    /// Page shift of huge pages.
+    pub fn huge_shift(&self) -> u32 {
+        self.page_shift + LEVEL_BITS
+    }
+
+    /// Huge virtual page number of a byte address.
+    pub fn hvpn(&self, vaddr: Addr) -> u64 {
+        vaddr.raw() >> self.huge_shift()
+    }
+
+    /// Radix depth of a huge-page walk: one level shallower than a
+    /// base-page walk (the leaf sits where the last interior table
+    /// would hang).
+    pub fn levels_huge(&self) -> u32 {
+        self.levels - 1
+    }
+
+    /// Whether this table's geometry can hold huge leaves: the base
+    /// walk must be at least two levels deep (so there is a level to
+    /// collapse) — equivalently, the huge shift must leave VPN bits in
+    /// the 48-bit space.
+    pub fn supports_huge(&self) -> bool {
+        self.levels >= 2 && self.huge_shift() < ADDRESS_BITS
     }
 
     /// Radix slot index of `vpn` at `level` (0 = root). Levels are
@@ -177,6 +220,85 @@ impl PageTable {
             out[len] = Addr::new(PT_BASE + node.id * NODE_BYTES + u64::from(slot) * PTE_BYTES);
             len += 1;
             if l + 1 < self.levels {
+                match node.tables.get(&slot) {
+                    Some(next) => node = next,
+                    None => break,
+                }
+            }
+        }
+        (out, len)
+    }
+
+    /// Radix slot index of huge page `hvpn` at `level` (0 = root) in
+    /// the `levels_huge()`-deep huge walk. Because `hvpn == vpn >> 9`,
+    /// these slots coincide with the base walk's slots at the same
+    /// depths — huge and base mappings share interior nodes.
+    fn huge_slot_at(&self, hvpn: u64, level: u32) -> u32 {
+        let shift = (self.levels_huge() - 1 - level) * LEVEL_BITS;
+        ((hvpn >> shift) & ((1 << LEVEL_BITS) - 1)) as u32
+    }
+
+    /// Installs the huge mapping `hvpn` → `hppn`, creating interior
+    /// nodes as needed. Returns `true` if the huge page was not mapped
+    /// before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry cannot hold huge leaves (see
+    /// [`PageTable::supports_huge`]; validate user configuration with
+    /// [`crate::validate_config`] / [`crate::Vm::with_placement`]
+    /// first).
+    pub fn map_huge(&mut self, hvpn: u64, hppn: u64) -> bool {
+        assert!(
+            self.supports_huge(),
+            "page table geometry has no level to hold huge leaves"
+        );
+        let levels = self.levels_huge();
+        let slot =
+            |l: u32| ((hvpn >> ((levels - 1 - l) * LEVEL_BITS)) & ((1 << LEVEL_BITS) - 1)) as u32;
+        let next_id = &mut self.next_node_id;
+        let mut node = &mut self.root;
+        for l in 0..levels - 1 {
+            node = node.tables.entry(slot(l)).or_insert_with(|| {
+                let fresh = Node {
+                    id: *next_id,
+                    ..Node::default()
+                };
+                *next_id += 1;
+                fresh
+            });
+        }
+        let fresh = node.huge_leaves.insert(slot(levels - 1), hppn).is_none();
+        if fresh {
+            self.mapped_huge_pages += 1;
+        }
+        fresh
+    }
+
+    /// Looks huge page `hvpn` up without side effects.
+    pub fn lookup_huge(&self, hvpn: u64) -> Option<u64> {
+        let mut node = &self.root;
+        for l in 0..self.levels_huge() - 1 {
+            node = node.tables.get(&self.huge_slot_at(hvpn, l))?;
+        }
+        node.huge_leaves
+            .get(&self.huge_slot_at(hvpn, self.levels_huge() - 1))
+            .copied()
+    }
+
+    /// The page-table-entry addresses a *huge* walk for `hvpn` reads:
+    /// one fewer than a base-page walk, with the last read being the
+    /// huge leaf entry itself. Interior reads coincide with the base
+    /// walk's (shared nodes, shared PTE cache lines).
+    pub fn pte_path_huge(&self, hvpn: u64) -> ([Addr; MAX_LEVELS], usize) {
+        let mut out = [Addr::new(0); MAX_LEVELS];
+        let mut len = 0;
+        let mut node = &self.root;
+        for l in 0..self.levels_huge() {
+            let slot = self.huge_slot_at(hvpn, l);
+            out[len] = Addr::new(PT_BASE + node.id * NODE_BYTES + u64::from(slot) * PTE_BYTES);
+            len += 1;
+            if l + 1 < self.levels_huge() {
                 match node.tables.get(&slot) {
                     Some(next) => node = next,
                     None => break,
@@ -285,6 +407,41 @@ impl PageWalker {
         }
     }
 
+    /// Resolves `vaddr`'s *huge* page through `table`,
+    /// identity-mapping it on first touch; the flat charged cost is one
+    /// level shallower than a base-page walk.
+    pub fn walk_huge(&self, table: &mut PageTable, vaddr: Addr) -> Walk {
+        let hppn = Self::resolve_huge(table, vaddr);
+        Walk {
+            ppn: hppn,
+            cycles: Cycle::from(table.levels_huge()) * self.latency_per_level,
+            levels: table.levels_huge(),
+        }
+    }
+
+    /// [`PageWalker::walk_via`] for a *huge* page: one fewer dependent
+    /// PTE read, the last being the huge leaf entry.
+    pub fn walk_via_huge(
+        &self,
+        table: &mut PageTable,
+        vaddr: Addr,
+        core: usize,
+        now: Cycle,
+        mem: &mut dyn WalkMemory,
+    ) -> Walk {
+        let hppn = Self::resolve_huge(table, vaddr);
+        let (ptes, len) = table.pte_path_huge(table.hvpn(vaddr));
+        let mut t = now;
+        for pte in &ptes[..len] {
+            t = mem.pte_read(core, *pte, t);
+        }
+        Walk {
+            ppn: hppn,
+            cycles: t - now,
+            levels: table.levels_huge(),
+        }
+    }
+
     /// Functional half of a walk: the resolved PPN, identity-mapping
     /// the page on first touch.
     fn resolve(table: &mut PageTable, vaddr: Addr) -> u64 {
@@ -294,6 +451,19 @@ impl PageWalker {
             None => {
                 table.map(vpn, vpn);
                 vpn
+            }
+        }
+    }
+
+    /// Functional half of a huge walk: the resolved huge PPN,
+    /// identity-mapping the huge page on first touch.
+    fn resolve_huge(table: &mut PageTable, vaddr: Addr) -> u64 {
+        let hvpn = table.hvpn(vaddr);
+        match table.lookup_huge(hvpn) {
+            Some(p) => p,
+            None => {
+                table.map_huge(hvpn, hvpn);
+                hvpn
             }
         }
     }
@@ -382,6 +552,68 @@ mod tests {
         // FlatWalkMemory reproduces the flat model exactly.
         let flat = w.walk_via(&mut pt, Addr::new(0x9000), 0, 0, &mut FlatWalkMemory(25));
         assert_eq!(flat.cycles, w.walk(&mut pt, Addr::new(0xA000)).cycles);
+    }
+
+    #[test]
+    fn huge_leaves_sit_one_level_up_and_share_interiors() {
+        let mut pt = PageTable::new(4096);
+        assert!(pt.supports_huge());
+        assert_eq!(pt.huge_page_bytes(), 2 * 1024 * 1024);
+        assert_eq!(pt.levels_huge(), 3);
+
+        // Map the huge page covering base VPNs [0x200, 0x400) and a
+        // base page just below it: interior nodes are shared.
+        assert!(pt.map_huge(1, 1));
+        assert!(!pt.map_huge(1, 1), "remap is not fresh");
+        pt.map(0x1ff, 0x1ff);
+        assert_eq!(pt.lookup_huge(1), Some(1));
+        assert_eq!(pt.mapped_huge_pages(), 1);
+        assert_eq!(pt.mapped_pages(), 1, "huge leaves are ledgered apart");
+        // The huge mapping does not shadow base lookups (the simulator
+        // classifies an address to exactly one size before asking).
+        assert_eq!(pt.lookup(0x200), None);
+
+        let (hpath, hlen) = pt.pte_path_huge(1);
+        let (bpath, blen) = pt.pte_path(0x1ff);
+        assert_eq!(hlen, 3, "one fewer PTE read than a base walk");
+        assert_eq!(blen, 4);
+        assert_eq!(&hpath[..2], &bpath[..2], "interior levels shared");
+
+        // A 2-level geometry still holds huge leaves in the root.
+        let mut shallow = PageTable::new(1 << 30);
+        assert_eq!(shallow.levels(), 2);
+        assert!(shallow.supports_huge());
+        assert!(shallow.map_huge(3, 3));
+        assert_eq!(shallow.lookup_huge(3), Some(3));
+        assert_eq!(shallow.pte_path_huge(3).1, 1);
+
+        // A 1-level geometry cannot.
+        assert!(!PageTable::new(1 << 40).supports_huge());
+    }
+
+    #[test]
+    fn huge_walks_are_one_level_shallower() {
+        let mut pt = PageTable::new(4096);
+        let w = PageWalker::new(25);
+        let a = Addr::new(5 * 2 * 1024 * 1024 + 0x1234);
+        let walk = w.walk_huge(&mut pt, a);
+        assert_eq!(walk.levels, 3);
+        assert_eq!(walk.cycles, 3 * 25);
+        assert_eq!(walk.ppn, 5, "first touch identity-maps the huge page");
+        assert_eq!(pt.lookup_huge(5), Some(5));
+        // The cached-walk variant reads exactly levels_huge PTEs.
+        struct Counter(u64);
+        impl WalkMemory for Counter {
+            fn pte_read(&mut self, _c: usize, _p: Addr, now: Cycle) -> Cycle {
+                self.0 += 1;
+                now + 7
+            }
+        }
+        let mut counter = Counter(0);
+        let via = w.walk_via_huge(&mut pt, a, 0, 100, &mut counter);
+        assert_eq!(counter.0, 3);
+        assert_eq!(via.cycles, 3 * 7);
+        assert_eq!(via.ppn, 5);
     }
 
     #[test]

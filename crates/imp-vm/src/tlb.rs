@@ -2,11 +2,16 @@
 
 use imp_common::{Addr, TlbStats};
 
-/// One TLB entry: a cached VPN → PPN mapping.
+/// One TLB entry: a cached VPN → PPN mapping, tagged with the page
+/// shift it was installed at (a unified TLB can cache translations of
+/// more than one page size; entries of different sizes never match each
+/// other).
 #[derive(Clone, Copy, Debug)]
 struct Entry {
     vpn: u64,
     ppn: u64,
+    /// Page shift this entry translates at (`vpn == vaddr >> shift`).
+    shift: u32,
     /// Monotonic last-use stamp; the smallest stamp in a set is the LRU
     /// victim.
     stamp: u64,
@@ -16,6 +21,7 @@ struct Entry {
 const INVALID: Entry = Entry {
     vpn: 0,
     ppn: 0,
+    shift: 0,
     stamp: 0,
     valid: false,
 };
@@ -27,6 +33,13 @@ const INVALID: Entry = Entry {
 /// set is a hit. Replacement is true LRU per set, tracked with a
 /// monotonic use stamp. Hit/miss/eviction/cold-fill counters accumulate
 /// into an [`imp_common::TlbStats`] owned by the TLB.
+///
+/// Entries are *size-tagged*: the `_sized` methods look up and install
+/// translations at an explicit page shift, so one structure can serve
+/// as a unified mixed-size TLB (the shared L2 TLB caches 4 KB and 2 MB
+/// translations side by side, x86 STLB-style). The unsized methods use
+/// the construction-time page size and are bit-identical to the
+/// pre-mixed-size TLB when only one size is ever in play.
 ///
 /// ```
 /// use imp_vm::Tlb;
@@ -83,14 +96,16 @@ impl Tlb {
         (vpn % self.sets.len() as u64) as usize
     }
 
-    fn paddr(&self, ppn: u64, vaddr: Addr) -> Addr {
-        crate::splice_ppn(vaddr, ppn, self.page_shift)
+    /// Looks `vaddr` up at the default page size, updating LRU order
+    /// and hit/miss counters. Returns the translated physical address
+    /// on a hit.
+    pub fn lookup(&mut self, vaddr: Addr) -> Option<Addr> {
+        self.lookup_sized(vaddr, self.page_shift)
     }
 
-    /// Looks `vaddr` up, updating LRU order and hit/miss counters.
-    /// Returns the translated physical address on a hit.
-    pub fn lookup(&mut self, vaddr: Addr) -> Option<Addr> {
-        match self.probe_update(vaddr) {
+    /// [`Tlb::lookup`] at an explicit page shift.
+    pub fn lookup_sized(&mut self, vaddr: Addr, shift: u32) -> Option<Addr> {
+        match self.probe_update(vaddr, shift) {
             Some(p) => {
                 self.stats.hits += 1;
                 Some(p)
@@ -102,11 +117,16 @@ impl Tlb {
         }
     }
 
-    /// Looks `vaddr` up for a prefetch, updating LRU order and the
-    /// prefetch-hit counter on a hit (misses are counted by the caller
-    /// according to its translation policy).
+    /// Looks `vaddr` up for a prefetch at the default page size,
+    /// updating LRU order and the prefetch-hit counter on a hit (misses
+    /// are counted by the caller according to its translation policy).
     pub fn prefetch_lookup(&mut self, vaddr: Addr) -> Option<Addr> {
-        let hit = self.probe_update(vaddr);
+        self.prefetch_lookup_sized(vaddr, self.page_shift)
+    }
+
+    /// [`Tlb::prefetch_lookup`] at an explicit page shift.
+    pub fn prefetch_lookup_sized(&mut self, vaddr: Addr, shift: u32) -> Option<Addr> {
+        let hit = self.probe_update(vaddr, shift);
         if hit.is_some() {
             self.stats.prefetch_hits += 1;
         }
@@ -114,13 +134,13 @@ impl Tlb {
     }
 
     /// Tag-matches and refreshes LRU without touching any counter.
-    fn probe_update(&mut self, vaddr: Addr) -> Option<Addr> {
-        let vpn = self.vpn(vaddr);
+    fn probe_update(&mut self, vaddr: Addr, shift: u32) -> Option<Addr> {
+        let vpn = vaddr.raw() >> shift;
         let set = self.set_of(vpn);
         let stamp = self.next_stamp;
         let mut ppn = None;
         for e in &mut self.sets[set] {
-            if e.valid && e.vpn == vpn {
+            if e.valid && e.vpn == vpn && e.shift == shift {
                 e.stamp = stamp;
                 ppn = Some(e.ppn);
                 break;
@@ -129,25 +149,42 @@ impl Tlb {
         if ppn.is_some() {
             self.next_stamp += 1;
         }
-        ppn.map(|p| self.paddr(p, vaddr))
+        ppn.map(|p| crate::splice_ppn(vaddr, p, shift))
     }
 
-    /// True if `vaddr`'s page is resident (no LRU update, no counters).
+    /// True if `vaddr`'s page is resident at the default page size (no
+    /// LRU update, no counters).
     pub fn contains(&self, vaddr: Addr) -> bool {
-        let vpn = self.vpn(vaddr);
-        let set = self.set_of(vpn);
-        self.sets[set].iter().any(|e| e.valid && e.vpn == vpn)
+        self.contains_sized(vaddr, self.page_shift)
     }
 
-    /// Installs the mapping `vaddr`'s page → `ppn`, evicting the LRU
-    /// way when the set is full. Returns the evicted VPN, if any.
+    /// [`Tlb::contains`] at an explicit page shift.
+    pub fn contains_sized(&self, vaddr: Addr, shift: u32) -> bool {
+        let vpn = vaddr.raw() >> shift;
+        let set = self.set_of(vpn);
+        self.sets[set]
+            .iter()
+            .any(|e| e.valid && e.vpn == vpn && e.shift == shift)
+    }
+
+    /// Installs the mapping `vaddr`'s page → `ppn` at the default page
+    /// size, evicting the LRU way when the set is full. Returns the
+    /// evicted VPN, if any.
     pub fn fill(&mut self, vaddr: Addr, ppn: u64) -> Option<u64> {
-        let vpn = self.vpn(vaddr);
+        self.fill_sized(vaddr, ppn, self.page_shift)
+    }
+
+    /// [`Tlb::fill`] at an explicit page shift.
+    pub fn fill_sized(&mut self, vaddr: Addr, ppn: u64, shift: u32) -> Option<u64> {
+        let vpn = vaddr.raw() >> shift;
         let set = self.set_of(vpn);
         let stamp = self.next_stamp;
         self.next_stamp += 1;
         // Refill of a resident page just refreshes it.
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.valid && e.vpn == vpn) {
+        if let Some(e) = self.sets[set]
+            .iter_mut()
+            .find(|e| e.valid && e.vpn == vpn && e.shift == shift)
+        {
             e.ppn = ppn;
             e.stamp = stamp;
             return None;
@@ -165,6 +202,7 @@ impl Tlb {
         *victim = Entry {
             vpn,
             ppn,
+            shift,
             stamp,
             valid: true,
         };
@@ -261,6 +299,31 @@ mod tests {
         // Any address in the same 64 KB page hits.
         assert!(t.lookup(Addr::new(60_000)).is_some());
         assert!(t.lookup(Addr::new(70_000)).is_none());
+    }
+
+    #[test]
+    fn size_tagged_entries_never_cross_match() {
+        // A unified TLB holding 4 KB and 2 MB entries: the same address
+        // looked up at the other size is a miss, and each size splices
+        // its own offset width.
+        let mut t = Tlb::new(2, 2, 4096);
+        let (s4k, s2m) = (12, 21);
+        let a = Addr::new(5 << s2m); // 2 MB-aligned, also a 4 KB page base
+        t.fill_sized(a, 5, s2m);
+        assert!(t.contains_sized(a, s2m));
+        assert!(!t.contains_sized(a, s4k), "sizes tag-match separately");
+        assert_eq!(
+            t.lookup_sized(a.offset(0x1_2345), s2m),
+            Some(a.offset(0x1_2345))
+        );
+        assert_eq!(t.lookup_sized(a, s4k), None);
+        t.fill_sized(a, 99, s4k);
+        // Both entries coexist; the 4 KB one translates only its page.
+        assert_eq!(
+            t.lookup_sized(a.offset(0x123), s4k),
+            Some(Addr::new((99 << s4k) + 0x123))
+        );
+        assert!(t.contains_sized(a, s2m));
     }
 
     #[test]

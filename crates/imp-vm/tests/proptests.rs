@@ -2,7 +2,7 @@
 //! translate∘map round-trips, and the eviction/miss/cold-fill ledger.
 
 use imp_common::{Addr, TlbConfig};
-use imp_vm::{FlatWalkMemory, PageTable, PageWalker, Tlb, Vm};
+use imp_vm::{FlatWalkMemory, PagePlacement, PageTable, PageWalker, Tlb, Vm};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -135,6 +135,7 @@ proptest! {
         prop_assert_eq!(l2.evictions, l2.misses - l2.cold_fills);
         // Only full misses walk, and every walk is 4 levels here.
         prop_assert_eq!(l1.walk_cycles, l2.misses * 4 * cfg.walk_latency);
+        prop_assert_eq!(l1.walk_levels, l2.misses * 4);
         prop_assert_eq!(l2.walk_cycles, 0);
     }
 
@@ -157,6 +158,52 @@ proptest! {
         prop_assert_eq!(vm.stats(0).prefetch_walks, 0);
         prop_assert_eq!(l2.evictions, l2.prefetch_walks - l2.cold_fills);
         prop_assert_eq!(l2.walk_cycles, l2.prefetch_walks * 4 * cfg.walk_latency);
+        prop_assert_eq!(l2.walk_levels, l2.prefetch_walks * 4);
         prop_assert!(l2.prefetch_walks <= vpns.len() as u64);
+    }
+
+    /// Mixed-size ledger: under an arbitrary demand stream over a
+    /// half-huge address space, base and huge activity split cleanly
+    /// (per-size ledgers, per-size walk depths), the per-set LRU
+    /// ledgers hold at both sub-TLBs, and identity mapping preserves
+    /// every translated address.
+    #[test]
+    fn split_dtlb_ledgers_hold_under_mixed_streams(
+        pages in vec((0u64..64, 0u64..2), 1..300),
+        huge_range_pages in 8u64..32,
+    ) {
+        let cfg = TlbConfig::finite();
+        let huge = cfg.huge_page_bytes();
+        // Base pages [0, huge_range_pages*512) stay 4 KB; the range
+        // above is one huge extent.
+        let placement = PagePlacement::for_regions(
+            [(huge_range_pages * huge, 32 * huge)],
+            huge,
+        );
+        let mut vm = Vm::with_placement(&cfg, 1, placement).unwrap();
+        let mut expected = (0u64, 0u64); // (base, huge) lookups
+        for &(page, offset_kind) in &pages {
+            let offset = if offset_kind == 1 { 0x777 } else { 0 };
+            let vaddr = Addr::new(page * huge / 2 + offset);
+            let t = vm.demand_translate(0, vaddr);
+            prop_assert_eq!(t.paddr, vaddr);
+            if page * huge / 2 >= huge_range_pages * huge {
+                expected.1 += 1;
+                prop_assert!(t.walk_levels == 0 || t.walk_levels == 3);
+            } else {
+                expected.0 += 1;
+                prop_assert!(t.walk_levels == 0 || t.walk_levels == 4);
+            }
+        }
+        let base = vm.stats(0).clone();
+        let huge_s = vm.huge_stats(0).unwrap().clone();
+        prop_assert_eq!(base.lookups(), expected.0);
+        prop_assert_eq!(huge_s.lookups(), expected.1);
+        prop_assert_eq!(base.evictions, base.misses - base.cold_fills);
+        prop_assert_eq!(huge_s.evictions, huge_s.misses - huge_s.cold_fills);
+        prop_assert_eq!(base.walk_levels, base.misses * 4);
+        prop_assert_eq!(huge_s.walk_levels, huge_s.misses * 3);
+        prop_assert_eq!(base.walk_cycles, base.misses * 4 * cfg.walk_latency);
+        prop_assert_eq!(huge_s.walk_cycles, huge_s.misses * 3 * cfg.walk_latency);
     }
 }

@@ -8,9 +8,12 @@
 //! `.imptrace` file persists.
 //!
 //! On disk the artifact is a standard `imp_trace::file` container whose
-//! payload section carries the algorithm result (8 bytes, `f64` LE)
-//! followed by the [`FunctionalMemory::snapshot`] image, so a saved
-//! trace replays with the genuine index-array contents IMP reads.
+//! payload section carries the algorithm result (8 bytes, `f64` LE),
+//! the region/placement records (region count, then per region: name,
+//! extent and declared [`PagePolicy`]), and finally the
+//! [`FunctionalMemory::snapshot`] image — so a saved trace replays with
+//! the genuine index-array contents IMP reads *and* the page placement
+//! the generator declared.
 //!
 //! ```no_run
 //! use imp_workloads::{by_name, BuiltArtifact, Scale, WorkloadParams};
@@ -27,6 +30,7 @@
 //! ```
 
 use crate::{Built, Workload, WorkloadParams};
+use imp_common::{MemRegion, PagePolicy};
 use imp_mem::{FunctionalMemory, SnapshotError};
 use imp_trace::{Program, TraceError, TraceFile};
 use std::fmt;
@@ -68,17 +72,25 @@ impl BuiltArtifact {
         self.inner.result
     }
 
+    /// The generator's region/placement records (see
+    /// [`Built::regions`]); empty for program-only traces.
+    pub fn regions(&self) -> &[MemRegion] {
+        &self.inner.regions
+    }
+
     /// Materializes an owned [`Built`] sharing this artifact's storage.
     pub fn to_built(&self) -> Built {
         Built {
             program: self.inner.program.clone(),
             mem: self.inner.mem.clone(),
             result: self.inner.result,
+            regions: self.inner.regions.clone(),
         }
     }
 
     /// Writes the artifact as an `.imptrace` file: program streams plus
-    /// a payload carrying the result and the memory image.
+    /// a payload carrying the result, the region/placement records and
+    /// the memory image.
     ///
     /// # Errors
     ///
@@ -86,6 +98,7 @@ impl BuiltArtifact {
     /// [`ArtifactError::Trace`]`(`[`TraceError::Io`]`)`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
         let mut payload = self.inner.result.to_le_bytes().to_vec();
+        encode_regions(&self.inner.regions, &mut payload);
         payload.extend_from_slice(&self.inner.mem.snapshot());
         TraceFile::with_payload(self.inner.program.clone(), payload).save(path)?;
         Ok(())
@@ -94,34 +107,118 @@ impl BuiltArtifact {
     /// Reads an artifact back from an `.imptrace` file.
     ///
     /// A program-only trace (empty payload — what `Program::save` and
-    /// external recorders produce) loads with an empty memory image and
-    /// a `NaN` result: the op streams replay, IMP's speculative index
-    /// reads see zeroes, and no algorithm result is claimed.
+    /// external recorders produce) loads with an empty memory image, no
+    /// regions and a `NaN` result: the op streams replay, IMP's
+    /// speculative index reads see zeroes, every address translates at
+    /// the base page size, and no algorithm result is claimed.
     ///
     /// # Errors
     ///
     /// Malformed containers surface as [`ArtifactError::Trace`]; a
     /// well-formed container whose non-empty payload is not an artifact
-    /// payload (too short, or a corrupt memory image) as the other
-    /// variants.
+    /// payload (too short, corrupt region records, or a corrupt memory
+    /// image) as the other variants.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
         let tf = TraceFile::load(path)?;
-        let (result, mem) = if tf.payload.is_empty() {
-            (f64::NAN, FunctionalMemory::new())
+        let (result, regions, mem) = if tf.payload.is_empty() {
+            (f64::NAN, Vec::new(), FunctionalMemory::new())
         } else {
             if tf.payload.len() < 8 {
                 return Err(ArtifactError::ShortPayload(tf.payload.len()));
             }
-            let (result_bytes, image) = tf.payload.split_at(8);
+            let (result_bytes, rest) = tf.payload.split_at(8);
             let result = f64::from_le_bytes(result_bytes.try_into().expect("8 bytes"));
-            (result, FunctionalMemory::restore(image)?)
+            let (regions, image) = decode_regions(rest)?;
+            (result, regions, FunctionalMemory::restore(image)?)
         };
         Ok(BuiltArtifact::from(Built {
             program: tf.program,
             mem,
             result,
+            regions,
         }))
     }
+}
+
+/// Marks a region-records section in the artifact payload. Payloads
+/// written before regions existed go straight from the result field to
+/// the memory image, whose first 8 bytes are its page *count* — this
+/// marker read as a count would claim ~10^18 pages, so the two layouts
+/// cannot collide and old artifacts keep loading (with no regions).
+const REGIONS_MAGIC: [u8; 8] = *b"IMPREGN1";
+
+/// Serializes the region/placement records: the [`REGIONS_MAGIC`]
+/// marker, a `u32` count, then per region a length-prefixed UTF-8
+/// name, `u64` base, `u64` bytes, a policy tag byte (0 = `Base4K`,
+/// 1 = `Huge2M`, 2 = `Auto`) and the `u64` policy argument (the
+/// `Auto` threshold; 0 otherwise).
+fn encode_regions(regions: &[MemRegion], out: &mut Vec<u8>) {
+    out.extend_from_slice(&REGIONS_MAGIC);
+    out.extend_from_slice(&(regions.len() as u32).to_le_bytes());
+    for r in regions {
+        out.extend_from_slice(&(r.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(r.name.as_bytes());
+        out.extend_from_slice(&r.base.to_le_bytes());
+        out.extend_from_slice(&r.bytes.to_le_bytes());
+        let (tag, arg) = match r.policy {
+            PagePolicy::Base4K => (0u8, 0u64),
+            PagePolicy::Huge2M => (1, 0),
+            PagePolicy::Auto { threshold_bytes } => (2, threshold_bytes),
+        };
+        out.push(tag);
+        out.extend_from_slice(&arg.to_le_bytes());
+    }
+}
+
+/// Parses the region records written by [`encode_regions`], returning
+/// them together with the remaining (memory-image) bytes. A payload
+/// without the [`REGIONS_MAGIC`] marker predates region records (or
+/// was written by an external recorder): it decodes as no regions,
+/// with every byte belonging to the memory image.
+fn decode_regions(bytes: &[u8]) -> Result<(Vec<MemRegion>, &[u8]), ArtifactError> {
+    let Some(body) = bytes.strip_prefix(&REGIONS_MAGIC[..]) else {
+        return Ok((Vec::new(), bytes));
+    };
+    let bytes = body;
+    fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if n > bytes.len() - *pos {
+            return Err(ArtifactError::MalformedRegions("truncated region records"));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    }
+    let mut pos = 0usize;
+    let count = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    // The count is untrusted until checked against the bytes that
+    // follow — cap the pre-allocation by the smallest possible record.
+    let mut regions = Vec::with_capacity(count.min(bytes.len() / 29));
+    for _ in 0..count {
+        let name_len =
+            u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let name = std::str::from_utf8(take(bytes, &mut pos, name_len)?)
+            .map_err(|_| ArtifactError::MalformedRegions("region name is not UTF-8"))?
+            .to_string();
+        let base = u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8 bytes"));
+        let tag = take(bytes, &mut pos, 1)?[0];
+        let arg = u64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8 bytes"));
+        let policy = match tag {
+            0 => PagePolicy::Base4K,
+            1 => PagePolicy::Huge2M,
+            2 => PagePolicy::Auto {
+                threshold_bytes: arg,
+            },
+            _ => return Err(ArtifactError::MalformedRegions("unknown page-policy tag")),
+        };
+        regions.push(MemRegion {
+            name,
+            base,
+            bytes: len,
+            policy,
+        });
+    }
+    Ok((regions, &bytes[pos..]))
 }
 
 /// Why an artifact could not be saved or loaded.
@@ -131,6 +228,8 @@ pub enum ArtifactError {
     Trace(TraceError),
     /// The container's payload ends before the 8-byte result field.
     ShortPayload(usize),
+    /// The region/placement records inside the payload are malformed.
+    MalformedRegions(&'static str),
     /// The memory image inside the payload is malformed.
     Memory(SnapshotError),
 }
@@ -143,6 +242,9 @@ impl fmt::Display for ArtifactError {
                 f,
                 "artifact payload is {n} bytes; needs at least the 8-byte result"
             ),
+            ArtifactError::MalformedRegions(what) => {
+                write!(f, "artifact region records are malformed: {what}")
+            }
             ArtifactError::Memory(e) => write!(f, "{e}"),
         }
     }
@@ -153,7 +255,7 @@ impl std::error::Error for ArtifactError {
         match self {
             ArtifactError::Trace(e) => Some(e),
             ArtifactError::Memory(e) => Some(e),
-            ArtifactError::ShortPayload(_) => None,
+            ArtifactError::ShortPayload(_) | ArtifactError::MalformedRegions(_) => None,
         }
     }
 }
@@ -291,6 +393,15 @@ mod tests {
         assert_eq!(loaded.result(), reference.result);
         assert_eq!(loaded.program().cores(), 4);
         assert_eq!(loaded.mem().mapped_pages(), reference.mem.mapped_pages());
+        assert_eq!(
+            loaded.regions(),
+            &reference.regions[..],
+            "placement records replay"
+        );
+        assert!(
+            loaded.regions().iter().any(|r| r.name == "x"),
+            "spmv declares its target vector"
+        );
         for c in 0..4 {
             assert_eq!(
                 loaded.program().ops(c),
@@ -353,6 +464,80 @@ mod tests {
             again.program.total_instructions(),
             built.program.total_instructions()
         );
+    }
+
+    #[test]
+    fn region_records_roundtrip_and_reject_corruption() {
+        let regions = vec![
+            MemRegion {
+                name: "idx".into(),
+                base: 0x1_0000,
+                bytes: 4096,
+                policy: PagePolicy::Base4K,
+            },
+            MemRegion {
+                name: "target".into(),
+                base: 0x9_0000,
+                bytes: 1 << 22,
+                policy: PagePolicy::Huge2M,
+            },
+            MemRegion {
+                name: "auto".into(),
+                base: 0x100_0000,
+                bytes: 123,
+                policy: PagePolicy::Auto {
+                    threshold_bytes: 1 << 20,
+                },
+            },
+        ];
+        let mut bytes = Vec::new();
+        encode_regions(&regions, &mut bytes);
+        bytes.extend_from_slice(b"tail");
+        let (back, rest) = decode_regions(&bytes).unwrap();
+        assert_eq!(back, regions);
+        assert_eq!(rest, b"tail");
+
+        // A payload without the marker is the pre-region layout: no
+        // records, every byte left for the memory image — old
+        // artifacts keep loading.
+        let legacy = FunctionalMemory::new().snapshot();
+        let (none, rest) = decode_regions(&legacy).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(rest, &legacy[..]);
+
+        // Truncation and a bad policy tag are typed errors.
+        assert!(matches!(
+            decode_regions(&bytes[..10]),
+            Err(ArtifactError::MalformedRegions(_))
+        ));
+        let mut bad_tag = Vec::new();
+        encode_regions(&regions[..1], &mut bad_tag);
+        let tag_at = bad_tag.len() - 9;
+        bad_tag[tag_at] = 99;
+        assert!(matches!(
+            decode_regions(&bad_tag),
+            Err(ArtifactError::MalformedRegions("unknown page-policy tag"))
+        ));
+    }
+
+    #[test]
+    fn pre_region_payloads_still_load() {
+        // Reconstruct the PR 2-4 payload layout by hand: result bytes
+        // followed directly by the memory image, no region section.
+        let params = WorkloadParams::new(2, Scale::Tiny);
+        let built = by_name("spmv").unwrap().build(&params);
+        let mut payload = built.result.to_le_bytes().to_vec();
+        payload.extend_from_slice(&built.mem.snapshot());
+        let path = temp_path("legacy");
+        TraceFile::with_payload(built.program.clone(), payload)
+            .save(&path)
+            .unwrap();
+
+        let loaded = BuiltArtifact::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.result(), built.result);
+        assert!(loaded.regions().is_empty(), "old artifacts carry none");
+        assert_eq!(loaded.mem().mapped_pages(), built.mem.mapped_pages());
     }
 
     #[test]

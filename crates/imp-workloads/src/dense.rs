@@ -76,6 +76,7 @@ impl Workload for Dense {
             program,
             mem,
             result,
+            regions: space.regions(),
         }
     }
 }

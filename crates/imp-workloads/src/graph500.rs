@@ -208,6 +208,7 @@ impl Workload for Graph500 {
             program,
             mem,
             result: reached as f64,
+            regions: space.regions(),
         }
     }
 }

@@ -121,6 +121,13 @@ pub struct Built {
     /// e.g. triangle count, PageRank mass, BFS vertices reached). Used
     /// by tests to check the generator really ran the algorithm.
     pub result: f64,
+    /// The generator's region/placement layer: one record per
+    /// allocated array, each with the [`imp_common::PagePolicy`] it
+    /// declared (all `Base4K` for the stock generators, so default
+    /// runs stay bit-identical; `Sim::page_policy` overrides move hot
+    /// arrays to 2 MB pages at run time). Serialized through
+    /// `.imptrace`, so replays preserve placement.
+    pub regions: Vec<imp_common::MemRegion>,
 }
 
 /// A workload generator.
@@ -183,6 +190,23 @@ pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
         "symgs" => Some(Box::new(Counted(Symgs))),
         "dense" => Some(Box::new(Counted(Dense))),
         _ => None,
+    }
+}
+
+/// The arrays IMP's value-derived prefetches scatter across — the ones
+/// worth `madvise(MADV_HUGEPAGE)` when TLB reach binds. Names match
+/// the workload's [`Built::regions`] records; a trailing `*` matches a
+/// per-core family of arrays (`Sim::page_policy` understands the same
+/// glob). Unknown workloads have no hot arrays.
+pub fn hot_regions(workload: &str) -> &'static [&'static str] {
+    match workload {
+        "pagerank" => &["pr0", "pr1", "deg"],
+        "tri_count" => &["bits*"],
+        "graph500" => &["xadj", "parent", "adj"],
+        "sgd" => &["U", "V"],
+        "lsh" => &["data"],
+        "spmv" | "symgs" => &["x"],
+        _ => &[],
     }
 }
 

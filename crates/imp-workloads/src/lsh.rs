@@ -168,6 +168,7 @@ impl Workload for Lsh {
             program,
             mem,
             result: matches as f64,
+            regions: space.regions(),
         }
     }
 }

@@ -144,6 +144,7 @@ impl Workload for Pagerank {
             program,
             mem,
             result,
+            regions: space.regions(),
         }
     }
 }

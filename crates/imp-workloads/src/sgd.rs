@@ -222,6 +222,7 @@ impl Workload for Sgd {
             program,
             mem,
             result: sse,
+            regions: space.regions(),
         }
     }
 }

@@ -98,6 +98,7 @@ impl Workload for Spmv {
             program,
             mem,
             result,
+            regions: space.regions(),
         }
     }
 }

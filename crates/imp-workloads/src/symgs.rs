@@ -176,6 +176,7 @@ impl Workload for Symgs {
             program,
             mem,
             result,
+            regions: space.regions(),
         }
     }
 }

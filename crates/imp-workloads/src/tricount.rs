@@ -206,6 +206,7 @@ impl Workload for TriCount {
             program,
             mem,
             result: total as f64,
+            regions: space.regions(),
         }
     }
 }

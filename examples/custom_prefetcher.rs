@@ -73,17 +73,21 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "spmv".to_string());
     println!("{app}, 16 cores: stock prefetchers vs the plugged-in next-lines\n");
-    let results = Sweep::from(Sim::workload(&app).cores(16).scale(Scale::Small))
-        .prefetchers([
-            "none",
-            "stream",
-            "next-lines:degree=1",
-            "next-lines:degree=4",
-            "imp",
-            "hybrid:components=stream+imp",
-        ])
-        .run()
-        .expect("all cells run");
+    let results = Sweep::from(
+        Sim::workload(&app)
+            .cores(16)
+            .scale(imp_experiments::scale_from_env()),
+    )
+    .prefetchers([
+        "none",
+        "stream",
+        "next-lines:degree=1",
+        "next-lines:degree=4",
+        "imp",
+        "hybrid:components=stream+imp",
+    ])
+    .run()
+    .expect("all cells run");
 
     let base = results[0].stats.runtime as f64;
     println!(

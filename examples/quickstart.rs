@@ -6,6 +6,7 @@
 //! ```
 
 use imp::prelude::*;
+use imp_experiments::scale_from_env;
 
 fn main() {
     let app = std::env::args()
@@ -14,7 +15,7 @@ fn main() {
     let cores = 16;
     println!("workload: {app}, {cores} cores, paper-default system (Table 1)");
 
-    let base = Sim::workload(&app).cores(cores).scale(Scale::Small);
+    let base = Sim::workload(&app).cores(cores).scale(scale_from_env());
     let configs = [
         ("Baseline (stream prefetcher)", base.clone()),
         ("IMP (stream + indirect)", base.clone().prefetcher("imp")),

@@ -22,7 +22,10 @@
 //!   translation-prefetch port IMP uses to prefill L2-TLB entries for
 //!   its predicted pages (`Sim::page_size` / `tlb_ways` /
 //!   `translation_policy` / `l2_tlb` / `tlb_prefetch` / `walk_model`;
-//!   ideal and zero-cost by default).
+//!   ideal and zero-cost by default), with page size a *per-region*
+//!   property: `Sim::page_policy(region, PagePolicy::Huge2M)` is the
+//!   simulated `madvise(MADV_HUGEPAGE)`, translating the region
+//!   through a split 4 KB / 2 MB dTLB with one-level-shallower walks.
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation.
 //! * [`sim`] (module) — the fluent [`Sim`] builder and the parallel
@@ -97,7 +100,7 @@ pub use sim::{Sim, SimError, Sweep, SweepCell, SweepResult};
 pub mod prelude {
     pub use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
     pub use imp_common::config::{
-        ParamValue, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
+        MemRegion, PagePolicy, ParamValue, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
     };
     pub use imp_common::stats::{AccessClass, SystemStats, TlbStats};
     pub use imp_common::{Addr, ImpConfig, LineAddr, Pc, SystemConfig};
@@ -107,8 +110,8 @@ pub mod prelude {
     pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
     pub use imp_sim::System;
     pub use imp_trace::{Op, Program, TraceFile};
-    pub use imp_vm::{L2Tlb, PageTable, PageWalker, Tlb, Vm, WalkMemory};
+    pub use imp_vm::{L2Tlb, PagePlacement, PageTable, PageWalker, Tlb, Vm, WalkMemory};
     pub use imp_workloads::{
-        by_name, paper_workloads, BuiltArtifact, Scale, Workload, WorkloadParams,
+        by_name, hot_regions, paper_workloads, BuiltArtifact, Scale, Workload, WorkloadParams,
     };
 }

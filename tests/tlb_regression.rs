@@ -153,6 +153,84 @@ fn flat_defaults_pin_pre_l2_outputs() {
     assert_eq!(walk.traffic.noc_flit_hops, 96136);
 }
 
+/// Golden pin for the per-region refactor: the default all-4K
+/// configuration — no `page_policy` overrides, every generator region
+/// declaring `Base4K` — must stay bit-identical through the mixed-size
+/// machinery, whether placement is left alone or spelled out
+/// explicitly. (The absolute numbers are pinned by
+/// `flat_defaults_pin_pre_l2_outputs`; this pins the equivalences.)
+#[test]
+fn all_4k_placements_are_bit_identical_to_the_default() {
+    let default = pagerank_imp().tlb(TlbConfig::finite()).run().unwrap();
+    assert_eq!(
+        default.tlb_huge_total(),
+        TlbStats::default(),
+        "no huge-page machinery runs by default"
+    );
+
+    // Explicit all-Base4K override: same machinery, same bits.
+    let explicit = pagerank_imp()
+        .tlb(TlbConfig::finite())
+        .page_policy("*", PagePolicy::Base4K)
+        .run()
+        .unwrap();
+    assert_eq!(default, explicit);
+
+    // An Auto policy whose threshold nothing meets is also all-4K.
+    let auto = pagerank_imp()
+        .tlb(TlbConfig::finite())
+        .page_policy(
+            "*",
+            PagePolicy::Auto {
+                threshold_bytes: u64::MAX,
+            },
+        )
+        .run()
+        .unwrap();
+    assert_eq!(default, auto);
+}
+
+/// Golden numbers for the huge-page walk depth under
+/// `WalkModel::Cached`: an all-`Huge2M` placement must walk exactly
+/// one radix level fewer per page-table walk than the all-4K default
+/// (3 instead of 4 in the 48-bit space), with the PTE reads really
+/// routed through the memory hierarchy.
+#[test]
+fn all_huge_walks_fewer_pte_levels_under_cached_walks() {
+    let base = pagerank_imp().walk_model(WalkModel::Cached);
+    let all4k = base.clone().run().unwrap();
+    let huge = base
+        .clone()
+        .page_policy("*", PagePolicy::Huge2M)
+        .run()
+        .unwrap();
+
+    // Under DropOnMiss nothing but demand misses walks, so the
+    // levels-per-walk ratio is exact at both placements.
+    let b = all4k.tlb_total();
+    assert_eq!(b.prefetch_walks, 0);
+    assert_eq!(b.walk_levels, 4 * b.misses, "4 KB walks read 4 PTEs");
+    let h = huge.tlb_huge_total();
+    assert!(h.misses > 0, "huge sub-TLB saw the demand stream");
+    assert_eq!(h.walk_levels, 3 * h.misses, "2 MB walks read 3 PTEs");
+    assert_eq!(
+        huge.tlb_base_total().walk_levels,
+        0,
+        "no base-page walks remain under an all-2M placement"
+    );
+    // Fewer and shallower walks: strictly less PTE traffic reaches the
+    // memory system.
+    assert!(
+        huge.traffic.dram_read_bytes < all4k.traffic.dram_read_bytes,
+        "{} vs {}",
+        huge.traffic.dram_read_bytes,
+        all4k.traffic.dram_read_bytes
+    );
+    // Determinism extends to cached huge walks.
+    let again = base.page_policy("*", PagePolicy::Huge2M).run().unwrap();
+    assert_eq!(huge, again);
+}
+
 /// A tiny dTLB over a roomy shared L2 TLB: dTLB misses become L2
 /// lookups (the two-level ledger stays consistent through a full
 /// multicore simulation), repeat pages hit the L2 instead of

@@ -162,3 +162,46 @@ fn translation_axis_cells_share_one_built_artifact() {
     assert_eq!(results.len(), 6);
     assert!(results.iter().all(|r| r.stats.tlb_total().lookups() > 0));
 }
+
+/// Per-region page placement is translation-only configuration too: a
+/// `page_policies` sweep shares one `BuiltArtifact` per input, and the
+/// placement the generator declared survives an `.imptrace` round trip
+/// so a replayed trace honors the same `page_policy` overrides.
+#[test]
+fn page_policy_axis_shares_one_built_artifact_and_replays() {
+    let sweep = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny).cores(16)).page_policies([
+        vec![],
+        vec![("x".to_string(), PagePolicy::Huge2M)],
+        vec![("*".to_string(), PagePolicy::Huge2M)],
+    ]);
+    let before = build_count("spmv");
+    let results = sweep.run().unwrap();
+    assert_eq!(
+        build_count("spmv") - before,
+        1,
+        "3 placement cells must share one generator run"
+    );
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].stats.tlb_huge_total(), TlbStats::default());
+    assert!(results[1].stats.tlb_huge_total().lookups() > 0);
+
+    // A replayed trace carries the regions, so the same override runs
+    // bit-identically against the recording.
+    let base = Sim::workload("spmv")
+        .scale(Scale::Tiny)
+        .cores(16)
+        .seed(results[0].cell.seed)
+        .page_policy("x", PagePolicy::Huge2M);
+    let path = temp_path("regions");
+    base.build_artifact().unwrap().save(&path).unwrap();
+    let replayed = base
+        .clone()
+        .with_workload(format!("trace:{}", path.display()))
+        .run()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        replayed, results[1].stats,
+        "placement survives record/replay"
+    );
+}
