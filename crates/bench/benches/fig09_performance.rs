@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn print_tables() {
     for cores in imp_bench::bench_core_counts() {
-        println!("{}", imp_experiments::fig09_performance(cores));
+        let table = imp_experiments::fig09_performance(cores);
+        println!("{table}");
+        imp_bench::emit_snapshot(&format!("fig09_{cores}c"), &table);
     }
 }
 

@@ -1,0 +1,74 @@
+//! Result-store throughput: a cold fig-9-style sweep (simulated ops/sec)
+//! against the warm hit path (cells served from disk per second), with
+//! the numbers emitted as a `BENCH_sweep_store.json` snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imp_experiments::{Sim, Sweep, Table};
+use imp_store::ResultStore;
+use imp_workloads::Scale;
+use std::time::Instant;
+
+fn grid() -> Sweep {
+    Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+        .workloads(["spmv", "pagerank"])
+        .prefetchers(["none", "stream", "imp"])
+        .cores([16])
+}
+
+fn snapshot(store: &ResultStore) {
+    let sweep = grid();
+    let n = sweep.cells().len();
+
+    let t = Instant::now();
+    let cold = sweep.run_with(store, |_| {}).expect("cold sweep");
+    let cold_secs = t.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(cold.simulated, n, "snapshot starts from an empty store");
+    let ops: u64 = cold
+        .results
+        .iter()
+        .map(|r| {
+            let stats = &r.as_ref().expect("cell result").stats;
+            stats.cores.iter().map(|c| c.instructions).sum::<u64>()
+        })
+        .sum();
+
+    let t = Instant::now();
+    let warm = sweep.run_with(store, |_| {}).expect("warm sweep");
+    let warm_secs = t.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(warm.simulated, 0, "warm pass must be all hits");
+
+    let mut table = Table::new("sweep_store".to_string(), vec!["value"]);
+    table.row("cells", vec![n as f64]);
+    table.row("cold_simulated_ops_per_sec", vec![ops as f64 / cold_secs]);
+    table.row("warm_hit_cells_per_sec", vec![n as f64 / warm_secs]);
+    table.row(
+        "warm_speedup",
+        vec![(cold_secs / warm_secs * 100.0).round() / 100.0],
+    );
+    println!("{table}");
+    imp_bench::emit_snapshot("sweep_store", &table);
+}
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("imp-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).expect("open store");
+    snapshot(&store);
+
+    // Criterion signal: the warm hit path end to end (probe, read,
+    // checksum-verify, deliver — no simulation).
+    let mut group = c.benchmark_group("sweep_store");
+    group.sample_size(10);
+    group.bench_function("warm_hit_path", |b| {
+        b.iter(|| {
+            let report = grid().run_with(&store, |_| {}).expect("warm sweep");
+            assert_eq!(report.simulated, 0);
+            std::hint::black_box(report.cached)
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,6 +15,21 @@ use imp_experiments::{system_config, Config};
 use imp_sim::System;
 use imp_workloads::{by_name, Scale, WorkloadParams};
 
+/// Writes `table` as a machine-readable `BENCH_<name>.json` perf
+/// snapshot into `IMP_BENCH_DIR` (default: the current directory) and
+/// returns the path. Benches call this after printing their
+/// human-readable rows so CI can archive the numbers; a failed write
+/// warns instead of failing the bench.
+pub fn emit_snapshot(name: &str, table: &imp_experiments::Table) -> std::path::PathBuf {
+    let dir = std::env::var_os("IMP_BENCH_DIR")
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&path, table.to_json()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
 /// Core counts for multi-panel figures, from `IMP_BENCH_CORES` or the
 /// paper's default sweep.
 pub fn bench_core_counts() -> Vec<u32> {

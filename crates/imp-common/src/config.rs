@@ -397,6 +397,16 @@ pub enum PagePolicy {
 }
 
 impl PagePolicy {
+    /// Canonical form for digesting: stable across runs, distinct
+    /// across distinct policies (an `Auto` threshold is part of the
+    /// identity, unlike [`PagePolicy::name`]).
+    pub fn canonical(self) -> String {
+        match self {
+            PagePolicy::Auto { threshold_bytes } => format!("auto:{threshold_bytes}"),
+            other => other.name().to_string(),
+        }
+    }
+
     /// Short stable name (sweep axes, table headers).
     pub const fn name(self) -> &'static str {
         match self {
@@ -687,6 +697,35 @@ impl TlbConfig {
             self
         }
     }
+
+    /// Canonical form for digesting: every timing-relevant field in a
+    /// stable order. Two configs produce the same string iff they run
+    /// identically; the string is what `imp-store` hashes into a cell
+    /// digest, so any new field that changes timing must be appended
+    /// here (appending changes the digest, which safely invalidates
+    /// cached results).
+    pub fn canonical(&self) -> String {
+        if self.ideal {
+            return "tlb[ideal]".to_string();
+        }
+        format!(
+            "tlb[sets:{},ways:{},page:{},walk:{},policy:{},wtraf:{},\
+             l2s:{},l2w:{},l2lat:{},tp:{},wm:{},hs:{},hw:{}]",
+            self.sets,
+            self.ways,
+            self.page_bytes,
+            self.walk_latency,
+            self.policy.name(),
+            self.walk_dram_traffic,
+            self.l2_sets,
+            self.l2_ways,
+            self.l2_latency,
+            self.tlb_prefetch,
+            self.walk_model.name(),
+            self.huge_sets,
+            self.huge_ways,
+        )
+    }
 }
 
 impl Default for TlbConfig {
@@ -934,6 +973,64 @@ impl SystemConfig {
         self.tlb = t;
         self
     }
+
+    /// Canonical form for digesting: every field that can change a
+    /// simulation result, rendered in a stable order. This is the
+    /// configuration half of the content address `imp-store` files
+    /// results under; see [`TlbConfig::canonical`] for the maintenance
+    /// contract (timing-relevant fields must appear here).
+    pub fn canonical(&self) -> String {
+        let m = &self.mem;
+        let i = &self.imp;
+        let shifts: Vec<String> = i.shifts.iter().map(|s| s.to_string()).collect();
+        format!(
+            "cores:{};core:{:?};rob:{};mode:{:?};pf:{};partial:{:?};{};\
+             mem[line:{},l1:{}/{}/{}/{}/{},l2:{}/{}/{}/{}/{},ack:{},hop:{},flit:{},\
+             mc:{},dram:{:?}/{}/{:?}/{}];\
+             imp[pt:{},ways:{},lvls:{},dist:{},ipd:{},shifts:{},ba:{},conf:{}/{},\
+             stream:{}/{},backoff:{},gp:{}];lead:{}",
+            self.cores,
+            self.core_model,
+            self.rob_entries,
+            self.mem_mode,
+            self.prefetcher,
+            self.partial,
+            self.tlb.canonical(),
+            m.line_bytes,
+            m.l1d.size_bytes,
+            m.l1d.associativity,
+            m.l1d.latency,
+            m.l1d.sectors,
+            m.l1d.mshrs,
+            m.l2_slice.size_bytes,
+            m.l2_slice.associativity,
+            m.l2_slice.latency,
+            m.l2_slice.sectors,
+            m.l2_slice.mshrs,
+            m.ackwise_k,
+            m.hop_latency,
+            m.flit_bytes,
+            m.mem_controllers,
+            m.dram,
+            m.dram_latency,
+            m.dram_bytes_per_cycle,
+            m.dram_granule,
+            i.pt_entries,
+            i.max_ways,
+            i.max_levels,
+            i.max_prefetch_distance,
+            i.ipd_entries,
+            shifts.join("/"),
+            i.baseaddr_array_len,
+            i.confidence_threshold,
+            i.confidence_max,
+            i.stream_threshold,
+            i.stream_distance,
+            i.detect_backoff_initial,
+            i.gp_samples,
+            self.perfpref_lead,
+        )
+    }
 }
 
 impl Default for SystemConfig {
@@ -1096,6 +1193,45 @@ mod tests {
             policy: PagePolicy::Huge2M,
         };
         assert_eq!(r.end(), 0x1_1000);
+    }
+
+    #[test]
+    fn canonical_forms_are_stable_and_distinguish_configs() {
+        let a = SystemConfig::paper_default(16);
+        assert_eq!(a.canonical(), a.clone().canonical(), "deterministic");
+        // Every knob that changes timing must change the canonical form.
+        let variants = [
+            a.clone().with_prefetcher(PrefetcherKind::Imp),
+            a.clone().with_partial(PartialMode::NocAndDram),
+            a.clone().with_mem_mode(MemMode::Ideal),
+            a.clone().with_core_model(CoreModel::OutOfOrder),
+            a.clone().with_tlb(TlbConfig::finite()),
+            SystemConfig::paper_default(64),
+        ];
+        for v in &variants {
+            assert_ne!(a.canonical(), v.canonical(), "{}", v.canonical());
+        }
+        // TLB canonical: ideal collapses, finite knobs all surface.
+        assert_eq!(TlbConfig::ideal().canonical(), "tlb[ideal]");
+        let f = TlbConfig::finite();
+        for other in [
+            f.with_ways(8),
+            f.with_page_bytes(1 << 16),
+            f.with_policy(TranslationPolicy::NonBlockingWalk),
+            f.with_l2(128, 8),
+            f.with_tlb_prefetch(true),
+            f.with_walk_model(WalkModel::Cached),
+            f.with_huge_tlb(4, 2),
+        ] {
+            assert_ne!(f.canonical(), other.canonical(), "{}", other.canonical());
+        }
+        // Page policies: the Auto threshold is part of the identity.
+        assert_eq!(PagePolicy::Base4K.canonical(), "4k");
+        assert_eq!(PagePolicy::Huge2M.canonical(), "2m");
+        assert_ne!(
+            PagePolicy::Auto { threshold_bytes: 1 }.canonical(),
+            PagePolicy::Auto { threshold_bytes: 2 }.canonical()
+        );
     }
 
     #[test]

@@ -19,13 +19,15 @@
 //! ```
 
 mod runner;
+pub mod service;
 pub mod sim;
 pub mod sweep;
 mod table;
 
 pub use runner::{prewarm, run, run_one, scale_from_env, sim_for, system_config, Config};
+pub use service::{RequestError, SweepRequest};
 pub use sim::{Sim, SimError};
-pub use sweep::{Sweep, SweepCell, SweepCellError, SweepResult};
+pub use sweep::{CellOutcome, Sweep, SweepCell, SweepCellError, SweepReport, SweepResult};
 pub use table::{RowWidthError, Table};
 
 use imp_common::stats::AccessClass;

@@ -1,16 +1,19 @@
 //! Shared simulation runner: maps the paper's named configurations onto
-//! the fluent [`Sim`] builder, runs them, and caches results within a
-//! process (several figures reuse the same runs). [`prewarm`] fans a
-//! figure's whole config grid across threads before the driver reads
-//! the cache.
+//! the fluent [`Sim`] builder, runs them, and serves repeated requests
+//! from the content-addressed result store (several figures reuse the
+//! same runs, and `IMP_STORE_DIR` makes the cache survive the process —
+//! a re-run of a figure driver simulates nothing it already has).
+//! [`prewarm`] fans a figure's whole config grid across threads before
+//! the driver reads the store.
 
 use crate::sim::Sim;
 use crate::sweep::fanout;
 use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
 use imp_common::{SystemConfig, SystemStats};
+use imp_store::{CellKey, ResultStore, StoredResult};
 use imp_workloads::Scale;
-use std::collections::HashMap;
-use std::sync::{Mutex, PoisonError};
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// The paper's evaluated configurations (Section 5.4 plus Section 4/6.3
 /// variants).
@@ -75,20 +78,20 @@ pub fn scale_from_env() -> Scale {
     }
 }
 
-/// Per-process result cache, keyed by (app, cores, config, scale tag).
-type RunCache = Mutex<HashMap<(String, u32, Config, u8), SystemStats>>;
-
-fn cache() -> &'static RunCache {
-    static CACHE: std::sync::OnceLock<RunCache> = std::sync::OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-fn scale_tag(s: Scale) -> u8 {
-    match s {
-        Scale::Tiny => 0,
-        Scale::Small => 1,
-        Scale::Large => 2,
-    }
+/// The runner's result store: `IMP_STORE_DIR` if set (shared across
+/// processes and runs — this is what makes figure drivers resumable),
+/// otherwise a per-process scratch directory (the old in-memory cache
+/// semantics: reuse within a run, nothing left behind to go stale).
+fn store() -> &'static ResultStore {
+    static STORE: OnceLock<ResultStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let root = std::env::var_os("IMP_STORE_DIR").map_or_else(
+            || std::env::temp_dir().join(format!("imp-store-{}", std::process::id())),
+            PathBuf::from,
+        );
+        ResultStore::open(&root)
+            .unwrap_or_else(|e| panic!("opening result store {}: {e}", root.display()))
+    })
 }
 
 /// The [`Sim`] builder for `app` at `cores` under the paper
@@ -101,38 +104,46 @@ pub fn sim_for(app: &str, cores: u32, config: Config) -> Sim {
     sim
 }
 
-/// Runs `app` at `cores` under configuration `config` (cached per
-/// process, keyed by scale as well).
+/// Runs `app` at `cores` under configuration `config`, served from the
+/// result store when the identical input (every timing knob, scale
+/// included — the full [`Sim::canonical_input`]) has already run.
+/// Fresh results are persisted; a failed store *write* only costs a
+/// re-simulation later, never correctness.
 ///
 /// # Panics
 ///
-/// Panics if the workload name is unknown.
+/// Panics if the workload name is unknown or the configuration does
+/// not resolve.
 pub fn run(app: &str, cores: u32, config: Config) -> SystemStats {
-    let scale = scale_from_env();
-    let key = (app.to_string(), cores, config, scale_tag(scale));
-    // A sweep thread that panicked mid-`run` (a bad workload, an
-    // assertion in a driver) poisons the cache mutex; the map itself is
-    // never left half-written (insert/get are the only operations), so
-    // recover the guard instead of wedging every later cached run.
-    if let Some(hit) = cache()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .get(&key)
-    {
-        return hit.clone();
+    let sim = sim_for(app, cores, config);
+    let canonical = sim.canonical_input().unwrap_or_else(|e| panic!("{e}"));
+    // A store read *error* (not a corrupt record — those are misses)
+    // falls through to simulation: the store is an accelerator here,
+    // never a gate.
+    if let Ok(Some(hit)) = store().get(&canonical) {
+        return hit.stats;
     }
-    let stats = sim_for(app, cores, config)
-        .run()
-        .unwrap_or_else(|e| panic!("{e}"));
-    cache()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .insert(key, stats.clone());
+    let cfg = system_config(cores, config);
+    let seed = sim.seed_value();
+    let stats = sim.run().unwrap_or_else(|e| panic!("{e}"));
+    let _ = store().put(&StoredResult {
+        canonical,
+        cell: CellKey {
+            workload: app.to_string(),
+            cores,
+            prefetcher: cfg.prefetcher,
+            partial: cfg.partial,
+            tlb: cfg.tlb,
+            page_policy: Vec::new(),
+            seed,
+        },
+        stats: stats.clone(),
+    });
     stats
 }
 
 /// Runs every (app, config) pair of a figure's grid in parallel, filling
-/// the cache the drivers then read sequentially. Already-cached cells
+/// the store the drivers then read sequentially. Already-stored cells
 /// cost nothing; the speedup is bounded by the slowest cell.
 pub fn prewarm(apps: &[&str], cores: u32, configs: &[Config]) {
     let grid: Vec<(&str, Config)> = apps
@@ -177,27 +188,25 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_cache_lock_recovers() {
+    fn run_caches_identical_requests_through_the_store() {
         std::env::set_var("IMP_SCALE", "tiny");
-        // Panic while holding the cache lock, as a crashed sweep thread
-        // would.
-        let _ = std::thread::spawn(|| {
-            let _guard = cache().lock().unwrap_or_else(PoisonError::into_inner);
-            panic!("poisoning the result cache on purpose");
-        })
-        .join();
-        // Cached runs must still work afterwards.
         let a = run("dense", 4, Config::Ideal);
+        let puts_after_first = store().counters().puts;
         let b = run("dense", 4, Config::Ideal);
-        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a, b, "store round-trip is bit-identical");
         assert!(a.runtime > 0);
-    }
-
-    #[test]
-    fn run_caches_identical_requests() {
-        std::env::set_var("IMP_SCALE", "tiny");
-        let a = run("dense", 4, Config::Ideal);
-        let b = run("dense", 4, Config::Ideal);
-        assert_eq!(a.runtime, b.runtime);
+        assert!(puts_after_first >= 1, "first run persisted");
+        assert!(store().counters().hits >= 1, "second run hit the store");
+        // The canonical keys distinguish paper configs even at one
+        // (app, cores) coordinate.
+        let ideal = sim_for("dense", 4, Config::Ideal)
+            .canonical_input()
+            .unwrap();
+        let base = sim_for("dense", 4, Config::Base).canonical_input().unwrap();
+        let swpf = sim_for("dense", 4, Config::SwPref)
+            .canonical_input()
+            .unwrap();
+        assert_ne!(ideal, base);
+        assert_ne!(base, swpf, "software prefetch is part of the key");
     }
 }

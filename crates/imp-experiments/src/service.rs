@@ -1,0 +1,464 @@
+//! The resumable experiment service: declarative sweep *request files*
+//! executed against a shared [`ResultStore`].
+//!
+//! A request is a `key = value` text file describing a sweep grid
+//! (see [`SweepRequest::parse`] for the grammar). [`serve_dir`] scans a
+//! directory for `*.sweep` files, runs each grid through
+//! [`Sweep::run_with`] — so cells already in the store are served from
+//! disk and only new cells simulate — writes a JSON manifest next to
+//! the request, and renames the request `.sweep.done`. Re-submitting
+//! the same request is therefore free, and a request that died halfway
+//! resumes from exactly the cells it had finished: the store, not the
+//! service, is the source of truth.
+//!
+//! The `imp-sweepd` binary is a thin loop over [`serve_dir`].
+//!
+//! ```
+//! use imp_experiments::SweepRequest;
+//!
+//! let req = SweepRequest::parse(
+//!     "demo",
+//!     "workloads = spmv\nprefetchers = none, imp\nscale = tiny\n",
+//! )
+//! .unwrap();
+//! assert_eq!(req.to_sweep().cells().len(), 2);
+//! ```
+
+use crate::sim::Sim;
+use crate::sweep::Sweep;
+use crate::table::Table;
+use imp_common::config::PartialMode;
+use imp_store::{digest_hex, ResultStore};
+use imp_workloads::Scale;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A parsed sweep request: the axes of one [`Sweep`] grid plus
+/// execution knobs. Unset axes fall back to the template defaults,
+/// exactly as the corresponding [`Sweep`] builder methods do.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRequest {
+    /// Request name (the file stem); names the manifest.
+    pub name: String,
+    /// `workloads = spmv, pagerank` — required, at least one.
+    pub workloads: Vec<String>,
+    /// `cores = 16, 64`.
+    pub cores: Vec<u32>,
+    /// `prefetchers = none, stream, imp` (spec strings allowed).
+    pub prefetchers: Vec<String>,
+    /// `partials = off, noc, noc+dram`.
+    pub partials: Vec<PartialMode>,
+    /// `page_sizes = 4096, 2097152` (bytes).
+    pub page_sizes: Vec<u64>,
+    /// `tlb_ways = 2, 4, 8`.
+    pub tlb_ways: Vec<u32>,
+    /// `scale = tiny | small | large` (default `tiny`).
+    pub scale: Scale,
+    /// `seed = 7` (default 42, the [`Sim`] default — so a request over
+    /// a grid the fluent API already ran shares its store entries).
+    pub seed: u64,
+    /// `threads = 4` — worker cap (default: available parallelism).
+    pub threads: Option<usize>,
+}
+
+/// Why a request file could not be parsed or served.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Filesystem failure reading/writing the request directory.
+    Io(std::io::Error),
+    /// A malformed line in the request text.
+    Parse {
+        /// Request name.
+        name: String,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "request i/o failure: {e}"),
+            RequestError::Parse {
+                name,
+                line,
+                message,
+            } => write!(f, "request {name}, line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// What [`serve_dir`] did with one request file.
+#[derive(Debug)]
+pub struct ServedRequest {
+    /// The request file as found (before the `.done`/`.failed` rename).
+    pub request: PathBuf,
+    /// The manifest written next to it (absent if the request failed
+    /// before producing one).
+    pub manifest: Option<PathBuf>,
+    /// Cells served from the store.
+    pub cached: usize,
+    /// Cells simulated (and persisted) by this request.
+    pub simulated: usize,
+    /// Cells that failed.
+    pub failed: usize,
+    /// Why the request as a whole failed, if it did.
+    pub error: Option<String>,
+}
+
+impl SweepRequest {
+    /// Parses request text. Grammar: one `key = value` per line, `#`
+    /// starts a comment, blank lines ignored; list values are
+    /// comma-separated. Keys: `workloads` (required), `cores`,
+    /// `prefetchers`, `partials` (`off` / `noc` / `noc+dram`),
+    /// `page_sizes`, `tlb_ways`, `scale` (`tiny` / `small` / `large`),
+    /// `seed`, `threads`.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::Parse`] with the offending line for an unknown
+    /// key, an unparsable value, a repeated key, or a missing
+    /// `workloads`.
+    pub fn parse(name: &str, text: &str) -> Result<Self, RequestError> {
+        let mut req = SweepRequest {
+            name: name.to_string(),
+            workloads: Vec::new(),
+            cores: Vec::new(),
+            prefetchers: Vec::new(),
+            partials: Vec::new(),
+            page_sizes: Vec::new(),
+            tlb_ways: Vec::new(),
+            scale: Scale::Tiny,
+            seed: 42,
+            threads: None,
+        };
+        let fail = |line: usize, message: String| RequestError::Parse {
+            name: name.to_string(),
+            line,
+            message,
+        };
+        let mut seen: Vec<String> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let stripped = raw.split('#').next().unwrap_or("").trim();
+            if stripped.is_empty() {
+                continue;
+            }
+            let (key, value) = stripped
+                .split_once('=')
+                .ok_or_else(|| fail(line, format!("expected `key = value`, got `{stripped}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            if seen.iter().any(|k| k == key) {
+                return Err(fail(line, format!("key `{key}` given twice")));
+            }
+            seen.push(key.to_string());
+            match key {
+                "workloads" => req.workloads = list(value).map(str::to_string).collect(),
+                "prefetchers" => req.prefetchers = list(value).map(str::to_string).collect(),
+                "cores" => req.cores = numbers(value).map_err(|m| fail(line, m))?,
+                "page_sizes" => req.page_sizes = numbers(value).map_err(|m| fail(line, m))?,
+                "tlb_ways" => req.tlb_ways = numbers(value).map_err(|m| fail(line, m))?,
+                "seed" => req.seed = one_number(value).map_err(|m| fail(line, m))?,
+                "threads" => req.threads = Some(one_number(value).map_err(|m| fail(line, m))?),
+                "partials" => {
+                    req.partials = list(value)
+                        .map(|p| match p {
+                            "off" => Ok(PartialMode::Off),
+                            "noc" => Ok(PartialMode::NocOnly),
+                            "noc+dram" => Ok(PartialMode::NocAndDram),
+                            other => Err(fail(
+                                line,
+                                format!("unknown partial mode `{other}` (off / noc / noc+dram)"),
+                            )),
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "scale" => {
+                    req.scale = match value {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "large" => Scale::Large,
+                        other => {
+                            return Err(fail(
+                                line,
+                                format!("unknown scale `{other}` (tiny / small / large)"),
+                            ))
+                        }
+                    };
+                }
+                other => return Err(fail(line, format!("unknown key `{other}`"))),
+            }
+        }
+        if req.workloads.is_empty() {
+            return Err(fail(0, "`workloads` is required".to_string()));
+        }
+        Ok(req)
+    }
+
+    /// Reads and parses a request file; the name is the file stem.
+    ///
+    /// # Errors
+    ///
+    /// I/O reading the file, or any [`SweepRequest::parse`] error.
+    pub fn from_file(path: &Path) -> Result<Self, RequestError> {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "request".to_string());
+        SweepRequest::parse(&name, &std::fs::read_to_string(path)?)
+    }
+
+    /// The [`Sweep`] this request describes.
+    pub fn to_sweep(&self) -> Sweep {
+        let mut sweep = Sweep::from(
+            Sim::workload(&self.workloads[0])
+                .scale(self.scale)
+                .seed(self.seed),
+        )
+        .workloads(self.workloads.iter().cloned())
+        .cores(self.cores.iter().copied())
+        .partials(self.partials.iter().copied())
+        .page_sizes(self.page_sizes.iter().copied())
+        .tlb_ways(self.tlb_ways.iter().copied());
+        if !self.prefetchers.is_empty() {
+            sweep = sweep.prefetchers(self.prefetchers.iter().map(String::as_str));
+        }
+        if let Some(n) = self.threads {
+            sweep = sweep.threads(n);
+        }
+        sweep
+    }
+
+    /// Runs the request against `store` and renders the manifest: one
+    /// row per cell in grid order, labelled
+    /// `<digest> <workload>@<cores> <prefetcher> <status>` with status
+    /// `hit`, `sim`, or `fail`, and columns for the runtime and the
+    /// hit/simulated/failed flags. Failed cells keep their row (runtime
+    /// 0) so the manifest always has exactly one row per grid cell.
+    ///
+    /// # Errors
+    ///
+    /// A malformed grid or an unreadable store
+    /// ([`crate::SimError::Store`]), stringified — per-cell failures
+    /// are rows, not errors.
+    pub fn process(
+        &self,
+        store: &ResultStore,
+    ) -> Result<(Table, crate::sweep::SweepReport), String> {
+        let mut table = Table::new(
+            self.name.clone(),
+            vec!["runtime", "cached", "simulated", "failed"],
+        );
+        let report = self
+            .to_sweep()
+            .run_with(store, |outcome| {
+                let (status, runtime, ok) = match &outcome.result {
+                    Ok(r) => (
+                        if outcome.cached { "hit" } else { "sim" },
+                        r.stats.runtime as f64,
+                        true,
+                    ),
+                    Err(_) => ("fail", 0.0, false),
+                };
+                let cell = match &outcome.result {
+                    Ok(r) => &r.cell,
+                    Err(e) => &e.cell,
+                };
+                let label = format!(
+                    "{} {}@{} {} {}",
+                    digest_hex(outcome.digest),
+                    cell.workload,
+                    cell.cores,
+                    cell.prefetcher,
+                    status
+                );
+                let hit = f64::from(u8::from(outcome.cached));
+                let sim = f64::from(u8::from(ok && !outcome.cached));
+                let fail = f64::from(u8::from(!ok));
+                table.row(&label, vec![runtime, hit, sim, fail]);
+            })
+            .map_err(|e| e.to_string())?;
+        Ok((table, report))
+    }
+}
+
+/// Comma-separated list items, trimmed, empties dropped.
+fn list(value: &str) -> impl Iterator<Item = &str> {
+    value.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn numbers<T: std::str::FromStr>(value: &str) -> Result<Vec<T>, String> {
+    list(value)
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| format!("`{v}` is not a valid number"))
+        })
+        .collect()
+}
+
+fn one_number<T: std::str::FromStr>(value: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| format!("`{value}` is not a valid number"))
+}
+
+/// Serves every `*.sweep` request in `dir` once, in name order:
+/// parse → run against `store` (cached cells free) → write
+/// `<name>.manifest.json` → rename the request `<name>.sweep.done`.
+/// A request that fails is renamed `<name>.sweep.failed` with the
+/// error in `<name>.error.txt`; other requests still run. Daemons
+/// (`imp-sweepd`) call this in a loop — renaming is what makes each
+/// pass idempotent.
+///
+/// # Errors
+///
+/// Only directory-level I/O (the listing itself); per-request failures
+/// come back in their [`ServedRequest::error`] slots.
+pub fn serve_dir(dir: &Path, store: &ResultStore) -> Result<Vec<ServedRequest>, RequestError> {
+    let mut requests: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "sweep"))
+        .collect();
+    requests.sort();
+    let mut served = Vec::with_capacity(requests.len());
+    for request in requests {
+        served.push(serve_one(&request, store));
+    }
+    Ok(served)
+}
+
+fn serve_one(request: &Path, store: &ResultStore) -> ServedRequest {
+    let mut served = ServedRequest {
+        request: request.to_path_buf(),
+        manifest: None,
+        cached: 0,
+        simulated: 0,
+        failed: 0,
+        error: None,
+    };
+    let outcome = SweepRequest::from_file(request)
+        .map_err(|e| e.to_string())
+        .and_then(|req| req.process(store));
+    match outcome {
+        Ok((table, report)) => {
+            let manifest = request.with_extension("manifest.json");
+            served.cached = report.cached;
+            served.simulated = report.simulated;
+            served.failed = report.failed;
+            if let Err(e) = std::fs::write(&manifest, table.to_json()) {
+                served.error = Some(format!("writing manifest: {e}"));
+            } else {
+                served.manifest = Some(manifest);
+            }
+            if let Some(e) = report.store_error {
+                served.error.get_or_insert(format!("store write: {e}"));
+            }
+        }
+        Err(e) => served.error = Some(e),
+    }
+    let suffix = if served.error.is_none() {
+        "sweep.done"
+    } else {
+        let _ = std::fs::write(
+            request.with_extension("error.txt"),
+            served.error.as_deref().unwrap_or(""),
+        );
+        "sweep.failed"
+    };
+    if let Err(e) = std::fs::rename(request, request.with_extension(suffix)) {
+        served
+            .error
+            .get_or_insert(format!("renaming processed request: {e}"));
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("imp-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_reads_every_key_and_rejects_junk() {
+        let req = SweepRequest::parse(
+            "r",
+            "# grid\nworkloads = spmv, pagerank\ncores = 16, 64\n\
+             prefetchers = none, imp\npartials = off, noc+dram\n\
+             page_sizes = 4096\ntlb_ways = 4, 8\nscale = small\n\
+             seed = 7\nthreads = 2 # cap\n",
+        )
+        .unwrap();
+        assert_eq!(req.workloads, ["spmv", "pagerank"]);
+        assert_eq!(req.cores, [16, 64]);
+        assert_eq!(req.partials, [PartialMode::Off, PartialMode::NocAndDram]);
+        assert_eq!(
+            (req.scale, req.seed, req.threads),
+            (Scale::Small, 7, Some(2))
+        );
+        assert_eq!(req.to_sweep().cells().len(), 2 * 2 * 2 * 2 * 2);
+
+        for (text, what) in [
+            ("cores = 16", "workloads is required"),
+            ("workloads = spmv\nbogus = 1", "unknown key"),
+            ("workloads = spmv\ncores = many", "bad number"),
+            ("workloads = spmv\npartials = sideways", "bad partial"),
+            ("workloads = spmv\nscale = huge", "bad scale"),
+            ("workloads = spmv\nseed = 1\nseed = 2", "repeated key"),
+            ("workloads = spmv\nno equals", "missing ="),
+        ] {
+            let err = SweepRequest::parse("r", text).unwrap_err();
+            assert!(matches!(err, RequestError::Parse { .. }), "{what}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_dir_writes_manifests_and_resumes_from_the_store() {
+        let dir = scratch("dir");
+        let store = ResultStore::open(dir.join("store")).unwrap();
+        std::fs::write(
+            dir.join("a.sweep"),
+            "workloads = spmv\nprefetchers = none, imp\nthreads = 2\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("bad.sweep"), "cores = 16\n").unwrap();
+
+        let served = serve_dir(&dir, &store).unwrap();
+        assert_eq!(served.len(), 2);
+        let a = &served[0];
+        assert_eq!((a.cached, a.simulated, a.failed), (0, 2, 0));
+        assert!(a.error.is_none());
+        let manifest = std::fs::read_to_string(a.manifest.as_ref().unwrap()).unwrap();
+        assert!(manifest.contains("\"a\""), "titled by request: {manifest}");
+        assert!(manifest.contains(" sim\""), "cold cells marked sim");
+        assert!(dir.join("a.sweep.done").exists());
+        let bad = &served[1];
+        assert!(bad.error.as_ref().unwrap().contains("workloads"));
+        assert!(dir.join("bad.sweep.failed").exists());
+        assert!(dir.join("bad.error.txt").exists());
+
+        // Resubmitting the same grid is served entirely from the store.
+        std::fs::rename(dir.join("a.sweep.done"), dir.join("a.sweep")).unwrap();
+        let again = serve_dir(&dir, &store).unwrap();
+        assert_eq!(again.len(), 1, "failed request not rescanned");
+        assert_eq!((again[0].cached, again[0].simulated), (2, 0));
+        let warm = std::fs::read_to_string(again[0].manifest.as_ref().unwrap()).unwrap();
+        assert!(warm.contains(" hit\""), "warm cells marked hit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

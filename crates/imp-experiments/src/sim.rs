@@ -63,6 +63,10 @@ pub enum SimError {
         /// Cores the configuration describes.
         config: u32,
     },
+    /// The result store could not be opened or read (a genuine I/O
+    /// failure — a missing or corrupt record is a cache miss, never an
+    /// error).
+    Store(String),
 }
 
 impl fmt::Display for SimError {
@@ -91,6 +95,7 @@ impl fmt::Display for SimError {
                 f,
                 "program was generated for {program} cores but the configuration has {config}"
             ),
+            SimError::Store(e) => write!(f, "result store failure: {e}"),
         }
     }
 }
@@ -394,6 +399,41 @@ impl Sim {
     /// The configured workload-generation seed.
     pub fn seed_value(&self) -> u64 {
         self.seed
+    }
+
+    /// The canonical input string the result store digests: a stable
+    /// rendering of *everything* that determines this run's statistics
+    /// — the workload name, generation seed, input scale,
+    /// software-prefetch distance, the full resolved
+    /// [`SystemConfig::canonical`] timing surface (cores, prefetcher
+    /// spec, partial mode, TLB, cache/NoC/DRAM geometry, IMP knobs),
+    /// and the page-policy overrides in application order.
+    ///
+    /// Two builders with equal canonical inputs produce bit-identical
+    /// [`imp_common::SystemStats`]; any knob difference changes the
+    /// string. New timing-relevant fields must be *appended* to
+    /// [`SystemConfig::canonical`] — changing the rendering of existing
+    /// fields silently invalidates every stored digest, which is safe
+    /// but wasteful.
+    ///
+    /// # Errors
+    ///
+    /// The configuration must resolve ([`Sim::config`]); an invalid
+    /// grid cell has no canonical form.
+    pub fn canonical_input(&self) -> Result<String, SimError> {
+        let cfg = self.config()?;
+        let mut s = format!(
+            "w:{};seed:{};scale:{:?};swpf:{:?};{}",
+            self.workload,
+            self.seed,
+            self.scale,
+            self.sw_prefetch,
+            cfg.canonical()
+        );
+        for (region, policy) in &self.page_policies {
+            s.push_str(&format!(";pp:{}={}", region, policy.canonical()));
+        }
+        Ok(s)
     }
 
     /// Resolves the builder into the [`SystemConfig`] it will run.
@@ -700,6 +740,33 @@ mod tests {
                 .tlb
                 .ideal
         );
+    }
+
+    #[test]
+    fn canonical_input_tracks_every_knob() {
+        let base = Sim::workload("spmv").scale(Scale::Tiny);
+        let c = base.canonical_input().unwrap();
+        assert_eq!(base.canonical_input().unwrap(), c, "deterministic");
+        for variant in [
+            base.clone().with_workload("pagerank"),
+            base.clone().seed(7),
+            base.clone().scale(Scale::Small),
+            base.clone().software_prefetch(16),
+            base.clone().cores(64),
+            base.clone().prefetcher("imp"),
+            base.clone().partial(PartialMode::NocAndDram),
+            base.clone().tlb(TlbConfig::finite()),
+            base.clone().page_policy("ind", PagePolicy::Huge2M),
+            base.clone().tune_imp(|i| i.max_prefetch_distance = 8),
+        ] {
+            assert_ne!(
+                variant.canonical_input().unwrap(),
+                c,
+                "knob must change the canonical: {variant:?}"
+            );
+        }
+        // An unresolvable configuration has no canonical form.
+        assert!(base.clone().cores(48).canonical_input().is_err());
     }
 
     #[test]

@@ -41,6 +41,8 @@ use imp_common::config::{
     PagePolicy, PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
 };
 use imp_common::{fnv1a, SplitMix64, SystemStats};
+use imp_store::{cell_digest, CellKey, ResultStore, StoredResult};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -81,6 +83,12 @@ pub struct SweepResult {
 pub struct SweepCellError {
     /// The grid point.
     pub cell: SweepCell,
+    /// The cell's canonical input string (the same rendering the result
+    /// store digests, [`Sim::canonical_input`]) — every axis value that
+    /// produced the failure, so one bad cell in a 10k-cell grid is
+    /// diagnosable from the error alone. Cells whose configuration did
+    /// not resolve carry an `<unresolved config: ...>` placeholder.
+    pub canonical: String,
     /// What went wrong.
     pub error: SimError,
 }
@@ -89,17 +97,51 @@ impl std::fmt::Display for SweepCellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}@{} [{} / {:?}]: {}",
+            "{}@{} [{} / {:?}]: {} (cell input: {})",
             self.cell.workload,
             self.cell.cores,
             self.cell.prefetcher,
             self.cell.partial,
-            self.error
+            self.error,
+            self.canonical
         )
     }
 }
 
 impl std::error::Error for SweepCellError {}
+
+/// One delivered cell of a [`Sweep::run_with`] streaming run.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// Position in [`Sweep::cells`] order.
+    pub index: usize,
+    /// The cell's canonical input string (the digest preimage).
+    pub canonical: String,
+    /// The content digest addressing this cell in the store.
+    pub digest: u64,
+    /// Whether the result was served from the store (`true`) or
+    /// simulated this run (`false`; failed cells are also `false`).
+    pub cached: bool,
+    /// The cell's result.
+    pub result: Result<SweepResult, SweepCellError>,
+}
+
+/// What a [`Sweep::run_with`] run did, cell by cell.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-cell results in [`Sweep::cells`] order.
+    pub results: Vec<Result<SweepResult, SweepCellError>>,
+    /// Cells served from the store without simulating.
+    pub cached: usize,
+    /// Cells simulated (and persisted) this run.
+    pub simulated: usize,
+    /// Cells that failed.
+    pub failed: usize,
+    /// First failure *writing* a freshly simulated result back to the
+    /// store, if any. Results are still returned — the cost of a failed
+    /// write is a re-simulation next run, never lost work.
+    pub store_error: Option<String>,
+}
 
 /// A config-grid runner over a template [`Sim`]. See the module docs.
 #[derive(Clone, Debug)]
@@ -117,6 +159,7 @@ pub struct Sweep {
     walk_models: Vec<WalkModel>,
     page_policies: Vec<Vec<(String, PagePolicy)>>,
     threads: Option<usize>,
+    store_path: Option<PathBuf>,
     spec_error: Option<String>,
 }
 
@@ -135,6 +178,7 @@ impl From<Sim> for Sweep {
             walk_models: Vec::new(),
             page_policies: Vec::new(),
             threads: None,
+            store_path: None,
             spec_error: None,
             base,
         }
@@ -274,6 +318,18 @@ impl Sweep {
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Routes this sweep through the content-addressed result store at
+    /// `path`: [`Sweep::run`] and [`Sweep::run_partial`] serve cells
+    /// already on disk without simulating (checksum- and
+    /// canonical-verified; corrupt records re-simulate), and persist
+    /// every freshly simulated cell. A warm re-run simulates nothing
+    /// and is bit-identical to the cold run.
+    #[must_use]
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
         self
     }
 
@@ -448,33 +504,20 @@ impl Sweep {
     // design; boxing would just push the size into every caller match.
     #[allow(clippy::type_complexity, clippy::result_large_err)]
     pub fn run_partial(&self) -> Result<Vec<Result<SweepResult, SweepCellError>>, SimError> {
+        if let Some(path) = &self.store_path {
+            let store = ResultStore::open(path).map_err(|e| SimError::Store(e.to_string()))?;
+            return Ok(self.run_with(&store, |_| {})?.results);
+        }
         if let Some(e) = &self.spec_error {
             return Err(SimError::InvalidSpec(e.clone()));
         }
         let cells = self.cells();
-        let threads = self
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(usize::from)
-                    .unwrap_or(1)
-            })
-            .min(cells.len().max(1));
+        let threads = self.thread_count(cells.len());
 
         // Group cells by distinct generated input. Scale and
         // software-prefetch settings come from the template, so within
         // one sweep the input is determined by (workload, cores, seed).
-        let mut groups: Vec<(String, u32, u64)> = Vec::new();
-        let group_of: Vec<usize> = cells
-            .iter()
-            .map(|cell| {
-                let key = (cell.workload.clone(), cell.cores, cell.seed);
-                groups.iter().position(|g| *g == key).unwrap_or_else(|| {
-                    groups.push(key);
-                    groups.len() - 1
-                })
-            })
-            .collect();
+        let (groups, group_of) = input_groups(cells.iter());
 
         // Build each distinct artifact exactly once, in parallel.
         let artifacts = fanout(groups.len(), threads.min(groups.len()), |g| {
@@ -491,25 +534,226 @@ impl Sweep {
         let outcomes = fanout(cells.len(), threads, |i| {
             let cell = &cells[i];
             let artifact = artifacts[group_of[i]].as_ref().map_err(Clone::clone)?;
-            self.base
-                .clone()
-                .with_workload(&cell.workload)
-                .cores(cell.cores)
-                .prefetcher(cell.prefetcher.clone())
-                .partial(cell.partial)
-                .tlb(cell.tlb)
-                .page_policies(cell.page_policy.clone())
-                .seed(cell.seed)
-                .run_on(artifact)
+            self.sim_for(cell).run_on(artifact)
         });
         Ok(cells
             .into_iter()
             .zip(outcomes)
             .map(|(cell, outcome)| match outcome {
                 Ok(stats) => Ok(SweepResult { cell, stats }),
-                Err(error) => Err(SweepCellError { cell, error }),
+                Err(error) => {
+                    let canonical = self.cell_canonical(&cell);
+                    Err(SweepCellError {
+                        cell,
+                        canonical,
+                        error,
+                    })
+                }
             })
             .collect())
+    }
+
+    /// Runs the grid against `store`, streaming each cell's outcome to
+    /// `on_cell` in deterministic [`Sweep::cells`] order as it becomes
+    /// available: cached cells are served from disk (verified by
+    /// checksum *and* canonical string; anything suspect re-simulates),
+    /// only missing cells are simulated, and every fresh result is
+    /// persisted. Workloads whose cells are all cached are never even
+    /// built — a fully warm run touches only the store.
+    ///
+    /// The returned [`SweepReport`] carries the same per-cell results
+    /// [`Sweep::run_partial`] would, plus hit/miss accounting.
+    ///
+    /// # Errors
+    ///
+    /// A malformed grid (axis spec that did not parse) or a store that
+    /// cannot be *read* (I/O, not corruption) fails the whole run;
+    /// per-cell simulation failures come back in their result slots.
+    #[allow(clippy::result_large_err)]
+    pub fn run_with<F>(&self, store: &ResultStore, mut on_cell: F) -> Result<SweepReport, SimError>
+    where
+        F: FnMut(&CellOutcome),
+    {
+        if let Some(e) = &self.spec_error {
+            return Err(SimError::InvalidSpec(e.clone()));
+        }
+        let cells = self.cells();
+        let n = cells.len();
+
+        // Probe phase: resolve each cell's canonical input and look it
+        // up. Sequential and cheap — config resolution plus one read
+        // per cell; no workload is built here.
+        let mut canonicals: Vec<String> = Vec::with_capacity(n);
+        let mut slots: Vec<Option<Result<SystemStats, SimError>>> = Vec::with_capacity(n);
+        let mut cached_flags = vec![false; n];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            match self.sim_for(cell).canonical_input() {
+                Ok(canonical) => {
+                    let hit = store
+                        .get(&canonical)
+                        .map_err(|e| SimError::Store(e.to_string()))?;
+                    match hit {
+                        Some(record) => {
+                            cached_flags[i] = true;
+                            slots.push(Some(Ok(record.stats)));
+                        }
+                        None => {
+                            missing.push(i);
+                            slots.push(None);
+                        }
+                    }
+                    canonicals.push(canonical);
+                }
+                Err(e) => {
+                    // The configuration itself is invalid: the cell can
+                    // never be cached, and simulating would fail the
+                    // same way. Fail it now without touching the store.
+                    canonicals.push(format!("<unresolved config: {e}>"));
+                    slots.push(Some(Err(e)));
+                }
+            }
+        }
+
+        // Build phase: only the groups that still have missing cells.
+        let threads = self.thread_count(missing.len());
+        let (groups, group_of) = input_groups(missing.iter().map(|&i| &cells[i]));
+        let artifacts = fanout(groups.len(), threads.min(groups.len().max(1)), |g| {
+            let (workload, cores, seed) = &groups[g];
+            self.base
+                .clone()
+                .with_workload(workload)
+                .cores(*cores)
+                .seed(*seed)
+                .build_artifact()
+        });
+
+        // Simulate the missing cells across workers while the calling
+        // thread delivers outcomes in deterministic cell order; a
+        // reorder slot buffers cells that finish early.
+        let store_error: Mutex<Option<String>> = Mutex::new(None);
+        let mut report = SweepReport {
+            results: Vec::with_capacity(n),
+            cached: cached_flags.iter().filter(|&&c| c).count(),
+            simulated: 0,
+            failed: 0,
+            store_error: None,
+        };
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<SystemStats, SimError>)>();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let cells = &cells;
+            let canonicals = &canonicals;
+            let missing = &missing;
+            let artifacts = &artifacts;
+            let group_of = &group_of;
+            let next = &next;
+            let store_error = &store_error;
+            for _ in 0..threads.min(missing.len()) {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= missing.len() {
+                        break;
+                    }
+                    let i = missing[k];
+                    let cell = &cells[i];
+                    let outcome = artifacts[group_of[k]]
+                        .as_ref()
+                        .map_err(Clone::clone)
+                        .and_then(|artifact| self.sim_for(cell).run_on(artifact));
+                    if let Ok(stats) = &outcome {
+                        let record = StoredResult {
+                            canonical: canonicals[i].clone(),
+                            cell: cell_key(cell),
+                            stats: stats.clone(),
+                        };
+                        if let Err(e) = store.put(&record) {
+                            store_error
+                                .lock()
+                                .expect("store-error slot")
+                                .get_or_insert_with(|| e.to_string());
+                        }
+                    }
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut delivered = 0;
+            while delivered < n {
+                if slots[delivered].is_none() {
+                    // Wait for workers; any cell may arrive, only the
+                    // next-in-order one unblocks delivery.
+                    let (i, outcome) = rx.recv().expect("workers outlive the channel");
+                    slots[i] = Some(outcome);
+                    continue;
+                }
+                let cell = cells[delivered].clone();
+                let result = match slots[delivered].take().expect("slot filled") {
+                    Ok(stats) => {
+                        if !cached_flags[delivered] {
+                            report.simulated += 1;
+                        }
+                        Ok(SweepResult { cell, stats })
+                    }
+                    Err(error) => {
+                        report.failed += 1;
+                        Err(SweepCellError {
+                            canonical: canonicals[delivered].clone(),
+                            cell,
+                            error,
+                        })
+                    }
+                };
+                let outcome = CellOutcome {
+                    index: delivered,
+                    canonical: canonicals[delivered].clone(),
+                    digest: cell_digest(&canonicals[delivered]),
+                    cached: cached_flags[delivered],
+                    result,
+                };
+                on_cell(&outcome);
+                report.results.push(outcome.result);
+                delivered += 1;
+            }
+        });
+        report.store_error = store_error.into_inner().expect("store-error slot");
+        Ok(report)
+    }
+
+    /// The per-cell [`Sim`] builder (the template with the cell's axis
+    /// values applied, in the same order `run_partial` always used).
+    fn sim_for(&self, cell: &SweepCell) -> Sim {
+        self.base
+            .clone()
+            .with_workload(&cell.workload)
+            .cores(cell.cores)
+            .prefetcher(cell.prefetcher.clone())
+            .partial(cell.partial)
+            .tlb(cell.tlb)
+            .page_policies(cell.page_policy.clone())
+            .seed(cell.seed)
+    }
+
+    /// The cell's canonical input, or a deterministic placeholder for a
+    /// cell whose configuration does not resolve.
+    fn cell_canonical(&self, cell: &SweepCell) -> String {
+        self.sim_for(cell)
+            .canonical_input()
+            .unwrap_or_else(|e| format!("<unresolved config: {e}>"))
+    }
+
+    fn thread_count(&self, work: usize) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+            })
+            .min(work.max(1))
     }
 
     fn base_cores(&self) -> u32 {
@@ -540,6 +784,39 @@ impl Sweep {
 fn cell_seed(base: u64, workload: &str, cores: u32) -> u64 {
     let h = fnv1a(workload.as_bytes());
     SplitMix64::new(base ^ h ^ u64::from(cores)).next_u64()
+}
+
+/// Groups cells by distinct generated input (workload, cores, seed).
+/// Returns the distinct groups and, per input cell, the group index.
+fn input_groups<'a, I>(cells: I) -> (Vec<(String, u32, u64)>, Vec<usize>)
+where
+    I: Iterator<Item = &'a SweepCell>,
+{
+    let mut groups: Vec<(String, u32, u64)> = Vec::new();
+    let group_of = cells
+        .map(|cell| {
+            let key = (cell.workload.clone(), cell.cores, cell.seed);
+            groups.iter().position(|g| *g == key).unwrap_or_else(|| {
+                groups.push(key);
+                groups.len() - 1
+            })
+        })
+        .collect();
+    (groups, group_of)
+}
+
+/// The store's mirror of a [`SweepCell`] (same fields, `imp-common`
+/// types only, so `imp-store` stays below the experiment layer).
+fn cell_key(cell: &SweepCell) -> CellKey {
+    CellKey {
+        workload: cell.workload.clone(),
+        cores: cell.cores,
+        prefetcher: cell.prefetcher.clone(),
+        partial: cell.partial,
+        tlb: cell.tlb,
+        page_policy: cell.page_policy.clone(),
+        seed: cell.seed,
+    }
 }
 
 /// Runs `f(0..n)` on up to `threads` scoped workers; results come back
@@ -729,6 +1006,79 @@ mod tests {
         assert!(matches!(err.error, SimError::Prefetcher(_)), "{err}");
         assert_eq!(err.cell.prefetcher.name, "no-such-prefetcher");
         assert!(sweep.run().is_err(), "run() still fails the whole grid");
+    }
+
+    #[test]
+    fn store_serves_warm_cells_without_simulating() {
+        let dir = std::env::temp_dir().join(format!("imp-sweep-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sweep =
+            Sweep::from(Sim::workload("spmv").scale(Scale::Tiny)).prefetchers(["none", "imp"]);
+        let store = ResultStore::open(&dir).unwrap();
+
+        let cold = sweep.run_with(&store, |_| {}).unwrap();
+        assert_eq!((cold.cached, cold.simulated, cold.failed), (0, 2, 0));
+        assert!(cold.store_error.is_none());
+
+        // Warm: zero cells simulated, outcomes stream in cell order
+        // with cached=true, and the grid is bit-identical.
+        let mut seen = Vec::new();
+        let warm = sweep
+            .run_with(&store, |o| seen.push((o.index, o.cached)))
+            .unwrap();
+        assert_eq!((warm.cached, warm.simulated, warm.failed), (2, 0, 0));
+        assert_eq!(seen, vec![(0, true), (1, true)]);
+        for (c, w) in cold.results.iter().zip(&warm.results) {
+            let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+            assert_eq!(c.cell, w.cell);
+            assert_eq!(c.stats, w.stats, "warm run must be bit-identical");
+        }
+
+        // The store path is bit-identical to the storeless one.
+        let plain = sweep.run().unwrap();
+        for (s, p) in warm.results.iter().zip(&plain) {
+            assert_eq!(s.as_ref().unwrap().stats, p.stats);
+        }
+
+        // Extending one axis simulates only the new cells.
+        let extended = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+            .prefetchers(["none", "imp", "stream"]);
+        let r = extended.run_with(&store, |_| {}).unwrap();
+        assert_eq!((r.cached, r.simulated, r.failed), (2, 1, 0));
+
+        // `.store(path)` routes run()/run_partial() the same way.
+        let routed = extended.clone().store(&dir).run().unwrap();
+        for (a, b) in routed.iter().zip(r.results.iter()) {
+            assert_eq!(a.stats, b.as_ref().unwrap().stats);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_cells_carry_their_canonical_input_and_are_not_stored() {
+        let dir = std::env::temp_dir().join(format!("imp-sweep-badcell-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let sweep = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+            .prefetchers(["stream", "no-such-prefetcher"]);
+        let report = sweep.run_with(&store, |_| {}).unwrap();
+        assert_eq!((report.cached, report.simulated, report.failed), (0, 1, 1));
+        let err = report.results[1].as_ref().unwrap_err();
+        assert!(
+            err.canonical.contains("no-such-prefetcher"),
+            "canonical names the failing axis value: {}",
+            err.canonical
+        );
+        assert!(format!("{err}").contains(&err.canonical));
+        assert_eq!(store.len().unwrap(), 1, "only the good cell persisted");
+        // The storeless path attaches the canonical too.
+        let outcomes = sweep.run_partial().unwrap();
+        assert!(outcomes[1]
+            .as_ref()
+            .unwrap_err()
+            .canonical
+            .contains("no-such-prefetcher"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Content digests: canonical input string → stable 64-bit address.
+
+use imp_common::fnv1a;
+
+/// Digest of a cell's canonical input string.
+///
+/// FNV-1a over the UTF-8 bytes — cheap, dependency-free, and stable
+/// across platforms and runs. Sixty-four bits is plenty as an *address*
+/// because the store never trusts it as an *identity*: every `.impres`
+/// record carries its canonical string and [`crate::ResultStore::get`]
+/// compares it before serving, so a collision degrades to a cache miss.
+pub fn cell_digest(canonical: &str) -> u64 {
+    fnv1a(canonical.as_bytes())
+}
+
+/// The digest as the fixed-width hex string used in store paths and
+/// manifests (16 lowercase hex digits, zero-padded).
+pub fn digest_hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_distinguishes() {
+        assert_eq!(cell_digest("x"), cell_digest("x"));
+        assert_ne!(cell_digest("x"), cell_digest("y"));
+        // Pinned value: the digest is part of the on-disk contract.
+        assert_eq!(cell_digest(""), 0xcbf29ce484222325);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(digest_hex(0), "0000000000000000");
+        assert_eq!(digest_hex(0xdeadbeef), "00000000deadbeef");
+        assert_eq!(digest_hex(u64::MAX), "ffffffffffffffff");
+    }
+}

@@ -1,0 +1,119 @@
+//! `imp-sweepd` — the resumable sweep service.
+//!
+//! Watches a directory for `*.sweep` request files (the `key = value`
+//! grammar of `imp::sim::SweepRequest`), runs each grid against a
+//! shared content-addressed result store, writes a JSON manifest next
+//! to the request, and renames it `.sweep.done` (`.sweep.failed` plus
+//! an `.error.txt` on error). Cells any earlier request — or any
+//! earlier daemon run — already simulated are served from the store,
+//! so resubmitting overlapping grids costs only the new cells.
+//!
+//! ```text
+//! imp-sweepd <requests-dir> [--store <dir>] [--once] [--interval-ms <n>]
+//! ```
+//!
+//! `--store` defaults to `<requests-dir>/store`; `--once` serves the
+//! current requests and exits (exit status 1 if any failed), otherwise
+//! the daemon polls every `--interval-ms` (default 1000).
+
+use imp::sim::serve_dir;
+use imp::store::ResultStore;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    requests: PathBuf,
+    store: PathBuf,
+    once: bool,
+    interval_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: imp-sweepd <requests-dir> [--store <dir>] [--once] [--interval-ms <n>]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut requests: Option<PathBuf> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut once = false;
+    let mut interval_ms = 1000;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--store" => store = Some(PathBuf::from(argv.next().unwrap_or_else(|| usage()))),
+            "--interval-ms" => {
+                interval_ms = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            other if requests.is_none() && !other.starts_with('-') => {
+                requests = Some(PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+    let requests = requests.unwrap_or_else(|| usage());
+    let store = store.unwrap_or_else(|| requests.join("store"));
+    Args {
+        requests,
+        store,
+        once,
+        interval_ms,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let store = match ResultStore::open(&args.store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("imp-sweepd: opening store {}: {e}", args.store.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "imp-sweepd: serving {} (store {})",
+        args.requests.display(),
+        args.store.display()
+    );
+    let mut any_failed = false;
+    loop {
+        let served = match serve_dir(&args.requests, &store) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("imp-sweepd: scanning {}: {e}", args.requests.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for s in &served {
+            let name = s.request.display();
+            match &s.error {
+                None => println!(
+                    "imp-sweepd: {name}: {} cached, {} simulated, {} failed -> {}",
+                    s.cached,
+                    s.simulated,
+                    s.failed,
+                    s.manifest
+                        .as_ref()
+                        .map_or_else(|| "(no manifest)".to_string(), |m| m.display().to_string()),
+                ),
+                Some(e) => {
+                    any_failed = true;
+                    eprintln!("imp-sweepd: {name}: FAILED: {e}");
+                }
+            }
+        }
+        if args.once {
+            return if any_failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+}

@@ -28,6 +28,12 @@
 //!   through a split 4 KB / 2 MB dTLB with one-level-shallower walks.
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation.
+//! * [`store`] — the content-addressed result store: every sweep cell
+//!   is digested over its full canonical input and persisted as a
+//!   checksummed `.impres` record, so re-running a sweep simulates only
+//!   cells the store has never seen (`Sweep::store` /
+//!   `Sweep::run_with`, the `imp-sweepd` service, the `sweep_resume`
+//!   example).
 //! * [`sim`] (module) — the fluent [`Sim`] builder and the parallel
 //!   [`Sweep`] grid runner, the recommended front door.
 //!
@@ -88,13 +94,14 @@ pub use imp_experiments as experiments;
 pub use imp_mem as mem;
 pub use imp_noc as noc;
 pub use imp_prefetch as prefetch;
+pub use imp_store as store;
 pub use imp_trace as trace;
 pub use imp_vm as vm;
 pub use imp_workloads as workloads;
 
 pub mod sim;
 
-pub use sim::{Sim, SimError, Sweep, SweepCell, SweepResult};
+pub use sim::{Sim, SimError, Sweep, SweepCell, SweepReport, SweepResult};
 
 /// The most commonly used types, one `use` away.
 pub mod prelude {
@@ -105,10 +112,13 @@ pub mod prelude {
     pub use imp_common::stats::{AccessClass, SystemStats, TlbStats};
     pub use imp_common::{Addr, ImpConfig, LineAddr, Pc, SystemConfig};
     pub use imp_experiments::{run as run_experiment, Config as ExperimentConfig};
-    pub use imp_experiments::{Sim, SimError, Sweep, SweepCell, SweepResult};
+    pub use imp_experiments::{
+        CellOutcome, Sim, SimError, Sweep, SweepCell, SweepReport, SweepRequest, SweepResult,
+    };
     pub use imp_mem::{AddressSpace, FunctionalMemory};
     pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
     pub use imp_sim::System;
+    pub use imp_store::{cell_digest, digest_hex, ResultStore, StoredResult};
     pub use imp_trace::{Op, Program, TraceFile};
     pub use imp_vm::{L2Tlb, PagePlacement, PageTable, PageWalker, Tlb, Vm, WalkMemory};
     pub use imp_workloads::{

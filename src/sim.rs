@@ -48,11 +48,21 @@
 //! `.imptrace` record/replay, see [`Sim::build_artifact`],
 //! [`Sim::run_on`] and the `trace_record` example.
 //!
+//! Sweeps are *resumable*: route one through the content-addressed
+//! result store ([`crate::store`]) with `.store(path)` — or stream
+//! cells with [`Sweep::run_with`] — and a warm re-run serves every
+//! finished cell from disk, bit-identically, simulating only cells the
+//! store has never seen (the `sweep_resume` example and the
+//! `imp-sweepd` service binary).
+//!
 //! Custom prefetchers registered from *outside* the simulator crates run
 //! through the same front door — see `imp_prefetch::registry` and the
 //! `custom_prefetcher` example.
 
+pub use imp_experiments::service::{serve_dir, RequestError, ServedRequest, SweepRequest};
 pub use imp_experiments::sim::{Sim, SimError};
-pub use imp_experiments::sweep::{Sweep, SweepCell, SweepCellError, SweepResult};
+pub use imp_experiments::sweep::{
+    CellOutcome, Sweep, SweepCell, SweepCellError, SweepReport, SweepResult,
+};
 // The underlying simulator, for code that assembles `System`s by hand.
 pub use imp_sim::{BuildError, RegistryError, System};

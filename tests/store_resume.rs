@@ -1,0 +1,97 @@
+//! End-to-end result-store behavior through the `imp` facade: a warm
+//! re-run simulates nothing and is bit-identical, a corrupted record
+//! fails its checksum and quietly re-simulates, and the sweep service
+//! turns request files into manifests backed by the same store.
+
+use imp::prelude::*;
+use imp::sim::{serve_dir, SweepRequest};
+use imp::store::ResultStore;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("imp-store-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn grid() -> Sweep {
+    Sweep::from(Sim::workload("spmv").scale(Scale::Tiny)).prefetchers(["none", "imp"])
+}
+
+#[test]
+fn warm_rerun_simulates_nothing_and_is_bit_identical() {
+    let dir = scratch("warm");
+    let store = ResultStore::open(&dir).unwrap();
+    let cold = grid().run_with(&store, |_| {}).unwrap();
+    assert_eq!((cold.cached, cold.simulated), (0, 2));
+
+    let warm = grid().run_with(&store, |_| {}).unwrap();
+    assert_eq!((warm.cached, warm.simulated), (2, 0));
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        assert_eq!(c.as_ref().unwrap().stats, w.as_ref().unwrap().stats);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_record_fails_its_checksum_and_resimulates() {
+    let dir = scratch("corrupt");
+    let store = ResultStore::open(&dir).unwrap();
+    let cold = grid().run_with(&store, |_| {}).unwrap();
+    assert_eq!(cold.simulated, 2);
+
+    // Flip a bit in one record's checksum trailer.
+    let shard = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.is_dir())
+        .expect("sharded store directory");
+    let record = std::fs::read_dir(&shard)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "impres"))
+        .expect("a stored record");
+    let mut bytes = std::fs::read(&record).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&record, &bytes).unwrap();
+
+    // The corrupt cell re-simulates; the intact one is still a hit —
+    // and the grid comes back bit-identical either way.
+    let store = ResultStore::open(&dir).unwrap();
+    let rerun = grid().run_with(&store, |_| {}).unwrap();
+    assert_eq!((rerun.cached, rerun.simulated, rerun.failed), (1, 1, 0));
+    assert!(store.counters().rejected >= 1, "checksum mismatch counted");
+    for (c, r) in cold.results.iter().zip(&rerun.results) {
+        assert_eq!(c.as_ref().unwrap().stats, r.as_ref().unwrap().stats);
+    }
+
+    // The re-simulation healed the store: everything hits again.
+    let healed = grid().run_with(&store, |_| {}).unwrap();
+    assert_eq!((healed.cached, healed.simulated), (2, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn service_requests_resume_from_the_shared_store() {
+    let dir = scratch("service");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = ResultStore::open(dir.join("store")).unwrap();
+    std::fs::write(
+        dir.join("fig.sweep"),
+        "workloads = spmv\nprefetchers = none, imp\nscale = tiny\nthreads = 2\n",
+    )
+    .unwrap();
+    let served = serve_dir(&dir, &store).unwrap();
+    assert_eq!(served.len(), 1);
+    assert_eq!((served[0].cached, served[0].simulated), (0, 2));
+    assert!(dir.join("fig.manifest.json").exists());
+    assert!(dir.join("fig.sweep.done").exists());
+
+    // A hand-built request over the same grid is served from the store.
+    let req = SweepRequest::parse("again", "workloads = spmv\nprefetchers = none, imp\n").unwrap();
+    let (table, report) = req.process(&store).unwrap();
+    assert_eq!((report.cached, report.simulated), (2, 0));
+    assert_eq!(table.rows(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
