@@ -13,29 +13,36 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("imp_on_access_steady_state", |b| {
         let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let mut reqs = Vec::new();
         let mut i = 0u64;
         b.iter(|| {
             let k = i % 4096;
             i += 1;
             let b_addr = Addr::new(0x10000 + 4 * k);
             let v = (k * 2654435761) % 100_000;
-            imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
+            reqs.clear();
+            imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src, &mut reqs);
             imp.on_access(
                 Access::load_miss(Pc::new(2), Addr::new(0x1_000_000 + 8 * v), 8),
                 &mut src,
+                &mut reqs,
             );
         })
     });
 
     c.bench_function("stream_prefetcher_on_access", |b| {
         let mut sp = StreamPrefetcher::paper_default();
+        let mut reqs = Vec::new();
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
+            reqs.clear();
             sp.on_access(
                 Access::load_hit(Pc::new(1), Addr::new(0x40000 + 8 * i), 8),
                 &mut src,
-            )
+                &mut reqs,
+            );
+            reqs.len()
         })
     });
 

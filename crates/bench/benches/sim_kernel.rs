@@ -1,0 +1,79 @@
+//! Raw simulation-kernel throughput: simulated ops/sec for single cells
+//! driven straight through `Sim` — no result store, no sweep machinery —
+//! so the number isolates the event loop, cache/TLB lookups, and core
+//! engines this PR's speed overhaul targets.
+//!
+//! Emits a `BENCH_sim_kernel.json` snapshot (rows = workload/config
+//! cells, column = simulated ops/sec) alongside the Criterion signal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imp_common::config::CoreModel;
+use imp_experiments::{scale_from_env, Sim, Table};
+use std::time::Instant;
+
+/// The measured cells: the two kernel-stressing workloads under the
+/// prefetchers that exercise the hot paths differently (none = pure
+/// demand path, imp = prefetch machinery on top), plus the OoO engine.
+fn cells() -> Vec<(String, Sim)> {
+    let scale = scale_from_env();
+    let mut v: Vec<(String, Sim)> = Vec::new();
+    for w in ["spmv", "pagerank"] {
+        for p in ["none", "imp"] {
+            v.push((
+                format!("{w}/{p}"),
+                Sim::workload(w).scale(scale).cores(16).prefetcher(p),
+            ));
+        }
+    }
+    v.push((
+        "spmv/imp/ooo".into(),
+        Sim::workload("spmv")
+            .scale(scale)
+            .cores(16)
+            .prefetcher("imp")
+            .core_model(CoreModel::OutOfOrder),
+    ));
+    v
+}
+
+fn snapshot() {
+    let mut table = Table::new("sim_kernel".to_string(), vec!["simulated_ops_per_sec"]);
+    for (name, sim) in cells() {
+        let artifact = sim.build_artifact().expect("build workload");
+        // One warm-up run keeps the first cell from paying one-time
+        // costs (lazy registry init, page-in) inside its measurement.
+        let stats = sim.run_on(&artifact).expect("warm-up run");
+        let ops: u64 = stats.cores.iter().map(|c| c.instructions).sum();
+        let t = Instant::now();
+        let timed = sim.run_on(&artifact).expect("timed run");
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(timed, stats, "simulation is deterministic");
+        table.row(&name, vec![ops as f64 / secs]);
+    }
+    println!("{table}");
+    imp_bench::emit_snapshot("sim_kernel", &table);
+}
+
+fn bench(c: &mut Criterion) {
+    snapshot();
+
+    // Criterion signal: one representative cell end to end on a
+    // prebuilt artifact (kernel only, no workload generation).
+    let sim = Sim::workload("spmv")
+        .scale(scale_from_env())
+        .cores(16)
+        .prefetcher("imp");
+    let artifact = sim.build_artifact().expect("build workload");
+    let mut group = c.benchmark_group("sim_kernel");
+    group.sample_size(10);
+    group.bench_function("spmv_imp_16c", |b| {
+        b.iter(|| {
+            let stats = sim.run_on(&artifact).expect("run");
+            std::hint::black_box(stats.runtime)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

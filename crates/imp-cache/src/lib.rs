@@ -94,11 +94,29 @@ pub struct Evicted {
     pub touched: bool,
 }
 
+/// Tag-lane sentinel marking a free way (no real line number reaches
+/// `u64::MAX`: line numbers are addresses shifted right by the line
+/// size).
+const EMPTY_TAG: u64 = u64::MAX;
+
 /// A sectored, set-associative, write-back cache with LRU replacement.
+///
+/// Storage is two flat set-stride arrays instead of per-set vectors:
+/// `tags[s * ways + w]` holds the line number resident in way `w` of
+/// set `s` (or `EMPTY_TAG`), and `lines` holds the matching
+/// bookkeeping at the same index. A lookup scans the set's contiguous
+/// tag lane — one cache-friendly pass over at most `ways` words — and
+/// touches the wide metadata only for the way that matched.
 #[derive(Debug)]
 pub struct SectoredCache {
-    sets: Vec<Vec<CacheLine>>,
-    ways: u32,
+    /// Line-number tags, set-stride (`set * ways + way`); [`EMPTY_TAG`]
+    /// marks a free way.
+    tags: Vec<u64>,
+    /// Per-way bookkeeping, parallel to `tags`; meaningful only where
+    /// the tag is not [`EMPTY_TAG`].
+    lines: Vec<CacheLine>,
+    num_sets: usize,
+    ways: usize,
     sectors: u32,
     stamp: u64,
 }
@@ -112,12 +130,22 @@ impl SectoredCache {
     /// Panics if the geometry does not yield at least one set.
     pub fn new(size_bytes: u64, ways: u32, sectors: u32) -> Self {
         let lines = size_bytes / imp_common::LINE_BYTES;
-        let sets = (lines / u64::from(ways)).max(1);
+        let sets = (lines / u64::from(ways)).max(1) as usize;
+        let slots = sets * ways as usize;
+        let placeholder = CacheLine {
+            line: LineAddr::from_line_number(0),
+            state: LineState::Shared,
+            valid: SectorMask::EMPTY,
+            dirty: SectorMask::EMPTY,
+            prefetched: false,
+            touched: false,
+            lru: 0,
+        };
         SectoredCache {
-            sets: (0..sets)
-                .map(|_| Vec::with_capacity(ways as usize))
-                .collect(),
-            ways,
+            tags: vec![EMPTY_TAG; slots],
+            lines: vec![placeholder; slots],
+            num_sets: sets,
+            ways: ways as usize,
             sectors,
             stamp: 0,
         }
@@ -125,7 +153,7 @@ impl SectoredCache {
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// Sectors per line.
@@ -138,20 +166,32 @@ impl SectoredCache {
         SectorMask::full(self.sectors)
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.number() % self.sets.len() as u64) as usize
+    #[inline]
+    fn set_base(&self, line: LineAddr) -> usize {
+        (line.number() % self.num_sets as u64) as usize * self.ways
+    }
+
+    /// Slot index of `line` if resident: a linear scan of the set's
+    /// contiguous tag lane.
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let base = self.set_base(line);
+        let tag = line.number();
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|w| base + w)
     }
 
     /// Non-updating probe.
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> Option<&CacheLine> {
-        self.sets[self.set_index(line)]
-            .iter()
-            .find(|l| l.line == line)
+        self.find(line).map(|i| &self.lines[i])
     }
 
+    #[inline]
     fn find_mut(&mut self, line: LineAddr) -> Option<&mut CacheLine> {
-        let si = self.set_index(line);
-        self.sets[si].iter_mut().find(|l| l.line == line)
+        self.find(line).map(|i| &mut self.lines[i])
     }
 
     /// Performs a demand access needing `need` sectors; `write` marks the
@@ -210,29 +250,35 @@ impl SectoredCache {
             l.lru = stamp;
             return None;
         }
-        let si = self.set_index(line);
-        let ways = self.ways as usize;
-        let set = &mut self.sets[si];
-        let evicted = if set.len() < ways {
-            None
-        } else {
-            let (vi, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .expect("non-empty set");
-            let v = set.swap_remove(vi);
-            Some(Evicted {
-                line: v.line,
-                state: v.state,
-                dirty: v.dirty,
-                prefetched_untouched: v.prefetched && !v.touched,
-                prefetched_touched: v.prefetched && v.touched,
-                valid: v.valid,
-                touched: v.touched,
-            })
+        let base = self.set_base(line);
+        let set_tags = &self.tags[base..base + self.ways];
+        // First free way, else the LRU victim (stamps are unique, so
+        // the victim choice is order-independent).
+        let (slot, evicted) = match set_tags.iter().position(|&t| t == EMPTY_TAG) {
+            Some(w) => (base + w, None),
+            None => {
+                let (w, _) = self.lines[base..base + self.ways]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .expect("ways > 0");
+                let v = &self.lines[base + w];
+                (
+                    base + w,
+                    Some(Evicted {
+                        line: v.line,
+                        state: v.state,
+                        dirty: v.dirty,
+                        prefetched_untouched: v.prefetched && !v.touched,
+                        prefetched_touched: v.prefetched && v.touched,
+                        valid: v.valid,
+                        touched: v.touched,
+                    }),
+                )
+            }
         };
-        set.push(CacheLine {
+        self.tags[slot] = line.number();
+        self.lines[slot] = CacheLine {
             line,
             state,
             valid: sectors,
@@ -240,7 +286,7 @@ impl SectoredCache {
             prefetched,
             touched: false,
             lru: stamp,
-        });
+        };
         evicted
     }
 
@@ -255,10 +301,9 @@ impl SectoredCache {
 
     /// Removes `line`, returning its eviction record.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
-        let si = self.set_index(line);
-        let set = &mut self.sets[si];
-        let idx = set.iter().position(|l| l.line == line)?;
-        let v = set.swap_remove(idx);
+        let idx = self.find(line)?;
+        self.tags[idx] = EMPTY_TAG;
+        let v = &self.lines[idx];
         Some(Evicted {
             line: v.line,
             state: v.state,
@@ -284,12 +329,16 @@ impl SectoredCache {
 
     /// Number of resident lines (for tests and occupancy stats).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
     }
 
     /// Iterates over all resident lines.
     pub fn iter_lines(&self) -> impl Iterator<Item = &CacheLine> {
-        self.sets.iter().flatten()
+        self.tags
+            .iter()
+            .zip(&self.lines)
+            .filter(|(&t, _)| t != EMPTY_TAG)
+            .map(|(_, l)| l)
     }
 }
 

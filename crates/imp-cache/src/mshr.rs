@@ -1,7 +1,6 @@
 //! Miss Status Holding Registers: outstanding-miss tracking with merging.
 
-use imp_common::{LineAddr, SectorMask};
-use std::collections::HashMap;
+use imp_common::{FastMap, LineAddr, SectorMask};
 
 /// Outcome of an MSHR allocation attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -34,16 +33,21 @@ pub struct MshrEntry<W> {
 /// A file of MSHRs keyed by line address, generic over the waiter type.
 #[derive(Debug)]
 pub struct MshrFile<W> {
-    entries: HashMap<LineAddr, MshrEntry<W>>,
+    entries: FastMap<LineAddr, MshrEntry<W>>,
     capacity: usize,
+    /// Recycled waiter vectors (see [`MshrFile::recycle_waiters`]):
+    /// misses are frequent enough that reusing their buffers keeps the
+    /// alloc/complete cycle heap-allocation-free in steady state.
+    free_waiters: Vec<Vec<W>>,
 }
 
 impl<W> MshrFile<W> {
     /// Creates a file with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         MshrFile {
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             capacity,
+            free_waiters: Vec::new(),
         }
     }
 
@@ -95,12 +99,14 @@ impl<W> MshrFile<W> {
             // would deadlock the core).
             MshrAlloc::Full
         } else {
+            let mut waiters = self.free_waiters.pop().unwrap_or_default();
+            waiters.push(waiter);
             self.entries.insert(
                 line,
                 MshrEntry {
                     requested: sectors,
                     prefetch_only: is_prefetch,
-                    waiters: vec![waiter],
+                    waiters,
                 },
             );
             MshrAlloc::New
@@ -110,6 +116,13 @@ impl<W> MshrFile<W> {
     /// Completes the miss on `line`, returning its entry (waiters and all).
     pub fn complete(&mut self, line: LineAddr) -> Option<MshrEntry<W>> {
         self.entries.remove(&line)
+    }
+
+    /// Returns a drained waiter vector (from [`MshrFile::complete`]) for
+    /// reuse by a later [`MshrFile::alloc`].
+    pub fn recycle_waiters(&mut self, mut waiters: Vec<W>) {
+        waiters.clear();
+        self.free_waiters.push(waiters);
     }
 
     /// Whether a demand access for `sectors` of `line` can be considered

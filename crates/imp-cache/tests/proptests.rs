@@ -1,9 +1,133 @@
 //! Property tests: the sectored cache never violates its geometry and
-//! behaves like a cache (present after fill, absent after invalidate).
+//! behaves like a cache (present after fill, absent after invalidate) —
+//! and the flat set-stride tag arrays behave exactly like the original
+//! per-set nested-vector LRU model they replaced.
 
-use imp_cache::{AccessOutcome, LineState, SectoredCache};
+use imp_cache::{AccessOutcome, Evicted, LineState, SectoredCache};
 use imp_common::{LineAddr, SectorMask};
 use proptest::prelude::*;
+
+/// The pre-flattening reference: per-set growable vectors with
+/// `push` / `swap_remove` occupancy and a min-LRU victim scan, exactly
+/// as `SectoredCache` stored lines before the set-stride refactor.
+struct ModelLine {
+    line: u64,
+    state: LineState,
+    valid: u8,
+    dirty: u8,
+    prefetched: bool,
+    touched: bool,
+    lru: u64,
+}
+
+struct ModelCache {
+    sets: Vec<Vec<ModelLine>>,
+    ways: usize,
+    stamp: u64,
+}
+
+impl ModelCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        ModelCache {
+            sets: (0..sets).map(|_| Vec::new()).collect(),
+            ways,
+            stamp: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    fn evicted(l: &ModelLine) -> Evicted {
+        Evicted {
+            line: LineAddr::from_line_number(l.line),
+            state: l.state,
+            dirty: SectorMask::from_bits(l.dirty),
+            prefetched_untouched: l.prefetched && !l.touched,
+            prefetched_touched: l.prefetched && l.touched,
+            valid: SectorMask::from_bits(l.valid),
+            touched: l.touched,
+        }
+    }
+
+    fn fill(&mut self, line: u64, mask: u8, state: LineState, prefetched: bool) -> Option<Evicted> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let si = self.set_of(line);
+        let set = &mut self.sets[si];
+        if let Some(l) = set.iter_mut().find(|l| l.line == line) {
+            l.valid |= mask;
+            if state == LineState::Modified {
+                l.state = LineState::Modified;
+            }
+            l.lru = stamp;
+            return None;
+        }
+        let evicted = if set.len() < self.ways {
+            None
+        } else {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty set");
+            let v = set.swap_remove(vi);
+            Some(Self::evicted(&v))
+        };
+        set.push(ModelLine {
+            line,
+            state,
+            valid: mask,
+            dirty: 0,
+            prefetched,
+            touched: false,
+            lru: stamp,
+        });
+        evicted
+    }
+
+    fn demand_access(&mut self, line: u64, need: u8, write: bool) -> AccessOutcome {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let si = self.set_of(line);
+        match self.sets[si].iter_mut().find(|l| l.line == line) {
+            None => AccessOutcome::Miss,
+            Some(l) => {
+                l.lru = stamp;
+                let first_touch = l.prefetched && !l.touched;
+                l.touched = true;
+                if l.valid & need == need {
+                    if write {
+                        l.dirty |= need;
+                    }
+                    AccessOutcome::Hit {
+                        first_touch_of_prefetch: first_touch,
+                    }
+                } else {
+                    AccessOutcome::SectorMiss {
+                        missing: SectorMask::from_bits(need & !l.valid),
+                        first_touch_of_prefetch: first_touch,
+                    }
+                }
+            }
+        }
+    }
+
+    fn invalidate(&mut self, line: u64) -> Option<Evicted> {
+        let si = self.set_of(line);
+        let set = &mut self.sets[si];
+        let idx = set.iter().position(|l| l.line == line)?;
+        let v = set.swap_remove(idx);
+        Some(Self::evicted(&v))
+    }
+
+    fn resident(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.sets.iter().flatten().map(|l| l.line).collect();
+        v.sort_unstable();
+        v
+    }
+}
 
 proptest! {
     /// Capacity and associativity are never exceeded under arbitrary
@@ -24,6 +148,47 @@ proptest! {
                 let n = c.iter_lines().filter(|l| l.line.number() % 4 == set).count();
                 prop_assert!(n <= 4, "set {set} has {n} ways");
             }
+        }
+    }
+
+    /// The flat set-stride cache matches the old per-set nested-vector
+    /// LRU model observable-for-observable under arbitrary
+    /// fill/access/invalidate scripts: same outcomes, same evictions,
+    /// same resident lines.
+    #[test]
+    fn flat_arrays_match_per_set_model(
+        script in proptest::collection::vec((0u8..4, 0u64..24, any::<u8>()), 1..250)
+    ) {
+        // 4 sets x 4 ways over 24 distinct lines: plenty of conflict.
+        let mut flat = SectoredCache::new(16 * 64, 4, 8);
+        let mut model = ModelCache::new(4, 4);
+        for (op, line, mask) in script {
+            let ln = LineAddr::from_line_number(line);
+            let mask = mask | 1;
+            match op {
+                0 => {
+                    let got = flat.fill(ln, SectorMask::from_bits(mask), LineState::Shared, false);
+                    prop_assert_eq!(got, model.fill(line, mask, LineState::Shared, false));
+                }
+                1 => {
+                    // Prefetched Modified fill: exercises state merge and
+                    // the prefetched/touched eviction bookkeeping.
+                    let got = flat.fill(ln, SectorMask::from_bits(mask), LineState::Modified, true);
+                    prop_assert_eq!(got, model.fill(line, mask, LineState::Modified, true));
+                }
+                2 => {
+                    let write = mask & 2 != 0;
+                    let got = flat.demand_access(ln, SectorMask::from_bits(mask), write);
+                    prop_assert_eq!(got, model.demand_access(line, mask, write));
+                }
+                _ => {
+                    prop_assert_eq!(flat.invalidate(ln), model.invalidate(line));
+                }
+            }
+            prop_assert_eq!(flat.resident_lines(), model.resident().len());
+            let mut resident: Vec<u64> = flat.iter_lines().map(|l| l.line.number()).collect();
+            resident.sort_unstable();
+            prop_assert_eq!(resident, model.resident());
         }
     }
 

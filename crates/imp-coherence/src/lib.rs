@@ -25,8 +25,7 @@
 //! }
 //! ```
 
-use imp_common::LineAddr;
-use std::collections::HashMap;
+use imp_common::{FastMap, LineAddr};
 
 /// Sharer tracking for one line under ACKwise_k.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,7 +68,7 @@ pub enum InvTargets {
 pub struct Directory {
     k: usize,
     cores: u32,
-    entries: HashMap<LineAddr, DirState>,
+    entries: FastMap<LineAddr, DirState>,
 }
 
 impl Directory {
@@ -78,7 +77,7 @@ impl Directory {
         Directory {
             k,
             cores,
-            entries: HashMap::new(),
+            entries: FastMap::default(),
         }
     }
 
@@ -181,24 +180,24 @@ impl Directory {
     /// any) exclusive access. Precise sets list the sharers; overflow
     /// broadcasts (the ACKwise mechanism).
     pub fn invalidation_targets(&self, line: LineAddr, exclude: Option<u32>) -> InvTargets {
-        match self.state(line) {
-            DirState::Uncached => InvTargets::None,
-            DirState::Modified(o) => {
-                if Some(o) == exclude {
+        match self.entries.get(&line) {
+            None | Some(DirState::Uncached) => InvTargets::None,
+            Some(DirState::Modified(o)) => {
+                if Some(*o) == exclude {
                     InvTargets::None
                 } else {
-                    InvTargets::Precise(vec![o])
+                    InvTargets::Precise(vec![*o])
                 }
             }
-            DirState::Shared(SharerSet::Precise(v)) => {
-                let t: Vec<u32> = v.into_iter().filter(|&c| Some(c) != exclude).collect();
+            Some(DirState::Shared(SharerSet::Precise(v))) => {
+                let t: Vec<u32> = v.iter().copied().filter(|&c| Some(c) != exclude).collect();
                 if t.is_empty() {
                     InvTargets::None
                 } else {
                     InvTargets::Precise(t)
                 }
             }
-            DirState::Shared(SharerSet::Overflow { .. }) => InvTargets::Broadcast,
+            Some(DirState::Shared(SharerSet::Overflow { .. })) => InvTargets::Broadcast,
         }
     }
 

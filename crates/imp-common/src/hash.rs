@@ -1,0 +1,137 @@
+//! A fast, deterministic hasher for the simulator's hot maps.
+//!
+//! The per-access bookkeeping maps — MSHRs, directory entries, in-flight
+//! transactions, functional-memory pages — are keyed by line numbers and
+//! page numbers that a simulation probes millions of times per second.
+//! `std`'s default SipHash is DoS-resistant but costs more than the probe
+//! it guards; none of these maps are exposed to adversarial keys, so
+//! every hot map uses this multiply-rotate hasher (the `FxHash` scheme
+//! from the rustc compiler) instead.
+//!
+//! Determinism note: unlike `RandomState`, [`FastHasher`] is seed-free,
+//! so map layout is identical across processes. No simulator result may
+//! depend on map iteration order either way — the golden-number tests
+//! pin that — but a fixed layout additionally keeps any accidental
+//! order-sensitivity from hiding behind per-process seeds.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word hasher (FxHash): `state = (rotl5(state) ^ word) * K`.
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] (zero-sized, seed-free).
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`]. Drop-in for the simulator's hot,
+/// non-adversarial maps.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h = |v: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_ne!(h(0), h(1));
+        assert_ne!(h(1), h(1 << 32));
+        // Line numbers differ in low bits; high bits of the hash decide
+        // the bucket for large maps.
+        assert_ne!(h(100) >> 48, h(101) >> 48);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream() {
+        let mut a = FastHasher::default();
+        a.write(&0x0123_4567_89ab_cdefu64.to_le_bytes());
+        let mut b = FastHasher::default();
+        b.write_u64(0x0123_4567_89ab_cdef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fast_map_round_trips() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i * 64, i as u32);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&(i * 64)), Some(&(i as u32)));
+        }
+    }
+}

@@ -20,6 +20,7 @@
 pub mod addr;
 pub mod config;
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 
@@ -29,6 +30,7 @@ pub use config::{
     PrefetcherSpec, SystemConfig, TlbConfig, TranslationPolicy, WalkModel,
 };
 pub use event::EventQueue;
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use rng::{fnv1a, SplitMix64};
 pub use stats::{CoreStats, PrefetchStats, SystemStats, TlbStats, TrafficStats};
 

@@ -1,7 +1,30 @@
 //! Property tests for the foundation types.
 
-use imp_common::{Addr, LineAddr, SectorMask};
+use imp_common::{Addr, Cycle, EventQueue, LineAddr, SectorMask};
 use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The plain priority queue the calendar-wheel [`EventQueue`] must be
+/// observably identical to: a binary heap keyed `(time, seq)`.
+#[derive(Default)]
+struct ReferenceQueue {
+    heap: BinaryHeap<Reverse<(Cycle, u64, u32)>>,
+    seq: u64,
+}
+
+impl ReferenceQueue {
+    fn push(&mut self, time: Cycle, payload: u32) {
+        self.heap.push(Reverse((time, self.seq, payload)));
+        self.seq += 1;
+    }
+    fn pop(&mut self) -> Option<(Cycle, u32)> {
+        self.heap.pop().map(|Reverse((t, _, p))| (t, p))
+    }
+    fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+}
 
 proptest! {
     /// Touch masks always cover the accessed byte range (within the line).
@@ -41,6 +64,50 @@ proptest! {
         let line = LineAddr::containing(Addr::new(addr));
         prop_assert!(line.base().raw() <= addr);
         prop_assert!(addr < line.base().raw() + 64);
+    }
+
+    /// The calendar-wheel queue is observably identical to a binary
+    /// heap keyed `(time, seq)` under arbitrary push/pop interleavings.
+    /// Pushed times are relative to the last popped time, which drives
+    /// events into every region: same-cycle FIFO runs, the wheel
+    /// window, the overflow heap, and (degenerate) pushes into the past.
+    #[test]
+    fn event_wheel_matches_heap_reference(
+        script in proptest::collection::vec((0u8..4, 0u64..2000), 0..300)
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut reference = ReferenceQueue::default();
+        let mut payload = 0u32;
+        let mut last_pop: Cycle = 0;
+        for (action, dt) in script {
+            if action == 0 {
+                // Pop from both; results must agree exactly.
+                prop_assert_eq!(wheel.peek_time(), reference.peek_time());
+                let got = wheel.pop();
+                prop_assert_eq!(got, reference.pop());
+                if let Some((t, _)) = got {
+                    last_pop = t;
+                }
+            } else {
+                // Push around the frontier: mostly near future (the
+                // wheel), sometimes far (overflow) or before the
+                // frontier (degenerate past push).
+                let time = match action {
+                    1 => last_pop + (dt % 8),            // dense near-future
+                    2 => last_pop + dt * 73,             // sparse, into overflow
+                    _ => last_pop.saturating_sub(dt % 50), // at or before frontier
+                };
+                wheel.push(time, payload);
+                reference.push(time, payload);
+                payload += 1;
+            }
+            prop_assert_eq!(wheel.len(), reference.heap.len());
+        }
+        // Drain: the full remaining order must match.
+        while let Some(expect) = reference.pop() {
+            prop_assert_eq!(wheel.pop(), Some(expect));
+        }
+        prop_assert!(wheel.is_empty());
     }
 
     /// Widening to L2 never loses coverage: any set L1 sector's half-line

@@ -5,7 +5,8 @@
 use crate::{CoreBlock, CoreEngine, MemPort, MemResult, EPISODE_BUDGET};
 use imp_common::stats::{AccessClass, CoreStats};
 use imp_common::Cycle;
-use imp_trace::{Op, OpKind};
+use imp_trace::{Op, OpKind, OpLanes};
+use std::sync::Arc;
 
 #[derive(Clone, Copy, Debug)]
 struct PendingMem {
@@ -17,20 +18,28 @@ struct PendingMem {
 #[derive(Debug)]
 pub struct InOrderCore {
     id: u32,
-    ops: std::sync::Arc<[Op]>,
+    lanes: Arc<OpLanes>,
     idx: usize,
     pending: Option<PendingMem>,
     stats: CoreStats,
 }
 
 impl InOrderCore {
-    /// Creates a core with id `id` running `ops`. The stream is shared,
-    /// not copied: passing the same `Arc<[Op]>` to many cores (or many
-    /// systems) costs a reference count per core.
-    pub fn new(id: u32, ops: impl Into<std::sync::Arc<[Op]>>) -> Self {
+    /// Creates a core with id `id` running `ops`, decoding the stream
+    /// into struct-of-arrays lanes. Prefer [`InOrderCore::from_lanes`]
+    /// when a shared decoding already exists (e.g. from
+    /// [`imp_trace::Program::lanes`]).
+    pub fn new(id: u32, ops: impl Into<Arc<[Op]>>) -> Self {
+        Self::from_lanes(id, Arc::new(OpLanes::from_ops(&ops.into())))
+    }
+
+    /// Creates a core running a shared lane decoding. The lanes are
+    /// shared, not copied: passing the same `Arc<OpLanes>` to many cores
+    /// (or many systems) costs a reference count per core.
+    pub fn from_lanes(id: u32, lanes: Arc<OpLanes>) -> Self {
         InOrderCore {
             id,
-            ops: ops.into(),
+            lanes,
             idx: 0,
             pending: None,
             stats: CoreStats::default(),
@@ -39,10 +48,10 @@ impl InOrderCore {
 
     /// Fraction of the op stream already executed (diagnostics).
     pub fn progress(&self) -> f64 {
-        if self.ops.is_empty() {
+        if self.lanes.is_empty() {
             1.0
         } else {
-            self.idx as f64 / self.ops.len() as f64
+            self.idx as f64 / self.lanes.len() as f64
         }
     }
 }
@@ -55,17 +64,20 @@ impl CoreEngine for InOrderCore {
         );
         let deadline = now + EPISODE_BUDGET;
         let mut t = now;
+        // Iterate the contiguous kind/addr lanes; only memory ops pay
+        // for reconstructing the full 16-byte record.
+        let kinds = &self.lanes.kind;
         while t < deadline {
-            let Some(&op) = self.ops.get(self.idx) else {
+            let Some(&kind) = kinds.get(self.idx) else {
                 self.stats.done_cycle = t;
                 return CoreBlock::Done;
             };
-            match op.kind {
+            match kind {
                 OpKind::Compute => {
-                    let n = op.addr.max(1);
-                    self.stats.instructions += op.addr;
+                    let cycles = self.lanes.addr[self.idx];
+                    self.stats.instructions += cycles;
                     self.idx += 1;
-                    t += n;
+                    t += cycles.max(1);
                 }
                 OpKind::Barrier => {
                     self.idx += 1;
@@ -73,11 +85,13 @@ impl CoreEngine for InOrderCore {
                 }
                 OpKind::SwPrefetch => {
                     self.stats.instructions += 1;
-                    port.sw_prefetch(self.id, op.mem_addr(), t);
+                    let addr = imp_common::Addr::new(self.lanes.addr[self.idx]);
+                    port.sw_prefetch(self.id, addr, t);
                     self.idx += 1;
                     t += 1;
                 }
                 OpKind::Load | OpKind::Store => {
+                    let op = self.lanes.op(self.idx);
                     self.stats.instructions += 1;
                     self.stats.l1_accesses += 1;
                     let (result, walk) = port.access(self.id, &op, t).split_walk();

@@ -6,8 +6,9 @@
 use crate::{CoreBlock, CoreEngine, MemPort, MemResult, EPISODE_BUDGET};
 use imp_common::stats::{AccessClass, CoreStats};
 use imp_common::Cycle;
-use imp_trace::{Op, OpKind};
+use imp_trace::{Op, OpKind, OpLanes};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 #[derive(Clone, Copy, Debug)]
 struct RobSlot {
@@ -23,7 +24,7 @@ struct RobSlot {
 #[derive(Debug)]
 pub struct OooCore {
     id: u32,
-    ops: std::sync::Arc<[Op]>,
+    lanes: Arc<OpLanes>,
     idx: usize,
     rob: VecDeque<RobSlot>,
     rob_cap: usize,
@@ -41,12 +42,19 @@ pub struct OooCore {
 const RECENT_LOAD_WINDOW: usize = 8;
 
 impl OooCore {
-    /// Creates an OoO core with a `rob_cap`-entry reorder buffer. The
-    /// op stream is shared, not copied (see [`crate::InOrderCore::new`]).
-    pub fn new(id: u32, ops: impl Into<std::sync::Arc<[Op]>>, rob_cap: usize) -> Self {
+    /// Creates an OoO core with a `rob_cap`-entry reorder buffer,
+    /// decoding the stream into struct-of-arrays lanes. Prefer
+    /// [`OooCore::from_lanes`] when a shared decoding already exists.
+    pub fn new(id: u32, ops: impl Into<Arc<[Op]>>, rob_cap: usize) -> Self {
+        Self::from_lanes(id, Arc::new(OpLanes::from_ops(&ops.into())), rob_cap)
+    }
+
+    /// Creates an OoO core running a shared lane decoding (see
+    /// [`crate::InOrderCore::from_lanes`]).
+    pub fn from_lanes(id: u32, lanes: Arc<OpLanes>, rob_cap: usize) -> Self {
         OooCore {
             id,
-            ops: ops.into(),
+            lanes,
             idx: 0,
             rob: VecDeque::with_capacity(rob_cap),
             rob_cap,
@@ -104,7 +112,7 @@ impl CoreEngine for OooCore {
         let mut t = now;
         loop {
             self.retire_completed(t);
-            if self.idx >= self.ops.len() {
+            if self.idx >= self.lanes.len() {
                 if self.rob.iter().any(|s| s.complete.is_none()) {
                     return CoreBlock::OnMemory;
                 }
@@ -127,8 +135,8 @@ impl CoreEngine for OooCore {
             if t >= deadline {
                 return CoreBlock::UntilTime(t);
             }
-            let op = self.ops[self.idx];
-            match op.kind {
+            let kind = self.lanes.kind[self.idx];
+            match kind {
                 OpKind::Barrier => {
                     // Barriers drain the ROB.
                     if self.rob.iter().any(|s| s.complete.is_none()) {
@@ -144,9 +152,10 @@ impl CoreEngine for OooCore {
                     return CoreBlock::AtBarrier;
                 }
                 OpKind::Compute => {
+                    let cycles = self.lanes.addr[self.idx];
                     let dispatch = t.max(self.last_dispatch + 1);
-                    let n = op.addr.max(1);
-                    self.stats.instructions += op.addr;
+                    let n = cycles.max(1);
+                    self.stats.instructions += cycles;
                     self.rob.push_back(RobSlot {
                         complete: Some(dispatch + n),
                         load_seq: None,
@@ -160,14 +169,15 @@ impl CoreEngine for OooCore {
                 OpKind::SwPrefetch => {
                     let dispatch = t.max(self.last_dispatch + 1);
                     self.stats.instructions += 1;
-                    port.sw_prefetch(self.id, op.mem_addr(), dispatch);
+                    let addr = imp_common::Addr::new(self.lanes.addr[self.idx]);
+                    port.sw_prefetch(self.id, addr, dispatch);
                     self.last_dispatch = dispatch;
                     self.idx += 1;
                     t = t.max(dispatch);
                 }
                 OpKind::Load | OpKind::Store => {
                     // Address dependence on an earlier load.
-                    let ready = match self.dep_complete(op.dep) {
+                    let ready = match self.dep_complete(self.lanes.dep[self.idx]) {
                         Err(()) => return CoreBlock::OnMemory,
                         Ok(Some(c)) => c,
                         Ok(None) => 0,
@@ -176,6 +186,7 @@ impl CoreEngine for OooCore {
                     if dispatch >= deadline {
                         return CoreBlock::UntilTime(dispatch);
                     }
+                    let op = self.lanes.op(self.idx);
                     self.stats.instructions += 1;
                     self.stats.l1_accesses += 1;
                     let seq = self.next_load_seq;

@@ -28,7 +28,7 @@ use imp_common::config::{
     TranslationPolicy, WalkModel,
 };
 use imp_common::{ImpConfig, MemRegion, SystemConfig, SystemStats};
-use imp_sim::{BuildError, RegistryError, System, VmConfigError};
+use imp_sim::{BuildError, RegistryError, RunError, System, VmConfigError};
 use imp_trace::BarrierMismatch;
 use imp_workloads::{by_name, BuiltArtifact, Scale, WorkloadError, WorkloadParams};
 use std::fmt;
@@ -67,6 +67,16 @@ pub enum SimError {
     /// failure — a missing or corrupt record is a cache miss, never an
     /// error).
     Store(String),
+    /// The run exceeded its event budget (see [`Sim::event_budget`])
+    /// before finishing; a runaway sweep cell fails this way instead of
+    /// aborting the process. Carries the statistics collected up to the
+    /// cutoff.
+    EventBudgetExceeded {
+        /// Events processed when the budget ran out.
+        events: u64,
+        /// Partial statistics at the cutoff.
+        stats: Box<SystemStats>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -96,6 +106,9 @@ impl fmt::Display for SimError {
                 "program was generated for {program} cores but the configuration has {config}"
             ),
             SimError::Store(e) => write!(f, "result store failure: {e}"),
+            SimError::EventBudgetExceeded { events, .. } => {
+                write!(f, "simulation exceeded event budget ({events} events)")
+            }
         }
     }
 }
@@ -143,6 +156,7 @@ pub struct Sim {
     page_policies: Vec<(String, PagePolicy)>,
     base_config: Option<SystemConfig>,
     spec_error: Option<String>,
+    event_budget: Option<u64>,
 }
 
 impl Sim {
@@ -165,6 +179,7 @@ impl Sim {
             page_policies: Vec::new(),
             base_config: None,
             spec_error: None,
+            event_budget: None,
         }
     }
 
@@ -228,6 +243,21 @@ impl Sim {
             Ok(s) => self.prefetcher = s,
             Err(e) => self.spec_error = Some(e.to_string()),
         }
+        self
+    }
+
+    /// Caps the number of simulator events a run may process before it
+    /// fails with [`SimError::EventBudgetExceeded`] (partial statistics
+    /// attached). Inherited by every cell of a `Sweep` built from this
+    /// base, so one runaway configuration fails its cell instead of
+    /// aborting the whole sweep.
+    ///
+    /// A *guard rail*, not a timing knob: it is deliberately excluded
+    /// from [`Sim::canonical_input`] — a run that finishes within
+    /// budget is bit-identical at any budget value.
+    #[must_use]
+    pub fn event_budget(mut self, events: u64) -> Self {
+        self.event_budget = Some(events);
         self
     }
 
@@ -554,7 +584,21 @@ impl Sim {
             artifact.mem().clone(),
             &huge,
         )?;
-        Ok(system.run())
+        if let Some(budget) = self.event_budget {
+            system.set_event_budget(budget);
+        }
+        system.try_run().map_err(|e| match e {
+            RunError::EventBudgetExceeded { events, stats } => {
+                SimError::EventBudgetExceeded { events, stats }
+            }
+            // Barrier balance is validated at build time, so a drained
+            // queue with unfinished cores is a simulator bug — keep the
+            // historical panic rather than inventing an error users
+            // would have to handle.
+            RunError::Deadlock { unfinished, cores } => panic!(
+                "event queue drained with {unfinished} of {cores} cores unfinished (deadlock)"
+            ),
+        })
     }
 
     /// Builds the workload and runs the simulation.
@@ -592,6 +636,30 @@ mod tests {
         assert_eq!(cfg.partial, PartialMode::NocOnly);
         assert_eq!(cfg.core_model, CoreModel::OutOfOrder);
         assert_eq!(cfg.imp.max_prefetch_distance, 8);
+    }
+
+    #[test]
+    fn event_budget_fails_typed_with_partial_stats() {
+        let base = Sim::workload("spmv").scale(Scale::Tiny).cores(16);
+        match base.clone().event_budget(100).run() {
+            Err(SimError::EventBudgetExceeded { events, stats }) => {
+                assert_eq!(events, 100);
+                // The cutoff snapshot is a real (if partial) stats
+                // object, not a placeholder.
+                assert_eq!(stats.cores.len(), 16);
+            }
+            other => panic!("expected EventBudgetExceeded, got {other:?}"),
+        }
+        // The budget is a guard rail, not a timing knob: it stays out
+        // of the canonical input (store digests must not change).
+        assert_eq!(
+            base.canonical_input().unwrap(),
+            base.clone().event_budget(100).canonical_input().unwrap()
+        );
+        // A run that fits the budget is unaffected by it.
+        let free = base.run().unwrap();
+        let capped = base.clone().event_budget(u64::MAX).run().unwrap();
+        assert_eq!(free, capped);
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Sparse page-backed functional memory.
 
-use imp_common::Addr;
-use std::collections::HashMap;
+use imp_common::{Addr, FastMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -22,7 +21,7 @@ const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 /// the simulator only ever reads it.
 #[derive(Clone, Debug, Default)]
 pub struct FunctionalMemory {
-    pages: HashMap<u64, Arc<[u8; PAGE_BYTES]>>,
+    pages: FastMap<u64, Arc<[u8; PAGE_BYTES]>>,
 }
 
 impl FunctionalMemory {
@@ -50,6 +49,19 @@ impl FunctionalMemory {
 
     /// Reads `buf.len()` bytes starting at `addr` (little-endian layout).
     pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) {
+        // Accesses that stay inside one page (the overwhelmingly common
+        // case: the simulator reads 1–8-byte values) cost a single page
+        // lookup instead of one per byte.
+        let (page, off) = split(addr);
+        if let Some(end) = off.checked_add(buf.len()) {
+            if end <= PAGE_BYTES {
+                match self.pages.get(&page) {
+                    Some(p) => buf.copy_from_slice(&p[off..end]),
+                    None => buf.fill(0),
+                }
+                return;
+            }
+        }
         for (i, b) in buf.iter_mut().enumerate() {
             *b = self.read_u8(addr.offset(i as i64));
         }
@@ -57,6 +69,16 @@ impl FunctionalMemory {
 
     /// Writes `buf` starting at `addr`.
     pub fn write_bytes(&mut self, addr: Addr, buf: &[u8]) {
+        if buf.is_empty() {
+            return; // never map a page for a zero-length write
+        }
+        let (page, off) = split(addr);
+        if let Some(end) = off.checked_add(buf.len()) {
+            if end <= PAGE_BYTES {
+                self.page_mut(page)[off..end].copy_from_slice(buf);
+                return;
+            }
+        }
         for (i, b) in buf.iter().enumerate() {
             self.write_u8(addr.offset(i as i64), *b);
         }
@@ -158,7 +180,8 @@ impl FunctionalMemory {
         // follow — cap the pre-allocation by what the image could
         // actually hold so a corrupt header errors instead of aborting.
         let possible = (bytes.len() - pos) / (8 + PAGE_BYTES);
-        let mut pages = HashMap::with_capacity((count as usize).min(possible));
+        let mut pages = FastMap::default();
+        pages.reserve((count as usize).min(possible));
         for _ in 0..count {
             let n = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
             let data: [u8; PAGE_BYTES] =

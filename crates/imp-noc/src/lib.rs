@@ -108,7 +108,36 @@ impl Mesh {
         1 + payload_bytes.div_ceil(self.flit_bytes)
     }
 
+    /// Visits the directed links of the X-Y route from `src` to `dst`
+    /// in traversal order. The route is deterministic, so `send` charges
+    /// link occupancy inline through this walk instead of materializing
+    /// a path vector per message.
+    #[inline]
+    fn walk_route(&self, src: u32, dst: u32, mut f: impl FnMut(usize)) {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        while x != dx {
+            let dir = if dx > x { Dir::East } else { Dir::West };
+            f((self.tile_at(x, y) * 4) as usize + dir.index());
+            if dx > x {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+        }
+        while y != dy {
+            let dir = if dy > y { Dir::South } else { Dir::North };
+            f((self.tile_at(x, y) * 4) as usize + dir.index());
+            if dy > y {
+                y += 1;
+            } else {
+                y -= 1;
+            }
+        }
+    }
+
     /// The sequence of directed links an X-Y-routed message traverses.
+    #[cfg(test)]
     fn route(&self, src: u32, dst: u32) -> Vec<usize> {
         let (mut x, mut y) = self.coords(src);
         let (dx, dy) = self.coords(dst);
@@ -146,15 +175,21 @@ impl Mesh {
         }
         let flits = self.flits_for(payload_bytes);
         let mut t = now;
-        let path = self.route(src, dst);
-        for link in &path {
+        let mut hops = 0u64;
+        let hop_latency = self.hop_latency;
+        // Move the occupancy array out so the route walk (immutable
+        // borrow of the grid geometry) can charge links as it goes.
+        let mut link_free = std::mem::take(&mut self.link_free);
+        self.walk_route(src, dst, |link| {
             // Head flit waits for the link, then takes one hop.
-            t = t.max(self.link_free[*link]) + self.hop_latency;
+            t = t.max(link_free[link]) + hop_latency;
             // The tail occupies the link for the remaining flits.
-            self.link_free[*link] = t + flits - 1;
-        }
+            link_free[link] = t + flits - 1;
+            hops += 1;
+        });
+        self.link_free = link_free;
         let arrival = t + flits - 1;
-        let fh = flits * path.len() as u64;
+        let fh = flits * hops;
         self.flit_hops += fh;
         (arrival, fh)
     }

@@ -1,7 +1,6 @@
 //! Observation and request types shared by all prefetchers.
 
-use imp_common::{Addr, LineAddr, Pc, SectorMask};
-use std::collections::HashMap;
+use imp_common::{Addr, FastMap, LineAddr, Pc, SectorMask};
 
 /// One L1 access as observed by a prefetcher snooping the cache
 /// (Figure 3: IMP sees both the access stream and the miss stream).
@@ -115,7 +114,7 @@ pub trait IndexValueSource {
 /// A table-backed [`IndexValueSource`] for unit tests and examples.
 #[derive(Debug, Default)]
 pub struct MapValueSource {
-    values: HashMap<(u64, u32), u64>,
+    values: FastMap<(u64, u32), u64>,
 }
 
 impl MapValueSource {
@@ -175,24 +174,54 @@ pub struct PrefetcherStats {
 }
 
 /// The interface between an L1 cache and its attached prefetcher.
+///
+/// Requests are pushed into a caller-supplied buffer rather than
+/// returned: prefetchers run on every demand access, and reusing one
+/// buffer across accesses keeps the hot path allocation-free. The
+/// `*_collect` wrappers provide the convenient owned-`Vec` form for
+/// tests and examples.
 pub trait L1Prefetcher {
-    /// Observes one demand access (hit or miss); returns prefetches to
-    /// issue.
+    /// Observes one demand access (hit or miss), pushing any prefetches
+    /// to issue onto `out` (which is not cleared first).
     fn on_access(
         &mut self,
         access: Access,
         values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest>;
+        out: &mut Vec<PrefetchRequest>,
+    );
 
-    /// Notifies that a previously issued prefetch has filled the L1.
-    /// May return follow-on prefetches (multi-level indirection).
+    /// Notifies that a previously issued prefetch has filled the L1,
+    /// pushing any follow-on prefetches (multi-level indirection) onto
+    /// `out`.
     fn on_prefetch_fill(
         &mut self,
         request: PrefetchRequest,
         values: &mut dyn IndexValueSource,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        let _ = (request, values, out);
+    }
+
+    /// [`L1Prefetcher::on_access`], collecting into a fresh `Vec`.
+    fn on_access_collect(
+        &mut self,
+        access: Access,
+        values: &mut dyn IndexValueSource,
     ) -> Vec<PrefetchRequest> {
-        let _ = (request, values);
-        Vec::new()
+        let mut out = Vec::new();
+        self.on_access(access, values, &mut out);
+        out
+    }
+
+    /// [`L1Prefetcher::on_prefetch_fill`], collecting into a fresh `Vec`.
+    fn on_prefetch_fill_collect(
+        &mut self,
+        request: PrefetchRequest,
+        values: &mut dyn IndexValueSource,
+    ) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        self.on_prefetch_fill(request, values, &mut out);
+        out
     }
 
     /// Notifies that the L1 evicted `line` (feeds the Granularity
@@ -229,8 +258,8 @@ impl L1Prefetcher for NullPrefetcher {
         &mut self,
         _access: Access,
         _values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
-        Vec::new()
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
     }
 
     fn stats(&self) -> &PrefetcherStats {
@@ -255,7 +284,7 @@ mod tests {
     fn null_prefetcher_is_silent() {
         let mut p = NullPrefetcher::new();
         let mut s = MapValueSource::new();
-        let reqs = p.on_access(Access::load_miss(Pc::new(1), Addr::new(64), 8), &mut s);
+        let reqs = p.on_access_collect(Access::load_miss(Pc::new(1), Addr::new(64), 8), &mut s);
         assert!(reqs.is_empty());
         assert_eq!(p.stats().stream_prefetches, 0);
     }

@@ -15,8 +15,7 @@ use crate::access::{
     Access, IndexValueSource, L1Prefetcher, PrefetchKind, PrefetchRequest, PrefetcherStats,
 };
 use crate::stream::StreamPrefetcher;
-use imp_common::{LineAddr, SectorMask};
-use std::collections::HashMap;
+use imp_common::{FastMap, LineAddr, SectorMask};
 
 #[derive(Clone, Copy, Debug)]
 struct GhbEntry {
@@ -34,7 +33,7 @@ pub struct Ghb {
     /// Absolute insertion count; `buffer[pos % capacity]`.
     inserted: u64,
     /// Last occurrence position of each line currently in the buffer.
-    index: HashMap<LineAddr, u64>,
+    index: FastMap<LineAddr, u64>,
     /// Prefetch degree: successors fetched per correlation hit.
     degree: usize,
     stats: PrefetcherStats,
@@ -49,7 +48,7 @@ impl Ghb {
             buffer: Vec::with_capacity(capacity),
             capacity,
             inserted: 0,
-            index: HashMap::new(),
+            index: FastMap::default(),
             degree,
             stats: PrefetcherStats::default(),
         }
@@ -111,13 +110,14 @@ impl L1Prefetcher for Ghb {
         &mut self,
         access: Access,
         values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
-        let mut reqs = self.stream.on_access(access, values);
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        self.stream.on_access(access, values, out);
         self.stats.stream_prefetches = self.stream.stats().stream_prefetches;
         if access.miss {
             for line in self.record_miss(LineAddr::containing(access.addr)) {
                 self.stats.indirect_prefetches += 1; // correlation prefetches
-                reqs.push(PrefetchRequest {
+                out.push(PrefetchRequest {
                     addr: line.base(),
                     sectors: SectorMask::FULL_L1,
                     exclusive: false,
@@ -125,7 +125,6 @@ impl L1Prefetcher for Ghb {
                 });
             }
         }
-        reqs
     }
 
     fn stats(&self) -> &PrefetcherStats {
@@ -152,7 +151,7 @@ mod tests {
         let mut correlated = 0;
         for pass in 0..2 {
             for &a in &pattern {
-                let reqs = g.on_access(miss(a), &mut v);
+                let reqs = g.on_access_collect(miss(a), &mut v);
                 if pass == 1 {
                     correlated += reqs.len();
                 }
@@ -174,7 +173,7 @@ mod tests {
             // prefetcher interest: random page-sized jumps).
             let a = 0x100000 + i * 8192 + (i * i) % 64;
             total += g
-                .on_access(miss(a), &mut v)
+                .on_access_collect(miss(a), &mut v)
                 .iter()
                 .filter(|r| r.addr.raw() != a)
                 .count();
@@ -195,14 +194,14 @@ mod tests {
         // other misses; re-walking the pattern must not correlate.
         let pattern = [0x1000u64, 0x2000, 0x3000];
         for &a in &pattern {
-            g.on_access(miss(a), &mut v);
+            g.on_access_collect(miss(a), &mut v);
         }
         for i in 0..16u64 {
-            g.on_access(miss(0x100_0000 + i * 4096), &mut v);
+            g.on_access_collect(miss(0x100_0000 + i * 4096), &mut v);
         }
         let before = g.stats().indirect_prefetches;
         for &a in &pattern {
-            g.on_access(miss(a), &mut v);
+            g.on_access_collect(miss(a), &mut v);
         }
         let correlated = g.stats().indirect_prefetches - before;
         assert_eq!(correlated, 0, "history evicted: no stale correlations");

@@ -19,13 +19,14 @@
 use crate::access::{
     Access, IndexValueSource, L1Prefetcher, PrefetchKind, PrefetchRequest, PrefetcherStats,
 };
-use imp_common::{LineAddr, Pc, SectorMask};
-use std::collections::HashMap;
+use imp_common::{FastMap, LineAddr, Pc, SectorMask};
 
 /// The per-PC arbitrating combinator. See the module docs.
 pub struct Hybrid {
     components: Vec<Box<dyn L1Prefetcher>>,
-    owner: HashMap<Pc, usize>,
+    owner: FastMap<Pc, usize>,
+    /// One reusable request buffer per component (cleared per access).
+    scratch: Vec<Vec<PrefetchRequest>>,
     forwarded_stream: u64,
     forwarded_indirect: u64,
     stats: PrefetcherStats,
@@ -42,9 +43,11 @@ impl Hybrid {
             !components.is_empty(),
             "Hybrid needs at least one component"
         );
+        let scratch = components.iter().map(|_| Vec::new()).collect();
         Hybrid {
             components,
-            owner: HashMap::new(),
+            owner: FastMap::default(),
+            scratch,
             forwarded_stream: 0,
             forwarded_indirect: 0,
             stats: PrefetcherStats::default(),
@@ -66,14 +69,14 @@ impl Hybrid {
         self.owner.get(&pc).copied()
     }
 
-    fn forward(&mut self, reqs: Vec<PrefetchRequest>) -> Vec<PrefetchRequest> {
-        for r in &reqs {
+    fn forward(&mut self, reqs: &[PrefetchRequest], out: &mut Vec<PrefetchRequest>) {
+        for r in reqs {
             match r.kind {
                 PrefetchKind::Stream => self.forwarded_stream += 1,
                 PrefetchKind::Indirect { .. } => self.forwarded_indirect += 1,
             }
         }
-        reqs
+        out.extend_from_slice(reqs);
     }
 
     /// Rebuilds the merged statistics snapshot: detection counters sum
@@ -109,12 +112,13 @@ impl L1Prefetcher for Hybrid {
         &mut self,
         access: Access,
         values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
-        let mut per: Vec<Vec<PrefetchRequest>> = self
-            .components
-            .iter_mut()
-            .map(|c| c.on_access(access, values))
-            .collect();
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        for (c, buf) in self.components.iter_mut().zip(&mut self.scratch) {
+            buf.clear();
+            c.on_access(access, values, buf);
+        }
+        let per = &self.scratch;
         let chosen = match self.owner.get(&access.pc) {
             Some(&i) => i,
             None => {
@@ -130,27 +134,30 @@ impl L1Prefetcher for Hybrid {
                 }
             }
         };
-        let out = self.forward(std::mem::take(&mut per[chosen]));
+        let reqs = std::mem::take(&mut self.scratch[chosen]);
+        self.forward(&reqs, out);
+        self.scratch[chosen] = reqs;
         self.refresh_stats();
-        out
     }
 
     fn on_prefetch_fill(
         &mut self,
         request: PrefetchRequest,
         values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         // Fills fan out to every component (multi-level chains may
         // continue in whichever component issued the original request);
         // chained requests are forwarded from all of them — they are
         // rare, and the MSHR merge path absorbs duplicates.
-        let mut chained = Vec::new();
+        let mut chained = std::mem::take(&mut self.scratch[0]);
+        chained.clear();
         for c in &mut self.components {
-            chained.extend(c.on_prefetch_fill(request, values));
+            c.on_prefetch_fill(request, values, &mut chained);
         }
-        let out = self.forward(chained);
+        self.forward(&chained, out);
+        self.scratch[0] = chained;
         self.refresh_stats();
-        out
     }
 
     fn on_eviction(&mut self, line: LineAddr) {
@@ -202,11 +209,11 @@ mod tests {
             src.insert(Addr::new(b_base + 4 * i), 4, b_of(i));
         }
         for i in 0..96u64 {
-            h.on_access(
+            h.on_access_collect(
                 Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
                 &mut src,
             );
-            h.on_access(
+            h.on_access_collect(
                 Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
                 &mut src,
             );
@@ -228,7 +235,7 @@ mod tests {
         let mut src = MapValueSource::new();
         let mut total = 0usize;
         for i in 0..64u64 {
-            let reqs = h.on_access(
+            let reqs = h.on_access_collect(
                 Access::load_miss(Pc::new(7), Addr::new(64 * i), 8),
                 &mut src,
             );
@@ -250,7 +257,7 @@ mod tests {
         let mut total = 0;
         for i in 0..32u64 {
             total += h
-                .on_access(
+                .on_access_collect(
                     Access::load_miss(Pc::new(3), Addr::new(64 * i), 8),
                     &mut src,
                 )

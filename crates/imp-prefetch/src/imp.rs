@@ -64,8 +64,6 @@ struct IndirectPattern {
     prefetching: bool,
     /// Current prefetch distance (ramps linearly to the max).
     distance: u32,
-    /// Line expected to be accessed for the most recent index value.
-    pending_expected: Option<LineAddr>,
     /// The pattern's demand accesses include writes: prefetch Exclusive.
     writes: bool,
     /// Role in the pattern tree.
@@ -131,6 +129,9 @@ struct Deferred {
 
 const MAX_DEFERRED: usize = 512;
 
+/// Sentinel in [`Imp::pending`]: no expected line for this slot.
+const NO_PENDING: u64 = u64::MAX;
+
 /// The full IMP prefetcher attached to one L1 data cache.
 #[derive(Debug)]
 pub struct Imp {
@@ -138,6 +139,11 @@ pub struct Imp {
     partial: bool,
     table: StreamTable,
     ind: Vec<IndirectPattern>,
+    /// `pending[slot]`: line number expected to be accessed for the
+    /// slot's most recent index value, or [`NO_PENDING`]. Kept as a flat
+    /// array so the per-access expectation scan touches a few cache
+    /// lines instead of walking the full pattern structs.
+    pending: Vec<u64>,
     backoff: Vec<Backoff>,
     ipd: Ipd,
     gp: Gp,
@@ -154,6 +160,7 @@ impl Imp {
             partial,
             table: StreamTable::new(pt, cfg.stream_threshold, cfg.stream_distance),
             ind: vec![IndirectPattern::default(); pt],
+            pending: vec![NO_PENDING; pt],
             backoff: vec![Backoff::new(cfg.detect_backoff_initial); pt],
             ipd: Ipd::new(cfg.ipd_entries, cfg.shifts.clone(), cfg.baseaddr_array_len),
             gp: Gp::new(pt, cfg.gp_samples, seed),
@@ -185,6 +192,7 @@ impl Imp {
         let (next_way, next_level) = (self.ind[slot].next_way, self.ind[slot].next_level);
         for child in [next_way, next_level].into_iter().flatten() {
             self.ind[child] = IndirectPattern::default();
+            self.pending[child] = NO_PENDING;
         }
         for p in &mut self.ind {
             if p.next_way == Some(slot) {
@@ -197,6 +205,7 @@ impl Imp {
             }
         }
         self.ind[slot] = IndirectPattern::default();
+        self.pending[slot] = NO_PENDING;
         self.backoff[slot] = Backoff::new(self.cfg.detect_backoff_initial);
         for k in [DetectKind::Primary, DetectKind::Way, DetectKind::Level] {
             self.ipd.release(owner_of(slot, k));
@@ -209,6 +218,7 @@ impl Imp {
         let (slot, kind) = decode_owner(det.owner);
         match kind {
             DetectKind::Primary => {
+                self.pending[slot] = NO_PENDING;
                 let p = &mut self.ind[slot];
                 p.enabled = true;
                 p.shift = det.shift;
@@ -216,7 +226,6 @@ impl Imp {
                 p.hit_cnt = 0;
                 p.prefetching = false;
                 p.distance = 1;
-                p.pending_expected = None;
                 p.ind_type = IndType::Primary;
                 self.gp.reset_entry(slot);
                 self.stats.patterns_detected += 1;
@@ -269,11 +278,10 @@ impl Imp {
         }
     }
 
-    /// Builds the prefetch request(s) for `slot` given index value `v`:
-    /// the pattern's own target plus all second-way children (which share
-    /// the index value, Section 3.3.2).
-    fn requests_for_value(&mut self, slot: usize, v: u64) -> Vec<PrefetchRequest> {
-        let mut out = Vec::new();
+    /// Pushes the prefetch request(s) for `slot` given index value `v`
+    /// onto `out`: the pattern's own target plus all second-way children
+    /// (which share the index value, Section 3.3.2).
+    fn requests_for_value(&mut self, slot: usize, v: u64, out: &mut Vec<PrefetchRequest>) {
         let mut cur = Some(slot);
         while let Some(s) = cur {
             let p = &self.ind[s];
@@ -306,18 +314,21 @@ impl Imp {
             self.table.touch(s);
             cur = p.next_way;
         }
-        out
     }
 
     /// Confidence bookkeeping: does `access` hit the expected indirect
     /// address of any enabled pattern? Returns the first matching slot.
+    /// The scan runs over the flat `pending` array (one word per slot)
+    /// so non-matching accesses — the overwhelming majority — never
+    /// touch the pattern structs.
     fn match_expected(&mut self, access: &Access) -> Option<usize> {
-        let line = LineAddr::containing(access.addr);
+        let line = LineAddr::containing(access.addr).number();
         let mut matched = None;
-        for (i, p) in self.ind.iter_mut().enumerate() {
-            if p.enabled && p.pending_expected == Some(line) {
+        for i in 0..self.pending.len() {
+            if self.pending[i] == line && self.ind[i].enabled {
+                let p = &mut self.ind[i];
                 p.hit_cnt = (p.hit_cnt + 1).min(self.cfg.confidence_max);
-                p.pending_expected = None;
+                self.pending[i] = NO_PENDING;
                 p.miss_streak = 0;
                 if access.is_write {
                     p.writes = true;
@@ -336,8 +347,10 @@ impl Imp {
         let (next_way, next_level) = (self.ind[slot].next_way, self.ind[slot].next_level);
         for child in [next_way, next_level].into_iter().flatten() {
             self.ind[child] = IndirectPattern::default();
+            self.pending[child] = NO_PENDING;
         }
         self.ind[slot] = IndirectPattern::default();
+        self.pending[slot] = NO_PENDING;
         self.backoff[slot] = Backoff::new(self.cfg.detect_backoff_initial);
         for k in [DetectKind::Primary, DetectKind::Way, DetectKind::Level] {
             self.ipd.release(owner_of(slot, k));
@@ -351,9 +364,8 @@ impl L1Prefetcher for Imp {
         &mut self,
         access: Access,
         values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
-        let mut reqs = Vec::new();
-
+        reqs: &mut Vec<PrefetchRequest>,
+    ) {
         // 1. Check enabled patterns' expected indirect addresses
         //    (confidence counting, Section 3.2.3) and remember whether
         //    this access is explained by a known pattern.
@@ -388,17 +400,21 @@ impl L1Prefetcher for Imp {
         }
 
         // 3. Stream table observation for this PC.
-        let (slot, event, stream_lines) = self.table.observe(access.pc, access.addr, access.size);
+        let (slot, event) = {
+            let (slot, event, stream_lines) =
+                self.table.observe(access.pc, access.addr, access.size);
+            self.stats.stream_prefetches += stream_lines.len() as u64;
+            reqs.extend(stream_lines.iter().map(|l| PrefetchRequest {
+                addr: l.base(),
+                sectors: SectorMask::FULL_L1,
+                exclusive: false,
+                kind: PrefetchKind::Stream,
+            }));
+            (slot, event)
+        };
         if event == StreamEvent::Allocated {
             self.reset_slot(slot);
         }
-        self.stats.stream_prefetches += stream_lines.len() as u64;
-        reqs.extend(stream_lines.into_iter().map(|l| PrefetchRequest {
-            addr: l.base(),
-            sectors: SectorMask::FULL_L1,
-            exclusive: false,
-            kind: PrefetchKind::Stream,
-        }));
 
         // 4. Index-stream work: detection or prefetching.
         let established = self
@@ -407,7 +423,8 @@ impl L1Prefetcher for Imp {
             .established(self.cfg.stream_threshold);
         if established && event == StreamEvent::Continued {
             self.stats.dbg_continued += 1;
-            if values.read_value(access.addr, access.size).is_none() {
+            let own_value = values.read_value(access.addr, access.size);
+            if own_value.is_none() {
                 self.stats.dbg_own_value_miss += 1;
             }
             if self.ind[slot].enabled {
@@ -416,7 +433,7 @@ impl L1Prefetcher for Imp {
                     self.stats.dbg_prefetching += 1;
                 }
             }
-            if let Some(value) = values.read_value(access.addr, access.size) {
+            if let Some(value) = own_value {
                 if !self.ind[slot].enabled {
                     // Primary pattern detection via the IPD.
                     let owner = owner_of(slot, DetectKind::Primary);
@@ -436,7 +453,7 @@ impl L1Prefetcher for Imp {
                     let threshold = self.cfg.confidence_threshold;
                     let retired = {
                         let p = &mut self.ind[slot];
-                        if p.pending_expected.is_some() {
+                        if self.pending[slot] != NO_PENDING {
                             p.hit_cnt = p.hit_cnt.saturating_sub(1);
                             p.miss_streak += 1;
                         }
@@ -445,7 +462,7 @@ impl L1Prefetcher for Imp {
                         } else {
                             let expected =
                                 Addr::new(shift_apply(value, p.shift).wrapping_add(p.base));
-                            p.pending_expected = Some(LineAddr::containing(expected));
+                            self.pending[slot] = LineAddr::containing(expected).number();
                             if p.hit_cnt >= threshold {
                                 p.prefetching = true;
                             }
@@ -462,7 +479,7 @@ impl L1Prefetcher for Imp {
                                 self.install(det);
                             }
                         }
-                        return reqs;
+                        return;
                     }
 
                     // Multi-way detection: look for a second array driven
@@ -492,7 +509,7 @@ impl L1Prefetcher for Imp {
                         let delta = p.distance;
                         let idx_addr = self.table.lookahead_addr(slot, delta);
                         match values.read_value(idx_addr, access.size) {
-                            Some(v) => reqs.extend(self.requests_for_value(slot, v)),
+                            Some(v) => self.requests_for_value(slot, v, reqs),
                             None => {
                                 // Index line not in cache yet: prefetch it
                                 // and retry when it fills (Section 3.1's
@@ -527,16 +544,14 @@ impl L1Prefetcher for Imp {
                 self.install(det);
             }
         }
-
-        reqs
     }
 
     fn on_prefetch_fill(
         &mut self,
         request: PrefetchRequest,
         values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
-        let mut out = Vec::new();
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         match request.kind {
             PrefetchKind::Indirect { pt } => {
                 // Multi-level chaining: the filled value indexes the
@@ -547,7 +562,7 @@ impl L1Prefetcher for Imp {
                         if self.ind[l].enabled {
                             let size = Self::value_read_size(self.ind[pt].shift);
                             if let Some(v2) = values.read_value(request.addr, size) {
-                                out.extend(self.requests_for_value(l, v2));
+                                self.requests_for_value(l, v2, out);
                             }
                         }
                     }
@@ -555,27 +570,25 @@ impl L1Prefetcher for Imp {
             }
             PrefetchKind::Stream => {
                 // Retry deferred indirect prefetches whose index line
-                // just arrived.
+                // just arrived. The deferral list is short and filtered
+                // in place; the common case (no match) touches no heap.
                 let filled = request.line();
-                let ready: Vec<Deferred> = self
-                    .deferred
-                    .iter()
-                    .copied()
-                    .filter(|d| LineAddr::containing(d.index_addr) == filled)
-                    .collect();
-                self.deferred
-                    .retain(|d| LineAddr::containing(d.index_addr) != filled);
-                for d in ready {
-                    if self.ind[d.slot].enabled && self.ind[d.slot].prefetching {
-                        if let Some(v) = values.read_value(d.index_addr, d.size) {
-                            self.stats.deferred_retries += 1;
-                            out.extend(self.requests_for_value(d.slot, v));
+                let mut i = 0;
+                while i < self.deferred.len() {
+                    if LineAddr::containing(self.deferred[i].index_addr) == filled {
+                        let d = self.deferred.remove(i);
+                        if self.ind[d.slot].enabled && self.ind[d.slot].prefetching {
+                            if let Some(v) = values.read_value(d.index_addr, d.size) {
+                                self.stats.deferred_retries += 1;
+                                self.requests_for_value(d.slot, v, out);
+                            }
                         }
+                    } else {
+                        i += 1;
                     }
                 }
             }
         }
-        out
     }
 
     fn on_eviction(&mut self, line: LineAddr) {
@@ -620,7 +633,7 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             let b_addr = Addr::new(b_base + 4 * i as u64);
             let a_addr = Addr::new(a_base + 8 * v);
-            reqs.extend(imp.on_access(
+            reqs.extend(imp.on_access_collect(
                 if all_miss {
                     Access::load_miss(Pc::new(1), b_addr, 4)
                 } else {
@@ -628,7 +641,7 @@ mod tests {
                 },
                 src,
             ));
-            reqs.extend(imp.on_access(Access::load_miss(Pc::new(2), a_addr, 8), src));
+            reqs.extend(imp.on_access_collect(Access::load_miss(Pc::new(2), a_addr, 8), src));
         }
         reqs
     }
@@ -712,7 +725,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             let addr = Addr::new(0x100000 + (x % 100_000) * 8);
             src.insert(addr, 8, x);
-            reqs.extend(imp.on_access(Access::load_miss(Pc::new(9), addr, 8), &mut src));
+            reqs.extend(imp.on_access_collect(Access::load_miss(Pc::new(9), addr, 8), &mut src));
         }
         assert_eq!(imp.stats().indirect_prefetches, 0);
         assert_eq!(imp.stats().patterns_detected, 0);
@@ -729,12 +742,12 @@ mod tests {
         let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
         for (i, &v) in values.iter().enumerate() {
             let b_addr = Addr::new(b_base + 4 * i as u64);
-            imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
-            imp.on_access(
+            imp.on_access_collect(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
+            imp.on_access_collect(
                 Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * v), 8),
                 &mut src,
             );
-            imp.on_access(
+            imp.on_access_collect(
                 Access::load_miss(Pc::new(3), Addr::new(c_base + 4 * v), 4),
                 &mut src,
             );
@@ -772,15 +785,15 @@ mod tests {
         let mut chained = Vec::new();
         for (i, &c) in c_vals.iter().enumerate() {
             let mut reqs = Vec::new();
-            reqs.extend(imp.on_access(
+            reqs.extend(imp.on_access_collect(
                 Access::load_hit(Pc::new(1), Addr::new(c_base + 4 * i as u64), 4),
                 &mut src,
             ));
-            reqs.extend(imp.on_access(
+            reqs.extend(imp.on_access_collect(
                 Access::load_miss(Pc::new(2), Addr::new(b_base + 4 * c), 4),
                 &mut src,
             ));
-            reqs.extend(imp.on_access(
+            reqs.extend(imp.on_access_collect(
                 Access::load_miss(Pc::new(3), Addr::new(a_base + 8 * b_of(c)), 8),
                 &mut src,
             ));
@@ -789,7 +802,7 @@ mod tests {
                 fills.push(r);
             }
             for f in fills.drain(..) {
-                chained.extend(imp.on_prefetch_fill(f, &mut src));
+                chained.extend(imp.on_prefetch_fill_collect(f, &mut src));
             }
         }
         assert!(imp.stats().levels_detected >= 1, "second level detected");
@@ -812,19 +825,19 @@ mod tests {
         for (i, &v) in values[..32].iter().enumerate() {
             let b_addr = Addr::new(b_base + 4 * i as u64);
             let a_addr = Addr::new(a_base + 8 * v);
-            for r in imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src) {
+            for r in imp.on_access_collect(Access::load_hit(Pc::new(1), b_addr, 4), &mut src) {
                 if r.kind == PrefetchKind::Stream && r.addr.raw() >= b_base + 4 * 32 {
                     deferred_stream_req = Some(r);
                 }
             }
-            imp.on_access(Access::load_miss(Pc::new(2), a_addr, 8), &mut src);
+            imp.on_access_collect(Access::load_miss(Pc::new(2), a_addr, 8), &mut src);
         }
         let req = deferred_stream_req.expect("IMP prefetched the missing index line");
         // Now the index values "arrive": populate and signal the fill.
         for (i, &v) in values.iter().enumerate() {
             src.insert(Addr::new(b_base + 4 * i as u64), 4, v);
         }
-        let chained = imp.on_prefetch_fill(req, &mut src);
+        let chained = imp.on_prefetch_fill_collect(req, &mut src);
         assert!(
             chained
                 .iter()
@@ -845,8 +858,10 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             let b_addr = Addr::new(b_base + 4 * i as u64);
             let a_addr = Addr::new(a_base + 8 * v);
-            reqs.extend(imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src));
-            reqs.extend(imp.on_access(Access::store(Pc::new(2), a_addr, 8, true), &mut src));
+            reqs.extend(imp.on_access_collect(Access::load_hit(Pc::new(1), b_addr, 4), &mut src));
+            reqs.extend(
+                imp.on_access_collect(Access::store(Pc::new(2), a_addr, 8, true), &mut src),
+            );
         }
         let last_indirect = reqs
             .iter()
@@ -869,10 +884,10 @@ mod tests {
         for i in 0..4096u64 {
             let b_addr = Addr::new(0x10000 + 4 * i);
             src.insert(b_addr, 4, i);
-            imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
+            imp.on_access_collect(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
             // Random misses decorrelated from i.
             x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            imp.on_access(
+            imp.on_access_collect(
                 Access::load_miss(Pc::new(2), Addr::new(0x40_000_000 + (x % (1 << 22))), 8),
                 &mut src,
             );
@@ -898,8 +913,8 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             let b_addr = Addr::new(b_base + 4 * i as u64);
             let a_addr = Addr::new(a_base + 8 * v);
-            let reqs = imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
-            imp.on_access(Access::load_miss(Pc::new(2), a_addr, 8), &mut src);
+            let reqs = imp.on_access_collect(Access::load_hit(Pc::new(1), b_addr, 4), &mut src);
+            imp.on_access_collect(Access::load_miss(Pc::new(2), a_addr, 8), &mut src);
             // Feed the GP: every prefetched line gets exactly one sector
             // touched, then evicted.
             for r in reqs {
@@ -929,7 +944,7 @@ mod tests {
             for i in 0..32u64 {
                 let addr = Addr::new(0x10000 + u64::from(pc) * 0x10000 + 4 * i);
                 src.insert(addr, 4, i);
-                imp.on_access(Access::load_hit(Pc::new(pc + 1), addr, 4), &mut src);
+                imp.on_access_collect(Access::load_hit(Pc::new(pc + 1), addr, 4), &mut src);
             }
         }
         assert!(imp.enabled_patterns() <= 4);

@@ -46,9 +46,9 @@
 //! for i in 0..64u64 {
 //!     let b = Addr::new(0x1000 + 4 * i);
 //!     let a = Addr::new(0x80000 + 8 * b_of(i));
-//!     let reqs = imp.on_access(Access::load_miss(Pc::new(1), b, 4), &mut src);
+//!     let reqs = imp.on_access_collect(Access::load_miss(Pc::new(1), b, 4), &mut src);
 //!     prefetched |= !reqs.is_empty();
-//!     imp.on_access(Access::load_miss(Pc::new(2), a, 8), &mut src);
+//!     imp.on_access_collect(Access::load_miss(Pc::new(2), a, 8), &mut src);
 //! }
 //! assert!(imp.stats().patterns_detected >= 1);
 //! assert!(prefetched);

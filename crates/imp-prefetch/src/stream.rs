@@ -78,10 +78,18 @@ pub enum StreamEvent {
 #[derive(Debug)]
 pub struct StreamTable {
     entries: Vec<StreamEntry>,
+    /// `pcs[i]` mirrors `entries[i].pc`: the per-access PC lookup scans
+    /// this flat array (a couple of cache lines) instead of striding
+    /// through the full entry structs.
+    pcs: Vec<Pc>,
     capacity: usize,
     threshold: u32,
     distance_lines: u32,
     stamp: u64,
+    /// Reusable output buffer for [`StreamTable::observe`] (prefetched
+    /// lines are returned as a borrowed slice to keep the per-access
+    /// path allocation-free).
+    line_buf: Vec<LineAddr>,
 }
 
 impl StreamTable {
@@ -91,10 +99,12 @@ impl StreamTable {
     pub fn new(capacity: usize, threshold: u32, distance_lines: u32) -> Self {
         StreamTable {
             entries: Vec::with_capacity(capacity),
+            pcs: Vec::with_capacity(capacity),
             capacity,
             threshold,
             distance_lines,
             stamp: 0,
+            line_buf: Vec::new(),
         }
     }
 
@@ -117,7 +127,7 @@ impl StreamTable {
         if pc == Self::DETACHED_PC {
             return None;
         }
-        self.entries.iter().position(|e| e.pc == pc)
+        self.pcs.iter().position(|&p| p == pc)
     }
 
     /// Refreshes the LRU stamp of an entry (used to keep secondary
@@ -137,6 +147,7 @@ impl StreamTable {
         if self.entries.len() < self.capacity {
             self.entries
                 .push(StreamEntry::new(Self::DETACHED_PC, Addr::new(0), 0, stamp));
+            self.pcs.push(Self::DETACHED_PC);
             return Some(self.entries.len() - 1);
         }
         let victim = self
@@ -147,6 +158,7 @@ impl StreamTable {
             .min_by_key(|(_, e)| e.lru)
             .map(|(i, _)| i)?;
         self.entries[victim] = StreamEntry::new(Self::DETACHED_PC, Addr::new(0), 0, stamp);
+        self.pcs[victim] = Self::DETACHED_PC;
         Some(victim)
     }
 
@@ -156,17 +168,14 @@ impl StreamTable {
     }
 
     /// Observes an access; returns the entry index, what happened, and
-    /// any stream prefetches to issue. On replacement the evicted entry
-    /// index is reused (callers keep per-index side state and must reset
-    /// it when `StreamEvent::Allocated` is reported).
-    pub fn observe(
-        &mut self,
-        pc: Pc,
-        addr: Addr,
-        size: u32,
-    ) -> (usize, StreamEvent, Vec<LineAddr>) {
+    /// any stream prefetches to issue (a slice into an internal buffer
+    /// that the next `observe` call overwrites). On replacement the
+    /// evicted entry index is reused (callers keep per-index side state
+    /// and must reset it when `StreamEvent::Allocated` is reported).
+    pub fn observe(&mut self, pc: Pc, addr: Addr, size: u32) -> (usize, StreamEvent, &[LineAddr]) {
         self.stamp += 1;
         let stamp = self.stamp;
+        self.line_buf.clear();
         if let Some(i) = self.find(pc) {
             let threshold = self.threshold;
             let distance = self.distance_lines;
@@ -197,15 +206,14 @@ impl StreamTable {
                 e.frontier = None;
                 StreamEvent::Hiccup
             };
-            let prefetches = if e.established(threshold) && event == StreamEvent::Continued {
-                Self::advance_frontier(e, distance)
-            } else {
-                Vec::new()
-            };
-            (i, event, prefetches)
+            if e.established(threshold) && event == StreamEvent::Continued {
+                Self::advance_frontier(e, distance, &mut self.line_buf);
+            }
+            (i, event, &self.line_buf)
         } else {
             let idx = if self.entries.len() < self.capacity {
                 self.entries.push(StreamEntry::new(pc, addr, size, stamp));
+                self.pcs.push(pc);
                 self.entries.len() - 1
             } else {
                 let (vi, _) = self
@@ -215,9 +223,10 @@ impl StreamTable {
                     .min_by_key(|(_, e)| e.lru)
                     .expect("table not empty");
                 self.entries[vi] = StreamEntry::new(pc, addr, size, stamp);
+                self.pcs[vi] = pc;
                 vi
             };
-            (idx, StreamEvent::Allocated, Vec::new())
+            (idx, StreamEvent::Allocated, &self.line_buf)
         }
     }
 
@@ -228,14 +237,13 @@ impl StreamTable {
         e.last_addr.offset(e.stride * i64::from(elems))
     }
 
-    fn advance_frontier(e: &mut StreamEntry, distance_lines: u32) -> Vec<LineAddr> {
+    fn advance_frontier(e: &mut StreamEntry, distance_lines: u32, out: &mut Vec<LineAddr>) {
         let dir: i64 = if e.stride >= 0 { 1 } else { -1 };
         let cur = LineAddr::containing(e.last_addr);
         let target_addr = e
             .last_addr
             .offset(e.stride.signum() * (i64::from(distance_lines) * LINE_BYTES as i64));
         let target = LineAddr::containing(target_addr);
-        let mut out = Vec::new();
         let mut next = match e.frontier {
             Some(f) => f.step(dir),
             None => cur.step(dir),
@@ -248,7 +256,6 @@ impl StreamTable {
             next = next.step(dir);
             budget -= 1;
         }
-        out
     }
 }
 
@@ -280,18 +287,16 @@ impl L1Prefetcher for StreamPrefetcher {
         &mut self,
         access: Access,
         _values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let (_, _, lines) = self.table.observe(access.pc, access.addr, access.size);
         self.stats.stream_prefetches += lines.len() as u64;
-        lines
-            .into_iter()
-            .map(|l| PrefetchRequest {
-                addr: l.base(),
-                sectors: SectorMask::FULL_L1,
-                exclusive: false,
-                kind: PrefetchKind::Stream,
-            })
-            .collect()
+        out.extend(lines.iter().map(|l| PrefetchRequest {
+            addr: l.base(),
+            sectors: SectorMask::FULL_L1,
+            exclusive: false,
+            kind: PrefetchKind::Stream,
+        }));
     }
 
     fn stats(&self) -> &PrefetcherStats {
@@ -345,7 +350,8 @@ mod tests {
         let pc = Pc::new(3);
         let mut lines = Vec::new();
         for k in 0..40u64 {
-            let reqs = p.on_access(Access::load_hit(pc, Addr::new(0x4000 + 4 * k), 4), &mut v);
+            let reqs =
+                p.on_access_collect(Access::load_hit(pc, Addr::new(0x4000 + 4 * k), 4), &mut v);
             lines.extend(reqs.iter().map(|r| r.line()));
         }
         assert!(!lines.is_empty());

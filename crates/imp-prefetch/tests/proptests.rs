@@ -61,7 +61,7 @@ proptest! {
         let targets: std::collections::BTreeSet<u64> =
             (0..n).map(|i| a_base + 8 * b_of(i)).collect();
         for i in 0..n {
-            let reqs = imp.on_access(
+            let reqs = imp.on_access_collect(
                 Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
                 &mut src,
             );
@@ -74,7 +74,7 @@ proptest! {
                     );
                 }
             }
-            imp.on_access(
+            imp.on_access_collect(
                 Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
                 &mut src,
             );

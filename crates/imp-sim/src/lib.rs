@@ -33,7 +33,7 @@ mod system;
 
 pub use imp_prefetch::registry::RegistryError;
 pub use imp_vm::{validate_config as validate_tlb_config, PagePlacement, VmConfigError};
-pub use system::{BuildError, System};
+pub use system::{BuildError, RunError, System, DEFAULT_EVENT_BUDGET};
 
 #[cfg(test)]
 mod tests {

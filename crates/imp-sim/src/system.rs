@@ -12,7 +12,9 @@ use imp_cache::{AccessOutcome, Evicted, LineState, MshrAlloc, MshrFile, Sectored
 use imp_coherence::{Directory, InvTargets};
 use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode, WalkModel};
 use imp_common::stats::{CoreStats, PrefetchStats, SystemStats, TlbStats, TrafficStats};
-use imp_common::{Addr, Cycle, EventQueue, LineAddr, SectorMask, SystemConfig, LINE_BYTES};
+use imp_common::{
+    Addr, Cycle, EventQueue, FastMap, LineAddr, SectorMask, SystemConfig, LINE_BYTES,
+};
 use imp_cpu::{CoreBlock, CoreEngine, InOrderCore, MemPort, MemResult, OooCore};
 use imp_dram::{Ddr3Dram, Ddr3Timing, DramModel, FixedLatencyDram};
 use imp_mem::FunctionalMemory;
@@ -23,7 +25,7 @@ use imp_prefetch::{
 };
 use imp_trace::{BarrierMismatch, OpKind, Program};
 use imp_vm::{PagePlacement, PrefetchTranslation, Vm, VmConfigError, WalkMemory, PTE_BYTES};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Why [`System::try_new`] rejected its inputs.
@@ -61,6 +63,49 @@ impl fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// Why [`System::try_run`] stopped before the program finished.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The event budget (default [`DEFAULT_EVENT_BUDGET`], see
+    /// [`System::set_event_budget`]) was exhausted before every core
+    /// retired. Carries the statistics collected so far, so a sweep can
+    /// record the partial cell instead of aborting the process.
+    EventBudgetExceeded {
+        /// Events processed (= the budget that was exceeded).
+        events: u64,
+        /// Statistics at the moment the budget ran out.
+        stats: Box<SystemStats>,
+    },
+    /// The event queue drained with unfinished cores: the program
+    /// deadlocked (e.g. a core waiting on a barrier no one else reaches).
+    Deadlock {
+        /// Cores that had not finished.
+        unfinished: usize,
+        /// Total cores.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::EventBudgetExceeded { events, .. } => {
+                write!(f, "simulation exceeded event budget ({events} events)")
+            }
+            RunError::Deadlock { unfinished, cores } => write!(
+                f,
+                "event queue drained with {unfinished} of {cores} cores unfinished (deadlock)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Default [`System::try_run`] event budget: generous enough that every
+/// legitimate workload finishes, small enough to catch runaway cells.
+pub const DEFAULT_EVENT_BUDGET: u64 = 20_000_000_000;
 
 impl From<RegistryError> for BuildError {
     fn from(e: RegistryError) -> Self {
@@ -161,14 +206,19 @@ struct Fabric {
     pstats: Vec<PrefetchStats>,
     l2: Vec<SectoredCache>,
     dir: Vec<Directory>,
-    txns: Vec<HashMap<LineAddr, Txn>>,
-    queued: Vec<HashMap<LineAddr, VecDeque<Msg>>>,
+    txns: Vec<FastMap<LineAddr, Txn>>,
+    queued: Vec<FastMap<LineAddr, VecDeque<Msg>>>,
     mesh: Mesh,
     drams: Vec<Box<dyn DramModel>>,
     mc_tiles: Vec<u32>,
     mem: FunctionalMemory,
     traffic: TrafficStats,
     completions: Vec<(u32, u64, Cycle)>,
+    /// Reusable [`PrefetchRequest`] buffers for prefetcher callbacks
+    /// (a pool, because fill hooks can recurse through
+    /// [`Fabric::issue_prefetch`]). Keeps the per-access path
+    /// allocation-free.
+    req_bufs: Vec<Vec<PrefetchRequest>>,
     next_token: u64,
     /// Per-core dTLBs over a shared page table/walker; `None` under the
     /// default ideal translation (and in the Ideal/PerfectPrefetch
@@ -180,7 +230,7 @@ struct Fabric {
     // PerfectPrefetch state.
     shadow: Vec<SectoredCache>,
     pp_outstanding: Vec<VecDeque<u64>>,
-    pp_issue: HashMap<u64, Cycle>,
+    pp_issue: FastMap<u64, Cycle>,
     pp_blocked: Vec<Option<(u64, u64)>>,
     pp_next_id: u64,
 }
@@ -188,6 +238,15 @@ struct Fabric {
 impl Fabric {
     fn home_of(&self, line: LineAddr) -> u32 {
         (line.number() % u64::from(self.cfg.cores)) as u32
+    }
+
+    fn take_req_buf(&mut self) -> Vec<PrefetchRequest> {
+        self.req_bufs.pop().unwrap_or_default()
+    }
+
+    fn put_req_buf(&mut self, mut buf: Vec<PrefetchRequest>) {
+        buf.clear();
+        self.req_bufs.push(buf);
     }
 
     fn send(&mut self, msg: Msg, at: Cycle) {
@@ -295,16 +354,18 @@ impl Fabric {
     // ------------------------------------------------------------------
 
     fn observe_and_prefetch(&mut self, c: usize, access: Access, now: Cycle) {
-        let reqs = {
+        let mut reqs = self.take_req_buf();
+        {
             let mut src = L1Values {
                 l1: &self.l1[c],
                 mem: &self.mem,
             };
-            self.pref[c].on_access(access, &mut src)
-        };
-        for r in reqs {
+            self.pref[c].on_access(access, &mut src, &mut reqs);
+        }
+        for r in reqs.drain(..) {
             self.issue_prefetch(c, r, now, 0);
         }
+        self.put_req_buf(reqs);
     }
 
     fn issue_prefetch(&mut self, c: usize, req: PrefetchRequest, now: Cycle, depth: u32) {
@@ -332,16 +393,18 @@ impl Fabric {
             if l.valid.contains(sectors) {
                 // Already resident: run the fill hook so multi-level
                 // chains continue.
-                let chained = {
+                let mut chained = self.take_req_buf();
+                {
                     let mut src = L1Values {
                         l1: &self.l1[c],
                         mem: &self.mem,
                     };
-                    self.pref[c].on_prefetch_fill(req, &mut src)
-                };
-                for r in chained {
+                    self.pref[c].on_prefetch_fill(req, &mut src, &mut chained);
+                }
+                for r in chained.drain(..) {
                     self.issue_prefetch(c, r, now, depth + 1);
                 }
+                self.put_req_buf(chained);
                 return;
             }
         }
@@ -530,7 +593,7 @@ impl Fabric {
 
     fn l1_data(&mut self, msg: Msg, now: Cycle) {
         let c = msg.dst as usize;
-        let Some(entry) = self.mshr[c].complete(msg.line) else {
+        let Some(mut entry) = self.mshr[c].complete(msg.line) else {
             return;
         };
         let state = if msg.exclusive {
@@ -543,8 +606,8 @@ impl Fabric {
             self.l1_evicted(c, ev, now);
         }
         let at = now + self.cfg.mem.l1d.latency;
-        let mut chained: Vec<PrefetchRequest> = Vec::new();
-        for w in entry.waiters {
+        let mut chained = self.take_req_buf();
+        for w in entry.waiters.drain(..) {
             match w {
                 Waiter::Demand {
                     token,
@@ -566,7 +629,7 @@ impl Fabric {
                         l1: &self.l1[c],
                         mem: &self.mem,
                     };
-                    chained.extend(self.pref[c].on_prefetch_fill(req, &mut src));
+                    self.pref[c].on_prefetch_fill(req, &mut src, &mut chained);
                 }
                 Waiter::SwPrefetch => {}
                 Waiter::PerfPref { id } => {
@@ -583,9 +646,11 @@ impl Fabric {
                 }
             }
         }
-        for r in chained {
+        for r in chained.drain(..) {
             self.issue_prefetch(c, r, now, 1);
         }
+        self.put_req_buf(chained);
+        self.mshr[c].recycle_waiters(entry.waiters);
     }
 
     fn l1_evicted(&mut self, c: usize, ev: Evicted, now: Cycle) {
@@ -1188,6 +1253,8 @@ pub struct System {
     state: Vec<CoreRun>,
     barrier_waiting: Vec<u32>,
     done_count: usize,
+    event_budget: u64,
+    events: u64,
     fab: Fabric,
 }
 
@@ -1267,12 +1334,14 @@ impl System {
 
         let cores: Vec<Box<dyn CoreEngine>> = (0..n)
             .map(|c| -> Box<dyn CoreEngine> {
-                let ops = program.stream(c); // shared, not copied
+                let lanes = program.lanes(c); // shared, not copied
                 match cfg.core_model {
-                    CoreModel::InOrder => Box::new(InOrderCore::new(c as u32, ops)),
-                    CoreModel::OutOfOrder => {
-                        Box::new(OooCore::new(c as u32, ops, cfg.rob_entries as usize))
-                    }
+                    CoreModel::InOrder => Box::new(InOrderCore::from_lanes(c as u32, lanes)),
+                    CoreModel::OutOfOrder => Box::new(OooCore::from_lanes(
+                        c as u32,
+                        lanes,
+                        cfg.rob_entries as usize,
+                    )),
                 }
             })
             .collect();
@@ -1353,20 +1422,21 @@ impl System {
             dir: (0..n)
                 .map(|_| Directory::new(cfg.mem.ackwise_k as usize, cfg.cores))
                 .collect(),
-            txns: (0..n).map(|_| HashMap::new()).collect(),
-            queued: (0..n).map(|_| HashMap::new()).collect(),
+            txns: (0..n).map(|_| FastMap::default()).collect(),
+            queued: (0..n).map(|_| FastMap::default()).collect(),
             mesh: Mesh::new(side, cfg.mem.hop_latency, cfg.mem.flit_bytes),
             drams,
             mc_tiles: mc_tiles(side, cfg.mem.mem_controllers),
             mem,
             traffic: TrafficStats::default(),
             completions: Vec::new(),
+            req_bufs: Vec::new(),
             next_token: 0,
             shadow: (0..n)
                 .map(|_| SectoredCache::new(cfg.mem.l1d.size_bytes, cfg.mem.l1d.associativity, 1))
                 .collect(),
             pp_outstanding: (0..n).map(|_| VecDeque::new()).collect(),
-            pp_issue: HashMap::new(),
+            pp_issue: FastMap::default(),
             pp_blocked: vec![None; n],
             pp_next_id: 0,
             vm,
@@ -1377,30 +1447,77 @@ impl System {
             state: vec![CoreRun::Ready; n],
             barrier_waiting: Vec::new(),
             done_count: 0,
+            event_budget: DEFAULT_EVENT_BUDGET,
+            events: 0,
             fab,
         })
     }
 
+    /// Caps the number of events [`System::try_run`] will process before
+    /// giving up with [`RunError::EventBudgetExceeded`]. Defaults to
+    /// [`DEFAULT_EVENT_BUDGET`]. A timing knob only — it never changes
+    /// the statistics of a run that finishes within budget.
+    pub fn set_event_budget(&mut self, events: u64) {
+        self.event_budget = events;
+    }
+
     /// Runs the program to completion and returns the collected
     /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions [`System::try_run`] reports as a
+    /// [`RunError`]: a deadlocked program or an exhausted event budget.
     pub fn run(&mut self) -> SystemStats {
+        match self.try_run() {
+            Ok(stats) => stats,
+            Err(RunError::EventBudgetExceeded { .. }) => {
+                panic!("simulation exceeded event budget")
+            }
+            Err(RunError::Deadlock { unfinished, cores }) => panic!(
+                "event queue drained with {unfinished} of {cores} cores unfinished (deadlock)"
+            ),
+        }
+    }
+
+    /// Runs the program to completion and returns the collected
+    /// statistics, reporting runaway or deadlocked programs as typed
+    /// errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::EventBudgetExceeded`] (with the partial statistics
+    /// attached) when the configured event budget runs out;
+    /// [`RunError::Deadlock`] when the event queue drains with
+    /// unfinished cores.
+    pub fn try_run(&mut self) -> Result<SystemStats, RunError> {
         let n = self.cores.len();
         for c in 0..n {
             self.fab.queue.push(0, Event::CoreWake(c as u32));
         }
         let mut guard: u64 = 0;
-        let guard_limit = 20_000_000_000;
         while self.done_count < n {
             let Some((t, ev)) = self.fab.queue.pop() else {
-                panic!(
-                    "event queue drained with {} of {} cores unfinished (deadlock)",
-                    n - self.done_count,
-                    n
-                );
+                self.events = guard;
+                return Err(RunError::Deadlock {
+                    unfinished: n - self.done_count,
+                    cores: n,
+                });
             };
             guard += 1;
-            assert!(guard < guard_limit, "simulation exceeded event budget");
+            if guard >= self.event_budget {
+                self.events = guard;
+                return Err(RunError::EventBudgetExceeded {
+                    events: guard,
+                    stats: Box::new(self.collect_stats()),
+                });
+            }
             match ev {
+                // Stall fast-forward: wakes scheduled for a core that has
+                // since blocked (on memory, a barrier, or retirement) are
+                // stale — skip them without dispatching into the core,
+                // jumping the clock straight to the next live event.
+                Event::CoreWake(c) if self.state[c as usize] != CoreRun::Ready => {}
                 Event::CoreWake(c) => self.drive_core(c, t),
                 Event::Deliver(m) => {
                     self.fab.handle_msg(m, t);
@@ -1408,6 +1525,7 @@ impl System {
                 }
             }
         }
+        self.events = guard;
         // Drain in-flight protocol traffic so traffic statistics include
         // transactions that were still moving when the last core retired.
         while let Some((t, ev)) = self.fab.queue.pop() {
@@ -1416,7 +1534,14 @@ impl System {
                 self.fab.completions.clear();
             }
         }
-        self.collect_stats()
+        Ok(self.collect_stats())
+    }
+
+    /// Events processed by the most recent [`System::try_run`] /
+    /// [`System::run`] — a cost diagnostic (each event is one pop of the
+    /// global queue), not part of the simulated statistics.
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     fn drive_core(&mut self, c: u32, now: Cycle) {

@@ -1,8 +1,7 @@
 //! A sparse radix page table and the walker that charges its traversal
 //! cost.
 
-use imp_common::{Addr, Cycle};
-use std::collections::HashMap;
+use imp_common::{Addr, Cycle, FastMap};
 
 /// Bits of a virtual address (matches `imp_prefetch::cost::ADDRESS_BITS`:
 /// the paper sizes its tables for a 48-bit space).
@@ -37,13 +36,13 @@ pub const MAX_LEVELS: usize = 5;
 #[derive(Clone, Debug, Default)]
 struct Node {
     id: u64,
-    tables: HashMap<u32, Node>,
-    leaves: HashMap<u32, u64>,
+    tables: FastMap<u32, Node>,
+    leaves: FastMap<u32, u64>,
     /// Huge-page leaves: a slot one level above the base leaves maps a
     /// whole 512-base-page range at once (the x86 PDE-as-2MB-leaf
     /// shape). Kept separate from `tables` so a huge mapping can never
     /// be confused with an interior pointer.
-    huge_leaves: HashMap<u32, u64>,
+    huge_leaves: FastMap<u32, u64>,
 }
 
 /// A radix page table mapping virtual page numbers to physical page

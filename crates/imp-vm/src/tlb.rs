@@ -53,7 +53,12 @@ const INVALID: Entry = Entry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Tlb {
-    sets: Vec<Vec<Entry>>,
+    /// Flat set-stride entry array: set `s`, way `w` lives at
+    /// `s * ways + w`. Way order within a set is stable (entries never
+    /// move), so LRU tie-breaks match the old per-set `Vec` layout.
+    entries: Vec<Entry>,
+    num_sets: usize,
+    ways: usize,
     page_shift: u32,
     next_stamp: u64,
     stats: TlbStats,
@@ -75,7 +80,9 @@ impl Tlb {
             "page size must be a power of two"
         );
         Tlb {
-            sets: (0..sets).map(|_| vec![INVALID; ways as usize]).collect(),
+            entries: vec![INVALID; sets as usize * ways as usize],
+            num_sets: sets as usize,
+            ways: ways as usize,
             page_shift: page_bytes.trailing_zeros(),
             next_stamp: 1,
             stats: TlbStats::default(),
@@ -92,8 +99,24 @@ impl Tlb {
         vaddr.raw() >> self.page_shift
     }
 
-    fn set_of(&self, vpn: u64) -> usize {
-        (vpn % self.sets.len() as u64) as usize
+    /// Start of `vpn`'s set in the flat entry array.
+    #[inline]
+    fn set_base(&self, vpn: u64) -> usize {
+        (vpn % self.num_sets as u64) as usize * self.ways
+    }
+
+    /// The ways of `vpn`'s set, in way order.
+    #[inline]
+    fn set_slice(&self, vpn: u64) -> &[Entry] {
+        let base = self.set_base(vpn);
+        &self.entries[base..base + self.ways]
+    }
+
+    /// Mutable view of the ways of `vpn`'s set, in way order.
+    #[inline]
+    fn set_slice_mut(&mut self, vpn: u64) -> &mut [Entry] {
+        let base = self.set_base(vpn);
+        &mut self.entries[base..base + self.ways]
     }
 
     /// Looks `vaddr` up at the default page size, updating LRU order
@@ -134,12 +157,12 @@ impl Tlb {
     }
 
     /// Tag-matches and refreshes LRU without touching any counter.
+    #[inline]
     fn probe_update(&mut self, vaddr: Addr, shift: u32) -> Option<Addr> {
         let vpn = vaddr.raw() >> shift;
-        let set = self.set_of(vpn);
         let stamp = self.next_stamp;
         let mut ppn = None;
-        for e in &mut self.sets[set] {
+        for e in self.set_slice_mut(vpn) {
             if e.valid && e.vpn == vpn && e.shift == shift {
                 e.stamp = stamp;
                 ppn = Some(e.ppn);
@@ -161,8 +184,7 @@ impl Tlb {
     /// [`Tlb::contains`] at an explicit page shift.
     pub fn contains_sized(&self, vaddr: Addr, shift: u32) -> bool {
         let vpn = vaddr.raw() >> shift;
-        let set = self.set_of(vpn);
-        self.sets[set]
+        self.set_slice(vpn)
             .iter()
             .any(|e| e.valid && e.vpn == vpn && e.shift == shift)
     }
@@ -177,11 +199,12 @@ impl Tlb {
     /// [`Tlb::fill`] at an explicit page shift.
     pub fn fill_sized(&mut self, vaddr: Addr, ppn: u64, shift: u32) -> Option<u64> {
         let vpn = vaddr.raw() >> shift;
-        let set = self.set_of(vpn);
         let stamp = self.next_stamp;
         self.next_stamp += 1;
+        let base = self.set_base(vpn);
+        let set = &mut self.entries[base..base + self.ways];
         // Refill of a resident page just refreshes it.
-        if let Some(e) = self.sets[set]
+        if let Some(e) = set
             .iter_mut()
             .find(|e| e.valid && e.vpn == vpn && e.shift == shift)
         {
@@ -189,17 +212,19 @@ impl Tlb {
             e.stamp = stamp;
             return None;
         }
-        let victim = self.sets[set]
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
+        let (way, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.stamp } else { 0 })
             .expect("ways > 0");
+        let victim = &self.entries[base + way];
         let evicted = victim.valid.then_some(victim.vpn);
         if evicted.is_some() {
             self.stats.evictions += 1;
         } else {
             self.stats.cold_fills += 1;
         }
-        *victim = Entry {
+        self.entries[base + way] = Entry {
             vpn,
             ppn,
             shift,
@@ -212,14 +237,18 @@ impl Tlb {
     /// Resident VPNs of one set, most recently used first (diagnostics
     /// and LRU-order tests).
     pub fn set_contents(&self, set: usize) -> Vec<u64> {
-        let mut entries: Vec<&Entry> = self.sets[set].iter().filter(|e| e.valid).collect();
+        let base = set * self.ways;
+        let mut entries: Vec<&Entry> = self.entries[base..base + self.ways]
+            .iter()
+            .filter(|e| e.valid)
+            .collect();
         entries.sort_by_key(|e| std::cmp::Reverse(e.stamp));
         entries.iter().map(|e| e.vpn).collect()
     }
 
     /// Number of sets.
     pub fn sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// The counters accumulated so far.

@@ -28,22 +28,21 @@ impl L1Prefetcher for NextLines {
         &mut self,
         access: Access,
         _values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         if !access.miss {
-            return Vec::new();
+            return;
         }
         let line = LineAddr::containing(access.addr);
-        (1..=self.degree)
-            .map(|d| {
-                self.stats.stream_prefetches += 1;
-                PrefetchRequest {
-                    addr: LineAddr::from_line_number(line.number() + d).base(),
-                    sectors: SectorMask::FULL_L1,
-                    exclusive: false,
-                    kind: PrefetchKind::Stream,
-                }
-            })
-            .collect()
+        for d in 1..=self.degree {
+            self.stats.stream_prefetches += 1;
+            out.push(PrefetchRequest {
+                addr: LineAddr::from_line_number(line.number() + d).base(),
+                sectors: SectorMask::FULL_L1,
+                exclusive: false,
+                kind: PrefetchKind::Stream,
+            });
+        }
     }
 
     fn stats(&self) -> &PrefetcherStats {

@@ -44,14 +44,16 @@ fn main() {
     for i in 0..40u64 {
         let mut emitted = Vec::new();
         // The loop body: load B[i] (stream), then load A[B[i]] (indirect miss).
-        emitted.extend(pf.on_access(
+        pf.on_access(
             Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
             &mut values,
-        ));
-        emitted.extend(pf.on_access(
+            &mut emitted,
+        );
+        pf.on_access(
             Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
             &mut values,
-        ));
+            &mut emitted,
+        );
         let rendered: Vec<String> = emitted
             .iter()
             .map(|r| match r.kind {
@@ -73,11 +75,11 @@ fn main() {
     // a directly constructed `Imp` (same config, same seed).
     let mut imp = Imp::new(imp_cfg.clone(), false, 7);
     for i in 0..40u64 {
-        imp.on_access(
+        imp.on_access_collect(
             Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
             &mut values,
         );
-        imp.on_access(
+        imp.on_access_collect(
             Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
             &mut values,
         );

@@ -23,19 +23,20 @@ impl L1Prefetcher for NextLine {
         &mut self,
         access: Access,
         _values: &mut dyn IndexValueSource,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         if !access.miss {
-            return Vec::new();
+            return;
         }
         self.stats.stream_prefetches += 1;
         self.issued.fetch_add(1, Ordering::Relaxed);
         let next = LineAddr::containing(access.addr).number() + 1;
-        vec![PrefetchRequest {
+        out.push(PrefetchRequest {
             addr: LineAddr::from_line_number(next).base(),
             sectors: SectorMask::FULL_L1,
             exclusive: false,
             kind: PrefetchKind::Stream,
-        }]
+        });
     }
 
     fn stats(&self) -> &PrefetcherStats {
