@@ -19,15 +19,51 @@ use imp_workloads::{by_name, Scale, WorkloadParams};
 /// snapshot into `IMP_BENCH_DIR` (default: the current directory) and
 /// returns the path. Benches call this after printing their
 /// human-readable rows so CI can archive the numbers; a failed write
-/// warns instead of failing the bench.
+/// warns instead of failing the bench. The JSON carries a
+/// `"provenance"` object (git SHA, rustc version, host core count) so
+/// archived snapshots stay comparable across machines and revisions.
 pub fn emit_snapshot(name: &str, table: &imp_experiments::Table) -> std::path::PathBuf {
     let dir = std::env::var_os("IMP_BENCH_DIR")
         .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
     let path = dir.join(format!("BENCH_{name}.json"));
-    if let Err(e) = std::fs::write(&path, table.to_json()) {
+    let mut json = table.to_json();
+    debug_assert!(json.ends_with('}'));
+    json.pop();
+    json.push_str(&format!(",\"provenance\":{}}}", provenance_json()));
+    if let Err(e) = std::fs::write(&path, json) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
     path
+}
+
+/// One line of trimmed stdout from `cmd args...`, or `None` if the
+/// command is missing or failed.
+fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().next()?.trim();
+    (!line.is_empty()).then(|| line.to_string())
+}
+
+/// The `"provenance"` object embedded in every snapshot: where and
+/// from what the numbers came. Every field degrades to `"unknown"`
+/// rather than failing the bench (e.g. outside a git checkout).
+fn provenance_json() -> String {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let unknown = || "unknown".to_string();
+    let sha = command_line("git", &["rev-parse", "HEAD"]).unwrap_or_else(unknown);
+    let rustc = command_line("rustc", &["-V"]).unwrap_or_else(unknown);
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    format!(
+        "{{\"git_sha\":\"{}\",\"rustc\":\"{}\",\"host_cores\":{cores}}}",
+        escape(&sha),
+        escape(&rustc)
+    )
 }
 
 /// Core counts for multi-panel figures, from `IMP_BENCH_CORES` or the
@@ -53,4 +89,31 @@ pub fn criterion_probe(c: &mut Criterion, name: &str, app: &'static str, config:
         })
     });
     group.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_embeds_provenance() {
+        let dir = std::env::temp_dir().join(format!("imp-bench-prov-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("IMP_BENCH_DIR", &dir);
+        let mut table = imp_experiments::Table::new("prov".into(), vec!["runtime"]);
+        table.row("x", vec![1.0]);
+        let path = emit_snapshot("prov_test", &table);
+        std::env::remove_var("IMP_BENCH_DIR");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"provenance\""), "{json}");
+        for key in ["\"git_sha\":", "\"rustc\":", "\"host_cores\":"] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        assert!(
+            !json.contains("\"host_cores\":0"),
+            "parallelism resolves on this host: {json}"
+        );
+        assert!(json.ends_with("}}"), "table object stays closed: {json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -63,6 +63,26 @@ pub enum InvTargets {
     Broadcast,
 }
 
+impl InvTargets {
+    /// Number of invalidation messages these targets imply in a system
+    /// of `cores` cores with `requester_excluded` recipients already
+    /// removed (1 for a precise request, 0 for a recall with no
+    /// requester). Precise counts are exact; a broadcast invalidates
+    /// everyone but the excluded recipients.
+    pub fn count(&self, cores: u32, requester_excluded: u32) -> u32 {
+        match self {
+            InvTargets::None => 0,
+            InvTargets::Precise(t) => t.len() as u32,
+            InvTargets::Broadcast => cores.saturating_sub(requester_excluded),
+        }
+    }
+
+    /// True for the ACKwise-overflow broadcast case.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, InvTargets::Broadcast)
+    }
+}
+
 /// A directory slice: per-line ACKwise state for the lines homed here.
 #[derive(Debug)]
 pub struct Directory {
@@ -213,6 +233,20 @@ mod tests {
 
     fn line(n: u64) -> LineAddr {
         LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn inv_targets_count_covers_all_shapes() {
+        assert_eq!(InvTargets::None.count(16, 1), 0);
+        assert_eq!(InvTargets::Precise(vec![2, 5, 9]).count(16, 1), 3);
+        assert_eq!(InvTargets::Broadcast.count(16, 1), 15);
+        assert_eq!(
+            InvTargets::Broadcast.count(16, 0),
+            16,
+            "recall, no requester"
+        );
+        assert!(InvTargets::Broadcast.is_broadcast());
+        assert!(!InvTargets::Precise(vec![1]).is_broadcast());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use crate::{CoreBlock, CoreEngine, MemPort, MemResult, EPISODE_BUDGET};
 use imp_common::stats::{AccessClass, CoreStats};
-use imp_common::Cycle;
+use imp_common::{Addr, Cycle, LineAddr, Pc};
+use imp_obs::CoreProbe;
 use imp_trace::{Op, OpKind, OpLanes};
 use std::sync::Arc;
 
@@ -12,6 +13,8 @@ use std::sync::Arc;
 struct PendingMem {
     class: AccessClass,
     issued: Cycle,
+    pc: Pc,
+    line: LineAddr,
 }
 
 /// In-order, single-issue core.
@@ -22,6 +25,7 @@ pub struct InOrderCore {
     idx: usize,
     pending: Option<PendingMem>,
     stats: CoreStats,
+    probe: CoreProbe,
 }
 
 impl InOrderCore {
@@ -43,6 +47,7 @@ impl InOrderCore {
             idx: 0,
             pending: None,
             stats: CoreStats::default(),
+            probe: CoreProbe::disabled(),
         }
     }
 
@@ -113,6 +118,8 @@ impl CoreEngine for InOrderCore {
                             self.pending = Some(PendingMem {
                                 class: op.class,
                                 issued: t,
+                                pc: op.pc,
+                                line: LineAddr::containing(Addr::new(op.addr)),
                             });
                             self.idx += 1;
                             return CoreBlock::OnMemory;
@@ -131,6 +138,7 @@ impl CoreEngine for InOrderCore {
         self.stats.mem_latency_count += 1;
         // The stall is the latency beyond the 1-cycle hit cost.
         self.stats.stall_cycles[p.class.index()] += latency.saturating_sub(1);
+        self.probe.demand_complete(p.pc, p.line, p.issued, at);
     }
 
     fn stats(&self) -> &CoreStats {
@@ -139,6 +147,10 @@ impl CoreEngine for InOrderCore {
 
     fn finish(&mut self, at: Cycle) {
         self.stats.done_cycle = self.stats.done_cycle.max(at);
+    }
+
+    fn attach_probe(&mut self, probe: CoreProbe) {
+        self.probe = probe;
     }
 }
 

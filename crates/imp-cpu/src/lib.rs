@@ -141,6 +141,14 @@ pub trait CoreEngine {
 
     /// Finalizes statistics at program completion time.
     fn finish(&mut self, at: Cycle);
+
+    /// Attaches an observation probe; the engine records its demand-miss
+    /// completions (issue/fill/PC/line) through it. The default keeps
+    /// engines that don't observe — including downstream plugin
+    /// implementations — source-compatible.
+    fn attach_probe(&mut self, probe: imp_obs::CoreProbe) {
+        let _ = probe;
+    }
 }
 
 /// Maximum cycles a core advances inside one episode before yielding to

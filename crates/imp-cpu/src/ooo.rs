@@ -5,7 +5,8 @@
 
 use crate::{CoreBlock, CoreEngine, MemPort, MemResult, EPISODE_BUDGET};
 use imp_common::stats::{AccessClass, CoreStats};
-use imp_common::Cycle;
+use imp_common::{Addr, Cycle, LineAddr, Pc};
+use imp_obs::CoreProbe;
 use imp_trace::{Op, OpKind, OpLanes};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -34,9 +35,10 @@ pub struct OooCore {
     /// Sequence numbers of the most recent loads, newest last.
     recent_loads: VecDeque<u64>,
     next_load_seq: u64,
-    /// Outstanding memory tokens -> load sequence number.
-    tokens: HashMap<u64, u64>,
+    /// Outstanding memory tokens -> (load sequence number, PC, line).
+    tokens: HashMap<u64, (u64, Pc, LineAddr)>,
     stats: CoreStats,
+    probe: CoreProbe,
 }
 
 const RECENT_LOAD_WINDOW: usize = 8;
@@ -64,6 +66,7 @@ impl OooCore {
             next_load_seq: 0,
             tokens: HashMap::new(),
             stats: CoreStats::default(),
+            probe: CoreProbe::disabled(),
         }
     }
 
@@ -224,7 +227,10 @@ impl CoreEngine for OooCore {
                                 class: op.class,
                                 issued: dispatch,
                             });
-                            self.tokens.insert(token, seq);
+                            self.tokens.insert(
+                                token,
+                                (seq, op.pc, LineAddr::containing(Addr::new(op.addr))),
+                            );
                             if op.kind == OpKind::Load {
                                 self.note_load(seq, None);
                             }
@@ -239,7 +245,7 @@ impl CoreEngine for OooCore {
     }
 
     fn mem_complete(&mut self, token: u64, at: Cycle) {
-        let Some(seq) = self.tokens.remove(&token) else {
+        let Some((seq, pc, line)) = self.tokens.remove(&token) else {
             return;
         };
         for slot in &mut self.rob {
@@ -249,6 +255,7 @@ impl CoreEngine for OooCore {
                 self.stats.mem_latency_sum += latency;
                 self.stats.mem_latency_count += 1;
                 self.stats.stall_cycles[slot.class.index()] += latency.saturating_sub(1);
+                self.probe.demand_complete(pc, line, slot.issued, at);
             }
         }
         if let Some(c) = self.load_complete.get_mut(&seq) {
@@ -262,6 +269,10 @@ impl CoreEngine for OooCore {
 
     fn finish(&mut self, at: Cycle) {
         self.stats.done_cycle = self.stats.done_cycle.max(at);
+    }
+
+    fn attach_probe(&mut self, probe: CoreProbe) {
+        self.probe = probe;
     }
 }
 

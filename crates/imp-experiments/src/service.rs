@@ -28,7 +28,8 @@ use crate::sim::Sim;
 use crate::sweep::Sweep;
 use crate::table::Table;
 use imp_common::config::PartialMode;
-use imp_store::{digest_hex, ResultStore};
+use imp_obs::ObsConfig;
+use imp_store::{digest_hex, ResultStore, StoreCounters};
 use imp_workloads::Scale;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -59,6 +60,11 @@ pub struct SweepRequest {
     pub seed: u64,
     /// `threads = 4` — worker cap (default: available parallelism).
     pub threads: Option<usize>,
+    /// `observe = on` — attach the metrics probe to every freshly
+    /// simulated cell and add its summary columns to the manifest
+    /// (default off). Cached cells keep `null` there: the store serves
+    /// stats, not observations, and observing never re-simulates.
+    pub observe: bool,
 }
 
 /// Why a request file could not be parsed or served.
@@ -112,6 +118,9 @@ pub struct ServedRequest {
     pub simulated: usize,
     /// Cells that failed.
     pub failed: usize,
+    /// This request's traffic against the store (counter delta across
+    /// the run), absent if the request failed before running.
+    pub store: Option<StoreCounters>,
     /// Why the request as a whole failed, if it did.
     pub error: Option<String>,
 }
@@ -122,7 +131,7 @@ impl SweepRequest {
     /// comma-separated. Keys: `workloads` (required), `cores`,
     /// `prefetchers`, `partials` (`off` / `noc` / `noc+dram`),
     /// `page_sizes`, `tlb_ways`, `scale` (`tiny` / `small` / `large`),
-    /// `seed`, `threads`.
+    /// `seed`, `threads`, `observe` (`on` / `off`).
     ///
     /// # Errors
     ///
@@ -141,6 +150,7 @@ impl SweepRequest {
             scale: Scale::Tiny,
             seed: 42,
             threads: None,
+            observe: false,
         };
         let fail = |line: usize, message: String| RequestError::Parse {
             name: name.to_string(),
@@ -170,6 +180,18 @@ impl SweepRequest {
                 "tlb_ways" => req.tlb_ways = numbers(value).map_err(|m| fail(line, m))?,
                 "seed" => req.seed = one_number(value).map_err(|m| fail(line, m))?,
                 "threads" => req.threads = Some(one_number(value).map_err(|m| fail(line, m))?),
+                "observe" => {
+                    req.observe = match value {
+                        "on" | "true" => true,
+                        "off" | "false" => false,
+                        other => {
+                            return Err(fail(
+                                line,
+                                format!("unknown observe value `{other}` (on / off)"),
+                            ))
+                        }
+                    };
+                }
                 "partials" => {
                     req.partials = list(value)
                         .map(|p| match p {
@@ -236,6 +258,9 @@ impl SweepRequest {
         if let Some(n) = self.threads {
             sweep = sweep.threads(n);
         }
+        if self.observe {
+            sweep = sweep.observe(ObsConfig::metrics());
+        }
         sweep
     }
 
@@ -245,6 +270,10 @@ impl SweepRequest {
     /// `hit`, `sim`, or `fail`, and columns for the runtime and the
     /// hit/simulated/failed flags. Failed cells keep their row (runtime
     /// 0) so the manifest always has exactly one row per grid cell.
+    /// With `observe = on` the table grows summary columns
+    /// (`demand_p50`/`demand_p99`/`pf_used`/`pf_late`/`pf_unused`)
+    /// filled on freshly simulated cells and `null` on cached or
+    /// failed ones.
     ///
     /// # Errors
     ///
@@ -255,10 +284,17 @@ impl SweepRequest {
         &self,
         store: &ResultStore,
     ) -> Result<(Table, crate::sweep::SweepReport), String> {
-        let mut table = Table::new(
-            self.name.clone(),
-            vec!["runtime", "cached", "simulated", "failed"],
-        );
+        let mut headers = vec!["runtime", "cached", "simulated", "failed"];
+        if self.observe {
+            headers.extend([
+                "demand_p50",
+                "demand_p99",
+                "pf_used",
+                "pf_late",
+                "pf_unused",
+            ]);
+        }
+        let mut table = Table::new(self.name.clone(), headers);
         let report = self
             .to_sweep()
             .run_with(store, |outcome| {
@@ -285,7 +321,22 @@ impl SweepRequest {
                 let hit = f64::from(u8::from(outcome.cached));
                 let sim = f64::from(u8::from(ok && !outcome.cached));
                 let fail = f64::from(u8::from(!ok));
-                table.row(&label, vec![runtime, hit, sim, fail]);
+                let mut values = vec![runtime, hit, sim, fail];
+                if self.observe {
+                    // Cached and failed cells carry no observation; NaN
+                    // exports as JSON `null` / an empty CSV field.
+                    let obs = outcome.result.as_ref().ok().and_then(|r| r.obs.as_ref());
+                    let quantile = |q: Option<u64>| q.map_or(f64::NAN, |v| v as f64);
+                    let count = |c: Option<u64>| c.map_or(f64::NAN, |v| v as f64);
+                    values.extend([
+                        quantile(obs.and_then(|o| o.demand_p50)),
+                        quantile(obs.and_then(|o| o.demand_p99)),
+                        count(obs.map(|o| o.ledger.used)),
+                        count(obs.map(|o| o.ledger.late)),
+                        count(obs.map(|o| o.ledger.evicted_unused)),
+                    ]);
+                }
+                table.row(&label, values);
             })
             .map_err(|e| e.to_string())?;
         Ok((table, report))
@@ -337,6 +388,19 @@ pub fn serve_dir(dir: &Path, store: &ResultStore) -> Result<Vec<ServedRequest>, 
     Ok(served)
 }
 
+/// The manifest JSON: the table object extended with a `"store"` key
+/// holding this request's counter delta against the result store.
+fn manifest_json(table: &Table, store: &StoreCounters) -> String {
+    let mut json = table.to_json();
+    debug_assert!(json.ends_with('}'));
+    json.pop();
+    json.push_str(&format!(
+        ",\"store\":{{\"hits\":{},\"misses\":{},\"rejected\":{},\"puts\":{}}}}}",
+        store.hits, store.misses, store.rejected, store.puts
+    ));
+    json
+}
+
 fn serve_one(request: &Path, store: &ResultStore) -> ServedRequest {
     let mut served = ServedRequest {
         request: request.to_path_buf(),
@@ -344,18 +408,30 @@ fn serve_one(request: &Path, store: &ResultStore) -> ServedRequest {
         cached: 0,
         simulated: 0,
         failed: 0,
+        store: None,
         error: None,
     };
+    let before = store.counters();
     let outcome = SweepRequest::from_file(request)
         .map_err(|e| e.to_string())
         .and_then(|req| req.process(store));
     match outcome {
         Ok((table, report)) => {
+            // Counters are per-process and shared across requests; the
+            // delta across this run is this request's own traffic.
+            let after = store.counters();
+            let delta = StoreCounters {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+                rejected: after.rejected - before.rejected,
+                puts: after.puts - before.puts,
+            };
+            served.store = Some(delta);
             let manifest = request.with_extension("manifest.json");
             served.cached = report.cached;
             served.simulated = report.simulated;
             served.failed = report.failed;
-            if let Err(e) = std::fs::write(&manifest, table.to_json()) {
+            if let Err(e) = std::fs::write(&manifest, manifest_json(&table, &delta)) {
                 served.error = Some(format!("writing manifest: {e}"));
             } else {
                 served.manifest = Some(manifest);
@@ -401,15 +477,15 @@ mod tests {
             "# grid\nworkloads = spmv, pagerank\ncores = 16, 64\n\
              prefetchers = none, imp\npartials = off, noc+dram\n\
              page_sizes = 4096\ntlb_ways = 4, 8\nscale = small\n\
-             seed = 7\nthreads = 2 # cap\n",
+             seed = 7\nthreads = 2 # cap\nobserve = on\n",
         )
         .unwrap();
         assert_eq!(req.workloads, ["spmv", "pagerank"]);
         assert_eq!(req.cores, [16, 64]);
         assert_eq!(req.partials, [PartialMode::Off, PartialMode::NocAndDram]);
         assert_eq!(
-            (req.scale, req.seed, req.threads),
-            (Scale::Small, 7, Some(2))
+            (req.scale, req.seed, req.threads, req.observe),
+            (Scale::Small, 7, Some(2), true)
         );
         assert_eq!(req.to_sweep().cells().len(), 2 * 2 * 2 * 2 * 2);
 
@@ -419,6 +495,7 @@ mod tests {
             ("workloads = spmv\ncores = many", "bad number"),
             ("workloads = spmv\npartials = sideways", "bad partial"),
             ("workloads = spmv\nscale = huge", "bad scale"),
+            ("workloads = spmv\nobserve = maybe", "bad observe"),
             ("workloads = spmv\nseed = 1\nseed = 2", "repeated key"),
             ("workloads = spmv\nno equals", "missing ="),
         ] {
@@ -433,7 +510,7 @@ mod tests {
         let store = ResultStore::open(dir.join("store")).unwrap();
         std::fs::write(
             dir.join("a.sweep"),
-            "workloads = spmv\nprefetchers = none, imp\nthreads = 2\n",
+            "workloads = spmv\nprefetchers = none, imp\nthreads = 2\nobserve = on\n",
         )
         .unwrap();
         std::fs::write(dir.join("bad.sweep"), "cores = 16\n").unwrap();
@@ -443,9 +520,16 @@ mod tests {
         let a = &served[0];
         assert_eq!((a.cached, a.simulated, a.failed), (0, 2, 0));
         assert!(a.error.is_none());
+        let delta = a.store.unwrap();
+        assert_eq!((delta.hits, delta.misses, delta.puts), (0, 2, 2));
         let manifest = std::fs::read_to_string(a.manifest.as_ref().unwrap()).unwrap();
         assert!(manifest.contains("\"a\""), "titled by request: {manifest}");
         assert!(manifest.contains(" sim\""), "cold cells marked sim");
+        assert!(
+            manifest.contains("\"store\":{\"hits\":0,\"misses\":2,\"rejected\":0,\"puts\":2}"),
+            "store delta embedded: {manifest}"
+        );
+        assert!(manifest.contains("\"demand_p99\""), "obs columns present");
         assert!(dir.join("a.sweep.done").exists());
         let bad = &served[1];
         assert!(bad.error.as_ref().unwrap().contains("workloads"));
@@ -457,8 +541,16 @@ mod tests {
         let again = serve_dir(&dir, &store).unwrap();
         assert_eq!(again.len(), 1, "failed request not rescanned");
         assert_eq!((again[0].cached, again[0].simulated), (2, 0));
+        let warm_delta = again[0].store.unwrap();
+        assert_eq!((warm_delta.hits, warm_delta.puts), (2, 0));
         let warm = std::fs::read_to_string(again[0].manifest.as_ref().unwrap()).unwrap();
         assert!(warm.contains(" hit\""), "warm cells marked hit");
+        assert!(
+            warm.contains("\"hits\":2") && warm.contains("\"puts\":0"),
+            "warm run served from the store: {warm}"
+        );
+        // Cached cells carry no observation: their obs columns are null.
+        assert!(warm.contains("null"), "cached cells have null obs columns");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -28,6 +28,7 @@ use imp_common::config::{
     TranslationPolicy, WalkModel,
 };
 use imp_common::{ImpConfig, MemRegion, SystemConfig, SystemStats};
+use imp_obs::{ObsConfig, ObsReport, Probe};
 use imp_sim::{BuildError, RegistryError, RunError, System, VmConfigError};
 use imp_trace::BarrierMismatch;
 use imp_workloads::{by_name, BuiltArtifact, Scale, WorkloadError, WorkloadParams};
@@ -157,6 +158,7 @@ pub struct Sim {
     base_config: Option<SystemConfig>,
     spec_error: Option<String>,
     event_budget: Option<u64>,
+    observe: Option<ObsConfig>,
 }
 
 impl Sim {
@@ -180,6 +182,7 @@ impl Sim {
             base_config: None,
             spec_error: None,
             event_budget: None,
+            observe: None,
         }
     }
 
@@ -399,6 +402,19 @@ impl Sim {
         &self.page_policies
     }
 
+    /// Sets what [`Sim::run_observed`] records: histograms and the
+    /// timeliness ledger always, plus an event trace and/or epoch
+    /// sampler per the config. Like [`Sim::event_budget`], observation
+    /// is a lens, not a timing knob — it is deliberately excluded from
+    /// [`Sim::canonical_input`], and an observed run's statistics are
+    /// bit-identical to an unobserved one. Plain [`Sim::run`] ignores
+    /// this setting entirely.
+    #[must_use]
+    pub fn observe(mut self, cfg: ObsConfig) -> Self {
+        self.observe = Some(cfg);
+        self
+    }
+
     /// Inserts Mowry-style software prefetches `distance` elements ahead
     /// (the paper's *Software Prefetching* configuration).
     #[must_use]
@@ -576,6 +592,14 @@ impl Sim {
     /// generated for a different core count than this builder targets,
     /// plus the usual configuration errors.
     pub fn run_on(&self, artifact: &BuiltArtifact) -> Result<SystemStats, SimError> {
+        self.run_probed_on(artifact, None)
+    }
+
+    fn run_probed_on(
+        &self,
+        artifact: &BuiltArtifact,
+        probe: Option<&Probe>,
+    ) -> Result<SystemStats, SimError> {
         let cfg = self.config()?;
         let huge = self.resolve_huge_regions(artifact.regions())?;
         let mut system = System::try_new_placed(
@@ -584,6 +608,9 @@ impl Sim {
             artifact.mem().clone(),
             &huge,
         )?;
+        if let Some(p) = probe {
+            system.attach_probe(p.clone());
+        }
         if let Some(budget) = self.event_budget {
             system.set_event_budget(budget);
         }
@@ -604,6 +631,37 @@ impl Sim {
     /// Builds the workload and runs the simulation.
     pub fn run(&self) -> Result<SystemStats, SimError> {
         self.run_on(&self.build_artifact()?)
+    }
+
+    /// [`Sim::run_on`] with observation: attaches a probe at the level
+    /// set by [`Sim::observe`] (defaulting to
+    /// [`ObsConfig::metrics`] when unset or explicitly off) and returns
+    /// the harvested [`ObsReport`] next to the statistics. The
+    /// statistics are bit-identical to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Sim::run_on`].
+    pub fn run_observed_on(
+        &self,
+        artifact: &BuiltArtifact,
+    ) -> Result<(SystemStats, ObsReport), SimError> {
+        let obs = self
+            .observe
+            .filter(ObsConfig::enabled)
+            .unwrap_or_else(ObsConfig::metrics);
+        let probe = Probe::new(&obs);
+        let stats = self.run_probed_on(artifact, Some(&probe))?;
+        let report = probe
+            .finish_into_report(stats.runtime)
+            .expect("probe built from an enabled config");
+        Ok((stats, report))
+    }
+
+    /// Builds the workload and runs with observation; see
+    /// [`Sim::run_observed_on`].
+    pub fn run_observed(&self) -> Result<(SystemStats, ObsReport), SimError> {
+        self.run_observed_on(&self.build_artifact()?)
     }
 }
 

@@ -41,7 +41,9 @@ use imp_common::config::{
     PagePolicy, PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
 };
 use imp_common::{fnv1a, SplitMix64, SystemStats};
+use imp_obs::{ObsConfig, ObsSummary};
 use imp_store::{cell_digest, CellKey, ResultStore, StoredResult};
+use imp_workloads::BuiltArtifact;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -76,6 +78,11 @@ pub struct SweepResult {
     pub cell: SweepCell,
     /// The simulation statistics.
     pub stats: SystemStats,
+    /// Observability summary, when the sweep ran with
+    /// [`Sweep::observe`] and this cell was freshly simulated. Cells
+    /// served from the result store carry `None` — the store holds
+    /// statistics only, and observation never re-runs a cached cell.
+    pub obs: Option<ObsSummary>,
 }
 
 /// A failed cell: where it was and why it failed.
@@ -161,6 +168,7 @@ pub struct Sweep {
     threads: Option<usize>,
     store_path: Option<PathBuf>,
     spec_error: Option<String>,
+    observe: Option<ObsConfig>,
 }
 
 impl From<Sim> for Sweep {
@@ -180,6 +188,7 @@ impl From<Sim> for Sweep {
             threads: None,
             store_path: None,
             spec_error: None,
+            observe: None,
             base,
         }
     }
@@ -318,6 +327,18 @@ impl Sweep {
     #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Observes every freshly simulated cell at the given level and
+    /// attaches the resulting [`ObsSummary`] to its [`SweepResult`].
+    /// Observation is a lens: cell statistics (and store digests) are
+    /// bit-identical with or without it, and cells served from the
+    /// result store are never re-simulated just to observe them (their
+    /// `obs` stays `None`).
+    #[must_use]
+    pub fn observe(mut self, cfg: ObsConfig) -> Self {
+        self.observe = Some(cfg);
         self
     }
 
@@ -534,13 +555,13 @@ impl Sweep {
         let outcomes = fanout(cells.len(), threads, |i| {
             let cell = &cells[i];
             let artifact = artifacts[group_of[i]].as_ref().map_err(Clone::clone)?;
-            self.sim_for(cell).run_on(artifact)
+            self.run_cell(cell, artifact)
         });
         Ok(cells
             .into_iter()
             .zip(outcomes)
             .map(|(cell, outcome)| match outcome {
-                Ok(stats) => Ok(SweepResult { cell, stats }),
+                Ok((stats, obs)) => Ok(SweepResult { cell, stats, obs }),
                 Err(error) => {
                     let canonical = self.cell_canonical(&cell);
                     Err(SweepCellError {
@@ -583,8 +604,9 @@ impl Sweep {
         // Probe phase: resolve each cell's canonical input and look it
         // up. Sequential and cheap — config resolution plus one read
         // per cell; no workload is built here.
+        type CellRun = Result<(SystemStats, Option<ObsSummary>), SimError>;
         let mut canonicals: Vec<String> = Vec::with_capacity(n);
-        let mut slots: Vec<Option<Result<SystemStats, SimError>>> = Vec::with_capacity(n);
+        let mut slots: Vec<Option<CellRun>> = Vec::with_capacity(n);
         let mut cached_flags = vec![false; n];
         let mut missing: Vec<usize> = Vec::new();
         for (i, cell) in cells.iter().enumerate() {
@@ -596,7 +618,7 @@ impl Sweep {
                     match hit {
                         Some(record) => {
                             cached_flags[i] = true;
-                            slots.push(Some(Ok(record.stats)));
+                            slots.push(Some(Ok((record.stats, None))));
                         }
                         None => {
                             missing.push(i);
@@ -639,7 +661,7 @@ impl Sweep {
             failed: 0,
             store_error: None,
         };
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<SystemStats, SimError>)>();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, CellRun)>();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let cells = &cells;
@@ -661,8 +683,8 @@ impl Sweep {
                     let outcome = artifacts[group_of[k]]
                         .as_ref()
                         .map_err(Clone::clone)
-                        .and_then(|artifact| self.sim_for(cell).run_on(artifact));
-                    if let Ok(stats) = &outcome {
+                        .and_then(|artifact| self.run_cell(cell, artifact));
+                    if let Ok((stats, _)) = &outcome {
                         let record = StoredResult {
                             canonical: canonicals[i].clone(),
                             cell: cell_key(cell),
@@ -693,11 +715,11 @@ impl Sweep {
                 }
                 let cell = cells[delivered].clone();
                 let result = match slots[delivered].take().expect("slot filled") {
-                    Ok(stats) => {
+                    Ok((stats, obs)) => {
                         if !cached_flags[delivered] {
                             report.simulated += 1;
                         }
-                        Ok(SweepResult { cell, stats })
+                        Ok(SweepResult { cell, stats, obs })
                     }
                     Err(error) => {
                         report.failed += 1;
@@ -722,6 +744,23 @@ impl Sweep {
         });
         report.store_error = store_error.into_inner().expect("store-error slot");
         Ok(report)
+    }
+
+    /// Runs one cell over its shared artifact, observing when
+    /// [`Sweep::observe`] asked for it. Statistics are identical either
+    /// way; only the summary is extra.
+    fn run_cell(
+        &self,
+        cell: &SweepCell,
+        artifact: &BuiltArtifact,
+    ) -> Result<(SystemStats, Option<ObsSummary>), SimError> {
+        match self.observe.filter(ObsConfig::enabled) {
+            Some(cfg) => {
+                let (stats, report) = self.sim_for(cell).observe(cfg).run_observed_on(artifact)?;
+                Ok((stats, Some(report.summary())))
+            }
+            None => Ok((self.sim_for(cell).run_on(artifact)?, None)),
+        }
     }
 
     /// The per-cell [`Sim`] builder (the template with the cell's axis

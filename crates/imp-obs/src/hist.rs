@@ -1,0 +1,195 @@
+//! Log2-bucketed latency histograms: full distribution shape at a fixed
+//! 65-counter footprint, alongside the simulator's existing sum/count
+//! pairs.
+
+use imp_common::Cycle;
+
+/// Number of buckets: one for zero plus one per power of two of a u64.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of cycle values.
+///
+/// Bucket 0 holds exact zeros; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`. The bucket counts always sum to the sample count
+/// (property-tested), and exact `sum`/`min`/`max` ride along so means
+/// stay exact even though buckets quantize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: Cycle,
+    max: Cycle,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: Cycle::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index `v` falls in: 0 for 0, else `floor(log2 v) + 1`.
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Cycle) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<Cycle> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<Cycle> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The raw bucket counts (index by [`bucket_of`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 ..= 1.0`), or `None` when empty. Quantiles are bucket-
+    /// resolution: the true value lies within a factor of two below the
+    /// returned bound (exactly for the min/max buckets).
+    pub fn quantile(&self, q: f64) -> Option<Cycle> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty `(bucket_lower, bucket_upper, count)` triples, low to
+    /// high — the rendering-friendly view.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Cycle, Cycle, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_lower(i), bucket_upper(i), n))
+    }
+
+    /// Folds another histogram in.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lower(i: usize) -> Cycle {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_upper(i: usize) -> Cycle {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lower(i)), i);
+            assert_eq!(bucket_of(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_moments() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0, 1, 7, 100, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 208);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[bucket_of(100)], 2);
+        // p100 clamps to the exact max, not the bucket bound.
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new();
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(9);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 12);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(9));
+    }
+}

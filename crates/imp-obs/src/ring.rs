@@ -1,0 +1,108 @@
+//! The bounded trace ring: a fixed-capacity buffer that keeps the most
+//! recent events and counts what it had to drop.
+
+/// A bounded ring buffer over `T` that retains the newest `capacity`
+/// items. `dropped()` always reconciles with `pushes() - capacity`
+/// (property-tested), so a truncated trace is detectable, never silent.
+#[derive(Clone, Debug)]
+pub struct TraceRing<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest retained item once the ring has wrapped.
+    head: usize,
+    pushes: u64,
+}
+
+impl<T> TraceRing<T> {
+    /// A ring retaining at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            pushes: 0,
+        }
+    }
+
+    /// Appends an item, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushes += 1;
+    }
+
+    /// Total items ever pushed.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Items evicted to stay within capacity:
+    /// `max(0, pushes - capacity)`.
+    pub fn dropped(&self) -> u64 {
+        self.pushes.saturating_sub(self.capacity as u64)
+    }
+
+    /// Items currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_newest_in_order() {
+        let mut r = TraceRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pushes(), 5);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut r = TraceRing::new(8);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = TraceRing::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(r.dropped(), 1);
+    }
+}

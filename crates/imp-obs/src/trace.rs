@@ -1,0 +1,257 @@
+//! Typed simulator events and their Chrome trace-event JSON export
+//! (the format Perfetto and `chrome://tracing` load directly).
+
+use crate::ring::TraceRing;
+use imp_common::Cycle;
+use std::fmt::Write as _;
+
+/// Which timeline an event belongs to. Tracks render as one named
+/// thread per core / L2 slice / directory slice (plus one for the VM
+/// walkers' shared structures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// A core's pipeline-facing events (demand misses, prefetches,
+    /// TLB walks, barrier waits).
+    Core(u32),
+    /// An L2 slice / home tile (coherence traffic it handles).
+    L2Slice(u32),
+    /// A directory slice (invalidation fan-out).
+    Dir(u32),
+}
+
+impl Track {
+    /// A stable thread id for the Chrome export: cores first, then L2
+    /// slices, then directory slices, in disjoint banks.
+    fn tid(self) -> u64 {
+        match self {
+            Track::Core(c) => u64::from(c),
+            Track::L2Slice(s) => 100_000 + u64::from(s),
+            Track::Dir(d) => 200_000 + u64::from(d),
+        }
+    }
+
+    fn name(self) -> String {
+        match self {
+            Track::Core(c) => format!("core {c}"),
+            Track::L2Slice(s) => format!("l2 slice {s}"),
+            Track::Dir(d) => format!("dir {d}"),
+        }
+    }
+}
+
+/// What happened. Span kinds carry a non-zero duration; the rest are
+/// instants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A demand miss in flight: issue → fill (span; `aux` = PC).
+    DemandMiss,
+    /// A prefetch in flight: issue → fill (span; `aux` = PC).
+    PrefetchFlight,
+    /// First demand touch of a prefetched line (`aux` = cycles since
+    /// fill).
+    PrefetchFirstUse,
+    /// A demand merged into a still-in-flight prefetch — the prefetch
+    /// was late.
+    PrefetchLate,
+    /// A prefetched line evicted without ever being touched.
+    PrefetchEvictedUnused,
+    /// A page-table walk (span; `aux` = radix levels walked).
+    TlbWalk,
+    /// A dTLB miss served by the shared L2 TLB (span of the L2 probe).
+    L2TlbHit,
+    /// A core waiting at a barrier: arrival → release (span).
+    BarrierWait,
+    /// A coherence message handled at a home tile (`aux` = message
+    /// kind index, see the simulator's `Msg`).
+    CohMsg,
+    /// A directory invalidation round (`aux` = targets; `u64::MAX`
+    /// encodes an ACKwise broadcast).
+    DirInvalidate,
+}
+
+impl EventKind {
+    fn name(self) -> &'static str {
+        match self {
+            EventKind::DemandMiss => "demand_miss",
+            EventKind::PrefetchFlight => "prefetch",
+            EventKind::PrefetchFirstUse => "prefetch_first_use",
+            EventKind::PrefetchLate => "prefetch_late",
+            EventKind::PrefetchEvictedUnused => "prefetch_evicted_unused",
+            EventKind::TlbWalk => "tlb_walk",
+            EventKind::L2TlbHit => "l2_tlb_hit",
+            EventKind::BarrierWait => "barrier_wait",
+            EventKind::CohMsg => "coh_msg",
+            EventKind::DirInvalidate => "dir_invalidate",
+        }
+    }
+}
+
+/// One recorded event, stamped in *simulated* cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Whose timeline it happened on.
+    pub track: Track,
+    /// Start cycle (simulated).
+    pub start: Cycle,
+    /// Duration in cycles; 0 renders as an instant.
+    pub dur: Cycle,
+    /// The address involved (line base or virtual address), 0 if none.
+    pub addr: u64,
+    /// Kind-specific payload (PC, levels, message kind, distance).
+    pub aux: u64,
+}
+
+/// The recorded trace: a bounded ring of [`TraceEvent`]s plus drop
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    ring: TraceRing<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            ring: TraceRing::new(capacity),
+        }
+    }
+
+    /// Records one event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.ring.push(ev);
+    }
+
+    /// Total events ever recorded (including dropped).
+    pub fn pushes(&self) -> u64 {
+        self.ring.pushes()
+    }
+
+    /// Events evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Exports the retained events as Chrome trace-event JSON (the
+    /// object form: `{"traceEvents": [...], ...}`), loadable in
+    /// Perfetto. One named thread per track; spans are "X" complete
+    /// events, instants are "i"; timestamps are simulated cycles
+    /// reported as microseconds (1 cycle = 1 µs of trace time).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 128 * self.ring.len());
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let mut named: Vec<Track> = Vec::new();
+        for ev in self.ring.iter() {
+            if !named.contains(&ev.track) {
+                named.push(ev.track);
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    ev.track.tid(),
+                    ev.track.name()
+                );
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ph = if ev.dur > 0 { "X" } else { "i" };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+                ev.kind.name(),
+                ph,
+                ev.track.tid(),
+                ev.start
+            );
+            if ev.dur > 0 {
+                let _ = write!(out, ",\"dur\":{}", ev.dur);
+            } else {
+                out.push_str(",\"s\":\"t\"");
+            }
+            let _ = write!(
+                out,
+                ",\"args\":{{\"addr\":\"0x{:x}\",\"aux\":{}}}}}",
+                ev.addr, ev.aux
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"otherData\":{{\"pushes\":{},\"dropped\":{}}}}}",
+            self.ring.pushes(),
+            self.ring.dropped()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, track: Track, start: Cycle, dur: Cycle) -> TraceEvent {
+        TraceEvent {
+            kind,
+            track,
+            start,
+            dur,
+            addr: 0x40,
+            aux: 7,
+        }
+    }
+
+    #[test]
+    fn export_names_tracks_once_and_marks_spans() {
+        let mut t = Trace::new(16);
+        t.push(ev(EventKind::DemandMiss, Track::Core(3), 10, 90));
+        t.push(ev(EventKind::CohMsg, Track::L2Slice(1), 15, 0));
+        t.push(ev(EventKind::DemandMiss, Track::Core(3), 200, 50));
+        let json = t.to_chrome_json();
+        assert_eq!(json.matches("thread_name").count(), 2, "{json}");
+        assert!(json.contains("\"name\":\"core 3\""));
+        assert!(json.contains("\"name\":\"l2 slice 1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"dur\":90"));
+        assert!(json.contains("\"dropped\":0"));
+        // Balanced braces/brackets — the cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn drops_are_reported_in_other_data() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(ev(EventKind::TlbWalk, Track::Core(0), i, 4));
+        }
+        assert_eq!(t.dropped(), 3);
+        assert!(t.to_chrome_json().contains("\"pushes\":5,\"dropped\":3"));
+    }
+}

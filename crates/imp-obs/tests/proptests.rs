@@ -1,0 +1,72 @@
+//! Property tests for the observability primitives: the histogram's
+//! buckets partition its samples, and the trace ring's drop counter
+//! reconciles with pushes minus capacity.
+
+use imp_obs::{bucket_lower, bucket_of, bucket_upper, Histogram, TraceRing, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket counts always sum to the sample count — no sample is
+    /// lost or double-counted, whatever the magnitudes.
+    #[test]
+    fn histogram_buckets_sum_to_count(samples in proptest::collection::vec(any::<u64>(), 0..256)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let bucket_total: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(bucket_total, h.count());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        prop_assert_eq!(u128::from(h.sum()), sum.min(u128::from(u64::MAX)));
+    }
+
+    /// Every sample lands in the bucket whose [lower, upper) range
+    /// contains it.
+    #[test]
+    fn histogram_bucket_ranges_contain_their_samples(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < BUCKETS);
+        prop_assert!(v >= bucket_lower(b));
+        prop_assert!(v <= bucket_upper(b));
+    }
+
+    /// Merging two histograms is sample-set union: counts and bucket
+    /// totals add.
+    #[test]
+    fn histogram_merge_adds(
+        a in proptest::collection::vec(any::<u64>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &s in &a { ha.record(s); }
+        for &s in &b { hb.record(s); }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        for i in 0..BUCKETS {
+            prop_assert_eq!(merged.buckets()[i], ha.buckets()[i] + hb.buckets()[i]);
+        }
+    }
+
+    /// The ring's dropped counter reconciles exactly:
+    /// `dropped == max(0, pushes - capacity)`, and the retained items
+    /// are precisely the newest `min(pushes, capacity)` in order.
+    #[test]
+    fn ring_drops_reconcile(capacity in 1usize..64, pushes in 0usize..256) {
+        let mut r = TraceRing::new(capacity);
+        for i in 0..pushes {
+            r.push(i);
+        }
+        prop_assert_eq!(r.pushes(), pushes as u64);
+        prop_assert_eq!(
+            r.dropped(),
+            (pushes as u64).saturating_sub(capacity as u64)
+        );
+        prop_assert_eq!(r.len() as u64 + r.dropped(), r.pushes());
+        let kept: Vec<usize> = r.iter().copied().collect();
+        let expect: Vec<usize> = (pushes.saturating_sub(capacity)..pushes).collect();
+        prop_assert_eq!(kept, expect);
+    }
+}

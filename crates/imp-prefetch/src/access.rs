@@ -70,6 +70,12 @@ pub enum PrefetchKind {
 /// A prefetch emitted toward the memory system.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PrefetchRequest {
+    /// PC of the access (or pattern's index stream) that triggered the
+    /// request: [`StreamTable::DETACHED_PC`](crate::StreamTable) for
+    /// secondary patterns with no instruction stream of their own. The
+    /// timeliness ledger keys its per-PC coverage/accuracy counts on
+    /// this.
+    pub pc: Pc,
     /// The demanded byte address the prefetch anticipates.
     pub addr: Addr,
     /// Sectors of the line to fetch (full mask when partial cacheline
@@ -292,6 +298,7 @@ mod tests {
     #[test]
     fn request_line_is_derived_from_addr() {
         let r = PrefetchRequest {
+            pc: Pc::new(0),
             addr: Addr::new(0x1238),
             sectors: SectorMask::FULL_L1,
             exclusive: false,
@@ -303,6 +310,7 @@ mod tests {
     #[test]
     fn only_indirect_requests_want_translation_prefetch() {
         let mut r = PrefetchRequest {
+            pc: Pc::new(0),
             addr: Addr::new(0x1238),
             sectors: SectorMask::FULL_L1,
             exclusive: false,

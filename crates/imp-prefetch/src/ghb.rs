@@ -118,6 +118,7 @@ impl L1Prefetcher for Ghb {
             for line in self.record_miss(LineAddr::containing(access.addr)) {
                 self.stats.indirect_prefetches += 1; // correlation prefetches
                 out.push(PrefetchRequest {
+                    pc: access.pc,
                     addr: line.base(),
                     sectors: SectorMask::FULL_L1,
                     exclusive: false,

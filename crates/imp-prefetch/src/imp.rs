@@ -303,6 +303,7 @@ impl Imp {
                 self.stats.partial_prefetches += 1;
             }
             out.push(PrefetchRequest {
+                pc: self.table.entry(s).pc,
                 addr: target,
                 sectors,
                 exclusive: p.writes,
@@ -405,6 +406,7 @@ impl L1Prefetcher for Imp {
                 self.table.observe(access.pc, access.addr, access.size);
             self.stats.stream_prefetches += stream_lines.len() as u64;
             reqs.extend(stream_lines.iter().map(|l| PrefetchRequest {
+                pc: access.pc,
                 addr: l.base(),
                 sectors: SectorMask::FULL_L1,
                 exclusive: false,
@@ -516,6 +518,7 @@ impl L1Prefetcher for Imp {
                                 // two-step read of B[i + delta]).
                                 self.stats.value_unavailable += 1;
                                 reqs.push(PrefetchRequest {
+                                    pc: access.pc,
                                     addr: idx_addr,
                                     sectors: SectorMask::FULL_L1,
                                     exclusive: false,

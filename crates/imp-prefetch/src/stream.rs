@@ -292,6 +292,7 @@ impl L1Prefetcher for StreamPrefetcher {
         let (_, _, lines) = self.table.observe(access.pc, access.addr, access.size);
         self.stats.stream_prefetches += lines.len() as u64;
         out.extend(lines.iter().map(|l| PrefetchRequest {
+            pc: access.pc,
             addr: l.base(),
             sectors: SectorMask::FULL_L1,
             exclusive: false,

@@ -410,6 +410,62 @@ mod tests {
     }
 
     #[test]
+    fn probe_observes_without_perturbing_and_ledger_reconciles() {
+        use imp_common::{TlbConfig, TranslationPolicy};
+        let cfg = || {
+            SystemConfig::paper_default(16)
+                .with_prefetcher(PrefetcherKind::Imp)
+                .with_tlb(TlbConfig::finite().with_policy(TranslationPolicy::NonBlockingWalk))
+        };
+        let (p, mem, _) = indirect_program(16, 300, false);
+        let bare = run(cfg(), p, mem);
+
+        let (p2, mem2, _) = indirect_program(16, 300, false);
+        let probe = imp_obs::Probe::new(&imp_obs::ObsConfig::full(4096, 1000));
+        let mut sys = System::new(cfg(), p2, mem2);
+        sys.attach_probe(probe.clone());
+        let probed = sys.run();
+
+        // Observation never changes the simulation.
+        assert_eq!(bare.runtime, probed.runtime);
+        assert_eq!(bare.cores, probed.cores);
+        assert_eq!(bare.prefetch, probed.prefetch);
+        assert_eq!(bare.traffic, probed.traffic);
+
+        let report = probe
+            .finish_into_report(probed.runtime)
+            .expect("probe was enabled");
+        assert!(
+            report.reconciles(),
+            "fills {} != used {} + late {} + evicted_unused {}",
+            report.ledger_total.fills,
+            report.ledger_total.used,
+            report.ledger_total.late,
+            report.ledger_total.evicted_unused
+        );
+        // Ledger counts mirror the prefetch statistics they ride along:
+        // exact for issues (no sw prefetches here), bounded for the
+        // rest (untracked fills — prefetches merged into existing MSHR
+        // entries — are excluded from the ledger by design).
+        let pf = probed.prefetch_total();
+        assert_eq!(
+            report.ledger_total.issued,
+            pf.issued_stream + pf.issued_indirect
+        );
+        assert!(report.ledger_total.used <= pf.covered);
+        assert!(report.ledger_total.late <= pf.late);
+        assert!(report.ledger_total.used > 0, "some prefetch was covered");
+        assert!(!report.ledger_per_pc.is_empty());
+        assert!(report.demand_latency.count() > 0);
+        assert!(report.walk_latency.count() > 0, "finite TLB must walk");
+        assert!(!report.epochs.is_empty());
+        let trace = report.trace.as_ref().expect("tracing was on");
+        assert!(!trace.is_empty());
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
     fn ghb_does_not_help_fresh_indirect_streams() {
         let (p, mem, _) = indirect_program(16, 300, false);
         let base = run(SystemConfig::paper_default(16), p, mem);

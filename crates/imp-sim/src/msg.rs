@@ -33,6 +33,28 @@ pub enum MsgKind {
     MemWrite,
 }
 
+impl MsgKind {
+    /// Stable small code for trace annotations (the observability layer
+    /// tags home-tile events with it; renumbering would silently
+    /// re-label existing traces).
+    pub fn code(self) -> u32 {
+        match self {
+            MsgKind::GetS => 0,
+            MsgKind::GetX => 1,
+            MsgKind::Data => 2,
+            MsgKind::Inv => 3,
+            MsgKind::InvAck => 4,
+            MsgKind::Fetch { invalidate: false } => 5,
+            MsgKind::Fetch { invalidate: true } => 6,
+            MsgKind::FetchResp => 7,
+            MsgKind::WbL1 => 8,
+            MsgKind::MemRead => 9,
+            MsgKind::MemReadResp => 10,
+            MsgKind::MemWrite => 11,
+        }
+    }
+}
+
 /// One protocol message.
 #[derive(Clone, Copy, Debug)]
 pub struct Msg {

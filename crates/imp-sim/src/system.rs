@@ -19,6 +19,7 @@ use imp_cpu::{CoreBlock, CoreEngine, InOrderCore, MemPort, MemResult, OooCore};
 use imp_dram::{Ddr3Dram, Ddr3Timing, DramModel, FixedLatencyDram};
 use imp_mem::FunctionalMemory;
 use imp_noc::{mc_for_line, mc_tiles, Mesh};
+use imp_obs::Probe;
 use imp_prefetch::registry::{self, BuildCtx, RegistryError};
 use imp_prefetch::{
     Access, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind, PrefetchRequest,
@@ -214,6 +215,10 @@ struct Fabric {
     mem: FunctionalMemory,
     traffic: TrafficStats,
     completions: Vec<(u32, u64, Cycle)>,
+    /// Observability hook (disabled by default — every record call is a
+    /// branch on a `None` and changes no timing either way; see
+    /// [`System::attach_probe`]).
+    probe: Probe,
     /// Reusable [`PrefetchRequest`] buffers for prefetcher callbacks
     /// (a pool, because fill hooks can recurse through
     /// [`Fabric::issue_prefetch`]). Keeps the per-access path
@@ -308,6 +313,10 @@ impl Fabric {
         // zero-latency flat walk still reads its page-table entries.
         if t.walk_levels > 0 {
             self.walk_traffic(t.walk_levels);
+        }
+        if t.source() != imp_vm::TranslationSource::DTlbHit {
+            self.probe
+                .translation(c as u32, addr.raw(), now, t.walk_cycles, t.walk_levels);
         }
         t.walk_cycles
     }
@@ -432,10 +441,18 @@ impl Fabric {
                 );
             }
             MshrAlloc::New => {
-                match req.kind {
-                    PrefetchKind::Stream => self.pstats[c].issued_stream += 1,
-                    PrefetchKind::Indirect { .. } => self.pstats[c].issued_indirect += 1,
-                }
+                let class = match req.kind {
+                    PrefetchKind::Stream => {
+                        self.pstats[c].issued_stream += 1;
+                        imp_common::stats::AccessClass::Stream
+                    }
+                    PrefetchKind::Indirect { .. } => {
+                        self.pstats[c].issued_indirect += 1;
+                        imp_common::stats::AccessClass::Indirect
+                    }
+                };
+                self.probe
+                    .prefetch_issue(c as u32, line, req.pc, class, now);
                 if sectors != self.l1[c].full_mask() {
                     self.pstats[c].partial_prefetches += 1;
                 }
@@ -476,6 +493,7 @@ impl Fabric {
         if let Some(e) = self.mshr[c].get(line) {
             if e.prefetch_only {
                 self.pstats[c].late += 1;
+                self.probe.prefetch_demand_merge(c as u32, line, now);
             }
         }
         let waiter = if is_write {
@@ -567,6 +585,7 @@ impl Fabric {
             } => {
                 if first_touch_of_prefetch {
                     self.pstats[c].covered += 1;
+                    self.probe.prefetch_first_use(c as u32, line, now);
                 }
                 self.pref[c].on_demand_touch(line, touch);
                 let needs_upgrade = is_write
@@ -625,6 +644,7 @@ impl Fabric {
                     self.pref[c].on_demand_touch(msg.line, touch);
                 }
                 Waiter::Prefetch { req } => {
+                    self.probe.prefetch_fill(c as u32, msg.line, now);
                     let mut src = L1Values {
                         l1: &self.l1[c],
                         mem: &self.mem,
@@ -656,6 +676,7 @@ impl Fabric {
     fn l1_evicted(&mut self, c: usize, ev: Evicted, now: Cycle) {
         if ev.prefetched_untouched {
             self.pstats[c].unused += 1;
+            self.probe.prefetch_evicted_unused(c as u32, ev.line, now);
         } else if ev.prefetched_touched {
             self.pstats[c].useful += 1;
         }
@@ -683,6 +704,7 @@ impl Fabric {
         if let Some(ev) = self.l1[c].invalidate(msg.line) {
             if ev.prefetched_untouched {
                 self.pstats[c].unused += 1;
+                self.probe.prefetch_evicted_unused(c as u32, ev.line, now);
             } else if ev.prefetched_touched {
                 self.pstats[c].useful += 1;
             }
@@ -727,6 +749,7 @@ impl Fabric {
             if let Some(ref e) = ev {
                 if e.prefetched_untouched {
                     self.pstats[c].unused += 1;
+                    self.probe.prefetch_evicted_unused(c as u32, msg.line, now);
                 } else if e.prefetched_touched {
                     self.pstats[c].useful += 1;
                 }
@@ -800,7 +823,12 @@ impl Fabric {
             return;
         }
         if txn.exclusive {
-            match self.dir[h].invalidation_targets(line, Some(msg.requester)) {
+            let targets = self.dir[h].invalidation_targets(line, Some(msg.requester));
+            if !matches!(targets, InvTargets::None) {
+                let precise = (!targets.is_broadcast()).then(|| targets.count(self.cfg.cores, 1));
+                self.probe.dir_invalidate(h as u32, line, precise, t);
+            }
+            match targets {
                 InvTargets::None => {}
                 InvTargets::Precise(targets) => {
                     txn.acks_pending = targets.len() as u32;
@@ -941,7 +969,12 @@ impl Fabric {
     fn l2_evicted(&mut self, h: usize, ev: Evicted, now: Cycle) {
         // Recall any L1 copies (fire-and-forget; acks are ignored for
         // lines without transactions).
-        match self.dir[h].invalidation_targets(ev.line, None) {
+        let targets = self.dir[h].invalidation_targets(ev.line, None);
+        if !matches!(targets, InvTargets::None) {
+            let precise = (!targets.is_broadcast()).then(|| targets.count(self.cfg.cores, 0));
+            self.probe.dir_invalidate(h as u32, ev.line, precise, now);
+        }
+        match targets {
             InvTargets::None => {}
             InvTargets::Precise(targets) => {
                 for c in targets {
@@ -1084,6 +1117,16 @@ impl Fabric {
 
     fn handle_msg(&mut self, msg: Msg, now: Cycle) {
         self.traffic.noc_messages += 1;
+        // Home-tile-bound protocol traffic lands on the destination's
+        // L2-slice trace track (core- and MC-bound kinds would need
+        // other tracks and dominate trace volume, so only the
+        // directory-serialized kinds are recorded).
+        if matches!(
+            msg.kind,
+            MsgKind::GetS | MsgKind::GetX | MsgKind::InvAck | MsgKind::FetchResp | MsgKind::WbL1
+        ) {
+            self.probe.coh_msg(msg.dst, msg.kind.code(), msg.line, now);
+        }
         match msg.kind {
             MsgKind::GetS | MsgKind::GetX => self.home_request(msg, now),
             MsgKind::Data => self.l1_data(msg, now),
@@ -1251,7 +1294,9 @@ impl MemPort for Fabric {
 pub struct System {
     cores: Vec<Box<dyn CoreEngine>>,
     state: Vec<CoreRun>,
-    barrier_waiting: Vec<u32>,
+    /// Cores parked at the current barrier, with their arrival cycles
+    /// (the cycle is observability-only; release timing never reads it).
+    barrier_waiting: Vec<(u32, Cycle)>,
     done_count: usize,
     event_budget: u64,
     events: u64,
@@ -1430,6 +1475,7 @@ impl System {
             mem,
             traffic: TrafficStats::default(),
             completions: Vec::new(),
+            probe: Probe::disabled(),
             req_bufs: Vec::new(),
             next_token: 0,
             shadow: (0..n)
@@ -1451,6 +1497,22 @@ impl System {
             events: 0,
             fab,
         })
+    }
+
+    /// Attaches an observability probe: the fabric records prefetch
+    /// timeliness, translation, coherence, and barrier events through
+    /// it, and each core engine receives a [`imp_obs::CoreProbe`] for
+    /// its demand-miss completions. The caller keeps a clone of the
+    /// probe and harvests results with
+    /// [`imp_obs::Probe::finish_into_report`] after the run.
+    ///
+    /// Probes observe only: attaching one (enabled or not) never
+    /// changes timing, statistics, or which lines move.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        for (c, core) in self.cores.iter_mut().enumerate() {
+            core.attach_probe(probe.for_core(c as u32));
+        }
+        self.fab.probe = probe;
     }
 
     /// Caps the number of events [`System::try_run`] will process before
@@ -1558,10 +1620,11 @@ impl System {
             }
             CoreBlock::AtBarrier => {
                 self.state[ci] = CoreRun::WaitBarrier;
-                self.barrier_waiting.push(c);
+                self.barrier_waiting.push((c, now));
                 if self.barrier_waiting.len() == self.cores.len() {
-                    for w in std::mem::take(&mut self.barrier_waiting) {
+                    for (w, arrived) in std::mem::take(&mut self.barrier_waiting) {
                         self.state[w as usize] = CoreRun::Ready;
+                        self.fab.probe.barrier_wait(w, arrived, now + 1);
                         self.fab.queue.push(now + 1, Event::CoreWake(w));
                     }
                 }

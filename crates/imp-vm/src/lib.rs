@@ -300,6 +300,40 @@ pub struct DemandTranslation {
     pub walk_levels: u32,
 }
 
+/// Where a demand translation was resolved (derived from
+/// [`DemandTranslation`]'s cost fields; observability consumers key
+/// latency attribution on this instead of re-deriving the
+/// cycles/levels encoding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TranslationSource {
+    /// The per-core dTLB held the page: zero stall.
+    DTlbHit,
+    /// The shared L2 TLB held the page: the access stalled its hit
+    /// latency but walked no radix levels.
+    L2TlbHit,
+    /// Both TLB levels missed: a full page-table walk of `levels`
+    /// radix levels.
+    Walk {
+        /// Radix levels traversed.
+        levels: u32,
+    },
+}
+
+impl DemandTranslation {
+    /// Classifies which structure resolved this translation.
+    pub fn source(&self) -> TranslationSource {
+        if self.walk_levels > 0 {
+            TranslationSource::Walk {
+                levels: self.walk_levels,
+            }
+        } else if self.walk_cycles > 0 {
+            TranslationSource::L2TlbHit
+        } else {
+            TranslationSource::DTlbHit
+        }
+    }
+}
+
 /// A prefetch translation under the configured
 /// [`TranslationPolicy`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -717,6 +751,21 @@ pub(crate) fn splice_ppn(vaddr: Addr, ppn: u64, page_shift: u32) -> Addr {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn translation_source_classifies_cost_fields() {
+        let t = |walk_cycles, walk_levels| DemandTranslation {
+            paddr: Addr::new(0),
+            walk_cycles,
+            walk_levels,
+        };
+        assert_eq!(t(0, 0).source(), TranslationSource::DTlbHit);
+        assert_eq!(t(7, 0).source(), TranslationSource::L2TlbHit);
+        assert_eq!(t(400, 4).source(), TranslationSource::Walk { levels: 4 });
+        // A zero-latency flat walk is still a walk (its PTE reads are
+        // real traffic).
+        assert_eq!(t(0, 4).source(), TranslationSource::Walk { levels: 4 });
+    }
 
     #[test]
     fn l2_tlb_catches_dtlb_misses_and_walks_fill_both_levels() {

@@ -37,6 +37,7 @@ impl L1Prefetcher for NextLines {
         for d in 1..=self.degree {
             self.stats.stream_prefetches += 1;
             out.push(PrefetchRequest {
+                pc: access.pc,
                 addr: LineAddr::from_line_number(line.number() + d).base(),
                 sectors: SectorMask::FULL_L1,
                 exclusive: false,

@@ -92,15 +92,24 @@ fn main() -> ExitCode {
         for s in &served {
             let name = s.request.display();
             match &s.error {
-                None => println!(
-                    "imp-sweepd: {name}: {} cached, {} simulated, {} failed -> {}",
-                    s.cached,
-                    s.simulated,
-                    s.failed,
-                    s.manifest
-                        .as_ref()
-                        .map_or_else(|| "(no manifest)".to_string(), |m| m.display().to_string()),
-                ),
+                None => {
+                    println!(
+                        "imp-sweepd: {name}: {} cached, {} simulated, {} failed -> {}",
+                        s.cached,
+                        s.simulated,
+                        s.failed,
+                        s.manifest.as_ref().map_or_else(
+                            || "(no manifest)".to_string(),
+                            |m| m.display().to_string()
+                        ),
+                    );
+                    if let Some(c) = &s.store {
+                        println!(
+                            "imp-sweepd: {name}: store: {} hits, {} misses, {} rejected, {} puts",
+                            c.hits, c.misses, c.rejected, c.puts
+                        );
+                    }
+                }
                 Some(e) => {
                     any_failed = true;
                     eprintln!("imp-sweepd: {name}: FAILED: {e}");

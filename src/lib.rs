@@ -28,6 +28,16 @@
 //!   through a split 4 KB / 2 MB dTLB with one-level-shallower walks.
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation.
+//! * [`obs`] — the observability layer: an always-compiled,
+//!   zero-cost-when-off probe the simulator calls at every interesting
+//!   event, producing log2-bucketed latency histograms (demand misses,
+//!   page walks, prefetch-to-use distance), a prefetch-timeliness
+//!   ledger (issued → filled → {used, late, evicted-unused}, per PC
+//!   and per access class), an epoch sampler, and a bounded
+//!   deterministic event trace exported as Chrome `trace_event` JSON
+//!   (`Sim::observe` / `Sim::run_observed`, `Sweep::observe`, the
+//!   `observability_tour` example). Observation never changes timing:
+//!   a probed run is bit-identical to a bare one.
 //! * [`store`] — the content-addressed result store: every sweep cell
 //!   is digested over its full canonical input and persisted as a
 //!   checksummed `.impres` record, so re-running a sweep simulates only
@@ -93,6 +103,7 @@ pub use imp_dram as dram;
 pub use imp_experiments as experiments;
 pub use imp_mem as mem;
 pub use imp_noc as noc;
+pub use imp_obs as obs;
 pub use imp_prefetch as prefetch;
 pub use imp_store as store;
 pub use imp_trace as trace;
@@ -116,6 +127,7 @@ pub mod prelude {
         CellOutcome, Sim, SimError, Sweep, SweepCell, SweepReport, SweepRequest, SweepResult,
     };
     pub use imp_mem::{AddressSpace, FunctionalMemory};
+    pub use imp_obs::{ObsConfig, ObsReport, ObsSummary};
     pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
     pub use imp_sim::System;
     pub use imp_store::{cell_digest, digest_hex, ResultStore, StoredResult};

@@ -58,6 +58,13 @@
 //! Custom prefetchers registered from *outside* the simulator crates run
 //! through the same front door — see `imp_prefetch::registry` and the
 //! `custom_prefetcher` example.
+//!
+//! Any run can carry the observability probe without perturbing it:
+//! `Sim::observe(ObsConfig::full(..)).run_observed()` returns the same
+//! bit-identical `SystemStats` plus an [`crate::obs::ObsReport`]
+//! (latency histograms, prefetch-timeliness ledger, Chrome trace), and
+//! `Sweep::observe` attaches a compact [`crate::obs::ObsSummary`] to
+//! every freshly simulated cell — see the `observability_tour` example.
 
 pub use imp_experiments::service::{serve_dir, RequestError, ServedRequest, SweepRequest};
 pub use imp_experiments::sim::{Sim, SimError};

@@ -32,6 +32,7 @@ impl L1Prefetcher for NextLine {
         self.issued.fetch_add(1, Ordering::Relaxed);
         let next = LineAddr::containing(access.addr).number() + 1;
         out.push(PrefetchRequest {
+            pc: access.pc,
             addr: LineAddr::from_line_number(next).base(),
             sectors: SectorMask::FULL_L1,
             exclusive: false,
