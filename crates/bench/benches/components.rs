@@ -2,11 +2,14 @@
 //! (ablation-style: how cheap is the logic the paper adds to each L1?).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use imp_common::stats::AccessClass;
 use imp_common::{Addr, ImpConfig, Pc};
-use imp_prefetch::{Access, Imp, L1Prefetcher, MapValueSource, StreamPrefetcher};
+use imp_obs::CoreProbe;
+use imp_prefetch::{Access, Imp, L1Prefetcher, MapValueSource, PrefetchCtx, StreamPrefetcher};
 
 fn bench(c: &mut Criterion) {
     let mut src = MapValueSource::new();
+    let probe = CoreProbe::disabled();
     for i in 0..4096u64 {
         src.insert(Addr::new(0x10000 + 4 * i), 4, (i * 2654435761) % 100_000);
     }
@@ -21,11 +24,14 @@ fn bench(c: &mut Criterion) {
             let b_addr = Addr::new(0x10000 + 4 * k);
             let v = (k * 2654435761) % 100_000;
             reqs.clear();
-            imp.on_access(Access::load_hit(Pc::new(1), b_addr, 4), &mut src, &mut reqs);
-            imp.on_access(
+            let mut ctx =
+                PrefetchCtx::new(Pc::new(1), AccessClass::Other, &mut src, &mut reqs, &probe);
+            imp.on_access_ctx(Access::load_hit(Pc::new(1), b_addr, 4), &mut ctx);
+            let mut ctx =
+                PrefetchCtx::new(Pc::new(2), AccessClass::Other, &mut src, &mut reqs, &probe);
+            imp.on_access_ctx(
                 Access::load_miss(Pc::new(2), Addr::new(0x1_000_000 + 8 * v), 8),
-                &mut src,
-                &mut reqs,
+                &mut ctx,
             );
         })
     });
@@ -37,10 +43,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             reqs.clear();
-            sp.on_access(
+            let mut ctx =
+                PrefetchCtx::new(Pc::new(1), AccessClass::Other, &mut src, &mut reqs, &probe);
+            sp.on_access_ctx(
                 Access::load_hit(Pc::new(1), Addr::new(0x40000 + 8 * i), 8),
-                &mut src,
-                &mut reqs,
+                &mut ctx,
             );
             reqs.len()
         })

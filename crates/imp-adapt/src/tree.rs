@@ -1,0 +1,522 @@
+//! An offline-trained decision tree over epoch feedback features.
+//!
+//! Trees are serialized through the manager spec as a single
+//! comma-free string (commas would split `PrefetcherSpec` parameter
+//! pairs), e.g.
+//!
+//! ```text
+//! (tlb<0.25?(acc<0.35?mask:pass):switch_stream)
+//! ```
+//!
+//! Grammar: a node is either a leaf action — `pass`, `limit<N>`,
+//! `mask`, `switch_stream` — or a split
+//! `(<feature><<threshold>?<below>:<above>)` that takes the `below`
+//! branch when the feature is strictly less than the threshold.
+//! Features: `acc` (accuracy), `time` (timeliness), `evict` (evict
+//! rate), `tlb` (TLB drop rate). `Display` and `FromStr` round-trip.
+
+use imp_prefetch::Feedback;
+
+/// A feature the tree can split on, read off one epoch's [`Feedback`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeFeature {
+    /// `acc`: [`Feedback::accuracy`].
+    Accuracy,
+    /// `time`: [`Feedback::timeliness`].
+    Timeliness,
+    /// `evict`: [`Feedback::evict_rate`].
+    EvictRate,
+    /// `tlb`: [`Feedback::tlb_drop_rate`].
+    TlbDropRate,
+}
+
+impl TreeFeature {
+    /// Every feature, in serialization order.
+    pub const ALL: [TreeFeature; 4] = [
+        TreeFeature::Accuracy,
+        TreeFeature::Timeliness,
+        TreeFeature::EvictRate,
+        TreeFeature::TlbDropRate,
+    ];
+
+    /// The serialization key.
+    pub fn key(self) -> &'static str {
+        match self {
+            TreeFeature::Accuracy => "acc",
+            TreeFeature::Timeliness => "time",
+            TreeFeature::EvictRate => "evict",
+            TreeFeature::TlbDropRate => "tlb",
+        }
+    }
+
+    /// Position in [`TreeFeature::ALL`] (and in a sample's feature
+    /// vector).
+    pub fn index(self) -> usize {
+        TreeFeature::ALL.iter().position(|f| *f == self).unwrap()
+    }
+
+    /// Reads this feature off an epoch digest.
+    pub fn of(self, fb: &Feedback) -> f64 {
+        match self {
+            TreeFeature::Accuracy => fb.accuracy(),
+            TreeFeature::Timeliness => fb.timeliness(),
+            TreeFeature::EvictRate => fb.evict_rate(),
+            TreeFeature::TlbDropRate => fb.tlb_drop_rate(),
+        }
+    }
+}
+
+/// What a leaf tells the manager to do for the next epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeAction {
+    /// No intervention.
+    Pass,
+    /// Cap the prefetch degree at the given limit.
+    Limit(u32),
+    /// Cap the degree and mask low-accuracy PCs.
+    Mask,
+    /// Switch the prefetcher to the plain `stream` spec (the paper's
+    /// demote-IMP-under-TLB-pressure rule).
+    SwitchStream,
+}
+
+impl TreeAction {
+    fn rank(self) -> u64 {
+        // Deterministic tie-break order for training majorities.
+        match self {
+            TreeAction::Pass => 0,
+            TreeAction::Limit(n) => 1 + n as u64,
+            TreeAction::Mask => u64::MAX - 1,
+            TreeAction::SwitchStream => u64::MAX,
+        }
+    }
+}
+
+impl std::fmt::Display for TreeAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeAction::Pass => write!(f, "pass"),
+            TreeAction::Limit(n) => write!(f, "limit{n}"),
+            TreeAction::Mask => write!(f, "mask"),
+            TreeAction::SwitchStream => write!(f, "switch_stream"),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Node {
+    Leaf(TreeAction),
+    Split {
+        feature: TreeFeature,
+        threshold: f64,
+        below: Box<Node>,
+        above: Box<Node>,
+    },
+}
+
+impl Node {
+    fn eval(&self, features: &[f64; 4]) -> TreeAction {
+        match self {
+            Node::Leaf(a) => *a,
+            Node::Split {
+                feature,
+                threshold,
+                below,
+                above,
+            } => {
+                if features[feature.index()] < *threshold {
+                    below.eval(features)
+                } else {
+                    above.eval(features)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> u32 {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Split { below, above, .. } => 1 + below.depth().max(above.depth()),
+        }
+    }
+
+    fn fmt_into(&self, out: &mut String) {
+        match self {
+            Node::Leaf(a) => out.push_str(&a.to_string()),
+            Node::Split {
+                feature,
+                threshold,
+                below,
+                above,
+            } => {
+                out.push('(');
+                out.push_str(feature.key());
+                out.push('<');
+                out.push_str(&threshold.to_string());
+                out.push('?');
+                below.fmt_into(out);
+                out.push(':');
+                above.fmt_into(out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// The tree: parseable, printable, evaluable, trainable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+/// One labelled training example: the feature vector of an epoch
+/// (indexed by [`TreeFeature::index`]) and the action an oracle — e.g.
+/// the best-performing sweep cell — would have taken.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeSample {
+    /// `[accuracy, timeliness, evict_rate, tlb_drop_rate]`.
+    pub features: [f64; 4],
+    /// The labelled action.
+    pub action: TreeAction,
+}
+
+impl DecisionTree {
+    /// A single-leaf tree.
+    pub fn leaf(action: TreeAction) -> Self {
+        DecisionTree {
+            root: Node::Leaf(action),
+        }
+    }
+
+    /// The hand-built default encoding the paper-motivated rules:
+    /// under TLB pressure (drop rate ≥ 0.25) demote to the stream
+    /// prefetcher — indirect prefetches pay a TLB walk per element, so
+    /// dropped translations mean IMP is churning the TLB for nothing;
+    /// otherwise mask wasteful PCs when accuracy collapses and most
+    /// fills die unused, throttle when accuracy is merely poor, and
+    /// pass when healthy.
+    pub fn paper_default() -> Self {
+        "(tlb<0.25?(acc<0.35?(evict<0.5?limit2:mask):pass):switch_stream)"
+            .parse()
+            .expect("the built-in tree parses")
+    }
+
+    /// Evaluates the tree on one epoch's digest.
+    pub fn decide(&self, fb: &Feedback) -> TreeAction {
+        let features = [
+            TreeFeature::Accuracy.of(fb),
+            TreeFeature::Timeliness.of(fb),
+            TreeFeature::EvictRate.of(fb),
+            TreeFeature::TlbDropRate.of(fb),
+        ];
+        self.eval(&features)
+    }
+
+    /// Evaluates the tree on a raw feature vector.
+    pub fn eval(&self, features: &[f64; 4]) -> TreeAction {
+        self.root.eval(features)
+    }
+
+    /// Maximum split depth (a single leaf is depth 0).
+    pub fn depth(&self) -> u32 {
+        self.root.depth()
+    }
+
+    /// Fits a tree to labelled samples by greedy recursive
+    /// partitioning: at each node, try every feature and every
+    /// midpoint between adjacent distinct values, keep the split that
+    /// minimizes total misclassification under majority-vote leaves,
+    /// and stop at `max_depth`, purity, or zero improvement. Fully
+    /// deterministic: ties break on the lowest feature index, then the
+    /// lowest threshold, and majority ties break on a fixed action
+    /// order.
+    pub fn train(samples: &[TreeSample], max_depth: u32) -> Self {
+        DecisionTree {
+            root: train_node(samples, max_depth),
+        }
+    }
+}
+
+fn majority(samples: &[TreeSample]) -> (TreeAction, usize) {
+    let mut counts: Vec<(TreeAction, usize)> = Vec::new();
+    for s in samples {
+        match counts.iter_mut().find(|(a, _)| *a == s.action) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((s.action, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|(a, na), (b, nb)| na.cmp(nb).then(b.rank().cmp(&a.rank())))
+        .unwrap_or((TreeAction::Pass, 0))
+}
+
+fn misclassified(samples: &[TreeSample]) -> usize {
+    samples.len() - majority(samples).1
+}
+
+fn train_node(samples: &[TreeSample], max_depth: u32) -> Node {
+    let (maj, maj_count) = majority(samples);
+    if max_depth == 0 || maj_count == samples.len() {
+        return Node::Leaf(maj);
+    }
+    let mut best: Option<(usize, f64, usize)> = None; // (feature, threshold, cost)
+    for fi in 0..4 {
+        let mut values: Vec<f64> = samples.iter().map(|s| s.features[fi]).collect();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        for w in values.windows(2) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let below: Vec<TreeSample> = samples
+                .iter()
+                .copied()
+                .filter(|s| s.features[fi] < thr)
+                .collect();
+            let above: Vec<TreeSample> = samples
+                .iter()
+                .copied()
+                .filter(|s| s.features[fi] >= thr)
+                .collect();
+            if below.is_empty() || above.is_empty() {
+                continue;
+            }
+            let cost = misclassified(&below) + misclassified(&above);
+            let better = match best {
+                None => true,
+                Some((bf, bt, bc)) => {
+                    cost < bc || (cost == bc && (fi < bf || (fi == bf && thr < bt)))
+                }
+            };
+            if better {
+                best = Some((fi, thr, cost));
+            }
+        }
+    }
+    match best {
+        Some((fi, thr, cost)) if cost < misclassified(samples) => {
+            let below: Vec<TreeSample> = samples
+                .iter()
+                .copied()
+                .filter(|s| s.features[fi] < thr)
+                .collect();
+            let above: Vec<TreeSample> = samples
+                .iter()
+                .copied()
+                .filter(|s| s.features[fi] >= thr)
+                .collect();
+            Node::Split {
+                feature: TreeFeature::ALL[fi],
+                threshold: thr,
+                below: Box::new(train_node(&below, max_depth - 1)),
+                above: Box::new(train_node(&above, max_depth - 1)),
+            }
+        }
+        _ => Node::Leaf(maj),
+    }
+}
+
+impl std::fmt::Display for DecisionTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.root.fmt_into(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl std::str::FromStr for DecisionTree {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let root = parse_node(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos} of `{s}`"));
+        }
+        Ok(DecisionTree { root })
+    }
+}
+
+fn parse_node(s: &[u8], pos: &mut usize) -> Result<Node, String> {
+    if s.get(*pos) == Some(&b'(') {
+        *pos += 1;
+        let key = parse_ident(s, pos);
+        let feature = TreeFeature::ALL
+            .into_iter()
+            .find(|f| f.key() == key)
+            .ok_or_else(|| format!("unknown feature `{key}` (acc, time, evict, tlb)"))?;
+        expect(s, pos, b'<')?;
+        let start = *pos;
+        while s.get(*pos).is_some_and(|c| *c != b'?') {
+            *pos += 1;
+        }
+        let raw = std::str::from_utf8(&s[start..*pos]).unwrap_or("");
+        let threshold: f64 = raw
+            .parse()
+            .map_err(|_| format!("bad threshold `{raw}` for `{key}`"))?;
+        expect(s, pos, b'?')?;
+        let below = parse_node(s, pos)?;
+        expect(s, pos, b':')?;
+        let above = parse_node(s, pos)?;
+        expect(s, pos, b')')?;
+        Ok(Node::Split {
+            feature,
+            threshold,
+            below: Box::new(below),
+            above: Box::new(above),
+        })
+    } else {
+        let word = parse_ident(s, pos);
+        match word.as_str() {
+            "pass" => Ok(Node::Leaf(TreeAction::Pass)),
+            "mask" => Ok(Node::Leaf(TreeAction::Mask)),
+            "switch_stream" => Ok(Node::Leaf(TreeAction::SwitchStream)),
+            w if w.starts_with("limit") => {
+                let n: u32 = w["limit".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad degree in `{w}`"))?;
+                Ok(Node::Leaf(TreeAction::Limit(n)))
+            }
+            w => Err(format!(
+                "unknown action `{w}` (pass, limit<N>, mask, switch_stream)"
+            )),
+        }
+    }
+}
+
+fn parse_ident(s: &[u8], pos: &mut usize) -> String {
+    let start = *pos;
+    while s
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == b'_')
+    {
+        *pos += 1;
+    }
+    String::from_utf8_lossy(&s[start..*pos]).into_owned()
+}
+
+fn expect(s: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if s.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips() {
+        for src in [
+            "pass",
+            "limit2",
+            "(tlb<0.25?(acc<0.35?(evict<0.5?limit2:mask):pass):switch_stream)",
+            "(time<0.5?switch_stream:(acc<0.9?limit4:pass))",
+        ] {
+            let t: DecisionTree = src.parse().unwrap();
+            assert_eq!(t.to_string(), src);
+            let back: DecisionTree = t.to_string().parse().unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_trees() {
+        for bad in [
+            "",
+            "(acc<0.5?pass)",
+            "(speed<0.5?pass:mask)",
+            "(acc<x?pass:mask)",
+            "limitx",
+            "pass)",
+            "(acc<0.5?pass:mask",
+        ] {
+            assert!(
+                bad.parse::<DecisionTree>().is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_follows_splits() {
+        let t = DecisionTree::paper_default();
+        // Healthy: pass.
+        assert_eq!(t.eval(&[0.9, 0.9, 0.05, 0.0]), TreeAction::Pass);
+        // Low accuracy, fills mostly dying: mask.
+        assert_eq!(t.eval(&[0.1, 0.5, 0.8, 0.0]), TreeAction::Mask);
+        // Low accuracy but fills get used eventually: throttle.
+        assert_eq!(t.eval(&[0.2, 0.5, 0.1, 0.0]), TreeAction::Limit(2));
+        // TLB pressure trumps everything: demote to stream.
+        assert_eq!(t.eval(&[0.9, 0.9, 0.05, 0.6]), TreeAction::SwitchStream);
+    }
+
+    #[test]
+    fn training_recovers_a_planted_rule() {
+        // Oracle: switch when tlb >= 0.3, else mask when acc < 0.4,
+        // else pass.
+        let mut samples = Vec::new();
+        for i in 0..10 {
+            let acc = i as f64 / 10.0;
+            for j in 0..10 {
+                let tlb = j as f64 / 10.0;
+                let action = if tlb >= 0.3 {
+                    TreeAction::SwitchStream
+                } else if acc < 0.4 {
+                    TreeAction::Mask
+                } else {
+                    TreeAction::Pass
+                };
+                samples.push(TreeSample {
+                    features: [acc, 1.0, 0.0, tlb],
+                    action,
+                });
+            }
+        }
+        let t = DecisionTree::train(&samples, 3);
+        for s in &samples {
+            assert_eq!(t.eval(&s.features), s.action, "features {:?}", s.features);
+        }
+        // Deterministic: training twice gives the identical tree.
+        assert_eq!(DecisionTree::train(&samples, 3), t);
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn training_degenerate_inputs() {
+        assert_eq!(
+            DecisionTree::train(&[], 3),
+            DecisionTree::leaf(TreeAction::Pass)
+        );
+        let pure = [TreeSample {
+            features: [0.5; 4],
+            action: TreeAction::Mask,
+        }; 4];
+        assert_eq!(
+            DecisionTree::train(&pure, 3),
+            DecisionTree::leaf(TreeAction::Mask)
+        );
+        // Depth 0 forces a majority leaf.
+        let mixed = [
+            TreeSample {
+                features: [0.1; 4],
+                action: TreeAction::Pass,
+            },
+            TreeSample {
+                features: [0.9; 4],
+                action: TreeAction::Mask,
+            },
+            TreeSample {
+                features: [0.8; 4],
+                action: TreeAction::Mask,
+            },
+        ];
+        assert_eq!(
+            DecisionTree::train(&mixed, 0),
+            DecisionTree::leaf(TreeAction::Mask)
+        );
+    }
+}

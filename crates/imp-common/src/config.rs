@@ -865,6 +865,12 @@ pub struct SystemConfig {
     pub imp: ImpConfig,
     /// Lead (in cycles) for the PerfectPrefetch mode.
     pub perfpref_lead: Cycle,
+    /// Adaptive prefetcher manager attached to the system, resolved
+    /// against the manager policy table at build time (`static`,
+    /// `throttle`, `tree`). `None` — the default — runs unmanaged and
+    /// keeps the canonical form (and therefore every stored result
+    /// digest) identical to pre-manager builds.
+    pub manager: Option<PrefetcherSpec>,
 }
 
 impl SystemConfig {
@@ -919,6 +925,7 @@ impl SystemConfig {
             },
             imp: ImpConfig::paper_default(),
             perfpref_lead: 4096,
+            manager: None,
         }
     }
 
@@ -943,6 +950,24 @@ impl SystemConfig {
         S::Error: fmt::Display,
     {
         self.prefetcher = p.try_into().unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Convenience: returns a copy with the adaptive manager replaced.
+    /// Accepts anything [`with_prefetcher`](Self::with_prefetcher)
+    /// does; the spec names a manager policy (`static`, `throttle`,
+    /// `tree:spec=...`), validated at system-build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec string, like `with_prefetcher`.
+    #[must_use]
+    pub fn with_manager<S>(mut self, m: S) -> Self
+    where
+        S: TryInto<PrefetcherSpec>,
+        S::Error: fmt::Display,
+    {
+        self.manager = Some(m.try_into().unwrap_or_else(|e| panic!("{e}")));
         self
     }
 
@@ -983,12 +1008,19 @@ impl SystemConfig {
         let m = &self.mem;
         let i = &self.imp;
         let shifts: Vec<String> = i.shifts.iter().map(|s| s.to_string()).collect();
+        // The manager suffix is appended only when a manager is set:
+        // unmanaged configs keep their historical canonical form, so
+        // every pre-manager store digest stays valid.
+        let mgr = match &self.manager {
+            None => String::new(),
+            Some(spec) => format!(";mgr:{spec}"),
+        };
         format!(
             "cores:{};core:{:?};rob:{};mode:{:?};pf:{};partial:{:?};{};\
              mem[line:{},l1:{}/{}/{}/{}/{},l2:{}/{}/{}/{}/{},ack:{},hop:{},flit:{},\
              mc:{},dram:{:?}/{}/{:?}/{}];\
              imp[pt:{},ways:{},lvls:{},dist:{},ipd:{},shifts:{},ba:{},conf:{}/{},\
-             stream:{}/{},backoff:{},gp:{}];lead:{}",
+             stream:{}/{},backoff:{},gp:{}];lead:{}{}",
             self.cores,
             self.core_model,
             self.rob_entries,
@@ -1029,6 +1061,7 @@ impl SystemConfig {
             i.detect_backoff_initial,
             i.gp_samples,
             self.perfpref_lead,
+            mgr,
         )
     }
 }
@@ -1206,11 +1239,25 @@ mod tests {
             a.clone().with_mem_mode(MemMode::Ideal),
             a.clone().with_core_model(CoreModel::OutOfOrder),
             a.clone().with_tlb(TlbConfig::finite()),
+            a.clone().with_manager("static"),
             SystemConfig::paper_default(64),
         ];
         for v in &variants {
             assert_ne!(a.canonical(), v.canonical(), "{}", v.canonical());
         }
+        // Manager specs distinguish each other, and the unmanaged form
+        // carries no manager suffix at all (pre-manager digests must
+        // stay valid).
+        assert!(!a.canonical().contains(";mgr:"));
+        assert_ne!(
+            a.clone().with_manager("static").canonical(),
+            a.clone().with_manager("throttle").canonical()
+        );
+        assert!(a
+            .clone()
+            .with_manager("throttle:epoch=5000")
+            .canonical()
+            .ends_with(";mgr:throttle:epoch=5000"));
         // TLB canonical: ideal collapses, finite knobs all surface.
         assert_eq!(TlbConfig::ideal().canonical(), "tlb[ideal]");
         let f = TlbConfig::finite();

@@ -132,6 +132,7 @@ pub fn run(app: &str, cores: u32, config: Config) -> SystemStats {
             workload: app.to_string(),
             cores,
             prefetcher: cfg.prefetcher,
+            manager: cfg.manager,
             partial: cfg.partial,
             tlb: cfg.tlb,
             page_policy: Vec::new(),

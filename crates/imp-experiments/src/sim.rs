@@ -23,6 +23,7 @@
 //! so a custom prefetcher registered from *outside* the simulator crates
 //! runs through `Sim` exactly like the stock ones.
 
+use imp_adapt::ManagerError;
 use imp_common::config::{
     CoreModel, DramModelKind, MemMode, PagePolicy, PartialMode, PrefetcherSpec, TlbConfig,
     TranslationPolicy, WalkModel,
@@ -45,6 +46,9 @@ pub enum SimError {
     InvalidSpec(String),
     /// The prefetcher spec did not resolve or rejected a parameter.
     Prefetcher(RegistryError),
+    /// The manager spec named an unknown policy or rejected a
+    /// parameter.
+    Manager(ManagerError),
     /// The workload could not build (a `trace:<path>` replay failed;
     /// the message is the underlying `WorkloadError`).
     Build(String),
@@ -93,6 +97,7 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidSpec(e) => write!(f, "{e}"),
             SimError::Prefetcher(e) => write!(f, "{e}"),
+            SimError::Manager(e) => write!(f, "{e}"),
             SimError::Build(e) => write!(f, "{e}"),
             SimError::Barrier(e) => write!(f, "{e}"),
             SimError::Tlb(e) => write!(f, "{e}"),
@@ -131,6 +136,7 @@ impl From<BuildError> for SimError {
                 SimError::CoreMismatch { program, config }
             }
             BuildError::Vm(e) => SimError::Tlb(e),
+            BuildError::Manager(e) => SimError::Manager(e),
         }
     }
 }
@@ -148,6 +154,7 @@ pub struct Sim {
     seed: u64,
     sw_prefetch: Option<u64>,
     prefetcher: PrefetcherSpec,
+    manager: Option<PrefetcherSpec>,
     partial: PartialMode,
     mem_mode: MemMode,
     core_model: CoreModel,
@@ -172,6 +179,7 @@ impl Sim {
             seed: 42,
             sw_prefetch: None,
             prefetcher: PrefetcherSpec::default(),
+            manager: None,
             partial: PartialMode::Off,
             mem_mode: MemMode::Realistic,
             core_model: CoreModel::InOrder,
@@ -199,6 +207,7 @@ impl Sim {
         let mut s = Sim::workload(workload);
         s.cores = cfg.cores;
         s.prefetcher = cfg.prefetcher.clone();
+        s.manager = cfg.manager.clone();
         s.partial = cfg.partial;
         s.mem_mode = cfg.mem_mode;
         s.core_model = cfg.core_model;
@@ -246,6 +255,39 @@ impl Sim {
             Ok(s) => self.prefetcher = s,
             Err(e) => self.spec_error = Some(e.to_string()),
         }
+        self
+    }
+
+    /// Adaptive-management policy spec (see `imp_adapt::Manager`):
+    /// `"static"`, `"throttle:accuracy_floor=0.4"`, or
+    /// `"tree:spec=(acc<0.5?mask:pass)"`, each optionally with an
+    /// `epoch=<cycles>` parameter. `None` (the default) runs unmanaged
+    /// and keeps the canonical input byte-identical to pre-manager
+    /// builds.
+    ///
+    /// A malformed spec string does not panic; it surfaces as
+    /// [`SimError::InvalidSpec`] when the builder runs. A well-formed
+    /// spec naming an unknown policy or a bad parameter surfaces as
+    /// [`SimError::Manager`].
+    #[must_use]
+    pub fn manager<S>(mut self, spec: S) -> Self
+    where
+        S: TryInto<PrefetcherSpec>,
+        S::Error: fmt::Display,
+    {
+        match spec.try_into() {
+            Ok(s) => self.manager = Some(s),
+            Err(e) => self.spec_error = Some(e.to_string()),
+        }
+        self
+    }
+
+    /// Installs (or clears) the manager directly. The sweep's manager
+    /// axis needs this: the fluent [`Sim::manager`] setter can only
+    /// install a spec, while a `"none"` axis value must *clear* the
+    /// template's manager for its cells.
+    pub(crate) fn set_manager(mut self, spec: Option<PrefetcherSpec>) -> Self {
+        self.manager = spec;
         self
     }
 
@@ -505,6 +547,7 @@ impl Sim {
             None => SystemConfig::paper_default(self.cores),
         };
         cfg.prefetcher = self.prefetcher.clone();
+        cfg.manager = self.manager.clone();
         cfg.partial = self.partial;
         cfg.mem_mode = self.mem_mode;
         cfg.core_model = self.core_model;
@@ -880,6 +923,8 @@ mod tests {
             base.clone().software_prefetch(16),
             base.clone().cores(64),
             base.clone().prefetcher("imp"),
+            base.clone().manager("static"),
+            base.clone().manager("throttle:accuracy_floor=0.4"),
             base.clone().partial(PartialMode::NocAndDram),
             base.clone().tlb(TlbConfig::finite()),
             base.clone().page_policy("ind", PagePolicy::Huge2M),
@@ -917,6 +962,36 @@ mod tests {
         match Sim::workload("spmv").prefetcher("stream:distance").run() {
             Err(SimError::InvalidSpec(msg)) => assert!(msg.contains("key=value"), "{msg}"),
             other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn manager_spec_errors_surface_not_panic() {
+        // A syntactically bad spec string fails like any other spec.
+        match Sim::workload("spmv")
+            .manager("throttle:accuracy_floor")
+            .run()
+        {
+            Err(SimError::InvalidSpec(msg)) => assert!(msg.contains("key=value"), "{msg}"),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        // A well-formed spec naming an unknown policy fails at build.
+        match Sim::workload("spmv")
+            .scale(Scale::Tiny)
+            .manager("nope")
+            .run()
+        {
+            Err(SimError::Manager(e)) => assert!(e.to_string().contains("nope"), "{e}"),
+            other => panic!("expected Manager, got {other:?}"),
+        }
+        // And so does a known policy with an out-of-range parameter.
+        match Sim::workload("spmv")
+            .scale(Scale::Tiny)
+            .manager("throttle:accuracy_floor=1.5")
+            .run()
+        {
+            Err(SimError::Manager(e)) => assert!(e.to_string().contains("floor"), "{e}"),
+            other => panic!("expected Manager, got {other:?}"),
         }
     }
 

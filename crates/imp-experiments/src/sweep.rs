@@ -57,6 +57,8 @@ pub struct SweepCell {
     pub cores: u32,
     /// Prefetcher spec.
     pub prefetcher: PrefetcherSpec,
+    /// Adaptive-management policy spec (`None` = unmanaged).
+    pub manager: Option<PrefetcherSpec>,
     /// Partial cacheline accessing mode.
     pub partial: PartialMode,
     /// dTLB / page-walk configuration (ideal unless a TLB axis is
@@ -157,6 +159,7 @@ pub struct Sweep {
     workloads: Vec<String>,
     cores: Vec<u32>,
     prefetchers: Vec<PrefetcherSpec>,
+    managers: Vec<Option<PrefetcherSpec>>,
     partials: Vec<PartialMode>,
     page_sizes: Vec<u64>,
     tlb_ways: Vec<u32>,
@@ -177,6 +180,7 @@ impl From<Sim> for Sweep {
             workloads: vec![base.workload_name().to_string()],
             cores: Vec::new(),
             prefetchers: Vec::new(),
+            managers: Vec::new(),
             partials: Vec::new(),
             page_sizes: Vec::new(),
             tlb_ways: Vec::new(),
@@ -232,6 +236,36 @@ impl Sweep {
         for spec in specs {
             match spec.try_into() {
                 Ok(s) => self.prefetchers.push(s),
+                Err(e) => self.spec_error = Some(e.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Varies the adaptive-management axis (see `imp_adapt::Manager`).
+    /// The spec `"none"` means *unmanaged* — a cell whose canonical
+    /// input is byte-identical to a pre-manager build — so one sweep
+    /// can compare managed against unmanaged cells directly:
+    ///
+    /// ```ignore
+    /// Sweep::from(base).managers(["none", "static", "throttle:accuracy_floor=0.4"])
+    /// ```
+    ///
+    /// A malformed spec string surfaces as [`SimError::InvalidSpec`]
+    /// from [`Sweep::run`]; an unknown policy name fails its cells with
+    /// [`SimError::Manager`].
+    #[must_use]
+    pub fn managers<I, S>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: TryInto<PrefetcherSpec>,
+        S::Error: std::fmt::Display,
+    {
+        self.managers = Vec::new();
+        for spec in specs {
+            match spec.try_into() {
+                Ok(s) if s.name == "none" => self.managers.push(None),
+                Ok(s) => self.managers.push(Some(s)),
                 Err(e) => self.spec_error = Some(e.to_string()),
             }
         }
@@ -355,13 +389,15 @@ impl Sweep {
     }
 
     /// Enumerates the grid in its deterministic execution order
-    /// (workload-major, then cores, prefetchers, partial modes).
+    /// (workload-major, then cores, prefetchers, managers, partial
+    /// modes).
     pub fn cells(&self) -> Vec<SweepCell> {
         let one_cfg;
-        let (cores, prefetchers, partials) = {
+        let (cores, prefetchers, managers, partials) = {
             one_cfg = (
                 vec![self.base_cores()],
                 vec![self.base_prefetcher()],
+                vec![self.base_manager()],
                 vec![self.base_partial()],
             );
             (
@@ -375,8 +411,13 @@ impl Sweep {
                 } else {
                     &self.prefetchers
                 },
-                if self.partials.is_empty() {
+                if self.managers.is_empty() {
                     &one_cfg.2
+                } else {
+                    &self.managers
+                },
+                if self.partials.is_empty() {
+                    &one_cfg.3
                 } else {
                     &self.partials
                 },
@@ -393,18 +434,21 @@ impl Sweep {
         for w in &self.workloads {
             for &n in cores {
                 for p in prefetchers {
-                    for &m in partials {
-                        for &tlb in &tlbs {
-                            for pp in policy_sets {
-                                cells.push(SweepCell {
-                                    workload: w.clone(),
-                                    cores: n,
-                                    prefetcher: p.clone(),
-                                    partial: m,
-                                    tlb,
-                                    page_policy: pp.clone(),
-                                    seed: cell_seed(self.base_seed(), w, n),
-                                });
+                    for mgr in managers {
+                        for &m in partials {
+                            for &tlb in &tlbs {
+                                for pp in policy_sets {
+                                    cells.push(SweepCell {
+                                        workload: w.clone(),
+                                        cores: n,
+                                        prefetcher: p.clone(),
+                                        manager: mgr.clone(),
+                                        partial: m,
+                                        tlb,
+                                        page_policy: pp.clone(),
+                                        seed: cell_seed(self.base_seed(), w, n),
+                                    });
+                                }
                             }
                         }
                     }
@@ -771,6 +815,7 @@ impl Sweep {
             .with_workload(&cell.workload)
             .cores(cell.cores)
             .prefetcher(cell.prefetcher.clone())
+            .set_manager(cell.manager.clone())
             .partial(cell.partial)
             .tlb(cell.tlb)
             .page_policies(cell.page_policy.clone())
@@ -801,6 +846,10 @@ impl Sweep {
 
     fn base_prefetcher(&self) -> PrefetcherSpec {
         self.base.config().map(|c| c.prefetcher).unwrap_or_default()
+    }
+
+    fn base_manager(&self) -> Option<PrefetcherSpec> {
+        self.base.config().ok().and_then(|c| c.manager)
     }
 
     fn base_partial(&self) -> PartialMode {
@@ -851,6 +900,7 @@ fn cell_key(cell: &SweepCell) -> CellKey {
         workload: cell.workload.clone(),
         cores: cell.cores,
         prefetcher: cell.prefetcher.clone(),
+        manager: cell.manager.clone(),
         partial: cell.partial,
         tlb: cell.tlb,
         page_policy: cell.page_policy.clone(),
@@ -924,6 +974,51 @@ mod tests {
         assert_eq!(cells[0].seed, cells[1].seed, "stream vs imp: same input");
         assert_ne!(cells[0].seed, cells[2].seed, "16 vs 64 cores: new input");
         assert_ne!(cells[0].seed, cells[4].seed, "spmv vs pagerank: new input");
+    }
+
+    #[test]
+    fn manager_axis_extends_the_grid_and_none_means_unmanaged() {
+        let sweep = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+            .prefetchers(["stream", "imp"])
+            .managers(["none", "static", "throttle:accuracy_floor=0.4"]);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 6);
+        // Managers vary within a prefetcher, in the order given.
+        assert_eq!(cells[0].prefetcher.name, "stream");
+        assert_eq!(cells[0].manager, None);
+        assert_eq!(cells[1].manager.as_ref().unwrap().name, "static");
+        assert_eq!(cells[2].manager.as_ref().unwrap().name, "throttle");
+        assert_eq!(cells[3].prefetcher.name, "imp");
+        // The manager never changes the generated input.
+        assert_eq!(cells[0].seed, cells[2].seed);
+        // An unmanaged cell's canonical is byte-identical to a
+        // managerless sweep's; a managed cell's differs.
+        let plain = Sweep::from(Sim::workload("spmv").scale(Scale::Tiny))
+            .prefetchers(["stream"])
+            .cells();
+        assert_eq!(
+            sweep.cell_canonical(&cells[0]),
+            sweep.cell_canonical(&plain[0])
+        );
+        assert_ne!(
+            sweep.cell_canonical(&cells[1]),
+            sweep.cell_canonical(&cells[0])
+        );
+        assert_ne!(
+            sweep.cell_canonical(&cells[1]),
+            sweep.cell_canonical(&cells[2])
+        );
+    }
+
+    #[test]
+    fn manager_axis_overrides_a_managed_template() {
+        // A template with a manager: the "none" axis value clears it.
+        let base = Sim::workload("spmv").scale(Scale::Tiny).manager("static");
+        let swept = Sweep::from(base.clone()).managers(["none"]).cells();
+        assert_eq!(swept[0].manager, None);
+        // And with no axis, every cell inherits the template's manager.
+        let inherited = Sweep::from(base).cells();
+        assert_eq!(inherited[0].manager.as_ref().unwrap().name, "static");
     }
 
     #[test]

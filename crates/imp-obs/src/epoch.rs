@@ -2,10 +2,13 @@
 //! per-window counter deltas form a time series — the phase-behavior
 //! view the end-of-run aggregates cannot show.
 
+use crate::hist::Histogram;
 use imp_common::Cycle;
 
-/// Counter deltas inside one epoch.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Counter deltas inside one epoch, plus per-window latency
+/// distributions (the counters say *how much*, the histograms say *how
+/// it was shaped* — a phase detector needs both).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EpochCounters {
     /// Demand misses completed.
     pub demand_misses: u64,
@@ -29,10 +32,14 @@ pub struct EpochCounters {
     pub coh_msgs: u64,
     /// Core-cycles spent waiting at barriers.
     pub barrier_cycles: u64,
+    /// Latency distribution of the demand misses completed this window.
+    pub demand_latency: Histogram,
+    /// Latency distribution of the page walks completed this window.
+    pub walk_latency: Histogram,
 }
 
 /// One closed epoch: `[start, end)` plus what happened inside it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EpochSample {
     /// First cycle of the window.
     pub start: Cycle,
@@ -74,9 +81,8 @@ impl EpochSampler {
             self.samples.push(EpochSample {
                 start: self.start,
                 end,
-                counters: self.current,
+                counters: std::mem::take(&mut self.current),
             });
-            self.current = EpochCounters::default();
             self.start = end;
         }
     }
@@ -89,9 +95,8 @@ impl EpochSampler {
             self.samples.push(EpochSample {
                 start: self.start,
                 end: end.max(self.start + 1),
-                counters: self.current,
+                counters: std::mem::take(&mut self.current),
             });
-            self.current = EpochCounters::default();
             self.start = end;
         }
     }
@@ -126,6 +131,24 @@ mod tests {
         assert_eq!(w[1].counters.demand_misses, 0, "empty interior window");
         assert_eq!((w[2].start, w[2].end), (200, 260));
         assert_eq!(w[2].counters.demand_misses, 2);
+    }
+
+    #[test]
+    fn windows_carry_their_own_latency_histograms() {
+        let mut s = EpochSampler::new(100);
+        s.advance(10);
+        s.current.demand_latency.record(40);
+        s.current.demand_latency.record(200);
+        s.advance(150); // closes [0,100)
+        s.current.walk_latency.record(16);
+        s.finish(180);
+        let w = s.samples();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].counters.demand_latency.count(), 2);
+        assert_eq!(w[0].counters.demand_latency.sum(), 240);
+        assert_eq!(w[0].counters.walk_latency.count(), 0);
+        assert_eq!(w[1].counters.demand_latency.count(), 0, "window reset");
+        assert_eq!(w[1].counters.walk_latency.count(), 1);
     }
 
     #[test]

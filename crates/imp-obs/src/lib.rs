@@ -10,8 +10,9 @@
 //! * **a prefetch-timeliness [`Ledger`]**: every tracked prefetch
 //!   follows issue → fill → exactly one of {used, late,
 //!   evicted-unused}, per PC and per [`imp_common::stats::AccessClass`];
-//! * **epoch samples** ([`EpochSample`]): per-N-cycle counter deltas,
-//!   the time-resolved view of phase behavior.
+//! * **epoch samples** ([`EpochSample`]): per-N-cycle counter deltas
+//!   plus per-window latency histograms, the time-resolved view of
+//!   phase behavior (what an adaptive prefetcher manager keys on).
 //!
 //! A disabled probe ([`Probe::disabled`], the default) is a single
 //! `Option` check per call site — the simulator's statistics and
@@ -199,6 +200,7 @@ impl Probe {
         if let Some(e) = r.tick(fill) {
             e.demand_misses += 1;
             e.demand_latency_sum += latency;
+            e.demand_latency.record(latency);
         }
         r.emit(TraceEvent {
             kind: EventKind::DemandMiss,
@@ -331,6 +333,7 @@ impl Probe {
             if let Some(e) = r.tick(start + cycles) {
                 e.walks += 1;
                 e.walk_cycles += cycles;
+                e.walk_latency.record(cycles);
             }
             EventKind::TlbWalk
         };

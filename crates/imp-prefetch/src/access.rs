@@ -1,6 +1,9 @@
 //! Observation and request types shared by all prefetchers.
 
+use crate::feedback::{Control, Feedback};
+use imp_common::stats::AccessClass;
 use imp_common::{Addr, FastMap, LineAddr, Pc, SectorMask};
+use imp_obs::CoreProbe;
 
 /// One L1 access as observed by a prefetcher snooping the cache
 /// (Figure 3: IMP sees both the access stream and the miss stream).
@@ -179,26 +182,133 @@ pub struct PrefetcherStats {
     pub dbg_prefetching: u64,
 }
 
+/// Everything a prefetcher hook may touch, bundled so the hot path
+/// stays allocation-free: the caller-owned request buffer, the
+/// triggering PC, the access class of the triggering request, a value
+/// source for index reads, and an observability handle.
+///
+/// This folds the old `on_access`/`*_collect` dual surface into one
+/// context type: callers build a `PrefetchCtx` over their pooled
+/// buffer and hand it to [`L1Prefetcher::on_access_ctx`] /
+/// [`L1Prefetcher::on_prefetch_fill_ctx`].
+pub struct PrefetchCtx<'a> {
+    /// PC of the access or request that triggered this hook.
+    pub pc: Pc,
+    /// Access class of the trigger: [`AccessClass::Other`] for demand
+    /// accesses, the request's class for fill chaining.
+    pub class: AccessClass,
+    /// Where index values are read from (the L1, in the simulator).
+    pub values: &'a mut dyn IndexValueSource,
+    /// Caller-owned output buffer (not cleared first) — push emitted
+    /// requests here, or use [`PrefetchCtx::emit`].
+    pub out: &'a mut Vec<PrefetchRequest>,
+    /// Per-core observability handle (disabled outside a probed run).
+    pub probe: &'a CoreProbe,
+}
+
+impl<'a> PrefetchCtx<'a> {
+    /// A context for a demand-access observation.
+    pub fn new(
+        pc: Pc,
+        class: AccessClass,
+        values: &'a mut dyn IndexValueSource,
+        out: &'a mut Vec<PrefetchRequest>,
+        probe: &'a CoreProbe,
+    ) -> Self {
+        PrefetchCtx {
+            pc,
+            class,
+            values,
+            out,
+            probe,
+        }
+    }
+
+    /// Pushes one request onto the output buffer.
+    #[inline]
+    pub fn emit(&mut self, req: PrefetchRequest) {
+        self.out.push(req);
+    }
+}
+
+/// The [`AccessClass`] a request of `kind` belongs to.
+pub fn class_of(kind: PrefetchKind) -> AccessClass {
+    match kind {
+        PrefetchKind::Stream => AccessClass::Stream,
+        PrefetchKind::Indirect { .. } => AccessClass::Indirect,
+    }
+}
+
 /// The interface between an L1 cache and its attached prefetcher.
 ///
-/// Requests are pushed into a caller-supplied buffer rather than
-/// returned: prefetchers run on every demand access, and reusing one
-/// buffer across accesses keeps the hot path allocation-free. The
-/// `*_collect` wrappers provide the convenient owned-`Vec` form for
-/// tests and examples.
+/// Requests are pushed into the caller-supplied buffer inside the
+/// [`PrefetchCtx`] rather than returned: prefetchers run on every
+/// demand access, and reusing one buffer across accesses keeps the hot
+/// path allocation-free.
+///
+/// # Which hooks to implement
+///
+/// Implement **exactly one** of [`on_access_ctx`] (preferred) or the
+/// deprecated [`on_access`]: each one's default forwards to the other,
+/// so a type overriding neither recurses. Existing plugins that
+/// implement the pre-context hooks (`on_access`, `on_prefetch_fill`)
+/// keep compiling and keep working — the simulator calls the `_ctx`
+/// hooks, whose defaults forward to the old signatures — but get a
+/// deprecation warning nudging them toward the context form.
+///
+/// # Feedback
+///
+/// When an adaptive manager is configured, [`on_feedback`] delivers an
+/// epoch [`Feedback`] digest and lets the prefetcher request its own
+/// throttling via [`Control`]. The default ignores feedback.
+///
+/// [`on_access_ctx`]: L1Prefetcher::on_access_ctx
+/// [`on_access`]: L1Prefetcher::on_access
+/// [`on_feedback`]: L1Prefetcher::on_feedback
 pub trait L1Prefetcher {
     /// Observes one demand access (hit or miss), pushing any prefetches
-    /// to issue onto `out` (which is not cleared first).
+    /// to issue onto `ctx.out` (which is not cleared first).
+    fn on_access_ctx(&mut self, access: Access, ctx: &mut PrefetchCtx<'_>) {
+        #[allow(deprecated)] // forwards to the legacy hook for old plugins
+        self.on_access(access, ctx.values, ctx.out);
+    }
+
+    /// Notifies that a previously issued prefetch has filled the L1,
+    /// pushing any follow-on prefetches (multi-level indirection) onto
+    /// `ctx.out`.
+    fn on_prefetch_fill_ctx(&mut self, request: PrefetchRequest, ctx: &mut PrefetchCtx<'_>) {
+        #[allow(deprecated)] // forwards to the legacy hook for old plugins
+        self.on_prefetch_fill(request, ctx.values, ctx.out);
+    }
+
+    /// Receives one epoch's [`Feedback`] digest from the adaptive
+    /// manager and may return a [`Control`] requesting throttling, PC
+    /// masking, or a prefetcher switch. Only called when a manager is
+    /// configured (`SystemConfig::manager`); the default requests
+    /// nothing.
+    fn on_feedback(&mut self, feedback: &Feedback) -> Control {
+        let _ = feedback;
+        Control::none()
+    }
+
+    /// Legacy demand-access hook.
+    #[deprecated(note = "implement `on_access_ctx(access, &mut PrefetchCtx)` instead")]
     fn on_access(
         &mut self,
         access: Access,
         values: &mut dyn IndexValueSource,
         out: &mut Vec<PrefetchRequest>,
-    );
+    ) {
+        let probe = CoreProbe::disabled();
+        let mut ctx = PrefetchCtx::new(access.pc, AccessClass::Other, values, out, &probe);
+        self.on_access_ctx(access, &mut ctx);
+    }
 
-    /// Notifies that a previously issued prefetch has filled the L1,
-    /// pushing any follow-on prefetches (multi-level indirection) onto
-    /// `out`.
+    /// Legacy fill hook. Unlike [`L1Prefetcher::on_access`] this does
+    /// **not** forward to the context form (its historical default was
+    /// a no-op, and forwarding both ways would recurse); new code
+    /// should call and implement [`L1Prefetcher::on_prefetch_fill_ctx`].
+    #[deprecated(note = "implement `on_prefetch_fill_ctx(request, &mut PrefetchCtx)` instead")]
     fn on_prefetch_fill(
         &mut self,
         request: PrefetchRequest,
@@ -208,25 +318,35 @@ pub trait L1Prefetcher {
         let _ = (request, values, out);
     }
 
-    /// [`L1Prefetcher::on_access`], collecting into a fresh `Vec`.
+    /// [`L1Prefetcher::on_access_ctx`], collecting into a fresh `Vec`.
+    #[deprecated(note = "build a `PrefetchCtx` over your own buffer and call `on_access_ctx`")]
     fn on_access_collect(
         &mut self,
         access: Access,
         values: &mut dyn IndexValueSource,
     ) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
-        self.on_access(access, values, &mut out);
+        let probe = CoreProbe::disabled();
+        let mut ctx = PrefetchCtx::new(access.pc, AccessClass::Other, values, &mut out, &probe);
+        self.on_access_ctx(access, &mut ctx);
         out
     }
 
-    /// [`L1Prefetcher::on_prefetch_fill`], collecting into a fresh `Vec`.
+    /// [`L1Prefetcher::on_prefetch_fill_ctx`], collecting into a fresh
+    /// `Vec`.
+    #[deprecated(
+        note = "build a `PrefetchCtx` over your own buffer and call `on_prefetch_fill_ctx`"
+    )]
     fn on_prefetch_fill_collect(
         &mut self,
         request: PrefetchRequest,
         values: &mut dyn IndexValueSource,
     ) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
-        self.on_prefetch_fill(request, values, &mut out);
+        let probe = CoreProbe::disabled();
+        let mut ctx =
+            PrefetchCtx::new(request.pc, class_of(request.kind), values, &mut out, &probe);
+        self.on_prefetch_fill_ctx(request, &mut ctx);
         out
     }
 
@@ -260,13 +380,7 @@ impl NullPrefetcher {
 }
 
 impl L1Prefetcher for NullPrefetcher {
-    fn on_access(
-        &mut self,
-        _access: Access,
-        _values: &mut dyn IndexValueSource,
-        _out: &mut Vec<PrefetchRequest>,
-    ) {
-    }
+    fn on_access_ctx(&mut self, _access: Access, _ctx: &mut PrefetchCtx<'_>) {}
 
     fn stats(&self) -> &PrefetcherStats {
         &self.stats
@@ -275,7 +389,56 @@ impl L1Prefetcher for NullPrefetcher {
 
 #[cfg(test)]
 mod tests {
+    // Deliberate: the deprecated shim surface must keep working for
+    // out-of-crate plugins; exercising it here keeps it covered.
+    #![allow(deprecated)]
+
     use super::*;
+
+    /// A pre-context-API plugin: overrides only the legacy `on_access`
+    /// signature. The `_ctx` defaults must route to it unchanged.
+    struct LegacyNextLine {
+        stats: PrefetcherStats,
+    }
+
+    impl L1Prefetcher for LegacyNextLine {
+        fn on_access(
+            &mut self,
+            access: Access,
+            _values: &mut dyn IndexValueSource,
+            out: &mut Vec<PrefetchRequest>,
+        ) {
+            out.push(PrefetchRequest {
+                pc: access.pc,
+                addr: Addr::new(access.addr.raw() + 64),
+                sectors: SectorMask::FULL_L1,
+                exclusive: false,
+                kind: PrefetchKind::Stream,
+            });
+        }
+
+        fn stats(&self) -> &PrefetcherStats {
+            &self.stats
+        }
+    }
+
+    #[test]
+    fn legacy_hooks_are_reached_through_the_ctx_surface() {
+        let mut p = LegacyNextLine {
+            stats: PrefetcherStats::default(),
+        };
+        let mut s = MapValueSource::new();
+        let mut out = Vec::new();
+        let probe = CoreProbe::disabled();
+        let mut ctx = PrefetchCtx::new(Pc::new(1), AccessClass::Other, &mut s, &mut out, &probe);
+        p.on_access_ctx(Access::load_miss(Pc::new(1), Addr::new(128), 8), &mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].addr, Addr::new(192));
+        // And the collect shim routes through the ctx surface too.
+        let reqs = p.on_access_collect(Access::load_miss(Pc::new(1), Addr::new(256), 8), &mut s);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].addr, Addr::new(320));
+    }
 
     #[test]
     fn map_source_roundtrip() {

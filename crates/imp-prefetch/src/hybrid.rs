@@ -15,10 +15,18 @@
 //! Puppeteer) in the simplest deterministic form: ownership never
 //! flip-flops, so duplicate prefetches from overlapping components are
 //! structurally impossible.
+//!
+//! Prefetch fills follow the same attribution: a fill whose PC is
+//! latched is delivered only to the owning component, so the chained
+//! requests it triggers carry the owner's attribution in the
+//! timeliness ledger; fills for unlatched PCs fan out to every
+//! component (the chain continues wherever the original request came
+//! from).
 
 use crate::access::{
-    Access, IndexValueSource, L1Prefetcher, PrefetchKind, PrefetchRequest, PrefetcherStats,
+    Access, L1Prefetcher, PrefetchCtx, PrefetchKind, PrefetchRequest, PrefetcherStats,
 };
+use crate::feedback::{Control, Feedback};
 use imp_common::{FastMap, LineAddr, Pc, SectorMask};
 
 /// The per-PC arbitrating combinator. See the module docs.
@@ -108,15 +116,11 @@ impl Hybrid {
 }
 
 impl L1Prefetcher for Hybrid {
-    fn on_access(
-        &mut self,
-        access: Access,
-        values: &mut dyn IndexValueSource,
-        out: &mut Vec<PrefetchRequest>,
-    ) {
+    fn on_access_ctx(&mut self, access: Access, ctx: &mut PrefetchCtx<'_>) {
         for (c, buf) in self.components.iter_mut().zip(&mut self.scratch) {
             buf.clear();
-            c.on_access(access, values, buf);
+            let mut sub = PrefetchCtx::new(ctx.pc, ctx.class, &mut *ctx.values, buf, ctx.probe);
+            c.on_access_ctx(access, &mut sub);
         }
         let per = &self.scratch;
         let chosen = match self.owner.get(&access.pc) {
@@ -135,29 +139,53 @@ impl L1Prefetcher for Hybrid {
             }
         };
         let reqs = std::mem::take(&mut self.scratch[chosen]);
-        self.forward(&reqs, out);
+        self.forward(&reqs, ctx.out);
         self.scratch[chosen] = reqs;
         self.refresh_stats();
     }
 
-    fn on_prefetch_fill(
-        &mut self,
-        request: PrefetchRequest,
-        values: &mut dyn IndexValueSource,
-        out: &mut Vec<PrefetchRequest>,
-    ) {
-        // Fills fan out to every component (multi-level chains may
-        // continue in whichever component issued the original request);
-        // chained requests are forwarded from all of them — they are
-        // rare, and the MSHR merge path absorbs duplicates.
+    fn on_prefetch_fill_ctx(&mut self, request: PrefetchRequest, ctx: &mut PrefetchCtx<'_>) {
+        // Fills for a latched PC go only to the owning component: the
+        // arbiter forwarded that component's requests, so the chained
+        // requests a fill triggers must carry the same attribution —
+        // fanning the fill out would let a non-owning component emit
+        // under a PC it lost, and the timeliness ledger (keyed by PC at
+        // issue) would charge the owner for requests it never made.
+        // Fills for unlatched PCs keep the historical fan-out: the chain
+        // continues in whichever component issued the original request,
+        // and the MSHR merge path absorbs the rare duplicates.
         let mut chained = std::mem::take(&mut self.scratch[0]);
         chained.clear();
-        for c in &mut self.components {
-            c.on_prefetch_fill(request, values, &mut chained);
+        match self.owner.get(&request.pc).copied() {
+            Some(i) => {
+                let mut sub =
+                    PrefetchCtx::new(ctx.pc, ctx.class, &mut *ctx.values, &mut chained, ctx.probe);
+                self.components[i].on_prefetch_fill_ctx(request, &mut sub);
+            }
+            None => {
+                for c in &mut self.components {
+                    let mut sub = PrefetchCtx::new(
+                        ctx.pc,
+                        ctx.class,
+                        &mut *ctx.values,
+                        &mut chained,
+                        ctx.probe,
+                    );
+                    c.on_prefetch_fill_ctx(request, &mut sub);
+                }
+            }
         }
-        self.forward(&chained, out);
+        self.forward(&chained, ctx.out);
         self.scratch[0] = chained;
         self.refresh_stats();
+    }
+
+    fn on_feedback(&mut self, feedback: &Feedback) -> Control {
+        let mut merged = Control::none();
+        for c in &mut self.components {
+            merged = merged.merge(c.on_feedback(feedback));
+        }
+        merged
     }
 
     fn on_eviction(&mut self, line: LineAddr) {
@@ -179,6 +207,10 @@ impl L1Prefetcher for Hybrid {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shim surface must keep working; exercising it here
+    // keeps it covered.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::access::{MapValueSource, NullPrefetcher};
     use crate::imp::Imp;
@@ -245,6 +277,132 @@ mod tests {
         // Forwarded exactly one component's worth: the merged stream
         // counter equals the forwarded count, not double it.
         assert_eq!(h.stats().stream_prefetches, total as u64);
+    }
+
+    /// A probe component: optionally claims PCs by emitting an indirect
+    /// request on access, and marks every fill it sees by chaining a
+    /// request at a component-unique address.
+    struct Tagger {
+        id: u64,
+        claim: bool,
+        stats: PrefetcherStats,
+    }
+
+    impl Tagger {
+        fn new(id: u64, claim: bool) -> Self {
+            Tagger {
+                id,
+                claim,
+                stats: PrefetcherStats::default(),
+            }
+        }
+
+        fn chain_addr(id: u64) -> Addr {
+            Addr::new(0xDEAD_0000 + 0x100 * id)
+        }
+    }
+
+    impl L1Prefetcher for Tagger {
+        fn on_access_ctx(&mut self, access: Access, ctx: &mut PrefetchCtx<'_>) {
+            if self.claim {
+                ctx.out.push(PrefetchRequest {
+                    pc: access.pc,
+                    addr: Addr::new(0x8000 + 0x40 * self.id),
+                    sectors: SectorMask::FULL_L1,
+                    exclusive: false,
+                    kind: PrefetchKind::Indirect { pt: 0 },
+                });
+            }
+        }
+
+        fn on_prefetch_fill_ctx(&mut self, request: PrefetchRequest, ctx: &mut PrefetchCtx<'_>) {
+            ctx.out.push(PrefetchRequest {
+                pc: request.pc,
+                addr: Self::chain_addr(self.id),
+                sectors: SectorMask::FULL_L1,
+                exclusive: false,
+                kind: PrefetchKind::Stream,
+            });
+        }
+
+        fn stats(&self) -> &PrefetcherStats {
+            &self.stats
+        }
+    }
+
+    #[test]
+    fn fills_are_attributed_to_the_owning_component() {
+        // Component 1 claims PC 5 via an indirect emission; component 0
+        // never claims. A fill under the latched PC must reach only the
+        // owner — the arbiter and the timeliness ledger then agree on
+        // who issued the chained requests. An unlatched PC keeps the
+        // fan-out-to-all behaviour.
+        let mut h = Hybrid::new(vec![
+            Box::new(Tagger::new(0, false)),
+            Box::new(Tagger::new(1, true)),
+        ]);
+        let mut src = MapValueSource::new();
+        let owned = Pc::new(5);
+        let reqs = h.on_access_collect(Access::load_miss(owned, Addr::new(0x100), 8), &mut src);
+        assert_eq!(h.owner_of(owned), Some(1));
+        assert_eq!(reqs.len(), 1, "only the claiming component forwards");
+
+        let fill = |pc: Pc| PrefetchRequest {
+            pc,
+            addr: Addr::new(0x9000),
+            sectors: SectorMask::FULL_L1,
+            exclusive: false,
+            kind: PrefetchKind::Stream,
+        };
+        let chained = h.on_prefetch_fill_collect(fill(owned), &mut src);
+        let addrs: Vec<Addr> = chained.iter().map(|r| r.addr).collect();
+        assert_eq!(
+            addrs,
+            vec![Tagger::chain_addr(1)],
+            "latched PC: the owning component alone continues the chain"
+        );
+
+        let chained = h.on_prefetch_fill_collect(fill(Pc::new(99)), &mut src);
+        let addrs: Vec<Addr> = chained.iter().map(|r| r.addr).collect();
+        assert_eq!(
+            addrs,
+            vec![Tagger::chain_addr(0), Tagger::chain_addr(1)],
+            "unlatched PC: the historical fan-out, in component order"
+        );
+    }
+
+    #[test]
+    fn feedback_controls_merge_across_components() {
+        struct Throttler {
+            limit: u32,
+            stats: PrefetcherStats,
+        }
+        impl L1Prefetcher for Throttler {
+            fn on_access_ctx(&mut self, _access: Access, _ctx: &mut PrefetchCtx<'_>) {}
+            fn on_feedback(&mut self, _feedback: &Feedback) -> Control {
+                Control {
+                    degree_limit: Some(self.limit),
+                    masked_pcs: vec![Pc::new(self.limit)],
+                    switch_to: None,
+                }
+            }
+            fn stats(&self) -> &PrefetcherStats {
+                &self.stats
+            }
+        }
+        let mut h = Hybrid::new(vec![
+            Box::new(Throttler {
+                limit: 4,
+                stats: PrefetcherStats::default(),
+            }),
+            Box::new(Throttler {
+                limit: 2,
+                stats: PrefetcherStats::default(),
+            }),
+        ]);
+        let ctl = h.on_feedback(&Feedback::default());
+        assert_eq!(ctl.degree_limit, Some(2), "tightest component wins");
+        assert_eq!(ctl.masked_pcs, vec![Pc::new(2), Pc::new(4)]);
     }
 
     #[test]

@@ -23,16 +23,22 @@
 //!   custom prefetchers plug in without touching `imp-sim`.
 //! * [`cost`] — the storage-cost arithmetic of Section 6.4.
 //!
-//! Prefetchers observe the L1 access/miss stream as [`Access`] records and
-//! emit [`PrefetchRequest`]s; they read index values through an
-//! [`IndexValueSource`], which the full simulator backs with functional
-//! memory gated on L1 presence (hardware reads the value out of the cache).
+//! Prefetchers observe the L1 access/miss stream as [`Access`] records
+//! and emit [`PrefetchRequest`]s through a [`PrefetchCtx`] — the
+//! caller-owned output buffer, the triggering PC and access class, an
+//! [`IndexValueSource`] for index reads (the full simulator backs it
+//! with functional memory gated on L1 presence, as hardware reads the
+//! value out of the cache), and an observability handle. An adaptive
+//! manager can deliver epoch [`Feedback`] digests through
+//! [`L1Prefetcher::on_feedback`] and apply the returned [`Control`].
 //!
 //! # Example: IMP learns `A[B[i]]` from a raw access stream
 //!
 //! ```
-//! use imp_prefetch::{Access, Imp, L1Prefetcher, MapValueSource};
+//! use imp_common::stats::AccessClass;
 //! use imp_common::{Addr, ImpConfig, Pc};
+//! use imp_obs::CoreProbe;
+//! use imp_prefetch::{Access, Imp, L1Prefetcher, MapValueSource, PrefetchCtx};
 //!
 //! // B is u32[64] at 0x1000; A is f64[] at 0x80000; B holds scattered
 //! // indices (no stride), so only indirect prefetching can capture A[B[i]].
@@ -42,20 +48,41 @@
 //!     src.insert(Addr::new(0x1000 + 4 * i), 4, b_of(i));
 //! }
 //! let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+//! let (mut reqs, probe) = (Vec::new(), CoreProbe::disabled());
 //! let mut prefetched = false;
 //! for i in 0..64u64 {
 //!     let b = Addr::new(0x1000 + 4 * i);
 //!     let a = Addr::new(0x80000 + 8 * b_of(i));
-//!     let reqs = imp.on_access_collect(Access::load_miss(Pc::new(1), b, 4), &mut src);
+//!     for access in [
+//!         Access::load_miss(Pc::new(1), b, 4),
+//!         Access::load_miss(Pc::new(2), a, 8),
+//!     ] {
+//!         let mut ctx =
+//!             PrefetchCtx::new(access.pc, AccessClass::Other, &mut src, &mut reqs, &probe);
+//!         imp.on_access_ctx(access, &mut ctx);
+//!     }
 //!     prefetched |= !reqs.is_empty();
-//!     imp.on_access_collect(Access::load_miss(Pc::new(2), a, 8), &mut src);
+//!     reqs.clear();
 //! }
 //! assert!(imp.stats().patterns_detected >= 1);
 //! assert!(prefetched);
 //! ```
+//!
+//! # Migrating from the pre-context hooks
+//!
+//! Prefetchers written against the old surface — `on_access(access,
+//! values, out)` / `on_prefetch_fill(request, values, out)` and the
+//! `*_collect` wrappers — **keep compiling and keep working**: the new
+//! `_ctx` hooks default to forwarding into the old signatures, which
+//! are retained as `#[deprecated]` shims. To migrate, move each
+//! override to the context form (`values` becomes `ctx.values`, `out`
+//! becomes `ctx.out`) and replace `*_collect` calls with a
+//! [`PrefetchCtx`] over your own buffer; implement exactly one of each
+//! hook pair — the defaults forward to each other.
 
 mod access;
 pub mod cost;
+mod feedback;
 mod ghb;
 mod gp;
 mod hybrid;
@@ -65,9 +92,10 @@ pub mod registry;
 mod stream;
 
 pub use access::{
-    Access, IndexValueSource, L1Prefetcher, MapValueSource, NullPrefetcher, PrefetchKind,
-    PrefetchRequest, PrefetcherStats,
+    class_of, Access, IndexValueSource, L1Prefetcher, MapValueSource, NullPrefetcher, PrefetchCtx,
+    PrefetchKind, PrefetchRequest, PrefetcherStats,
 };
+pub use feedback::{Control, Feedback};
 pub use ghb::Ghb;
 pub use gp::{Gp, GpDecision};
 pub use hybrid::Hybrid;

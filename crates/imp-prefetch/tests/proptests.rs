@@ -3,6 +3,10 @@
 //! IMP must prefetch real future targets — for every supported shift and
 //! arbitrary index contents.
 
+// The deprecated `*_collect` shims must keep working; exercising them
+// here keeps them covered.
+#![allow(deprecated)]
+
 use imp_common::{Addr, ImpConfig, Pc};
 use imp_prefetch::{shift_apply, Access, Imp, Ipd, L1Prefetcher, MapValueSource, PrefetchKind};
 use proptest::prelude::*;

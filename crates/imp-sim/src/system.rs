@@ -8,10 +8,15 @@
 //! correctness is carried by the functional memory, not the caches).
 
 use crate::msg::{Msg, MsgKind};
+use imp_adapt::{EpochTracker, Manager, ManagerError};
 use imp_cache::{AccessOutcome, Evicted, LineState, MshrAlloc, MshrFile, SectoredCache};
 use imp_coherence::{Directory, InvTargets};
-use imp_common::config::{CoreModel, DramModelKind, MemMode, PartialMode, WalkModel};
-use imp_common::stats::{CoreStats, PrefetchStats, SystemStats, TlbStats, TrafficStats};
+use imp_common::config::{
+    CoreModel, DramModelKind, MemMode, PartialMode, PrefetcherSpec, WalkModel,
+};
+use imp_common::stats::{
+    AccessClass, CoreStats, PrefetchStats, SystemStats, TlbStats, TrafficStats,
+};
 use imp_common::{
     Addr, Cycle, EventQueue, FastMap, LineAddr, SectorMask, SystemConfig, LINE_BYTES,
 };
@@ -19,10 +24,11 @@ use imp_cpu::{CoreBlock, CoreEngine, InOrderCore, MemPort, MemResult, OooCore};
 use imp_dram::{Ddr3Dram, Ddr3Timing, DramModel, FixedLatencyDram};
 use imp_mem::FunctionalMemory;
 use imp_noc::{mc_for_line, mc_tiles, Mesh};
-use imp_obs::Probe;
+use imp_obs::{CoreProbe, Ledger, Probe};
 use imp_prefetch::registry::{self, BuildCtx, RegistryError};
 use imp_prefetch::{
-    Access, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchKind, PrefetchRequest,
+    class_of, Access, Control, IndexValueSource, L1Prefetcher, NullPrefetcher, PrefetchCtx,
+    PrefetchKind, PrefetchRequest, PrefetcherStats,
 };
 use imp_trace::{BarrierMismatch, OpKind, Program};
 use imp_vm::{PagePlacement, PrefetchTranslation, Vm, VmConfigError, WalkMemory, PTE_BYTES};
@@ -47,6 +53,9 @@ pub enum BuildError {
     },
     /// The TLB configuration is invalid (zero sets/ways, bad page size).
     Vm(VmConfigError),
+    /// The adaptive-manager spec did not resolve (unknown policy or
+    /// invalid parameter).
+    Manager(ManagerError),
 }
 
 impl fmt::Display for BuildError {
@@ -59,6 +68,7 @@ impl fmt::Display for BuildError {
                 "program was generated for {program} cores but the configuration has {config}"
             ),
             BuildError::Vm(e) => write!(f, "{e}"),
+            BuildError::Manager(e) => write!(f, "{e}"),
         }
     }
 }
@@ -124,6 +134,34 @@ impl From<VmConfigError> for BuildError {
     fn from(e: VmConfigError) -> Self {
         BuildError::Vm(e)
     }
+}
+
+impl From<ManagerError> for BuildError {
+    fn from(e: ManagerError) -> Self {
+        BuildError::Manager(e)
+    }
+}
+
+/// The adaptive control plane's run state: a [`Manager`] (epoch length
+/// and policy), its private timeliness [`Ledger`] (fed from the same
+/// sites as the observability probe, unconditionally — management must
+/// work without a probe attached), the [`EpochTracker`] that turns the
+/// cumulative ledger into per-epoch deltas, and the [`Control`]
+/// currently in force.
+struct ManagerState {
+    mgr: Manager,
+    ledger: Ledger,
+    tracker: EpochTracker,
+    /// Cycle at which the next epoch closes.
+    next_epoch: Cycle,
+    /// The control installed at the last epoch boundary; applied to
+    /// every prefetch-request batch until the next boundary.
+    control: Control,
+    /// Cumulative demand misses (the tracker turns them into deltas).
+    demand_misses: u64,
+    /// The prefetcher spec currently running (switches are applied
+    /// once per distinct spec).
+    active: PrefetcherSpec,
 }
 
 /// Discrete events of the simulation.
@@ -219,6 +257,17 @@ struct Fabric {
     /// branch on a `None` and changes no timing either way; see
     /// [`System::attach_probe`]).
     probe: Probe,
+    /// Per-core views of `probe` handed to prefetchers through
+    /// [`PrefetchCtx`] (pre-built so the hot path never clones).
+    cprobes: Vec<CoreProbe>,
+    /// Adaptive manager state; `None` — the default — leaves every
+    /// path below bit-identical to an unmanaged build.
+    mgr: Option<ManagerState>,
+    /// Model-side prefetcher statistics carried over from prefetchers
+    /// replaced by a manager-requested switch (zero until a switch
+    /// happens); [`System::collect_stats`] adds them to the live
+    /// model's counters.
+    carried_pref: Vec<PrefetcherStats>,
     /// Reusable [`PrefetchRequest`] buffers for prefetcher callbacks
     /// (a pool, because fill hooks can recurse through
     /// [`Fabric::issue_prefetch`]). Keeps the per-access path
@@ -252,6 +301,107 @@ impl Fabric {
     fn put_req_buf(&mut self, mut buf: Vec<PrefetchRequest>) {
         buf.clear();
         self.req_bufs.push(buf);
+    }
+
+    /// Applies the manager's standing [`Control`] to a freshly
+    /// collected request batch: masked PCs are dropped, then the batch
+    /// is truncated to the degree limit. A no-op without a manager (or
+    /// under the `static` policy, whose control is always empty).
+    fn apply_control(&self, reqs: &mut Vec<PrefetchRequest>) {
+        let Some(m) = self.mgr.as_ref() else { return };
+        if m.control.is_none() {
+            return;
+        }
+        if !m.control.masked_pcs.is_empty() {
+            // masked_pcs is sorted+deduped by `Control::merge`.
+            reqs.retain(|r| m.control.masked_pcs.binary_search(&r.pc).is_err());
+        }
+        if let Some(limit) = m.control.degree_limit {
+            reqs.truncate(limit as usize);
+        }
+    }
+
+    /// Total prefetch translations dropped by the TLB so far (base +
+    /// huge sub-TLBs, all cores) — the pressure signal behind the
+    /// demote-IMP rule.
+    fn tlb_prefetch_drops_total(&self) -> u64 {
+        let Some(vm) = self.vm.as_ref() else { return 0 };
+        (0..self.cfg.cores as usize)
+            .map(|c| vm.stats(c).prefetch_drops + vm.huge_stats(c).map_or(0, |s| s.prefetch_drops))
+            .sum()
+    }
+
+    /// Closes every epoch boundary at or before `now`: distills the
+    /// ledger into a [`Feedback`](imp_prefetch::Feedback) delta, asks
+    /// the policy and each core's prefetcher for a [`Control`], applies
+    /// a requested switch, and installs the merged control until the
+    /// next boundary.
+    fn manager_tick(&mut self, now: Cycle) {
+        let Some(mut m) = self.mgr.take() else { return };
+        while now >= m.next_epoch {
+            let end = m.next_epoch;
+            let drops = self.tlb_prefetch_drops_total();
+            let flit_hops = self.mesh.flit_hops();
+            let dram_bytes = self.traffic.dram_read_bytes + self.traffic.dram_write_bytes;
+            let fb = m.tracker.feedback(
+                &m.ledger,
+                end,
+                m.demand_misses,
+                drops,
+                flit_hops,
+                dram_bytes,
+            );
+            let mut ctl = m.mgr.on_epoch(&fb);
+            for p in &mut self.pref {
+                ctl = ctl.merge(p.on_feedback(&fb));
+            }
+            if let Some(spec) = ctl.switch_to.take() {
+                if spec != m.active && self.switch_prefetcher(&spec) {
+                    m.active = spec;
+                }
+            }
+            m.control = ctl;
+            m.next_epoch = end + m.mgr.epoch_len();
+        }
+        self.mgr = Some(m);
+    }
+
+    /// Rebuilds every core's prefetcher from `spec`, folding the
+    /// outgoing models' detection counters into the carried statistics
+    /// so nothing is lost at the seam. Returns `false` (leaving the
+    /// running prefetchers untouched) if the registry rejects the spec
+    /// — a mid-run switch must never abort a simulation.
+    fn switch_prefetcher(&mut self, spec: &PrefetcherSpec) -> bool {
+        let partial = self.cfg.partial != PartialMode::Off;
+        let mut fresh: Vec<Box<dyn L1Prefetcher>> = Vec::with_capacity(self.pref.len());
+        for c in 0..self.pref.len() {
+            let ctx = BuildCtx {
+                core: c as u32,
+                imp: &self.cfg.imp,
+                partial,
+            };
+            match registry::build(spec, &ctx) {
+                Ok(p) => fresh.push(p),
+                Err(_) => return false,
+            }
+        }
+        for (c, old) in self.pref.iter().enumerate() {
+            let s = old.stats();
+            let k = &mut self.carried_pref[c];
+            k.stream_prefetches += s.stream_prefetches;
+            k.indirect_prefetches += s.indirect_prefetches;
+            k.patterns_detected += s.patterns_detected;
+            k.detect_failures += s.detect_failures;
+            k.ways_detected += s.ways_detected;
+            k.levels_detected += s.levels_detected;
+            k.partial_prefetches += s.partial_prefetches;
+            k.value_unavailable += s.value_unavailable;
+            k.deferred_drops += s.deferred_drops;
+            k.deferred_retries += s.deferred_retries;
+            k.mshr_drops += s.mshr_drops;
+        }
+        self.pref = fresh;
+        true
     }
 
     fn send(&mut self, msg: Msg, at: Cycle) {
@@ -369,8 +519,16 @@ impl Fabric {
                 l1: &self.l1[c],
                 mem: &self.mem,
             };
-            self.pref[c].on_access(access, &mut src, &mut reqs);
+            let mut ctx = PrefetchCtx::new(
+                access.pc,
+                AccessClass::Other,
+                &mut src,
+                &mut reqs,
+                &self.cprobes[c],
+            );
+            self.pref[c].on_access_ctx(access, &mut ctx);
         }
+        self.apply_control(&mut reqs);
         for r in reqs.drain(..) {
             self.issue_prefetch(c, r, now, 0);
         }
@@ -408,8 +566,16 @@ impl Fabric {
                         l1: &self.l1[c],
                         mem: &self.mem,
                     };
-                    self.pref[c].on_prefetch_fill(req, &mut src, &mut chained);
+                    let mut ctx = PrefetchCtx::new(
+                        req.pc,
+                        class_of(req.kind),
+                        &mut src,
+                        &mut chained,
+                        &self.cprobes[c],
+                    );
+                    self.pref[c].on_prefetch_fill_ctx(req, &mut ctx);
                 }
+                self.apply_control(&mut chained);
                 for r in chained.drain(..) {
                     self.issue_prefetch(c, r, now, depth + 1);
                 }
@@ -444,15 +610,18 @@ impl Fabric {
                 let class = match req.kind {
                     PrefetchKind::Stream => {
                         self.pstats[c].issued_stream += 1;
-                        imp_common::stats::AccessClass::Stream
+                        AccessClass::Stream
                     }
                     PrefetchKind::Indirect { .. } => {
                         self.pstats[c].issued_indirect += 1;
-                        imp_common::stats::AccessClass::Indirect
+                        AccessClass::Indirect
                     }
                 };
                 self.probe
                     .prefetch_issue(c as u32, line, req.pc, class, now);
+                if let Some(m) = self.mgr.as_mut() {
+                    m.ledger.issue(c as u32, line, req.pc, class, now);
+                }
                 if sectors != self.l1[c].full_mask() {
                     self.pstats[c].partial_prefetches += 1;
                 }
@@ -489,11 +658,17 @@ impl Fabric {
     ) -> MemResult {
         let token = self.next_token;
         self.next_token += 1;
+        if let Some(m) = self.mgr.as_mut() {
+            m.demand_misses += 1;
+        }
         // A merge into a pure-prefetch entry is a late prefetch.
         if let Some(e) = self.mshr[c].get(line) {
             if e.prefetch_only {
                 self.pstats[c].late += 1;
                 self.probe.prefetch_demand_merge(c as u32, line, now);
+                if let Some(m) = self.mgr.as_mut() {
+                    m.ledger.demand_merge(c as u32, line);
+                }
             }
         }
         let waiter = if is_write {
@@ -586,6 +761,9 @@ impl Fabric {
                 if first_touch_of_prefetch {
                     self.pstats[c].covered += 1;
                     self.probe.prefetch_first_use(c as u32, line, now);
+                    if let Some(m) = self.mgr.as_mut() {
+                        m.ledger.first_use(c as u32, line, now);
+                    }
                 }
                 self.pref[c].on_demand_touch(line, touch);
                 let needs_upgrade = is_write
@@ -645,11 +823,21 @@ impl Fabric {
                 }
                 Waiter::Prefetch { req } => {
                     self.probe.prefetch_fill(c as u32, msg.line, now);
+                    if let Some(m) = self.mgr.as_mut() {
+                        m.ledger.fill(c as u32, msg.line, now);
+                    }
                     let mut src = L1Values {
                         l1: &self.l1[c],
                         mem: &self.mem,
                     };
-                    self.pref[c].on_prefetch_fill(req, &mut src, &mut chained);
+                    let mut ctx = PrefetchCtx::new(
+                        req.pc,
+                        class_of(req.kind),
+                        &mut src,
+                        &mut chained,
+                        &self.cprobes[c],
+                    );
+                    self.pref[c].on_prefetch_fill_ctx(req, &mut ctx);
                 }
                 Waiter::SwPrefetch => {}
                 Waiter::PerfPref { id } => {
@@ -666,6 +854,7 @@ impl Fabric {
                 }
             }
         }
+        self.apply_control(&mut chained);
         for r in chained.drain(..) {
             self.issue_prefetch(c, r, now, 1);
         }
@@ -677,6 +866,9 @@ impl Fabric {
         if ev.prefetched_untouched {
             self.pstats[c].unused += 1;
             self.probe.prefetch_evicted_unused(c as u32, ev.line, now);
+            if let Some(m) = self.mgr.as_mut() {
+                m.ledger.evicted_unused(c as u32, ev.line);
+            }
         } else if ev.prefetched_touched {
             self.pstats[c].useful += 1;
         }
@@ -705,6 +897,9 @@ impl Fabric {
             if ev.prefetched_untouched {
                 self.pstats[c].unused += 1;
                 self.probe.prefetch_evicted_unused(c as u32, ev.line, now);
+                if let Some(m) = self.mgr.as_mut() {
+                    m.ledger.evicted_unused(c as u32, ev.line);
+                }
             } else if ev.prefetched_touched {
                 self.pstats[c].useful += 1;
             }
@@ -1428,6 +1623,29 @@ impl System {
             None
         };
 
+        // The manager only runs in Realistic mode (there is nothing to
+        // manage elsewhere), but a configured spec is validated in
+        // every mode so a typo surfaces regardless of the sweep axis.
+        let mgr = match &cfg.manager {
+            None => None,
+            Some(spec) => {
+                let m = Manager::build(spec)?;
+                if cfg.mem_mode == MemMode::Realistic {
+                    Some(ManagerState {
+                        next_epoch: m.epoch_len(),
+                        mgr: m,
+                        ledger: Ledger::default(),
+                        tracker: EpochTracker::new(),
+                        control: Control::none(),
+                        demand_misses: 0,
+                        active: cfg.prefetcher.clone(),
+                    })
+                } else {
+                    None
+                }
+            }
+        };
+
         let drams: Vec<Box<dyn DramModel>> = (0..cfg.mem.mem_controllers)
             .map(|_| -> Box<dyn DramModel> {
                 match cfg.mem.dram {
@@ -1476,6 +1694,9 @@ impl System {
             traffic: TrafficStats::default(),
             completions: Vec::new(),
             probe: Probe::disabled(),
+            cprobes: vec![CoreProbe::disabled(); n],
+            mgr,
+            carried_pref: vec![PrefetcherStats::default(); n],
             req_bufs: Vec::new(),
             next_token: 0,
             shadow: (0..n)
@@ -1512,6 +1733,9 @@ impl System {
         for (c, core) in self.cores.iter_mut().enumerate() {
             core.attach_probe(probe.for_core(c as u32));
         }
+        self.fab.cprobes = (0..self.cores.len())
+            .map(|c| probe.for_core(c as u32))
+            .collect();
         self.fab.probe = probe;
     }
 
@@ -1573,6 +1797,12 @@ impl System {
                     events: guard,
                     stats: Box::new(self.collect_stats()),
                 });
+            }
+            // Epoch boundaries close against the event clock, before
+            // the event dispatches: every epoch sees exactly the state
+            // changes of events strictly before its end cycle.
+            if self.fab.mgr.is_some() {
+                self.fab.manager_tick(t);
             }
             match ev {
                 // Stall fast-forward: wakes scheduled for a core that has
@@ -1660,16 +1890,20 @@ impl System {
                 }
             }
         }
-        // Merge detection counters from the prefetcher models.
+        // Merge detection counters from the prefetcher models, plus
+        // anything carried over from models replaced by a manager
+        // switch (zero in unmanaged runs). Assignment, not +=, keeps
+        // this idempotent across repeated collections.
         for (c, p) in self.fab.pref.iter().enumerate() {
             let s = p.stats();
+            let k = &self.fab.carried_pref[c];
             let out = &mut self.fab.pstats[c];
-            out.patterns_detected = s.patterns_detected;
-            out.detect_failures = s.detect_failures;
-            out.value_unavailable = s.value_unavailable;
-            out.generated_indirect = s.indirect_prefetches;
-            out.deferred_drops = s.deferred_drops;
-            out.deferred_retries = s.deferred_retries;
+            out.patterns_detected = k.patterns_detected + s.patterns_detected;
+            out.detect_failures = k.detect_failures + s.detect_failures;
+            out.value_unavailable = k.value_unavailable + s.value_unavailable;
+            out.generated_indirect = k.indirect_prefetches + s.indirect_prefetches;
+            out.deferred_drops = k.deferred_drops + s.deferred_drops;
+            out.deferred_retries = k.deferred_retries + s.deferred_retries;
         }
         let cores: Vec<CoreStats> = self.cores.iter().map(|c| c.stats().clone()).collect();
         let runtime = cores.iter().map(|c| c.done_cycle).max().unwrap_or(0);

@@ -5,9 +5,9 @@
 //! | section | encoding |
 //! |---|---|
 //! | magic | 8 bytes, `b"IMPRESLT"` |
-//! | version | `u32`, currently 1 |
+//! | version | `u32`, currently 2 |
 //! | canonical | `u32` length + UTF-8 bytes |
-//! | cell key | workload, cores, seed, prefetcher, partial, TLB, page policies |
+//! | cell key | workload, cores, seed, prefetcher, manager, partial, TLB, page policies |
 //! | stats | runtime + per-core vectors + L2-TLB + traffic, `u64` words |
 //! | checksum | `u64` FNV-1a over everything before it |
 //!
@@ -34,7 +34,12 @@ pub const MAGIC: [u8; 8] = *b"IMPRESLT";
 /// Bump this when a code change alters simulated *timing* without
 /// changing any config knob — stale results must become unreadable, not
 /// silently wrong.
-pub const VERSION: u32 = 1;
+///
+/// History: 1 → 2 added the optional adaptive-manager spec to the cell
+/// key (a presence byte followed by a spec when present). Version-1
+/// records — all necessarily unmanaged — become cache misses rather
+/// than being grandfathered in, keeping the reader single-version.
+pub const VERSION: u32 = 2;
 
 /// Why a stored result could not be read or written.
 #[derive(Debug)]
@@ -136,6 +141,8 @@ pub struct CellKey {
     pub cores: u32,
     /// The prefetcher configuration.
     pub prefetcher: PrefetcherSpec,
+    /// Adaptive-management policy spec (`None` = unmanaged).
+    pub manager: Option<PrefetcherSpec>,
     /// Partial cacheline accessing mode.
     pub partial: PartialMode,
     /// dTLB / page-walk configuration.
@@ -152,6 +159,7 @@ impl Default for CellKey {
             workload: String::new(),
             cores: 0,
             prefetcher: PrefetcherSpec::default(),
+            manager: None,
             partial: PartialMode::default(),
             tlb: TlbConfig::ideal(),
             page_policy: Vec::new(),
@@ -254,14 +262,10 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-fn encode_cell(cell: &CellKey, out: &mut Vec<u8>) {
-    put_str(out, &cell.workload);
-    out.extend_from_slice(&cell.cores.to_le_bytes());
-    out.extend_from_slice(&cell.seed.to_le_bytes());
-
-    put_str(out, &cell.prefetcher.name);
-    out.extend_from_slice(&(cell.prefetcher.params.len() as u32).to_le_bytes());
-    for (key, value) in &cell.prefetcher.params {
+fn put_spec(out: &mut Vec<u8>, spec: &PrefetcherSpec) {
+    put_str(out, &spec.name);
+    out.extend_from_slice(&(spec.params.len() as u32).to_le_bytes());
+    for (key, value) in &spec.params {
         put_str(out, key);
         match value {
             ParamValue::Bool(b) => {
@@ -280,6 +284,21 @@ fn encode_cell(cell: &CellKey, out: &mut Vec<u8>) {
                 out.push(3);
                 put_str(out, s);
             }
+        }
+    }
+}
+
+fn encode_cell(cell: &CellKey, out: &mut Vec<u8>) {
+    put_str(out, &cell.workload);
+    out.extend_from_slice(&cell.cores.to_le_bytes());
+    out.extend_from_slice(&cell.seed.to_le_bytes());
+
+    put_spec(out, &cell.prefetcher);
+    match &cell.manager {
+        None => out.push(0),
+        Some(spec) => {
+            out.push(1);
+            put_spec(out, spec);
         }
     }
 
@@ -326,13 +345,9 @@ fn encode_cell(cell: &CellKey, out: &mut Vec<u8>) {
     }
 }
 
-fn decode_cell(r: &mut Reader<'_>) -> Result<CellKey, StoreError> {
-    let workload = r.string("workload")?;
-    let cores = r.u32("cores")?;
-    let seed = r.u64("seed")?;
-
-    let name = r.string("prefetcher name")?;
-    let mut prefetcher = PrefetcherSpec::new(name);
+fn read_spec(r: &mut Reader<'_>) -> Result<PrefetcherSpec, StoreError> {
+    let name = r.string("spec name")?;
+    let mut spec = PrefetcherSpec::new(name);
     let n_params = r.u32("param count")? as usize;
     for _ in 0..n_params {
         let key = r.string("param key")?;
@@ -350,8 +365,27 @@ fn decode_cell(r: &mut Reader<'_>) -> Result<CellKey, StoreError> {
                 })
             }
         };
-        prefetcher.params.insert(key, value);
+        spec.params.insert(key, value);
     }
+    Ok(spec)
+}
+
+fn decode_cell(r: &mut Reader<'_>) -> Result<CellKey, StoreError> {
+    let workload = r.string("workload")?;
+    let cores = r.u32("cores")?;
+    let seed = r.u64("seed")?;
+
+    let prefetcher = read_spec(r)?;
+    let manager = match r.byte("manager presence")? {
+        0 => None,
+        1 => Some(read_spec(r)?),
+        value => {
+            return Err(StoreError::BadTag {
+                section: "manager presence",
+                value,
+            })
+        }
+    };
 
     let partial = match r.byte("partial mode")? {
         0 => PartialMode::Off,
@@ -425,6 +459,7 @@ fn decode_cell(r: &mut Reader<'_>) -> Result<CellKey, StoreError> {
         workload,
         cores,
         prefetcher,
+        manager,
         partial,
         tlb,
         page_policy,
@@ -715,6 +750,7 @@ mod tests {
                     .with("tag", ParamValue::Str("8".to_string()))
                     .with("frac", 0.5f64)
                     .with("on", true),
+                manager: Some(PrefetcherSpec::new("throttle").with("floor", 0.4f64)),
                 partial: PartialMode::NocAndDram,
                 tlb: TlbConfig::finite().with_l2(128, 8),
                 page_policy: vec![
@@ -754,6 +790,15 @@ mod tests {
             back.cell.prefetcher.get("pt_size"),
             Some(&ParamValue::Int(64))
         );
+    }
+
+    #[test]
+    fn unmanaged_cells_roundtrip() {
+        let mut rec = sample();
+        rec.cell.manager = None;
+        let back = StoredResult::from_bytes(&rec.to_bytes()).unwrap();
+        assert_eq!(back.cell.manager, None);
+        assert_eq!(back, rec);
     }
 
     #[test]

@@ -179,10 +179,21 @@ fn record_strategy() -> impl Strategy<Value = StoredResult> {
                 for (i, (k, v)) in params.into_iter().enumerate() {
                     prefetcher.params.insert(format!("k{i}{}", word(k, 6)), v);
                 }
+                // Roughly a third of cells run unmanaged; managed ones
+                // sometimes carry a parameter so both spec shapes
+                // round-trip.
+                let manager = (seed % 3 != 0).then(|| {
+                    let mut m = PrefetcherSpec::new(format!("m{}", word(name_seed, 5)));
+                    if partial % 2 == 0 {
+                        m.params.insert("floor".to_string(), param_from(2, 0, seed));
+                    }
+                    m
+                });
                 let cell = CellKey {
                     workload: format!("w{}", cores % 7),
                     cores,
                     prefetcher,
+                    manager,
                     partial: [
                         PartialMode::Off,
                         PartialMode::NocOnly,

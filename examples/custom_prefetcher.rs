@@ -12,9 +12,7 @@
 
 use imp::common::{LineAddr, SectorMask};
 use imp::prefetch::registry::{self, RegistryError};
-use imp::prefetch::{
-    Access, IndexValueSource, L1Prefetcher, PrefetchKind, PrefetchRequest, PrefetcherStats,
-};
+use imp::prefetch::{Access, L1Prefetcher, PrefetchKind, PrefetchRequest, PrefetcherStats};
 use imp::prelude::*;
 
 /// Next-N-lines: on every miss, prefetch the `degree` following lines.
@@ -24,19 +22,19 @@ struct NextLines {
 }
 
 impl L1Prefetcher for NextLines {
-    fn on_access(
-        &mut self,
-        access: Access,
-        _values: &mut dyn IndexValueSource,
-        out: &mut Vec<PrefetchRequest>,
-    ) {
+    // The context-based hook is the current surface: `ctx` bundles the
+    // index-value source, the output buffer (`ctx.emit`), and the
+    // observability probe. Plugins written against the older
+    // `on_access(access, values, out)` hook still compile — the trait
+    // defaults bridge the two — but new code should start here.
+    fn on_access_ctx(&mut self, access: Access, ctx: &mut PrefetchCtx<'_>) {
         if !access.miss {
             return;
         }
         let line = LineAddr::containing(access.addr);
         for d in 1..=self.degree {
             self.stats.stream_prefetches += 1;
-            out.push(PrefetchRequest {
+            ctx.emit(PrefetchRequest {
                 pc: access.pc,
                 addr: LineAddr::from_line_number(line.number() + d).base(),
                 sectors: SectorMask::FULL_L1,
@@ -44,6 +42,12 @@ impl L1Prefetcher for NextLines {
                 kind: PrefetchKind::Stream,
             });
         }
+    }
+
+    // Optional: managed runs (`Sim::manager`) deliver per-epoch
+    // feedback here; a plugin that ignores it works unchanged.
+    fn on_feedback(&mut self, _feedback: &Feedback) -> Control {
+        Control::none()
     }
 
     fn stats(&self) -> &PrefetcherStats {

@@ -10,9 +10,11 @@
 //! cargo run --release --example prefetcher_playground
 //! ```
 
+use imp::common::stats::AccessClass;
 use imp::common::{Addr, ImpConfig, Pc};
+use imp::obs::CoreProbe;
 use imp::prefetch::registry::{self, BuildCtx};
-use imp::prefetch::{Access, Imp, L1Prefetcher, MapValueSource, PrefetchKind};
+use imp::prefetch::{Access, Imp, L1Prefetcher, MapValueSource, PrefetchCtx, PrefetchKind};
 
 fn main() {
     // Plant the pattern: B is a u32 index array at 0x1_0000 holding
@@ -40,19 +42,32 @@ fn main() {
         registry::registered_names().join(", ")
     );
 
+    let probe = CoreProbe::disabled();
     println!("i | B[i]   | emitted prefetches");
     for i in 0..40u64 {
         let mut emitted = Vec::new();
         // The loop body: load B[i] (stream), then load A[B[i]] (indirect miss).
-        pf.on_access(
-            Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
+        let mut ctx = PrefetchCtx::new(
+            Pc::new(1),
+            AccessClass::Other,
             &mut values,
             &mut emitted,
+            &probe,
         );
-        pf.on_access(
-            Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
+        pf.on_access_ctx(
+            Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
+            &mut ctx,
+        );
+        let mut ctx = PrefetchCtx::new(
+            Pc::new(2),
+            AccessClass::Other,
             &mut values,
             &mut emitted,
+            &probe,
+        );
+        pf.on_access_ctx(
+            Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
+            &mut ctx,
         );
         let rendered: Vec<String> = emitted
             .iter()
@@ -74,14 +89,30 @@ fn main() {
     // PT introspection needs the concrete model, so replay the stream on
     // a directly constructed `Imp` (same config, same seed).
     let mut imp = Imp::new(imp_cfg.clone(), false, 7);
+    let mut scratch = Vec::new();
     for i in 0..40u64 {
-        imp.on_access_collect(
-            Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
+        scratch.clear();
+        let mut ctx = PrefetchCtx::new(
+            Pc::new(1),
+            AccessClass::Other,
             &mut values,
+            &mut scratch,
+            &probe,
         );
-        imp.on_access_collect(
-            Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
+        imp.on_access_ctx(
+            Access::load_hit(Pc::new(1), Addr::new(b_base + 4 * i), 4),
+            &mut ctx,
+        );
+        let mut ctx = PrefetchCtx::new(
+            Pc::new(2),
+            AccessClass::Other,
             &mut values,
+            &mut scratch,
+            &probe,
+        );
+        imp.on_access_ctx(
+            Access::load_miss(Pc::new(2), Addr::new(a_base + 8 * b_of(i)), 8),
+            &mut ctx,
         );
     }
     for slot in 0..16 {

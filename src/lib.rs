@@ -38,6 +38,15 @@
 //!   (`Sim::observe` / `Sim::run_observed`, `Sweep::observe`, the
 //!   `observability_tour` example). Observation never changes timing:
 //!   a probed run is bit-identical to a bare one.
+//! * [`adapt`] — the adaptive-management control plane: a per-epoch
+//!   feedback loop that distills the observability ledger into
+//!   [`adapt::Manager`] policy decisions — throttle an inaccurate
+//!   prefetcher, mask its cold PCs, or switch models entirely (the
+//!   offline-trained decision tree demotes IMP to a stream prefetcher
+//!   under TLB pressure). Prefetchers participate through
+//!   `L1Prefetcher::on_feedback`; drive it with `Sim::manager` or the
+//!   `Sweep::managers` axis (`"static"`, `"throttle"`, `"tree"`), and
+//!   see the `adaptive_manager` example.
 //! * [`store`] — the content-addressed result store: every sweep cell
 //!   is digested over its full canonical input and persisted as a
 //!   checksummed `.impres` record, so re-running a sweep simulates only
@@ -95,6 +104,7 @@
 //! # std::fs::remove_file(&path).ok();
 //! ```
 
+pub use imp_adapt as adapt;
 pub use imp_cache as cache;
 pub use imp_coherence as coherence;
 pub use imp_common as common;
@@ -116,6 +126,7 @@ pub use sim::{Sim, SimError, Sweep, SweepCell, SweepReport, SweepResult};
 
 /// The most commonly used types, one `use` away.
 pub mod prelude {
+    pub use imp_adapt::{DecisionTree, EpochTracker, Manager, ManagerPolicy};
     pub use imp_common::config::{CoreModel, MemMode, PartialMode, PrefetcherKind};
     pub use imp_common::config::{
         MemRegion, PagePolicy, ParamValue, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
@@ -128,7 +139,9 @@ pub mod prelude {
     };
     pub use imp_mem::{AddressSpace, FunctionalMemory};
     pub use imp_obs::{ObsConfig, ObsReport, ObsSummary};
-    pub use imp_prefetch::{Access, Imp, L1Prefetcher, PrefetchRequest};
+    pub use imp_prefetch::{
+        Access, Control, Feedback, Imp, L1Prefetcher, PrefetchCtx, PrefetchRequest,
+    };
     pub use imp_sim::System;
     pub use imp_store::{cell_digest, digest_hex, ResultStore, StoredResult};
     pub use imp_trace::{Op, Program, TraceFile};

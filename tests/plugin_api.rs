@@ -63,6 +63,38 @@ fn register_next_line() -> Arc<AtomicU64> {
         .clone()
 }
 
+/// The legacy hook surface must keep working through the trait's
+/// bridging defaults: a plugin *implementing* old `on_access` is driven
+/// by the simulator's `on_access_ctx` calls, and old callers of
+/// `on_access_collect` still reach a ctx-based implementation. The
+/// `allow` is scoped to the exercise; CI rebuilds this test with
+/// `--force-warn deprecated` and asserts the warning points here, so
+/// the legacy surface can neither silently break nor silently lose its
+/// deprecation marker.
+#[test]
+fn legacy_hooks_still_work_through_the_shims() {
+    let issued = register_next_line();
+    let before = issued.load(Ordering::Relaxed);
+    let mut pf = registry::build(
+        &"test-next-line".parse().expect("valid spec"),
+        &registry::BuildCtx {
+            core: 0,
+            imp: &imp::common::ImpConfig::paper_default(),
+            partial: false,
+        },
+    )
+    .expect("registered above");
+    let mut values = imp::prefetch::MapValueSource::new();
+    #[allow(deprecated)]
+    let reqs = pf.on_access_collect(
+        Access::load_miss(Pc::new(9), Addr::new(0x4000), 8),
+        &mut values,
+    );
+    assert_eq!(reqs.len(), 1, "legacy impl reached through the shims");
+    assert_eq!(reqs[0].addr, Addr::new(0x4040), "next line prefetched");
+    assert_eq!(issued.load(Ordering::Relaxed), before + 1);
+}
+
 #[test]
 fn custom_prefetcher_runs_end_to_end_through_sim() {
     let issued = register_next_line();
