@@ -260,6 +260,7 @@ pub struct EpochTracker {
     prev_total: LedgerCounts,
     prev_per_pc: FastMap<Pc, LedgerCounts>,
     prev_per_class: [LedgerCounts; AccessClass::ALL.len()],
+    prev_per_hop: [LedgerCounts; imp_obs::MAX_HOPS],
     prev_demand_misses: u64,
     prev_tlb_drops: u64,
     prev_flit_hops: u64,
@@ -320,6 +321,11 @@ impl EpochTracker {
         for (i, c) in cur_class.iter().enumerate() {
             per_class[i] = sub_counts(c, &self.prev_per_class[i]);
         }
+        let cur_hop = ledger.per_hop();
+        let mut per_hop: [LedgerCounts; imp_obs::MAX_HOPS] = Default::default();
+        for (i, c) in cur_hop.iter().enumerate() {
+            per_hop[i] = sub_counts(c, &self.prev_per_hop[i]);
+        }
         let fb = Feedback {
             epoch: self.epoch,
             start: self.prev_start,
@@ -327,6 +333,7 @@ impl EpochTracker {
             total,
             per_pc,
             per_class,
+            per_hop,
             demand_misses: demand_misses - self.prev_demand_misses,
             tlb_prefetch_drops: tlb_prefetch_drops - self.prev_tlb_drops,
             noc_flit_hops: noc_flit_hops - self.prev_flit_hops,
@@ -337,6 +344,7 @@ impl EpochTracker {
         self.prev_total = *ledger.total();
         self.prev_per_pc = cur_pc.into_iter().collect();
         self.prev_per_class = *cur_class;
+        self.prev_per_hop = *cur_hop;
         self.prev_demand_misses = demand_misses;
         self.prev_tlb_drops = tlb_prefetch_drops;
         self.prev_flit_hops = noc_flit_hops;
@@ -404,8 +412,8 @@ mod tests {
         let pc = Pc::new(7);
         let line = |i: u64| LineAddr::containing(imp_common::Addr::new(0x1000 + 64 * i));
 
-        ledger.issue(0, line(0), pc, AccessClass::Stream, 10);
-        ledger.issue(0, line(1), pc, AccessClass::Stream, 20);
+        ledger.issue(0, line(0), pc, AccessClass::Stream, 0, 10);
+        ledger.issue(0, line(1), pc, AccessClass::Stream, 0, 20);
         ledger.fill(0, line(0), 30);
         let fb0 = tracker.feedback(&ledger, 100, 5, 1, 100, 640);
         assert_eq!(fb0.epoch, 0);

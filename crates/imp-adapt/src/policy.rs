@@ -147,7 +147,7 @@ impl ManagerPolicy for ThrottlePolicy {
         Control {
             degree_limit: Some(self.degree),
             masked_pcs: self.masked.clone(),
-            switch_to: None,
+            ..Control::none()
         }
     }
 }
@@ -157,6 +157,9 @@ impl ManagerPolicy for ThrottlePolicy {
 ///
 /// * `pass` — no control.
 /// * `limit<N>` — cap the degree at N.
+/// * `depth<N>` — cap chained prefetching at hop N (the demote-deep
+///   rule: when deep-hop accuracy collapses, keep the primary
+///   indirect stream and drop the speculative chain behind it).
 /// * `mask` — cap the degree *and* mask low-accuracy PCs (same
 ///   accumulation rule as [`ThrottlePolicy`]).
 /// * `switch_stream` — request a switch to the plain `stream`
@@ -226,8 +229,11 @@ impl ManagerPolicy for TreePolicy {
             }
             TreeAction::Limit(n) => Control {
                 degree_limit: Some(n),
-                masked_pcs: Vec::new(),
-                switch_to: None,
+                ..Control::none()
+            },
+            TreeAction::Depth(n) => Control {
+                depth_limit: Some(n),
+                ..Control::none()
             },
             TreeAction::Mask => {
                 for (pc, c) in &feedback.per_pc {
@@ -240,13 +246,12 @@ impl ManagerPolicy for TreePolicy {
                 Control {
                     degree_limit: Some(self.degree),
                     masked_pcs: self.masked.clone(),
-                    switch_to: None,
+                    ..Control::none()
                 }
             }
             TreeAction::SwitchStream => Control {
-                degree_limit: None,
-                masked_pcs: Vec::new(),
                 switch_to: Some(PrefetcherSpec::new("stream")),
+                ..Control::none()
             },
         }
     }
@@ -322,6 +327,32 @@ mod tests {
         // Recovery clears it.
         let ctl = p.on_epoch(&fb(100, 90, 10));
         assert!(ctl.is_none());
+    }
+
+    #[test]
+    fn tree_policy_demotes_deep_hops_when_hop2_accuracy_collapses() {
+        let mut p = TreePolicy::new(DecisionTree::chain_default());
+        let mut deep_miss = fb(100, 80, 20);
+        deep_miss.per_hop[2] = LedgerCounts {
+            issued: 40,
+            fills: 40,
+            used: 2,
+            late: 0,
+            evicted_unused: 38,
+        };
+        let ctl = p.on_epoch(&deep_miss);
+        assert_eq!(ctl.depth_limit, Some(1));
+        assert!(ctl.degree_limit.is_none(), "depth rule leaves degree alone");
+        // Hop-2 healthy again: back to pass.
+        let mut healthy = fb(100, 80, 20);
+        healthy.per_hop[2] = LedgerCounts {
+            issued: 40,
+            fills: 40,
+            used: 36,
+            late: 2,
+            evicted_unused: 2,
+        };
+        assert!(p.on_epoch(&healthy).is_none());
     }
 
     #[test]

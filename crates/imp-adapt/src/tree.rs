@@ -9,11 +9,12 @@
 //! ```
 //!
 //! Grammar: a node is either a leaf action — `pass`, `limit<N>`,
-//! `mask`, `switch_stream` — or a split
+//! `depth<N>`, `mask`, `switch_stream` — or a split
 //! `(<feature><<threshold>?<below>:<above>)` that takes the `below`
 //! branch when the feature is strictly less than the threshold.
 //! Features: `acc` (accuracy), `time` (timeliness), `evict` (evict
-//! rate), `tlb` (TLB drop rate). `Display` and `FromStr` round-trip.
+//! rate), `tlb` (TLB drop rate), `h2acc` (hop-2 indirect accuracy).
+//! `Display` and `FromStr` round-trip.
 
 use imp_prefetch::Feedback;
 
@@ -28,15 +29,20 @@ pub enum TreeFeature {
     EvictRate,
     /// `tlb`: [`Feedback::tlb_drop_rate`].
     TlbDropRate,
+    /// `h2acc`: [`Feedback::hop_accuracy`] at hop 2 — the first
+    /// chained hop, the canary for whether deep pointer chasing is
+    /// paying off.
+    Hop2Accuracy,
 }
 
 impl TreeFeature {
     /// Every feature, in serialization order.
-    pub const ALL: [TreeFeature; 4] = [
+    pub const ALL: [TreeFeature; 5] = [
         TreeFeature::Accuracy,
         TreeFeature::Timeliness,
         TreeFeature::EvictRate,
         TreeFeature::TlbDropRate,
+        TreeFeature::Hop2Accuracy,
     ];
 
     /// The serialization key.
@@ -46,6 +52,7 @@ impl TreeFeature {
             TreeFeature::Timeliness => "time",
             TreeFeature::EvictRate => "evict",
             TreeFeature::TlbDropRate => "tlb",
+            TreeFeature::Hop2Accuracy => "h2acc",
         }
     }
 
@@ -62,6 +69,7 @@ impl TreeFeature {
             TreeFeature::Timeliness => fb.timeliness(),
             TreeFeature::EvictRate => fb.evict_rate(),
             TreeFeature::TlbDropRate => fb.tlb_drop_rate(),
+            TreeFeature::Hop2Accuracy => fb.hop_accuracy(2),
         }
     }
 }
@@ -73,6 +81,9 @@ pub enum TreeAction {
     Pass,
     /// Cap the prefetch degree at the given limit.
     Limit(u32),
+    /// Cap chained prefetching at the given hop (the demote-deep rule:
+    /// keep the primary indirect stream, drop speculative deep hops).
+    Depth(u8),
     /// Cap the degree and mask low-accuracy PCs.
     Mask,
     /// Switch the prefetcher to the plain `stream` spec (the paper's
@@ -86,6 +97,7 @@ impl TreeAction {
         match self {
             TreeAction::Pass => 0,
             TreeAction::Limit(n) => 1 + n as u64,
+            TreeAction::Depth(n) => u32::MAX as u64 + 2 + n as u64,
             TreeAction::Mask => u64::MAX - 1,
             TreeAction::SwitchStream => u64::MAX,
         }
@@ -97,6 +109,7 @@ impl std::fmt::Display for TreeAction {
         match self {
             TreeAction::Pass => write!(f, "pass"),
             TreeAction::Limit(n) => write!(f, "limit{n}"),
+            TreeAction::Depth(n) => write!(f, "depth{n}"),
             TreeAction::Mask => write!(f, "mask"),
             TreeAction::SwitchStream => write!(f, "switch_stream"),
         }
@@ -115,7 +128,7 @@ enum Node {
 }
 
 impl Node {
-    fn eval(&self, features: &[f64; 4]) -> TreeAction {
+    fn eval(&self, features: &[f64; 5]) -> TreeAction {
         match self {
             Node::Leaf(a) => *a,
             Node::Split {
@@ -174,8 +187,9 @@ pub struct DecisionTree {
 /// the best-performing sweep cell — would have taken.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TreeSample {
-    /// `[accuracy, timeliness, evict_rate, tlb_drop_rate]`.
-    pub features: [f64; 4],
+    /// `[accuracy, timeliness, evict_rate, tlb_drop_rate,
+    /// hop2_accuracy]`.
+    pub features: [f64; 5],
     /// The labelled action.
     pub action: TreeAction,
 }
@@ -201,6 +215,20 @@ impl DecisionTree {
             .expect("the built-in tree parses")
     }
 
+    /// [`DecisionTree::paper_default`] extended with the demote-deep
+    /// rule for chained indirection (`imp:depth>=2`): when hop-2
+    /// accuracy collapses below 0.2 while the stream as a whole is
+    /// still worth running, cap chasing at the primary hop
+    /// (`depth1`) instead of letting speculative deep hops pollute the
+    /// cache. Epochs that issue nothing at hop 2 score 1.0 and are
+    /// unaffected, so this tree behaves exactly like the paper default
+    /// on unchained workloads.
+    pub fn chain_default() -> Self {
+        "(tlb<0.25?(h2acc<0.2?depth1:(acc<0.35?(evict<0.5?limit2:mask):pass)):switch_stream)"
+            .parse()
+            .expect("the built-in chain tree parses")
+    }
+
     /// Evaluates the tree on one epoch's digest.
     pub fn decide(&self, fb: &Feedback) -> TreeAction {
         let features = [
@@ -208,12 +236,13 @@ impl DecisionTree {
             TreeFeature::Timeliness.of(fb),
             TreeFeature::EvictRate.of(fb),
             TreeFeature::TlbDropRate.of(fb),
+            TreeFeature::Hop2Accuracy.of(fb),
         ];
         self.eval(&features)
     }
 
     /// Evaluates the tree on a raw feature vector.
-    pub fn eval(&self, features: &[f64; 4]) -> TreeAction {
+    pub fn eval(&self, features: &[f64; 5]) -> TreeAction {
         self.root.eval(features)
     }
 
@@ -261,7 +290,7 @@ fn train_node(samples: &[TreeSample], max_depth: u32) -> Node {
         return Node::Leaf(maj);
     }
     let mut best: Option<(usize, f64, usize)> = None; // (feature, threshold, cost)
-    for fi in 0..4 {
+    for fi in 0..TreeFeature::ALL.len() {
         let mut values: Vec<f64> = samples.iter().map(|s| s.features[fi]).collect();
         values.sort_by(f64::total_cmp);
         values.dedup();
@@ -344,7 +373,7 @@ fn parse_node(s: &[u8], pos: &mut usize) -> Result<Node, String> {
         let feature = TreeFeature::ALL
             .into_iter()
             .find(|f| f.key() == key)
-            .ok_or_else(|| format!("unknown feature `{key}` (acc, time, evict, tlb)"))?;
+            .ok_or_else(|| format!("unknown feature `{key}` (acc, time, evict, tlb, h2acc)"))?;
         expect(s, pos, b'<')?;
         let start = *pos;
         while s.get(*pos).is_some_and(|c| *c != b'?') {
@@ -377,8 +406,14 @@ fn parse_node(s: &[u8], pos: &mut usize) -> Result<Node, String> {
                     .map_err(|_| format!("bad degree in `{w}`"))?;
                 Ok(Node::Leaf(TreeAction::Limit(n)))
             }
+            w if w.starts_with("depth") => {
+                let n: u8 = w["depth".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad hop cap in `{w}`"))?;
+                Ok(Node::Leaf(TreeAction::Depth(n)))
+            }
             w => Err(format!(
-                "unknown action `{w}` (pass, limit<N>, mask, switch_stream)"
+                "unknown action `{w}` (pass, limit<N>, depth<N>, mask, switch_stream)"
             )),
         }
     }
@@ -413,8 +448,10 @@ mod tests {
         for src in [
             "pass",
             "limit2",
+            "depth1",
             "(tlb<0.25?(acc<0.35?(evict<0.5?limit2:mask):pass):switch_stream)",
             "(time<0.5?switch_stream:(acc<0.9?limit4:pass))",
+            "(tlb<0.25?(h2acc<0.2?depth1:(acc<0.35?(evict<0.5?limit2:mask):pass)):switch_stream)",
         ] {
             let t: DecisionTree = src.parse().unwrap();
             assert_eq!(t.to_string(), src);
@@ -431,6 +468,8 @@ mod tests {
             "(speed<0.5?pass:mask)",
             "(acc<x?pass:mask)",
             "limitx",
+            "depthx",
+            "depth300",
             "pass)",
             "(acc<0.5?pass:mask",
         ] {
@@ -445,13 +484,32 @@ mod tests {
     fn eval_follows_splits() {
         let t = DecisionTree::paper_default();
         // Healthy: pass.
-        assert_eq!(t.eval(&[0.9, 0.9, 0.05, 0.0]), TreeAction::Pass);
+        assert_eq!(t.eval(&[0.9, 0.9, 0.05, 0.0, 1.0]), TreeAction::Pass);
         // Low accuracy, fills mostly dying: mask.
-        assert_eq!(t.eval(&[0.1, 0.5, 0.8, 0.0]), TreeAction::Mask);
+        assert_eq!(t.eval(&[0.1, 0.5, 0.8, 0.0, 1.0]), TreeAction::Mask);
         // Low accuracy but fills get used eventually: throttle.
-        assert_eq!(t.eval(&[0.2, 0.5, 0.1, 0.0]), TreeAction::Limit(2));
+        assert_eq!(t.eval(&[0.2, 0.5, 0.1, 0.0, 1.0]), TreeAction::Limit(2));
         // TLB pressure trumps everything: demote to stream.
-        assert_eq!(t.eval(&[0.9, 0.9, 0.05, 0.6]), TreeAction::SwitchStream);
+        assert_eq!(
+            t.eval(&[0.9, 0.9, 0.05, 0.6, 1.0]),
+            TreeAction::SwitchStream
+        );
+    }
+
+    #[test]
+    fn chain_default_demotes_deep_chasing() {
+        let t = DecisionTree::chain_default();
+        // Hop-2 accuracy collapsed: cap at the primary hop.
+        assert_eq!(t.eval(&[0.9, 0.9, 0.05, 0.0, 0.1]), TreeAction::Depth(1));
+        // No hop-2 issues score 1.0: identical to the paper default.
+        assert_eq!(t.eval(&[0.9, 0.9, 0.05, 0.0, 1.0]), TreeAction::Pass);
+        assert_eq!(t.eval(&[0.1, 0.5, 0.8, 0.0, 1.0]), TreeAction::Mask);
+        assert_eq!(t.eval(&[0.2, 0.5, 0.1, 0.0, 1.0]), TreeAction::Limit(2));
+        // TLB pressure still trumps the depth rule.
+        assert_eq!(
+            t.eval(&[0.9, 0.9, 0.05, 0.6, 0.1]),
+            TreeAction::SwitchStream
+        );
     }
 
     #[test]
@@ -471,7 +529,7 @@ mod tests {
                     TreeAction::Pass
                 };
                 samples.push(TreeSample {
-                    features: [acc, 1.0, 0.0, tlb],
+                    features: [acc, 1.0, 0.0, tlb, 1.0],
                     action,
                 });
             }
@@ -492,7 +550,7 @@ mod tests {
             DecisionTree::leaf(TreeAction::Pass)
         );
         let pure = [TreeSample {
-            features: [0.5; 4],
+            features: [0.5; 5],
             action: TreeAction::Mask,
         }; 4];
         assert_eq!(
@@ -502,15 +560,15 @@ mod tests {
         // Depth 0 forces a majority leaf.
         let mixed = [
             TreeSample {
-                features: [0.1; 4],
+                features: [0.1; 5],
                 action: TreeAction::Pass,
             },
             TreeSample {
-                features: [0.9; 4],
+                features: [0.9; 5],
                 action: TreeAction::Mask,
             },
             TreeSample {
-                features: [0.8; 4],
+                features: [0.8; 5],
                 action: TreeAction::Mask,
             },
         ];

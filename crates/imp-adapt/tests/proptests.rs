@@ -56,7 +56,7 @@ proptest! {
                     }
                 }
                 1 if states[li as usize] == LineState::Idle => {
-                    ledger.issue(0, line, pc, class, now);
+                    ledger.issue(0, line, pc, class, (pi % 4) as u8, now);
                     states[li as usize] = LineState::InFlight;
                 }
                 2 if states[li as usize] == LineState::InFlight => {
@@ -128,6 +128,16 @@ proptest! {
             }
             prop_assert_eq!(&s, cls);
         }
+
+        // Per-hop deltas reconcile hop by hop and sum to the totals.
+        for (h, cur) in ledger.per_hop().iter().enumerate() {
+            let mut s = LedgerCounts::default();
+            for fb in &epochs {
+                add(&mut s, &fb.per_hop[h]);
+            }
+            prop_assert_eq!(&s, cur);
+        }
+        prop_assert!(ledger.reconciles_per_hop());
 
         // Scalar side channels tile the run the same way.
         let miss_sum: u64 = epochs.iter().map(|fb| fb.demand_misses).sum();

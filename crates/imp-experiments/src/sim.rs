@@ -32,7 +32,7 @@ use imp_common::{ImpConfig, MemRegion, SystemConfig, SystemStats};
 use imp_obs::{ObsConfig, ObsReport, Probe};
 use imp_sim::{BuildError, RegistryError, RunError, System, VmConfigError};
 use imp_trace::BarrierMismatch;
-use imp_workloads::{by_name, BuiltArtifact, Scale, WorkloadError, WorkloadParams};
+use imp_workloads::{by_name, BuiltArtifact, ChainSpec, Scale, WorkloadError, WorkloadParams};
 use std::fmt;
 
 /// Why a [`Sim`] (or a `Sweep` cell) could not run.
@@ -87,11 +87,20 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::UnknownWorkload(name) => write!(
-                f,
-                "unknown workload {name:?}; try pagerank, tri_count, graph500, sgd, \
-                 lsh, spmv, symgs, dense, or trace:<path>"
-            ),
+            SimError::UnknownWorkload(name) => {
+                // A `chain:` name that resolved to nothing is a malformed
+                // spec — re-derive the grammar error so the caller sees
+                // *why* instead of a generic name list.
+                match name.strip_prefix("chain:").map(ChainSpec::parse) {
+                    Some(Err(why)) => write!(f, "bad chain workload {name:?}: {why}"),
+                    _ => write!(
+                        f,
+                        "unknown workload {name:?}; try pagerank, tri_count, graph500, \
+                         sgd, lsh, spmv, symgs, dense, gather2, hashjoin, skiplist, \
+                         btree, chain:<spec>, or trace:<path>"
+                    ),
+                }
+            }
             SimError::InvalidCores(n) => {
                 write!(f, "core count {n} is not a positive perfect square")
             }

@@ -38,7 +38,7 @@
 
 use crate::sim::{Sim, SimError};
 use imp_common::config::{
-    PagePolicy, PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
+    PagePolicy, ParamValue, PartialMode, PrefetcherSpec, TlbConfig, TranslationPolicy, WalkModel,
 };
 use imp_common::{fnv1a, SplitMix64, SystemStats};
 use imp_obs::{ObsConfig, ObsSummary};
@@ -159,6 +159,7 @@ pub struct Sweep {
     workloads: Vec<String>,
     cores: Vec<u32>,
     prefetchers: Vec<PrefetcherSpec>,
+    depths: Vec<u32>,
     managers: Vec<Option<PrefetcherSpec>>,
     partials: Vec<PartialMode>,
     page_sizes: Vec<u64>,
@@ -180,6 +181,7 @@ impl From<Sim> for Sweep {
             workloads: vec![base.workload_name().to_string()],
             cores: Vec::new(),
             prefetchers: Vec::new(),
+            depths: Vec::new(),
             managers: Vec::new(),
             partials: Vec::new(),
             page_sizes: Vec::new(),
@@ -239,6 +241,21 @@ impl Sweep {
                 Err(e) => self.spec_error = Some(e.to_string()),
             }
         }
+        self
+    }
+
+    /// Varies the chained-indirection depth: every prefetcher cell is
+    /// cloned per depth with its `depth` parameter overridden (the
+    /// `imp:depth=N` knob — data prefetches chase up to `N + 1` hops).
+    /// Depth varies fastest within a prefetcher, and never changes the
+    /// generated input, so a `depths([1, 2, 3])` sweep compares chain
+    /// depths on byte-identical workloads. Prefetchers that do not
+    /// accept a `depth` parameter fail their cells the same way any
+    /// invalid parameter does; with no depth axis, specs pass through
+    /// untouched (a spec's own `depth=` still applies).
+    #[must_use]
+    pub fn depths<I: IntoIterator<Item = u32>>(mut self, depths: I) -> Self {
+        self.depths = depths.into_iter().collect();
         self
     }
 
@@ -423,6 +440,23 @@ impl Sweep {
                 },
             )
         };
+        // The depth axis multiplies the prefetcher axis: one spec per
+        // (prefetcher, depth) with the `depth` parameter overridden.
+        let prefetchers: Vec<PrefetcherSpec> = if self.depths.is_empty() {
+            prefetchers.clone()
+        } else {
+            prefetchers
+                .iter()
+                .flat_map(|p| {
+                    self.depths.iter().map(|&d| {
+                        let mut p = p.clone();
+                        p.params
+                            .insert("depth".to_string(), ParamValue::Int(i64::from(d)));
+                        p
+                    })
+                })
+                .collect()
+        };
         let tlbs = self.tlb_variants();
         let base_policies = vec![self.base.page_policy_overrides().to_vec()];
         let policy_sets = if self.page_policies.is_empty() {
@@ -433,7 +467,7 @@ impl Sweep {
         let mut cells = Vec::new();
         for w in &self.workloads {
             for &n in cores {
-                for p in prefetchers {
+                for p in &prefetchers {
                     for mgr in managers {
                         for &m in partials {
                             for &tlb in &tlbs {
@@ -974,6 +1008,35 @@ mod tests {
         assert_eq!(cells[0].seed, cells[1].seed, "stream vs imp: same input");
         assert_ne!(cells[0].seed, cells[2].seed, "16 vs 64 cores: new input");
         assert_ne!(cells[0].seed, cells[4].seed, "spmv vs pagerank: new input");
+    }
+
+    #[test]
+    fn depth_axis_multiplies_the_prefetcher_axis_and_shares_inputs() {
+        let sweep = Sweep::from(Sim::workload("hashjoin").scale(Scale::Tiny))
+            .prefetchers(["imp", "hybrid"])
+            .depths([1, 2, 3]);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 6);
+        // Depth varies fastest within a prefetcher.
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.prefetcher.name, ["imp", "hybrid"][i / 3]);
+            assert_eq!(
+                cell.prefetcher.params.get("depth").and_then(|v| v.as_u64()),
+                Some(1 + (i % 3) as u64)
+            );
+        }
+        // The depth knob never changes the generated input.
+        assert!(cells.iter().all(|c| c.seed == cells[0].seed));
+        // Distinct depths are distinct cells to the result store.
+        assert_ne!(
+            sweep.cell_canonical(&cells[0]),
+            sweep.cell_canonical(&cells[1])
+        );
+        // Without the axis, specs pass through untouched.
+        let plain = Sweep::from(Sim::workload("hashjoin").scale(Scale::Tiny))
+            .prefetchers(["imp"])
+            .cells();
+        assert!(!plain[0].prefetcher.params.contains_key("depth"));
     }
 
     #[test]

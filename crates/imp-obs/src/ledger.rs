@@ -6,6 +6,11 @@
 use imp_common::stats::AccessClass;
 use imp_common::{Cycle, FastMap, LineAddr, Pc};
 
+/// Number of per-hop attribution buckets: bucket 0 holds sequential
+/// prefetches, bucket `h` holds indirect chain hop `h`, and hops past
+/// the range fold into the last bucket.
+pub const MAX_HOPS: usize = 8;
+
 /// Outcome counters for a population of prefetches. After
 /// [`Ledger::finish`], `fills == used + late + evicted_unused` exactly
 /// (the acceptance invariant).
@@ -68,6 +73,8 @@ enum State {
 struct Entry {
     pc: Pc,
     class: AccessClass,
+    /// Chain hop of the issuing pattern (0 = sequential).
+    hop: u8,
     issue: Cycle,
     state: State,
 }
@@ -102,6 +109,7 @@ pub struct Ledger {
     total: LedgerCounts,
     per_pc: FastMap<Pc, LedgerCounts>,
     per_class: [LedgerCounts; AccessClass::ALL.len()],
+    per_hop: [LedgerCounts; MAX_HOPS],
     /// Prefetch-waiter fills with no tracked issue (the prefetch merged
     /// into an existing demand MSHR entry) — excluded from the
     /// invariant by construction.
@@ -112,21 +120,32 @@ pub struct Ledger {
 }
 
 impl Ledger {
-    fn bump(&mut self, pc: Pc, class: AccessClass, f: impl Fn(&mut LedgerCounts)) {
+    fn bump(&mut self, pc: Pc, class: AccessClass, hop: u8, f: impl Fn(&mut LedgerCounts)) {
         f(&mut self.total);
         f(self.per_pc.entry(pc).or_default());
         f(&mut self.per_class[class.index()]);
+        f(&mut self.per_hop[(hop as usize).min(MAX_HOPS - 1)]);
     }
 
-    /// A prefetch MSHR entry was newly allocated at cycle `now`.
+    /// A prefetch MSHR entry was newly allocated at cycle `now`; `hop`
+    /// is the issuing pattern's chain hop (0 for sequential).
     /// An issue displacing an unused resident entry for the same line
     /// counts the old one evicted-unused (superseded).
-    pub fn issue(&mut self, core: u32, line: LineAddr, pc: Pc, class: AccessClass, now: Cycle) {
+    pub fn issue(
+        &mut self,
+        core: u32,
+        line: LineAddr,
+        pc: Pc,
+        class: AccessClass,
+        hop: u8,
+        now: Cycle,
+    ) {
         if let Some(old) = self.entries.insert(
             (core, line),
             Entry {
                 pc,
                 class,
+                hop,
                 issue: now,
                 state: State::InFlight { late: false },
             },
@@ -135,12 +154,12 @@ impl Ledger {
             // prefetch: close the old one out so the invariant holds.
             match old.state {
                 State::Resident { .. } => {
-                    self.bump(old.pc, old.class, |c| c.evicted_unused += 1);
+                    self.bump(old.pc, old.class, old.hop, |c| c.evicted_unused += 1);
                 }
                 State::InFlight { .. } => self.inflight_at_end += 1,
             }
         }
-        self.bump(pc, class, |c| c.issued += 1);
+        self.bump(pc, class, hop, |c| c.issued += 1);
     }
 
     /// A demand access merged into this line's in-flight prefetch: the
@@ -158,17 +177,17 @@ impl Ledger {
         match self.entries.get_mut(&(core, line)) {
             Some(e) => match e.state {
                 State::InFlight { late } => {
-                    let (pc, class, issue) = (e.pc, e.class, e.issue);
+                    let (pc, class, hop, issue) = (e.pc, e.class, e.hop, e.issue);
                     if late {
                         self.entries.remove(&(core, line));
-                        self.bump(pc, class, |c| {
+                        self.bump(pc, class, hop, |c| {
                             c.fills += 1;
                             c.late += 1;
                         });
                         FillOutcome::Late { issue }
                     } else {
                         e.state = State::Resident { fill: now };
-                        self.bump(pc, class, |c| c.fills += 1);
+                        self.bump(pc, class, hop, |c| c.fills += 1);
                         FillOutcome::Arrived { issue }
                     }
                 }
@@ -195,7 +214,7 @@ impl Ledger {
             return None;
         };
         self.entries.remove(&(core, line));
-        self.bump(e.pc, e.class, |c| c.used += 1);
+        self.bump(e.pc, e.class, e.hop, |c| c.used += 1);
         Some(now.saturating_sub(fill))
     }
 
@@ -210,7 +229,7 @@ impl Ledger {
             return false;
         };
         self.entries.remove(&(core, line));
-        self.bump(e.pc, e.class, |c| c.evicted_unused += 1);
+        self.bump(e.pc, e.class, e.hop, |c| c.evicted_unused += 1);
         true
     }
 
@@ -227,7 +246,7 @@ impl Ledger {
         for e in remaining {
             match e.state {
                 State::Resident { .. } => {
-                    self.bump(e.pc, e.class, |c| c.evicted_unused += 1);
+                    self.bump(e.pc, e.class, e.hop, |c| c.evicted_unused += 1);
                 }
                 State::InFlight { .. } => self.inflight_at_end += 1,
             }
@@ -252,6 +271,13 @@ impl Ledger {
         &self.per_class
     }
 
+    /// Counts per chain hop (index 0 = sequential, index `h` =
+    /// indirect hop `h`; hops past the range fold into the last
+    /// bucket).
+    pub fn per_hop(&self) -> &[LedgerCounts; MAX_HOPS] {
+        &self.per_hop
+    }
+
     /// Prefetch-waiter fills that were never tracked (merged into a
     /// demand entry at issue).
     pub fn untracked_fills(&self) -> u64 {
@@ -268,6 +294,17 @@ impl Ledger {
     /// tracked fill has exactly one outcome.
     pub fn reconciles(&self) -> bool {
         self.total.fills == self.total.used + self.total.late + self.total.evicted_unused
+    }
+
+    /// The per-hop form of the acceptance invariant: every hop bucket
+    /// reconciles on its own (a hop never inherits another hop's
+    /// outcome), and the buckets sum back to the total.
+    pub fn reconciles_per_hop(&self) -> bool {
+        let sum = merge_counts(self.per_hop.iter());
+        self.per_hop
+            .iter()
+            .all(|c| c.fills == c.used + c.late + c.evicted_unused)
+            && sum == self.total
     }
 }
 
@@ -292,34 +329,50 @@ mod tests {
     fn used_late_and_unused_partition_fills() {
         let mut l = Ledger::default();
         let pc = Pc::new(0x10);
-        // Timely + used.
-        l.issue(0, line(1), pc, AccessClass::Indirect, 70);
+        // Timely + used (chain hop 1).
+        l.issue(0, line(1), pc, AccessClass::Indirect, 1, 70);
         assert_eq!(l.fill(0, line(1), 100), FillOutcome::Arrived { issue: 70 });
         assert_eq!(l.first_use(0, line(1), 130), Some(30));
-        // Late.
-        l.issue(0, line(2), pc, AccessClass::Indirect, 150);
+        // Late (chain hop 2).
+        l.issue(0, line(2), pc, AccessClass::Indirect, 2, 150);
         l.demand_merge(0, line(2));
         assert_eq!(l.fill(0, line(2), 200), FillOutcome::Late { issue: 150 });
         // Evicted unused.
-        l.issue(0, line(3), pc, AccessClass::Stream, 250);
+        l.issue(0, line(3), pc, AccessClass::Stream, 0, 250);
         l.fill(0, line(3), 300);
         assert!(l.evicted_unused(0, line(3)));
         // Resident at end, untouched.
-        l.issue(0, line(4), pc, AccessClass::Stream, 350);
+        l.issue(0, line(4), pc, AccessClass::Stream, 0, 350);
         l.fill(0, line(4), 400);
         // Never filled.
-        l.issue(0, line(5), pc, AccessClass::Stream, 450);
+        l.issue(0, line(5), pc, AccessClass::Stream, 0, 450);
         l.finish();
         let t = *l.total();
         assert_eq!(t.issued, 5);
         assert_eq!(t.fills, 4);
         assert_eq!((t.used, t.late, t.evicted_unused), (1, 1, 2));
         assert!(l.reconciles());
+        assert!(l.reconciles_per_hop());
         assert_eq!(l.inflight_at_end(), 1);
         assert_eq!(l.per_pc().len(), 1);
         let by_class = l.per_class();
         assert_eq!(by_class[AccessClass::Indirect.index()].used, 1);
         assert_eq!(by_class[AccessClass::Stream.index()].evicted_unused, 2);
+        let by_hop = l.per_hop();
+        assert_eq!(by_hop[0].issued, 3);
+        assert_eq!((by_hop[1].issued, by_hop[1].used), (1, 1));
+        assert_eq!((by_hop[2].issued, by_hop[2].late), (1, 1));
+    }
+
+    #[test]
+    fn out_of_range_hops_fold_into_the_last_bucket() {
+        let mut l = Ledger::default();
+        let pc = Pc::new(0x30);
+        l.issue(0, line(1), pc, AccessClass::Indirect, 200, 10);
+        l.fill(0, line(1), 20);
+        l.finish();
+        assert_eq!(l.per_hop()[MAX_HOPS - 1].issued, 1);
+        assert!(l.reconciles_per_hop());
     }
 
     #[test]
@@ -336,9 +389,9 @@ mod tests {
     fn reissue_supersedes_an_unused_resident() {
         let mut l = Ledger::default();
         let pc = Pc::new(0x20);
-        l.issue(0, line(7), pc, AccessClass::Stream, 5);
+        l.issue(0, line(7), pc, AccessClass::Stream, 0, 5);
         l.fill(0, line(7), 10);
-        l.issue(0, line(7), pc, AccessClass::Stream, 30); // partial re-issue
+        l.issue(0, line(7), pc, AccessClass::Stream, 0, 30); // partial re-issue
         l.fill(0, line(7), 40);
         assert_eq!(l.first_use(0, line(7), 60), Some(20));
         l.finish();

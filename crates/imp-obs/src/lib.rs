@@ -28,7 +28,7 @@
 //!
 //! let probe = Probe::new(&ObsConfig::metrics().with_epoch(1000));
 //! let (core, line, pc) = (0, LineAddr::from_line_number(4), Pc::new(0x40));
-//! probe.prefetch_issue(core, line, pc, AccessClass::Indirect, 100);
+//! probe.prefetch_issue(core, line, pc, AccessClass::Indirect, 1, 100);
 //! probe.prefetch_fill(core, line, 250);
 //! probe.prefetch_first_use(core, line, 300);
 //! let report = probe.finish_into_report(5_000).unwrap();
@@ -45,7 +45,7 @@ pub mod trace;
 
 pub use epoch::{EpochCounters, EpochSample, EpochSampler};
 pub use hist::{bucket_lower, bucket_of, bucket_upper, Histogram, BUCKETS};
-pub use ledger::{merge_counts, FillOutcome, Ledger, LedgerCounts};
+pub use ledger::{merge_counts, FillOutcome, Ledger, LedgerCounts, MAX_HOPS};
 pub use ring::TraceRing;
 pub use trace::{EventKind, Trace, TraceEvent, Track};
 
@@ -212,7 +212,8 @@ impl Probe {
         });
     }
 
-    /// A prefetch MSHR entry was newly allocated on `core` for `line`.
+    /// A prefetch MSHR entry was newly allocated on `core` for `line`;
+    /// `hop` is the issuing pattern's chain hop (0 for sequential).
     #[inline]
     pub fn prefetch_issue(
         &self,
@@ -220,11 +221,12 @@ impl Probe {
         line: LineAddr,
         pc: Pc,
         class: AccessClass,
+        hop: u8,
         now: Cycle,
     ) {
         let Some(r) = &self.0 else { return };
         let mut r = r.borrow_mut();
-        r.ledger.issue(core, line, pc, class, now);
+        r.ledger.issue(core, line, pc, class, hop, now);
         if let Some(e) = r.tick(now) {
             e.pf_issued += 1;
         }
@@ -420,6 +422,7 @@ impl Probe {
             ledger_total: *r.ledger.total(),
             ledger_per_pc: r.ledger.per_pc(),
             ledger_per_class: *r.ledger.per_class(),
+            ledger_per_hop: *r.ledger.per_hop(),
             untracked_fills: r.ledger.untracked_fills(),
             inflight_at_end: r.ledger.inflight_at_end(),
             epochs: r
@@ -477,6 +480,10 @@ pub struct ObsReport {
     pub ledger_per_pc: Vec<(Pc, LedgerCounts)>,
     /// Ledger counts per [`AccessClass`].
     pub ledger_per_class: [LedgerCounts; AccessClass::ALL.len()],
+    /// Ledger counts per chain hop (index 0 = sequential prefetches,
+    /// index `h` = indirect hop `h`; deeper hops fold into the last
+    /// bucket).
+    pub ledger_per_hop: [LedgerCounts; MAX_HOPS],
     /// Prefetch fills that merged into demand entries (untracked).
     pub untracked_fills: u64,
     /// Tracked prefetches never filled by run end.
@@ -495,6 +502,15 @@ impl ObsReport {
         t.fills == t.used + t.late + t.evicted_unused
     }
 
+    /// The per-hop form of the invariant: each hop bucket reconciles on
+    /// its own and the buckets sum back to the total.
+    pub fn reconciles_per_hop(&self) -> bool {
+        self.ledger_per_hop
+            .iter()
+            .all(|c| c.fills == c.used + c.late + c.evicted_unused)
+            && merge_counts(self.ledger_per_hop.iter()) == self.ledger_total
+    }
+
     /// The small, thread-portable summary sweeps attach per cell.
     pub fn summary(&self) -> ObsSummary {
         ObsSummary {
@@ -503,6 +519,7 @@ impl ObsReport {
             walk_p99: self.walk_latency.quantile(0.99),
             use_distance_p50: self.use_distance.quantile(0.5),
             ledger: self.ledger_total,
+            per_hop: self.ledger_per_hop,
             epochs: self.epochs.len(),
         }
     }
@@ -522,6 +539,9 @@ pub struct ObsSummary {
     pub use_distance_p50: Option<Cycle>,
     /// Ledger totals.
     pub ledger: LedgerCounts,
+    /// Ledger counts per chain hop (index 0 = sequential; see
+    /// [`MAX_HOPS`]). Per-hop accuracy is `per_hop[h].accuracy()`.
+    pub per_hop: [LedgerCounts; MAX_HOPS],
     /// Number of epoch samples taken.
     pub epochs: usize,
 }
@@ -539,7 +559,7 @@ mod tests {
         let p = Probe::disabled();
         assert!(!p.is_enabled());
         p.demand_complete(0, Pc::new(1), line(1), 0, 100);
-        p.prefetch_issue(0, line(1), Pc::new(1), AccessClass::Stream, 0);
+        p.prefetch_issue(0, line(1), Pc::new(1), AccessClass::Stream, 0, 0);
         assert!(p.finish_into_report(1000).is_none());
         assert!(!Probe::new(&ObsConfig::off()).is_enabled());
         assert!(!CoreProbe::disabled().is_enabled());
@@ -560,10 +580,10 @@ mod tests {
     fn full_config_records_all_layers() {
         let p = Probe::new(&ObsConfig::full(64, 100));
         let pc = Pc::new(0x40);
-        p.prefetch_issue(0, line(1), pc, AccessClass::Indirect, 10);
+        p.prefetch_issue(0, line(1), pc, AccessClass::Indirect, 1, 10);
         p.prefetch_fill(0, line(1), 120);
         p.prefetch_first_use(0, line(1), 150);
-        p.prefetch_issue(0, line(2), pc, AccessClass::Indirect, 20);
+        p.prefetch_issue(0, line(2), pc, AccessClass::Indirect, 2, 20);
         p.prefetch_demand_merge(0, line(2), 60);
         p.prefetch_fill(0, line(2), 130);
         p.translation(0, 0x1234, 200, 40, 4);
@@ -574,8 +594,11 @@ mod tests {
         p.dir_invalidate(2, line(9), None, 415);
         let report = p.finish_into_report(500).unwrap();
         assert!(report.reconciles());
+        assert!(report.reconciles_per_hop());
         assert_eq!(report.ledger_total.fills, 2);
         assert_eq!((report.ledger_total.used, report.ledger_total.late), (1, 1));
+        assert_eq!(report.ledger_per_hop[1].used, 1);
+        assert_eq!(report.ledger_per_hop[2].late, 1);
         assert_eq!(report.walk_latency.count(), 1);
         assert_eq!(report.use_distance.count(), 1);
         assert_eq!(report.use_distance.sum(), 30);
@@ -589,6 +612,8 @@ mod tests {
         assert!(json.contains("prefetch_first_use"));
         let s = report.summary();
         assert_eq!(s.ledger.fills, 2);
+        assert_eq!(s.per_hop[1].accuracy(), 1.0);
+        assert_eq!(s.per_hop[2].accuracy(), 0.0, "hop 2's only fill was late");
         assert_eq!(s.epochs, 5);
         assert!(s.demand_p50.is_none(), "no demand misses recorded");
         assert!(s.use_distance_p50.is_some());

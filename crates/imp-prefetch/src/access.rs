@@ -56,18 +56,53 @@ impl Access {
     }
 }
 
-/// What kind of prefetch a request is (used for statistics and for
-/// multi-level chaining).
+/// What kind of prefetch a request is (used for statistics, for
+/// multi-level chaining, and for per-hop attribution).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PrefetchKind {
-    /// Stream (next-line) prefetch, possibly of an index array.
-    Stream,
+    /// Sequential (next-line / stream) prefetch, possibly of an index
+    /// array.
+    Sequential,
     /// Indirect prefetch generated from Eq. (2); `pt` is the Prefetch
-    /// Table entry that produced it.
+    /// Table entry that produced it and `hop` its 1-based chain depth
+    /// (1 = `A[B[i]]`, 2 = the outer hop of `A[B[C[i]]]`, ...).
     Indirect {
         /// Producing PT entry.
         pt: usize,
+        /// 1-based chain hop of the producing pattern.
+        hop: u8,
     },
+    /// Translation-only chain-ahead request: the depth-k frontier asks
+    /// the fabric to prefill the *translation* of the next hop's target
+    /// page without fetching its data. Never issued to the cache
+    /// hierarchy; the fabric routes it straight to the
+    /// translation-prefetch port (and drops it when translation
+    /// prefetching is off).
+    TranslationOnly {
+        /// 1-based chain hop of the page being pre-translated.
+        hop: u8,
+    },
+}
+
+impl PrefetchKind {
+    /// Pre-rename alias for [`PrefetchKind::Sequential`].
+    #[deprecated(note = "renamed to `PrefetchKind::Sequential`")]
+    #[allow(non_upper_case_globals)]
+    pub const Stream: PrefetchKind = PrefetchKind::Sequential;
+
+    /// The request's 1-based chain hop (0 for sequential prefetches,
+    /// which trail the demand stream rather than chasing values).
+    pub fn hop(self) -> u8 {
+        match self {
+            PrefetchKind::Sequential => 0,
+            PrefetchKind::Indirect { hop, .. } | PrefetchKind::TranslationOnly { hop } => hop,
+        }
+    }
+
+    /// True for translation-only chain-ahead requests.
+    pub fn is_translation_only(self) -> bool {
+        matches!(self, PrefetchKind::TranslationOnly { .. })
+    }
 }
 
 /// A prefetch emitted toward the memory system.
@@ -97,11 +132,14 @@ impl PrefetchRequest {
     }
 
     /// True when the target address was computed from a *data value*
-    /// (an indirect prediction). Stream prefetches trail the demand
+    /// (an indirect prediction). Sequential prefetches trail the demand
     /// stream and find their pages TLB-resident; indirect ones land on
     /// arbitrary pages, so they are the requests worth prefilling
     /// translations for (`TlbConfig::tlb_prefetch` routes them through
     /// the simulator's translation-prefetch port).
+    /// [`PrefetchKind::TranslationOnly`] requests return `false` here:
+    /// they do not *also* want a translation prefetch — they *are* one,
+    /// and the fabric routes them before this predicate is consulted.
     pub fn wants_translation_prefetch(&self) -> bool {
         matches!(self.kind, PrefetchKind::Indirect { .. })
     }
@@ -172,6 +210,9 @@ pub struct PrefetcherStats {
     pub deferred_retries: u64,
     /// Prefetches refused by a full MSHR file (set by the simulator).
     pub mshr_drops: u64,
+    /// Translation-only chain-ahead requests emitted at the depth-k
+    /// data frontier (one hop beyond the deepest data prefetch).
+    pub translation_ahead: u64,
     /// Diagnostic: index-stream accesses seen as continued+established.
     pub dbg_continued: u64,
     /// Diagnostic: of those, accesses whose own value was unreadable.
@@ -234,8 +275,10 @@ impl<'a> PrefetchCtx<'a> {
 /// The [`AccessClass`] a request of `kind` belongs to.
 pub fn class_of(kind: PrefetchKind) -> AccessClass {
     match kind {
-        PrefetchKind::Stream => AccessClass::Stream,
-        PrefetchKind::Indirect { .. } => AccessClass::Indirect,
+        PrefetchKind::Sequential => AccessClass::Stream,
+        PrefetchKind::Indirect { .. } | PrefetchKind::TranslationOnly { .. } => {
+            AccessClass::Indirect
+        }
     }
 }
 
@@ -413,6 +456,8 @@ mod tests {
                 addr: Addr::new(access.addr.raw() + 64),
                 sectors: SectorMask::FULL_L1,
                 exclusive: false,
+                // The pre-rename alias must keep resolving for legacy
+                // plugins (and keep warning; see CI's force-warn step).
                 kind: PrefetchKind::Stream,
             });
         }
@@ -465,7 +510,7 @@ mod tests {
             addr: Addr::new(0x1238),
             sectors: SectorMask::FULL_L1,
             exclusive: false,
-            kind: PrefetchKind::Stream,
+            kind: PrefetchKind::Sequential,
         };
         assert_eq!(r.line(), LineAddr::containing(Addr::new(0x1200)));
     }
@@ -477,10 +522,27 @@ mod tests {
             addr: Addr::new(0x1238),
             sectors: SectorMask::FULL_L1,
             exclusive: false,
-            kind: PrefetchKind::Stream,
+            kind: PrefetchKind::Sequential,
         };
         assert!(!r.wants_translation_prefetch());
-        r.kind = PrefetchKind::Indirect { pt: 3 };
+        r.kind = PrefetchKind::Indirect { pt: 3, hop: 1 };
         assert!(r.wants_translation_prefetch());
+        // Translation-only requests are routed, not re-translated.
+        r.kind = PrefetchKind::TranslationOnly { hop: 3 };
+        assert!(!r.wants_translation_prefetch());
+        assert!(r.kind.is_translation_only());
+    }
+
+    #[test]
+    fn hops_and_the_stream_alias_track_the_kind() {
+        assert_eq!(PrefetchKind::Sequential.hop(), 0);
+        assert_eq!(PrefetchKind::Indirect { pt: 0, hop: 2 }.hop(), 2);
+        assert_eq!(PrefetchKind::TranslationOnly { hop: 4 }.hop(), 4);
+        assert_eq!(PrefetchKind::Stream, PrefetchKind::Sequential);
+        assert_eq!(class_of(PrefetchKind::Sequential), AccessClass::Stream);
+        assert_eq!(
+            class_of(PrefetchKind::TranslationOnly { hop: 3 }),
+            AccessClass::Indirect
+        );
     }
 }

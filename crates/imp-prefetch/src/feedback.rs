@@ -39,6 +39,11 @@ pub struct Feedback {
     pub per_pc: Vec<(Pc, LedgerCounts)>,
     /// Ledger deltas per [`AccessClass`].
     pub per_class: [LedgerCounts; AccessClass::ALL.len()],
+    /// Ledger deltas per chain hop (index 0 = sequential prefetches,
+    /// index `h` = indirect hop `h`; hops past the array are folded
+    /// into the last bucket). Lets a policy watch deep-chase accuracy
+    /// separately from the primary hop.
+    pub per_hop: [LedgerCounts; imp_obs::MAX_HOPS],
     /// Demand misses issued this epoch.
     pub demand_misses: u64,
     /// Prefetch translations dropped by the TLB (`DropOnMiss`) this
@@ -81,6 +86,14 @@ impl Feedback {
         }
         self.tlb_prefetch_drops as f64 / attempts as f64
     }
+
+    /// Accuracy of indirect prefetches at chain hop `hop` this epoch
+    /// (1.0 when none were issued at that hop). Hops past the tracked
+    /// range share the last bucket.
+    pub fn hop_accuracy(&self, hop: u8) -> f64 {
+        let h = (hop as usize).min(self.per_hop.len() - 1);
+        ratio(self.per_hop[h].used, self.per_hop[h].issued)
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -105,6 +118,10 @@ pub struct Control {
     /// once per distinct spec; the manager ignores a switch to the
     /// already-active prefetcher).
     pub switch_to: Option<PrefetcherSpec>,
+    /// Drop chained prefetch requests past this hop before issue
+    /// (sequential prefetches are hop 0 and always survive). `None`
+    /// leaves the chain depth alone.
+    pub depth_limit: Option<u8>,
 }
 
 impl Control {
@@ -115,14 +132,22 @@ impl Control {
 
     /// True when this control requests nothing.
     pub fn is_none(&self) -> bool {
-        self.degree_limit.is_none() && self.masked_pcs.is_empty() && self.switch_to.is_none()
+        self.degree_limit.is_none()
+            && self.masked_pcs.is_empty()
+            && self.switch_to.is_none()
+            && self.depth_limit.is_none()
     }
 
-    /// Merges two controls conservatively: the tighter degree limit
-    /// wins, masked-PC sets union, and the first switch request wins.
+    /// Merges two controls conservatively: the tighter degree and depth
+    /// limits win, masked-PC sets union, and the first switch request
+    /// wins.
     #[must_use]
     pub fn merge(mut self, other: Control) -> Control {
         self.degree_limit = match (self.degree_limit, other.degree_limit) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.depth_limit = match (self.depth_limit, other.depth_limit) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
@@ -178,14 +203,17 @@ mod tests {
             degree_limit: Some(4),
             masked_pcs: vec![Pc::new(2), Pc::new(1)],
             switch_to: Some(PrefetcherSpec::new("stream")),
+            depth_limit: Some(3),
         };
         let b = Control {
             degree_limit: Some(2),
             masked_pcs: vec![Pc::new(2), Pc::new(9)],
             switch_to: Some(PrefetcherSpec::new("none")),
+            depth_limit: Some(1),
         };
         let m = a.merge(b);
         assert_eq!(m.degree_limit, Some(2));
+        assert_eq!(m.depth_limit, Some(1), "tighter depth limit wins");
         assert_eq!(m.masked_pcs, vec![Pc::new(1), Pc::new(2), Pc::new(9)]);
         assert_eq!(m.switch_to, Some(PrefetcherSpec::new("stream")));
         assert!(Control::none().is_none());

@@ -117,7 +117,7 @@ impl L1Prefetcher for Ghb {
                     addr: line.base(),
                     sectors: SectorMask::FULL_L1,
                     exclusive: false,
-                    kind: PrefetchKind::Stream,
+                    kind: PrefetchKind::Sequential,
                 });
             }
         }

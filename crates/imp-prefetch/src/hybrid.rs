@@ -77,14 +77,29 @@ impl Hybrid {
         self.owner.get(&pc).copied()
     }
 
+    /// Hops at or past this are "deep": the most speculative end of a
+    /// chained-indirection walk.
+    const DEEP_HOP: u8 = 3;
+
     fn forward(&mut self, reqs: &[PrefetchRequest], out: &mut Vec<PrefetchRequest>) {
         for r in reqs {
             match r.kind {
-                PrefetchKind::Stream => self.forwarded_stream += 1,
+                PrefetchKind::Sequential => self.forwarded_stream += 1,
                 PrefetchKind::Indirect { .. } => self.forwarded_indirect += 1,
+                PrefetchKind::TranslationOnly { .. } => {}
             }
         }
-        out.extend_from_slice(reqs);
+        // Shallow hops first: deep chain-ahead requests are the most
+        // speculative, so they yield downstream degree budget and MSHR
+        // slots to hops 0-2. The partition is stable and a no-op when
+        // no deep hops are present (always the case at depth 1), which
+        // preserves the historical forwarding order exactly.
+        if reqs.iter().any(|r| r.kind.hop() >= Self::DEEP_HOP) {
+            out.extend(reqs.iter().filter(|r| r.kind.hop() < Self::DEEP_HOP));
+            out.extend(reqs.iter().filter(|r| r.kind.hop() >= Self::DEEP_HOP));
+        } else {
+            out.extend_from_slice(reqs);
+        }
     }
 
     /// Rebuilds the merged statistics snapshot: detection counters sum
@@ -108,6 +123,7 @@ impl Hybrid {
             merged.deferred_drops += s.deferred_drops;
             merged.deferred_retries += s.deferred_retries;
             merged.mshr_drops += s.mshr_drops;
+            merged.translation_ahead += s.translation_ahead;
         }
         merged.stream_prefetches = self.forwarded_stream;
         merged.indirect_prefetches = self.forwarded_indirect;
@@ -310,7 +326,7 @@ mod tests {
                     addr: Addr::new(0x8000 + 0x40 * self.id),
                     sectors: SectorMask::FULL_L1,
                     exclusive: false,
-                    kind: PrefetchKind::Indirect { pt: 0 },
+                    kind: PrefetchKind::Indirect { pt: 0, hop: 1 },
                 });
             }
         }
@@ -321,7 +337,7 @@ mod tests {
                 addr: Self::chain_addr(self.id),
                 sectors: SectorMask::FULL_L1,
                 exclusive: false,
-                kind: PrefetchKind::Stream,
+                kind: PrefetchKind::Sequential,
             });
         }
 
@@ -352,7 +368,7 @@ mod tests {
             addr: Addr::new(0x9000),
             sectors: SectorMask::FULL_L1,
             exclusive: false,
-            kind: PrefetchKind::Stream,
+            kind: PrefetchKind::Sequential,
         };
         let chained = h.on_prefetch_fill_collect(fill(owned), &mut src);
         let addrs: Vec<Addr> = chained.iter().map(|r| r.addr).collect();
@@ -383,7 +399,7 @@ mod tests {
                 Control {
                     degree_limit: Some(self.limit),
                     masked_pcs: vec![Pc::new(self.limit)],
-                    switch_to: None,
+                    ..Control::none()
                 }
             }
             fn stats(&self) -> &PrefetcherStats {
@@ -403,6 +419,46 @@ mod tests {
         let ctl = h.on_feedback(&Feedback::default());
         assert_eq!(ctl.degree_limit, Some(2), "tightest component wins");
         assert_eq!(ctl.masked_pcs, vec![Pc::new(2), Pc::new(4)]);
+    }
+
+    #[test]
+    fn deep_hops_yield_to_shallow_hops_on_forward() {
+        /// Emits one request per configured hop, in the given order.
+        struct HopEmitter {
+            hops: Vec<u8>,
+            stats: PrefetcherStats,
+        }
+        impl L1Prefetcher for HopEmitter {
+            fn on_access_ctx(&mut self, access: Access, ctx: &mut PrefetchCtx<'_>) {
+                for &h in &self.hops {
+                    ctx.out.push(PrefetchRequest {
+                        pc: access.pc,
+                        addr: Addr::new(0x1000 + 0x40 * u64::from(h)),
+                        sectors: SectorMask::FULL_L1,
+                        exclusive: false,
+                        kind: match h {
+                            0 => PrefetchKind::Sequential,
+                            h => PrefetchKind::Indirect { pt: 0, hop: h },
+                        },
+                    });
+                }
+            }
+            fn stats(&self) -> &PrefetcherStats {
+                &self.stats
+            }
+        }
+        let mut h = Hybrid::new(vec![Box::new(HopEmitter {
+            hops: vec![3, 0, 2, 4, 1],
+            stats: PrefetcherStats::default(),
+        })]);
+        let mut src = MapValueSource::new();
+        let reqs = h.on_access_collect(Access::load_miss(Pc::new(1), Addr::new(0x40), 8), &mut src);
+        let order: Vec<u8> = reqs.iter().map(|r| r.kind.hop()).collect();
+        assert_eq!(
+            order,
+            vec![0, 2, 1, 3, 4],
+            "hops 0-2 keep their order up front; deep hops trail"
+        );
     }
 
     #[test]

@@ -68,6 +68,10 @@ struct IndirectPattern {
     writes: bool,
     /// Role in the pattern tree.
     ind_type: IndType,
+    /// Chain hop of this pattern's data array: 1 for `A[B[i]]`, 2 for
+    /// the level below it, and so on. Way siblings share their parent's
+    /// hop.
+    hop: u8,
     /// Child pattern indexed by the same values (multi-way).
     next_way: Option<usize>,
     /// Child pattern indexed by this pattern's loaded values
@@ -137,6 +141,11 @@ const NO_PENDING: u64 = u64::MAX;
 pub struct Imp {
     cfg: ImpConfig,
     partial: bool,
+    /// Maximum chained-indirection depth. Data prefetches chase up to
+    /// `depth + 1` hops; translation prefetching walks one hop further
+    /// still. The default of 1 reproduces the paper's detector exactly:
+    /// a primary pattern plus one fill-time level child.
+    depth: u8,
     table: StreamTable,
     ind: Vec<IndirectPattern>,
     /// `pending[slot]`: line number expected to be accessed for the
@@ -158,6 +167,7 @@ impl Imp {
         let pt = cfg.pt_entries;
         Imp {
             partial,
+            depth: 1,
             table: StreamTable::new(pt, cfg.stream_threshold, cfg.stream_distance),
             ind: vec![IndirectPattern::default(); pt],
             pending: vec![NO_PENDING; pt],
@@ -175,6 +185,20 @@ impl Imp {
         self.cfg.max_prefetch_distance
     }
 
+    /// Sets the chained-indirection depth (clamped to at least 1). Data
+    /// prefetches chase up to `depth + 1` hops and the frontier hop is
+    /// chased translation-only; `depth = 1` is bit-identical to the
+    /// single-level detector.
+    pub fn with_depth(mut self, depth: u8) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// The configured chained-indirection depth.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
     /// Number of currently enabled indirect patterns.
     pub fn enabled_patterns(&self) -> usize {
         self.ind.iter().filter(|p| p.enabled).count()
@@ -187,12 +211,34 @@ impl Imp {
         p.enabled.then_some((p.shift, p.base, p.ind_type))
     }
 
+    /// Clears a pattern and its whole way/level subtree. At depth 1 the
+    /// tree is at most one level deep and children never own detection
+    /// state, so only the patterns themselves are cleared (the original
+    /// behaviour); at depth >= 2 descendants may hold IPD sub-slots,
+    /// back-off state and deferred retries of their own, which must be
+    /// released with them.
+    fn clear_subtree(&mut self, slot: usize) {
+        let (next_way, next_level) = (self.ind[slot].next_way, self.ind[slot].next_level);
+        for child in [next_way, next_level].into_iter().flatten() {
+            self.clear_subtree(child);
+        }
+        self.ind[slot] = IndirectPattern::default();
+        self.pending[slot] = NO_PENDING;
+        if self.depth >= 2 {
+            self.backoff[slot] = Backoff::new(self.cfg.detect_backoff_initial);
+            for k in [DetectKind::Primary, DetectKind::Way, DetectKind::Level] {
+                self.ipd.release(owner_of(slot, k));
+            }
+            self.gp.reset_entry(slot);
+            self.deferred.retain(|d| d.slot != slot);
+        }
+    }
+
     fn reset_slot(&mut self, slot: usize) {
         // Unlink children and any parent pointing here.
         let (next_way, next_level) = (self.ind[slot].next_way, self.ind[slot].next_level);
         for child in [next_way, next_level].into_iter().flatten() {
-            self.ind[child] = IndirectPattern::default();
-            self.pending[child] = NO_PENDING;
+            self.clear_subtree(child);
         }
         for p in &mut self.ind {
             if p.next_way == Some(slot) {
@@ -227,6 +273,7 @@ impl Imp {
                 p.prefetching = false;
                 p.distance = 1;
                 p.ind_type = IndType::Primary;
+                p.hop = 1;
                 self.gp.reset_entry(slot);
                 self.stats.patterns_detected += 1;
             }
@@ -240,6 +287,7 @@ impl Imp {
                     return;
                 }
                 self.reset_slot(child);
+                let parent_hop = self.ind[slot].hop.max(1);
                 let p = &mut self.ind[child];
                 p.enabled = true;
                 p.shift = det.shift;
@@ -251,6 +299,11 @@ impl Imp {
                     IndType::SecondWay
                 } else {
                     IndType::SecondLevel
+                };
+                p.hop = if kind == DetectKind::Way {
+                    parent_hop
+                } else {
+                    parent_hop.saturating_add(1)
                 };
                 if kind == DetectKind::Way {
                     self.ind[slot].next_way = Some(child);
@@ -307,7 +360,10 @@ impl Imp {
                 addr: target,
                 sectors,
                 exclusive: p.writes,
-                kind: PrefetchKind::Indirect { pt: s },
+                kind: PrefetchKind::Indirect {
+                    pt: s,
+                    hop: p.hop.max(1),
+                },
             });
             self.stats.indirect_prefetches += 1;
             self.gp
@@ -347,8 +403,7 @@ impl Imp {
     fn retire_pattern(&mut self, slot: usize) {
         let (next_way, next_level) = (self.ind[slot].next_way, self.ind[slot].next_level);
         for child in [next_way, next_level].into_iter().flatten() {
-            self.ind[child] = IndirectPattern::default();
-            self.pending[child] = NO_PENDING;
+            self.clear_subtree(child);
         }
         self.ind[slot] = IndirectPattern::default();
         self.pending[slot] = NO_PENDING;
@@ -375,9 +430,15 @@ impl L1Prefetcher for Imp {
         if let Some(s) = matched {
             let can_detect_level = {
                 let p = &self.ind[s];
-                p.prefetching
-                    && p.levels < self.cfg.max_levels.saturating_sub(1)
-                    && p.next_level.is_none()
+                let has_room = if self.depth == 1 {
+                    p.levels < self.cfg.max_levels.saturating_sub(1)
+                } else {
+                    // Children are installable up to hop `depth + 2`:
+                    // one hop past the data chain, chased
+                    // translation-only.
+                    u32::from(p.hop) <= u32::from(self.depth) + 1
+                };
+                p.prefetching && has_room && p.next_level.is_none()
             };
             if can_detect_level {
                 let owner = owner_of(s, DetectKind::Level);
@@ -395,6 +456,39 @@ impl L1Prefetcher for Imp {
                     }
                 }
             }
+
+            // Per-hop confidence (depth >= 2 only): the value loaded by
+            // this matched access is the next index of the level child,
+            // so expect the child's access and count hits and misses
+            // against it — exactly the bookkeeping primary patterns get
+            // from their index stream. A child whose hop stopped
+            // matching (e.g. a rebuilt hash table) is retired with its
+            // subtree so the IPD can re-learn it.
+            if self.depth >= 2 {
+                let child = self.ind[s].next_level.filter(|&l| self.ind[l].enabled);
+                if let Some(l) = child {
+                    let retire = {
+                        let p = &mut self.ind[l];
+                        if self.pending[l] != NO_PENDING {
+                            p.hit_cnt = p.hit_cnt.saturating_sub(1);
+                            p.miss_streak += 1;
+                        }
+                        p.miss_streak >= 8
+                    };
+                    if retire {
+                        self.ind[s].next_level = None;
+                        self.ind[s].levels = self.ind[s].levels.saturating_sub(1);
+                        self.clear_subtree(l);
+                    } else {
+                        let size = Self::value_read_size(self.ind[s].shift);
+                        if let Some(v2) = values.read_value(access.addr, size) {
+                            let p = &self.ind[l];
+                            let expected = Addr::new(shift_apply(v2, p.shift).wrapping_add(p.base));
+                            self.pending[l] = LineAddr::containing(expected).number();
+                        }
+                    }
+                }
+            }
         }
 
         // 3. Stream table observation for this PC.
@@ -407,7 +501,7 @@ impl L1Prefetcher for Imp {
                 addr: l.base(),
                 sectors: SectorMask::FULL_L1,
                 exclusive: false,
-                kind: PrefetchKind::Stream,
+                kind: PrefetchKind::Sequential,
             }));
             (slot, event)
         };
@@ -519,7 +613,7 @@ impl L1Prefetcher for Imp {
                                     addr: idx_addr,
                                     sectors: SectorMask::FULL_L1,
                                     exclusive: false,
-                                    kind: PrefetchKind::Stream,
+                                    kind: PrefetchKind::Sequential,
                                 });
                                 self.stats.stream_prefetches += 1;
                                 if self.deferred.len() < MAX_DEFERRED {
@@ -550,22 +644,46 @@ impl L1Prefetcher for Imp {
         let values = &mut *ctx.values;
         let out = &mut *ctx.out;
         match request.kind {
-            PrefetchKind::Indirect { pt } => {
+            PrefetchKind::Indirect { pt, .. } => {
                 // Multi-level chaining: the filled value indexes the
                 // child array (issued only now that the parent returned,
-                // Section 3.3.2).
+                // Section 3.3.2). At depth >= 2 this recurses hop by
+                // hop as each fill returns, walking the chain ahead of
+                // the demand stream; the hop one past the data frontier
+                // is chased translation-only.
                 if pt < self.ind.len() {
                     if let Some(l) = self.ind[pt].next_level {
                         if self.ind[l].enabled {
                             let size = Self::value_read_size(self.ind[pt].shift);
                             if let Some(v2) = values.read_value(request.addr, size) {
-                                self.requests_for_value(l, v2, out);
+                                let frontier = self.depth >= 2
+                                    && u32::from(self.ind[l].hop) == u32::from(self.depth) + 2;
+                                if frontier {
+                                    let p = &self.ind[l];
+                                    let target =
+                                        Addr::new(shift_apply(v2, p.shift).wrapping_add(p.base));
+                                    out.push(PrefetchRequest {
+                                        pc: self.table.entry(l).pc,
+                                        addr: target,
+                                        sectors: SectorMask::FULL_L1,
+                                        exclusive: false,
+                                        kind: PrefetchKind::TranslationOnly { hop: p.hop },
+                                    });
+                                    self.stats.translation_ahead += 1;
+                                    self.table.touch(l);
+                                } else {
+                                    self.requests_for_value(l, v2, out);
+                                }
                             }
                         }
                     }
                 }
             }
-            PrefetchKind::Stream => {
+            PrefetchKind::TranslationOnly { .. } => {
+                // Translation-only requests carry no data; nothing to
+                // chain from them.
+            }
+            PrefetchKind::Sequential => {
                 // Retry deferred indirect prefetches whose index line
                 // just arrived. The deferral list is short and filtered
                 // in place; the common case (no match) touches no heap.
@@ -827,7 +945,7 @@ mod tests {
             let b_addr = Addr::new(b_base + 4 * i as u64);
             let a_addr = Addr::new(a_base + 8 * v);
             for r in imp.on_access_collect(Access::load_hit(Pc::new(1), b_addr, 4), &mut src) {
-                if r.kind == PrefetchKind::Stream && r.addr.raw() >= b_base + 4 * 32 {
+                if r.kind == PrefetchKind::Sequential && r.addr.raw() >= b_base + 4 * 32 {
                     deferred_stream_req = Some(r);
                 }
             }
@@ -930,6 +1048,114 @@ mod tests {
             "GP converged to sub-line prefetches: {:?}",
             imp.stats()
         );
+    }
+
+    /// Populates an n-table pointer chain rooted at a u32 index stream:
+    /// `T1[T0[i]]`, `T2[T1[T0[i]]]`, ... with hashed (non-arithmetic)
+    /// indices so deeper hops cannot masquerade as streams.
+    fn chain_src(bases: &[u64], iters: u64) -> (MapValueSource, Vec<Vec<Addr>>) {
+        let n = 4000u64;
+        let h = |x: u64, salt: u64| (x.wrapping_mul(2654435761).wrapping_add(salt) >> 5) % n;
+        let mut src = MapValueSource::new();
+        let mut per_iter = Vec::new();
+        for i in 0..iters {
+            let mut addrs = Vec::new();
+            let mut v = h(i, 0xA5);
+            src.insert(Addr::new(bases[0] + 4 * i), 4, v);
+            for (k, &b) in bases.iter().enumerate().skip(1) {
+                let addr = Addr::new(b + 8 * v);
+                v = h(v, 0xC3 + k as u64);
+                src.insert(addr, 8, v);
+                addrs.push(addr);
+            }
+            per_iter.push(addrs);
+        }
+        (src, per_iter)
+    }
+
+    /// Drives `imp` through the chain, completing every data prefetch
+    /// fill promptly so multi-hop chaining can progress, and returns
+    /// all emitted requests.
+    fn drive_chain(imp: &mut Imp, bases: &[u64], iters: u64) -> Vec<PrefetchRequest> {
+        let (mut src, per_iter) = chain_src(bases, iters);
+        let mut all = Vec::new();
+        for i in 0..iters {
+            let mut queue: Vec<PrefetchRequest> = Vec::new();
+            queue.extend(imp.on_access_collect(
+                Access::load_hit(Pc::new(1), Addr::new(bases[0] + 4 * i), 4),
+                &mut src,
+            ));
+            for (k, &addr) in per_iter[i as usize].iter().enumerate() {
+                queue.extend(imp.on_access_collect(
+                    Access::load_miss(Pc::new(2 + k as u32), addr, 8),
+                    &mut src,
+                ));
+            }
+            while let Some(r) = queue.pop() {
+                all.push(r);
+                if !r.kind.is_translation_only() {
+                    queue.extend(imp.on_prefetch_fill_collect(r, &mut src));
+                }
+            }
+        }
+        all
+    }
+
+    const CHAIN_BASES: [u64; 5] = [
+        0x10000,
+        0x1_000_000,
+        0x8_000_000,
+        0x20_000_000,
+        0x40_000_000,
+    ];
+
+    #[test]
+    fn depth_default_keeps_the_chain_two_hops() {
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1);
+        let reqs = drive_chain(&mut imp, &CHAIN_BASES[..4], 400);
+        assert!(
+            reqs.iter().all(|r| r.kind.hop() <= 2),
+            "depth 1 never chases past hop 2"
+        );
+        assert_eq!(imp.stats().translation_ahead, 0);
+    }
+
+    #[test]
+    fn depth_two_chases_a_third_hop() {
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1).with_depth(2);
+        let reqs = drive_chain(&mut imp, &CHAIN_BASES[..4], 400);
+        assert!(
+            imp.stats().levels_detected >= 2,
+            "hop-3 pattern detected: {:?}",
+            imp.stats()
+        );
+        let hop3: Vec<_> = reqs
+            .iter()
+            .filter(|r| matches!(r.kind, PrefetchKind::Indirect { hop: 3, .. }))
+            .collect();
+        assert!(!hop3.is_empty(), "hop-3 data prefetches issued");
+        assert!(
+            hop3.iter().all(|r| r.addr.raw() >= CHAIN_BASES[3]),
+            "hop-3 prefetches target the fourth table"
+        );
+    }
+
+    #[test]
+    fn frontier_hop_is_chased_translation_only() {
+        let mut imp = Imp::new(ImpConfig::paper_default(), false, 1).with_depth(2);
+        let reqs = drive_chain(&mut imp, &CHAIN_BASES, 500);
+        assert!(
+            imp.stats().translation_ahead > 0,
+            "frontier translations chased: {:?}",
+            imp.stats()
+        );
+        assert!(reqs
+            .iter()
+            .any(|r| matches!(r.kind, PrefetchKind::TranslationOnly { hop: 4 })));
+        // The data chain itself never runs past hop depth + 1.
+        assert!(reqs
+            .iter()
+            .all(|r| !matches!(r.kind, PrefetchKind::Indirect { hop, .. } if hop > 3)));
     }
 
     #[test]

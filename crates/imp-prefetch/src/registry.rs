@@ -325,6 +325,7 @@ fn build_imp(
             "max_ways",
             "max_levels",
             "seed",
+            "depth",
         ],
     )?;
     let mut cfg = ctx.imp.clone();
@@ -341,7 +342,21 @@ fn build_imp(
             reason: format!("expected a non-negative integer, got {v}"),
         })?,
     };
-    Ok(Box::new(Imp::new(cfg, ctx.partial, seed)))
+    // `imp:depth=N` bounds chained indirection: data prefetches chase up
+    // to N + 1 hops, translation prefetching one hop further. The
+    // default of 1 is the paper's single-level detector, bit-identical
+    // to builds that predate the knob.
+    let depth = param_u32(spec, "depth", 1)?;
+    if depth == 0 || depth > 8 {
+        return Err(RegistryError::InvalidParam {
+            prefetcher: spec.name.clone(),
+            param: "depth".to_string(),
+            reason: format!("expected 1..=8, got {depth}"),
+        });
+    }
+    Ok(Box::new(
+        Imp::new(cfg, ctx.partial, seed).with_depth(depth as u8),
+    ))
 }
 
 fn build_ghb(

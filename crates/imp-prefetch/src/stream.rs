@@ -291,7 +291,7 @@ impl L1Prefetcher for StreamPrefetcher {
             addr: l.base(),
             sectors: SectorMask::FULL_L1,
             exclusive: false,
-            kind: PrefetchKind::Stream,
+            kind: PrefetchKind::Sequential,
         }));
     }
 

@@ -316,6 +316,12 @@ impl Fabric {
             // masked_pcs is sorted+deduped by `Control::merge`.
             reqs.retain(|r| m.control.masked_pcs.binary_search(&r.pc).is_err());
         }
+        if let Some(max_hop) = m.control.depth_limit {
+            // Deep-chase demotion: drop chained requests past the
+            // allowed hop (sequential prefetches are hop 0 and always
+            // survive this filter).
+            reqs.retain(|r| r.kind.hop() <= max_hop);
+        }
         if let Some(limit) = m.control.degree_limit {
             reqs.truncate(limit as usize);
         }
@@ -399,6 +405,7 @@ impl Fabric {
             k.deferred_drops += s.deferred_drops;
             k.deferred_retries += s.deferred_retries;
             k.mshr_drops += s.mshr_drops;
+            k.translation_ahead += s.translation_ahead;
         }
         self.pref = fresh;
         true
@@ -539,6 +546,16 @@ impl Fabric {
         if self.cfg.mem_mode != MemMode::Realistic || depth > 4 {
             return;
         }
+        // Translation-only chain-ahead requests never touch the cache
+        // hierarchy: they prefill the shared L2 TLB for the hop one past
+        // the data frontier, and vanish when translation prefetching is
+        // off.
+        if req.kind.is_translation_only() {
+            if self.cfg.tlb.tlb_prefetch {
+                self.translation_prefetch(c, req.addr, now);
+            }
+            return;
+        }
         // IMP's value-derived addresses land on arbitrary virtual pages:
         // the prefetch only proceeds once translated (the configured
         // TranslationPolicy may drop or delay it here). With translation
@@ -608,7 +625,7 @@ impl Fabric {
             }
             MshrAlloc::New => {
                 let class = match req.kind {
-                    PrefetchKind::Stream => {
+                    PrefetchKind::Sequential => {
                         self.pstats[c].issued_stream += 1;
                         AccessClass::Stream
                     }
@@ -616,11 +633,15 @@ impl Fabric {
                         self.pstats[c].issued_indirect += 1;
                         AccessClass::Indirect
                     }
+                    PrefetchKind::TranslationOnly { .. } => {
+                        unreachable!("translation-only requests are routed before allocation")
+                    }
                 };
+                let hop = req.kind.hop();
                 self.probe
-                    .prefetch_issue(c as u32, line, req.pc, class, now);
+                    .prefetch_issue(c as u32, line, req.pc, class, hop, now);
                 if let Some(m) = self.mgr.as_mut() {
-                    m.ledger.issue(c as u32, line, req.pc, class, now);
+                    m.ledger.issue(c as u32, line, req.pc, class, hop, now);
                 }
                 if sectors != self.l1[c].full_mask() {
                     self.pstats[c].partial_prefetches += 1;

@@ -666,6 +666,14 @@ impl Vm {
     /// Under [`TranslationPolicy::Ideal`] the port is a no-op: prefetch
     /// translations are already free, so there is nothing to prefill
     /// and no walk to pay.
+    ///
+    /// Chained indirection (`imp:depth=N`) leans on this port twice:
+    /// every data-carrying `Indirect` prefetch routes its page here
+    /// when translation prefetching is on, and the chain's *frontier*
+    /// hop — one past the last data hop — arrives as a
+    /// translation-only request with no data fetch at all, so by the
+    /// time the chase reaches that page its walk has already been
+    /// paid.
     pub fn prefetch_translation(
         &mut self,
         core: usize,

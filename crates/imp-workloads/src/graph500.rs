@@ -5,6 +5,7 @@
 //! and `parent[adj[e]]` is a further indirect pattern on the edge stream.
 
 use crate::gen::CsrGraph;
+use crate::pattern::{hop_load, hop_store};
 use crate::{partition, Built, Scale, Workload, WorkloadParams};
 use imp_common::stats::AccessClass;
 use imp_common::Pc;
@@ -125,24 +126,8 @@ impl Workload for Graph500 {
                     ));
                     // xadj[u] and xadj[u+1]: level-1 indirection off the
                     // frontier stream.
-                    ops.push(
-                        Op::load(
-                            a_xadj.addr_of(u64::from(u)),
-                            4,
-                            PC_XADJ1,
-                            AccessClass::Indirect,
-                        )
-                        .with_dep(1),
-                    );
-                    ops.push(
-                        Op::load(
-                            a_xadj.addr_of(u64::from(u) + 1),
-                            4,
-                            PC_XADJ2,
-                            AccessClass::Indirect,
-                        )
-                        .with_dep(2),
-                    );
+                    ops.push(hop_load(&a_xadj, u64::from(u), PC_XADJ1).with_dep(1));
+                    ops.push(hop_load(&a_xadj, u64::from(u) + 1, PC_XADJ2).with_dep(2));
                     let (lo, hi) = (g.xadj[u as usize] as u64, g.xadj[u as usize + 1] as u64);
                     for e in lo..hi {
                         if params.software_prefetch && e + params.sw_distance < hi {
@@ -166,28 +151,12 @@ impl Workload for Graph500 {
                         };
                         let dep = if e == lo { 2 } else { 0 };
                         ops.push(Op::load(a_adj.addr_of(e), 4, PC_ADJ, class).with_dep(dep));
-                        ops.push(
-                            Op::load(
-                                a_parent.addr_of(u64::from(w)),
-                                4,
-                                PC_PARENT_R,
-                                AccessClass::Indirect,
-                            )
-                            .with_dep(1),
-                        );
+                        ops.push(hop_load(&a_parent, u64::from(w), PC_PARENT_R).with_dep(1));
                         ops.push(Op::compute(1));
                         if parent[w as usize] == -1 {
                             parent[w as usize] = u as i32;
                             next_per_core[c].push(w);
-                            ops.push(
-                                Op::store(
-                                    a_parent.addr_of(u64::from(w)),
-                                    4,
-                                    PC_PARENT_W,
-                                    AccessClass::Indirect,
-                                )
-                                .with_dep(2),
-                            );
+                            ops.push(hop_store(&a_parent, u64::from(w), PC_PARENT_W).with_dep(2));
                             ops.push(Op::store(
                                 a_next[c].addr_of(next_per_core[c].len() as u64 - 1),
                                 4,

@@ -35,6 +35,7 @@ mod gen;
 mod graph500;
 mod lsh;
 mod pagerank;
+pub mod pattern;
 mod sgd;
 mod spmv;
 mod symgs;
@@ -46,6 +47,7 @@ pub use gen::{CsrGraph, CsrMatrix};
 pub use graph500::Graph500;
 pub use lsh::Lsh;
 pub use pagerank::Pagerank;
+pub use pattern::{gather, AccessPattern, Chain, ChainSpec};
 pub use sgd::Sgd;
 pub use spmv::Spmv;
 pub use symgs::Symgs;
@@ -130,6 +132,44 @@ pub struct Built {
     pub regions: Vec<imp_common::MemRegion>,
 }
 
+impl Built {
+    /// The regions this program's indirect accesses actually scatter
+    /// across — the arrays worth `madvise(MADV_HUGEPAGE)` when TLB
+    /// reach binds, derived from the op stream instead of the
+    /// hand-maintained [`hot_regions`] table. Names come back in
+    /// allocation order, deduplicated, and feed `Sim::page_policy`
+    /// directly.
+    pub fn hot_regions(&self) -> Vec<String> {
+        let mut by_base: Vec<(u64, u64, usize)> = self
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.base, r.end(), i))
+            .collect();
+        by_base.sort_unstable();
+        let mut hot = vec![false; self.regions.len()];
+        for core in 0..self.program.cores() {
+            for op in self.program.ops(core) {
+                if op.class != imp_common::stats::AccessClass::Indirect || !op.is_demand() {
+                    continue;
+                }
+                let slot = by_base.partition_point(|&(base, _, _)| base <= op.addr);
+                if let Some(&(_, end, i)) = slot.checked_sub(1).and_then(|s| by_base.get(s)) {
+                    if op.addr < end {
+                        hot[i] = true;
+                    }
+                }
+            }
+        }
+        self.regions
+            .iter()
+            .zip(&hot)
+            .filter(|(_, &h)| h)
+            .map(|(r, _)| r.name.clone())
+            .collect()
+    }
+}
+
 /// A workload generator.
 pub trait Workload {
     /// Short name (matches the paper's figures).
@@ -165,10 +205,15 @@ pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
 
 /// Looks a workload up by name (including the `dense` control).
 ///
-/// Two name forms resolve:
+/// Four name forms resolve:
 ///
 /// * the stock generators — `pagerank`, `tri_count`, `graph500`, `sgd`,
 ///   `lsh`, `spmv`, `symgs`, `dense`;
+/// * the pointer-chasing kernels — `gather2`, `hashjoin`, `skiplist`,
+///   `btree` (see the [`pattern`] module);
+/// * `chain:<spec>` — an ad-hoc chained gather described by the
+///   [`ChainSpec`] grammar (e.g. `chain:depth=3,entries=4096`); a
+///   malformed spec resolves to no workload;
 /// * `trace:<path>` — replays a recorded `.imptrace` artifact (see
 ///   [`BuiltArtifact`]); the path is validated when the workload builds,
 ///   not here.
@@ -180,6 +225,10 @@ pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
     if let Some(path) = name.strip_prefix("trace:") {
         return Some(Box::new(Counted(TraceWorkload::new(path))));
     }
+    if let Some(spec) = name.strip_prefix("chain:") {
+        let spec = ChainSpec::parse(spec).ok()?;
+        return Some(Box::new(Counted(Chain::from_spec(spec))));
+    }
     match name {
         "pagerank" => Some(Box::new(Counted(Pagerank))),
         "tri_count" => Some(Box::new(Counted(TriCount))),
@@ -189,6 +238,10 @@ pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
         "spmv" => Some(Box::new(Counted(Spmv))),
         "symgs" => Some(Box::new(Counted(Symgs))),
         "dense" => Some(Box::new(Counted(Dense))),
+        "gather2" => Some(Box::new(Counted(pattern::gather2()))),
+        "hashjoin" => Some(Box::new(Counted(pattern::hashjoin()))),
+        "skiplist" => Some(Box::new(Counted(pattern::skiplist()))),
+        "btree" => Some(Box::new(Counted(pattern::btree()))),
         _ => None,
     }
 }
@@ -198,6 +251,23 @@ pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
 /// the workload's [`Built::regions`] records; a trailing `*` matches a
 /// per-core family of arrays (`Sim::page_policy` understands the same
 /// glob). Unknown workloads have no hot arrays.
+///
+/// Deprecated: this hand-maintained table only knows the stock
+/// generators — a `chain:` workload or a plugin workload comes back
+/// empty. Build the workload and ask [`Built::hot_regions`] instead,
+/// which derives the list from the ops that actually chase indirect
+/// addresses:
+///
+/// ```
+/// # use imp_workloads::{by_name, Scale, WorkloadParams};
+/// let built = by_name("spmv").unwrap().build(&WorkloadParams::new(2, Scale::Tiny));
+/// assert_eq!(built.hot_regions(), vec!["x"]);
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build the workload and use `Built::hot_regions()`, which is \
+            derived from the real indirect access stream"
+)]
 pub fn hot_regions(workload: &str) -> &'static [&'static str] {
     match workload {
         "pagerank" => &["pr0", "pr1", "deg"],
@@ -327,6 +397,48 @@ mod tests {
             assert!(b.program.total_memory_ops() > 0, "{}", w.name());
             assert!(b.result.is_finite(), "{}", w.name());
         }
+    }
+
+    #[test]
+    fn chain_names_and_grammar_resolve() {
+        for n in [
+            "gather2",
+            "hashjoin",
+            "skiplist",
+            "btree",
+            "chain:depth=2",
+            "chain:depth=3,entries=256,iters=64",
+            "chain:depth=4,tables=heads+next+next+next+next",
+        ] {
+            assert!(by_name(n).is_some(), "{n} should resolve");
+        }
+        for bad in ["chain:depth=0", "chain:depth=2,tables=a", "chain:speed=3"] {
+            assert!(by_name(bad).is_none(), "{bad} should not resolve");
+        }
+    }
+
+    #[test]
+    fn built_hot_regions_are_derived_from_the_access_stream() {
+        let p = WorkloadParams::new(2, Scale::Tiny);
+        // Agreement with the legacy static table on a stock kernel.
+        let spmv = by_name("spmv").unwrap().build(&p);
+        assert_eq!(spmv.hot_regions(), vec!["x"]);
+        #[allow(deprecated)]
+        {
+            assert_eq!(hot_regions("spmv"), &["x"]);
+        }
+        // Chain kernels name every chased hop table, no static entry
+        // needed.
+        let join = by_name("hashjoin").unwrap().build(&p);
+        assert_eq!(join.hot_regions(), vec!["bucket", "entry", "payload"]);
+        // Per-core families come back as concrete region names instead
+        // of the static table's `bits*` glob — and the derived list
+        // also catches indirect arrays the static table understated
+        // (tri_count's xadj loads are Indirect-class too).
+        let tc = by_name("tri_count").unwrap().build(&p);
+        let tc_hot = tc.hot_regions();
+        assert!(tc_hot.contains(&"bits0".to_string()), "{tc_hot:?}");
+        assert!(tc_hot.contains(&"bits1".to_string()), "{tc_hot:?}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! phase reads each candidate's data row indirectly (16-byte rows,
 //! coefficient 16) to compute true distances.
 
+use crate::pattern::hop_load;
 use crate::{partition, Built, Scale, Workload, WorkloadParams};
 use imp_common::stats::AccessClass;
 use imp_common::{Pc, SplitMix64};
@@ -147,13 +148,8 @@ impl Workload for Lsh {
                         AccessClass::Stream,
                     ));
                     let row = u64::from(p) * DIM as u64;
-                    ops.push(
-                        Op::load(a_data.addr_of(row), 8, PC_D0, AccessClass::Indirect).with_dep(1),
-                    );
-                    ops.push(
-                        Op::load(a_data.addr_of(row + 1), 8, PC_D1, AccessClass::Indirect)
-                            .with_dep(2),
-                    );
+                    ops.push(hop_load(&a_data, row, PC_D0).with_dep(1));
+                    ops.push(hop_load(&a_data, row + 1, PC_D1).with_dep(2));
                     ops.push(Op::compute(4)); // distance + compare
                     if dist2(&input.points[p as usize], &input.queries[qi as usize]) < threshold {
                         matches += 1;

@@ -4,6 +4,7 @@
 //! coefficients 8 and 4.
 
 use crate::gen::CsrGraph;
+use crate::pattern::hop_load;
 use crate::{partition, Built, Scale, Workload, WorkloadParams};
 use imp_common::stats::AccessClass;
 use imp_common::Pc;
@@ -117,13 +118,8 @@ impl Workload for Pagerank {
                         }
                         let u = g.adj[e as usize] as u64;
                         ops.push(Op::load(a_adj.addr_of(e), 4, PC_ADJ, AccessClass::Stream));
-                        ops.push(
-                            Op::load(src.addr_of(u), 8, PC_PR, AccessClass::Indirect).with_dep(1),
-                        );
-                        ops.push(
-                            Op::load(a_deg.addr_of(u), 4, PC_DEG, AccessClass::Indirect)
-                                .with_dep(2),
-                        );
+                        ops.push(hop_load(&src, u, PC_PR).with_dep(1));
+                        ops.push(hop_load(&a_deg, u, PC_DEG).with_dep(2));
                         ops.push(Op::compute(3));
                     }
                     ops.push(Op::compute(3));

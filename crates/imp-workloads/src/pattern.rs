@@ -1,0 +1,583 @@
+//! The composable access-pattern builder: depth-k chained gathers.
+//!
+//! Every kernel in this crate walks some variant of the same loop: a
+//! sequential index stream feeds one or more *tables* whose loaded
+//! values are themselves indices into the next table. Instead of
+//! copy-pasting that loop per kernel, [`gather`] builds it
+//! declaratively:
+//!
+//! ```
+//! use imp_workloads::pattern::gather;
+//! use imp_workloads::{Scale, Workload, WorkloadParams};
+//!
+//! // A hash-join probe: keys -> bucket heads -> entries -> payload.
+//! let join = gather(3)
+//!     .over(["probe", "bucket", "entry", "payload"])
+//!     .stride(1)
+//!     .workload("hashjoin");
+//! let built = join.build(&WorkloadParams::new(4, Scale::Tiny));
+//! assert!(built.program.total_memory_ops() > 0);
+//! ```
+//!
+//! The resulting [`ChainSpec`] describes `depth` chained hops: per
+//! lookup `i`, the index array is read at `stride * i` (a sequential
+//! stream the IMP detector locks onto), then each hop table is read at
+//! the previous load's value (`T1[idx[i]]`, `T2[T1[idx[i]]]`, …).
+//! Repeating a table name chases through the *same* array — a skip-list
+//! `next`-pointer walk is `gather(4).over(["heads", "next", "next",
+//! "next", "next"])`.
+//!
+//! Chained hops are exactly what `imp:depth=k` prefetches: hops 1 and 2
+//! are covered by the stock detector, hops 3 and beyond only when the
+//! chained detector is allowed to walk ahead (`depth >= 2`).
+//!
+//! [`ChainSpec`] also has a textual form (`depth=3,tables=a+b+c+d`)
+//! used by [`by_name`](crate::by_name)'s `chain:<spec>` grammar, so
+//! sweeps can name ad-hoc chain shapes without code changes.
+
+use crate::{partition, Built, Scale, Workload, WorkloadParams};
+use imp_common::stats::AccessClass;
+use imp_common::{Pc, SplitMix64};
+use imp_mem::{AddressSpace, ArrayRef, FunctionalMemory, MemScalar};
+use imp_trace::{Op, Program};
+
+/// One chased hop of an access pattern: an indirect-class load of
+/// `table[index]`, sized by the table's element type. This is the
+/// primitive every kernel's value-dependent read goes through —
+/// `x[col[k]]` in SpMV, `data[cand[i]*2]` in LSH, each link of a
+/// [`gather`] chain. Chain `.with_dep(n)` to mark the producing load
+/// `n` ops back.
+pub fn hop_load<T: MemScalar>(table: &ArrayRef<T>, index: u64, pc: Pc) -> Op {
+    Op::load(
+        table.addr_of(index),
+        T::SIZE_BYTES as u8,
+        pc,
+        AccessClass::Indirect,
+    )
+}
+
+/// The store counterpart of [`hop_load`], for in-place kernels that
+/// write back through a chased index (SymGS sweeps, SGD row updates).
+pub fn hop_store<T: MemScalar>(table: &ArrayRef<T>, index: u64, pc: Pc) -> Op {
+    Op::store(
+        table.addr_of(index),
+        T::SIZE_BYTES as u8,
+        pc,
+        AccessClass::Indirect,
+    )
+}
+
+/// Chain PCs live in the 90+ block (each workload uses its own range).
+const PC_IDX: Pc = Pc::new(90);
+const PC_HOP_BASE: u32 = 91;
+
+/// Deepest chain the builder accepts: one hop per tracked ledger bucket
+/// minus the sequential bucket (`imp_obs::MAX_HOPS` tracks 8).
+pub const MAX_CHAIN_DEPTH: u8 = 6;
+
+/// Starts building a depth-`depth` chained gather (see the module
+/// docs). `depth` is clamped to `1..=`[`MAX_CHAIN_DEPTH`].
+pub fn gather(depth: u8) -> AccessPattern {
+    AccessPattern {
+        spec: ChainSpec::new(depth),
+    }
+}
+
+/// Builder for a [`ChainSpec`]; made by [`gather`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessPattern {
+    spec: ChainSpec,
+}
+
+impl AccessPattern {
+    /// Names the index array and the hop tables, in chase order. Must
+    /// be exactly `depth + 1` names; repeated names share one
+    /// allocation (self-referential chase).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name count does not match `depth + 1` — a
+    /// mis-declared chain is a programming error, not an input error.
+    #[must_use]
+    pub fn over<I, S>(mut self, tables: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.spec.tables = tables.into_iter().map(Into::into).collect();
+        assert_eq!(
+            self.spec.tables.len(),
+            self.spec.depth as usize + 1,
+            "gather({}) chases through {} tables (index + one per hop)",
+            self.spec.depth,
+            self.spec.depth + 1,
+        );
+        self
+    }
+
+    /// Index-stream stride in elements (default 1).
+    #[must_use]
+    pub fn stride(mut self, elems: u64) -> Self {
+        self.spec.stride = elems.max(1);
+        self
+    }
+
+    /// Overrides the hop-table entry count (default chosen by
+    /// [`Scale`]).
+    #[must_use]
+    pub fn entries(mut self, n: u64) -> Self {
+        self.spec.entries = Some(n.max(2));
+        self
+    }
+
+    /// Overrides the lookup count (default chosen by [`Scale`]).
+    #[must_use]
+    pub fn iters(mut self, n: u64) -> Self {
+        self.spec.iters = Some(n.max(1));
+        self
+    }
+
+    /// Finishes the builder, returning the declarative spec.
+    #[must_use]
+    pub fn spec(self) -> ChainSpec {
+        self.spec
+    }
+
+    /// Finishes the builder as a runnable [`Workload`] under `name`.
+    #[must_use]
+    pub fn workload(self, name: &'static str) -> Chain {
+        Chain {
+            name,
+            spec: self.spec,
+        }
+    }
+}
+
+/// A declarative depth-k chained gather. Build one with [`gather`] or
+/// parse the `chain:<spec>` grammar with [`ChainSpec::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// Chained hops (tables chased after the index array), `1..=6`.
+    pub depth: u8,
+    /// Index-stream stride in elements.
+    pub stride: u64,
+    /// Hop-table entries (`None` = pick by [`Scale`]).
+    pub entries: Option<u64>,
+    /// Lookup count (`None` = pick by [`Scale`]).
+    pub iters: Option<u64>,
+    /// Region names: index array first, then one per hop. Repeats
+    /// alias the same allocation.
+    pub tables: Vec<String>,
+}
+
+impl ChainSpec {
+    /// A depth-`depth` chain with default names (`idx`, `t1`, …).
+    pub fn new(depth: u8) -> Self {
+        let depth = depth.clamp(1, MAX_CHAIN_DEPTH);
+        let mut tables = vec!["idx".to_string()];
+        tables.extend((1..=depth).map(|k| format!("t{k}")));
+        ChainSpec {
+            depth,
+            stride: 1,
+            entries: None,
+            iters: None,
+            tables,
+        }
+    }
+
+    /// Parses the `chain:` grammar: comma-separated `key=value` pairs
+    /// among `depth` (1–6), `stride`, `entries`, `iters`, and `tables`
+    /// (plus-separated names, exactly `depth + 1` of them). `depth`
+    /// defaults to 2; table names default to `idx`, `t1`, ….
+    ///
+    /// ```
+    /// use imp_workloads::pattern::ChainSpec;
+    ///
+    /// let s = ChainSpec::parse("depth=3,tables=probe+bucket+entry+payload").unwrap();
+    /// assert_eq!(s.depth, 3);
+    /// assert_eq!(s.tables.len(), 4);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown keys, malformed
+    /// numbers, out-of-range depths, or a table list whose length does
+    /// not match the depth.
+    pub fn parse(s: &str) -> Result<ChainSpec, String> {
+        let mut depth: u8 = 2;
+        let mut stride: Option<u64> = None;
+        let mut entries: Option<u64> = None;
+        let mut iters: Option<u64> = None;
+        let mut tables: Option<Vec<String>> = None;
+        for pair in s.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{pair}`"))?;
+            match key {
+                "depth" => {
+                    depth = value.parse().map_err(|_| format!("bad depth `{value}`"))?;
+                    if depth == 0 || depth > MAX_CHAIN_DEPTH {
+                        return Err(format!("depth must be 1..={MAX_CHAIN_DEPTH}, got {depth}"));
+                    }
+                }
+                "stride" => {
+                    let v: u64 = value.parse().map_err(|_| format!("bad stride `{value}`"))?;
+                    if v == 0 {
+                        return Err("stride must be nonzero".to_string());
+                    }
+                    stride = Some(v);
+                }
+                "entries" => {
+                    let v: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad entries `{value}`"))?;
+                    if v < 2 {
+                        return Err("entries must be at least 2".to_string());
+                    }
+                    entries = Some(v);
+                }
+                "iters" => {
+                    let v: u64 = value.parse().map_err(|_| format!("bad iters `{value}`"))?;
+                    if v == 0 {
+                        return Err("iters must be nonzero".to_string());
+                    }
+                    iters = Some(v);
+                }
+                "tables" => {
+                    let names: Vec<String> = value
+                        .split('+')
+                        .filter(|t| !t.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if names.is_empty() {
+                        return Err("tables must name at least the index array".to_string());
+                    }
+                    tables = Some(names);
+                }
+                other => {
+                    return Err(format!(
+                        "unknown chain key `{other}` (depth, stride, entries, iters, tables)"
+                    ))
+                }
+            }
+        }
+        let mut spec = ChainSpec::new(depth);
+        if let Some(s) = stride {
+            spec.stride = s;
+        }
+        spec.entries = entries;
+        spec.iters = iters;
+        if let Some(t) = tables {
+            if t.len() != depth as usize + 1 {
+                return Err(format!(
+                    "depth={depth} needs {} tables (index + one per hop), got {}",
+                    depth + 1,
+                    t.len()
+                ));
+            }
+            spec.tables = t;
+        }
+        Ok(spec)
+    }
+
+    /// Hop-table entries for `scale`, honoring an override.
+    pub fn entries_for(&self, scale: Scale) -> u64 {
+        self.entries.unwrap_or(match scale {
+            // Tiny still has to spill the caches: a chain whose tables
+            // fit in L2 gives deep chasing nothing to hide.
+            Scale::Tiny => 4_096,
+            Scale::Small => 32_768,
+            Scale::Large => 131_072,
+        })
+    }
+
+    /// Lookup count for `scale`, honoring an override.
+    pub fn iters_for(&self, scale: Scale) -> u64 {
+        self.iters.unwrap_or(match scale {
+            Scale::Tiny => 2_000,
+            Scale::Small => 16_000,
+            Scale::Large => 65_536,
+        })
+    }
+
+    /// Builds the chain under `label`: allocates the tables, fills them
+    /// with seeded in-range values, emits the per-core lookup streams,
+    /// and records the host-side chain sum as the functional result.
+    pub fn build_named(&self, label: &str, params: &WorkloadParams) -> Built {
+        let entries = self.entries_for(params.scale);
+        let iters = self.iters_for(params.scale);
+        let index_len = iters * self.stride;
+
+        let mut space = AddressSpace::new();
+        let mut mem = FunctionalMemory::new();
+
+        // Host mirrors, keyed by unique table name (repeats alias).
+        let a_idx = space.alloc_array::<u32>(&self.tables[0], index_len.max(1));
+        let mut rng = SplitMix64::new(params.seed ^ 0xC4A1);
+        let idx: Vec<u32> = (0..index_len)
+            .map(|_| rng.next_below(entries) as u32)
+            .collect();
+        a_idx.fill_from(&mut mem, &idx);
+
+        let mut names: Vec<&str> = Vec::new();
+        let mut hop_data: Vec<Vec<u64>> = Vec::new();
+        let mut hop_arrays = Vec::new();
+        let mut hop_of: Vec<usize> = Vec::new(); // hop k -> unique table index
+        for name in &self.tables[1..] {
+            let uniq = match names.iter().position(|n| n == name) {
+                Some(i) => i,
+                None => {
+                    let arr = space.alloc_array::<u64>(name, entries);
+                    let mut trng = SplitMix64::new(params.seed ^ 0xD1CE ^ mix_name(name));
+                    let data: Vec<u64> = (0..entries).map(|_| trng.next_below(entries)).collect();
+                    arr.fill_from(&mut mem, &data);
+                    names.push(name);
+                    hop_data.push(data);
+                    hop_arrays.push(arr);
+                    names.len() - 1
+                }
+            };
+            hop_of.push(uniq);
+        }
+
+        let mut program = Program::new(label, params.cores);
+        let parts = partition(iters, params.cores);
+        let mut sum = 0u64;
+        for (c, range) in parts.iter().enumerate() {
+            let ops = program.core_mut(c);
+            for i in range.clone() {
+                let j = i * self.stride;
+                ops.push(Op::load(a_idx.addr_of(j), 4, PC_IDX, AccessClass::Stream));
+                let mut v = u64::from(idx[j as usize]);
+                for (k, &u) in hop_of.iter().enumerate() {
+                    ops.push(
+                        hop_load(&hop_arrays[u], v, Pc::new(PC_HOP_BASE + k as u32)).with_dep(1),
+                    );
+                    v = hop_data[u][v as usize];
+                }
+                sum = sum.wrapping_add(v);
+                ops.push(Op::compute(1));
+            }
+        }
+        program.barrier();
+
+        Built {
+            program,
+            mem,
+            result: sum as f64,
+            regions: space.regions(),
+        }
+    }
+}
+
+/// Stable per-table seed salt derived from the region name.
+fn mix_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3)
+    })
+}
+
+impl std::fmt::Display for ChainSpec {
+    /// The canonical `chain:` body: always `depth=`, then any
+    /// non-default fields. Round-trips through [`ChainSpec::parse`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "depth={}", self.depth)?;
+        if self.stride != 1 {
+            write!(f, ",stride={}", self.stride)?;
+        }
+        if let Some(e) = self.entries {
+            write!(f, ",entries={e}")?;
+        }
+        if let Some(i) = self.iters {
+            write!(f, ",iters={i}")?;
+        }
+        if self.tables != ChainSpec::new(self.depth).tables {
+            write!(f, ",tables={}", self.tables.join("+"))?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`ChainSpec`] bound to a workload name — what
+/// [`AccessPattern::workload`] returns and the `chain:<spec>` grammar
+/// resolves to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chain {
+    name: &'static str,
+    /// The declarative pattern this workload runs.
+    pub spec: ChainSpec,
+}
+
+impl Chain {
+    /// Wraps a parsed spec under the generic `chain` name.
+    pub fn from_spec(spec: ChainSpec) -> Self {
+        Chain {
+            name: "chain",
+            spec,
+        }
+    }
+}
+
+impl Workload for Chain {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn build(&self, params: &WorkloadParams) -> Built {
+        self.spec.build_named(self.name, params)
+    }
+}
+
+/// Two-level gather `A[B[idx[i]]]` — the shallowest chain, fully
+/// covered by the stock detector (hops 1 and 2).
+pub fn gather2() -> Chain {
+    gather(2).over(["g_idx", "g_a", "g_b"]).workload("gather2")
+}
+
+/// Hash-join probe chain: probe keys → bucket heads → entry slots →
+/// payload rows. Three hops; the payload hop needs `imp:depth>=2`.
+pub fn hashjoin() -> Chain {
+    gather(3)
+        .over(["probe", "bucket", "entry", "payload"])
+        .workload("hashjoin")
+}
+
+/// Skip-list search: per-lookup head, then four `next`-pointer chases
+/// through the same node array. Hops 3–4 need `imp:depth>=2..3`.
+pub fn skiplist() -> Chain {
+    gather(4)
+        .over(["heads", "next", "next", "next", "next"])
+        .workload("skiplist")
+}
+
+/// B+-tree descent: key → inner node → leaf node → record. Three
+/// value-dependent hops, like a three-level tree probe.
+pub fn btree() -> Chain {
+    gather(3)
+        .over(["keys", "inner", "leaves", "recs"])
+        .workload("btree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_fills_defaults_and_overrides() {
+        let s = gather(3).stride(2).entries(4096).iters(500).spec();
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.stride, 2);
+        assert_eq!(s.entries_for(Scale::Tiny), 4096);
+        assert_eq!(s.iters_for(Scale::Large), 500);
+        assert_eq!(s.tables, vec!["idx", "t1", "t2", "t3"]);
+        let d = gather(1).spec();
+        assert_eq!(d.entries_for(Scale::Tiny), 4096);
+        assert!(d.iters_for(Scale::Small) > d.iters_for(Scale::Tiny));
+    }
+
+    #[test]
+    #[should_panic(expected = "chases through")]
+    fn builder_rejects_mismatched_table_count() {
+        let _ = gather(2).over(["only", "two"]);
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        for src in [
+            "depth=2",
+            "depth=3,tables=probe+bucket+entry+payload",
+            "depth=1,stride=4,entries=4096,iters=100",
+            "depth=4,tables=heads+next+next+next+next",
+        ] {
+            let spec = ChainSpec::parse(src).unwrap();
+            assert_eq!(spec.to_string(), src, "canonical form");
+            assert_eq!(ChainSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+        // Defaults: empty body is a depth-2 chain.
+        assert_eq!(ChainSpec::parse("").unwrap(), ChainSpec::new(2));
+    }
+
+    #[test]
+    fn spec_grammar_rejects_malformed_input() {
+        for bad in [
+            "depth=0",
+            "depth=9",
+            "depth",
+            "depth=x",
+            "stride=0",
+            "entries=1",
+            "iters=0",
+            "speed=3",
+            "depth=2,tables=a+b",
+            "tables=",
+        ] {
+            assert!(ChainSpec::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn chain_values_stay_in_range_and_feed_the_next_hop() {
+        let built = hashjoin().build(&WorkloadParams::new(2, Scale::Tiny));
+        let spec = &hashjoin().spec;
+        let entries = spec.entries_for(Scale::Tiny);
+        // Every hop address lands inside its declared region.
+        let by_name: Vec<_> = built.regions.iter().collect();
+        for core in 0..built.program.cores() {
+            for op in built.program.ops(core) {
+                if op.class == AccessClass::Indirect {
+                    let r = by_name
+                        .iter()
+                        .find(|r| op.addr >= r.base && op.addr < r.end())
+                        .unwrap_or_else(|| panic!("op {:#x} outside all regions", op.addr));
+                    assert!(spec.tables[1..].contains(&r.name));
+                    assert_eq!((op.addr - r.base) % 8, 0, "8-byte hop elements");
+                    assert!((op.addr - r.base) / 8 < entries);
+                }
+            }
+        }
+        // The simulated memory agrees with the host-side chase: replay
+        // the first core's first lookup from FunctionalMemory alone.
+        let ops = built.program.ops(0);
+        let idx_op = ops.iter().find(|o| o.pc == PC_IDX).unwrap();
+        let v = u64::from(built.mem.read_u32(idx_op.mem_addr()));
+        let hop1 = ops
+            .iter()
+            .find(|o| o.class == AccessClass::Indirect)
+            .unwrap();
+        let bucket = built.regions.iter().find(|r| r.name == "bucket").unwrap();
+        assert_eq!(hop1.addr, bucket.base + 8 * v);
+    }
+
+    #[test]
+    fn shared_tables_allocate_once() {
+        let built = skiplist().build(&WorkloadParams::new(1, Scale::Tiny));
+        let next: Vec<_> = built.regions.iter().filter(|r| r.name == "next").collect();
+        assert_eq!(next.len(), 1, "repeated names alias one allocation");
+        // Four hops per lookup, all through heads-then-next.
+        let spec = &skiplist().spec;
+        let iters = spec.iters_for(Scale::Tiny);
+        let ind = built
+            .program
+            .ops(0)
+            .iter()
+            .filter(|o| o.class == AccessClass::Indirect)
+            .count() as u64;
+        assert_eq!(ind, iters * 4);
+    }
+
+    #[test]
+    fn builds_are_deterministic_across_calls() {
+        let p = WorkloadParams::new(4, Scale::Tiny);
+        for w in [gather2(), hashjoin(), skiplist(), btree()] {
+            let a = w.build(&p);
+            let b = w.build(&p);
+            assert_eq!(a.result, b.result, "{}", w.name());
+            assert_eq!(
+                a.program.total_instructions(),
+                b.program.total_instructions()
+            );
+            a.program.validate_barriers().unwrap();
+            assert_eq!(a.program.cores(), 4);
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! rows (two f64 features — the paper's coefficient-16 "small
 //! structures"), read *and written* each update.
 
+use crate::pattern::{hop_load, hop_store};
 use crate::{Built, Scale, Workload, WorkloadParams};
 use imp_common::stats::AccessClass;
 use imp_common::{Pc, SplitMix64};
@@ -188,29 +189,15 @@ impl Workload for Sgd {
                 ops.push(Op::load(a_ri.addr_of(j), 4, PC_RI, AccessClass::Stream));
                 ops.push(Op::load(a_rv.addr_of(j), 4, PC_RV, AccessClass::Stream));
                 // Loads back: rv=1, ri=2, ru=3.
-                ops.push(Op::load(a_u.addr_of(uu), 8, PC_U0, AccessClass::Indirect).with_dep(3));
-                ops.push(
-                    Op::load(a_u.addr_of(uu + 1), 8, PC_U1, AccessClass::Indirect).with_dep(4),
-                );
-                ops.push(Op::load(a_v.addr_of(ii), 8, PC_V0, AccessClass::Indirect).with_dep(4));
-                ops.push(
-                    Op::load(a_v.addr_of(ii + 1), 8, PC_V1, AccessClass::Indirect).with_dep(5),
-                );
+                ops.push(hop_load(&a_u, uu, PC_U0).with_dep(3));
+                ops.push(hop_load(&a_u, uu + 1, PC_U1).with_dep(4));
+                ops.push(hop_load(&a_v, ii, PC_V0).with_dep(4));
+                ops.push(hop_load(&a_v, ii + 1, PC_V1).with_dep(5));
                 ops.push(Op::compute(24)); // dot product, error, update math
-                ops.push(Op::store(a_u.addr_of(uu), 8, PC_UW, AccessClass::Indirect));
-                ops.push(Op::store(
-                    a_u.addr_of(uu + 1),
-                    8,
-                    PC_UW,
-                    AccessClass::Indirect,
-                ));
-                ops.push(Op::store(a_v.addr_of(ii), 8, PC_VW, AccessClass::Indirect));
-                ops.push(Op::store(
-                    a_v.addr_of(ii + 1),
-                    8,
-                    PC_VW,
-                    AccessClass::Indirect,
-                ));
+                ops.push(hop_store(&a_u, uu, PC_UW));
+                ops.push(hop_store(&a_u, uu + 1, PC_UW));
+                ops.push(hop_store(&a_v, ii, PC_VW));
+                ops.push(hop_store(&a_v, ii + 1, PC_VW));
             }
         }
         for shard in &shards {

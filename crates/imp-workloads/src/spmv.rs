@@ -4,6 +4,7 @@
 //! (coefficient 8).
 
 use crate::gen::CsrMatrix;
+use crate::pattern::hop_load;
 use crate::{partition, Built, Scale, Workload, WorkloadParams};
 use imp_common::stats::AccessClass;
 use imp_common::Pc;
@@ -82,9 +83,7 @@ impl Workload for Spmv {
                     let cidx = m.col[k as usize] as u64;
                     ops.push(Op::load(a_col.addr_of(k), 4, PC_COL, AccessClass::Stream));
                     ops.push(Op::load(a_val.addr_of(k), 8, PC_VAL, AccessClass::Stream));
-                    ops.push(
-                        Op::load(a_x.addr_of(cidx), 8, PC_X, AccessClass::Indirect).with_dep(2),
-                    );
+                    ops.push(hop_load(&a_x, cidx, PC_X).with_dep(2));
                     ops.push(Op::compute(2));
                 }
                 ops.push(Op::store(a_y.addr_of(r), 8, PC_Y, AccessClass::Stream));

@@ -10,6 +10,7 @@
 //! other blocks (block-Jacobi between cores, Gauss-Seidel within).
 
 use crate::gen::CsrMatrix;
+use crate::pattern::hop_load;
 use crate::{partition, Built, Scale, Workload, WorkloadParams};
 use imp_common::stats::AccessClass;
 use imp_common::Pc;
@@ -156,9 +157,7 @@ impl Workload for Symgs {
                         let cidx = m.col[k as usize] as u64;
                         ops.push(Op::load(a_col.addr_of(k), 4, pc_col, AccessClass::Stream));
                         ops.push(Op::load(a_val.addr_of(k), 8, pc_val, AccessClass::Stream));
-                        ops.push(
-                            Op::load(a_x.addr_of(cidx), 8, pc_x, AccessClass::Indirect).with_dep(2),
-                        );
+                        ops.push(hop_load(&a_x, cidx, pc_x).with_dep(2));
                         ops.push(Op::compute(2));
                     }
                     ops.push(Op::compute(2));

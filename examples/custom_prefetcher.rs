@@ -39,7 +39,7 @@ impl L1Prefetcher for NextLines {
                 addr: LineAddr::from_line_number(line.number() + d).base(),
                 sectors: SectorMask::FULL_L1,
                 exclusive: false,
-                kind: PrefetchKind::Stream,
+                kind: PrefetchKind::Sequential,
             });
         }
     }

@@ -42,12 +42,14 @@ fn main() {
     let mut tlb = TlbConfig::finite();
     tlb.sets = 1;
     tlb.ways = 2;
-    let base = Sim::workload(&app)
-        .scale(scale_from_env())
-        .prefetcher("imp")
-        .tlb(tlb);
+    let scale = scale_from_env();
+    let base = Sim::workload(&app).scale(scale).prefetcher("imp").tlb(tlb);
 
-    let hot = hot_regions(&app);
+    // Hot arrays derived from the workload's real indirect access
+    // stream (the regions IMP's value-derived prefetches land in).
+    let hot = by_name(&app)
+        .map(|w| w.build(&WorkloadParams::new(1, scale)).hot_regions())
+        .unwrap_or_default();
     let hot_set: Vec<(String, PagePolicy)> = hot
         .iter()
         .map(|name| (name.to_string(), PagePolicy::Huge2M))

@@ -72,9 +72,12 @@ fn main() {
         let rendered: Vec<String> = emitted
             .iter()
             .map(|r| match r.kind {
-                PrefetchKind::Stream => format!("stream {:#x}", r.addr.raw()),
-                PrefetchKind::Indirect { pt } => {
-                    format!("indirect[pt{pt}] {:#x}", r.addr.raw())
+                PrefetchKind::Sequential => format!("stream {:#x}", r.addr.raw()),
+                PrefetchKind::Indirect { pt, hop } => {
+                    format!("indirect[pt{pt} hop{hop}] {:#x}", r.addr.raw())
+                }
+                PrefetchKind::TranslationOnly { hop } => {
+                    format!("xlate[hop{hop}] {:#x}", r.addr.raw())
                 }
             })
             .collect();

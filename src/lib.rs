@@ -147,6 +147,11 @@ pub mod prelude {
     pub use imp_trace::{Op, Program, TraceFile};
     pub use imp_vm::{L2Tlb, PagePlacement, PageTable, PageWalker, Tlb, Vm, WalkMemory};
     pub use imp_workloads::{
-        by_name, hot_regions, paper_workloads, BuiltArtifact, Scale, Workload, WorkloadParams,
+        by_name, paper_workloads, BuiltArtifact, Scale, Workload, WorkloadParams,
     };
+    pub use imp_workloads::{gather, AccessPattern, Chain, ChainSpec};
+    // Re-exported for back-compat; deprecated in favor of
+    // `Built::hot_regions()`.
+    #[allow(deprecated)]
+    pub use imp_workloads::hot_regions;
 }

@@ -36,7 +36,7 @@ impl L1Prefetcher for NextLine {
             addr: LineAddr::from_line_number(next).base(),
             sectors: SectorMask::FULL_L1,
             exclusive: false,
-            kind: PrefetchKind::Stream,
+            kind: PrefetchKind::Sequential,
         });
     }
 

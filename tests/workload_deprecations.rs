@@ -1,0 +1,45 @@
+//! Tripwire for the legacy workload surface: the deprecated items must
+//! keep compiling AND keep working until they are removed for real.
+//!
+//! CI rebuilds this test with `--force-warn deprecated` and asserts the
+//! deprecation warnings still fire — so a silent un-deprecation (or a
+//! removal that breaks downstream users without a cycle of warnings)
+//! trips this file either way.
+
+#![allow(deprecated)]
+
+use imp::prefetch::PrefetchKind;
+use imp::prelude::*;
+
+/// The static region table still answers, and still agrees with the
+/// data-driven `Built::hot_regions()` on the workloads it lists.
+#[test]
+fn legacy_hot_regions_still_works_and_matches_the_derived_list() {
+    let legacy = hot_regions("spmv");
+    assert_eq!(legacy, vec!["x"]);
+    let built = by_name("spmv")
+        .unwrap()
+        .build(&WorkloadParams::new(2, Scale::Tiny));
+    assert_eq!(
+        built.hot_regions(),
+        legacy,
+        "the deprecated table and the derived list agree on spmv"
+    );
+    // Workloads the table never knew about answer empty, while the
+    // derived list knows them.
+    assert!(hot_regions("hashjoin").is_empty());
+    assert!(!by_name("hashjoin")
+        .unwrap()
+        .build(&WorkloadParams::new(2, Scale::Tiny))
+        .hot_regions()
+        .is_empty());
+}
+
+/// The pre-rename `PrefetchKind::Stream` alias still spells
+/// `Sequential`.
+#[test]
+fn legacy_prefetch_kind_alias_still_works() {
+    assert_eq!(PrefetchKind::Stream, PrefetchKind::Sequential);
+    assert_eq!(PrefetchKind::Stream.hop(), 0);
+    assert!(!PrefetchKind::Stream.is_translation_only());
+}
